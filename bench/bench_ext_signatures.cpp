@@ -1,0 +1,102 @@
+// Extension (the paper's future work, reference [37] "TCP Congestion
+// Signatures"): classify from a speed test's own RTT samples whether the
+// flow was limited by an already-congested link or drove the bottleneck
+// buffer itself. Sweeps both regimes in the packet-level simulator and
+// reports classifier accuracy.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/signatures.h"
+#include "sim/packet/dumbbell.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace netcong;
+
+core::SignatureFeatures run_case(int n_bg, double bottleneck_mbps,
+                                 int buffer_packets, double base_rtt_s,
+                                 double test_start_s) {
+  sim::packet::Dumbbell::Params params;
+  params.bottleneck_mbps = bottleneck_mbps;
+  params.buffer_packets = buffer_packets;
+  params.duration_s = test_start_s + 12.0;
+  sim::packet::Dumbbell d(params);
+  for (int i = 0; i < n_bg; ++i) {
+    sim::packet::FlowSpec bg;
+    bg.base_rtt_s = base_rtt_s;
+    d.add_flow(bg);
+  }
+  sim::packet::FlowSpec test_flow;
+  test_flow.base_rtt_s = base_rtt_s;
+  test_flow.start_time_s = test_start_s;
+  int id = d.add_flow(test_flow);
+  auto result = d.run();
+  return core::extract_features(
+      result.flows[static_cast<std::size_t>(id)].stats.rtt_samples_ms);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension [37]",
+                      "TCP congestion signatures: self-induced vs "
+                      "pre-existing congestion from RTT dynamics");
+
+  core::SignatureClassifier clf;
+  util::TextTable table({"scenario", "bg flows", "rate Mbps", "buffer pkts",
+                         "early elev", "range ratio", "classified",
+                         "truth"});
+  int correct = 0, total = 0;
+
+  struct Case {
+    const char* label;
+    int n_bg;
+    double mbps;
+    int buffer;
+    double rtt;
+    bool pre_existing;
+  };
+  std::vector<Case> cases;
+  // Self-induced: idle bottlenecks of various speeds and buffer depths
+  // (the access-link regime of a typical speed test).
+  for (double mbps : {10.0, 20.0, 50.0, 100.0}) {
+    for (int buffer : {100, 250, 400}) {
+      cases.push_back({"self-induced", 0, mbps, buffer, 0.02, false});
+      cases.push_back({"self-induced", 0, mbps, buffer, 0.06, false});
+    }
+  }
+  // Pre-existing: the flow joins an already loaded bottleneck.
+  for (int n_bg : {3, 5, 8, 12}) {
+    for (int buffer : {150, 250, 400}) {
+      cases.push_back({"pre-existing", n_bg, 20.0, buffer, 0.02, true});
+      cases.push_back({"pre-existing", n_bg, 50.0, buffer, 0.04, true});
+    }
+  }
+
+  for (const auto& c : cases) {
+    auto features =
+        run_case(c.n_bg, c.mbps, c.buffer, c.rtt, c.n_bg ? 12.0 : 0.0);
+    auto predicted = clf.classify(features);
+    bool truth_pre = c.pre_existing;
+    bool ok = (predicted == core::CongestionType::kPreExisting) == truth_pre &&
+              predicted != core::CongestionType::kIndeterminate;
+    correct += ok ? 1 : 0;
+    ++total;
+    table.add_row({c.label, std::to_string(c.n_bg),
+                   util::format("%.0f", c.mbps), std::to_string(c.buffer),
+                   util::format("%.2f", features.early_elevation),
+                   util::format("%.2f", features.range_ratio),
+                   core::congestion_type_name(predicted),
+                   c.pre_existing ? "pre-existing" : "self-induced"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nclassifier accuracy: %d/%d (%.0f%%)\n", correct, total,
+              100.0 * correct / total);
+  bench::print_footnote(
+      "the published TCP Congestion Signatures paper reports ~90% accuracy "
+      "with a decision-tree on the same feature family");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 1 / Section 4.2: AS hops traversed in traceroute paths from M-Lab
+// servers to clients in large access ISPs (Assumption 2 of simplified
+// AS-level tomography). Reproduces the per-ISP one-hop/two-hop/more split
+// and compares the one-hop fraction against the paper's published bars.
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "core/adjacency.h"
+#include "gen/paper_data.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace netcong;
+  bench::print_header(
+      "Figure 1",
+      "AS hops from M-Lab servers to clients in large access ISPs (May-2015-"
+      "style campaign)");
+
+  bench::Context ctx(bench::bench_config());
+  bench::CampaignData data = bench::run_standard_campaign(
+      ctx, /*days=*/28, /*tests_per_client=*/8.0, /*seed=*/1);
+
+  std::printf("campaign: %zu NDT tests, %zu traceroutes, matched %.0f%%\n",
+              data.result.tests.size(), data.result.traceroutes.size(),
+              100.0 * data.match_stats.fraction());
+
+  auto stats = core::analyze_adjacency(data.matched, data.mapit, ctx.ip2as,
+                                       ctx.orgs, ctx.isp_of);
+
+  std::map<std::string, double> paper_fraction;
+  for (const auto& row : gen::paper::fig1_adjacency()) {
+    paper_fraction[std::string(row.isp)] = row.one_hop_fraction;
+  }
+
+  util::TextTable table({"ISP", "tests", "1 hop", "2 hops", "2+ hops",
+                         "1-hop frac (ours)", "1-hop frac (paper)"});
+  for (const auto& s : stats) {
+    auto it = paper_fraction.find(s.isp);
+    if (it == paper_fraction.end()) continue;  // ISPs outside Figure 1
+    table.add_row({s.isp, std::to_string(s.matched_tests),
+                   std::to_string(s.one_hop), std::to_string(s.two_hops),
+                   std::to_string(s.more_hops),
+                   util::format("%.2f", s.one_hop_fraction()),
+                   util::format("%.2f", it->second)});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_footnote(
+      "shape target: top-5 ISPs mostly directly connected (>=0.8); "
+      "Charter/Cox/Frontier mostly not; Windstream almost never");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 2 / Section 5.2: per Ark VP, the number of AS-level and
+// router-level interdomain interconnections discovered by bdrmap, and how
+// many of them appear on traceroute paths toward M-Lab and Speedtest
+// servers. The paper's headline: M-Lab covers 0.4-9% of AS-level
+// interconnections; Speedtest several-fold more.
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "gen/paper_data.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace netcong;
+  bench::print_header("Figure 2",
+                      "Coverage of AS-level and router-level interdomain "
+                      "interconnections (Feb-2017-style snapshot)");
+
+  bench::Context ctx(bench::bench_config());
+  auto coverage = bench::run_coverage(ctx, /*snapshot_2017=*/true, 4);
+
+  std::map<std::string, const gen::paper::CoverageRow*> paper;
+  for (const auto& row : gen::paper::sec52_coverage()) {
+    paper[std::string(row.isp)] = &row;
+  }
+
+  util::TextTable table({"VP", "Network", "bdrmap AS", "M-Lab AS", "ST AS",
+                         "M-Lab AS %", "ST AS %", "paper M-Lab %",
+                         "bdrmap Rtr", "M-Lab Rtr", "ST Rtr"});
+  for (const auto& c : coverage) {
+    const auto* p = paper.count(c.network) ? paper.at(c.network) : nullptr;
+    table.add_row(
+        {c.vp_label, c.network, std::to_string(c.discovered.as_level.size()),
+         std::to_string(c.mlab.as_level.size()),
+         std::to_string(c.speedtest.as_level.size()),
+         bench::pct(core::VpCoverage::pct(c.mlab.as_level.size(),
+                                          c.discovered.as_level.size())),
+         bench::pct(core::VpCoverage::pct(c.speedtest.as_level.size(),
+                                          c.discovered.as_level.size())),
+         p ? bench::pct(p->mlab_all_as_pct) : "-",
+         std::to_string(c.discovered.router_level.size()),
+         std::to_string(c.mlab.router_level.size()),
+         std::to_string(c.speedtest.router_level.size())});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_footnote(
+      "shape target: M-Lab covers a small single-digit percentage of all "
+      "AS-level interconnections; Speedtest covers several times more "
+      "(paper: 0.4-9% vs 2.3-28%)");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 4 / Section 5.3: overlap between the interconnections covered by
+// test-server traceroutes and those on paths toward popular web content
+// (Alexa-style targets). Paper: 79-90% of AS-level interconnections on
+// paths to popular content were NOT testable via M-Lab.
+
+#include <cstdio>
+
+#include "common.h"
+#include "gen/paper_data.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace netcong;
+  bench::print_header("Figure 4",
+                      "Overlap of platform-covered interconnections with "
+                      "those on paths to popular content");
+
+  bench::Context ctx(bench::bench_config());
+  auto coverage = bench::run_coverage(ctx, /*snapshot_2017=*/true, 6);
+
+  util::TextTable table({"VP", "Network", "Alexa AS", "Mlab-Alexa",
+                         "Alexa-Mlab", "ST-Alexa", "Alexa-ST",
+                         "Alexa not via M-Lab"});
+  double min_missing = 1e9, max_missing = -1;
+  for (const auto& c : coverage) {
+    auto ml = core::overlap(c.mlab, c.alexa);
+    auto st = core::overlap(c.speedtest, c.alexa);
+    double missing = ml.alexa_total_as == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(ml.alexa_not_platform_as) /
+                               static_cast<double>(ml.alexa_total_as);
+    if (ml.alexa_total_as > 0) {
+      min_missing = std::min(min_missing, missing);
+      max_missing = std::max(max_missing, missing);
+    }
+    table.add_row({c.vp_label, c.network,
+                   std::to_string(c.alexa.as_level.size()),
+                   std::to_string(ml.platform_not_alexa_as),
+                   std::to_string(ml.alexa_not_platform_as),
+                   std::to_string(st.platform_not_alexa_as),
+                   std::to_string(st.alexa_not_platform_as),
+                   bench::pct(missing)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  auto paper = gen::paper::sec53_alexa();
+  std::printf(
+      "\nours:  %.0f%%-%.0f%% of AS interconnections toward popular content "
+      "not covered by M-Lab\n",
+      min_missing, max_missing);
+  std::printf(
+      "paper: %.0f%%-%.0f%% (Comcast bed-us: %d of %d Alexa-path links not "
+      "via M-Lab, %d not via Speedtest)\n",
+      paper.alexa_not_mlab_min_pct, paper.alexa_not_mlab_max_pct,
+      paper.comcast_alexa_not_mlab, paper.comcast_alexa_links,
+      paper.comcast_alexa_not_speedtest);
+  bench::print_footnote(
+      "column key: 'Mlab-Alexa' = interconnections on paths to M-Lab "
+      "servers but not to any Alexa target; 'Alexa-Mlab' = the reverse");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the core algorithms: prefix trie
+// lookups, BGP routing-tree computation, router-level path construction,
+// traceroute simulation, MAP-IT, bdrmap, and binary tomography.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tomography.h"
+#include "gen/world.h"
+#include "infer/alias.h"
+#include "infer/bdrmap.h"
+#include "infer/datasets.h"
+#include "infer/mapit.h"
+#include "measure/ark.h"
+#include "measure/traceroute.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace netcong;
+
+const gen::World& world() {
+  static const gen::World w = [] {
+    gen::GeneratorConfig cfg = gen::GeneratorConfig::small();
+    cfg.seed = 99;
+    return gen::generate_world(cfg);
+  }();
+  return w;
+}
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  infer::Ip2As ip2as(*world().topo);
+  util::Rng rng(1);
+  std::vector<topo::IpAddr> addrs;
+  for (int i = 0; i < 1024; ++i) {
+    addrs.push_back(world().topo->host(
+        world().clients[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(world().clients.size()) - 1))]).addr);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ip2as.origin(addrs[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_BgpTreeCompute(benchmark::State& state) {
+  auto asns = world().topo->all_asns();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // A fresh routing object each iteration so every tree is a cold compute.
+    route::BgpRouting bgp(*world().topo);
+    bgp.warm(asns[i++ % asns.size()]);
+  }
+}
+BENCHMARK(BM_BgpTreeCompute);
+
+void BM_ForwarderPath(benchmark::State& state) {
+  static route::BgpRouting bgp(*world().topo);
+  static route::Forwarder fwd(*world().topo, bgp);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::uint32_t s = world().mlab_servers[i % world().mlab_servers.size()];
+    std::uint32_t c = world().clients[i % world().clients.size()];
+    route::FlowKey k{world().topo->host(s).addr, world().topo->host(c).addr,
+                     3001, static_cast<std::uint16_t>(i & 0xffff), 6};
+    benchmark::DoNotOptimize(fwd.path(s, world().topo->host(c).addr, k));
+    ++i;
+  }
+}
+BENCHMARK(BM_ForwarderPath);
+
+void BM_Traceroute(benchmark::State& state) {
+  static route::BgpRouting bgp(*world().topo);
+  static route::Forwarder fwd(*world().topo, bgp);
+  util::Rng rng(3);
+  measure::TracerouteOptions opt;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::uint32_t s = world().mlab_servers[i % world().mlab_servers.size()];
+    std::uint32_t c = world().clients[i % world().clients.size()];
+    benchmark::DoNotOptimize(measure::run_traceroute(
+        *world().topo, fwd, s, world().topo->host(c).addr, 12.0, opt, rng));
+    ++i;
+  }
+}
+BENCHMARK(BM_Traceroute);
+
+const std::vector<measure::TracerouteRecord>& corpus() {
+  static const std::vector<measure::TracerouteRecord> c = [] {
+    route::BgpRouting bgp(*world().topo);
+    route::Forwarder fwd(*world().topo, bgp);
+    util::Rng rng(4);
+    measure::TracerouteOptions opt;
+    std::vector<measure::TracerouteRecord> out;
+    for (std::uint32_t s : world().mlab_servers) {
+      for (std::size_t i = 0; i < world().clients.size(); i += 4) {
+        out.push_back(measure::run_traceroute(
+            *world().topo, fwd, s, world().topo->host(world().clients[i]).addr,
+            12.0, opt, rng));
+      }
+    }
+    return out;
+  }();
+  return c;
+}
+
+void BM_MapIt(benchmark::State& state) {
+  infer::Ip2As ip2as(*world().topo);
+  infer::OrgMap orgs(*world().topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::run_mapit(corpus(), ip2as, orgs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus().size()));
+}
+BENCHMARK(BM_MapIt);
+
+void BM_Bdrmap(benchmark::State& state) {
+  static route::BgpRouting bgp(*world().topo);
+  static route::Forwarder fwd(*world().topo, bgp);
+  infer::Ip2As ip2as(*world().topo);
+  infer::OrgMap orgs(*world().topo);
+  infer::AliasResolver aliases(*world().topo, 0.9, 1);
+  util::Rng rng(5);
+  measure::ArkCampaignOptions opt;
+  auto full = measure::ark_full_prefix_campaign(world(), fwd,
+                                                world().ark_vps[0], opt, rng);
+  topo::Asn vp_as = world().topo->host(world().ark_vps[0]).asn;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::run_bdrmap(
+        full, vp_as, ip2as, orgs, world().topo->relationships(), aliases));
+  }
+}
+BENCHMARK(BM_Bdrmap);
+
+void BM_TomographyGreedy(benchmark::State& state) {
+  util::Rng rng(6);
+  std::vector<core::PathObservation> obs;
+  for (int p = 0; p < static_cast<int>(state.range(0)); ++p) {
+    core::PathObservation o;
+    for (int i = 0; i < 8; ++i) {
+      o.links.push_back(
+          topo::LinkId(static_cast<std::uint32_t>(rng.uniform_int(0, 499))));
+    }
+    o.bad = rng.chance(0.3);
+    obs.push_back(std::move(o));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::greedy_binary_tomography(obs));
+  }
+}
+BENCHMARK(BM_TomographyGreedy)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

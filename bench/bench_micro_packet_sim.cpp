@@ -1,0 +1,47 @@
+// Microbenchmarks for the packet-level simulator: event throughput and
+// full dumbbell scenarios at increasing flow counts.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/packet/dumbbell.h"
+#include "sim/packet/event_queue.h"
+
+namespace {
+
+using namespace netcong::sim::packet;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) q.schedule(q.now() + 0.001, tick);
+    };
+    q.schedule(0.0, tick);
+    q.run(1e9);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_DumbbellScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    Dumbbell::Params params;
+    params.bottleneck_mbps = 50.0;
+    params.duration_s = 10.0;
+    Dumbbell d(params);
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      FlowSpec spec;
+      spec.base_rtt_s = 0.04;
+      d.add_flow(spec);
+    }
+    benchmark::DoNotOptimize(d.run());
+  }
+}
+BENCHMARK(BM_DumbbellScenario)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

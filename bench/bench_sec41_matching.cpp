@@ -1,0 +1,112 @@
+// Section 4.1: NDT <-> Paris traceroute matching. The M-Lab traceroute
+// daemon was single-threaded, so concurrent tests got no traceroute; the
+// analysis then matches each NDT test to the first traceroute toward the
+// same client within a 10-minute window. Paper: 71% matched (after-only
+// window, May 2015), 87% (either side), 76% (March 2017).
+
+#include <cstdio>
+
+#include "common.h"
+#include "gen/paper_data.h"
+#include "measure/matching.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace netcong;
+  bench::print_header("Section 4.1",
+                      "NDT <-> Paris traceroute matching fractions");
+
+  bench::Context ctx(bench::bench_config());
+
+  // May 2015 was the "Battle for the Net" surge: a large share of tests
+  // came from a wrapper that ran back-to-back tests against several
+  // regional servers. The single-threaded traceroute daemon only serves the
+  // first of each burst, so later tests have no traceroute *after* them —
+  // but do have one shortly *before* (the first test's), which is exactly
+  // why the paper's relaxed window recovers 87% where the strict
+  // after-window finds 71%.
+  util::Rng rng(8);
+  gen::WorkloadConfig wl;
+  wl.days = 28;
+  wl.mean_tests_per_client = 8.0;
+  auto schedule =
+      gen::crowdsourced_schedule(ctx.world, ctx.world.clients, wl, rng);
+  std::vector<gen::TestRequest> plain, battle;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    (i % 2 ? battle : plain).push_back(schedule[i]);
+  }
+
+  measure::Platform mlab = ctx.mlab_platform();
+  measure::CampaignConfig plain_cc;
+  plain_cc.traceroute_failure_prob = 0.12;
+  plain_cc.traceroute_cache_minutes = 20.0;
+  measure::NdtCampaign plain_campaign(ctx.world, ctx.fwd, ctx.model, mlab,
+                                      plain_cc);
+  auto plain_result = plain_campaign.run(plain, rng);
+
+  measure::CampaignConfig battle_cc;
+  battle_cc.servers_per_request = 3;
+  battle_cc.traceroute_failure_prob = 0.12;
+  battle_cc.traceroute_cache_minutes = 20.0;
+  measure::NdtCampaign battle_campaign(ctx.world, ctx.fwd, ctx.model, mlab,
+                                       battle_cc);
+  auto battle_result = battle_campaign.run(battle, rng);
+
+  measure::CampaignResult merged;
+  merged.tests = plain_result.tests;
+  merged.tests.insert(merged.tests.end(), battle_result.tests.begin(),
+                      battle_result.tests.end());
+  merged.traceroutes = plain_result.traceroutes;
+  merged.traceroutes.insert(merged.traceroutes.end(),
+                            battle_result.traceroutes.begin(),
+                            battle_result.traceroutes.end());
+  merged.traceroutes_skipped_busy = plain_result.traceroutes_skipped_busy +
+                                    battle_result.traceroutes_skipped_busy;
+  const measure::CampaignResult& result = merged;
+
+  measure::MatchOptions after_only;
+  measure::MatchStats s_after;
+  measure::match_tests(result.tests, result.traceroutes, *ctx.world.topo,
+                       after_only, &s_after);
+
+  measure::MatchOptions either;
+  either.allow_before = true;
+  measure::MatchStats s_either;
+  measure::match_tests(result.tests, result.traceroutes, *ctx.world.topo,
+                       either, &s_either);
+
+  measure::MatchOptions wide;
+  wide.window_minutes = 60.0;
+  measure::MatchStats s_wide;
+  measure::match_tests(result.tests, result.traceroutes, *ctx.world.topo,
+                       wide, &s_wide);
+
+  auto paper = gen::paper::sec41_matching();
+
+  std::printf("campaign: %zu tests (half via 3-server battle bursts), %zu "
+              "traceroutes, %zu skipped (tracer busy)\n\n",
+              result.tests.size(), result.traceroutes.size(),
+              result.traceroutes_skipped_busy);
+
+  util::TextTable table({"matching window", "matched", "fraction", "paper"});
+  table.add_row({"10 min after test",
+                 util::format("%zu/%zu", s_after.matched, s_after.total_tests),
+                 bench::pct(100.0 * s_after.fraction()),
+                 bench::pct(100.0 * paper.may2015_after_window)});
+  table.add_row({"10 min either side",
+                 util::format("%zu/%zu", s_either.matched, s_either.total_tests),
+                 bench::pct(100.0 * s_either.fraction()),
+                 bench::pct(100.0 * paper.may2015_either_side)});
+  table.add_row({"60 min after test",
+                 util::format("%zu/%zu", s_wide.matched, s_wide.total_tests),
+                 bench::pct(100.0 * s_wide.fraction()), "-"});
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper scale: %s of %s May-2015 tests matched\n",
+              util::with_thousands(paper.may2015_matched).c_str(),
+              util::with_thousands(paper.may2015_total_tests).c_str());
+  bench::print_footnote(
+      "shape target: strictly below 100%, with the relaxed window adding "
+      "roughly 10-20 points, as in the paper (71% -> 87%)");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Section 5.4: change of coverage across the two server-fleet snapshots.
+// Between Oct 2015 and Feb 2017 M-Lab stayed at 261 servers while
+// Speedtest grew 3591 -> 5209, yet coverage of most ISPs' interconnections
+// changed little — placement, not count, is what matters.
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "gen/paper_data.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace netcong;
+  bench::print_header("Section 5.4",
+                      "Coverage change across the 2015 and 2017 snapshots");
+
+  bench::Context ctx(bench::bench_config());
+  auto snap2015 = bench::run_coverage(ctx, /*snapshot_2017=*/false, 9);
+  auto snap2017 = bench::run_coverage(ctx, /*snapshot_2017=*/true, 9);
+
+  auto fleets = gen::paper::sec54_snapshots();
+  std::printf("fleets: M-Lab %zu servers (both snapshots; paper %d/%d), "
+              "Speedtest %zu -> %zu (paper %d -> %d)\n\n",
+              ctx.world.mlab_servers.size(), fleets.mlab_servers_2015,
+              fleets.mlab_servers_2017, ctx.world.speedtest_servers_2015.size(),
+              ctx.world.speedtest_servers_2017.size(),
+              fleets.speedtest_servers_2015, fleets.speedtest_servers_2017);
+
+  util::TextTable table({"VP", "Network", "ST peer % '15", "ST peer % '17",
+                         "delta", "M-Lab peer % (both)"});
+  for (std::size_t i = 0; i < snap2015.size(); ++i) {
+    const auto& a = snap2015[i];
+    const auto& b = snap2017[i];
+    double st15 = core::VpCoverage::pct(a.speedtest_peers.as_level.size(),
+                                        a.discovered_peers.as_level.size());
+    double st17 = core::VpCoverage::pct(b.speedtest_peers.as_level.size(),
+                                        b.discovered_peers.as_level.size());
+    double ml = core::VpCoverage::pct(b.mlab_peers.as_level.size(),
+                                      b.discovered_peers.as_level.size());
+    table.add_row({a.vp_label, a.network, bench::pct(st15), bench::pct(st17),
+                   util::format("%+.1f", st17 - st15), bench::pct(ml)});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_footnote(
+      "paper: Speedtest peer coverage moved only a few points per ISP "
+      "despite 45% fleet growth (e.g. Comcast 69%->78%, Verizon 81%->76%); "
+      "strategic placement, not server count, drives testability");
+  return 0;
+}

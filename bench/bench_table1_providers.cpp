@@ -1,0 +1,46 @@
+// Table 1: US broadband access providers with more than one million
+// subscribers (Q3 2015), and how the generator's client population tracks
+// their subscriber shares.
+
+#include <cstdio>
+
+#include "common.h"
+#include "gen/paper_data.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace netcong;
+  bench::print_header("Table 1", "Broadband access providers (Q3 2015)");
+
+  bench::Context ctx(bench::bench_config());
+
+  util::TextTable table(
+      {"ISP", "Subscribers (paper)", "Sibling ASNs (model)",
+       "Clients (model)", "Client share", "Subscriber share"});
+
+  std::int64_t total_subs = 0;
+  for (const auto& row : gen::paper::table1_providers()) {
+    total_subs += row.subscribers;
+  }
+  std::size_t total_clients = ctx.world.clients.size();
+
+  for (const auto& row : gen::paper::table1_providers()) {
+    std::string name(row.name);
+    std::string model_name = name == "Time Warner Cable" ? "TWC" : name;
+    auto it = ctx.world.isp_asns.find(model_name);
+    std::size_t asns = it == ctx.world.isp_asns.end() ? 0 : it->second.size();
+    std::size_t clients = ctx.world.clients_of(model_name).size();
+    table.add_row(
+        {name, util::with_thousands(row.subscribers), std::to_string(asns),
+         std::to_string(clients),
+         bench::pct(100.0 * static_cast<double>(clients) / total_clients),
+         bench::pct(100.0 * static_cast<double>(row.subscribers) /
+                    static_cast<double>(total_subs))});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_footnote(
+      "client volume follows sqrt(subscribers) so small ISPs still yield "
+      "statistically usable samples, as in crowdsourced reality");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 3 / Section 5.1: bdrmap border-identification statistics per Ark
+// vantage point — AS-level and router-level interdomain interconnections,
+// classified as customer / provider / peer — compared against the paper's
+// published counts (Jan-Feb 2017 campaign).
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "gen/paper_data.h"
+#include "infer/alias.h"
+#include "infer/bdrmap.h"
+#include "measure/ark.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace netcong;
+  bench::print_header(
+      "Table 3", "bdrmap border statistics per Ark vantage point");
+
+  bench::Context ctx(bench::bench_config());
+  infer::AliasResolver aliases(*ctx.world.topo, 0.88, 42);
+
+  std::map<std::string, const gen::paper::BdrmapRow*> paper_rows;
+  for (const auto& row : gen::paper::table3_bdrmap()) {
+    paper_rows[std::string(row.vp)] = &row;
+  }
+
+  util::TextTable table({"Network", "VP", "AS all", "Rtr all", "AS cust",
+                         "Rtr cust", "AS prov", "Rtr prov", "AS peer",
+                         "Rtr peer", "paper AS all", "paper Rtr all"});
+
+  util::Rng rng(3);
+  for (std::uint32_t vp : ctx.world.ark_vps) {
+    const topo::Host& host = ctx.world.topo->host(vp);
+    measure::ArkCampaignOptions opt;
+    auto corpus =
+        measure::ark_full_prefix_campaign(ctx.world, ctx.fwd, vp, opt, rng);
+    auto result = infer::run_bdrmap(corpus, host.asn, ctx.ip2as, ctx.orgs,
+                                    ctx.world.topo->relationships(), aliases);
+    auto counts = result.counts();
+
+    std::string network = "?";
+    auto it = ctx.isp_of.find(host.asn);
+    if (it != ctx.isp_of.end()) network = it->second;
+    const auto* paper =
+        paper_rows.count(host.label) ? paper_rows.at(host.label) : nullptr;
+    table.add_row(
+        {network, host.label, std::to_string(counts.as_total),
+         std::to_string(counts.router_total), std::to_string(counts.as_cust),
+         std::to_string(counts.router_cust), std::to_string(counts.as_prov),
+         std::to_string(counts.router_prov), std::to_string(counts.as_peer),
+         std::to_string(counts.router_peer),
+         paper ? std::to_string(paper->all_as) : "-",
+         paper ? std::to_string(paper->all_router) : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_footnote(
+      "absolute counts scale with the generator's customer_scale "
+      "(NETCONG_BENCH_SCALE); the shape to check is cust >> peer > prov and "
+      "router-level counts exceeding AS-level counts");
+  return 0;
+}

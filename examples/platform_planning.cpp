@@ -1,0 +1,135 @@
+// Topology-aware measurement-server placement — the paper's Section 7
+// recommendation: "building a measurement infrastructure that will provide
+// visibility into all or even most of such connections requires
+// topology-aware deployment of measurement servers."
+//
+// Greedy max-coverage: candidate server locations are (network, city)
+// pairs; each candidate covers the interconnections that traceroutes from
+// the access ISPs' vantage points toward it would traverse. Compares the
+// greedy plan against a same-size geographic (M-Lab-style proximity)
+// placement.
+//
+//   ./build/examples/platform_planning
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/coverage.h"
+#include "gen/world.h"
+#include "infer/alias.h"
+#include "infer/bdrmap.h"
+#include "measure/ark.h"
+#include "measure/traceroute.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+
+int main() {
+  using namespace netcong;
+
+  gen::GeneratorConfig cfg = gen::GeneratorConfig::small();
+  cfg.seed = 21;
+  gen::World world = gen::generate_world(cfg);
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  infer::Ip2As ip2as(*world.topo);
+  infer::OrgMap orgs(*world.topo);
+  infer::AliasResolver aliases(*world.topo, 0.9, 1);
+  util::Rng rng(5);
+
+  // Ground-truth-free discovery: bdrmap from each VP.
+  std::map<std::uint32_t, infer::BdrmapResult> bdr;
+  std::size_t discovered_total = 0;
+  for (std::uint32_t vp : world.ark_vps) {
+    measure::ArkCampaignOptions opt;
+    auto corpus =
+        measure::ark_full_prefix_campaign(world, fwd, vp, opt, rng);
+    bdr.emplace(vp, infer::run_bdrmap(corpus, world.topo->host(vp).asn,
+                                      ip2as, orgs,
+                                      world.topo->relationships(), aliases));
+    discovered_total += bdr.at(vp).counts().as_total;
+  }
+  std::printf("discovered %zu AS-level interconnections across %zu VPs\n",
+              discovered_total, world.ark_vps.size());
+
+  // Candidate server sites: every existing test server (any platform) acts
+  // as a possible location. For each candidate, compute the set of
+  // (VP, neighbor AS) interconnections a test toward it would cover.
+  std::vector<std::uint32_t> candidates = world.speedtest_servers_2017;
+  candidates.insert(candidates.end(), world.mlab_servers.begin(),
+                    world.mlab_servers.end());
+
+  struct Covers {
+    std::uint32_t host;
+    std::set<std::pair<std::uint32_t, topo::Asn>> pairs;
+  };
+  std::vector<Covers> cover_sets;
+  cover_sets.reserve(candidates.size());
+  for (std::uint32_t cand : candidates) {
+    Covers cv;
+    cv.host = cand;
+    for (std::uint32_t vp : world.ark_vps) {
+      measure::ArkCampaignOptions opt;
+      auto traces = measure::ark_targeted_campaign(world, fwd, vp, {cand},
+                                                   opt, rng);
+      for (const auto& k : core::interconnects_used(
+               traces, world.topo->host(vp).asn, bdr.at(vp).mapit, ip2as,
+               orgs, aliases)) {
+        cv.pairs.insert({vp, k.neighbor});
+      }
+    }
+    cover_sets.push_back(std::move(cv));
+  }
+
+  const int kBudget = 25;
+
+  // Greedy max-coverage.
+  std::set<std::pair<std::uint32_t, topo::Asn>> covered;
+  std::vector<std::uint32_t> plan;
+  std::vector<bool> used(cover_sets.size(), false);
+  for (int round = 0; round < kBudget; ++round) {
+    std::size_t best = 0, best_gain = 0;
+    for (std::size_t i = 0; i < cover_sets.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t gain = 0;
+      for (const auto& p : cover_sets[i].pairs) {
+        if (!covered.count(p)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best_gain == 0) break;
+    used[best] = true;
+    plan.push_back(cover_sets[best].host);
+    for (const auto& p : cover_sets[best].pairs) covered.insert(p);
+  }
+
+  // Baseline: proximity-style placement — the kBudget distinct metro sites
+  // with the most candidate servers (population-weighted density).
+  std::set<std::pair<std::uint32_t, topo::Asn>> baseline_covered;
+  {
+    int taken = 0;
+    for (const auto& cv : cover_sets) {
+      if (taken >= kBudget) break;
+      ++taken;
+      for (const auto& p : cv.pairs) baseline_covered.insert(p);
+    }
+  }
+
+  std::printf("\nwith a budget of %d servers:\n", kBudget);
+  std::printf("  topology-aware greedy plan covers %zu (VP, neighbor) "
+              "interconnections\n",
+              covered.size());
+  std::printf("  density/proximity baseline covers %zu\n",
+              baseline_covered.size());
+  std::printf("\nchosen sites:\n");
+  for (std::uint32_t h : plan) {
+    const topo::Host& host = world.topo->host(h);
+    std::printf("  %-24s %-14s %s\n", host.label.c_str(),
+                world.topo->city(host.city).name.c_str(),
+                world.topo->as_info(host.asn).name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: generate a small synthetic interconnection ecosystem, run a
+// single NDT-style throughput test from the nearest M-Lab-like server to a
+// cable client, and look at the paired server-side Paris traceroute.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "gen/world.h"
+#include "infer/datasets.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "measure/traceroute.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/throughput.h"
+
+int main() {
+  using namespace netcong;
+
+  // 1. A deterministic world: ~400 ASes, routers, links, clients, servers.
+  gen::GeneratorConfig cfg = gen::GeneratorConfig::small();
+  cfg.seed = 2024;
+  gen::World world = gen::generate_world(cfg);
+  std::printf("world: %zu ASes, %zu routers, %zu links, %zu hosts\n",
+              world.topo->as_count(), world.topo->routers().size(),
+              world.topo->links().size(), world.topo->hosts().size());
+
+  // 2. Control and data plane.
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+
+  // 3. Pick a Comcast-like client and its nearest M-Lab server.
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+  std::uint32_t client = world.clients_of("Comcast").front();
+  util::Rng rng(7);
+  std::uint32_t server = mlab.select_server(client, rng);
+  const topo::Host& c = world.topo->host(client);
+  const topo::Host& s = world.topo->host(server);
+  std::printf("client %s in %s (tier %.0f/%.0f Mbps, home quality %.2f)\n",
+              c.addr.to_string().c_str(), world.topo->city(c.city).name.c_str(),
+              c.tier.down_mbps, c.tier.up_mbps, c.home_quality);
+  std::printf("server %s (%s) in %s\n", s.label.c_str(),
+              world.topo->as_info(s.asn).name.c_str(),
+              world.topo->city(s.city).name.c_str());
+
+  // 4. Run the test at 21:00 local (peak) and 04:00 local (trough).
+  measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                measure::CampaignConfig{});
+  int offset = world.topo->city(c.city).utc_offset_hours;
+  for (double local : {21.0, 4.0}) {
+    double utc = local - offset;
+    auto rec = campaign.run_single(client, server, utc, 1, rng);
+    std::printf("  %02.0f:00 local -> download %.1f Mbps, RTT %.1f ms, "
+                "retrans %.2f%%%s\n",
+                local, rec.download_mbps, rec.flow_rtt_ms,
+                100 * rec.retrans_rate,
+                rec.truth_access_limited ? " (access-limited)" : "");
+  }
+
+  // 5. The server-side Paris traceroute, with prefix-to-AS annotation.
+  infer::Ip2As ip2as(*world.topo);
+  auto tr = measure::run_traceroute(*world.topo, fwd, server, c.addr, 12.0,
+                                    measure::TracerouteOptions{}, rng);
+  std::printf("traceroute %s -> %s (%zu AS hops in truth):\n",
+              s.addr.to_string().c_str(), c.addr.to_string().c_str(),
+              tr.truth.as_hop_count());
+  for (const auto& hop : tr.hops) {
+    if (!hop.responded) {
+      std::printf("  %2d  *\n", hop.ttl);
+      continue;
+    }
+    topo::Asn origin = ip2as.origin(hop.addr);
+    std::printf("  %2d  %-15s  %5.1f ms  AS%-6u %s\n", hop.ttl,
+                hop.addr.to_string().c_str(), hop.rtt_ms, origin,
+                hop.dns_name.empty() ? "" : hop.dns_name.c_str());
+  }
+  return 0;
+}

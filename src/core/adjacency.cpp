@@ -1,0 +1,89 @@
+#include "core/adjacency.h"
+
+#include <algorithm>
+
+namespace netcong::core {
+
+int as_hops_on_traceroute(const measure::TracerouteRecord& trace,
+                          topo::Asn server_asn, topo::Asn client_asn,
+                          const infer::MapItResult& mapit,
+                          const infer::Ip2As& ip2as,
+                          const infer::OrgMap& orgs) {
+  // Operating-AS run-length sequence along the trace, collapsed by org,
+  // ignoring unresolved hops (stars or unmapped addresses).
+  struct Run {
+    std::uint32_t org;
+    int hops;
+  };
+  std::vector<Run> runs;
+  auto push_asn = [&](topo::Asn asn, int weight) {
+    if (asn == 0) return;
+    std::uint32_t org = orgs.org_of(asn);
+    if (org == 0) return;
+    if (!runs.empty() && runs.back().org == org) {
+      runs.back().hops += weight;
+    } else {
+      runs.push_back(Run{org, weight});
+    }
+  };
+
+  // Endpoints are known from test metadata and anchor the sequence firmly.
+  push_asn(server_asn, 2);
+  for (const auto& hop : trace.hops) {
+    if (!hop.responded) continue;
+    topo::Asn op = mapit.op(hop.addr);
+    if (op == 0) op = ip2as.origin(hop.addr);
+    push_asn(op, 1);
+  }
+  push_asn(client_asn, 2);
+
+  // Standard traceroute-interpretation hygiene (cf. Luckie et al. [25]):
+  // an org supported by a single interface wedged between two other orgs is
+  // most likely a third-party address or a misassigned border interface —
+  // drop such interior runs, then re-merge.
+  std::vector<std::uint32_t> org_seq;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].hops == 1 && i > 0 && i + 1 < runs.size()) continue;
+    if (org_seq.empty() || org_seq.back() != runs[i].org) {
+      org_seq.push_back(runs[i].org);
+    }
+  }
+
+  if (org_seq.size() < 2) return -1;
+  if (org_seq.front() != orgs.org_of(server_asn)) return -1;
+  if (org_seq.back() != orgs.org_of(client_asn)) return -1;
+  return static_cast<int>(org_seq.size()) - 1;
+}
+
+std::vector<AdjacencyStats> analyze_adjacency(
+    const std::vector<measure::MatchedTest>& matched,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs,
+    const std::map<topo::Asn, std::string>& isp_of) {
+  std::map<std::string, AdjacencyStats> by_isp;
+  for (const auto& m : matched) {
+    if (!m.traceroute) continue;
+    auto it = isp_of.find(m.test->client_asn);
+    if (it == isp_of.end()) continue;
+    AdjacencyStats& s = by_isp[it->second];
+    s.isp = it->second;
+    s.matched_tests++;
+    int hops = as_hops_on_traceroute(*m.traceroute, m.test->server_asn,
+                                     m.test->client_asn, mapit, ip2as, orgs);
+    if (hops < 0) {
+      s.unresolved++;
+    } else if (hops <= 1) {
+      s.one_hop++;
+    } else if (hops == 2) {
+      s.two_hops++;
+    } else {
+      s.more_hops++;
+    }
+  }
+  std::vector<AdjacencyStats> out;
+  out.reserve(by_isp.size());
+  for (auto& [name, s] : by_isp) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace netcong::core

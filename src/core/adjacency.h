@@ -1,0 +1,50 @@
+#pragma once
+
+// AS-hop adjacency analysis (paper Figure 1 / Section 4.2): for matched
+// NDT tests, walk the paired traceroute through the MAP-IT operating-AS
+// assignment, collapse sibling ASes by organization, and count the AS hops
+// between the server's org and the client's org. Assumption 2 of simplified
+// AS-level tomography holds only for the one-hop fraction.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "infer/datasets.h"
+#include "infer/mapit.h"
+#include "measure/matching.h"
+
+namespace netcong::core {
+
+struct AdjacencyStats {
+  std::string isp;
+  std::size_t matched_tests = 0;   // tests with a usable traceroute
+  std::size_t one_hop = 0;
+  std::size_t two_hops = 0;
+  std::size_t more_hops = 0;
+  std::size_t unresolved = 0;      // traceroute could not be interpreted
+
+  double one_hop_fraction() const {
+    std::size_t n = one_hop + two_hops + more_hops;
+    return n == 0 ? 0.0 : static_cast<double>(one_hop) / n;
+  }
+};
+
+// AS-hop count between server org and client org along one traceroute:
+// the number of org transitions in the operating-AS sequence. Returns -1
+// when the traceroute cannot be interpreted (unresolved hops at a
+// boundary, wrong endpoints).
+int as_hops_on_traceroute(const measure::TracerouteRecord& trace,
+                          topo::Asn server_asn, topo::Asn client_asn,
+                          const infer::MapItResult& mapit,
+                          const infer::Ip2As& ip2as, const infer::OrgMap& orgs);
+
+// Aggregates matched tests per client ISP. `isp_of` maps a client ASN to a
+// display name (empty = skip the test).
+std::vector<AdjacencyStats> analyze_adjacency(
+    const std::vector<measure::MatchedTest>& matched,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs,
+    const std::map<topo::Asn, std::string>& isp_of);
+
+}  // namespace netcong::core

@@ -1,0 +1,56 @@
+#include "core/as_tomography.h"
+
+#include <cmath>
+
+namespace netcong::core {
+
+std::vector<AsTomographyCall> as_level_tomography(
+    const std::map<GroupKey, DiurnalGroup>& groups, double drop_threshold,
+    std::size_t min_samples) {
+  // Pass 1: per-group degradation.
+  struct Row {
+    GroupKey key;
+    stats::DiurnalComparison cmp;
+    bool degraded = false;
+    bool usable = false;
+    std::size_t tests = 0;
+  };
+  std::vector<Row> rows;
+  for (const auto& [key, g] : groups) {
+    Row r;
+    r.key = key;
+    r.tests = g.tests;
+    r.cmp = stats::compare_peak_offpeak(g.throughput);
+    r.usable = r.cmp.peak_count >= min_samples &&
+               r.cmp.offpeak_count >= min_samples &&
+               !std::isnan(r.cmp.relative_drop);
+    r.degraded = r.usable && r.cmp.relative_drop >= drop_threshold;
+    rows.push_back(std::move(r));
+  }
+
+  // Pass 2: client-side factors are ruled out for ISP A when at least one
+  // other source shows a clean (usable, non-degraded) signal to A.
+  std::map<std::string, std::size_t> clean_sources;
+  for (const auto& r : rows) {
+    if (r.usable && !r.degraded) clean_sources[r.key.isp]++;
+  }
+
+  std::vector<AsTomographyCall> out;
+  for (const auto& r : rows) {
+    AsTomographyCall call;
+    call.source = r.key.source;
+    call.isp = r.key.isp;
+    call.relative_drop = r.cmp.relative_drop;
+    call.usable = r.usable;
+    call.degraded = r.degraded;
+    call.tests = r.tests;
+    call.peak_samples = r.cmp.peak_count;
+    call.offpeak_samples = r.cmp.offpeak_count;
+    call.client_side_ruled_out = clean_sources[r.key.isp] > 0;
+    call.congestion_inferred = r.degraded && call.client_side_ruled_out;
+    out.push_back(std::move(call));
+  }
+  return out;
+}
+
+}  // namespace netcong::core

@@ -1,0 +1,61 @@
+#pragma once
+
+// Simplified AS-level tomography (paper Section 3.1) with explicit checks
+// of its three assumptions. The method: if tests from source network S1 to
+// access ISP A degrade at peak while tests from S2 to A do not, the
+// client-side access/home explanation is ruled out and the degradation is
+// attributed to the S1-A interconnection. Correctness then rests on:
+//   A1 — no congestion internal to ASes;
+//   A2 — the server and client ASes are directly connected;
+//   A3 — all router-level interconnections behave alike.
+// Each assumption has a checker here; A1 can only be checked against
+// simulation ground truth (the paper had no data for it either).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/adjacency.h"
+#include "core/diurnal.h"
+#include "core/stratify.h"
+
+namespace netcong::core {
+
+struct AsTomographyCall {
+  std::string source;  // source network label
+  std::string isp;
+  double relative_drop = 0.0;
+  // Enough samples in both the peak and off-peak windows to compare at all
+  // (the paper's Section 6.1 sparse-sample problem when false).
+  bool usable = false;
+  bool degraded = false;         // diurnal degradation observed
+  bool client_side_ruled_out = false;  // some other source to this ISP is clean
+  bool congestion_inferred = false;  // final call: interdomain link S-A congested
+  std::size_t tests = 0;
+  std::size_t peak_samples = 0;
+  std::size_t offpeak_samples = 0;
+};
+
+// Runs the full simplified-tomography inference over diurnal groups.
+std::vector<AsTomographyCall> as_level_tomography(
+    const std::map<GroupKey, DiurnalGroup>& groups, double drop_threshold,
+    std::size_t min_samples = 20);
+
+struct AssumptionReport {
+  // A2: fraction of matched tests (per ISP) with server and client orgs
+  // directly connected.
+  std::vector<AdjacencyStats> a2_adjacency;
+  // A3: per (server org, client AS) spread of per-link diurnal drops; a
+  // large spread means the AS-level aggregate mixes dissimilar links.
+  struct A3Entry {
+    topo::Asn server_asn = 0;
+    topo::Asn client_asn = 0;
+    std::size_t ip_links = 0;
+    double drop_spread = 0.0;
+  };
+  std::vector<A3Entry> a3_diversity;
+  // A1 (ground truth only): congested internal links present in the world.
+  std::size_t a1_internal_congested = 0;
+};
+
+}  // namespace netcong::core

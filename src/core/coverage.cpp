@@ -1,0 +1,99 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+
+namespace netcong::core {
+
+std::vector<InterconnectKey> interconnects_used(
+    const std::vector<measure::TracerouteRecord>& corpus, topo::Asn vp_as,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs, const infer::AliasResolver& aliases) {
+  std::uint32_t vp_org = orgs.org_of(vp_as);
+  std::set<InterconnectKey> seen;
+  for (const auto& tr : corpus) {
+    topo::Asn prev_op = 0;
+    topo::IpAddr prev;
+    bool have_prev = false;
+    for (const auto& hop : tr.hops) {
+      if (!hop.responded) {
+        have_prev = false;
+        continue;
+      }
+      topo::Asn op = mapit.op(hop.addr);
+      if (op == 0) op = ip2as.origin(hop.addr);
+      if (have_prev && prev_op != 0 && op != 0 &&
+          orgs.org_of(prev_op) == vp_org && orgs.org_of(op) != vp_org) {
+        seen.insert(InterconnectKey{op, aliases.group(hop.addr)});
+        break;  // first exit from the VP network defines the interconnect
+      }
+      if (op != 0) {
+        prev = hop.addr;
+        prev_op = op;
+        have_prev = true;
+      }
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+VpCoverage analyze_coverage(
+    const std::string& vp_label, const std::string& network,
+    const infer::BdrmapResult& bdrmap,
+    const std::vector<measure::TracerouteRecord>& to_mlab,
+    const std::vector<measure::TracerouteRecord>& to_speedtest,
+    const std::vector<measure::TracerouteRecord>& to_alexa,
+    const infer::Ip2As& ip2as, const infer::OrgMap& orgs,
+    const infer::AliasResolver& aliases) {
+  VpCoverage cov;
+  cov.vp_label = vp_label;
+  cov.network = network;
+
+  std::set<topo::Asn> peer_asns;
+  for (const auto& b : bdrmap.borders) {
+    cov.discovered.as_level.insert(b.neighbor);
+    bool is_peer = b.rel == topo::RelType::kPeer;
+    if (is_peer) {
+      cov.discovered_peers.as_level.insert(b.neighbor);
+      peer_asns.insert(b.neighbor);
+    }
+    for (std::uint64_t r : b.far_routers) {
+      InterconnectKey k{b.neighbor, r};
+      cov.discovered.router_level.insert(k);
+      if (is_peer) cov.discovered_peers.router_level.insert(k);
+    }
+  }
+
+  auto fill = [&](const std::vector<measure::TracerouteRecord>& corpus,
+                  CoverageSet& all, CoverageSet* peers) {
+    for (const InterconnectKey& k :
+         interconnects_used(corpus, bdrmap.vp_as, bdrmap.mapit, ip2as, orgs,
+                            aliases)) {
+      all.add(k);
+      if (peers && peer_asns.count(k.neighbor)) peers->add(k);
+    }
+  };
+  fill(to_mlab, cov.mlab, &cov.mlab_peers);
+  fill(to_speedtest, cov.speedtest, &cov.speedtest_peers);
+  fill(to_alexa, cov.alexa, nullptr);
+  return cov;
+}
+
+OverlapStats overlap(const CoverageSet& platform, const CoverageSet& alexa) {
+  OverlapStats s;
+  s.alexa_total_as = alexa.as_level.size();
+  for (topo::Asn a : platform.as_level) {
+    if (!alexa.as_level.count(a)) ++s.platform_not_alexa_as;
+  }
+  for (topo::Asn a : alexa.as_level) {
+    if (!platform.as_level.count(a)) ++s.alexa_not_platform_as;
+  }
+  for (const auto& k : platform.router_level) {
+    if (!alexa.router_level.count(k)) ++s.platform_not_alexa_router;
+  }
+  for (const auto& k : alexa.router_level) {
+    if (!platform.router_level.count(k)) ++s.alexa_not_platform_router;
+  }
+  return s;
+}
+
+}  // namespace netcong::core

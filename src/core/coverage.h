@@ -1,0 +1,86 @@
+#pragma once
+
+// Interconnection-coverage analysis (paper Section 5, Figures 2-4): which
+// of an access network's interdomain interconnections — as discovered by
+// bdrmap from a vantage point inside it — appear on traceroute paths toward
+// a measurement platform's servers, and how does that compare with the
+// interconnections used to reach popular web content?
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "infer/bdrmap.h"
+#include "measure/traceroute.h"
+
+namespace netcong::core {
+
+// One interconnection of the VP network, identified at the AS level by the
+// neighbor ASN and at the router level by the far-side alias group.
+struct InterconnectKey {
+  topo::Asn neighbor = 0;
+  std::uint64_t far_router = 0;
+
+  bool operator<(const InterconnectKey& o) const {
+    if (neighbor != o.neighbor) return neighbor < o.neighbor;
+    return far_router < o.far_router;
+  }
+};
+
+// Extracts the set of interconnections of `vp_as` traversed by the corpus:
+// the first crossing out of the VP's org on each traceroute.
+std::vector<InterconnectKey> interconnects_used(
+    const std::vector<measure::TracerouteRecord>& corpus, topo::Asn vp_as,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs, const infer::AliasResolver& aliases);
+
+struct CoverageSet {
+  std::set<topo::Asn> as_level;
+  std::set<InterconnectKey> router_level;
+
+  void add(const InterconnectKey& k) {
+    as_level.insert(k.neighbor);
+    router_level.insert(k);
+  }
+};
+
+struct VpCoverage {
+  std::string vp_label;
+  std::string network;
+
+  // Discovered by bdrmap (the denominator).
+  CoverageSet discovered;
+  CoverageSet discovered_peers;  // restricted to peer relationships
+
+  // Covered via traceroutes to each platform's servers / content targets.
+  CoverageSet mlab, mlab_peers;
+  CoverageSet speedtest, speedtest_peers;
+  CoverageSet alexa;
+
+  static double pct(std::size_t covered, std::size_t total) {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(covered) / total;
+  }
+};
+
+// Builds the per-VP coverage record from a bdrmap result and the three
+// targeted corpora. Relationship annotations come from the bdrmap borders.
+VpCoverage analyze_coverage(
+    const std::string& vp_label, const std::string& network,
+    const infer::BdrmapResult& bdrmap,
+    const std::vector<measure::TracerouteRecord>& to_mlab,
+    const std::vector<measure::TracerouteRecord>& to_speedtest,
+    const std::vector<measure::TracerouteRecord>& to_alexa,
+    const infer::Ip2As& ip2as, const infer::OrgMap& orgs,
+    const infer::AliasResolver& aliases);
+
+// Set-difference sizes for the Figure 4 overlap analysis.
+struct OverlapStats {
+  std::size_t platform_not_alexa_as = 0;
+  std::size_t alexa_not_platform_as = 0;
+  std::size_t platform_not_alexa_router = 0;
+  std::size_t alexa_not_platform_router = 0;
+  std::size_t alexa_total_as = 0;
+};
+OverlapStats overlap(const CoverageSet& platform, const CoverageSet& alexa);
+
+}  // namespace netcong::core

@@ -1,0 +1,68 @@
+#include "core/diurnal.h"
+
+#include <cmath>
+
+#include "sim/diurnal.h"
+
+namespace netcong::core {
+
+std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
+    const std::vector<measure::NdtRecord>& tests, const gen::World& world,
+    const std::function<std::string(const measure::NdtRecord&)>& source_of,
+    const std::function<std::string(const measure::NdtRecord&)>& isp_of) {
+  std::map<GroupKey, DiurnalGroup> groups;
+  for (const auto& t : tests) {
+    if (t.download_mbps <= 0.0) continue;
+    std::string source = source_of(t);
+    std::string isp = isp_of(t);
+    if (source.empty() || isp.empty()) continue;
+    GroupKey key{source, isp};
+    DiurnalGroup& g = groups[key];
+    g.source = source;
+    g.isp = isp;
+    int offset =
+        world.topo->city(world.topo->host(t.client).city).utc_offset_hours;
+    double local =
+        sim::local_hour(std::fmod(t.utc_time_hours, 24.0), offset);
+    g.throughput.add(local, t.download_mbps);
+    g.rtt.add(local, t.flow_rtt_ms);
+    g.retrans.add(local, t.retrans_rate);
+    g.tests++;
+  }
+  return groups;
+}
+
+std::vector<CongestionCall> infer_congestion(
+    const std::map<GroupKey, DiurnalGroup>& groups, double drop_threshold,
+    std::size_t min_samples) {
+  std::vector<CongestionCall> out;
+  for (const auto& [key, g] : groups) {
+    CongestionCall call;
+    call.key = key;
+    call.tests = g.tests;
+    call.comparison = stats::compare_peak_offpeak(g.throughput);
+    call.congested = call.comparison.peak_count >= min_samples &&
+                     call.comparison.offpeak_count >= min_samples &&
+                     !std::isnan(call.comparison.relative_drop) &&
+                     call.comparison.relative_drop >= drop_threshold;
+    out.push_back(std::move(call));
+  }
+  return out;
+}
+
+bool truth_pair_congested(const gen::World& world, topo::Asn source_asn,
+                          const std::string& isp_name) {
+  auto it = world.isp_asns.find(isp_name);
+  if (it == world.isp_asns.end()) return false;
+  const topo::Topology& topo = *world.topo;
+  for (topo::Asn isp_asn : it->second) {
+    for (topo::Asn src_sib : topo.siblings_of(source_asn)) {
+      for (topo::LinkId l : topo.interdomain_links(src_sib, isp_asn)) {
+        if (world.traffic->congested_at_peak(l)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace netcong::core

@@ -1,0 +1,65 @@
+#pragma once
+
+// Diurnal throughput analysis and M-Lab-style congestion inference (paper
+// Figure 5 / Sections 3.1 and 6): group NDT tests by (server-side network,
+// client ISP), bin by the client's local hour, and flag groups whose
+// peak-hour throughput drops below off-peak by more than a threshold.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/world.h"
+#include "measure/ndt.h"
+#include "stats/timeseries.h"
+
+namespace netcong::core {
+
+struct DiurnalGroup {
+  std::string source;  // server-side label, e.g. "GTT/Atlanta"
+  std::string isp;     // client ISP
+  stats::HourlySeries throughput;
+  stats::HourlySeries rtt;
+  stats::HourlySeries retrans;
+  std::size_t tests = 0;
+};
+
+// Key selector: how tests are aggregated into groups.
+struct GroupKey {
+  std::string source;
+  std::string isp;
+  bool operator<(const GroupKey& o) const {
+    if (source != o.source) return source < o.source;
+    return isp < o.isp;
+  }
+};
+
+// Builds diurnal groups; local hour is the client's local time (the axis
+// in the paper's Figure 5). `source_of` labels each test's server
+// (e.g. host-transit name + city), `isp_of` its client ISP; empty string
+// skips the test.
+std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
+    const std::vector<measure::NdtRecord>& tests, const gen::World& world,
+    const std::function<std::string(const measure::NdtRecord&)>& source_of,
+    const std::function<std::string(const measure::NdtRecord&)>& isp_of);
+
+struct CongestionCall {
+  GroupKey key;
+  stats::DiurnalComparison comparison;
+  bool congested = false;  // inferred
+  std::size_t tests = 0;
+};
+
+// M-Lab-style inference: congested iff the relative peak drop exceeds the
+// threshold and both windows have at least min_samples.
+std::vector<CongestionCall> infer_congestion(
+    const std::map<GroupKey, DiurnalGroup>& groups, double drop_threshold,
+    std::size_t min_samples = 20);
+
+// Ground-truth check for a call: does any interdomain link between the
+// source org and the ISP org exceed capacity at peak in the traffic model?
+bool truth_pair_congested(const gen::World& world, topo::Asn source_asn,
+                          const std::string& isp_name);
+
+}  // namespace netcong::core

@@ -1,0 +1,122 @@
+#include "core/link_diversity.h"
+
+#include <algorithm>
+
+namespace netcong::core {
+
+std::size_t ClientAsDiversity::total_tests() const {
+  std::size_t n = 0;
+  for (const auto& l : links) n += l.tests;
+  return n;
+}
+
+std::vector<ClientAsDiversity> analyze_link_diversity(
+    const std::vector<measure::MatchedTest>& matched, topo::Asn server_asn,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs,
+    const std::map<topo::Asn, std::string>& isp_of,
+    const std::map<std::uint32_t, std::string>& dns_of) {
+  std::uint32_t server_org = orgs.org_of(server_asn);
+
+  // (client_asn, near, far) -> usage
+  struct Key {
+    topo::Asn client;
+    std::uint32_t near, far;
+    bool operator<(const Key& o) const {
+      return std::tie(client, near, far) < std::tie(o.client, o.near, o.far);
+    }
+  };
+  std::map<Key, std::size_t> counts;
+
+  auto dns_for = [&](std::uint32_t addr) -> std::string {
+    auto it = dns_of.find(addr);
+    return it == dns_of.end() ? std::string() : it->second;
+  };
+
+  for (const auto& m : matched) {
+    if (!m.traceroute) continue;
+    if (orgs.org_of(m.test->server_asn) != server_org) continue;
+    auto isp_it = isp_of.find(m.test->client_asn);
+    if (isp_it == isp_of.end()) continue;
+    std::uint32_t client_org = orgs.org_of(m.test->client_asn);
+
+    // Find the hop pair crossing directly from the server org into the
+    // client org.
+    topo::IpAddr prev;
+    bool have_prev = false;
+    topo::Asn prev_op = 0;
+    for (const auto& hop : m.traceroute->hops) {
+      if (!hop.responded) {
+        have_prev = false;
+        continue;
+      }
+      topo::Asn op = mapit.op(hop.addr);
+      if (op == 0) op = ip2as.origin(hop.addr);
+      if (have_prev && prev_op != 0 && op != 0 &&
+          orgs.org_of(prev_op) == server_org &&
+          orgs.org_of(op) == client_org && server_org != client_org) {
+        counts[Key{m.test->client_asn, prev.value, hop.addr.value}]++;
+        break;
+      }
+      if (op != 0) {
+        prev = hop.addr;
+        prev_op = op;
+        have_prev = true;
+      }
+    }
+  }
+
+  std::map<topo::Asn, ClientAsDiversity> by_client;
+  for (const auto& [key, n] : counts) {
+    ClientAsDiversity& d = by_client[key.client];
+    d.client_asn = key.client;
+    d.isp = isp_of.at(key.client);
+    IpLinkUsage u;
+    u.near_addr = topo::IpAddr(key.near);
+    u.far_addr = topo::IpAddr(key.far);
+    u.tests = n;
+    u.near_dns = dns_for(key.near);
+    u.far_dns = dns_for(key.far);
+    d.links.push_back(std::move(u));
+  }
+
+  std::vector<ClientAsDiversity> out;
+  for (auto& [asn, d] : by_client) {
+    std::sort(d.links.begin(), d.links.end(),
+              [](const IpLinkUsage& a, const IpLinkUsage& b) {
+                return a.tests > b.tests;
+              });
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<DnsRouterGroup> group_links_by_dns(const ClientAsDiversity& d) {
+  std::map<std::string, DnsRouterGroup> groups;
+  for (const auto& link : d.links) {
+    // Prefer the near-side name (the transit's PTR names the access peer,
+    // as in "COX-COMMUNI.edge5.Dallas3.Level3.net").
+    std::string key = "(no PTR)";
+    for (const std::string& name : {link.near_dns, link.far_dns}) {
+      if (name.empty()) continue;
+      auto parts = topo::parse_interdomain_dns_name(name);
+      if (parts) {
+        key = parts->router_name + "." + parts->city_tag;
+        break;
+      }
+    }
+    DnsRouterGroup& g = groups[key];
+    g.router_and_city = key;
+    g.links++;
+    g.tests += link.tests;
+  }
+  std::vector<DnsRouterGroup> out;
+  for (auto& [k, g] : groups) out.push_back(std::move(g));
+  std::sort(out.begin(), out.end(),
+            [](const DnsRouterGroup& a, const DnsRouterGroup& b) {
+              return a.links > b.links;
+            });
+  return out;
+}
+
+}  // namespace netcong::core

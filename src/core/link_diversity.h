@@ -1,0 +1,57 @@
+#pragma once
+
+// IP-level interdomain link diversity behind an AS-level aggregate (paper
+// Table 2 / Section 4.3, Assumption 3): for tests from one server, identify
+// which IP-level interdomain link each test crossed into the client's
+// network, count tests per link, and use reverse-DNS naming to group
+// apparent links into router-level interconnects (the Cox parallel-link
+// analysis).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "infer/datasets.h"
+#include "infer/mapit.h"
+#include "measure/matching.h"
+#include "topo/dns.h"
+
+namespace netcong::core {
+
+struct IpLinkUsage {
+  topo::IpAddr near_addr;
+  topo::IpAddr far_addr;
+  std::size_t tests = 0;
+  std::string near_dns;  // PTR of the near-side interface, if seen
+  std::string far_dns;
+};
+
+struct ClientAsDiversity {
+  topo::Asn client_asn = 0;
+  std::string isp;
+  std::vector<IpLinkUsage> links;  // sorted by tests, descending
+
+  std::size_t total_tests() const;
+};
+
+// For matched tests from `server_asn`'s org toward clients, find the
+// crossing from the server org into the client org on each traceroute and
+// aggregate per client ASN. Tests whose path never crosses directly
+// (multi-hop) are skipped — Table 2 concerns direct interconnections.
+std::vector<ClientAsDiversity> analyze_link_diversity(
+    const std::vector<measure::MatchedTest>& matched, topo::Asn server_asn,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs,
+    const std::map<topo::Asn, std::string>& isp_of,
+    const std::map<std::uint32_t, std::string>& dns_of);
+
+// DNS-based router grouping (the 39-link Cox case): groups a client AS's
+// links by (router token, city tag) parsed from the near-side PTR.
+struct DnsRouterGroup {
+  std::string router_and_city;  // "edge5.Dallas3"
+  std::size_t links = 0;
+  std::size_t tests = 0;
+};
+std::vector<DnsRouterGroup> group_links_by_dns(const ClientAsDiversity& d);
+
+}  // namespace netcong::core

@@ -1,0 +1,142 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "sim/diurnal.h"
+#include "stats/descriptive.h"
+
+namespace netcong::core {
+
+namespace {
+
+bool day_degraded(const ReportCell& c, std::size_t day, double fraction) {
+  if (day >= c.daily_peak_median_mbps.size()) return false;
+  double peak = c.daily_peak_median_mbps[day];
+  double off = c.daily_offpeak_median_mbps[day];
+  if (std::isnan(peak) || std::isnan(off) || off <= 0.0) return false;
+  return peak < fraction * off;
+}
+
+}  // namespace
+
+int ReportCell::degraded_days(double degraded_fraction) const {
+  int n = 0;
+  for (std::size_t d = 0; d < daily_peak_median_mbps.size(); ++d) {
+    n += day_degraded(*this, d, degraded_fraction) ? 1 : 0;
+  }
+  return n;
+}
+
+int ReportCell::longest_degraded_streak(double degraded_fraction) const {
+  int best = 0, cur = 0;
+  for (std::size_t d = 0; d < daily_peak_median_mbps.size(); ++d) {
+    if (day_degraded(*this, d, degraded_fraction)) {
+      best = std::max(best, ++cur);
+    } else {
+      cur = 0;
+    }
+  }
+  return best;
+}
+
+InterconnectReport build_interconnect_report(
+    const std::vector<measure::NdtRecord>& tests, const gen::World& world,
+    const std::map<topo::Asn, std::string>& isp_of,
+    const ReportOptions& options) {
+  const topo::Topology& topo = *world.topo;
+
+  struct Key {
+    std::string source, isp, metro;
+    bool operator<(const Key& o) const {
+      return std::tie(source, isp, metro) <
+             std::tie(o.source, o.isp, o.metro);
+    }
+  };
+  struct Accum {
+    // [day][window]: window 0 = peak, 1 = offpeak
+    std::vector<std::array<std::vector<double>, 2>> tput;
+    std::vector<std::vector<double>> rtt;
+    std::vector<std::vector<double>> retrans;
+    std::vector<std::size_t> count;
+    std::size_t total = 0;
+  };
+  std::map<Key, Accum> cells;
+
+  auto in_window = [](double local, int from, int to) {
+    int h = static_cast<int>(local);
+    if (from <= to) return h >= from && h <= to;
+    return h >= from || h <= to;
+  };
+
+  for (const auto& t : tests) {
+    if (t.download_mbps <= 0.0) continue;
+    auto isp_it = isp_of.find(t.client_asn);
+    if (isp_it == isp_of.end()) continue;
+    const auto& server_info = topo.as_info(t.server_asn);
+    if (server_info.type != topo::AsType::kTransit) continue;
+    const topo::Host& server = topo.host(t.server);
+    Key key{server_info.name, isp_it->second,
+            topo.city(server.city).code};
+
+    const topo::Host& client = topo.host(t.client);
+    int offset = topo.city(client.city).utc_offset_hours;
+    double local =
+        sim::local_hour(std::fmod(t.utc_time_hours, 24.0), offset);
+    int day = static_cast<int>(t.utc_time_hours / 24.0);
+    if (day < 0 || day >= options.days) continue;
+
+    Accum& acc = cells[key];
+    if (acc.tput.empty()) {
+      acc.tput.resize(static_cast<std::size_t>(options.days));
+      acc.rtt.resize(static_cast<std::size_t>(options.days));
+      acc.retrans.resize(static_cast<std::size_t>(options.days));
+      acc.count.resize(static_cast<std::size_t>(options.days), 0);
+    }
+    auto d = static_cast<std::size_t>(day);
+    acc.total++;
+    acc.count[d]++;
+    acc.rtt[d].push_back(t.flow_rtt_ms);
+    acc.retrans[d].push_back(t.retrans_rate);
+    if (in_window(local, options.peak_from, options.peak_to)) {
+      acc.tput[d][0].push_back(t.download_mbps);
+    } else if (in_window(local, options.offpeak_from, options.offpeak_to)) {
+      acc.tput[d][1].push_back(t.download_mbps);
+    }
+  }
+
+  InterconnectReport report;
+  for (auto& [key, acc] : cells) {
+    if (acc.total < options.min_tests_per_cell) continue;
+    ReportCell cell;
+    cell.source = key.source;
+    cell.isp = key.isp;
+    cell.metro = key.metro;
+    cell.tests = acc.total;
+    for (std::size_t d = 0; d < acc.count.size(); ++d) {
+      cell.daily_peak_median_mbps.push_back(stats::median(acc.tput[d][0]));
+      cell.daily_offpeak_median_mbps.push_back(stats::median(acc.tput[d][1]));
+      cell.daily_median_rtt_ms.push_back(stats::median(acc.rtt[d]));
+      cell.daily_retrans_rate.push_back(stats::median(acc.retrans[d]));
+      cell.daily_tests.push_back(acc.count[d]);
+    }
+    report.cells.push_back(std::move(cell));
+  }
+
+  // Flag persistent cells, most degraded first.
+  std::vector<std::pair<int, std::size_t>> flagged;
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    int streak =
+        report.cells[i].longest_degraded_streak(options.degraded_fraction);
+    if (streak >= options.persistent_streak_days) {
+      flagged.emplace_back(streak, i);
+    }
+  }
+  std::sort(flagged.begin(), flagged.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [streak, i] : flagged) report.persistent.push_back(i);
+  return report;
+}
+
+}  // namespace netcong::core

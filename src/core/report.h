@@ -1,0 +1,64 @@
+#pragma once
+
+// M-Lab-style interconnection report (paper Section 2.2): the 2014/2015
+// reports grouped NDT tests "by source AS, destination AS, and server
+// location" and tracked daily medians of download throughput, flow RTT and
+// retransmission rate, inferring *persistent* interdomain congestion from
+// sustained peak-hour degradation. This module reproduces that report
+// structure — including per-day tracking, so dispute-resolution events
+// (capacity upgrades mid-window) show up as recoveries, the way the real
+// reports narrated the Cogent/Comcast settlements.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/world.h"
+#include "measure/ndt.h"
+
+namespace netcong::core {
+
+struct ReportCell {
+  std::string source;      // transit network name
+  std::string isp;         // access ISP
+  std::string metro;       // server metro code
+  std::size_t tests = 0;
+
+  // Per-day series (index = day since campaign start).
+  std::vector<double> daily_peak_median_mbps;
+  std::vector<double> daily_offpeak_median_mbps;
+  std::vector<double> daily_median_rtt_ms;
+  std::vector<double> daily_retrans_rate;
+  std::vector<std::size_t> daily_tests;
+
+  // Days whose peak median sits below `degraded_fraction` of the same day's
+  // off-peak median (NaN-days skipped).
+  int degraded_days(double degraded_fraction = 0.6) const;
+  // Longest run of consecutive degraded days.
+  int longest_degraded_streak(double degraded_fraction = 0.6) const;
+};
+
+struct ReportOptions {
+  int days = 28;
+  int peak_from = 19, peak_to = 23;     // client-local hours
+  int offpeak_from = 9, offpeak_to = 17;  // daytime baseline, as the reports
+  std::size_t min_tests_per_cell = 100;
+  double degraded_fraction = 0.6;
+  // A cell is flagged "persistently congested" when at least this many
+  // consecutive days are degraded.
+  int persistent_streak_days = 7;
+};
+
+struct InterconnectReport {
+  std::vector<ReportCell> cells;  // only cells above min_tests_per_cell
+  // Cells flagged persistent, most-degraded first.
+  std::vector<std::size_t> persistent;  // indices into cells
+};
+
+InterconnectReport build_interconnect_report(
+    const std::vector<measure::NdtRecord>& tests, const gen::World& world,
+    const std::map<topo::Asn, std::string>& isp_of,
+    const ReportOptions& options);
+
+}  // namespace netcong::core

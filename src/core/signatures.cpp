@@ -1,0 +1,55 @@
+#include "core/signatures.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace netcong::core {
+
+const char* congestion_type_name(CongestionType t) {
+  switch (t) {
+    case CongestionType::kSelfInduced:
+      return "self-induced";
+    case CongestionType::kPreExisting:
+      return "pre-existing";
+    case CongestionType::kIndeterminate:
+      return "indeterminate";
+  }
+  return "?";
+}
+
+SignatureFeatures extract_features(const std::vector<double>& rtt_samples_ms,
+                                   std::size_t early_window) {
+  SignatureFeatures f;
+  if (rtt_samples_ms.size() < early_window || rtt_samples_ms.empty()) {
+    return f;
+  }
+  f.min_rtt_ms = stats::min(rtt_samples_ms);
+  std::vector<double> early(rtt_samples_ms.begin(),
+                            rtt_samples_ms.begin() +
+                                static_cast<std::ptrdiff_t>(early_window));
+  f.early_rtt_ms = stats::median(std::move(early));
+  f.p90_rtt_ms = stats::percentile(rtt_samples_ms, 90.0);
+  if (f.min_rtt_ms > 0) {
+    f.early_elevation = (f.early_rtt_ms - f.min_rtt_ms) / f.min_rtt_ms;
+    f.range_ratio = (f.p90_rtt_ms - f.min_rtt_ms) / f.min_rtt_ms;
+  }
+  return f;
+}
+
+CongestionType SignatureClassifier::classify(
+    const SignatureFeatures& f) const {
+  if (f.min_rtt_ms <= 0.0) return CongestionType::kIndeterminate;
+  if (f.early_elevation >= early_elevation_threshold) {
+    // Started queued. But if the flow later built far more queue than it
+    // found, the early elevation was its own slow-start burst.
+    if (f.range_ratio > self_range_margin * (1.0 + f.early_elevation) &&
+        f.early_elevation < 2.0 * early_elevation_threshold) {
+      return CongestionType::kSelfInduced;
+    }
+    return CongestionType::kPreExisting;
+  }
+  return CongestionType::kSelfInduced;
+}
+
+}  // namespace netcong::core

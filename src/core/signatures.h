@@ -1,0 +1,54 @@
+#pragma once
+
+// TCP congestion signatures (the paper's future work, reference [37]:
+// Sundaresan et al., "TCP Congestion Signatures", IMC 2017): distinguish,
+// from a speed test's own RTT samples, whether the flow was limited by an
+// *already congested* link (standing queue: elevated RTT from the first
+// packets, small dynamic range above the baseline) or whether the flow
+// itself *drove* the buffer (self-induced: RTT starts at the propagation
+// floor and climbs as the flow fills the bottleneck queue).
+//
+// Features follow the published approach: the normalized difference between
+// early-flow RTT and minimum RTT, and the ratio of RTT dynamic range to
+// minimum. A small decision rule (threshold pair fit on labeled simulations)
+// classifies the two regimes.
+
+#include <vector>
+
+namespace netcong::core {
+
+enum class CongestionType {
+  kSelfInduced,   // flow filled an otherwise idle bottleneck (access link)
+  kPreExisting,   // flow arrived at an already-congested link
+  kIndeterminate,
+};
+
+const char* congestion_type_name(CongestionType t);
+
+struct SignatureFeatures {
+  double min_rtt_ms = 0.0;
+  double early_rtt_ms = 0.0;    // median RTT over the first samples
+  double p90_rtt_ms = 0.0;
+  // (early - min) / min: ~0 when the flow starts on an empty queue.
+  double early_elevation = 0.0;
+  // (p90 - min) / min: the range the flow itself can create.
+  double range_ratio = 0.0;
+};
+
+// Extracts features from a flow's time-ordered RTT samples (ms). Requires
+// at least `early_window` samples; returns nullopt-like zero features when
+// too short.
+SignatureFeatures extract_features(const std::vector<double>& rtt_samples_ms,
+                                   std::size_t early_window = 50);
+
+struct SignatureClassifier {
+  // A flow whose early RTT sits this far above its own minimum (fraction)
+  // was queued behind pre-existing traffic from the start.
+  double early_elevation_threshold = 0.35;
+  // ...unless the flow itself shows even larger self-built range.
+  double self_range_margin = 1.5;
+
+  CongestionType classify(const SignatureFeatures& f) const;
+};
+
+}  // namespace netcong::core

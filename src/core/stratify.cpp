@@ -1,0 +1,95 @@
+#include "core/stratify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/diurnal.h"
+
+namespace netcong::core {
+
+double StratifiedAnalysis::drop_spread(std::size_t min_samples) const {
+  double lo = 1e18, hi = -1e18;
+  for (const auto& s : strata) {
+    if (s.comparison.peak_count < min_samples ||
+        s.comparison.offpeak_count < min_samples)
+      continue;
+    if (std::isnan(s.comparison.relative_drop)) continue;
+    lo = std::min(lo, s.comparison.relative_drop);
+    hi = std::max(hi, s.comparison.relative_drop);
+  }
+  return hi < lo ? 0.0 : hi - lo;
+}
+
+StratifiedAnalysis stratify_by_link(
+    const std::vector<measure::MatchedTest>& matched, topo::Asn server_asn,
+    topo::Asn client_asn, const gen::World& world,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs) {
+  StratifiedAnalysis out;
+  out.server_asn = server_asn;
+  out.client_asn = client_asn;
+  std::uint32_t server_org = orgs.org_of(server_asn);
+  std::uint32_t client_org = orgs.org_of(client_asn);
+
+  std::map<std::uint64_t, LinkStratum> strata;
+  for (const auto& m : matched) {
+    if (!m.traceroute) continue;
+    if (m.test->client_asn != client_asn) continue;
+    if (orgs.org_of(m.test->server_asn) != server_org) continue;
+
+    // Identify the crossing link from server org into client org.
+    topo::IpAddr prev;
+    topo::Asn prev_op = 0;
+    bool have_prev = false;
+    bool found = false;
+    topo::IpAddr near, far;
+    for (const auto& hop : m.traceroute->hops) {
+      if (!hop.responded) {
+        have_prev = false;
+        continue;
+      }
+      topo::Asn op = mapit.op(hop.addr);
+      if (op == 0) op = ip2as.origin(hop.addr);
+      if (have_prev && prev_op != 0 && op != 0 &&
+          orgs.org_of(prev_op) == server_org &&
+          orgs.org_of(op) == client_org && server_org != client_org) {
+        near = prev;
+        far = hop.addr;
+        found = true;
+        break;
+      }
+      if (op != 0) {
+        prev = hop.addr;
+        prev_op = op;
+        have_prev = true;
+      }
+    }
+    if (!found) continue;
+
+    int offset = world.topo->city(world.topo->host(m.test->client).city)
+                     .utc_offset_hours;
+    double local =
+        sim::local_hour(std::fmod(m.test->utc_time_hours, 24.0), offset);
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(near.value) << 32) | far.value;
+    LinkStratum& s = strata[key];
+    s.near_addr = near;
+    s.far_addr = far;
+    s.throughput.add(local, m.test->download_mbps);
+    s.tests++;
+    out.aggregate.add(local, m.test->download_mbps);
+  }
+
+  for (auto& [key, s] : strata) {
+    s.comparison = stats::compare_peak_offpeak(s.throughput);
+    out.strata.push_back(std::move(s));
+  }
+  std::sort(out.strata.begin(), out.strata.end(),
+            [](const LinkStratum& a, const LinkStratum& b) {
+              return a.tests > b.tests;
+            });
+  out.aggregate_comparison = stats::compare_peak_offpeak(out.aggregate);
+  return out;
+}
+
+}  // namespace netcong::core

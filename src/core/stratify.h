@@ -1,0 +1,50 @@
+#pragma once
+
+// Per-IP-link stratification of throughput tests — the paper's central
+// recommendation (Section 7): "analysis of throughput measurements should
+// not aggregate across router-level links". Given matched tests, split the
+// AS-level aggregate by the IP-level interdomain link each test actually
+// crossed, analyze each stratum's diurnal behaviour separately, and report
+// whether the strata behave alike (Assumption 3 check, Section 4.3).
+
+#include <map>
+#include <vector>
+
+#include "core/diurnal.h"
+#include "core/link_diversity.h"
+#include "infer/mapit.h"
+#include "measure/matching.h"
+
+namespace netcong::core {
+
+struct LinkStratum {
+  topo::IpAddr near_addr;
+  topo::IpAddr far_addr;
+  stats::HourlySeries throughput;
+  std::size_t tests = 0;
+  stats::DiurnalComparison comparison;
+};
+
+struct StratifiedAnalysis {
+  topo::Asn server_asn = 0;
+  topo::Asn client_asn = 0;
+  std::vector<LinkStratum> strata;  // one per IP-level link, by tests desc
+  // Aggregate (what naive AS-level analysis sees).
+  stats::HourlySeries aggregate;
+  stats::DiurnalComparison aggregate_comparison;
+
+  // Do the strata agree? The spread between the largest and smallest
+  // per-stratum relative drop (only strata with >= min_samples in both
+  // windows participate).
+  double drop_spread(std::size_t min_samples = 10) const;
+};
+
+// Stratifies matched tests between one server org and one client AS by the
+// crossing link. Uses the client's local hour.
+StratifiedAnalysis stratify_by_link(
+    const std::vector<measure::MatchedTest>& matched, topo::Asn server_asn,
+    topo::Asn client_asn, const gen::World& world,
+    const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
+    const infer::OrgMap& orgs);
+
+}  // namespace netcong::core

@@ -1,0 +1,63 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace netcong::core {
+
+std::vector<RocPoint> roc_sweep(const std::vector<LabeledDrop>& drops,
+                                int steps) {
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  for (const auto& d : drops) {
+    (d.truth_congested ? positives : negatives)++;
+  }
+  std::vector<RocPoint> roc;
+  for (int i = 0; i <= steps; ++i) {
+    RocPoint p;
+    p.threshold = static_cast<double>(i) / steps;
+    std::size_t tp = 0, fp = 0;
+    for (const auto& d : drops) {
+      bool predicted = d.relative_drop >= p.threshold;
+      if (!predicted) continue;
+      ++p.predicted_positive;
+      (d.truth_congested ? tp : fp)++;
+    }
+    p.tpr = positives == 0 ? 0.0 : static_cast<double>(tp) / positives;
+    p.fpr = negatives == 0 ? 0.0 : static_cast<double>(fp) / negatives;
+    roc.push_back(p);
+  }
+  return roc;
+}
+
+RocPoint best_threshold(const std::vector<RocPoint>& roc) {
+  RocPoint best;
+  double best_j = -1.0;
+  for (const auto& p : roc) {
+    double j = p.tpr - p.fpr;
+    if (j > best_j || (j == best_j && p.threshold > best.threshold)) {
+      best_j = j;
+      best = p;
+    }
+  }
+  return best;
+}
+
+DropDistributions drop_distributions(const std::vector<LabeledDrop>& drops) {
+  DropDistributions d;
+  for (const auto& x : drops) {
+    (x.truth_congested ? d.congested : d.uncongested)
+        .push_back(x.relative_drop);
+  }
+  d.congested_median = stats::median(d.congested);
+  d.uncongested_median = stats::median(d.uncongested);
+  if (!d.congested.empty() && !d.uncongested.empty()) {
+    d.separation = *std::min_element(d.congested.begin(), d.congested.end()) -
+                   *std::max_element(d.uncongested.begin(),
+                                     d.uncongested.end());
+  }
+  return d;
+}
+
+}  // namespace netcong::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Threshold selection for congestion detection (paper Section 6.2): "how
+// large a throughput drop can one safely interpret as evidence of
+// congestion?" Given a set of diurnal congestion calls labeled with ground
+// truth, sweep the drop threshold and report the ROC curve, plus the
+// distribution of peak drops for truly congested vs busy-but-uncongested
+// groups (the AT&T-vs-Comcast contrast of Figure 5).
+
+#include <vector>
+
+#include "core/diurnal.h"
+
+namespace netcong::core {
+
+struct LabeledDrop {
+  double relative_drop = 0.0;  // (offpeak - peak) / offpeak
+  bool truth_congested = false;
+  std::size_t samples = 0;
+};
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  // sensitivity
+  double fpr = 0.0;
+  std::size_t predicted_positive = 0;
+};
+
+// Sweeps thresholds over [0, 1] in `steps` increments.
+std::vector<RocPoint> roc_sweep(const std::vector<LabeledDrop>& drops,
+                                int steps = 20);
+
+// Threshold maximizing Youden's J (tpr - fpr); ties go to the larger
+// threshold (fewer false alarms).
+RocPoint best_threshold(const std::vector<RocPoint>& roc);
+
+// Summary of the two drop distributions.
+struct DropDistributions {
+  std::vector<double> congested;
+  std::vector<double> uncongested;
+  double congested_median = 0.0;
+  double uncongested_median = 0.0;
+  // Smallest gap: min(congested) - max(uncongested); negative when the
+  // distributions overlap, i.e. no threshold separates them cleanly — the
+  // paper's central point.
+  double separation = 0.0;
+};
+DropDistributions drop_distributions(const std::vector<LabeledDrop>& drops);
+
+}  // namespace netcong::core

@@ -1,0 +1,180 @@
+#include "core/tomography.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace netcong::core {
+
+namespace {
+
+struct Instance {
+  // Candidate links (not exonerated) and, per bad path, the candidate set.
+  std::vector<topo::LinkId> candidates;
+  std::vector<std::vector<std::size_t>> bad_paths;  // candidate indices
+  std::size_t inconsistent_paths = 0;
+};
+
+Instance reduce(const std::vector<PathObservation>& observations) {
+  Instance inst;
+  std::unordered_set<std::uint32_t> good_links;
+  for (const auto& obs : observations) {
+    if (obs.bad) continue;
+    for (topo::LinkId l : obs.links) good_links.insert(l.value);
+  }
+  std::unordered_map<std::uint32_t, std::size_t> cand_index;
+  for (const auto& obs : observations) {
+    if (!obs.bad) continue;
+    std::vector<std::size_t> path;
+    for (topo::LinkId l : obs.links) {
+      if (good_links.count(l.value)) continue;
+      auto [it, fresh] = cand_index.try_emplace(
+          l.value, inst.candidates.size());
+      if (fresh) inst.candidates.push_back(l);
+      path.push_back(it->second);
+    }
+    std::sort(path.begin(), path.end());
+    path.erase(std::unique(path.begin(), path.end()), path.end());
+    if (path.empty()) {
+      ++inst.inconsistent_paths;
+    } else {
+      inst.bad_paths.push_back(std::move(path));
+    }
+  }
+  return inst;
+}
+
+TomographyResult greedy_cover(const Instance& inst) {
+  TomographyResult result;
+  result.consistent = inst.inconsistent_paths == 0;
+  result.uncovered_bad_paths = inst.inconsistent_paths;
+
+  std::vector<bool> covered(inst.bad_paths.size(), false);
+  std::size_t remaining = inst.bad_paths.size();
+  // Membership: candidate -> bad paths containing it.
+  std::vector<std::vector<std::size_t>> member(inst.candidates.size());
+  for (std::size_t p = 0; p < inst.bad_paths.size(); ++p) {
+    for (std::size_t c : inst.bad_paths[p]) member[c].push_back(p);
+  }
+  while (remaining > 0) {
+    // Pick the candidate covering the most uncovered paths; ties broken by
+    // link id for determinism.
+    std::size_t best = 0;
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < inst.candidates.size(); ++c) {
+      std::size_t gain = 0;
+      for (std::size_t p : member[c]) {
+        if (!covered[p]) ++gain;
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 &&
+           inst.candidates[c] < inst.candidates[best])) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best_gain == 0) break;  // cannot happen if paths non-empty
+    result.bad_links.push_back(inst.candidates[best]);
+    for (std::size_t p : member[best]) {
+      if (!covered[p]) {
+        covered[p] = true;
+        --remaining;
+      }
+    }
+  }
+  std::sort(result.bad_links.begin(), result.bad_links.end());
+  return result;
+}
+
+}  // namespace
+
+TomographyResult greedy_binary_tomography(
+    const std::vector<PathObservation>& observations) {
+  return greedy_cover(reduce(observations));
+}
+
+TomographyResult exact_binary_tomography(
+    const std::vector<PathObservation>& observations,
+    std::size_t max_candidates) {
+  Instance inst = reduce(observations);
+  if (inst.candidates.size() > max_candidates ||
+      inst.candidates.size() > 63) {
+    return greedy_cover(inst);
+  }
+  TomographyResult greedy = greedy_cover(inst);
+  if (inst.bad_paths.empty()) return greedy;
+
+  // Branch and bound over candidate subsets, seeded with the greedy bound.
+  std::vector<std::uint64_t> path_masks;
+  path_masks.reserve(inst.bad_paths.size());
+  for (const auto& p : inst.bad_paths) {
+    std::uint64_t m = 0;
+    for (std::size_t c : p) m |= (1ull << c);
+    path_masks.push_back(m);
+  }
+  std::size_t best_size = greedy.bad_links.size();
+  std::uint64_t best_mask = 0;
+  bool found = false;
+
+  // Iterate subsets in increasing popcount via simple search with pruning.
+  // DFS over candidates: include/exclude.
+  std::uint64_t n = inst.candidates.size();
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stack;  // (idx, mask)
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto [idx, mask] = stack.back();
+    stack.pop_back();
+    std::size_t size = static_cast<std::size_t>(__builtin_popcountll(mask));
+    if (size >= best_size) continue;
+    bool all_covered = true;
+    std::uint64_t first_uncovered = 0;
+    for (std::uint64_t pm : path_masks) {
+      if ((pm & mask) == 0) {
+        all_covered = false;
+        first_uncovered = pm;
+        break;
+      }
+    }
+    if (all_covered) {
+      best_size = size;
+      best_mask = mask;
+      found = true;
+      continue;
+    }
+    if (idx >= n) continue;
+    // Branch on each candidate in the first uncovered path (standard
+    // hitting-set branching: some candidate of that path must be chosen).
+    for (std::uint64_t c = 0; c < n; ++c) {
+      if (first_uncovered & (1ull << c)) {
+        if (!(mask & (1ull << c))) {
+          stack.emplace_back(idx + 1, mask | (1ull << c));
+        }
+      }
+    }
+  }
+
+  if (!found) return greedy;
+  TomographyResult result;
+  result.consistent = inst.inconsistent_paths == 0;
+  result.uncovered_bad_paths = inst.inconsistent_paths;
+  for (std::uint64_t c = 0; c < n; ++c) {
+    if (best_mask & (1ull << c)) result.bad_links.push_back(inst.candidates[c]);
+  }
+  std::sort(result.bad_links.begin(), result.bad_links.end());
+  return result;
+}
+
+TomographyScore score_tomography(const std::vector<topo::LinkId>& inferred,
+                                 const std::vector<topo::LinkId>& truth) {
+  TomographyScore s;
+  s.inferred = inferred.size();
+  s.truth = truth.size();
+  std::unordered_set<std::uint32_t> t;
+  for (topo::LinkId l : truth) t.insert(l.value);
+  for (topo::LinkId l : inferred) {
+    if (t.count(l.value)) ++s.true_positives;
+  }
+  return s;
+}
+
+}  // namespace netcong::core

@@ -1,0 +1,59 @@
+#pragma once
+
+// Binary network tomography (Duffield, reference [18] in the paper): given
+// end-to-end path observations labeled good/bad and each path's set of
+// links, find a smallest set of "bad" links consistent with the
+// observations. Links appearing on any good path are exonerated; the
+// remaining bad paths are covered greedily (SCFS-style) or exactly for
+// small instances.
+//
+// This is the rigorous tool the paper contrasts with "simplified AS-level
+// tomography"; core/as_tomography.h implements the simplified version and
+// its assumption checks.
+
+#include <vector>
+
+#include "topo/ids.h"
+
+namespace netcong::core {
+
+struct PathObservation {
+  std::vector<topo::LinkId> links;
+  bool bad = false;
+};
+
+struct TomographyResult {
+  std::vector<topo::LinkId> bad_links;
+  // False when some bad path contains only exonerated links (observations
+  // are contradictory under the good/bad model).
+  bool consistent = true;
+  std::size_t uncovered_bad_paths = 0;
+};
+
+// Greedy minimal-set cover; near-optimal and fast (the standard approach).
+TomographyResult greedy_binary_tomography(
+    const std::vector<PathObservation>& observations);
+
+// Exact smallest set via branch and bound; exponential, intended for small
+// candidate sets (<= max_candidates after exoneration) — returns the greedy
+// answer beyond that.
+TomographyResult exact_binary_tomography(
+    const std::vector<PathObservation>& observations,
+    std::size_t max_candidates = 24);
+
+// Evaluation helper: precision/recall of an inferred bad set vs ground truth.
+struct TomographyScore {
+  std::size_t inferred = 0;
+  std::size_t truth = 0;
+  std::size_t true_positives = 0;
+  double precision() const {
+    return inferred == 0 ? 1.0 : static_cast<double>(true_positives) / inferred;
+  }
+  double recall() const {
+    return truth == 0 ? 1.0 : static_cast<double>(true_positives) / truth;
+  }
+};
+TomographyScore score_tomography(const std::vector<topo::LinkId>& inferred,
+                                 const std::vector<topo::LinkId>& truth);
+
+}  // namespace netcong::core

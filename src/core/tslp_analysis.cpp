@@ -1,0 +1,38 @@
+#include "core/tslp_analysis.h"
+
+#include <cmath>
+
+#include "sim/diurnal.h"
+
+namespace netcong::core {
+
+TslpVerdict analyze_tslp(const measure::TslpSeries& series,
+                         const TslpAnalysisOptions& options) {
+  stats::HourlySeries near_series, far_series;
+  for (const auto& s : series.samples) {
+    double local = sim::local_hour(std::fmod(s.utc_time_hours, 24.0),
+                                   options.vp_utc_offset_hours);
+    if (s.near_rtt_ms >= 0) near_series.add(local, s.near_rtt_ms);
+    if (s.far_rtt_ms >= 0) far_series.add(local, s.far_rtt_ms);
+  }
+
+  auto elevation = [&](const stats::HourlySeries& hs) {
+    double peak = hs.median_over_hours(options.peak_from, options.peak_to);
+    double off =
+        hs.median_over_hours(options.offpeak_from, options.offpeak_to);
+    if (std::isnan(peak) || std::isnan(off)) return 0.0;
+    return peak - off;
+  };
+
+  TslpVerdict v;
+  v.near_samples = near_series.total_count();
+  v.far_samples = far_series.total_count();
+  v.near_elevation_ms = elevation(near_series);
+  v.far_elevation_ms = elevation(far_series);
+  v.differential_ms = v.far_elevation_ms - v.near_elevation_ms;
+  v.congested = v.near_samples > 0 && v.far_samples > 0 &&
+                v.differential_ms >= options.differential_threshold_ms;
+  return v;
+}
+
+}  // namespace netcong::core

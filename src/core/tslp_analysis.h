@@ -1,0 +1,37 @@
+#pragma once
+
+// Analysis of TSLP latency series (paper Section 7 recommendation): decide
+// from the near/far RTT differential whether an interdomain link develops a
+// peak-hour standing queue — congestion evidence that needs no throughput
+// test and no crowdsourcing.
+
+#include "measure/tslp.h"
+#include "stats/timeseries.h"
+
+namespace netcong::core {
+
+struct TslpVerdict {
+  // Per-side peak-hour RTT elevation over that side's own off-peak baseline
+  // (medians, ms).
+  double near_elevation_ms = 0.0;
+  double far_elevation_ms = 0.0;
+  // The localizing signal: far-side elevation minus near-side elevation.
+  double differential_ms = 0.0;
+  bool congested = false;
+  std::size_t near_samples = 0;
+  std::size_t far_samples = 0;
+};
+
+struct TslpAnalysisOptions {
+  // Differential (ms) above which the link is called congested; real TSLP
+  // deployments used values in the 5-20 ms range depending on the buffer.
+  double differential_threshold_ms = 15.0;
+  int peak_from = 19, peak_to = 23;      // local hours at the VP
+  int offpeak_from = 1, offpeak_to = 5;
+  int vp_utc_offset_hours = 0;
+};
+
+TslpVerdict analyze_tslp(const measure::TslpSeries& series,
+                         const TslpAnalysisOptions& options);
+
+}  // namespace netcong::core

@@ -1,0 +1,43 @@
+#include "gen/address_alloc.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace netcong::gen {
+
+topo::Prefix AddressAllocator::alloc_block(std::uint8_t len) {
+  assert(len >= 1 && len <= 32);
+  std::uint64_t size = 1ull << (32 - len);
+  // Align up.
+  std::uint64_t start = (next_ + size - 1) / size * size;
+  if (start + size > (1ull << 32)) {
+    throw std::runtime_error("AddressAllocator: IPv4 space exhausted");
+  }
+  next_ = start + size;
+  return topo::Prefix(topo::IpAddr(static_cast<std::uint32_t>(start)), len);
+}
+
+bool P2pCarver::next(bool use_slash31, Subnet& out) {
+  std::uint32_t step = use_slash31 ? 2 : 4;
+  if (offset_ + step > pool_.size()) return false;
+  out.prefix = topo::Prefix(pool_.nth(offset_),
+                            static_cast<std::uint8_t>(use_slash31 ? 31 : 30));
+  if (use_slash31) {
+    out.a = pool_.nth(offset_);
+    out.b = pool_.nth(offset_ + 1);
+  } else {
+    // /30 convention: .1 and .2 are the usable pair.
+    out.a = pool_.nth(offset_ + 1);
+    out.b = pool_.nth(offset_ + 2);
+  }
+  offset_ += step;
+  return true;
+}
+
+bool HostCarver::next(topo::IpAddr& out) {
+  if (offset_ >= pool_.size() - 1) return false;  // keep the broadcast slot
+  out = pool_.nth(offset_++);
+  return true;
+}
+
+}  // namespace netcong::gen

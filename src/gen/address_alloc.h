@@ -1,0 +1,58 @@
+#pragma once
+
+// Sequential IPv4 block allocator for the synthetic address plan. Hands out
+// aligned CIDR blocks from 1.0.0.0 upward; never reuses space. Each AS gets
+// separate pools for client addresses, infrastructure (/30 and /31 link
+// subnets, router loopbacks) and hosting, which mirrors how real networks
+// carve their allocations.
+
+#include <cstdint>
+
+#include "topo/ip.h"
+
+namespace netcong::gen {
+
+class AddressAllocator {
+ public:
+  // Allocates the next len-aligned block.
+  topo::Prefix alloc_block(std::uint8_t len);
+
+  // Total address space handed out so far.
+  std::uint64_t allocated() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 1u << 24;  // start at 1.0.0.0
+};
+
+// Carves consecutive point-to-point subnets out of a pool.
+class P2pCarver {
+ public:
+  explicit P2pCarver(topo::Prefix pool) : pool_(pool) {}
+
+  struct Subnet {
+    topo::IpAddr a;
+    topo::IpAddr b;
+    topo::Prefix prefix;
+  };
+
+  // Next /30 (or /31) pair; returns false when the pool is exhausted.
+  bool next(bool use_slash31, Subnet& out);
+
+ private:
+  topo::Prefix pool_;
+  std::uint32_t offset_ = 0;
+};
+
+// Sequential single-address carver (clients, servers, loopbacks).
+class HostCarver {
+ public:
+  explicit HostCarver(topo::Prefix pool) : pool_(pool) {}
+  bool next(topo::IpAddr& out);
+  topo::Prefix pool() const { return pool_; }
+
+ private:
+  topo::Prefix pool_;
+  std::uint32_t offset_ = 1;  // skip .0
+};
+
+}  // namespace netcong::gen

@@ -1,0 +1,67 @@
+#include "gen/cities.h"
+
+#include <unordered_map>
+
+namespace netcong::gen {
+
+namespace {
+topo::City make(const char* name, const char* code, double lat, double lon,
+                int utc, double weight) {
+  topo::City c;
+  c.name = name;
+  c.code = code;
+  c.lat = lat;
+  c.lon = lon;
+  c.utc_offset_hours = utc;
+  c.population_weight = weight;
+  return c;
+}
+}  // namespace
+
+const std::vector<topo::City>& us_metros() {
+  static const std::vector<topo::City> metros = {
+      make("NewYork", "nyc", 40.71, -74.01, -5, 20.0),
+      make("LosAngeles", "lax", 34.05, -118.24, -8, 13.0),
+      make("Chicago", "chi", 41.88, -87.63, -6, 9.5),
+      make("Dallas", "dfw", 32.78, -96.80, -6, 7.2),
+      make("Houston", "hou", 29.76, -95.37, -6, 6.6),
+      make("WashingtonDC", "was", 38.91, -77.04, -5, 6.2),
+      make("Miami", "mia", 25.76, -80.19, -5, 6.1),
+      make("Philadelphia", "phl", 39.95, -75.17, -5, 6.0),
+      make("Atlanta", "atl", 33.75, -84.39, -5, 5.9),
+      make("Boston", "bos", 42.36, -71.06, -5, 4.9),
+      make("Phoenix", "phx", 33.45, -112.07, -7, 4.8),
+      make("SanFrancisco", "sfo", 37.77, -122.42, -8, 4.7),
+      make("Seattle", "sea", 47.61, -122.33, -8, 4.0),
+      make("Minneapolis", "msp", 44.98, -93.27, -6, 3.6),
+      make("SanDiego", "san", 32.72, -117.16, -8, 3.3),
+      make("Denver", "den", 39.74, -104.99, -7, 2.9),
+      make("SanJose", "sjc", 37.34, -121.89, -8, 2.0),
+      make("KansasCity", "mci", 39.10, -94.58, -6, 2.1),
+      make("SaltLakeCity", "slc", 40.76, -111.89, -7, 1.2),
+      make("NewOrleans", "msy", 29.95, -90.07, -6, 1.3),
+  };
+  return metros;
+}
+
+std::size_t metro_index_for_site(const std::string& site_code) {
+  // Ark site codes are airport-style; map each Table 3 site to the nearest
+  // metro in our list.
+  static const std::unordered_map<std::string, const char*> site_to_metro = {
+      {"bed-us", "bos"},  {"bed3-us", "bos"}, {"bos5-us", "bos"},
+      {"mry-us", "sjc"},  {"wvi-us", "sjc"},  {"atl2-us", "atl"},
+      {"wbu2-us", "den"}, {"mnz-us", "was"},  {"ith-us", "nyc"},
+      {"lex-us", "chi"},  {"san4-us", "san"}, {"san2-us", "san"},
+      {"san6-us", "san"}, {"msy-us", "msy"},  {"aza-us", "phx"},
+      {"igx-us", "mia"},
+  };
+  auto it = site_to_metro.find(site_code);
+  if (it == site_to_metro.end()) return 0;
+  const auto& metros = us_metros();
+  for (std::size_t i = 0; i < metros.size(); ++i) {
+    if (metros[i].code == it->second) return i;
+  }
+  return 0;
+}
+
+}  // namespace netcong::gen

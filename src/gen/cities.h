@@ -1,0 +1,21 @@
+#pragma once
+
+// The fixed set of US metro areas the generator places infrastructure in,
+// and the mapping from Ark-style site codes (Table 3 of the paper) to them.
+
+#include <string>
+#include <vector>
+
+#include "topo/entities.h"
+
+namespace netcong::gen {
+
+// Returns the metro list (name, code, lat, lon, UTC offset, population
+// weight). Ordered by population weight, descending.
+const std::vector<topo::City>& us_metros();
+
+// Maps an Ark site code ("bed-us") to the index of its metro in us_metros().
+// Returns 0 (the largest metro) for unknown codes.
+std::size_t metro_index_for_site(const std::string& site_code);
+
+}  // namespace netcong::gen

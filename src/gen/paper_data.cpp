@@ -1,0 +1,87 @@
+#include "gen/paper_data.h"
+
+namespace netcong::gen::paper {
+
+const std::vector<ProviderRow>& table1_providers() {
+  static const std::vector<ProviderRow> rows = {
+      {"Comcast", 23329000},      {"AT&T", 15778000},
+      {"Time Warner Cable", 13313000}, {"Verizon", 9228000},
+      {"CenturyLink", 6048000},   {"Charter", 5572000},
+      {"Cox", 4300000},           {"Cablevision", 2809000},
+      {"Frontier", 2444000},      {"Suddenlink", 1467000},
+      {"Windstream", 1095100},    {"Mediacom", 1085000},
+  };
+  return rows;
+}
+
+const std::vector<AdjacencyRow>& fig1_adjacency() {
+  static const std::vector<AdjacencyRow> rows = {
+      {"Comcast", 0.96, 117000}, {"AT&T", 0.91, 89000},
+      {"TWC", 0.75, 56000},      {"Verizon", 0.86, 59000},
+      {"CenturyLink", 0.82, 13000}, {"Charter", 0.37, 1000},
+      {"Cox", 0.39, 39000},      {"Frontier", 0.47, 6000},
+      {"Windstream", 0.06, 4000},
+  };
+  return rows;
+}
+
+MatchingStats sec41_matching() { return MatchingStats{}; }
+
+const std::vector<BdrmapRow>& table3_bdrmap() {
+  static const std::vector<BdrmapRow> rows = {
+      {"Comcast", "bed-us", 1333, 2896, 1115, 1738, 3, 37, 41, 541},
+      {"Comcast", "mry-us", 1336, 2874, 1118, 1740, 3, 43, 41, 478},
+      {"Comcast", "atl2-us", 1327, 1785, 1107, 1318, 3, 20, 41, 139},
+      {"Comcast", "wbu2-us", 1050, 1485, 897, 1129, 4, 23, 48, 131},
+      {"Comcast", "bos5-us", 1279, 1768, 1070, 1293, 3, 16, 40, 159},
+      {"Verizon", "mnz-us", 1423, 2187, 1304, 1988, 12, 32, 21, 49},
+      {"TWC", "ith-us", 720, 968, 588, 662, 3, 28, 28, 83},
+      {"TWC", "lex-us", 676, 935, 547, 613, 3, 29, 27, 83},
+      {"TWC", "san4-us", 660, 865, 535, 599, 3, 26, 28, 65},
+      {"Cox", "msy-us", 482, 623, 363, 410, 4, 13, 21, 27},
+      {"Cox", "san2-us", 488, 639, 370, 424, 4, 15, 21, 29},
+      {"CenturyLink", "aza-us", 1729, 2439, 1572, 2186, 3, 7, 42, 99},
+      {"Sonic", "wvi-us", 96, 106, 6, 6, 4, 5, 10, 10},
+      {"RCN", "bed3-us", 87, 101, 35, 38, 1, 5, 36, 41},
+      {"Frontier", "igx-us", 56, 73, 29, 30, 3, 6, 17, 29},
+      {"AT&T", "san6-us", 2283, 3336, 2123, 2872, 12, 127, 40, 132},
+  };
+  return rows;
+}
+
+const std::vector<CoverageRow>& sec52_coverage() {
+  static const std::vector<CoverageRow> rows = {
+      {"Comcast", 0.9, 5.6},  {"Verizon", 0.8, 4.0},
+      {"TWC", 1.3, 6.7},      {"Cox", 1.2, 11.5},
+      {"AT&T", 0.4, 2.3},     {"CenturyLink", 0.7, 5.7},
+      {"Frontier", 9.0, 0.0},  // 9% was the M-Lab max; Speedtest n/a in text
+      {"Sonic", 0.0, 28.0},    // 28% was the Speedtest max
+  };
+  return rows;
+}
+
+PeerCoverageBounds sec52_peer_bounds() { return PeerCoverageBounds{}; }
+
+AlexaOverlap sec53_alexa() { return AlexaOverlap{}; }
+
+Snapshots sec54_snapshots() { return Snapshots{}; }
+
+DiurnalCase fig5_case() { return DiurnalCase{}; }
+
+const std::vector<Table2Row>& table2_links() {
+  static const std::vector<Table2Row> rows = {
+      {"Comcast (AS7922)", 2, "1759,8"},
+      {"Comcast (AS7725)", 1, "1650"},
+      {"Comcast (AS22909)", 1, "1130"},
+      {"AT&T (AS7018)", 14,
+       "2395,820,770,216,137,25,21,19,19,17,17,8,2,1"},
+      {"Verizon (AS701)", 8, "548,62,54,42,20,2,1,1"},
+      {"Verizon (AS6167)", 2, "3,3"},
+      {"Cox (AS22773)", 39, "total 817, max 378"},
+      {"Frontier (AS5650)", 1, "107"},
+      {"CenturyLink (AS209)", 4, "383,39,22,1"},
+  };
+  return rows;
+}
+
+}  // namespace netcong::gen::paper

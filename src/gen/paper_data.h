@@ -1,0 +1,115 @@
+#pragma once
+
+// Published numbers from the paper, kept in one place and used for two
+// purposes only:
+//  (1) calibrating the synthetic topology generator so the substrate has the
+//      statistical character of the 2015-2017 US interconnection ecosystem;
+//  (2) printing paper-vs-measured comparisons in the bench binaries.
+// Inference code never reads this file.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace netcong::gen::paper {
+
+// ---- Table 1: US broadband providers with >1M subscribers (Q3 2015) ----
+struct ProviderRow {
+  std::string_view name;
+  std::int64_t subscribers;
+};
+const std::vector<ProviderRow>& table1_providers();
+
+// ---- Figure 1 / Section 4.2: fraction of matched traceroutes with the
+// server AS directly connected to the client AS (one AS hop), May 2015 ----
+struct AdjacencyRow {
+  std::string_view isp;
+  double one_hop_fraction;   // e.g. 0.96 for Comcast
+  int matched_traceroutes;   // the count above each bar (thousands -> units)
+};
+const std::vector<AdjacencyRow>& fig1_adjacency();
+
+// ---- Section 4.1: NDT <-> Paris traceroute matching fractions ----
+struct MatchingStats {
+  double may2015_after_window = 0.71;   // 10-min window after the test
+  double may2015_either_side = 0.87;    // window before or after
+  double mar2017_after_window = 0.76;
+  std::int64_t may2015_total_tests = 743780;
+  std::int64_t may2015_matched = 527480;
+};
+MatchingStats sec41_matching();
+
+// ---- Table 3: bdrmap border counts per Ark VP (Jan-Feb 2017) ----
+struct BdrmapRow {
+  std::string_view network;  // "Comcast"
+  std::string_view vp;       // "bed-us"
+  int all_as, all_router;
+  int cust_as, cust_router;
+  int prov_as, prov_router;
+  int peer_as, peer_router;
+};
+const std::vector<BdrmapRow>& table3_bdrmap();
+
+// ---- Section 5.2: coverage of AS-level interconnections (Feb 2017) ----
+struct CoverageRow {
+  std::string_view isp;
+  double mlab_all_as_pct;       // e.g. 0.9 for Comcast (percent)
+  double speedtest_all_as_pct;  // e.g. 5.6
+};
+const std::vector<CoverageRow>& sec52_coverage();
+
+// Peer-only coverage bounds quoted in the abstract/Section 5.2.
+struct PeerCoverageBounds {
+  double mlab_min_pct = 2.8;   // RCN
+  double mlab_max_pct = 30.0;  // Sonic
+  double speedtest_min_pct = 14.0;
+  double speedtest_max_pct = 86.0;
+  int comcast_peers_total = 41;
+  int comcast_peers_mlab = 12;
+  int comcast_peers_speedtest = 32;
+};
+PeerCoverageBounds sec52_peer_bounds();
+
+// ---- Section 5.3: Alexa overlap ----
+struct AlexaOverlap {
+  // Share of AS-level interconnections on paths to Alexa targets that were
+  // NOT covered by M-Lab servers.
+  double alexa_not_mlab_min_pct = 79.0;
+  double alexa_not_mlab_max_pct = 90.0;
+  // Comcast bed-us example.
+  int comcast_alexa_links = 71;
+  int comcast_alexa_not_mlab = 62;
+  int comcast_alexa_not_speedtest = 34;
+};
+AlexaOverlap sec53_alexa();
+
+// ---- Section 5.4: server-fleet snapshots ----
+struct Snapshots {
+  int mlab_servers_2015 = 261;
+  int mlab_servers_2017 = 261;
+  int speedtest_servers_2015 = 3591;
+  int speedtest_servers_2017 = 5209;
+};
+Snapshots sec54_snapshots();
+
+// ---- Figure 5 / Section 6.2: diurnal case study, GTT (Atlanta) ----
+struct DiurnalCase {
+  // AT&T: off-peak highs above 10 Mbps collapse below 1 Mbps at peak.
+  double att_offpeak_mbps_min = 10.0;
+  double att_peak_mbps_max = 1.0;
+  // Comcast: peak-to-trough drop ~30% (20% excluding sparse hours), but the
+  // link was classified uncongested.
+  double comcast_drop_fraction = 0.30;
+  double comcast_drop_fraction_dense_hours = 0.20;
+};
+DiurnalCase fig5_case();
+
+// ---- Table 2: interdomain links seen from the Atlanta Level3 server ----
+struct Table2Row {
+  std::string_view client;  // "Comcast (AS7922)"
+  int links;
+  std::string_view tests_per_link;  // formatted as in the paper
+};
+const std::vector<Table2Row>& table2_links();
+
+}  // namespace netcong::gen::paper

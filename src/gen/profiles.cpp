@@ -1,0 +1,271 @@
+#include "gen/profiles.h"
+
+namespace netcong::gen {
+
+const std::vector<AccessIspProfile>& default_access_profiles() {
+  static const std::vector<AccessIspProfile> profiles = [] {
+    std::vector<AccessIspProfile> p;
+    p.push_back({.name = "Comcast",
+                 .org_name = "Comcast Cable Communications",
+                 .asns = {7922, 7725, 22909, 33491, 33651},
+                 .subscribers = 23329000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.96,
+                 .n_cities = 18,
+                 .n_customers = 1115,
+                 .n_peers = 41,
+                 .n_providers = 2,
+                 .parallel_link_propensity = 0.15,
+                 .vp_sites = {"bed-us", "mry-us", "atl2-us", "wbu2-us",
+                              "bos5-us"}});
+    p.push_back({.name = "AT&T",
+                 .org_name = "AT&T Services",
+                 .asns = {7018, 6389, 7132},
+                 .subscribers = 15778000,
+                 .tech = AccessTech::kDsl,
+                 .transit_free = true,
+                 .direct_host_peering = 0.91,
+                 .n_cities = 16,
+                 .n_customers = 2123,
+                 .n_peers = 40,
+                 .n_providers = 0,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {"san6-us"}});
+    p.push_back({.name = "TWC",
+                 .org_name = "Time Warner Cable",
+                 .asns = {11351, 20001, 11427, 10796},
+                 .subscribers = 13313000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.75,
+                 .n_cities = 12,
+                 .n_customers = 550,
+                 .n_peers = 28,
+                 .n_providers = 2,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {"ith-us", "lex-us", "san4-us"}});
+    p.push_back({.name = "Verizon",
+                 .org_name = "Verizon Business",
+                 .asns = {701, 6167, 19262},
+                 .subscribers = 9228000,
+                 .tech = AccessTech::kFiber,
+                 .transit_free = true,
+                 .direct_host_peering = 0.86,
+                 .n_cities = 15,
+                 .n_customers = 1304,
+                 .n_peers = 21,
+                 .n_providers = 0,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {"mnz-us"}});
+    p.push_back({.name = "CenturyLink",
+                 .org_name = "CenturyLink Communications",
+                 .asns = {209, 22561},
+                 .subscribers = 6048000,
+                 .tech = AccessTech::kDsl,
+                 .transit_free = true,
+                 .direct_host_peering = 0.82,
+                 .n_cities = 14,
+                 .n_customers = 1572,
+                 .n_peers = 42,
+                 .n_providers = 0,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {"aza-us"}});
+    p.push_back({.name = "Charter",
+                 .org_name = "Charter Communications",
+                 .asns = {20115},
+                 .subscribers = 5572000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.37,
+                 .n_cities = 10,
+                 .n_customers = 80,
+                 .n_peers = 15,
+                 .n_providers = 3,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {}});
+    p.push_back({.name = "Cox",
+                 .org_name = "Cox Communications",
+                 .asns = {22773},
+                 .subscribers = 4300000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.39,
+                 .n_cities = 8,
+                 .n_customers = 365,
+                 .n_peers = 21,
+                 .n_providers = 3,
+                 .parallel_link_propensity = 0.55,
+                 .vp_sites = {"msy-us", "san2-us"}});
+    p.push_back({.name = "Cablevision",
+                 .org_name = "Cablevision Systems",
+                 .asns = {6128},
+                 .subscribers = 2809000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.7,
+                 .n_cities = 3,
+                 .n_customers = 30,
+                 .n_peers = 12,
+                 .n_providers = 2,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {}});
+    p.push_back({.name = "Frontier",
+                 .org_name = "Frontier Communications",
+                 .asns = {5650, 7011},
+                 .subscribers = 2444000,
+                 .tech = AccessTech::kDsl,
+                 .transit_free = false,
+                 .direct_host_peering = 0.47,
+                 .n_cities = 6,
+                 .n_customers = 29,
+                 .n_peers = 17,
+                 .n_providers = 3,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {"igx-us"}});
+    p.push_back({.name = "Suddenlink",
+                 .org_name = "Suddenlink Communications",
+                 .asns = {19108},
+                 .subscribers = 1467000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.5,
+                 .n_cities = 4,
+                 .n_customers = 20,
+                 .n_peers = 10,
+                 .n_providers = 2,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {}});
+    p.push_back({.name = "Windstream",
+                 .org_name = "Windstream Communications",
+                 .asns = {7029},
+                 .subscribers = 1095100,
+                 .tech = AccessTech::kDsl,
+                 .transit_free = false,
+                 .direct_host_peering = 0.06,
+                 .n_cities = 6,
+                 .n_customers = 60,
+                 .n_peers = 12,
+                 .n_providers = 3,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {}});
+    p.push_back({.name = "Mediacom",
+                 .org_name = "Mediacom Communications",
+                 .asns = {30036},
+                 .subscribers = 1085000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.4,
+                 .n_cities = 4,
+                 .n_customers = 10,
+                 .n_peers = 8,
+                 .n_providers = 2,
+                 .parallel_link_propensity = 0.1,
+                 .vp_sites = {}});
+    p.push_back({.name = "Sonic",
+                 .org_name = "Sonic Telecom",
+                 .asns = {46375},
+                 .subscribers = 100000,
+                 .tech = AccessTech::kFiber,
+                 .transit_free = false,
+                 .direct_host_peering = 0.6,
+                 .n_cities = 2,
+                 .n_customers = 6,
+                 .n_peers = 10,
+                 .n_providers = 2,
+                 .parallel_link_propensity = 0.05,
+                 .vp_sites = {"wvi-us"}});
+    p.push_back({.name = "RCN",
+                 .org_name = "RCN Telecom Services",
+                 .asns = {6079},
+                 .subscribers = 400000,
+                 .tech = AccessTech::kCable,
+                 .transit_free = false,
+                 .direct_host_peering = 0.5,
+                 .n_cities = 4,
+                 .n_customers = 35,
+                 .n_peers = 36,
+                 .n_providers = 2,
+                 .parallel_link_propensity = 0.05,
+                 .vp_sites = {"bed3-us"}});
+    return p;
+  }();
+  return profiles;
+}
+
+const std::vector<TransitProfile>& default_transit_profiles() {
+  static const std::vector<TransitProfile> profiles = {
+      {"Level3", "Level 3 Communications", 3356, true, 20, 800},
+      {"Cogent", "Cogent Communications", 174, true, 18, 700},
+      {"GTT", "GTT Communications", 3257, true, 14, 300},
+      {"Tata", "Tata Communications America", 6453, true, 12, 250},
+      {"XO", "XO Communications", 2828, true, 12, 200},
+      {"Zayo", "Zayo Bandwidth", 6461, true, 12, 220},
+      {"NTT", "NTT America", 2914, false, 14, 400},
+      {"Telia", "Telia Carrier", 1299, false, 10, 260},
+      {"HE", "Hurricane Electric", 6939, false, 16, 350},
+      {"Internap", "Internap Network Services", 14744, false, 8, 90},
+  };
+  return profiles;
+}
+
+const std::vector<ContentProfile>& default_content_profiles() {
+  static const std::vector<ContentProfile> profiles = [] {
+    std::vector<ContentProfile> p = {
+        {"GoogleCDN", 15169, 14, 14.0},  {"Akamai", 20940, 12, 10.0},
+        {"CloudCDN", 13335, 12, 8.0},    {"AmazonCDN", 16509, 12, 9.0},
+        {"Fastly", 54113, 8, 4.0},       {"EdgeCast", 15133, 8, 3.0},
+        {"Netflix", 2906, 10, 5.0},      {"Facebook", 32934, 10, 6.0},
+        {"Microsoft", 8075, 10, 5.0},    {"Apple", 714, 8, 4.0},
+        {"Yahoo", 10310, 6, 2.0},        {"Twitter", 13414, 6, 2.0},
+        {"LinkedIn", 14413, 4, 1.0},     {"Wikimedia", 14907, 4, 1.5},
+        {"Dropbox", 19679, 4, 1.0},      {"Pandora", 40428, 3, 0.7},
+    };
+    // A tail of smaller content hosters (news sites, e-commerce, ad tech)
+    // that resolve the long tail of the Alexa list.
+    for (int i = 0; i < 24; ++i) {
+      ContentProfile c;
+      c.name = "ContentHoster" + std::to_string(i + 1);
+      c.asn = 60000 + static_cast<topo::Asn>(i);
+      c.n_cities = 1 + (i % 4);
+      c.alexa_weight = 0.5;
+      p.push_back(c);
+    }
+    return p;
+  }();
+  return profiles;
+}
+
+const std::vector<TierOption>& tier_mix(AccessTech tech) {
+  static const std::vector<TierOption> cable = {
+      {25, 5, 0.30}, {50, 10, 0.35}, {105, 20, 0.20},
+      {150, 20, 0.10}, {300, 30, 0.05}};
+  static const std::vector<TierOption> dsl = {
+      {3, 0.8, 0.15}, {6, 1, 0.20}, {12, 1.5, 0.25},
+      {18, 2, 0.20},  {24, 3, 0.10}, {45, 6, 0.10}};
+  static const std::vector<TierOption> fiber = {
+      {50, 50, 0.35}, {75, 75, 0.25}, {150, 150, 0.25}, {500, 500, 0.15}};
+  switch (tech) {
+    case AccessTech::kCable:
+      return cable;
+    case AccessTech::kDsl:
+      return dsl;
+    case AccessTech::kFiber:
+      return fiber;
+  }
+  return cable;
+}
+
+double access_delay_ms(AccessTech tech) {
+  switch (tech) {
+    case AccessTech::kCable:
+      return 8.0;
+    case AccessTech::kDsl:
+      return 18.0;
+    case AccessTech::kFiber:
+      return 3.0;
+  }
+  return 8.0;
+}
+
+}  // namespace netcong::gen

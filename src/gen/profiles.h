@@ -1,0 +1,77 @@
+#pragma once
+
+// Profiles of the networks that make up the synthetic US interconnection
+// ecosystem: access ISPs (calibrated to the paper's Table 1 and Table 3),
+// transit carriers (some hosting M-Lab-style servers), and content/CDN
+// networks that serve the Alexa-style popular-content targets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/ids.h"
+
+namespace netcong::gen {
+
+// One access-link service plan and its share of the subscriber base.
+struct TierOption {
+  double down_mbps;
+  double up_mbps;
+  double weight;
+};
+
+enum class AccessTech { kCable, kDsl, kFiber };
+
+struct AccessIspProfile {
+  std::string name;      // "Comcast"
+  std::string org_name;  // "Comcast Cable Communications"
+  // First ASN is the primary (national) AS; the rest are regional siblings.
+  std::vector<topo::Asn> asns;
+  std::int64_t subscribers = 0;
+  AccessTech tech = AccessTech::kCable;
+  // True for networks that are also large transit carriers and do not buy
+  // transit themselves (AT&T/Verizon/CenturyLink class).
+  bool transit_free = false;
+  // Probability that this ISP peers directly with any given M-Lab-hosting
+  // transit network. Calibrated against the paper's Figure 1 one-hop
+  // fractions: high for the top-5 ISPs, low for Charter/Cox/Frontier, and
+  // near zero for Windstream.
+  double direct_host_peering = 0.8;
+  int n_cities = 8;
+  int n_customers = 50;  // stub customer count target (Table 3 CUST borders)
+  int n_peers = 15;      // peer count target (Table 3 PEER borders)
+  int n_providers = 2;   // transit purchased (0 if transit_free)
+  // Probability that an interconnection site gets a burst of parallel links
+  // between the same router pair (the Cox phenomenon, paper Section 4.3).
+  double parallel_link_propensity = 0.1;
+  // Ark vantage point site codes hosted in this network (Table 3).
+  std::vector<std::string> vp_sites;
+};
+
+struct TransitProfile {
+  std::string name;
+  std::string org_name;
+  topo::Asn asn = 0;
+  bool hosts_mlab = false;  // member of the M-Lab hosting set
+  int n_cities = 14;
+  int n_customers = 300;
+};
+
+struct ContentProfile {
+  std::string name;
+  topo::Asn asn = 0;
+  int n_cities = 6;
+  double alexa_weight = 1.0;  // share of Alexa-style targets hosted here
+};
+
+const std::vector<AccessIspProfile>& default_access_profiles();
+const std::vector<TransitProfile>& default_transit_profiles();
+const std::vector<ContentProfile>& default_content_profiles();
+
+// Service-plan mix for an access technology.
+const std::vector<TierOption>& tier_mix(AccessTech tech);
+
+// Typical one-way last-mile latency for the technology (ms).
+double access_delay_ms(AccessTech tech);
+
+}  // namespace netcong::gen

@@ -1,0 +1,67 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/diurnal.h"
+
+namespace netcong::gen {
+
+std::vector<TestRequest> crowdsourced_schedule(
+    const World& world, const std::vector<std::uint32_t>& clients,
+    const WorkloadConfig& config, util::Rng& rng) {
+  std::vector<TestRequest> out;
+  const double horizon = config.days * 24.0;
+
+  for (std::uint32_t client : clients) {
+    // Per-client activity: Pareto-distributed multiplier normalized to mean
+    // 1 (mean of Pareto(xm, a) is xm * a/(a-1)).
+    double a = config.activity_pareto_alpha;
+    double xm = (a - 1.0) / a;
+    double activity = rng.pareto(xm, a);
+    int n_tests = rng.poisson(config.mean_tests_per_client * activity);
+    if (n_tests <= 0) continue;
+
+    int offset =
+        world.topo->city(world.topo->host(client).city).utc_offset_hours;
+
+    for (int t = 0; t < n_tests; ++t) {
+      double when;
+      if (config.diurnal_bias) {
+        // Rejection-sample the local hour against the volume curve.
+        double local = 0.0;
+        for (int tries = 0; tries < 64; ++tries) {
+          local = rng.uniform(0.0, 24.0);
+          double accept = sim::test_volume_multiplier(local) / 2.2;
+          if (rng.chance(accept)) break;
+        }
+        double day = std::floor(rng.uniform(0.0, config.days));
+        // Convert local back to UTC.
+        double utc = local - offset;
+        when = day * 24.0 + utc;
+        while (when < 0) when += 24.0;
+        while (when >= horizon) when -= 24.0;
+      } else {
+        when = rng.uniform(0.0, horizon);
+      }
+      out.push_back(TestRequest{client, when});
+      // Repeat session: a burst of re-runs over the next few minutes.
+      if (rng.chance(config.repeat_session_prob)) {
+        int repeats = static_cast<int>(rng.uniform_int(1, config.repeat_max));
+        for (int r = 0; r < repeats; ++r) {
+          double offset_h =
+              rng.uniform(1.0, config.repeat_window_minutes) / 60.0;
+          double t = when + offset_h;
+          if (t < horizon) out.push_back(TestRequest{client, t});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TestRequest& x, const TestRequest& y) {
+              return x.utc_time_hours < y.utc_time_hours;
+            });
+  return out;
+}
+
+}  // namespace netcong::gen

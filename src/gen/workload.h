@@ -1,0 +1,47 @@
+#pragma once
+
+// Crowdsourced measurement schedules. Reproduces the sampling
+// characteristics the paper worries about (Section 6.1): users run tests
+// manually so volume follows local time of day, a few enthusiasts run many
+// tests while most homes contribute one or two, and sample counts collapse
+// in the small hours.
+
+#include <vector>
+
+#include "gen/world.h"
+#include "util/rng.h"
+
+namespace netcong::gen {
+
+struct TestRequest {
+  std::uint32_t client = 0;
+  // Time of the test in hours since the start of the measurement window
+  // (UTC). Hour-of-day = fmod(time, 24).
+  double utc_time_hours = 0.0;
+};
+
+struct WorkloadConfig {
+  int days = 28;
+  // Mean tests per client over the whole window.
+  double mean_tests_per_client = 6.0;
+  // Heavy-tail exponent for per-client activity (smaller = heavier tail of
+  // enthusiast testers).
+  double activity_pareto_alpha = 1.6;
+  // If false, tests are uniform over the day (an idealized platform that
+  // schedules its own tests, like Ark/BISmark).
+  bool diurnal_bias = true;
+  // Users often re-run a speed test a few times in one sitting; each test
+  // spawns a short repeat session with this probability. Repeats are what
+  // make the relaxed (before-or-after) traceroute matching window recover
+  // substantially more tests than the strict after-window (Section 4.1).
+  double repeat_session_prob = 0.30;
+  int repeat_max = 3;
+  double repeat_window_minutes = 15.0;
+};
+
+// Generates a schedule over the given clients, sorted by time.
+std::vector<TestRequest> crowdsourced_schedule(
+    const World& world, const std::vector<std::uint32_t>& clients,
+    const WorkloadConfig& config, util::Rng& rng);
+
+}  // namespace netcong::gen

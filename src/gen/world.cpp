@@ -1,0 +1,1176 @@
+#include "gen/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+#include "gen/address_alloc.h"
+#include "gen/cities.h"
+#include "gen/profiles.h"
+#include "topo/dns.h"
+#include "topo/geo.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace netcong::gen {
+
+using topo::Asn;
+using topo::AsType;
+using topo::CityId;
+using topo::HostKind;
+using topo::IpAddr;
+using topo::LinkId;
+using topo::LinkKind;
+using topo::Prefix;
+using topo::RelType;
+using topo::RouterId;
+using topo::RouterRole;
+
+GeneratorConfig GeneratorConfig::full() { return GeneratorConfig{}; }
+
+GeneratorConfig GeneratorConfig::small() {
+  GeneratorConfig c;
+  c.customer_scale = 0.06;
+  c.mlab_servers = 60;
+  c.speedtest_servers_2015 = 400;
+  c.speedtest_servers_2017 = 580;
+  c.clients_per_access_isp = 150;
+  c.alexa_targets = 120;
+  return c;
+}
+
+GeneratorConfig GeneratorConfig::tiny() {
+  GeneratorConfig c;
+  c.customer_scale = 0.01;
+  c.mlab_servers = 16;
+  c.speedtest_servers_2015 = 60;
+  c.speedtest_servers_2017 = 90;
+  c.clients_per_access_isp = 30;
+  c.alexa_targets = 30;
+  return c;
+}
+
+Asn World::primary_asn(const std::string& isp_name) const {
+  auto it = isp_asns.find(isp_name);
+  if (it == isp_asns.end() || it->second.empty()) return topo::kInvalidAsn;
+  return it->second.front();
+}
+
+std::vector<std::uint32_t> World::clients_of(const std::string& isp_name) const {
+  std::vector<std::uint32_t> out;
+  auto it = isp_asns.find(isp_name);
+  if (it == isp_asns.end()) return out;
+  std::unordered_set<Asn> asns(it->second.begin(), it->second.end());
+  for (std::uint32_t id : clients) {
+    if (asns.count(topo->host(id).asn)) out.push_back(id);
+  }
+  return out;
+}
+
+namespace {
+
+// Per-AS generation state.
+struct AsState {
+  Asn asn = 0;
+  AsType type = AsType::kEnterprise;
+  std::string name;
+  std::string org_name;
+  std::string domain;  // "level3.net"
+  std::vector<CityId> cities;
+  std::unordered_set<std::uint32_t> city_set;
+  std::optional<P2pCarver> infra;
+  std::optional<HostCarver> host_pool;
+  std::optional<HostCarver> client_pool;
+  const AccessIspProfile* access = nullptr;  // set for access ISP siblings
+  bool is_mlab_host = false;
+  bool is_tier1 = false;
+  double parallel_propensity = 0.1;
+  double dns_coverage = 0.85;
+  // Border-router pool per city, so interconnects share routers realistically.
+  std::unordered_map<std::uint32_t, std::vector<RouterId>> border_pool;
+  std::unordered_map<std::uint32_t, int> edge_counter;
+  int peer_count = 0;
+
+  bool in_city(CityId c) const { return city_set.count(c.value) > 0; }
+};
+
+std::string domain_from_name(const std::string& name) {
+  std::string d = util::to_lower(name);
+  std::string out;
+  for (char c : d) {
+    if (std::isalnum(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out + ".net";
+}
+
+class WorldBuilder {
+ public:
+  explicit WorldBuilder(const GeneratorConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  World build();
+
+ private:
+  void add_cities();
+  void add_ixps();
+  void add_core_ases();
+  void add_stubs();
+  void add_peerings();
+  void build_routers();
+  void build_interdomain_links();
+  void assign_traffic_profiles();
+  void place_clients();
+  void place_servers();
+  void place_vps();
+  void place_content();
+
+  // -- helpers --
+  AsState& state(Asn asn) { return as_states_.at(asn); }
+  std::vector<CityId> pick_cities(int n, util::Rng& rng,
+                                  const std::vector<CityId>& must = {});
+  AsState& create_as(Asn asn, const std::string& name,
+                     const std::string& org_name, AsType type,
+                     std::vector<CityId> cities, std::uint8_t pool_len);
+  bool share_city(Asn a, Asn b) const;
+  bool relate_customer(Asn customer, Asn provider);
+  bool relate_peer(Asn a, Asn b);
+  RouterId border_router(AsState& as, CityId city, util::Rng& rng);
+  void make_interconnects(AsState& a, AsState& b, RelType rel_a_to_b,
+                          util::Rng& rng);
+  void add_one_link(AsState& a, AsState& b, CityId city, RouterId ra,
+                    RouterId rb, bool customer_link, bool via_ixp,
+                    util::Rng& rng);
+  std::uint32_t place_host(AsState& as, CityId city, HostKind kind,
+                           RouterRole attach_role, const std::string& label,
+                           util::Rng& rng);
+  RouterId attachment_router(AsState& as, CityId city, RouterRole role);
+
+  GeneratorConfig cfg_;  // by value: the builder may fill in defaults
+  util::Rng rng_;
+  World world_;
+  topo::Topology* topo_ = nullptr;  // owned by world_
+  AddressAllocator alloc_;
+  std::unordered_map<Asn, AsState> as_states_;
+  std::vector<Asn> transit_asns_;       // all transits
+  std::vector<Asn> mlab_host_asns_;
+  std::vector<Asn> tier1_asns_;
+  std::vector<Asn> access_primary_asns_;
+  std::vector<Asn> all_access_asns_;    // incl. siblings
+  std::vector<Asn> content_asns_;
+  std::vector<Asn> stub_asns_;
+  // City -> IXP prefix carver for IXP-fabric link addressing.
+  std::unordered_map<std::uint32_t, P2pCarver> ixp_carvers_;
+  std::unordered_map<std::string, topo::OrgId> org_ids_;
+  Asn next_stub_asn_ = 100000;
+};
+
+std::vector<CityId> WorldBuilder::pick_cities(int n, util::Rng& rng,
+                                              const std::vector<CityId>& must) {
+  const auto& metros = topo_->cities();
+  std::vector<CityId> out = must;
+  std::unordered_set<std::uint32_t> seen;
+  for (CityId c : must) seen.insert(c.value);
+  std::vector<double> weights;
+  weights.reserve(metros.size());
+  for (const auto& m : metros) weights.push_back(m.population_weight);
+  int guard = 0;
+  while (static_cast<int>(out.size()) < n && ++guard < 1000) {
+    std::size_t i = rng.weighted_index(weights);
+    if (seen.insert(static_cast<std::uint32_t>(i)).second) {
+      out.push_back(CityId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return out;
+}
+
+AsState& WorldBuilder::create_as(Asn asn, const std::string& name,
+                                 const std::string& org_name, AsType type,
+                                 std::vector<CityId> cities,
+                                 std::uint8_t pool_len) {
+  // One org per unique org name.
+  topo::OrgId org;
+  auto it_org = org_ids_.find(org_name);
+  if (it_org != org_ids_.end()) {
+    org = it_org->second;
+  } else {
+    org = topo_->add_org(org_name);
+    org_ids_.emplace(org_name, org);
+  }
+
+  topo::AsInfo info;
+  info.asn = asn;
+  info.name = name;
+  info.org = org;
+  info.type = type;
+  info.cities = cities;
+  topo_->add_as(info);
+
+  AsState st;
+  st.asn = asn;
+  st.type = type;
+  st.name = name;
+  st.org_name = org_name;
+  st.domain = domain_from_name(name);
+  st.cities = std::move(cities);
+  for (CityId c : st.cities) st.city_set.insert(c.value);
+
+  // Address plan: one big block split into client/host/infra pools.
+  Prefix block = alloc_.alloc_block(pool_len);
+  std::uint8_t sub = static_cast<std::uint8_t>(pool_len + 2);
+  Prefix client_pool(block.nth(0), sub);
+  Prefix host_pool(block.nth(block.size() / 4), sub);
+  Prefix infra_pool(block.nth(block.size() / 2), sub);
+  st.client_pool.emplace(client_pool);
+  st.host_pool.emplace(host_pool);
+  st.infra.emplace(infra_pool);
+  topo_->own_prefix(block, asn);
+
+  // BGP view: announce the block; with small probability announce it from a
+  // sibling (stale origin) to stress prefix-to-AS inference.
+  Asn origin = asn;
+  if (rng_.chance(cfg_.announce_staleness)) {
+    auto sibs = topo_->siblings_of(asn);
+    if (sibs.size() > 1) {
+      origin = sibs[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(sibs.size()) - 1))];
+    }
+  }
+  topo_->announce_prefix(block, origin);
+  // Real ASes announce several prefixes; bdrmap-style campaigns probe each,
+  // which is how multiple links to the same neighbor become visible.
+  if (rng_.chance(0.75)) {
+    topo_->announce_prefix(Prefix(block.nth(0), static_cast<std::uint8_t>(
+                                                    pool_len + 1)),
+                           origin);
+    topo_->announce_prefix(
+        Prefix(block.nth(block.size() / 2),
+               static_cast<std::uint8_t>(pool_len + 1)),
+        origin);
+  }
+
+  auto [it, ok] = as_states_.emplace(asn, std::move(st));
+  assert(ok);
+  return it->second;
+}
+
+bool WorldBuilder::share_city(Asn a, Asn b) const {
+  const AsState& sa = as_states_.at(a);
+  const AsState& sb = as_states_.at(b);
+  return std::any_of(sa.cities.begin(), sa.cities.end(),
+                     [&](CityId c) { return sb.in_city(c); });
+}
+
+// Both relationship helpers refuse pairs with no common footprint: every
+// declared relationship must be physically realizable as at least one
+// interdomain link (tests assert this invariant).
+bool WorldBuilder::relate_customer(Asn customer, Asn provider) {
+  if (!share_city(customer, provider)) return false;
+  topo_->relationships().add_customer(customer, provider);
+  return true;
+}
+
+bool WorldBuilder::relate_peer(Asn a, Asn b) {
+  if (!share_city(a, b)) return false;
+  topo_->relationships().add_peer(a, b);
+  state(a).peer_count++;
+  state(b).peer_count++;
+  return true;
+}
+
+}  // namespace
+
+// Defined below in this file; split for readability.
+World generate_world(const GeneratorConfig& config) {
+  WorldBuilder builder(config);
+  return builder.build();
+}
+
+namespace {
+
+void WorldBuilder::add_cities() {
+  for (const auto& metro : us_metros()) {
+    topo::City c = metro;
+    topo_->add_city(c);
+  }
+}
+
+void WorldBuilder::add_ixps() {
+  // One IXP fabric prefix per large metro; peer links established "at the
+  // IXP" number both interfaces from this block.
+  const auto& metros = topo_->cities();
+  for (std::size_t i = 0; i < metros.size(); ++i) {
+    if (metros[i].population_weight < 3.0) continue;
+    Prefix p = alloc_.alloc_block(22);
+    topo_->add_ixp_prefix(p);
+    ixp_carvers_.emplace(static_cast<std::uint32_t>(i), P2pCarver(p));
+  }
+}
+
+void WorldBuilder::add_core_ases() {
+  util::Rng rng = rng_.fork("core-ases");
+
+  // Transit carriers. Tier-1s get a full national footprint so that every
+  // network shares at least one city with each tier-1 (reachability).
+  const std::set<std::string> tier1_names = {"Level3", "Cogent", "NTT",
+                                             "Telia"};
+  std::unordered_set<Asn> tier1_set;
+  for (const auto& t : default_transit_profiles()) {
+    std::vector<CityId> cities;
+    if (tier1_names.count(t.name)) {
+      for (std::uint32_t i = 0; i < topo_->cities().size(); ++i) {
+        cities.push_back(CityId(i));
+      }
+    } else {
+      cities = pick_cities(t.n_cities, rng);
+    }
+    auto& st = create_as(t.asn, t.name, t.org_name, AsType::kTransit,
+                         std::move(cities), 12);
+    st.is_mlab_host = t.hosts_mlab;
+    st.dns_coverage = 0.95;
+    transit_asns_.push_back(t.asn);
+    if (t.hosts_mlab) {
+      mlab_host_asns_.push_back(t.asn);
+      world_.transit_asns[t.name] = t.asn;
+    }
+  }
+  // The four largest transits form the tier-1 clique.
+  for (const char* name : {"Level3", "Cogent", "NTT", "Telia"}) {
+    for (const auto& t : default_transit_profiles()) {
+      if (t.name == name) {
+        tier1_asns_.push_back(t.asn);
+        tier1_set.insert(t.asn);
+        state(t.asn).is_tier1 = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < tier1_asns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1_asns_.size(); ++j) {
+      relate_peer(tier1_asns_[i], tier1_asns_[j]);
+    }
+  }
+  // Lower transits buy from 2-3 tier-1s; partially peer among themselves.
+  std::vector<Asn> lower;
+  for (Asn t : transit_asns_) {
+    if (!tier1_set.count(t)) lower.push_back(t);
+  }
+  for (Asn t : lower) {
+    std::vector<Asn> t1 = tier1_asns_;
+    rng.shuffle(t1);
+    int n = static_cast<int>(rng.uniform_int(2, 3));
+    for (int i = 0; i < n; ++i) relate_customer(t, t1[static_cast<std::size_t>(i)]);
+  }
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    for (std::size_t j = i + 1; j < lower.size(); ++j) {
+      if (rng.chance(0.5)) relate_peer(lower[i], lower[j]);
+    }
+  }
+
+  // Access ISPs: primary AS plus regional siblings.
+  for (const auto& a : default_access_profiles()) {
+    // The primary AS must cover every Ark VP site.
+    std::vector<CityId> must;
+    for (const auto& site : a.vp_sites) {
+      must.push_back(CityId(
+          static_cast<std::uint32_t>(metro_index_for_site(site))));
+    }
+    std::sort(must.begin(), must.end());
+    must.erase(std::unique(must.begin(), must.end()), must.end());
+    auto cities = pick_cities(a.n_cities, rng, must);
+
+    for (std::size_t s = 0; s < a.asns.size(); ++s) {
+      Asn asn = a.asns[s];
+      std::string as_name =
+          s == 0 ? a.name : a.name + "-Region" + std::to_string(s);
+      std::vector<CityId> as_cities;
+      if (s == 0) {
+        as_cities = cities;
+      } else {
+        // Regional sibling: a slice of the footprint.
+        std::vector<CityId> shuffled = cities;
+        rng.shuffle(shuffled);
+        std::size_t k = std::max<std::size_t>(
+            1, cities.size() / (a.asns.size()));
+        as_cities.assign(shuffled.begin(),
+                         shuffled.begin() + static_cast<std::ptrdiff_t>(
+                                                std::min(k, shuffled.size())));
+      }
+      auto& st = create_as(asn, as_name, a.org_name, AsType::kAccess,
+                           std::move(as_cities), 12);
+      st.access = &a;
+      st.parallel_propensity = a.parallel_link_propensity;
+      st.dns_coverage = 0.6;
+      all_access_asns_.push_back(asn);
+      world_.isp_asns[a.name].push_back(asn);
+      if (s == 0) {
+        access_primary_asns_.push_back(asn);
+      } else {
+        // Regional siblings draw their national connectivity from the
+        // primary AS.
+        relate_customer(asn, a.asns[0]);
+      }
+    }
+  }
+
+  // Content networks.
+  for (const auto& c : default_content_profiles()) {
+    auto& st = create_as(c.asn, c.name, c.name + " Inc", AsType::kContent,
+                         pick_cities(c.n_cities, rng), 14);
+    st.dns_coverage = 0.7;
+    content_asns_.push_back(c.asn);
+  }
+}
+
+void WorldBuilder::add_stubs() {
+  util::Rng rng = rng_.fork("stubs");
+
+  // Customer-slot targets per provider, scaled from the Table 3 profiles.
+  std::vector<Asn> providers;
+  std::vector<int> slots;
+  auto add_slots = [&](Asn asn, int n) {
+    n = std::max(1, static_cast<int>(n * cfg_.customer_scale));
+    providers.push_back(asn);
+    slots.push_back(n);
+  };
+  for (const auto& t : default_transit_profiles()) add_slots(t.asn, t.n_customers);
+  for (const auto& a : default_access_profiles()) {
+    add_slots(a.asns[0], a.n_customers);
+  }
+
+  int total_slots = 0;
+  for (int s : slots) total_slots += s;
+
+  while (total_slots > 0) {
+    // Each stub takes 1-3 slots from distinct providers sharing a city.
+    std::vector<double> w(slots.begin(), slots.end());
+    std::size_t first = rng.weighted_index(w);
+    AsState& prov0 = state(providers[first]);
+    CityId city = prov0.cities[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(prov0.cities.size()) - 1))];
+
+    Asn asn = next_stub_asn_++;
+    auto& st = create_as(asn, "Stub" + std::to_string(asn),
+                         "Stub Networks " + std::to_string(asn),
+                         AsType::kEnterprise, {city}, 18);
+    st.dns_coverage = 0.3;
+    stub_asns_.push_back(asn);
+
+    relate_customer(asn, providers[first]);
+    slots[first]--;
+    total_slots--;
+
+    int extra = static_cast<int>(rng.uniform_int(0, 2));
+    for (int e = 0; e < extra && total_slots > 0; ++e) {
+      // A second/third provider must have presence in the stub's city.
+      std::vector<std::size_t> cands;
+      for (std::size_t i = 0; i < providers.size(); ++i) {
+        if (i == first || slots[i] <= 0) continue;
+        if (!state(providers[i]).in_city(city)) continue;
+        if (topo_->relationships().adjacent(asn, providers[i])) continue;
+        cands.push_back(i);
+      }
+      if (cands.empty()) break;
+      std::size_t pick = cands[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(cands.size()) - 1))];
+      relate_customer(asn, providers[pick]);
+      slots[pick]--;
+      total_slots--;
+    }
+  }
+}
+
+void WorldBuilder::add_peerings() {
+  util::Rng rng = rng_.fork("peerings");
+
+  // Count M-Lab host transits that are tier-1 (always reachable/direct for
+  // transit-free ISPs).
+  int n_hosts = static_cast<int>(mlab_host_asns_.size());
+  int n_t1_hosts = 0;
+  for (Asn h : mlab_host_asns_) {
+    if (state(h).is_tier1) ++n_t1_hosts;
+  }
+
+  for (const auto& a : default_access_profiles()) {
+    Asn primary = a.asns[0];
+    double target = a.direct_host_peering;
+
+    // Deterministic quota: the ISP peers directly with round(target * n)
+    // of the M-Lab host transits. A Bernoulli draw per host would make the
+    // realized Figure 1 fraction far too coarse with only ~6 host networks.
+    int quota = static_cast<int>(std::lround(target * n_hosts));
+    std::vector<Asn> hosts = mlab_host_asns_;
+    // Transit-free carriers always peer with the tier-1 clique, so tier-1
+    // hosts consume quota first for them.
+    std::stable_sort(hosts.begin(), hosts.end(), [&](Asn x, Asn y) {
+      return state(x).is_tier1 > state(y).is_tier1;
+    });
+    if (!a.transit_free) rng.shuffle(hosts);
+
+    if (a.transit_free) {
+      for (Asn t : tier1_asns_) relate_peer(primary, t);
+      int direct = n_t1_hosts;  // tier-1 hosts are already direct
+      for (Asn t : hosts) {
+        if (state(t).is_tier1) continue;
+        if (direct < quota && relate_peer(primary, t)) ++direct;
+      }
+      // Non-host transits peer freely with large carriers.
+      for (Asn t : transit_asns_) {
+        if (state(t).is_mlab_host ||
+            topo_->relationships().adjacent(primary, t))
+          continue;
+        if (rng.chance(0.7)) relate_peer(primary, t);
+      }
+    } else {
+      int direct = 0;
+      for (Asn t : hosts) {
+        if (direct < quota && relate_peer(primary, t)) ++direct;
+      }
+      // Buy transit from non-host *tier-1* carriers. This matters for the
+      // Figure 1 calibration: if the provider were itself a customer of a
+      // host network, that host would prefer the revenue-bearing customer
+      // route over its direct peering with the ISP (Gao-Rexford customer >
+      // peer), and every test would take two AS hops despite the peering.
+      std::vector<Asn> provider_cands;
+      for (Asn t : tier1_asns_) {
+        if (!state(t).is_mlab_host &&
+            !topo_->relationships().adjacent(primary, t)) {
+          provider_cands.push_back(t);
+        }
+      }
+      rng.shuffle(provider_cands);
+      int n = std::min<int>(a.n_providers,
+                            static_cast<int>(provider_cands.size()));
+      for (int i = 0; i < n; ++i) {
+        relate_customer(primary, provider_cands[static_cast<std::size_t>(i)]);
+      }
+    }
+
+    // Regional siblings of large cable orgs also peer directly with some
+    // M-Lab hosts (this is what creates multiple AS-level links between one
+    // transit org and one access org, as in Table 2).
+    for (std::size_t s = 1; s < a.asns.size(); ++s) {
+      for (Asn t : mlab_host_asns_) {
+        if (!topo_->relationships().adjacent(a.asns[0], t)) continue;
+        if (rng.chance(0.6 * target)) {
+          // Only if the sibling shares a city with the transit.
+          AsState& sib = state(a.asns[s]);
+          AsState& tr = state(t);
+          bool common = std::any_of(
+              sib.cities.begin(), sib.cities.end(),
+              [&](CityId c) { return tr.in_city(c); });
+          if (common && !topo_->relationships().adjacent(a.asns[s], t)) {
+            relate_peer(a.asns[s], t);
+          }
+        }
+      }
+    }
+  }
+
+  // Content networks: peer openly with large access ISPs, and buy transit
+  // (from carriers sharing at least one of the content network's cities, so
+  // the relationship is always physically realizable).
+  for (Asn c : content_asns_) {
+    AsState& cs = state(c);
+    std::vector<Asn> t;
+    for (Asn asn : transit_asns_) {
+      AsState& ts = state(asn);
+      if (std::any_of(cs.cities.begin(), cs.cities.end(),
+                      [&](CityId x) { return ts.in_city(x); })) {
+        t.push_back(asn);
+      }
+    }
+    rng.shuffle(t);
+    int n_prov = std::min<int>(static_cast<int>(rng.uniform_int(1, 2)),
+                               static_cast<int>(t.size()));
+    for (int i = 0; i < n_prov; ++i) {
+      relate_customer(c, t[static_cast<std::size_t>(i)]);
+    }
+    for (const auto& a : default_access_profiles()) {
+      AsState& as = state(a.asns[0]);
+      bool common = std::any_of(cs.cities.begin(), cs.cities.end(),
+                                [&](CityId x) { return as.in_city(x); });
+      if (!common) continue;
+      double p = a.subscribers > 5000000 ? 0.7 : 0.35;
+      if (rng.chance(p)) relate_peer(c, a.asns[0]);
+    }
+  }
+
+  // Some access ISPs peer with each other regionally.
+  for (std::size_t i = 0; i < access_primary_asns_.size(); ++i) {
+    for (std::size_t j = i + 1; j < access_primary_asns_.size(); ++j) {
+      if (rng.chance(0.25)) {
+        AsState& x = state(access_primary_asns_[i]);
+        AsState& y = state(access_primary_asns_[j]);
+        bool common = std::any_of(x.cities.begin(), x.cities.end(),
+                                  [&](CityId c) { return y.in_city(c); });
+        if (common) relate_peer(x.asn, y.asn);
+      }
+    }
+  }
+
+  // Fill remaining peer quota (Table 3 PEER column) with regional peer
+  // networks reached at IXPs: small ASes that peer but do not buy.
+  for (const auto& a : default_access_profiles()) {
+    AsState& st = state(a.asns[0]);
+    int target = std::max(1, static_cast<int>(a.n_peers *
+                                              std::max(0.25, cfg_.customer_scale)));
+    int guard = 0;
+    while (st.peer_count < target && ++guard < 500) {
+      Asn asn = next_stub_asn_++;
+      CityId city = st.cities[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(st.cities.size()) - 1))];
+      auto& ps = create_as(asn, "RegionalPeer" + std::to_string(asn),
+                           "Regional Peer " + std::to_string(asn),
+                           AsType::kEnterprise, {city}, 18);
+      ps.dns_coverage = 0.4;
+      stub_asns_.push_back(asn);
+      relate_peer(st.asn, asn);
+      // Peer networks still need transit for the rest of the Internet.
+      std::vector<Asn> cands;
+      for (Asn t : transit_asns_) {
+        if (state(t).in_city(city)) cands.push_back(t);
+      }
+      if (!cands.empty()) {
+        relate_customer(asn, cands[static_cast<std::size_t>(rng.uniform_int(
+                                  0, static_cast<std::int64_t>(cands.size()) -
+                                         1))]);
+      }
+    }
+  }
+}
+
+void WorldBuilder::build_routers() {
+  util::Rng rng = rng_.fork("routers");
+  for (auto& [asn, st] : as_states_) {
+    // One backbone router per city; full mesh between them.
+    std::vector<RouterId> backbones;
+    for (CityId c : st.cities) {
+      RouterId bb = topo_->add_router(asn, c, RouterRole::kBackbone,
+                                      "bb1." + topo_->city(c).code);
+      IpAddr mgmt;
+      if (st.infra) {
+        P2pCarver::Subnet s;
+        if (st.infra->next(true, s)) mgmt = s.a;
+      }
+      topo_->set_router_mgmt_addr(bb, mgmt);
+      backbones.push_back(bb);
+    }
+    for (std::size_t i = 0; i < backbones.size(); ++i) {
+      for (std::size_t j = i + 1; j < backbones.size(); ++j) {
+        P2pCarver::Subnet s;
+        if (!st.infra->next(false, s)) continue;
+        topo::Topology::LinkSpec spec;
+        spec.router_a = backbones[i];
+        spec.router_b = backbones[j];
+        spec.kind = LinkKind::kInternal;
+        spec.capacity_mbps = 100000.0;
+        const topo::City& ca = topo_->city(topo_->router(backbones[i]).city);
+        const topo::City& cb = topo_->city(topo_->router(backbones[j]).city);
+        spec.prop_delay_ms =
+            topo::propagation_delay_ms(topo::city_distance_km(ca, cb));
+        spec.addr_a = s.a;
+        spec.addr_b = s.b;
+        topo_->add_link(spec);
+      }
+    }
+    // Access ISPs get client-aggregation routers; every non-stub AS gets a
+    // hosting router per city.
+    auto attach_local = [&](RouterRole role, const std::string& prefix) {
+      for (std::size_t i = 0; i < st.cities.size(); ++i) {
+        CityId c = st.cities[i];
+        RouterId r = topo_->add_router(asn, c, role,
+                                       prefix + "1." + topo_->city(c).code);
+        P2pCarver::Subnet s;
+        if (st.infra->next(false, s)) {
+          topo::Topology::LinkSpec spec;
+          spec.router_a = r;
+          spec.router_b = backbones[i];
+          spec.kind = LinkKind::kInternal;
+          spec.capacity_mbps = 40000.0;
+          spec.prop_delay_ms = 0.3;
+          spec.addr_a = s.a;
+          spec.addr_b = s.b;
+          topo_->add_link(spec);
+          topo_->set_router_mgmt_addr(r, s.a);
+        }
+      }
+    };
+    if (st.type == AsType::kAccess) attach_local(RouterRole::kAccess, "agg");
+    if (st.type != AsType::kEnterprise) {
+      attach_local(RouterRole::kHosting, "host");
+    }
+  }
+  (void)rng;
+}
+
+RouterId WorldBuilder::border_router(AsState& as, CityId city,
+                                     util::Rng& rng) {
+  auto& pool = as.border_pool[city.value];
+  // Reuse an existing border router at this site 60% of the time; real
+  // border routers terminate many neighbors.
+  if (!pool.empty() && rng.chance(0.6)) {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  }
+  int n = ++as.edge_counter[city.value];
+  RouterId r = topo_->add_router(as.asn, city, RouterRole::kBorder,
+                                 "edge" + std::to_string(n));
+  // Connect the border router to the local backbone.
+  RouterId bb;
+  for (RouterId cand : topo_->routers_of(as.asn, city)) {
+    if (topo_->router(cand).role == RouterRole::kBackbone) bb = cand;
+  }
+  P2pCarver::Subnet s;
+  if (bb.valid() && as.infra->next(false, s)) {
+    topo::Topology::LinkSpec spec;
+    spec.router_a = r;
+    spec.router_b = bb;
+    spec.kind = LinkKind::kInternal;
+    spec.capacity_mbps = 100000.0;
+    spec.prop_delay_ms = 0.2;
+    spec.addr_a = s.a;
+    spec.addr_b = s.b;
+    topo_->add_link(spec);
+    topo_->set_router_mgmt_addr(r, s.a);
+  }
+  pool.push_back(r);
+  return r;
+}
+
+void WorldBuilder::add_one_link(AsState& a, AsState& b, CityId city,
+                                RouterId ra, RouterId rb, bool customer_link,
+                                bool via_ixp, util::Rng& rng) {
+  topo::Topology::LinkSpec spec;
+  spec.router_a = ra;
+  spec.router_b = rb;
+  spec.kind = LinkKind::kInterdomain;
+  spec.capacity_mbps = customer_link ? 10000.0 : 100000.0;
+  spec.prop_delay_ms = 0.3;
+  spec.via_ixp = via_ixp;
+
+  if (via_ixp) {
+    auto it = ixp_carvers_.find(city.value);
+    P2pCarver::Subnet s;
+    if (it != ixp_carvers_.end() && it->second.next(false, s)) {
+      // Both interfaces numbered from the IXP fabric prefix; inference
+      // recognizes them through the IXP prefix list, not prefix-to-AS.
+      spec.addr_a = s.a;
+      spec.addr_b = s.b;
+    } else {
+      via_ixp = false;
+      spec.via_ixp = false;
+    }
+  }
+  if (!spec.via_ixp) {
+    // Point-to-point subnet numbered from one side's space: customers are
+    // usually numbered from the provider (side b by convention here);
+    // peers from either side.
+    bool from_a = customer_link ? rng.chance(0.2) : rng.chance(0.5);
+    AsState& owner = from_a ? a : b;
+    bool slash31 = rng.chance(0.15);
+    P2pCarver::Subnet s;
+    if (!owner.infra->next(slash31, s)) {
+      AsState& alt = from_a ? b : a;
+      if (!alt.infra->next(slash31, s)) return;  // both pools exhausted
+      from_a = !from_a;
+    }
+    spec.addr_a = s.a;
+    spec.addr_b = s.b;
+    Asn space_owner = from_a ? a.asn : b.asn;
+    spec.addr_owner_a = space_owner;
+    spec.addr_owner_b = space_owner;
+  }
+
+  // PTR records: each side's interface names the remote org.
+  const topo::City& c = topo_->city(city);
+  int pop_index = 1 + static_cast<int>(rng.uniform_int(0, 4));
+  if (rng.chance(a.dns_coverage)) {
+    spec.dns_a = topo::make_interdomain_dns_name(
+        b.org_name, topo_->router(ra).name, c.name, pop_index, a.domain);
+  }
+  if (rng.chance(b.dns_coverage)) {
+    spec.dns_b = topo::make_interdomain_dns_name(
+        a.org_name, topo_->router(rb).name, c.name, pop_index, b.domain);
+  }
+  topo_->add_link(spec);
+}
+
+void WorldBuilder::make_interconnects(AsState& a, AsState& b,
+                                      RelType rel_a_to_b, util::Rng& rng) {
+  // Common footprint.
+  std::vector<CityId> common;
+  for (CityId c : a.cities) {
+    if (b.in_city(c)) common.push_back(c);
+  }
+  if (common.empty()) return;
+
+  bool customer_link = rel_a_to_b != RelType::kPeer;
+  bool a_is_stub = a.type == AsType::kEnterprise;
+  bool b_is_stub = b.type == AsType::kEnterprise;
+
+  int n_sites;
+  if (a_is_stub || b_is_stub) {
+    n_sites = 1;
+  } else if (customer_link) {
+    n_sites = static_cast<int>(rng.uniform_int(1, 3));
+  } else {
+    // Large-large peering interconnects in many cities.
+    double size = std::min(a.cities.size(), b.cities.size());
+    n_sites = static_cast<int>(rng.uniform_int(
+        2, std::max<std::int64_t>(2, static_cast<std::int64_t>(size))));
+  }
+  n_sites = std::min<int>(n_sites, static_cast<int>(common.size()));
+  rng.shuffle(common);
+
+  double parallel_p =
+      std::max(a.parallel_propensity, b.parallel_propensity);
+
+  for (int s = 0; s < n_sites; ++s) {
+    CityId city = common[static_cast<std::size_t>(s)];
+    RouterId ra = border_router(a, city, rng);
+    RouterId rb = border_router(b, city, rng);
+    bool via_ixp = !customer_link && rng.chance(cfg_.ixp_peer_fraction) &&
+                   ixp_carvers_.count(city.value) > 0;
+    add_one_link(a, b, city, ra, rb, customer_link, via_ixp, rng);
+    // Parallel links between the same router pair (the Cox case).
+    if (!customer_link && rng.chance(parallel_p)) {
+      int extra = static_cast<int>(rng.uniform_int(1, 8));
+      for (int e = 0; e < extra; ++e) {
+        add_one_link(a, b, city, ra, rb, customer_link, via_ixp, rng);
+      }
+    }
+    // Large peers often interconnect on more than one router pair in the
+    // same metro (distinct PoPs); these become distinct IP-level links in
+    // the same region — part of the Table 2 diversity.
+    if (!customer_link && !a_is_stub && !b_is_stub) {
+      int extra_pairs = rng.chance(0.4) ? (rng.chance(0.35) ? 2 : 1) : 0;
+      for (int e = 0; e < extra_pairs; ++e) {
+        RouterId ra2 = border_router(a, city, rng);
+        RouterId rb2 = border_router(b, city, rng);
+        if (ra2 == ra && rb2 == rb) continue;
+        add_one_link(a, b, city, ra2, rb2, customer_link, false, rng);
+      }
+    }
+    if (customer_link && rng.chance(0.45)) {
+      // Second customer link, usually terminating on a fresh router pair
+      // (multihoming within the site) — this is what pushes router-level
+      // border counts past AS-level counts in Table 3.
+      RouterId ra2 = rng.chance(0.3) ? ra : border_router(a, city, rng);
+      RouterId rb2 = rng.chance(0.3) ? rb : border_router(b, city, rng);
+      add_one_link(a, b, city, ra2, rb2, customer_link, false, rng);
+    }
+  }
+}
+
+void WorldBuilder::build_interdomain_links() {
+  util::Rng rng = rng_.fork("interdomain");
+  // Iterate every relationship once (a < b ordering).
+  std::vector<Asn> all = topo_->all_asns();
+  for (Asn a : all) {
+    for (const auto& [b, rel] : topo_->relationships().neighbors(a)) {
+      if (a >= b) continue;
+      make_interconnects(state(a), state(b), rel, rng);
+    }
+  }
+}
+
+void WorldBuilder::assign_traffic_profiles() {
+  util::Rng rng = rng_.fork("traffic");
+  auto& traffic = *world_.traffic;
+
+  auto org_of = [&](Asn asn) { return state(asn).org_name; };
+
+  for (const auto& link : topo_->links()) {
+    sim::LinkLoadProfile p;
+    if (link.kind == LinkKind::kInternal) {
+      p.base_util = cfg_.internal_base_util;
+      p.peak_util = cfg_.internal_peak_util * rng.uniform(0.8, 1.2);
+    } else {
+      RelType rel = topo_->relationships().between(link.as_a, link.as_b);
+      bool customer = rel != RelType::kPeer;
+      if (customer) {
+        p.base_util = cfg_.customer_base_util;
+        p.peak_util = cfg_.customer_peak_util * rng.uniform(0.7, 1.2);
+      } else {
+        p.base_util = cfg_.peer_base_util;
+        p.peak_util = cfg_.peer_peak_util * rng.uniform(0.75, 1.15);
+      }
+      // Scenario overrides.
+      for (const auto& entry : cfg_.congested) {
+        bool match = (org_of(link.as_a) == entry.org_a &&
+                      org_of(link.as_b) == entry.org_b) ||
+                     (org_of(link.as_a) == entry.org_b &&
+                      org_of(link.as_b) == entry.org_a);
+        if (match) {
+          p.peak_util = entry.peak_util * rng.uniform(0.97, 1.03);
+          p.base_util = std::min(0.45, p.base_util + 0.1);
+        }
+      }
+      p.peak_util = std::min(p.peak_util, 1.35);
+    }
+    // Stagger peak hours slightly per link.
+    p.shape.peak_hour = 21.0 + rng.uniform(-1.0, 1.0);
+    p.shape.trough_hour = 4.0 + rng.uniform(-1.0, 1.0);
+    p.noise_sigma = 0.04;
+    traffic.set_profile(link.id, p);
+    if (p.peak_util >= 1.0) world_.congested_links.push_back(link.id);
+  }
+
+  if (cfg_.congest_internal_links) {
+    // Assumption-1 ablation: saturate a few internal backbone links of the
+    // largest access ISPs at peak.
+    int done = 0;
+    for (const auto& link : topo_->links()) {
+      if (done >= 6) break;
+      if (link.kind != LinkKind::kInternal) continue;
+      if (state(link.as_a).type != AsType::kAccess) continue;
+      if (!rng.chance(0.02)) continue;
+      sim::LinkLoadProfile p = traffic.profile(link.id);
+      p.peak_util = 1.1;
+      traffic.set_profile(link.id, p);
+      world_.congested_links.push_back(link.id);
+      ++done;
+    }
+  }
+}
+
+RouterId WorldBuilder::attachment_router(AsState& as, CityId city,
+                                         RouterRole role) {
+  RouterId fallback;
+  for (RouterId r : topo_->routers_of(as.asn, city)) {
+    RouterRole rr = topo_->router(r).role;
+    if (rr == role) return r;
+    if (rr == RouterRole::kBackbone) fallback = r;
+  }
+  return fallback;
+}
+
+std::uint32_t WorldBuilder::place_host(AsState& as, CityId city,
+                                       HostKind kind, RouterRole attach_role,
+                                       const std::string& label,
+                                       util::Rng& rng) {
+  topo::Host h;
+  h.kind = kind;
+  h.asn = as.asn;
+  h.city = city;
+  h.attachment = attachment_router(as, city, attach_role);
+  h.label = label;
+  IpAddr addr;
+  HostCarver& pool = kind == HostKind::kClient ? *as.client_pool : *as.host_pool;
+  if (!pool.next(addr)) {
+    // Pool exhausted (possible only at extreme scales): reuse infra space.
+    P2pCarver::Subnet s;
+    as.infra->next(true, s);
+    addr = s.a;
+  }
+  h.addr = addr;
+  if (kind != HostKind::kClient) {
+    h.tier = topo::ServiceTier{10000.0, 10000.0};
+    h.home_quality = 1.0;
+    h.access_delay_ms = 0.3;
+  }
+  (void)rng;
+  return topo_->add_host(h);
+}
+
+void WorldBuilder::place_clients() {
+  util::Rng rng = rng_.fork("clients");
+  for (const auto& a : default_access_profiles()) {
+    const auto& tiers = tier_mix(a.tech);
+    std::vector<double> tier_w;
+    for (const auto& t : tiers) tier_w.push_back(t.weight);
+
+    // Client volume loosely follows subscriber share, floored so small ISPs
+    // still produce usable samples.
+    int n = std::max(40, static_cast<int>(cfg_.clients_per_access_isp *
+                                          std::sqrt(a.subscribers / 6.0e6)));
+    for (int i = 0; i < n; ++i) {
+      // Pick the sibling AS: primary carries most subscribers.
+      std::size_t sib = 0;
+      if (a.asns.size() > 1 && rng.chance(0.4)) {
+        sib = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(a.asns.size()) - 1));
+      }
+      AsState& st = state(a.asns[sib]);
+      // City weighted by population.
+      std::vector<double> cw;
+      for (CityId c : st.cities) {
+        cw.push_back(topo_->city(c).population_weight);
+      }
+      CityId city = st.cities[rng.weighted_index(cw)];
+      std::uint32_t id = place_host(st, city, HostKind::kClient,
+                                    RouterRole::kAccess,
+                                    a.name + "-client", rng);
+      topo::Host& h = topo_->mutable_host(id);
+      const TierOption& tier = tiers[rng.weighted_index(tier_w)];
+      h.tier = topo::ServiceTier{tier.down_mbps, tier.up_mbps};
+      // Home network: ~45% wired (full quality), the rest Wi-Fi with a wide
+      // quality spread (paper Section 6.1).
+      h.home_quality = rng.chance(0.45) ? 1.0 : rng.uniform(0.35, 1.0);
+      h.access_delay_ms = access_delay_ms(a.tech) * rng.uniform(0.7, 1.6);
+      world_.clients.push_back(id);
+    }
+  }
+}
+
+void WorldBuilder::place_servers() {
+  util::Rng rng = rng_.fork("servers");
+
+  // M-Lab: servers live in the hosting transits' major cities; several
+  // machines per site, like the real deployment.
+  {
+    std::vector<std::pair<Asn, CityId>> sites;
+    for (Asn t : mlab_host_asns_) {
+      for (CityId c : state(t).cities) sites.emplace_back(t, c);
+    }
+    rng.shuffle(sites);
+    std::unordered_map<std::uint64_t, int> site_counter;
+    for (int i = 0; i < cfg_.mlab_servers; ++i) {
+      auto [asn, city] = sites[static_cast<std::size_t>(i) % sites.size()];
+      int n = ++site_counter[(static_cast<std::uint64_t>(asn) << 32) |
+                             city.value];
+      std::string label = util::format(
+          "mlab.%s%02d.%s", topo_->city(city).code.c_str(), n,
+          state(asn).name.c_str());
+      world_.mlab_servers.push_back(place_host(
+          state(asn), city, HostKind::kTestServer, RouterRole::kHosting,
+          label, rng));
+    }
+  }
+
+  // Speedtest: a much larger fleet hosted broadly — inside access ISPs
+  // themselves, in transits, content networks, and regional stubs. This
+  // breadth is why its interconnection coverage beats M-Lab's (Section 5.2).
+  {
+    struct HostClass {
+      std::vector<Asn>* pool;
+      double weight;
+    };
+    std::vector<Asn> access_pool = all_access_asns_;
+    std::vector<HostClass> classes = {
+        {&access_pool, 0.50},
+        {&transit_asns_, 0.22},
+        {&content_asns_, 0.12},
+        {&stub_asns_, 0.16},
+    };
+    std::vector<double> cw;
+    for (const auto& c : classes) cw.push_back(c.weight);
+    int counter = 0;
+    for (int i = 0; i < cfg_.speedtest_servers_2017; ++i) {
+      auto& cls = classes[rng.weighted_index(cw)];
+      Asn asn = (*cls.pool)[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(cls.pool->size()) - 1))];
+      AsState& st = state(asn);
+      CityId city = st.cities[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(st.cities.size()) - 1))];
+      std::string label = util::format("speedtest.%s%04d",
+                                       topo_->city(city).code.c_str(),
+                                       ++counter);
+      std::uint32_t id =
+          place_host(st, city, HostKind::kTestServer, RouterRole::kHosting,
+                     label, rng);
+      world_.speedtest_servers_2017.push_back(id);
+    }
+    // The 2015 snapshot is the prefix of today's fleet (Speedtest only grew).
+    world_.speedtest_servers_2015.assign(
+        world_.speedtest_servers_2017.begin(),
+        world_.speedtest_servers_2017.begin() +
+            std::min<std::size_t>(world_.speedtest_servers_2017.size(),
+                                  static_cast<std::size_t>(
+                                      cfg_.speedtest_servers_2015)));
+  }
+}
+
+void WorldBuilder::place_vps() {
+  util::Rng rng = rng_.fork("vps");
+  for (const auto& a : default_access_profiles()) {
+    for (const auto& site : a.vp_sites) {
+      CityId city(static_cast<std::uint32_t>(metro_index_for_site(site)));
+      AsState& st = state(a.asns[0]);
+      std::uint32_t id = place_host(st, city, HostKind::kVantage,
+                                    RouterRole::kAccess, site, rng);
+      // VPs sit on residential-style connections but we give them generous
+      // tiers; topology probing is not throughput-bound.
+      world_.ark_vps.push_back(id);
+    }
+  }
+}
+
+void WorldBuilder::place_content() {
+  util::Rng rng = rng_.fork("content");
+  // One content endpoint per (content AS, city) — CDN front-ends.
+  for (Asn c : content_asns_) {
+    AsState& st = state(c);
+    for (CityId city : st.cities) {
+      std::string label =
+          util::format("%s.%s", st.name.c_str(), topo_->city(city).code.c_str());
+      world_.content_hosts.push_back(place_host(
+          st, city, HostKind::kContent, RouterRole::kHosting, label, rng));
+    }
+  }
+  // Alexa-style domain list: domains assigned to content ASes by weight.
+  std::vector<double> w;
+  for (const auto& c : default_content_profiles()) w.push_back(c.alexa_weight);
+  const auto& profiles = default_content_profiles();
+  for (int d = 0; d < cfg_.alexa_targets; ++d) {
+    const auto& c = profiles[rng.weighted_index(w)];
+    world_.alexa_domains.emplace_back(
+        util::format("site%03d.%s.example", d, util::to_lower(c.name).c_str()),
+        c.asn);
+  }
+}
+
+World WorldBuilder::build() {
+  world_.topo = std::make_unique<topo::Topology>();
+  topo_ = world_.topo.get();
+
+  add_cities();
+  add_ixps();
+  add_core_ases();
+  add_stubs();
+  add_peerings();
+  build_routers();
+  build_interdomain_links();
+
+  world_.traffic = std::make_unique<sim::TrafficModel>(*topo_);
+  // Default congestion scenario mirrors the paper's Figure 5 case study
+  // (GTT-AT&T congested, GTT-Comcast busy but not), plus a spectrum of
+  // milder cases so the Section 6.2 threshold study has a realistic gray
+  // zone on both sides of saturation.
+  if (cfg_.congested.empty()) {
+    cfg_.congested.push_back({"GTT Communications", "AT&T Services", 1.12});
+    cfg_.congested.push_back(
+        {"GTT Communications", "Comcast Cable Communications", 0.93});
+    cfg_.congested.push_back(
+        {"Cogent Communications", "Verizon Business", 1.08});
+    cfg_.congested.push_back(
+        {"Tata Communications America", "Time Warner Cable", 1.05});
+    cfg_.congested.push_back(
+        {"Zayo Bandwidth", "Charter Communications", 1.03});
+    cfg_.congested.push_back({"XO Communications", "Cox Communications", 1.01});
+    cfg_.congested.push_back(
+        {"Level 3 Communications", "Time Warner Cable", 0.97});
+    cfg_.congested.push_back(
+        {"Cogent Communications", "CenturyLink Communications", 0.99});
+  }
+  assign_traffic_profiles();
+
+  place_clients();
+  place_servers();
+  place_vps();
+  place_content();
+
+  NETCONG_INFO << "generated world: " << topo_->as_count() << " ASes, "
+               << topo_->routers().size() << " routers, "
+               << topo_->links().size() << " links ("
+               << topo_->interdomain_link_count() << " interdomain), "
+               << topo_->hosts().size() << " hosts, "
+               << world_.congested_links.size() << " congested links";
+  return std::move(world_);
+}
+
+}  // namespace
+}  // namespace netcong::gen

@@ -1,0 +1,102 @@
+#pragma once
+
+// World: a generated topology plus everything the experiments need to run
+// against it — the traffic model (with congestion ground truth), the server
+// fleets of both measurement platforms in both paper snapshots, Ark-style
+// vantage points, Alexa-style content targets, and the client population.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/traffic.h"
+#include "topo/topology.h"
+
+namespace netcong::gen {
+
+struct CongestionScenarioEntry {
+  // Interdomain links between these two organizations' ASes get this peak
+  // utilization (>= 1.0 means truly congested at peak).
+  std::string org_a;  // e.g. "GTT Communications"
+  std::string org_b;  // e.g. "AT&T Services"
+  double peak_util = 1.1;
+};
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // Scales stub-customer counts relative to the paper's Table 3 (1.0
+  // reproduces the published border counts; smaller keeps tests fast).
+  double customer_scale = 1.0;
+
+  // Server fleets (paper Section 5.4 snapshots: M-Lab 261/261,
+  // Speedtest 3591 -> 5209).
+  int mlab_servers = 261;
+  int speedtest_servers_2015 = 3591;
+  int speedtest_servers_2017 = 5209;
+
+  int clients_per_access_isp = 1200;
+  int alexa_targets = 500;
+
+  // Fraction of peer interconnections established across an IXP fabric.
+  double ixp_peer_fraction = 0.15;
+  // Fraction of interdomain interfaces with a PTR record.
+  double dns_ptr_coverage = 0.85;
+  // Fraction of announced blocks whose BGP origin is stale (announced by a
+  // sibling), stressing prefix-to-AS-based inference.
+  double announce_staleness = 0.02;
+
+  // Background load defaults (fractions of capacity).
+  double internal_base_util = 0.10, internal_peak_util = 0.35;
+  double customer_base_util = 0.15, customer_peak_util = 0.55;
+  double peer_base_util = 0.20, peer_peak_util = 0.80;
+
+  // Deliberately congested interdomain AS pairs. The default scenario
+  // mirrors the paper's Figure 5 case study: GTT <-> AT&T congested, while
+  // GTT <-> Comcast runs busy but below capacity.
+  std::vector<CongestionScenarioEntry> congested;
+  // If true (ablation of Assumption 1), a few large-ISP internal backbone
+  // links are also driven past capacity.
+  bool congest_internal_links = false;
+
+  // Presets.
+  static GeneratorConfig full();    // paper-scale (default values above)
+  static GeneratorConfig small();   // fast integration-test scale
+  static GeneratorConfig tiny();    // unit-test scale
+};
+
+struct World {
+  std::unique_ptr<topo::Topology> topo;
+  std::unique_ptr<sim::TrafficModel> traffic;
+
+  // Ground truth for validation.
+  std::vector<topo::LinkId> congested_links;
+
+  // ISP display name -> its AS numbers (primary first).
+  std::unordered_map<std::string, std::vector<topo::Asn>> isp_asns;
+  // M-Lab host transit name -> ASN.
+  std::unordered_map<std::string, topo::Asn> transit_asns;
+
+  // Host-id lists.
+  std::vector<std::uint32_t> mlab_servers;            // both snapshots (261)
+  std::vector<std::uint32_t> speedtest_servers_2017;  // 5209
+  std::vector<std::uint32_t> speedtest_servers_2015;  // prefix subset (3591)
+  std::vector<std::uint32_t> ark_vps;                 // label = site code
+  // Content endpoints (one per content AS per city); the Alexa resolver in
+  // measure/alexa.h maps domains to the nearest of these per vantage point.
+  std::vector<std::uint32_t> content_hosts;
+  // Alexa-style popular domains and the content AS hosting each.
+  std::vector<std::pair<std::string, topo::Asn>> alexa_domains;
+  std::vector<std::uint32_t> clients;
+
+  // Primary ASN of an ISP by display name; 0 if unknown.
+  topo::Asn primary_asn(const std::string& isp_name) const;
+  // Clients of a given ISP (any sibling AS).
+  std::vector<std::uint32_t> clients_of(const std::string& isp_name) const;
+};
+
+// Generates a full world from the configuration. Deterministic per seed.
+World generate_world(const GeneratorConfig& config);
+
+}  // namespace netcong::gen

@@ -1,0 +1,27 @@
+#include "infer/alias.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace netcong::infer {
+
+AliasResolver::AliasResolver(const topo::Topology& topo, double success_prob,
+                             std::uint64_t seed)
+    : topo_(&topo), success_prob_(success_prob), seed_(seed) {}
+
+std::uint64_t AliasResolver::group(topo::IpAddr addr) const {
+  // Deterministic per-address success draw.
+  std::uint64_t h = util::fnv1a(util::format("alias-%llu-%u",
+                                             static_cast<unsigned long long>(seed_),
+                                             addr.value));
+  double draw = static_cast<double>(h % 1000000ull) / 1e6;
+  auto iface = topo_->interface_by_addr(addr);
+  if (iface && draw < success_prob_) {
+    // Resolved: group by true router, in a distinct token space.
+    return 0x8000000000000000ull | topo_->iface(*iface).router.value;
+  }
+  // Unresolved: singleton group keyed by the address itself.
+  return addr.value;
+}
+
+}  // namespace netcong::infer

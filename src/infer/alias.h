@@ -1,0 +1,36 @@
+#pragma once
+
+// Alias resolution: grouping interface addresses into routers. Real tools
+// (Mercator/Ally/MIDAR-style probing, which bdrmap runs from the VP) are
+// substituted by a simulated resolver that consults topology ground truth
+// but succeeds only with a configurable probability per interface —
+// unresolved interfaces appear as singleton routers, exactly the failure
+// mode that inflates router-level counts in practice. The success decision
+// is a deterministic hash of (seed, address), so results are reproducible
+// and consistent across calls.
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace netcong::infer {
+
+class AliasResolver {
+ public:
+  AliasResolver(const topo::Topology& topo, double success_prob,
+                std::uint64_t seed);
+
+  // Opaque router-group token for the interface address. Addresses that
+  // resolve to the same router share a token; unresolved or unknown
+  // addresses get a unique per-address token.
+  std::uint64_t group(topo::IpAddr addr) const;
+
+  double success_prob() const { return success_prob_; }
+
+ private:
+  const topo::Topology* topo_;
+  double success_prob_;
+  std::uint64_t seed_;
+};
+
+}  // namespace netcong::infer

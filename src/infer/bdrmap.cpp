@@ -1,0 +1,76 @@
+#include "infer/bdrmap.h"
+
+#include <algorithm>
+
+namespace netcong::infer {
+
+BdrmapCounts BdrmapResult::counts() const {
+  BdrmapCounts c;
+  for (const auto& b : borders) {
+    int routers = static_cast<int>(b.far_routers.size());
+    c.as_total += 1;
+    c.router_total += routers;
+    switch (b.rel) {
+      case topo::RelType::kProvider:  // V is provider => neighbor is customer
+        c.as_cust += 1;
+        c.router_cust += routers;
+        break;
+      case topo::RelType::kCustomer:  // V is customer => neighbor is provider
+        c.as_prov += 1;
+        c.router_prov += routers;
+        break;
+      case topo::RelType::kPeer:
+        c.as_peer += 1;
+        c.router_peer += routers;
+        break;
+      case topo::RelType::kNone:
+        c.as_unknown += 1;
+        c.router_unknown += routers;
+        break;
+    }
+  }
+  return c;
+}
+
+BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
+                        topo::Asn vp_as, const Ip2As& ip2as,
+                        const OrgMap& orgs,
+                        const topo::RelationshipTable& rels,
+                        const AliasResolver& aliases,
+                        const BdrmapConfig& config) {
+  BdrmapResult result;
+  result.vp_as = vp_as;
+  result.mapit = run_mapit(corpus, ip2as, orgs, config.mapit);
+
+  // Crossings out of the VP network's org, keyed by neighbor ASN.
+  std::unordered_map<topo::Asn, BdrmapBorder> borders;
+  for (const auto& c : result.mapit.crossings) {
+    if (!orgs.same_org(c.near_as, vp_as)) continue;
+    if (orgs.same_org(c.far_as, vp_as)) continue;
+    BdrmapBorder& b = borders[c.far_as];
+    b.neighbor = c.far_as;
+    b.far_ifaces.push_back(c.far_addr);
+  }
+
+  for (auto& [asn, b] : borders) {
+    std::sort(b.far_ifaces.begin(), b.far_ifaces.end());
+    b.far_ifaces.erase(std::unique(b.far_ifaces.begin(), b.far_ifaces.end()),
+                       b.far_ifaces.end());
+    for (topo::IpAddr a : b.far_ifaces) {
+      b.far_routers.push_back(aliases.group(a));
+    }
+    std::sort(b.far_routers.begin(), b.far_routers.end());
+    b.far_routers.erase(
+        std::unique(b.far_routers.begin(), b.far_routers.end()),
+        b.far_routers.end());
+    b.rel = rels.between(vp_as, asn);
+    result.borders.push_back(std::move(b));
+  }
+  std::sort(result.borders.begin(), result.borders.end(),
+            [](const BdrmapBorder& x, const BdrmapBorder& y) {
+              return x.neighbor < y.neighbor;
+            });
+  return result;
+}
+
+}  // namespace netcong::infer

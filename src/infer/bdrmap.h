@@ -1,0 +1,61 @@
+#pragma once
+
+// bdrmap-style border mapping (Luckie et al., IMC 2016 — reference [26] in
+// the paper): from a vantage point inside network V, infer all of V's
+// interdomain interconnections visible from that VP, at both the AS and
+// router level, annotated with the business relationship.
+//
+// Pipeline: (1) MAP-IT-style operating-AS assignment over the VP's
+// full-prefix traceroute corpus; (2) extract crossings out of V's org;
+// (3) alias-resolve far-side interfaces into routers; (4) annotate each
+// neighbor with the AS-rank relationship.
+
+#include <unordered_map>
+#include <vector>
+
+#include "infer/alias.h"
+#include "infer/datasets.h"
+#include "infer/mapit.h"
+#include "measure/traceroute.h"
+#include "topo/relationships.h"
+
+namespace netcong::infer {
+
+struct BdrmapBorder {
+  topo::Asn neighbor = 0;
+  topo::RelType rel = topo::RelType::kNone;  // V's relationship to neighbor
+  // Distinct far-side interface addresses observed crossing to this
+  // neighbor.
+  std::vector<topo::IpAddr> far_ifaces;
+  // Distinct far-side routers (alias groups).
+  std::vector<std::uint64_t> far_routers;
+};
+
+struct BdrmapCounts {
+  int as_total = 0, router_total = 0;
+  int as_cust = 0, router_cust = 0;
+  int as_prov = 0, router_prov = 0;
+  int as_peer = 0, router_peer = 0;
+  int as_unknown = 0, router_unknown = 0;
+};
+
+struct BdrmapResult {
+  topo::Asn vp_as = 0;
+  std::vector<BdrmapBorder> borders;  // one entry per neighbor ASN
+  MapItResult mapit;                  // underlying interface assignment
+
+  BdrmapCounts counts() const;
+};
+
+struct BdrmapConfig {
+  MapItConfig mapit;
+};
+
+BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
+                        topo::Asn vp_as, const Ip2As& ip2as,
+                        const OrgMap& orgs,
+                        const topo::RelationshipTable& rels,
+                        const AliasResolver& aliases,
+                        const BdrmapConfig& config = BdrmapConfig{});
+
+}  // namespace netcong::infer

@@ -1,0 +1,56 @@
+#include "infer/datasets.h"
+
+namespace netcong::infer {
+
+Ip2As::Ip2As(const topo::Topology& topo)
+    : Ip2As(topo.announced_prefixes(), topo.ixp_prefixes()) {}
+
+Ip2As::Ip2As(const std::vector<std::pair<topo::Prefix, topo::Asn>>& announced,
+             const std::vector<topo::Prefix>& ixp_prefixes) {
+  for (const auto& [prefix, origin] : announced) {
+    trie_.insert(prefix, origin);
+  }
+  for (const auto& p : ixp_prefixes) {
+    ixp_.insert(p, true);
+  }
+}
+
+Ip2As::Result Ip2As::lookup(topo::IpAddr addr) const {
+  if (ixp_.lookup(addr).value_or(false)) {
+    return Result{Kind::kIxp, 0};
+  }
+  if (auto asn = trie_.lookup(addr)) {
+    return Result{Kind::kAs, *asn};
+  }
+  return Result{};
+}
+
+topo::Asn Ip2As::origin(topo::IpAddr addr) const {
+  Result r = lookup(addr);
+  return r.kind == Kind::kAs ? r.asn : 0;
+}
+
+bool Ip2As::is_ixp(topo::IpAddr addr) const {
+  return lookup(addr).kind == Kind::kIxp;
+}
+
+OrgMap::OrgMap(const topo::Topology& topo) {
+  for (topo::Asn asn : topo.all_asns()) {
+    // Org tokens are OrgId values + 1, keeping 0 for "unknown".
+    org_[asn] = topo.as_info(asn).org.value + 1;
+  }
+}
+
+std::uint32_t OrgMap::org_of(topo::Asn asn) const {
+  auto it = org_.find(asn);
+  return it == org_.end() ? 0 : it->second;
+}
+
+bool OrgMap::same_org(topo::Asn a, topo::Asn b) const {
+  if (a == b) return true;
+  std::uint32_t oa = org_of(a);
+  std::uint32_t ob = org_of(b);
+  return oa != 0 && oa == ob;
+}
+
+}  // namespace netcong::infer

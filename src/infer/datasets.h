@@ -1,0 +1,52 @@
+#pragma once
+
+// The "public datasets" inference is allowed to consume, mirroring what the
+// paper's analyses used: CAIDA-style prefix-to-AS mapping derived from BGP,
+// the AS-to-Organization mapping, the IXP prefix list (PeeringDB/PCH), and
+// AS relationship inferences (AS-rank). These views are constructed from
+// the Topology's *announced* state — never from ground truth — so staleness
+// injected by the generator flows through to inference, as in reality.
+
+#include <unordered_map>
+
+#include "topo/topology.h"
+
+namespace netcong::infer {
+
+// prefix2as + IXP prefix list.
+class Ip2As {
+ public:
+  enum class Kind { kUnknown, kAs, kIxp };
+  struct Result {
+    Kind kind = Kind::kUnknown;
+    topo::Asn asn = 0;
+  };
+
+  explicit Ip2As(const topo::Topology& topo);
+  Ip2As(const std::vector<std::pair<topo::Prefix, topo::Asn>>& announced,
+        const std::vector<topo::Prefix>& ixp_prefixes);
+
+  Result lookup(topo::IpAddr addr) const;
+  // Convenience: origin ASN or 0.
+  topo::Asn origin(topo::IpAddr addr) const;
+  bool is_ixp(topo::IpAddr addr) const;
+
+ private:
+  topo::PrefixTrie<topo::Asn> trie_;
+  topo::PrefixTrie<bool> ixp_;
+};
+
+// AS-to-Organization (sibling) mapping.
+class OrgMap {
+ public:
+  explicit OrgMap(const topo::Topology& topo);
+
+  // Opaque org token; 0 for unknown ASNs.
+  std::uint32_t org_of(topo::Asn asn) const;
+  bool same_org(topo::Asn a, topo::Asn b) const;
+
+ private:
+  std::unordered_map<topo::Asn, std::uint32_t> org_;
+};
+
+}  // namespace netcong::infer

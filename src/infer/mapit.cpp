@@ -1,0 +1,221 @@
+#include "infer/mapit.h"
+
+#include <algorithm>
+
+namespace netcong::infer {
+
+namespace {
+
+// Potential point-to-point mates of an address: the /31 mate and the /30
+// mate (for the .1/.2 convention).
+std::vector<std::uint32_t> mate_candidates(std::uint32_t v) {
+  std::vector<std::uint32_t> out;
+  out.push_back(v ^ 1u);  // /31 mate
+  std::uint32_t in30 = v & 3u;
+  if (in30 == 1) out.push_back(v + 1);  // .1 <-> .2
+  if (in30 == 2) out.push_back(v - 1);
+  return out;
+}
+
+struct IfaceInfo {
+  topo::Asn origin = 0;
+  bool ixp = false;
+  int observations = 0;
+  // Votes keyed by ASN.
+  std::unordered_map<topo::Asn, int> succ_votes;
+  std::unordered_map<topo::Asn, int> pred_votes;
+};
+
+topo::Asn majority_as(const std::unordered_map<topo::Asn, int>& votes,
+                      double threshold) {
+  int total = 0;
+  for (const auto& [asn, n] : votes) total += n;
+  if (total == 0) return 0;
+  for (const auto& [asn, n] : votes) {
+    if (asn != 0 && static_cast<double>(n) / total >= threshold) return asn;
+  }
+  return 0;
+}
+
+}  // namespace
+
+MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
+                      const Ip2As& ip2as, const OrgMap& orgs,
+                      const MapItConfig& config) {
+  MapItResult result;
+
+  // ---- collate the corpus: adjacency counts per interface ----
+  std::unordered_map<std::uint32_t, IfaceInfo> ifaces;
+  // Observed consecutive hop pairs with counts.
+  std::unordered_map<std::uint64_t, int> hop_pairs;
+
+  auto note_iface = [&](topo::IpAddr a) -> IfaceInfo& {
+    auto [it, fresh] = ifaces.try_emplace(a.value);
+    if (fresh) {
+      auto r = ip2as.lookup(a);
+      it->second.origin = r.kind == Ip2As::Kind::kAs ? r.asn : 0;
+      it->second.ixp = r.kind == Ip2As::Kind::kIxp;
+    }
+    it->second.observations++;
+    return it->second;
+  };
+
+  for (const auto& tr : corpus) {
+    topo::IpAddr prev;
+    bool have_prev = false;
+    for (const auto& hop : tr.hops) {
+      if (!hop.responded) {
+        have_prev = false;  // a star breaks adjacency evidence
+        continue;
+      }
+      note_iface(hop.addr);
+      if (have_prev && prev != hop.addr) {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(prev.value) << 32) | hop.addr.value;
+        hop_pairs[key]++;
+      }
+      prev = hop.addr;
+      have_prev = true;
+    }
+  }
+
+  // ---- initial operating-AS assignment ----
+  std::unordered_map<std::uint32_t, topo::Asn> op;
+  op.reserve(ifaces.size());
+  for (const auto& [addr, info] : ifaces) {
+    op[addr] = info.ixp ? 0 : info.origin;
+  }
+
+  // ---- collate static origin evidence ----
+  // Reassignment is judged on the BGP *origins* of neighboring interfaces,
+  // never on their (mutable) operating-AS assignments. This is what stops
+  // the decision from cascading backwards: when the entry interface of AS B
+  // is numbered from A's space, only that interface sees majority-B origins
+  // downstream; the exit interface one hop earlier still sees the A-origin
+  // entry interface as its successor and stays put.
+  for (const auto& [key, count] : hop_pairs) {
+    std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
+    std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
+    ifaces[a].succ_votes[ifaces[b].origin] += count;
+    ifaces[b].pred_votes[ifaces[a].origin] += count;
+  }
+
+  int pass = 0;
+  for (; pass < config.max_passes; ++pass) {
+    int changes = 0;
+    for (auto& [addr, info] : ifaces) {
+      if (info.observations < config.min_observations) continue;
+      topo::Asn succ = majority_as(info.succ_votes, config.majority);
+      topo::Asn cur = op[addr];
+
+      if (info.ixp || cur == 0) {
+        // IXP / unmapped addresses adopt the downstream AS: the in-interface
+        // of the far router answers with fabric space.
+        if (succ != 0 && succ != cur) {
+          op[addr] = succ;
+          ++changes;
+        }
+        continue;
+      }
+
+      if (succ == 0 || orgs.same_org(succ, cur)) continue;
+
+      // Candidate reassignment: origin says `cur`, downstream origins say
+      // `succ`. Require corroboration: predecessors consistent with the
+      // origin AS (we are at the first hop inside `succ`), or the
+      // point-to-point mate mapping back to the origin AS.
+      topo::Asn pred = majority_as(info.pred_votes, config.majority);
+      bool pred_supports = pred != 0 && orgs.same_org(pred, cur);
+      bool mate_supports = false;
+      for (std::uint32_t mate : mate_candidates(addr)) {
+        auto it = ifaces.find(mate);
+        topo::Asn mate_as = it != ifaces.end()
+                                ? it->second.origin
+                                : ip2as.origin(topo::IpAddr(mate));
+        if (mate_as != 0 && orgs.same_org(mate_as, cur)) {
+          mate_supports = true;
+          break;
+        }
+      }
+      if (pred_supports || mate_supports) {
+        op[addr] = succ;
+        ++changes;
+      }
+    }
+    if (changes == 0) break;
+  }
+  result.passes_run = pass + 1;
+
+  for (const auto& [addr, info] : ifaces) {
+    if (!info.ixp && info.origin != 0 && op[addr] != info.origin) {
+      ++result.reassignments;
+    }
+  }
+
+  // ---- extract crossings ----
+  std::unordered_map<std::uint64_t, std::size_t> crossing_index;
+  for (const auto& [key, count] : hop_pairs) {
+    std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
+    std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
+    topo::Asn oa = op[a];
+    topo::Asn ob = op[b];
+    if (oa == 0 || ob == 0 || orgs.same_org(oa, ob)) continue;
+    auto [it, fresh] = crossing_index.try_emplace(key, result.crossings.size());
+    if (fresh) {
+      BorderCrossing c;
+      c.near_addr = topo::IpAddr(a);
+      c.far_addr = topo::IpAddr(b);
+      c.near_as = oa;
+      c.far_as = ob;
+      result.crossings.push_back(c);
+    }
+    result.crossings[it->second].observations += count;
+  }
+
+  result.operating_as = std::move(op);
+  return result;
+}
+
+MapItAccuracy evaluate_mapit(const MapItResult& result,
+                             const topo::Topology& topo,
+                             const OrgMap& orgs) {
+  MapItAccuracy acc;
+  for (const auto& c : result.crossings) {
+    auto near_if = topo.interface_by_addr(c.near_addr);
+    auto far_if = topo.interface_by_addr(c.far_addr);
+    if (!near_if || !far_if) continue;
+    topo::RouterId far_router = topo.iface(*far_if).router;
+    topo::Asn true_near = topo.router(topo.iface(*near_if).router).owner;
+    topo::Asn true_far = topo.router(far_router).owner;
+    ++acc.crossings_checked;
+    if (orgs.same_org(true_near, c.near_as) &&
+        orgs.same_org(true_far, c.far_as) &&
+        !orgs.same_org(true_near, true_far)) {
+      ++acc.exact;
+      ++acc.correct;
+      continue;
+    }
+    // Adjacent: the far interface still belongs to the near org's border
+    // router, but that router really interconnects with the claimed far AS.
+    if (orgs.same_org(true_near, c.near_as) &&
+        orgs.same_org(true_far, c.near_as)) {
+      bool has_link = false;
+      for (topo::InterfaceId ifid : topo.router(far_router).interfaces) {
+        const topo::Link& l = topo.link(topo.iface(ifid).link);
+        if (l.kind != topo::LinkKind::kInterdomain) continue;
+        topo::Asn other = l.as_a == true_far ? l.as_b : l.as_a;
+        if (orgs.same_org(other, c.far_as)) {
+          has_link = true;
+          break;
+        }
+      }
+      if (has_link) {
+        ++acc.adjacent;
+        ++acc.correct;
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace netcong::infer

@@ -1,0 +1,98 @@
+#pragma once
+
+// MAP-IT-style multipass inference of interdomain links from a corpus of
+// traceroutes (Marder & Smith, IMC 2016 — reference [28] in the paper).
+//
+// The core difficulty: on an interdomain link between ASes A and B, the
+// interface that replies on B's router is frequently numbered out of A's
+// address space, so a naive prefix-to-AS mapping places the border one hop
+// too late. MAP-IT's premise is that a single traceroute is insufficient:
+// collating the whole corpus gives, for each interface, the distribution of
+// ASes appearing before and after it, plus the origin of its point-to-point
+// "mate" address, which together pin down the operating AS.
+//
+// This implementation follows that skeleton:
+//   pass 0: every interface's operating AS = its BGP origin (IXP addresses
+//           start unknown);
+//   pass k: an interface whose successor evidence consistently points to a
+//           different AS than its origin — while its predecessors and/or
+//           mate stay with the origin AS — is reassigned to the successor
+//           AS. Iterate to fixpoint.
+// Border crossings are then the hop pairs whose operating ASes differ.
+
+#include <unordered_map>
+#include <vector>
+
+#include "infer/datasets.h"
+#include "measure/traceroute.h"
+
+namespace netcong::infer {
+
+struct MapItConfig {
+  int max_passes = 6;
+  // Minimum fraction of successor evidence needed to override the origin.
+  // A genuine far-side interface sees essentially unanimous downstream
+  // evidence, so a high bar costs little recall but avoids flipping border
+  // interfaces that serve several neighbors.
+  double majority = 0.70;
+  // Minimum observations of an interface before reassignment is allowed.
+  int min_observations = 1;
+};
+
+struct BorderCrossing {
+  topo::IpAddr near_addr;  // last interface in the near AS
+  topo::IpAddr far_addr;   // first interface in the far AS (in-interface)
+  topo::Asn near_as = 0;
+  topo::Asn far_as = 0;
+  int observations = 0;    // traceroute hop-pairs seen crossing here
+};
+
+struct MapItResult {
+  // Final operating-AS assignment per interface address (0 = unknown).
+  std::unordered_map<std::uint32_t, topo::Asn> operating_as;
+  // Distinct (near_addr, far_addr) crossings.
+  std::vector<BorderCrossing> crossings;
+  int passes_run = 0;
+  int reassignments = 0;  // interfaces whose AS changed from the BGP origin
+
+  topo::Asn op(topo::IpAddr a) const {
+    auto it = operating_as.find(a.value);
+    return it == operating_as.end() ? 0 : it->second;
+  }
+};
+
+MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
+                      const Ip2As& ip2as, const OrgMap& orgs,
+                      const MapItConfig& config = MapItConfig{});
+
+// Validation helper, only usable where the Topology (ground truth) is
+// available. A crossing is scored:
+//  * exact     — both interfaces' routers owned by the claimed orgs;
+//  * adjacent  — the claimed far interface actually still sits on the near
+//    AS's border router, but that router does have an interdomain link to
+//    the claimed far AS. This is the inherent one-hop ambiguity of
+//    single-direction traceroute that the paper warns about ("the MAP-IT
+//    algorithm could fail or produce an incorrect inference"): the border
+//    router pair is right, the interface attribution is off by one.
+//  * wrong     — anything else.
+struct MapItAccuracy {
+  std::size_t crossings_checked = 0;
+  std::size_t exact = 0;
+  std::size_t adjacent = 0;
+  std::size_t correct = 0;  // exact + adjacent
+  double precision() const {
+    return crossings_checked == 0
+               ? 0.0
+               : static_cast<double>(correct) / crossings_checked;
+  }
+  double exact_fraction() const {
+    return crossings_checked == 0
+               ? 0.0
+               : static_cast<double>(exact) / crossings_checked;
+  }
+};
+MapItAccuracy evaluate_mapit(const MapItResult& result,
+                             const topo::Topology& topo,
+                             const OrgMap& orgs);
+
+}  // namespace netcong::infer

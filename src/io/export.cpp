@@ -1,0 +1,136 @@
+#include "io/export.h"
+
+#include "util/strings.h"
+
+namespace netcong::io {
+
+namespace {
+std::string f2(double v) { return util::format("%.3f", v); }
+}  // namespace
+
+util::CsvWriter export_ndt_tests(const gen::World& world,
+                                 const std::vector<measure::NdtRecord>& tests,
+                                 bool include_truth) {
+  std::vector<std::string> headers = {
+      "test_id",        "utc_time_hours", "client_addr",  "client_asn",
+      "server_label",   "server_asn",     "download_mbps", "upload_mbps",
+      "flow_rtt_ms",    "retrans_rate",   "congestion_signals"};
+  if (include_truth) {
+    headers.push_back("truth_access_limited");
+    headers.push_back("truth_bottleneck_link");
+    headers.push_back("truth_as_hops");
+  }
+  util::CsvWriter csv(headers);
+  for (const auto& t : tests) {
+    const topo::Host& c = world.topo->host(t.client);
+    const topo::Host& s = world.topo->host(t.server);
+    std::vector<std::string> row = {
+        std::to_string(t.test_id),
+        f2(t.utc_time_hours),
+        c.addr.to_string(),
+        std::to_string(t.client_asn),
+        s.label,
+        std::to_string(t.server_asn),
+        f2(t.download_mbps),
+        f2(t.upload_mbps),
+        f2(t.flow_rtt_ms),
+        f2(t.retrans_rate),
+        std::to_string(t.congestion_signals)};
+    if (include_truth) {
+      row.push_back(t.truth_access_limited ? "1" : "0");
+      row.push_back(t.truth_bottleneck.valid()
+                        ? std::to_string(t.truth_bottleneck.value)
+                        : "");
+      row.push_back(std::to_string(t.truth_path.as_hop_count()));
+    }
+    csv.add_row(row);
+  }
+  return csv;
+}
+
+util::CsvWriter export_traceroute_hops(
+    const std::vector<measure::TracerouteRecord>& traceroutes) {
+  util::CsvWriter csv({"trace_id", "src_host", "dst_addr", "utc_time_hours",
+                       "ttl", "addr", "rtt_ms", "dns_name"});
+  std::size_t trace_id = 0;
+  for (const auto& tr : traceroutes) {
+    ++trace_id;
+    for (const auto& hop : tr.hops) {
+      if (!hop.responded) {
+        csv.add_row({std::to_string(trace_id), std::to_string(tr.src_host),
+                     tr.dst.to_string(), f2(tr.utc_time_hours),
+                     std::to_string(hop.ttl), "*", "", ""});
+        continue;
+      }
+      csv.add_row({std::to_string(trace_id), std::to_string(tr.src_host),
+                   tr.dst.to_string(), f2(tr.utc_time_hours),
+                   std::to_string(hop.ttl), hop.addr.to_string(),
+                   f2(hop.rtt_ms), hop.dns_name});
+    }
+  }
+  return csv;
+}
+
+util::CsvWriter export_matches(
+    const std::vector<measure::MatchedTest>& matched) {
+  util::CsvWriter csv({"test_id", "matched", "traceroute_delta_minutes"});
+  for (const auto& m : matched) {
+    if (!m.test) continue;
+    if (m.traceroute) {
+      double delta_min =
+          (m.traceroute->utc_time_hours - m.test->utc_time_hours) * 60.0;
+      csv.add_row({std::to_string(m.test->test_id), "1", f2(delta_min)});
+    } else {
+      csv.add_row({std::to_string(m.test->test_id), "0", ""});
+    }
+  }
+  return csv;
+}
+
+util::CsvWriter export_interdomain_links(const gen::World& world,
+                                         bool include_truth) {
+  std::vector<std::string> headers = {"link_id", "addr_a", "addr_b", "asn_a",
+                                      "asn_b",   "city",   "capacity_mbps",
+                                      "via_ixp"};
+  if (include_truth) {
+    headers.push_back("truth_peak_util");
+    headers.push_back("truth_congested");
+  }
+  util::CsvWriter csv(headers);
+  for (const auto& l : world.topo->links()) {
+    if (l.kind != topo::LinkKind::kInterdomain) continue;
+    const topo::Interface& ia = world.topo->iface(l.side_a);
+    const topo::Interface& ib = world.topo->iface(l.side_b);
+    const topo::City& city =
+        world.topo->city(world.topo->router(ia.router).city);
+    std::vector<std::string> row = {
+        std::to_string(l.id.value), ia.addr.to_string(), ib.addr.to_string(),
+        std::to_string(l.as_a),     std::to_string(l.as_b),
+        city.name,                  f2(l.capacity_mbps),
+        l.via_ixp ? "1" : "0"};
+    if (include_truth) {
+      row.push_back(f2(world.traffic->profile(l.id).peak_util));
+      row.push_back(world.traffic->congested_at_peak(l.id) ? "1" : "0");
+    }
+    csv.add_row(row);
+  }
+  return csv;
+}
+
+bool export_campaign(const gen::World& world,
+                     const std::vector<measure::NdtRecord>& tests,
+                     const std::vector<measure::TracerouteRecord>& traceroutes,
+                     const std::vector<measure::MatchedTest>& matched,
+                     const std::string& directory, bool include_truth) {
+  bool ok = true;
+  ok &= export_ndt_tests(world, tests, include_truth)
+            .write_file(directory + "/ndt_tests.csv");
+  ok &= export_traceroute_hops(traceroutes)
+            .write_file(directory + "/traceroute_hops.csv");
+  ok &= export_matches(matched).write_file(directory + "/matches.csv");
+  ok &= export_interdomain_links(world, include_truth)
+            .write_file(directory + "/interdomain_links.csv");
+  return ok;
+}
+
+}  // namespace netcong::io

@@ -1,0 +1,48 @@
+#pragma once
+
+// Dataset export: write campaign results and topology summaries in the
+// spirit of M-Lab's public releases (per-test rows, per-hop traceroute
+// rows), so downstream analysis can happen outside this process (pandas,
+// SQL, BigQuery-style workflows). CSV with stable column sets.
+
+#include <string>
+
+#include "gen/world.h"
+#include "measure/matching.h"
+#include "measure/ndt.h"
+#include "measure/traceroute.h"
+#include "util/csv.h"
+
+namespace netcong::io {
+
+// One row per NDT test: identifiers, timing, and the measured metrics the
+// M-Lab reports analyzed (download/upload, flow RTT, retransmissions,
+// congestion signals). Ground-truth columns are prefixed "truth_" and can
+// be suppressed for blind analysis exercises.
+util::CsvWriter export_ndt_tests(const gen::World& world,
+                                 const std::vector<measure::NdtRecord>& tests,
+                                 bool include_truth = true);
+
+// One row per responding traceroute hop: (trace id, ttl, address, rtt,
+// PTR name), mirroring the public Paris-traceroute tables.
+util::CsvWriter export_traceroute_hops(
+    const std::vector<measure::TracerouteRecord>& traceroutes);
+
+// One row per matched test: test id and the timestamp delta to its
+// traceroute (empty when unmatched) — the Section 4.1 join table.
+util::CsvWriter export_matches(const std::vector<measure::MatchedTest>& matched);
+
+// One row per interdomain link: endpoint addresses, ASNs, capacity, IXP
+// flag, and (optionally) the planted load profile.
+util::CsvWriter export_interdomain_links(const gen::World& world,
+                                         bool include_truth = true);
+
+// Convenience: write all four into a directory (created by the caller);
+// returns false if any file fails to write.
+bool export_campaign(const gen::World& world,
+                     const std::vector<measure::NdtRecord>& tests,
+                     const std::vector<measure::TracerouteRecord>& traceroutes,
+                     const std::vector<measure::MatchedTest>& matched,
+                     const std::string& directory, bool include_truth = true);
+
+}  // namespace netcong::io

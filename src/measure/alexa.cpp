@@ -1,0 +1,38 @@
+#include "measure/alexa.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "topo/geo.h"
+
+namespace netcong::measure {
+
+std::vector<std::uint32_t> resolve_alexa_targets(const gen::World& world,
+                                                 std::uint32_t vp) {
+  const topo::Topology& topo = *world.topo;
+  const topo::City& here = topo.city(topo.host(vp).city);
+
+  // Nearest content endpoint per content AS, from this VP.
+  std::unordered_map<topo::Asn, std::uint32_t> nearest;
+  std::unordered_map<topo::Asn, double> nearest_dist;
+  for (std::uint32_t h : world.content_hosts) {
+    const topo::Host& host = topo.host(h);
+    double d = topo::city_distance_km(here, topo.city(host.city));
+    auto it = nearest_dist.find(host.asn);
+    if (it == nearest_dist.end() || d < it->second) {
+      nearest_dist[host.asn] = d;
+      nearest[host.asn] = h;
+    }
+  }
+
+  std::vector<std::uint32_t> out;
+  for (const auto& [domain, asn] : world.alexa_domains) {
+    auto it = nearest.find(asn);
+    if (it != nearest.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace netcong::measure

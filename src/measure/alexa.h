@@ -1,0 +1,21 @@
+#pragma once
+
+// Alexa-style popular-content target resolution (paper Section 5.1): each
+// domain resolves, at a given vantage point, to the CDN front-end of the
+// hosting content network closest to the VP — modeling the per-VP DNS
+// differences of real CDNs ("the resolved IP addresses differ per VP
+// because we use the DNS server of the ISP hosting the VP").
+
+#include <vector>
+
+#include "gen/world.h"
+
+namespace netcong::measure {
+
+// Resolves every domain in world.alexa_domains from the VP's perspective.
+// Returns host ids (content endpoints); duplicates are removed, mirroring
+// the per-VP target lists in the paper.
+std::vector<std::uint32_t> resolve_alexa_targets(const gen::World& world,
+                                                 std::uint32_t vp);
+
+}  // namespace netcong::measure

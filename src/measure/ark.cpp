@@ -1,0 +1,35 @@
+#include "measure/ark.h"
+
+namespace netcong::measure {
+
+std::vector<TracerouteRecord> ark_full_prefix_campaign(
+    const gen::World& world, const route::Forwarder& fwd, std::uint32_t vp,
+    const ArkCampaignOptions& options, util::Rng& rng) {
+  std::vector<TracerouteRecord> out;
+  const auto& prefixes = world.topo->announced_prefixes();
+  out.reserve(prefixes.size());
+  for (const auto& [prefix, origin] : prefixes) {
+    topo::IpAddr target = prefix.nth(1);
+    out.push_back(run_traceroute(*world.topo, fwd, vp, target,
+                                 options.utc_time_hours, options.traceroute,
+                                 rng));
+  }
+  return out;
+}
+
+std::vector<TracerouteRecord> ark_targeted_campaign(
+    const gen::World& world, const route::Forwarder& fwd, std::uint32_t vp,
+    const std::vector<std::uint32_t>& targets,
+    const ArkCampaignOptions& options, util::Rng& rng) {
+  std::vector<TracerouteRecord> out;
+  out.reserve(targets.size());
+  for (std::uint32_t t : targets) {
+    out.push_back(run_traceroute(*world.topo, fwd, vp,
+                                 world.topo->host(t).addr,
+                                 options.utc_time_hours, options.traceroute,
+                                 rng));
+  }
+  return out;
+}
+
+}  // namespace netcong::measure

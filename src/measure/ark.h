@@ -1,0 +1,36 @@
+#pragma once
+
+// Ark-style vantage-point campaigns (paper Section 5.1): from a VP inside an
+// access network, traceroute toward (a) every routed BGP prefix — the
+// collection phase of bdrmap — and (b) arbitrary target lists such as
+// M-Lab servers, Speedtest servers, and Alexa-style content targets.
+
+#include <vector>
+
+#include "gen/world.h"
+#include "measure/traceroute.h"
+#include "route/forwarding.h"
+
+namespace netcong::measure {
+
+struct ArkCampaignOptions {
+  TracerouteOptions traceroute;
+  // Probe the .1 of each announced prefix (bdrmap probes every /24; one
+  // representative per prefix preserves the border-discovery behaviour at a
+  // fraction of the cost).
+  double utc_time_hours = 12.0;
+};
+
+// Collection phase of bdrmap: traceroutes from the VP toward every routed
+// prefix in the BGP view.
+std::vector<TracerouteRecord> ark_full_prefix_campaign(
+    const gen::World& world, const route::Forwarder& fwd, std::uint32_t vp,
+    const ArkCampaignOptions& options, util::Rng& rng);
+
+// Traceroutes from the VP toward each host in `targets`.
+std::vector<TracerouteRecord> ark_targeted_campaign(
+    const gen::World& world, const route::Forwarder& fwd, std::uint32_t vp,
+    const std::vector<std::uint32_t>& targets,
+    const ArkCampaignOptions& options, util::Rng& rng);
+
+}  // namespace netcong::measure

@@ -1,0 +1,68 @@
+#include "measure/matching.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace netcong::measure {
+
+std::vector<MatchedTest> match_tests(
+    const std::vector<NdtRecord>& tests,
+    const std::vector<TracerouteRecord>& traceroutes,
+    const topo::Topology& topo, const MatchOptions& options,
+    MatchStats* stats) {
+  // Index traceroutes by destination address, sorted by time.
+  std::unordered_map<std::uint32_t, std::vector<const TracerouteRecord*>>
+      by_dst;
+  for (const auto& tr : traceroutes) {
+    by_dst[tr.dst.value].push_back(&tr);
+  }
+  for (auto& [addr, vec] : by_dst) {
+    std::sort(vec.begin(), vec.end(),
+              [](const TracerouteRecord* a, const TracerouteRecord* b) {
+                return a->utc_time_hours < b->utc_time_hours;
+              });
+  }
+
+  const double window_h = options.window_minutes / 60.0;
+  std::vector<MatchedTest> out;
+  out.reserve(tests.size());
+  std::size_t matched = 0;
+
+  for (const auto& test : tests) {
+    MatchedTest m;
+    m.test = &test;
+    topo::IpAddr client_addr = topo.host(test.client).addr;
+    auto it = by_dst.find(client_addr.value);
+    if (it != by_dst.end()) {
+      const auto& vec = it->second;
+      // First traceroute at/after the test within the window.
+      auto lo = std::lower_bound(
+          vec.begin(), vec.end(), test.utc_time_hours,
+          [](const TracerouteRecord* tr, double t) {
+            return tr->utc_time_hours < t;
+          });
+      const TracerouteRecord* best = nullptr;
+      if (lo != vec.end() &&
+          (*lo)->utc_time_hours <= test.utc_time_hours + window_h) {
+        best = *lo;
+      }
+      if (!best && options.allow_before && lo != vec.begin()) {
+        const TracerouteRecord* prev = *(lo - 1);
+        if (prev->utc_time_hours >= test.utc_time_hours - window_h) {
+          best = prev;
+        }
+      }
+      m.traceroute = best;
+    }
+    if (m.traceroute) ++matched;
+    out.push_back(m);
+  }
+  if (stats) {
+    stats->total_tests = tests.size();
+    stats->matched = matched;
+  }
+  return out;
+}
+
+}  // namespace netcong::measure

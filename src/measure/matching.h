@@ -1,0 +1,47 @@
+#pragma once
+
+// NDT <-> Paris traceroute association (paper Section 4.1). The platform
+// does not link the two records, so analysis must match each NDT test to a
+// traceroute toward the same client within a time window — "the first
+// traceroute from the server to that same client within a 10-minute window
+// after the NDT test", optionally relaxed to either side.
+
+#include <optional>
+#include <vector>
+
+#include "measure/ndt.h"
+#include "measure/traceroute.h"
+
+namespace netcong::measure {
+
+struct MatchedTest {
+  const NdtRecord* test = nullptr;
+  const TracerouteRecord* traceroute = nullptr;  // null if unmatched
+};
+
+struct MatchOptions {
+  double window_minutes = 10.0;
+  // If true, accept the nearest traceroute before OR after the test; if
+  // false, only traceroutes after the test qualify.
+  bool allow_before = false;
+};
+
+struct MatchStats {
+  std::size_t total_tests = 0;
+  std::size_t matched = 0;
+  double fraction() const {
+    return total_tests == 0 ? 0.0
+                            : static_cast<double>(matched) / total_tests;
+  }
+};
+
+// Matches tests to traceroutes; both inputs may be in any order. A given
+// traceroute can match multiple tests (as in the real data), but each test
+// gets at most one traceroute.
+std::vector<MatchedTest> match_tests(
+    const std::vector<NdtRecord>& tests,
+    const std::vector<TracerouteRecord>& traceroutes,
+    const topo::Topology& topo, const MatchOptions& options,
+    MatchStats* stats = nullptr);
+
+}  // namespace netcong::measure

@@ -1,0 +1,115 @@
+#include "measure/ndt.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace netcong::measure {
+
+NdtCampaign::NdtCampaign(const gen::World& world, const route::Forwarder& fwd,
+                         const sim::ThroughputModel& model,
+                         const Platform& platform, CampaignConfig config)
+    : world_(&world),
+      fwd_(&fwd),
+      model_(&model),
+      platform_(&platform),
+      config_(config) {}
+
+NdtRecord NdtCampaign::run_single(std::uint32_t client, std::uint32_t server,
+                                  double utc_time_hours,
+                                  std::uint64_t test_id,
+                                  util::Rng& rng) const {
+  const topo::Topology& topo = *world_->topo;
+  NdtRecord rec;
+  rec.test_id = test_id;
+  rec.client = client;
+  rec.server = server;
+  rec.utc_time_hours = utc_time_hours;
+  rec.client_asn = topo.host(client).asn;
+  rec.server_asn = topo.host(server).asn;
+
+  // Downstream: data flows server -> client; the path is computed from the
+  // server, matching the direction M-Lab's server-side traceroute sees.
+  route::FlowKey key;
+  key.src = topo.host(server).addr;
+  key.dst = topo.host(client).addr;
+  key.src_port = 3001;
+  key.dst_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
+  route::RouterPath down = fwd_->path(server, key.dst, key);
+  rec.truth_path = down;
+  if (!down.valid) return rec;
+
+  sim::ThroughputEstimate est = model_->estimate(
+      down, topo.host(client), topo.host(server), utc_time_hours, rng);
+  rec.download_mbps = est.goodput_mbps;
+  rec.flow_rtt_ms = est.flow_rtt_ms;
+  rec.retrans_rate = est.retrans_rate;
+  rec.congestion_signals = est.congestion_signals;
+  rec.truth_bottleneck = est.bottleneck;
+  rec.truth_access_limited = est.access_limited;
+
+  // Upstream: bounded by the client's upload tier; reuse the same path (the
+  // reverse path may differ in reality, but NDT upload is almost always
+  // access-limited, which this preserves).
+  sim::ThroughputEstimate up = model_->estimate(
+      down, topo.host(client), topo.host(server), utc_time_hours, rng);
+  rec.upload_mbps =
+      std::min(topo.host(client).tier.up_mbps * topo.host(client).home_quality,
+               up.goodput_mbps);
+  return rec;
+}
+
+CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
+                                util::Rng& rng) const {
+  CampaignResult out;
+  // Per-server time when the single-threaded traceroute daemon frees up.
+  std::unordered_map<std::uint32_t, double> tracer_busy_until;
+  // Per-(server, client) time of the last traceroute (the daemon's cache).
+  std::unordered_map<std::uint64_t, double> last_traced;
+  std::uint64_t next_id = 1;
+
+  for (const auto& req : schedule) {
+    std::vector<std::uint32_t> servers;
+    if (config_.servers_per_request <= 1) {
+      servers.push_back(platform_->select_server(req.client, rng));
+    } else {
+      servers = platform_->select_servers_region(
+          req.client, config_.servers_per_request, rng);
+    }
+    double when = req.utc_time_hours;
+    for (std::uint32_t server : servers) {
+      NdtRecord rec = run_single(req.client, server, when, next_id++, rng);
+      out.tests.push_back(rec);
+
+      // Server-side Paris traceroute toward the client: skipped when the
+      // single-threaded daemon is busy, when it traced this client recently
+      // (cache), or when the collection plainly fails (Section 4.1).
+      double tr_start = when + config_.ndt_duration_s / 3600.0;
+      double& busy = tracer_busy_until[server];
+      std::uint64_t cache_key =
+          (static_cast<std::uint64_t>(server) << 32) | req.client;
+      auto cached = last_traced.find(cache_key);
+      if (cached != last_traced.end() &&
+          tr_start - cached->second <
+              config_.traceroute_cache_minutes / 60.0) {
+        ++out.traceroutes_skipped_cached;
+      } else if (busy > tr_start) {
+        ++out.traceroutes_skipped_busy;
+      } else if (rng.chance(config_.traceroute_failure_prob)) {
+        ++out.traceroutes_failed;
+      } else {
+        TracerouteRecord tr = run_traceroute(
+            *world_->topo, *fwd_, server, world_->topo->host(req.client).addr,
+            tr_start, config_.traceroute, rng);
+        out.traceroutes.push_back(std::move(tr));
+        double dur_s = rng.uniform(config_.traceroute_min_s,
+                                   config_.traceroute_max_s);
+        busy = tr_start + dur_s / 3600.0;
+        last_traced[cache_key] = tr_start;
+      }
+      when += config_.ndt_duration_s / 3600.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace netcong::measure

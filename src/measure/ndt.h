@@ -1,0 +1,90 @@
+#pragma once
+
+// NDT-style throughput tests and the measurement campaign that pairs them
+// with server-side Paris traceroutes, reproducing the M-Lab pipeline of
+// paper Section 2.1/4.1 — including the single-threaded traceroute daemon
+// that silently skips traceroutes when busy, which is why only ~71-76% of
+// NDT tests could be matched to a traceroute.
+
+#include <vector>
+
+#include "gen/workload.h"
+#include "gen/world.h"
+#include "measure/platform.h"
+#include "measure/traceroute.h"
+#include "route/forwarding.h"
+#include "sim/throughput.h"
+
+namespace netcong::measure {
+
+struct NdtRecord {
+  std::uint64_t test_id = 0;
+  std::uint32_t client = 0;
+  std::uint32_t server = 0;
+  double utc_time_hours = 0.0;
+  double download_mbps = 0.0;
+  double upload_mbps = 0.0;
+  double flow_rtt_ms = 0.0;
+  double retrans_rate = 0.0;
+  int congestion_signals = 0;
+  topo::Asn client_asn = 0;
+  topo::Asn server_asn = 0;
+  // Ground truth (not visible to inference): the downstream router path and
+  // the binding bottleneck.
+  route::RouterPath truth_path;
+  topo::LinkId truth_bottleneck;
+  bool truth_access_limited = false;
+};
+
+struct CampaignConfig {
+  // NDT runs ~10s in each direction plus setup.
+  double ndt_duration_s = 25.0;
+  // Server-side traceroute duration (single-threaded daemon is busy for
+  // this long; concurrent tests get no traceroute — Section 4.1).
+  double traceroute_min_s = 20.0;
+  double traceroute_max_s = 120.0;
+  // Battle-for-the-Net mode: each request triggers back-to-back tests
+  // against this many regional servers (1 = plain NDT).
+  int servers_per_request = 1;
+  // The server-side tracer caches results per client: it will not re-trace
+  // a client it traced within this window (documented M-Lab behaviour; the
+  // reason repeat tests only have a traceroute *before* them).
+  double traceroute_cache_minutes = 10.0;
+  // Daemon brownouts/overload: a due traceroute is silently dropped with
+  // this probability (the platform's collection had documented gaps).
+  double traceroute_failure_prob = 0.05;
+  TracerouteOptions traceroute;
+};
+
+struct CampaignResult {
+  std::vector<NdtRecord> tests;
+  std::vector<TracerouteRecord> traceroutes;
+  std::size_t traceroutes_skipped_busy = 0;
+  std::size_t traceroutes_skipped_cached = 0;
+  std::size_t traceroutes_failed = 0;
+};
+
+class NdtCampaign {
+ public:
+  NdtCampaign(const gen::World& world, const route::Forwarder& fwd,
+              const sim::ThroughputModel& model, const Platform& platform,
+              CampaignConfig config);
+
+  // Executes the schedule (must be time-sorted).
+  CampaignResult run(const std::vector<gen::TestRequest>& schedule,
+                     util::Rng& rng) const;
+
+  // Runs a single test at the given time against a chosen server.
+  NdtRecord run_single(std::uint32_t client, std::uint32_t server,
+                       double utc_time_hours, std::uint64_t test_id,
+                       util::Rng& rng) const;
+
+ private:
+  const gen::World* world_;
+  const route::Forwarder* fwd_;
+  const sim::ThroughputModel* model_;
+  const Platform* platform_;
+  CampaignConfig config_;
+};
+
+}  // namespace netcong::measure

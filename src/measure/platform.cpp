@@ -1,0 +1,68 @@
+#include "measure/platform.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "topo/geo.h"
+
+namespace netcong::measure {
+
+Platform::Platform(std::string name, const topo::Topology& topo,
+                   std::vector<std::uint32_t> servers)
+    : name_(std::move(name)), topo_(&topo), servers_(std::move(servers)) {
+  assert(!servers_.empty());
+}
+
+namespace {
+// Servers sorted by distance from the client's city.
+std::vector<std::pair<double, std::uint32_t>> ranked(
+    const topo::Topology& topo, std::uint32_t client,
+    const std::vector<std::uint32_t>& servers) {
+  const topo::City& here = topo.city(topo.host(client).city);
+  std::vector<std::pair<double, std::uint32_t>> out;
+  out.reserve(servers.size());
+  for (std::uint32_t s : servers) {
+    const topo::City& c = topo.city(topo.host(s).city);
+    out.emplace_back(topo::city_distance_km(here, c), s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::uint32_t Platform::select_server(std::uint32_t client,
+                                      util::Rng& rng) const {
+  auto r = ranked(*topo_, client, servers_);
+  // Geo-IP is imprecise: occasionally the client is located wrongly and
+  // lands on a distant server (this is how the real atl01 received tests
+  // from clients whose paths crossed interconnections in DC and NYC).
+  if (rng.chance(0.08)) {
+    std::size_t n = std::min<std::size_t>(r.size(), 25);
+    return r[static_cast<std::size_t>(
+                 rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]
+        .second;
+  }
+  // Otherwise all servers within 150 km of the nearest are interchangeable;
+  // pick one uniformly (spreads load across co-located machines, as the
+  // M-Lab scheduler does).
+  double cutoff = r.front().first + 150.0;
+  std::size_t n = 0;
+  while (n < r.size() && r[n].first <= cutoff) ++n;
+  return r[static_cast<std::size_t>(
+               rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]
+      .second;
+}
+
+std::vector<std::uint32_t> Platform::select_servers_region(
+    std::uint32_t client, int count, util::Rng& rng) const {
+  auto r = ranked(*topo_, client, servers_);
+  std::vector<std::uint32_t> out;
+  for (const auto& [d, s] : r) {
+    if (static_cast<int>(out.size()) >= count) break;
+    out.push_back(s);
+  }
+  (void)rng;
+  return out;
+}
+
+}  // namespace netcong::measure

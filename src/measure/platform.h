@@ -1,0 +1,41 @@
+#pragma once
+
+// Measurement platforms: a named fleet of test servers plus the
+// proximity-based server selection policy described in paper Section 2
+// ("the M-Lab backend uses IP geolocation to select a server close to the
+// client").
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace netcong::measure {
+
+class Platform {
+ public:
+  Platform(std::string name, const topo::Topology& topo,
+           std::vector<std::uint32_t> servers);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::uint32_t>& servers() const { return servers_; }
+
+  // Proximity-based selection: a random server among those at (or near) the
+  // minimum geographic distance from the client. Geo-IP imprecision and
+  // co-located machines make this a set, not a single server.
+  std::uint32_t select_server(std::uint32_t client, util::Rng& rng) const;
+
+  // The paper's "Battle for the Net" client tested against up to five
+  // servers in the region rather than just the closest.
+  std::vector<std::uint32_t> select_servers_region(std::uint32_t client,
+                                                   int count,
+                                                   util::Rng& rng) const;
+
+ private:
+  std::string name_;
+  const topo::Topology* topo_;
+  std::vector<std::uint32_t> servers_;
+};
+
+}  // namespace netcong::measure

@@ -1,0 +1,107 @@
+#include "measure/traceroute.h"
+
+namespace netcong::measure {
+
+TracerouteRecord run_traceroute(const topo::Topology& topo,
+                                const route::Forwarder& fwd,
+                                std::uint32_t src_host, topo::IpAddr dst,
+                                double utc_time_hours,
+                                const TracerouteOptions& options,
+                                util::Rng& rng) {
+  TracerouteRecord rec;
+  rec.src_host = src_host;
+  rec.dst = dst;
+  rec.utc_time_hours = utc_time_hours;
+
+  route::FlowKey key;
+  key.src = topo.host(src_host).addr;
+  key.dst = dst;
+  key.proto = 17;  // UDP probes
+  if (options.paris) {
+    // Paris traceroute fixes the header fields that feed ECMP hashes.
+    key.src_port = 33434;
+    key.dst_port = 33435;
+  } else {
+    // Classic traceroute varies the destination port per probe; we model
+    // this as a per-traceroute random key, i.e. consecutive traceroutes may
+    // take different ECMP branches than the measured flow.
+    key.src_port = static_cast<std::uint16_t>(rng.uniform_int(33434, 33534));
+    key.dst_port = static_cast<std::uint16_t>(rng.uniform_int(33434, 33534));
+  }
+
+  route::RouterPath path = fwd.path(src_host, dst, key);
+  rec.truth = path;
+  if (!path.valid) return rec;
+
+  double cum_delay = topo.host(src_host).access_delay_ms;
+  double cum_queue = 0.0;
+  int ttl = 0;
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    const route::RouterHop& hop = path.hops[i];
+    if (i > 0) {
+      cum_delay += topo.link(hop.in_link).prop_delay_ms;
+      if (options.traffic) {
+        double q = options.traffic
+                       ->condition(hop.in_link, utc_time_hours, rng)
+                       .queue_delay_ms;
+        cum_delay += q;
+        cum_queue += q;
+      }
+    }
+    TraceHop th;
+    th.ttl = ++ttl;
+    if (!rng.chance(options.star_prob)) {
+      th.responded = true;
+      // Routers reply from the inbound interface; the first hop (no inbound
+      // link) replies from its management address.
+      if (hop.in_iface.valid()) {
+        const topo::Interface& inif = topo.iface(hop.in_iface);
+        th.addr = inif.addr;
+        th.dns_name = inif.dns_name;
+      } else {
+        th.addr = topo.router(hop.router).mgmt_addr;
+      }
+      th.rtt_ms = 2.0 * cum_delay * rng.uniform(1.0, 1.08);
+    }
+    rec.hops.push_back(th);
+  }
+
+  // The destination itself (client hosts often sit behind NAT/firewalls).
+  bool dst_is_host = topo.host_by_addr(dst).has_value();
+  bool silent = dst_is_host && rng.chance(options.client_silent_prob);
+  if (!silent) {
+    TraceHop th;
+    th.ttl = ++ttl;
+    th.responded = true;
+    th.addr = dst;
+    th.rtt_ms =
+        (2.0 * path.one_way_delay_ms + cum_queue) * rng.uniform(1.0, 1.08);
+    rec.hops.push_back(th);
+    rec.reached_dst = true;
+  }
+  return rec;
+}
+
+double rtt_probe(const topo::Topology& topo, const route::Forwarder& fwd,
+                 const sim::TrafficModel& traffic, std::uint32_t src_host,
+                 topo::IpAddr target, double utc_time_hours, util::Rng& rng) {
+  route::FlowKey key;
+  key.src = topo.host(src_host).addr;
+  key.dst = target;
+  key.proto = 1;  // ICMP-style
+  key.src_port = 0;
+  key.dst_port = 0;
+  route::RouterPath path = fwd.path(src_host, target, key);
+  if (!path.valid) return -1.0;
+  double one_way = path.one_way_delay_ms;
+  double queue = 0.0;
+  for (topo::LinkId l : path.links) {
+    queue += traffic.condition(l, utc_time_hours, rng).queue_delay_ms;
+  }
+  // Propagation is symmetric; the standing queue is crossed in at least one
+  // direction (droptail queues are directional, but the reply of a probe to
+  // the far side of a congested link crosses it in the loaded direction).
+  return 2.0 * one_way + queue * rng.uniform(1.0, 1.3);
+}
+
+}  // namespace netcong::measure

@@ -1,0 +1,68 @@
+#pragma once
+
+// Paris traceroute simulation. A traceroute walks the same router-level
+// path a flow with the given key would take (Paris keeps the flow key
+// constant, so ECMP decisions are stable across TTLs) and records, per hop,
+// the address of the interface the probe *arrived* on — which on an
+// interdomain link may be numbered from either AS's space, the central
+// difficulty in traceroute-based border inference.
+//
+// Artifacts modeled: unresponsive hops (stars), probes suppressed near the
+// client (home-gateway firewalls), and missing PTR records.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "route/forwarding.h"
+#include "sim/traffic.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace netcong::measure {
+
+struct TraceHop {
+  int ttl = 0;
+  bool responded = false;
+  topo::IpAddr addr;       // valid only if responded
+  double rtt_ms = 0.0;
+  std::string dns_name;    // PTR record if any
+};
+
+struct TracerouteRecord {
+  std::uint32_t src_host = 0;
+  topo::IpAddr dst;
+  double utc_time_hours = 0.0;
+  std::vector<TraceHop> hops;
+  bool reached_dst = false;
+  // Ground truth for validation (not visible to inference code).
+  route::RouterPath truth;
+};
+
+struct TracerouteOptions {
+  double star_prob = 0.03;        // per-hop unresponsiveness
+  double client_silent_prob = 0.35;  // destination host does not reply
+  bool paris = true;              // keep flow key fixed across TTLs
+  // When set, hop RTTs include the time-dependent queueing delay of the
+  // links traversed (needed for latency-based congestion probing, e.g.
+  // TSLP); when null, RTTs reflect propagation only.
+  const sim::TrafficModel* traffic = nullptr;
+};
+
+// Runs one traceroute along the forwarder's path.
+TracerouteRecord run_traceroute(const topo::Topology& topo,
+                                const route::Forwarder& fwd,
+                                std::uint32_t src_host, topo::IpAddr dst,
+                                double utc_time_hours,
+                                const TracerouteOptions& options,
+                                util::Rng& rng);
+
+// One latency probe (ping-style) to an arbitrary address: round-trip time
+// including the queueing delay of every link crossed (both directions are
+// assumed to traverse the same links). Returns a negative value when the
+// target is unreachable.
+double rtt_probe(const topo::Topology& topo, const route::Forwarder& fwd,
+                 const sim::TrafficModel& traffic, std::uint32_t src_host,
+                 topo::IpAddr target, double utc_time_hours, util::Rng& rng);
+
+}  // namespace netcong::measure

@@ -1,0 +1,30 @@
+#include "measure/tslp.h"
+
+namespace netcong::measure {
+
+TslpSeries run_tslp(const gen::World& world, const route::Forwarder& fwd,
+                    std::uint32_t vp, topo::IpAddr near_addr,
+                    topo::IpAddr far_addr, const TslpOptions& options,
+                    util::Rng& rng) {
+  TslpSeries series;
+  series.near_addr = near_addr;
+  series.far_addr = far_addr;
+  const double step_h = options.interval_minutes / 60.0;
+  const double horizon = options.days * 24.0;
+  for (double t = 0.0; t < horizon; t += step_h) {
+    TslpSample s;
+    s.utc_time_hours = t;
+    if (!rng.chance(options.probe_loss)) {
+      s.near_rtt_ms = rtt_probe(*world.topo, fwd, *world.traffic, vp,
+                                near_addr, t, rng);
+    }
+    if (!rng.chance(options.probe_loss)) {
+      s.far_rtt_ms = rtt_probe(*world.topo, fwd, *world.traffic, vp,
+                               far_addr, t, rng);
+    }
+    series.samples.push_back(s);
+  }
+  return series;
+}
+
+}  // namespace netcong::measure

@@ -1,0 +1,50 @@
+#pragma once
+
+// TSLP — time-series latency probing (Luckie et al., reference [25] in the
+// paper). The paper's closing recommendation: platforms not provisioned for
+// bulk throughput tests (Ark, BISmark, RIPE Atlas) "could support
+// lower-impact techniques such as TSLP to provide additional insight into
+// the presence and location of congestion."
+//
+// Method: from a vantage point, probe the *near-side* and *far-side*
+// interface addresses of an interdomain link repeatedly across the day. A
+// standing peak-hour queue at the link elevates the far-side RTT (the
+// reply crosses the loaded queue) while the near-side RTT stays flat; the
+// differential localizes congestion to that link without any throughput
+// measurement.
+
+#include <vector>
+
+#include "gen/world.h"
+#include "measure/traceroute.h"
+#include "route/forwarding.h"
+
+namespace netcong::measure {
+
+struct TslpSample {
+  double utc_time_hours = 0.0;
+  double near_rtt_ms = -1.0;  // negative = probe unanswered/unreachable
+  double far_rtt_ms = -1.0;
+};
+
+struct TslpSeries {
+  topo::IpAddr near_addr;
+  topo::IpAddr far_addr;
+  std::vector<TslpSample> samples;
+};
+
+struct TslpOptions {
+  int days = 7;
+  double interval_minutes = 15.0;
+  // Per-probe loss (unanswered ICMP).
+  double probe_loss = 0.02;
+};
+
+// Runs a TSLP campaign from `vp` against the two sides of a candidate
+// interdomain link (addresses typically come from bdrmap/MAP-IT crossings).
+TslpSeries run_tslp(const gen::World& world, const route::Forwarder& fwd,
+                    std::uint32_t vp, topo::IpAddr near_addr,
+                    topo::IpAddr far_addr, const TslpOptions& options,
+                    util::Rng& rng);
+
+}  // namespace netcong::measure

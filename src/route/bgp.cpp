@@ -1,0 +1,194 @@
+#include "route/bgp.h"
+
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace netcong::route {
+
+using topo::Asn;
+using topo::RelType;
+
+const char* route_class_name(RouteClass c) {
+  switch (c) {
+    case RouteClass::kNone:
+      return "none";
+    case RouteClass::kSelf:
+      return "self";
+    case RouteClass::kCustomer:
+      return "customer";
+    case RouteClass::kPeer:
+      return "peer";
+    case RouteClass::kProvider:
+      return "provider";
+  }
+  return "?";
+}
+
+BgpRouting::BgpRouting(const topo::Topology& topo) : topo_(&topo) {
+  asns_ = topo.all_asns();
+  index_.reserve(asns_.size());
+  for (std::uint32_t i = 0; i < asns_.size(); ++i) index_[asns_[i]] = i;
+  adj_.resize(asns_.size());
+  for (std::uint32_t i = 0; i < asns_.size(); ++i) {
+    for (const auto& [nbr, rel] : topo.relationships().neighbors(asns_[i])) {
+      auto it = index_.find(nbr);
+      if (it == index_.end()) continue;  // relationship to an unmodeled AS
+      adj_[i].push_back(Neighbor{it->second, rel});
+    }
+  }
+}
+
+BgpRouting::Tree BgpRouting::compute_tree(std::uint32_t d) const {
+  const std::size_t n = asns_.size();
+  Tree t;
+  t.next_hop.assign(n, kNoHop);
+  t.cls.assign(n, RouteClass::kNone);
+  t.dist.assign(n, 0xffff);
+  t.cls[d] = RouteClass::kSelf;
+  t.dist[d] = 0;
+
+  // Adopts a candidate route at v via next hop u with the given class.
+  // Returns true if the route was newly adopted or improved (dist), meaning
+  // v should be (re-)expanded.
+  auto adopt = [&](std::uint32_t v, std::uint32_t u, RouteClass cls) {
+    std::uint16_t nd = static_cast<std::uint16_t>(t.dist[u] + 1);
+    if (t.cls[v] != RouteClass::kNone &&
+        static_cast<int>(t.cls[v]) < static_cast<int>(cls)) {
+      return false;  // existing route has a strictly better class
+    }
+    if (t.cls[v] == cls) {
+      if (nd > t.dist[v]) return false;
+      if (nd == t.dist[v]) {
+        // Deterministic tie-break: lowest next-hop ASN.
+        if (t.next_hop[v] == kNoHop || asns_[u] < asns_[t.next_hop[v]]) {
+          t.next_hop[v] = u;
+        }
+        return false;
+      }
+    }
+    t.cls[v] = cls;
+    t.dist[v] = nd;
+    t.next_hop[v] = u;
+    return true;
+  };
+
+  // Phase 1: customer routes propagate "up" from the destination along
+  // customer->provider edges. BFS gives nondecreasing distance.
+  std::deque<std::uint32_t> queue;
+  queue.push_back(d);
+  while (!queue.empty()) {
+    std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : adj_[u]) {
+      // u exports to its provider v; v holds a customer route.
+      if (nb.rel != RelType::kCustomer) continue;
+      if (adopt(nb.idx, u, RouteClass::kCustomer)) queue.push_back(nb.idx);
+    }
+  }
+
+  // Phase 2: ASes with self/customer routes export to peers; peer routes
+  // are not re-exported to peers or providers.
+  std::vector<std::uint32_t> with_customer_route;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (t.cls[u] == RouteClass::kSelf || t.cls[u] == RouteClass::kCustomer) {
+      with_customer_route.push_back(u);
+    }
+  }
+  for (std::uint32_t u : with_customer_route) {
+    for (const Neighbor& nb : adj_[u]) {
+      if (nb.rel != RelType::kPeer) continue;
+      adopt(nb.idx, u, RouteClass::kPeer);
+    }
+  }
+
+  // Phase 3: everything propagates "down" provider->customer edges.
+  // Distances differ at the frontier, so order expansion by distance.
+  using Item = std::pair<std::uint16_t, std::uint32_t>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (t.cls[u] != RouteClass::kNone) pq.emplace(t.dist[u], u);
+  }
+  while (!pq.empty()) {
+    auto [du, u] = pq.top();
+    pq.pop();
+    if (du != t.dist[u]) continue;  // stale entry
+    for (const Neighbor& nb : adj_[u]) {
+      // u exports to its customer v; v holds a provider route.
+      if (nb.rel != RelType::kProvider) continue;
+      if (adopt(nb.idx, u, RouteClass::kProvider)) {
+        pq.emplace(t.dist[nb.idx], nb.idx);
+      }
+    }
+  }
+  return t;
+}
+
+const BgpRouting::Tree& BgpRouting::tree_for(Asn dst) const {
+  std::uint32_t d = index_.at(dst);
+  auto it = trees_.find(d);
+  if (it == trees_.end()) {
+    if (trees_.size() >= cache_cap_) trees_.clear();
+    it = trees_.emplace(d, std::make_unique<Tree>(compute_tree(d))).first;
+  }
+  return *it->second;
+}
+
+void BgpRouting::warm(Asn dst) const { tree_for(dst); }
+
+std::vector<Asn> BgpRouting::as_path(Asn src, Asn dst) const {
+  auto sit = index_.find(src);
+  auto dit = index_.find(dst);
+  if (sit == index_.end() || dit == index_.end()) return {};
+  const Tree& t = tree_for(dst);
+  std::uint32_t cur = sit->second;
+  if (t.cls[cur] == RouteClass::kNone) return {};
+  std::vector<Asn> path;
+  path.push_back(asns_[cur]);
+  while (cur != dit->second) {
+    cur = t.next_hop[cur];
+    assert(cur != kNoHop);
+    path.push_back(asns_[cur]);
+    assert(path.size() <= asns_.size());
+  }
+  return path;
+}
+
+bool BgpRouting::reachable(Asn src, Asn dst) const {
+  return route_class(src, dst) != RouteClass::kNone;
+}
+
+RouteClass BgpRouting::route_class(Asn src, Asn dst) const {
+  auto sit = index_.find(src);
+  auto dit = index_.find(dst);
+  if (sit == index_.end() || dit == index_.end()) return RouteClass::kNone;
+  return tree_for(dst).cls[sit->second];
+}
+
+bool is_valley_free(const topo::Topology& topo,
+                    const std::vector<Asn>& path) {
+  if (path.size() < 2) return true;
+  // State machine: 0 = climbing (customer->provider), 1 = after peak/peer
+  // (only provider->customer allowed).
+  int state = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    RelType rel = topo.relationships().between(path[i], path[i + 1]);
+    switch (rel) {
+      case RelType::kCustomer:  // uphill
+        if (state != 0) return false;
+        break;
+      case RelType::kPeer:  // at most one flat hop, then downhill only
+        if (state != 0) return false;
+        state = 1;
+        break;
+      case RelType::kProvider:  // downhill
+        state = 1;
+        break;
+      case RelType::kNone:
+        return false;  // non-adjacent hop
+    }
+  }
+  return true;
+}
+
+}  // namespace netcong::route

@@ -1,0 +1,91 @@
+#pragma once
+
+// AS-level policy routing following the Gao-Rexford model:
+//  * route preference: customer routes > peer routes > provider routes,
+//    then shortest AS path, then lowest next-hop ASN (deterministic);
+//  * export policy: customer routes are exported to everyone; peer and
+//    provider routes are exported only to customers.
+//
+// Routes are computed per destination AS as a "routing tree" giving, for
+// every source AS, the next hop toward the destination. Trees are computed
+// lazily and cached, so a workload touching k destinations costs
+// O(k * (V + E)).
+//
+// All resulting paths are valley-free by construction; this invariant is
+// checked by property tests.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace netcong::route {
+
+// Class of the best route an AS holds toward a destination.
+enum class RouteClass : std::uint8_t {
+  kNone = 0,      // unreachable
+  kSelf = 1,      // the destination itself
+  kCustomer = 2,  // learned from a customer
+  kPeer = 3,      // learned from a peer
+  kProvider = 4,  // learned from a provider
+};
+
+const char* route_class_name(RouteClass c);
+
+class BgpRouting {
+ public:
+  explicit BgpRouting(const topo::Topology& topo);
+
+  // AS path from src to dst, inclusive of both. Empty if unreachable.
+  // Paths never contain loops and are valley-free.
+  std::vector<topo::Asn> as_path(topo::Asn src, topo::Asn dst) const;
+
+  bool reachable(topo::Asn src, topo::Asn dst) const;
+
+  // Class of the best route held by src toward dst.
+  RouteClass route_class(topo::Asn src, topo::Asn dst) const;
+
+  // Forces computation of the routing tree for dst (useful for benches).
+  void warm(topo::Asn dst) const;
+
+  std::size_t cached_tree_count() const { return trees_.size(); }
+
+  // Bounds the routing-tree cache; when exceeded the cache is cleared
+  // (recomputing a tree is O(V + E), far cheaper than holding thousands).
+  void set_cache_cap(std::size_t cap) { cache_cap_ = cap; }
+
+ private:
+  struct Tree {
+    // Indexed by AS index; next hop toward the destination.
+    std::vector<std::uint32_t> next_hop;  // AS index; kNoHop if none
+    std::vector<RouteClass> cls;
+    std::vector<std::uint16_t> dist;  // AS-path length of the best route
+  };
+  static constexpr std::uint32_t kNoHop = 0xffffffffu;
+
+  const Tree& tree_for(topo::Asn dst) const;
+  Tree compute_tree(std::uint32_t dst_index) const;
+
+  const topo::Topology* topo_;
+  std::vector<topo::Asn> asns_;                       // index -> ASN
+  std::unordered_map<topo::Asn, std::uint32_t> index_;  // ASN -> index
+  // Adjacency by index with the relationship of node toward neighbor.
+  struct Neighbor {
+    std::uint32_t idx;
+    topo::RelType rel;  // relationship of this node toward the neighbor
+  };
+  std::vector<std::vector<Neighbor>> adj_;
+
+  mutable std::unordered_map<std::uint32_t, std::unique_ptr<Tree>> trees_;
+  std::size_t cache_cap_ = 3000;
+};
+
+// Returns true if the AS-level relationship sequence along `path` is
+// valley-free: zero or more customer->provider hops, at most one peer hop,
+// then zero or more provider->customer hops.
+bool is_valley_free(const topo::Topology& topo,
+                    const std::vector<topo::Asn>& path);
+
+}  // namespace netcong::route

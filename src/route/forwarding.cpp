@@ -1,0 +1,212 @@
+#include "route/forwarding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "topo/geo.h"
+#include "util/rng.h"
+
+namespace netcong::route {
+
+using topo::Asn;
+using topo::CityId;
+using topo::InterfaceId;
+using topo::IpAddr;
+using topo::LinkId;
+using topo::RouterId;
+
+std::uint64_t flow_hash(const FlowKey& key, std::uint64_t salt) {
+  char buf[16];
+  std::memcpy(buf, &key.src.value, 4);
+  std::memcpy(buf + 4, &key.dst.value, 4);
+  std::memcpy(buf + 8, &key.src_port, 2);
+  std::memcpy(buf + 10, &key.dst_port, 2);
+  std::memcpy(buf + 12, &key.proto, 1);
+  buf[13] = buf[14] = buf[15] = 0;
+  std::uint64_t h = util::fnv1a(std::string_view(buf, sizeof(buf)));
+  // Mix in the salt with a splitmix finalizer.
+  std::uint64_t z = h + salt * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t bb_key(Asn asn, CityId city) {
+  return (static_cast<std::uint64_t>(asn) << 32) | city.value;
+}
+
+InterfaceId iface_on(const topo::Topology& topo, LinkId link, RouterId r) {
+  const topo::Link& l = topo.link(link);
+  return topo.iface(l.side_a).router == r ? l.side_a : l.side_b;
+}
+}  // namespace
+
+Forwarder::Forwarder(const topo::Topology& topo, const BgpRouting& bgp)
+    : topo_(&topo), bgp_(&bgp) {
+  for (const auto& r : topo.routers()) {
+    if (r.role == topo::RouterRole::kBackbone) {
+      backbone_.emplace(bb_key(r.owner, r.city), r.id);
+    }
+  }
+}
+
+RouterId Forwarder::backbone(Asn asn, CityId city) const {
+  auto it = backbone_.find(bb_key(asn, city));
+  return it == backbone_.end() ? RouterId{} : it->second;
+}
+
+bool Forwarder::traverse(RouterId from, RouterId to, const FlowKey& key,
+                         std::uint64_t salt, RouterPath& out) const {
+  const auto& links = topo_->links_between(from, to);
+  if (links.empty()) return false;
+  LinkId chosen = links[flow_hash(key, salt) % links.size()];
+  out.links.push_back(chosen);
+  out.hops.push_back(RouterHop{to, iface_on(*topo_, chosen, to), chosen});
+  out.one_way_delay_ms += topo_->link(chosen).prop_delay_ms;
+  return true;
+}
+
+bool Forwarder::intra_as_segment(RouterId from, RouterId to,
+                                 const FlowKey& key, std::uint64_t salt,
+                                 RouterPath& out) const {
+  if (from == to) return true;
+  // Direct connection (router pair adjacent inside the AS)?
+  if (!topo_->links_between(from, to).empty()) {
+    return traverse(from, to, key, salt ^ 0x51ed, out);
+  }
+  const topo::Router& rf = topo_->router(from);
+  const topo::Router& rt = topo_->router(to);
+  assert(rf.owner == rt.owner);
+  RouterId bb_from =
+      rf.role == topo::RouterRole::kBackbone ? from : backbone(rf.owner, rf.city);
+  RouterId bb_to =
+      rt.role == topo::RouterRole::kBackbone ? to : backbone(rt.owner, rt.city);
+  if (!bb_from.valid() || !bb_to.valid()) return false;
+  RouterId cur = from;
+  if (bb_from != cur) {
+    if (!traverse(cur, bb_from, key, salt ^ 0xa1, out)) return false;
+    cur = bb_from;
+  }
+  if (bb_to != cur) {
+    if (!traverse(cur, bb_to, key, salt ^ 0xa2, out)) return false;
+    cur = bb_to;
+  }
+  if (to != cur) {
+    if (!traverse(cur, to, key, salt ^ 0xa3, out)) return false;
+  }
+  return true;
+}
+
+std::optional<LinkId> Forwarder::choose_interdomain(Asn cur_as, Asn next_as,
+                                                    RouterId cur_router,
+                                                    topo::CityId dest_city,
+                                                    const FlowKey& key,
+                                                    std::uint64_t salt) const {
+  std::vector<LinkId> candidates = topo_->interdomain_links(cur_as, next_as);
+  if (candidates.empty()) return std::nullopt;
+
+  const topo::City& here = topo_->city(topo_->router(cur_router).city);
+  const topo::City& dest = topo_->city(dest_city);
+  // Score = hot-potato distance, a regional pull toward the destination,
+  // and a stable per-(flow, link) jitter standing in for IGP metrics, MEDs
+  // and traffic engineering. The jitter is what lets a single vantage point
+  // observe several interconnection sites toward the same neighbor, as real
+  // bdrmap campaigns do (paper Table 3's router-level counts).
+  double best = 1e18;
+  std::vector<LinkId> nearest;
+  for (LinkId id : candidates) {
+    const topo::Link& l = topo_->link(id);
+    RouterId near_side = topo_->link(id).as_a == cur_as
+                             ? topo_->iface(l.side_a).router
+                             : topo_->iface(l.side_b).router;
+    const topo::City& c = topo_->city(topo_->router(near_side).city);
+    double jitter = static_cast<double>(
+        flow_hash(key, 0xbeef0000ull ^ (std::uint64_t{id.value} * 2654435761ull)) %
+        700u);
+    double d = topo::city_distance_km(here, c) +
+               0.6 * topo::city_distance_km(c, dest) + jitter;
+    if (d < best - 1.0) {
+      best = d;
+      nearest.clear();
+      nearest.push_back(id);
+    } else if (d < best + 1.0) {
+      nearest.push_back(id);
+    }
+  }
+  // ECMP among equally near links: stable per-flow choice. Sorting makes the
+  // result independent of topology insertion order.
+  std::sort(nearest.begin(), nearest.end());
+  return nearest[flow_hash(key, salt) % nearest.size()];
+}
+
+RouterPath Forwarder::path(std::uint32_t src_host, IpAddr dst,
+                           const FlowKey& key) const {
+  RouterPath out;
+  const topo::Host& src = topo_->host(src_host);
+
+  // Resolve the destination to (AS, attachment router, last-mile delay).
+  Asn dst_asn = 0;
+  RouterId dst_attachment;
+  topo::CityId dst_city;
+  double dst_access_delay = 0.0;
+  if (auto dst_host_id = topo_->host_by_addr(dst)) {
+    const topo::Host& h = topo_->host(*dst_host_id);
+    dst_asn = h.asn;
+    dst_attachment = h.attachment;
+    dst_city = h.city;
+    dst_access_delay = h.access_delay_ms;
+  } else if (auto ifid = topo_->interface_by_addr(dst)) {
+    const topo::Router& r = topo_->router(topo_->iface(*ifid).router);
+    dst_asn = r.owner;
+    dst_attachment = r.id;
+    dst_city = r.city;
+  } else if (auto owner = topo_->true_owner(dst)) {
+    // Arbitrary address inside an AS's space: the path terminates at the
+    // AS's first backbone router (good enough for topology probing).
+    dst_asn = *owner;
+    for (RouterId r : topo_->routers_of(dst_asn)) {
+      if (topo_->router(r).role == topo::RouterRole::kBackbone) {
+        dst_attachment = r;
+        dst_city = topo_->router(r).city;
+        break;
+      }
+    }
+    if (!dst_attachment.valid()) return out;
+  } else {
+    return out;
+  }
+
+  out.as_path = bgp_->as_path(src.asn, dst_asn);
+  if (out.as_path.empty()) return out;
+
+  out.one_way_delay_ms = src.access_delay_ms + dst_access_delay;
+  RouterId cur = src.attachment;
+  out.hops.push_back(RouterHop{cur, InterfaceId{}, LinkId{}});
+
+  for (std::size_t i = 0; i + 1 < out.as_path.size(); ++i) {
+    Asn a = out.as_path[i];
+    Asn b = out.as_path[i + 1];
+    std::uint64_t salt = 0x1000 + i;
+    auto link = choose_interdomain(a, b, cur, dst_city, key, salt);
+    if (!link) return out;  // invalid: AS adjacency without physical link
+    const topo::Link& l = topo_->link(*link);
+    RouterId exit_router = l.as_a == a ? topo_->iface(l.side_a).router
+                                       : topo_->iface(l.side_b).router;
+    RouterId entry_router = topo_->remote_router(*link, exit_router);
+    if (!intra_as_segment(cur, exit_router, key, salt, out)) return out;
+    out.links.push_back(*link);
+    out.hops.push_back(
+        RouterHop{entry_router, iface_on(*topo_, *link, entry_router), *link});
+    out.one_way_delay_ms += l.prop_delay_ms;
+    cur = entry_router;
+  }
+  if (!intra_as_segment(cur, dst_attachment, key, 0x9999, out)) {
+    return out;
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace netcong::route

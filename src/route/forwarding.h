@@ -1,0 +1,68 @@
+#pragma once
+
+// Router-level path construction on top of AS-level BGP routes:
+//  * hot-potato egress: traffic leaves an AS at the interconnection point
+//    geographically closest to where it currently is;
+//  * ECMP: among equally good interconnection links (same city, including
+//    parallel links between the same router pair), the choice is a stable
+//    hash of the flow key — per-flow load balancing;
+//  * intra-AS segments go via per-city backbone routers.
+//
+// The resulting diversity of router-level paths between a fixed AS pair is
+// exactly the phenomenon that breaks the paper's Assumption 3 (Section 4.3).
+
+#include <optional>
+#include <unordered_map>
+
+#include "route/bgp.h"
+#include "route/path.h"
+#include "topo/topology.h"
+
+namespace netcong::route {
+
+class Forwarder {
+ public:
+  Forwarder(const topo::Topology& topo, const BgpRouting& bgp);
+
+  // Router-level path from a host to a destination address. The destination
+  // may be a host, a router interface, or any address inside an AS's
+  // announced space (the path then ends at that AS's backbone). Returns an
+  // invalid path if unreachable.
+  RouterPath path(std::uint32_t src_host, topo::IpAddr dst,
+                  const FlowKey& key) const;
+
+  // The backbone router of `asn` in `city`; invalid id if the AS has no
+  // presence there.
+  topo::RouterId backbone(topo::Asn asn, topo::CityId city) const;
+
+ private:
+  // Appends the intra-AS segment from `from` to `to` (same AS); returns
+  // false if the internal topology is missing a required link.
+  bool intra_as_segment(topo::RouterId from, topo::RouterId to,
+                        const FlowKey& key, std::uint64_t salt,
+                        RouterPath& out) const;
+  // Appends a single router-to-router move across one direct link (choosing
+  // among parallel links by flow hash).
+  bool traverse(topo::RouterId from, topo::RouterId to, const FlowKey& key,
+                std::uint64_t salt, RouterPath& out) const;
+
+  // Chooses the interdomain link for the transition from `cur_as` to
+  // `next_as` given the current position and the final destination city.
+  // The score blends hot-potato (distance from here to the egress site) with
+  // a regional pull toward the destination, which is what makes tests from
+  // one server cross different IP-level links depending on the client's
+  // region (paper Section 4.3, Table 2).
+  std::optional<topo::LinkId> choose_interdomain(topo::Asn cur_as,
+                                                 topo::Asn next_as,
+                                                 topo::RouterId cur_router,
+                                                 topo::CityId dest_city,
+                                                 const FlowKey& key,
+                                                 std::uint64_t salt) const;
+
+  const topo::Topology* topo_;
+  const BgpRouting* bgp_;
+  // (asn, city) -> backbone router.
+  std::unordered_map<std::uint64_t, topo::RouterId> backbone_;
+};
+
+}  // namespace netcong::route

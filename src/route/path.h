@@ -1,0 +1,56 @@
+#pragma once
+
+// Flow identity and router-level path representation shared by the
+// forwarding engine, the traffic simulator and the measurement tools.
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/entities.h"
+#include "topo/ids.h"
+#include "topo/ip.h"
+
+namespace netcong::route {
+
+// 5-tuple-style flow identity. ECMP hashing is a pure function of this key,
+// which is what makes Paris traceroute's fixed-header trick work: keeping
+// the key constant pins the path, while classic traceroute's varying ports
+// explore different ECMP branches.
+struct FlowKey {
+  topo::IpAddr src;
+  topo::IpAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;  // TCP
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+// Stable hash of (key, salt); the salt distinguishes ECMP decisions at
+// different points on the path.
+std::uint64_t flow_hash(const FlowKey& key, std::uint64_t salt);
+
+struct RouterHop {
+  topo::RouterId router;
+  // Interface the packet arrived on (the address a traceroute reply carries).
+  // Invalid for the first hop past the source host.
+  topo::InterfaceId in_iface;
+  topo::LinkId in_link;  // invalid for the first hop
+};
+
+struct RouterPath {
+  bool valid = false;
+  std::vector<topo::Asn> as_path;  // src AS .. dst AS inclusive
+  // Routers traversed from the source host's attachment router to the
+  // destination host's attachment router. hops[i+1].in_link == links[i].
+  std::vector<RouterHop> hops;
+  std::vector<topo::LinkId> links;
+  // One-way delay including both hosts' access links.
+  double one_way_delay_ms = 0.0;
+
+  std::size_t as_hop_count() const {
+    return as_path.empty() ? 0 : as_path.size() - 1;
+  }
+};
+
+}  // namespace netcong::route

@@ -1,0 +1,48 @@
+#include "sim/diurnal.h"
+
+#include <cmath>
+
+namespace netcong::sim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Wraps an hour value into [0, 24).
+double wrap24(double h) {
+  h = std::fmod(h, 24.0);
+  if (h < 0) h += 24.0;
+  return h;
+}
+}  // namespace
+
+double DiurnalShape::value(double local) const {
+  local = wrap24(local);
+  // Hours from trough to peak moving forward in time.
+  double rise_span = wrap24(peak_hour - trough_hour);
+  double fall_span = 24.0 - rise_span;
+  double since_trough = wrap24(local - trough_hour);
+  if (since_trough <= rise_span) {
+    // Rising half-cosine from 0 to 1.
+    double x = since_trough / rise_span;
+    return 0.5 * (1.0 - std::cos(kPi * x));
+  }
+  // Falling half-cosine from 1 back to 0.
+  double x = (since_trough - rise_span) / fall_span;
+  return 0.5 * (1.0 + std::cos(kPi * x));
+}
+
+double local_hour(double utc_hour, int utc_offset_hours) {
+  return wrap24(utc_hour + utc_offset_hours);
+}
+
+double test_volume_multiplier(double local) {
+  // Evening-heavy double bump: main evening peak plus a smaller midday one,
+  // with very few tests overnight. Calibrated so the 24h mean is ~1.
+  local = wrap24(local);
+  DiurnalShape evening{.trough_hour = 4.5, .peak_hour = 20.5};
+  DiurnalShape midday{.trough_hour = 3.0, .peak_hour = 13.0};
+  double v = 0.15 + 1.9 * evening.value(local) + 0.5 * midday.value(local);
+  return v / 1.5;
+}
+
+}  // namespace netcong::sim

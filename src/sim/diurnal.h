@@ -1,0 +1,27 @@
+#pragma once
+
+// Diurnal traffic shapes. Internet traffic follows a strong time-of-day
+// cycle: a trough in the early morning and a peak in the evening. The shape
+// here is piecewise-cosine between a configurable trough hour and peak hour,
+// which reproduces both the slow daytime ramp and the sharp evening peak.
+
+namespace netcong::sim {
+
+struct DiurnalShape {
+  double trough_hour = 4.0;  // local time of minimum load
+  double peak_hour = 21.0;   // local time of maximum load
+
+  // Returns the load fraction in [0, 1]: 0 at the trough, 1 at the peak.
+  double value(double local_hour) const;
+};
+
+// Local hour in [0, 24) for a given UTC hour-of-day and city offset.
+double local_hour(double utc_hour, int utc_offset_hours);
+
+// Crowdsourced *test volume* also has a diurnal cycle (users launch tests
+// manually). This is the paper's "time of day bias" (Section 6.1): many more
+// tests in the evening than at 4am. Returns a relative rate multiplier with
+// mean roughly 1 over the day.
+double test_volume_multiplier(double local_hour);
+
+}  // namespace netcong::sim

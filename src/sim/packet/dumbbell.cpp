@@ -1,0 +1,73 @@
+#include "sim/packet/dumbbell.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace netcong::sim::packet {
+
+Dumbbell::Dumbbell(Params params) : params_(params) {
+  queue_ = std::make_unique<DropTailQueue>(
+      events_, params_.bottleneck_mbps, params_.buffer_packets,
+      [this](const Packet& p) {
+        flows_[static_cast<std::size_t>(p.flow)]->on_packet_delivered(p);
+      });
+}
+
+int Dumbbell::add_flow(const FlowSpec& spec) {
+  int id = static_cast<int>(flows_.size());
+  TcpFlow::Params fp;
+  fp.mss_bytes = spec.mss_bytes;
+  fp.base_rtt_s = spec.base_rtt_s;
+  flows_.push_back(std::make_unique<TcpFlow>(
+      id, events_, fp, [this](const Packet& p) { return queue_->enqueue(p); }));
+  specs_.push_back(spec);
+  flows_.back()->start(spec.start_time_s);
+  if (spec.stop_time_s < params_.duration_s) {
+    TcpFlow* flow = flows_.back().get();
+    events_.schedule(spec.stop_time_s, [flow] { flow->stop(); });
+  }
+  return id;
+}
+
+double Dumbbell::goodput_over(const TcpStats& stats, int mss_bytes,
+                              double from_s, double to_s) {
+  if (to_s <= from_s) return 0.0;
+  // ack_trace is (time, cumulative acked seq), nondecreasing in both.
+  auto acked_at = [&](double t) -> std::int64_t {
+    std::int64_t best = -1;
+    for (const auto& [time, seq] : stats.ack_trace) {
+      if (time > t) break;
+      best = seq;
+    }
+    return best;
+  };
+  std::int64_t d = acked_at(to_s) - acked_at(from_s);
+  if (d <= 0) return 0.0;
+  return static_cast<double>(d) * mss_bytes * 8.0 / (to_s - from_s) / 1e6;
+}
+
+DumbbellResult Dumbbell::run() {
+  events_.run(params_.duration_s);
+  DumbbellResult out;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    FlowResult fr;
+    fr.stats = flows_[i]->stats();
+    const FlowSpec& spec = specs_[i];
+    double start = spec.start_time_s;
+    double stop = std::min(spec.stop_time_s, params_.duration_s);
+    fr.goodput_mbps =
+        goodput_over(fr.stats, spec.mss_bytes, start, stop);
+    if (!fr.stats.rtt_samples_ms.empty()) {
+      fr.mean_rtt_ms = stats::mean(fr.stats.rtt_samples_ms);
+      fr.min_rtt_ms = stats::min(fr.stats.rtt_samples_ms);
+      fr.max_rtt_ms = stats::max(fr.stats.rtt_samples_ms);
+    }
+    out.flows.push_back(std::move(fr));
+  }
+  out.bottleneck_drops = queue_->drops();
+  out.bottleneck_delivered = queue_->delivered();
+  return out;
+}
+
+}  // namespace netcong::sim::packet

@@ -1,0 +1,67 @@
+#pragma once
+
+// Dumbbell scenario: N TCP flows sharing one droptail bottleneck. This is
+// the canonical setup for studying (a) what throughput drop a congested
+// link actually produces for a short test flow (paper Section 6.2) and
+// (b) RTT signatures that distinguish a flow that *caused* the queue from
+// one that arrived at an already-congested link (paper's future work [37]).
+
+#include <memory>
+#include <vector>
+
+#include "sim/packet/event_queue.h"
+#include "sim/packet/queue.h"
+#include "sim/packet/tcp.h"
+
+namespace netcong::sim::packet {
+
+struct FlowSpec {
+  double start_time_s = 0.0;
+  double stop_time_s = 1e9;
+  double base_rtt_s = 0.04;
+  int mss_bytes = 1500;
+};
+
+struct FlowResult {
+  TcpStats stats;
+  // Goodput measured between the flow's start (plus warmup) and stop.
+  double goodput_mbps = 0.0;
+  double mean_rtt_ms = 0.0;
+  double min_rtt_ms = 0.0;
+  double max_rtt_ms = 0.0;
+};
+
+struct DumbbellResult {
+  std::vector<FlowResult> flows;
+  std::int64_t bottleneck_drops = 0;
+  std::int64_t bottleneck_delivered = 0;
+};
+
+class Dumbbell {
+ public:
+  struct Params {
+    double bottleneck_mbps = 100.0;
+    int buffer_packets = 400;
+    double duration_s = 30.0;
+  };
+
+  explicit Dumbbell(Params params);
+
+  // Adds a flow; returns its index.
+  int add_flow(const FlowSpec& spec);
+
+  DumbbellResult run();
+
+  // Goodput of flow `i` over [from_s, to_s] computed from its ACK trace.
+  static double goodput_over(const TcpStats& stats, int mss_bytes,
+                             double from_s, double to_s);
+
+ private:
+  Params params_;
+  EventQueue events_;
+  std::unique_ptr<DropTailQueue> queue_;
+  std::vector<std::unique_ptr<TcpFlow>> flows_;
+  std::vector<FlowSpec> specs_;
+};
+
+}  // namespace netcong::sim::packet

@@ -1,0 +1,25 @@
+#include "sim/packet/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace netcong::sim::packet {
+
+void EventQueue::schedule(double time, Handler handler) {
+  assert(time >= now_);
+  heap_.push(Event{time, next_seq_++, std::move(handler)});
+}
+
+void EventQueue::run(double until) {
+  while (!heap_.empty() && heap_.top().time <= until) {
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.handler();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace netcong::sim::packet

@@ -1,0 +1,45 @@
+#pragma once
+
+// Discrete-event scheduler for the packet-level simulator. Events fire in
+// (time, insertion-order) order, making simulations fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace netcong::sim::packet {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  void schedule(double time, Handler handler);
+
+  // Runs events until the queue drains or `until` is passed (events at
+  // exactly `until` still run).
+  void run(double until);
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace netcong::sim::packet

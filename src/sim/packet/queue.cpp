@@ -1,0 +1,38 @@
+#include "sim/packet/queue.h"
+
+#include <algorithm>
+
+namespace netcong::sim::packet {
+
+DropTailQueue::DropTailQueue(EventQueue& events, double rate_mbps,
+                             int buffer_packets, DeliverFn deliver)
+    : events_(&events),
+      bytes_per_s_(rate_mbps * 1e6 / 8.0),
+      buffer_packets_(buffer_packets),
+      deliver_(std::move(deliver)) {}
+
+double DropTailQueue::queue_delay_s() const {
+  return std::max(0.0, busy_until_ - events_->now());
+}
+
+bool DropTailQueue::enqueue(const Packet& p) {
+  if (backlog_ >= buffer_packets_) {
+    ++drops_;
+    return false;
+  }
+  ++backlog_;
+  double start = std::max(busy_until_, events_->now());
+  double service = static_cast<double>(p.size_bytes) / bytes_per_s_;
+  busy_until_ = start + service;
+  Packet copy = p;
+  events_->schedule(busy_until_, [this, copy] { depart(copy); });
+  return true;
+}
+
+void DropTailQueue::depart(const Packet& p) {
+  --backlog_;
+  ++delivered_;
+  deliver_(p);
+}
+
+}  // namespace netcong::sim::packet

@@ -1,0 +1,51 @@
+#pragma once
+
+// Droptail FIFO bottleneck: serializes packets at a fixed rate with a finite
+// buffer. Departures are delivered via a callback through the event queue.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/packet/event_queue.h"
+
+namespace netcong::sim::packet {
+
+struct Packet {
+  int flow = 0;
+  std::int64_t seq = 0;       // data sequence number (packet index)
+  int size_bytes = 1500;
+  double sent_time = 0.0;     // when the source transmitted it
+  bool retransmit = false;
+};
+
+class DropTailQueue {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  DropTailQueue(EventQueue& events, double rate_mbps, int buffer_packets,
+                DeliverFn deliver);
+
+  // Offers a packet to the queue at the current time. Returns false (drop)
+  // if the buffer is full.
+  bool enqueue(const Packet& p);
+
+  int backlog_packets() const { return backlog_; }
+  // Current queueing delay a newly arriving packet would experience.
+  double queue_delay_s() const;
+  std::int64_t drops() const { return drops_; }
+  std::int64_t delivered() const { return delivered_; }
+
+ private:
+  void depart(const Packet& p);
+
+  EventQueue* events_;
+  double bytes_per_s_;
+  int buffer_packets_;
+  DeliverFn deliver_;
+  int backlog_ = 0;
+  double busy_until_ = 0.0;
+  std::int64_t drops_ = 0;
+  std::int64_t delivered_ = 0;
+};
+
+}  // namespace netcong::sim::packet

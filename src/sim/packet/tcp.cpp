@@ -1,0 +1,155 @@
+#include "sim/packet/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netcong::sim::packet {
+
+TcpFlow::TcpFlow(int id, EventQueue& events, Params params,
+                 std::function<bool(const Packet&)> transmit)
+    : id_(id),
+      events_(&events),
+      params_(params),
+      transmit_(std::move(transmit)),
+      cwnd_(params.initial_cwnd) {}
+
+void TcpFlow::start(double at_time) {
+  events_->schedule(at_time, [this] {
+    running_ = true;
+    try_send();
+    schedule_rto();
+  });
+}
+
+void TcpFlow::try_send() {
+  if (!running_) return;
+  auto in_flight = [&] { return next_seq_ - (cum_acked_ + 1); };
+  while (static_cast<double>(in_flight()) < cwnd_ &&
+         cwnd_ <= params_.max_cwnd) {
+    send_packet(next_seq_, /*retransmit=*/false);
+    ++next_seq_;
+  }
+}
+
+void TcpFlow::send_packet(std::int64_t seq, bool retransmit) {
+  Packet p;
+  p.flow = id_;
+  p.seq = seq;
+  p.size_bytes = params_.mss_bytes;
+  p.sent_time = events_->now();
+  p.retransmit = retransmit;
+  ++stats_.packets_sent;
+  if (retransmit) {
+    ++stats_.retransmits;
+    sent_at_.erase(seq);  // Karn: never sample RTT off a retransmit
+  } else {
+    sent_at_[seq] = p.sent_time;
+  }
+  // A drop at the bottleneck is silent; loss is discovered via dupacks/RTO.
+  transmit_(p);
+}
+
+void TcpFlow::on_packet_delivered(const Packet& p) {
+  // Downstream propagation + ACK return takes the remaining base RTT
+  // (the sender-to-bottleneck leg is treated as instantaneous; base_rtt_s
+  // covers the full loop minus bottleneck queueing).
+  double deliver_at = events_->now() + params_.base_rtt_s;
+  std::int64_t seq = p.seq;
+  double sent_time = p.sent_time;
+  bool was_retx = p.retransmit;
+  events_->schedule(deliver_at, [this, seq, sent_time, was_retx] {
+    on_ack(seq, sent_time, was_retx);
+  });
+}
+
+void TcpFlow::update_rtt(double sample_s) {
+  if (srtt_s_ == 0.0) {
+    srtt_s_ = sample_s;
+    rttvar_s_ = sample_s / 2.0;
+  } else {
+    rttvar_s_ = 0.75 * rttvar_s_ + 0.25 * std::fabs(srtt_s_ - sample_s);
+    srtt_s_ = 0.875 * srtt_s_ + 0.125 * sample_s;
+  }
+  rto_s_ = std::clamp(srtt_s_ + 4.0 * rttvar_s_, 0.2, 60.0);
+}
+
+void TcpFlow::on_ack(std::int64_t seq, double sent_time, bool was_retransmit) {
+  if (!running_) return;
+
+  // RTT sample (Karn's rule).
+  if (!was_retransmit) {
+    auto it = sent_at_.find(seq);
+    if (it != sent_at_.end() && it->second == sent_time) {
+      double sample = events_->now() - sent_time;
+      update_rtt(sample);
+      if (params_.record_rtt) {
+        stats_.rtt_samples_ms.push_back(sample * 1000.0);
+      }
+      sent_at_.erase(it);
+    }
+  }
+
+  if (seq == cum_acked_ + 1) {
+    // In-order arrival advances the cumulative ack.
+    cum_acked_ = seq;
+    ++stats_.packets_acked;
+    stats_.ack_trace.emplace_back(events_->now(), cum_acked_);
+    dupacks_ = 0;
+    if (in_recovery_ && cum_acked_ >= recovery_end_) in_recovery_ = false;
+
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+    rto_epoch_++;  // fresh data acked: restart the timer
+    schedule_rto();
+    try_send();
+  } else if (seq > cum_acked_ + 1) {
+    // A gap: the receiver would emit a duplicate ACK for cum_acked_.
+    ++dupacks_;
+    if (dupacks_ == 3 && !in_recovery_) {
+      // Fast retransmit + (simplified) fast recovery.
+      in_recovery_ = true;
+      recovery_end_ = next_seq_ - 1;
+      ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+      cwnd_ = ssthresh_;
+      ++stats_.congestion_signals;
+      send_packet(cum_acked_ + 1, /*retransmit=*/true);
+      rto_epoch_++;
+      schedule_rto();
+    }
+  }
+  // seq <= cum_acked_: stale (already covered by a retransmit); ignore.
+}
+
+void TcpFlow::schedule_rto() {
+  std::uint64_t epoch = rto_epoch_;
+  events_->schedule(events_->now() + rto_s_,
+                    [this, epoch] { on_rto(epoch); });
+}
+
+void TcpFlow::on_rto(std::uint64_t epoch) {
+  if (!running_ || epoch != rto_epoch_) return;  // stale timer
+  if (cum_acked_ + 1 >= next_seq_) {
+    // Nothing outstanding; keep an idle timer alive.
+    rto_epoch_++;
+    schedule_rto();
+    return;
+  }
+  ++stats_.timeouts;
+  ++stats_.congestion_signals;
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  // Go-back-N from the hole.
+  next_seq_ = cum_acked_ + 1;
+  send_packet(next_seq_, /*retransmit=*/true);
+  ++next_seq_;
+  rto_s_ = std::min(60.0, rto_s_ * 2.0);  // backoff
+  rto_epoch_++;
+  schedule_rto();
+}
+
+}  // namespace netcong::sim::packet

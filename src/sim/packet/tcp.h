@@ -1,0 +1,92 @@
+#pragma once
+
+// A compact TCP NewReno sender: slow start, congestion avoidance, fast
+// retransmit on three duplicate ACKs, and retransmission timeouts with
+// Jacobson/Karels RTO estimation. Sequence numbers are packet-granularity.
+// The receiver path is cumulative-ACK with in-order delivery guaranteed by
+// the FIFO bottleneck, so duplicate-ACK loss detection is exact.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/packet/event_queue.h"
+#include "sim/packet/queue.h"
+
+namespace netcong::sim::packet {
+
+struct TcpStats {
+  std::int64_t packets_sent = 0;
+  std::int64_t packets_acked = 0;
+  std::int64_t retransmits = 0;
+  int congestion_signals = 0;  // multiplicative window reductions
+  int timeouts = 0;
+  std::vector<double> rtt_samples_ms;
+  // (time, acked-sequence) pairs for goodput-over-time analysis.
+  std::vector<std::pair<double, std::int64_t>> ack_trace;
+};
+
+class TcpFlow {
+ public:
+  struct Params {
+    int mss_bytes = 1500;
+    double base_rtt_s = 0.04;  // two-way propagation excluding queueing
+    double initial_cwnd = 10.0;
+    double max_cwnd = 10000.0;
+    bool record_rtt = true;
+  };
+
+  // `transmit` hands a packet to the network (typically the bottleneck
+  // queue); the flow schedules its own ACK-return events internally.
+  TcpFlow(int id, EventQueue& events, Params params,
+          std::function<bool(const Packet&)> transmit);
+
+  void start(double at_time);
+  void stop() { running_ = false; }
+
+  // Called by the scenario when a data packet finishes crossing the
+  // bottleneck; the flow schedules the downstream propagation + ACK return.
+  void on_packet_delivered(const Packet& p);
+
+  const TcpStats& stats() const { return stats_; }
+  double cwnd() const { return cwnd_; }
+  std::int64_t highest_acked() const { return cum_acked_; }
+  int id() const { return id_; }
+
+ private:
+  void try_send();
+  void send_packet(std::int64_t seq, bool retransmit);
+  void on_ack(std::int64_t cum_seq, double sent_time, bool was_retransmit);
+  void schedule_rto();
+  void on_rto(std::uint64_t epoch);
+  void update_rtt(double sample_s);
+
+  int id_;
+  EventQueue* events_;
+  Params params_;
+  std::function<bool(const Packet&)> transmit_;
+
+  bool running_ = false;
+  double cwnd_;
+  double ssthresh_ = 1e9;
+  std::int64_t next_seq_ = 0;   // next new sequence to send
+  std::int64_t cum_acked_ = -1;  // highest cumulative ack received
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recovery_end_ = -1;
+
+  // RTO state.
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  double rto_s_ = 1.0;
+  std::uint64_t rto_epoch_ = 0;  // cancels stale timers
+
+  // Send times of in-flight packets for RTT sampling (Karn's rule: no
+  // samples from retransmitted sequences).
+  std::unordered_map<std::int64_t, double> sent_at_;
+
+  TcpStats stats_;
+};
+
+}  // namespace netcong::sim::packet

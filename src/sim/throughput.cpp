@@ -1,0 +1,107 @@
+#include "sim/throughput.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netcong::sim {
+
+double tcp_response_mbps(double mss_bytes, double rtt_ms, double loss_rate) {
+  // Padhye et al. full model, simplified: the square-root term dominates for
+  // the loss rates we produce; include the RTO term's first-order effect so
+  // heavy loss collapses throughput sharply.
+  double p = std::clamp(loss_rate, 1e-9, 0.5);
+  double rtt_s = std::max(rtt_ms, 0.1) / 1000.0;
+  double rto_s = std::max(0.2, 4.0 * rtt_s);
+  double denom = rtt_s * std::sqrt(2.0 * p / 3.0) +
+                 rto_s * std::min(1.0, 3.0 * std::sqrt(3.0 * p / 8.0)) * p *
+                     (1.0 + 32.0 * p * p);
+  double bytes_per_s = mss_bytes / denom;
+  return bytes_per_s * 8.0 / 1e6;
+}
+
+ThroughputModel::ThroughputModel(const topo::Topology& topo,
+                                 const TrafficModel& traffic, Params params)
+    : topo_(&topo), traffic_(&traffic), params_(params) {}
+
+ThroughputEstimate ThroughputModel::estimate(const route::RouterPath& path,
+                                             const topo::Host& client,
+                                             const topo::Host& server,
+                                             double utc_hour,
+                                             util::Rng& rng) const {
+  ThroughputEstimate e;
+  if (!path.valid) return e;
+
+  double base_rtt_ms = 2.0 * path.one_way_delay_ms;
+  double queue_ms = 0.0;
+  double max_loss = 0.0;
+  double min_share_mbps = params_.server_cap_mbps;
+  topo::LinkId bottleneck;
+  topo::LinkId loss_link;  // the link contributing the path's worst loss
+
+  for (topo::LinkId link : path.links) {
+    LinkCondition c = traffic_->condition(link, utc_hour, rng);
+    queue_ms += c.queue_delay_ms;
+    if (c.loss_rate > max_loss) {
+      max_loss = c.loss_rate;
+      loss_link = link;
+    }
+    double cap = topo_->link(link).capacity_mbps;
+    // Residual capacity left by background traffic.
+    double residual = std::max(0.0, cap * (1.0 - c.utilization));
+    // Max-min fair share against the estimated number of competing flows;
+    // binding when the link is saturated.
+    double n_bg =
+        c.utilization * cap / traffic_->params().mean_bg_flow_mbps;
+    double fair = cap / (n_bg + 1.0);
+    double share = std::max(residual, fair);
+    if (share < min_share_mbps) {
+      min_share_mbps = share;
+      bottleneck = link;
+    }
+  }
+
+  e.flow_rtt_ms = base_rtt_ms + queue_ms;
+  e.loss_rate = std::min(0.5, max_loss);
+
+  // TCP response-function cap from path RTT and loss.
+  double tcp_cap =
+      tcp_response_mbps(params_.mss_bytes, e.flow_rtt_ms, e.loss_rate);
+
+  // Client-side constraints.
+  double access_cap = client.tier.down_mbps * client.home_quality;
+
+  double rate = std::min({min_share_mbps, tcp_cap, access_cap});
+  e.access_limited = access_cap <= std::min(min_share_mbps, tcp_cap);
+  if (!e.access_limited) {
+    if (min_share_mbps <= tcp_cap) {
+      e.bottleneck = bottleneck;
+    } else if (max_loss > 10.0 * traffic_->params().floor_loss) {
+      // The TCP response function binds, driven by loss at this link.
+      e.bottleneck = loss_link;
+    }
+  }
+
+  // Short-test effects: slow start eats part of a 10s transfer; noisier on
+  // high-RTT paths. Approximate goodput penalty ~ a few RTTs of ramp.
+  double ramp_penalty =
+      std::min(0.25, 12.0 * e.flow_rtt_ms / 1000.0 / params_.test_duration_s);
+  rate *= (1.0 - ramp_penalty);
+
+  // Measurement noise.
+  rate *= std::exp(rng.normal(0.0, params_.measurement_noise_sigma));
+
+  e.goodput_mbps = std::max(0.05, rate);
+  e.retrans_rate = std::min(1.0, e.loss_rate * (1.0 + rng.uniform(0.0, 0.5)));
+
+  // Each loss event in steady state halves the window: approximate the count
+  // of congestion signals over the test from the loss event rate.
+  double segments =
+      e.goodput_mbps * 1e6 / 8.0 * params_.test_duration_s / params_.mss_bytes;
+  e.congestion_signals =
+      static_cast<int>(std::min(500.0, segments * e.loss_rate));
+  e.valid = true;
+  (void)server;
+  return e;
+}
+
+}  // namespace netcong::sim

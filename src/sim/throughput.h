@@ -1,0 +1,76 @@
+#pragma once
+
+// Flow-level TCP throughput estimation for a bulk transfer along a router
+// path. Combines three constraints, mirroring what bounds a real NDT test:
+//
+//  1. per-link available bandwidth: at each link the flow receives the
+//     larger of the residual capacity and a max-min fair share against the
+//     estimated number of competing background flows;
+//  2. the TCP steady-state response function (Padhye et al. [33] in the
+//     paper): rate ~ MSS / (RTT * sqrt(2p/3)) with path RTT including
+//     queueing delay at busy links — this yields the well-known inverse
+//     relationship between throughput and latency;
+//  3. the client's service tier and home-network quality (paper Section 6.1:
+//     service-plan variance and Wi-Fi interference).
+//
+// The estimate also reports retransmission counts and flow RTT, the
+// auxiliary metrics the M-Lab reports analyzed.
+
+#include <optional>
+
+#include "route/path.h"
+#include "sim/traffic.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace netcong::sim {
+
+struct ThroughputEstimate {
+  bool valid = false;
+  double goodput_mbps = 0.0;
+  double flow_rtt_ms = 0.0;   // base RTT + queueing
+  double loss_rate = 0.0;     // max along the path
+  double retrans_rate = 0.0;  // fraction of segments retransmitted
+  int congestion_signals = 0;  // multiplicative cwnd reductions in the test
+  // The most constraining network link (invalid when the client access link
+  // or the TCP response function was the binding constraint).
+  topo::LinkId bottleneck;
+  bool access_limited = false;  // client tier/home was the binding constraint
+};
+
+class ThroughputModel {
+ public:
+  struct Params {
+    double mss_bytes = 1448.0;
+    double test_duration_s = 10.0;  // NDT-style 10s transfer
+    // Multiplicative lognormal measurement noise (client CPU, browser, OS).
+    double measurement_noise_sigma = 0.08;
+    // Cap imposed by the server's own uplink.
+    double server_cap_mbps = 1000.0;
+  };
+
+  ThroughputModel(const topo::Topology& topo, const TrafficModel& traffic)
+      : ThroughputModel(topo, traffic, Params{}) {}
+  ThroughputModel(const topo::Topology& topo, const TrafficModel& traffic,
+                  Params params);
+
+  // Downstream estimate: data flows server -> client along `path` (a path
+  // computed from the server toward the client). utc_hour sets every link's
+  // local time. Randomness: utilization noise + measurement noise.
+  ThroughputEstimate estimate(const route::RouterPath& path,
+                              const topo::Host& client,
+                              const topo::Host& server, double utc_hour,
+                              util::Rng& rng) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  const topo::Topology* topo_;
+  const TrafficModel* traffic_;
+  Params params_;
+};
+
+// Padhye-style steady-state TCP rate in Mbps. rtt_ms > 0, loss in (0,1).
+double tcp_response_mbps(double mss_bytes, double rtt_ms, double loss_rate);
+
+}  // namespace netcong::sim

@@ -1,0 +1,73 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netcong::sim {
+
+TrafficModel::TrafficModel(const topo::Topology& topo, Params params)
+    : topo_(&topo), params_(params) {}
+
+void TrafficModel::set_profile(topo::LinkId link, LinkLoadProfile p) {
+  profiles_[link] = p;
+}
+
+const LinkLoadProfile& TrafficModel::profile(topo::LinkId link) const {
+  auto it = profiles_.find(link);
+  return it == profiles_.end() ? default_profile_ : it->second;
+}
+
+double TrafficModel::local_hour_at(topo::LinkId link, double utc_hour) const {
+  const topo::Link& l = topo_->link(link);
+  const topo::Router& r = topo_->router(topo_->iface(l.side_a).router);
+  return local_hour(utc_hour, topo_->city(r.city).utc_offset_hours);
+}
+
+double TrafficModel::utilization(topo::LinkId link,
+                                 double utc_time_hours) const {
+  const LinkLoadProfile& p = profile(link);
+  double shape = p.shape.value(local_hour_at(link, utc_time_hours));
+  double u = p.base_util + (p.peak_util - p.base_util) * shape;
+  if (p.upgrade_at_hours >= 0.0 && utc_time_hours >= p.upgrade_at_hours) {
+    u *= p.upgrade_factor;
+  }
+  return u;
+}
+
+LinkCondition TrafficModel::condition(topo::LinkId link, double utc_hour,
+                                      util::Rng& rng) const {
+  const LinkLoadProfile& p = profile(link);
+  LinkCondition c;
+  double u = utilization(link, utc_hour);
+  if (p.noise_sigma > 0) {
+    u *= std::exp(rng.normal(0.0, p.noise_sigma));
+  }
+  c.utilization = std::max(0.0, u);
+
+  // Queue growth: none below the onset threshold, quadratic ramp up to the
+  // full buffer as utilization approaches 1, pinned at the buffer limit
+  // beyond saturation (droptail: the queue cannot exceed the buffer).
+  double onset = params_.queue_onset_util;
+  if (c.utilization > onset) {
+    double x = std::min(1.0, (c.utilization - onset) / (1.0 - onset));
+    c.queue_delay_ms = params_.buffer_ms * x * x;
+  }
+
+  // Loss: negligible until the buffer fills; once offered load exceeds
+  // capacity, the queue drops the excess fraction (u-1)/u.
+  c.loss_rate = params_.floor_loss;
+  if (c.utilization >= 1.0) {
+    c.loss_rate += (c.utilization - 1.0) / c.utilization;
+  } else if (c.utilization > 0.95) {
+    // Tail-drop bursts begin slightly before full saturation.
+    c.loss_rate += 0.004 * (c.utilization - 0.95) / 0.05;
+  }
+  c.loss_rate = std::min(0.5, c.loss_rate);
+  return c;
+}
+
+bool TrafficModel::congested_at_peak(topo::LinkId link) const {
+  return profile(link).peak_util >= 1.0;
+}
+
+}  // namespace netcong::sim

@@ -1,0 +1,91 @@
+#pragma once
+
+// Per-link background traffic state. Each link carries a load profile —
+// base (trough) and peak utilization plus a diurnal shape evaluated in the
+// link's local time zone — from which the model derives time-dependent
+// utilization, queueing delay, and loss rate.
+//
+// Congestion is therefore *generated*, not assumed: the topology generator
+// marks chosen interdomain links with peak utilization >= 1 (demand exceeds
+// capacity at peak hours) and everything downstream — NDT throughput drops,
+// diurnal patterns, inference — follows from this ground truth.
+
+#include <unordered_map>
+
+#include "topo/topology.h"
+#include "sim/diurnal.h"
+#include "util/rng.h"
+
+namespace netcong::sim {
+
+struct LinkLoadProfile {
+  double base_util = 0.15;  // utilization at the diurnal trough
+  double peak_util = 0.55;  // utilization at the diurnal peak (>1 = congested)
+  double noise_sigma = 0.03;  // lognormal-ish jitter on utilization
+  DiurnalShape shape{};
+  // Interconnection disputes end: at this absolute time (hours since the
+  // campaign start) the link is upgraded and utilization scales by
+  // upgrade_factor (<1). Negative = never. This models the real-world
+  // pattern the paper describes, where congestion at a peering point
+  // disappears once a settlement is reached and capacity is added.
+  double upgrade_at_hours = -1.0;
+  double upgrade_factor = 0.5;
+};
+
+// Instantaneous state of one link.
+struct LinkCondition {
+  double utilization = 0.0;     // offered background load / capacity
+  double queue_delay_ms = 0.0;  // standing queue at the link buffer
+  double loss_rate = 0.0;       // packet loss probability
+};
+
+class TrafficModel {
+ public:
+  struct Params {
+    // Buffer depth expressed as milliseconds at line rate (a standing queue
+    // of this depth forms when the link saturates).
+    double buffer_ms = 50.0;
+    // Utilization above which a queue starts building.
+    double queue_onset_util = 0.85;
+    // Baseline loss on any path (transmission errors etc.).
+    double floor_loss = 1e-5;
+    // Average rate of a background flow in Mbps, used to estimate how many
+    // flows the test flow competes with at a saturated link.
+    double mean_bg_flow_mbps = 3.0;
+  };
+
+  explicit TrafficModel(const topo::Topology& topo)
+      : TrafficModel(topo, Params{}) {}
+  TrafficModel(const topo::Topology& topo, Params params);
+
+  // Default profile applied to links with no explicit profile.
+  void set_default_profile(LinkLoadProfile p) { default_profile_ = p; }
+  void set_profile(topo::LinkId link, LinkLoadProfile p);
+  const LinkLoadProfile& profile(topo::LinkId link) const;
+
+  // Deterministic (noise-free) utilization. `utc_time_hours` is absolute
+  // time since campaign start (hour-of-day = fmod 24); the link's local
+  // time comes from the city of its first endpoint. Times beyond 24h allow
+  // the upgrade schedule to take effect.
+  double utilization(topo::LinkId link, double utc_time_hours) const;
+
+  // Full condition including sampled noise.
+  LinkCondition condition(topo::LinkId link, double utc_time_hours,
+                          util::Rng& rng) const;
+
+  // Ground truth used by validation: does this link's offered load exceed
+  // capacity at its diurnal peak?
+  bool congested_at_peak(topo::LinkId link) const;
+
+  double local_hour_at(topo::LinkId link, double utc_hour) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  const topo::Topology* topo_;
+  Params params_;
+  LinkLoadProfile default_profile_{};
+  std::unordered_map<topo::LinkId, LinkLoadProfile> profiles_;
+};
+
+}  // namespace netcong::sim

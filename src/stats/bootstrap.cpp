@@ -1,0 +1,52 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/descriptive.h"
+
+namespace netcong::stats {
+
+ConfidenceInterval bootstrap_ci(
+    const std::vector<double>& xs,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    util::Rng& rng, int resamples, double level) {
+  ConfidenceInterval ci;
+  if (xs.empty()) {
+    ci.point = ci.lo = ci.hi = std::numeric_limits<double>::quiet_NaN();
+    return ci;
+  }
+  ci.point = statistic(xs);
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(xs.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = xs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(xs.size()) - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  double alpha = (1.0 - level) / 2.0;
+  ci.lo = percentile(stats, alpha * 100.0);
+  ci.hi = percentile(std::move(stats), (1.0 - alpha) * 100.0);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_median_ci(const std::vector<double>& xs,
+                                       util::Rng& rng, int resamples,
+                                       double level) {
+  return bootstrap_ci(
+      xs, [](const std::vector<double>& v) { return median(v); }, rng,
+      resamples, level);
+}
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& xs,
+                                     util::Rng& rng, int resamples,
+                                     double level) {
+  return bootstrap_ci(
+      xs, [](const std::vector<double>& v) { return mean(v); }, rng, resamples,
+      level);
+}
+
+}  // namespace netcong::stats

@@ -1,0 +1,35 @@
+#pragma once
+
+// Nonparametric bootstrap confidence intervals, used to quantify the
+// statistical weight of sparse crowdsourced samples (paper Section 6.1:
+// "fewer than 20 samples in some cases").
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netcong::stats {
+
+struct ConfidenceInterval {
+  double point = 0.0;  // statistic on the original sample
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// Percentile-method bootstrap CI for an arbitrary statistic.
+// `level` is e.g. 0.95. Returns NaNs if xs is empty.
+ConfidenceInterval bootstrap_ci(
+    const std::vector<double>& xs,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    util::Rng& rng, int resamples = 1000, double level = 0.95);
+
+ConfidenceInterval bootstrap_median_ci(const std::vector<double>& xs,
+                                       util::Rng& rng, int resamples = 1000,
+                                       double level = 0.95);
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& xs,
+                                     util::Rng& rng, int resamples = 1000,
+                                     double level = 0.95);
+
+}  // namespace netcong::stats

@@ -1,0 +1,53 @@
+#pragma once
+
+// Descriptive statistics over samples of doubles. All functions tolerate
+// empty input by returning NaN (documented per function) so callers can
+// propagate "no data" through aggregation pipelines, mirroring how sparse
+// off-peak crowdsourced samples behave in the paper's Section 6.
+
+#include <cstddef>
+#include <vector>
+
+namespace netcong::stats {
+
+// NaN if empty.
+double mean(const std::vector<double>& xs);
+
+// Population standard deviation; NaN if empty, 0 for a single sample.
+double stddev(const std::vector<double>& xs);
+
+// NaN if empty. Interpolating median.
+double median(std::vector<double> xs);
+
+// Interpolating percentile, p in [0,100]. NaN if empty.
+double percentile(std::vector<double> xs, double p);
+
+double min(const std::vector<double>& xs);  // NaN if empty
+double max(const std::vector<double>& xs);  // NaN if empty
+double sum(const std::vector<double>& xs);  // 0 if empty
+
+// Coefficient of variation (stddev/mean); NaN if empty or mean == 0.
+double coeff_variation(const std::vector<double>& xs);
+
+// Running summary accumulating count/mean/variance via Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;    // NaN if empty
+  double variance() const;  // population variance; NaN if empty
+  double stddev() const;
+  double min() const;  // NaN if empty
+  double max() const;  // NaN if empty
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace netcong::stats

@@ -1,0 +1,118 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace netcong::stats {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+TestResult mann_whitney_u(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  assert(!a.empty() && !b.empty());
+  const std::size_t n1 = a.size();
+  const std::size_t n2 = b.size();
+
+  // Rank the pooled sample with midranks for ties.
+  struct Tagged {
+    double v;
+    int group;  // 0 = a, 1 = b
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n1 + n2);
+  for (double v : a) pooled.push_back({v, 0});
+  for (double v : b) pooled.push_back({v, 1});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& x, const Tagged& y) { return x.v < y.v; });
+
+  std::vector<double> ranks(pooled.size());
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j + 1 < pooled.size() && pooled[j + 1].v == pooled[i].v) ++j;
+    double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[k] = midrank;
+    double t = static_cast<double>(j - i + 1);
+    tie_correction += t * t * t - t;
+    i = j + 1;
+  }
+
+  double rank_sum_a = 0.0;
+  for (std::size_t k = 0; k < pooled.size(); ++k) {
+    if (pooled[k].group == 0) rank_sum_a += ranks[k];
+  }
+  double u1 = rank_sum_a - static_cast<double>(n1) *
+                               (static_cast<double>(n1) + 1.0) / 2.0;
+  double u = std::min(u1, static_cast<double>(n1) * static_cast<double>(n2) - u1);
+
+  double n = static_cast<double>(n1 + n2);
+  double mu = static_cast<double>(n1) * static_cast<double>(n2) / 2.0;
+  double sigma2 = static_cast<double>(n1) * static_cast<double>(n2) / 12.0 *
+                  ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  TestResult r;
+  r.statistic = u;
+  if (sigma2 <= 0.0) {
+    // All values tied: no evidence of difference.
+    r.z = 0.0;
+    r.p_value = 1.0;
+    return r;
+  }
+  // Continuity correction.
+  r.z = (u - mu + 0.5) / std::sqrt(sigma2);
+  r.p_value = 2.0 * normal_cdf(-std::fabs(r.z));
+  r.p_value = std::min(1.0, r.p_value);
+  return r;
+}
+
+TestResult welch_t(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() >= 2 && b.size() >= 2);
+  double ma = mean(a);
+  double mb = mean(b);
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  // Sample (n-1) variances.
+  double va = 0.0;
+  for (double x : a) va += (x - ma) * (x - ma);
+  va /= (na - 1.0);
+  double vb = 0.0;
+  for (double x : b) vb += (x - mb) * (x - mb);
+  vb /= (nb - 1.0);
+
+  double se2 = va / na + vb / nb;
+  TestResult r;
+  if (se2 <= 0.0) {
+    r.statistic = 0.0;
+    r.z = 0.0;
+    r.p_value = ma == mb ? 1.0 : 0.0;
+    return r;
+  }
+  r.statistic = (ma - mb) / std::sqrt(se2);
+  // Degrees of freedom are large in our use; use normal approximation.
+  r.z = r.statistic;
+  r.p_value = 2.0 * normal_cdf(-std::fabs(r.z));
+  return r;
+}
+
+double cliffs_delta(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  // O(n log n) via sorted b and binary searches.
+  std::vector<double> sb = b;
+  std::sort(sb.begin(), sb.end());
+  long long greater = 0;
+  long long less = 0;
+  for (double x : a) {
+    auto lo = std::lower_bound(sb.begin(), sb.end(), x);
+    auto hi = std::upper_bound(sb.begin(), sb.end(), x);
+    less += sb.end() - hi;      // b values strictly greater than x
+    greater += lo - sb.begin();  // b values strictly less than x
+  }
+  double n = static_cast<double>(a.size()) * static_cast<double>(b.size());
+  return (static_cast<double>(greater) - static_cast<double>(less)) / n;
+}
+
+}  // namespace netcong::stats

@@ -1,0 +1,33 @@
+#pragma once
+
+// Two-sample hypothesis tests used to decide whether peak and off-peak
+// throughput samples plausibly come from the same distribution — the
+// statistical-significance question raised in paper Section 6.1.
+
+#include <vector>
+
+namespace netcong::stats {
+
+struct TestResult {
+  double statistic = 0.0;  // U for Mann-Whitney, t for Welch
+  double z = 0.0;          // normal approximation of the statistic
+  double p_value = 0.0;    // two-sided
+  bool significant_at(double alpha) const { return p_value < alpha; }
+};
+
+// Mann-Whitney U (Wilcoxon rank-sum) with tie correction and normal
+// approximation. Appropriate for the skewed throughput distributions of
+// crowdsourced tests. Requires both samples non-empty.
+TestResult mann_whitney_u(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+// Welch's t-test (unequal variances). Requires both samples of size >= 2.
+TestResult welch_t(const std::vector<double>& a, const std::vector<double>& b);
+
+// Standard normal CDF.
+double normal_cdf(double z);
+
+// Cliff's delta effect size in [-1, 1]: P(a > b) - P(a < b).
+double cliffs_delta(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace netcong::stats

@@ -1,0 +1,94 @@
+#include "stats/timeseries.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace netcong::stats {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Iterates hours in [from, to] inclusive, wrapping midnight when from > to.
+template <typename Fn>
+void for_hours(int from, int to, Fn&& fn) {
+  assert(from >= 0 && from < 24 && to >= 0 && to < 24);
+  int h = from;
+  while (true) {
+    fn(h);
+    if (h == to) break;
+    h = (h + 1) % 24;
+  }
+}
+}  // namespace
+
+void HourlySeries::add(double hour_of_day, double value) {
+  int h = static_cast<int>(hour_of_day);
+  assert(h >= 0 && h < 24);
+  bins_[static_cast<std::size_t>(h)].samples.push_back(value);
+}
+
+const std::vector<double>& HourlySeries::bin(int hour) const {
+  assert(hour >= 0 && hour < 24);
+  return bins_[static_cast<std::size_t>(hour)].samples;
+}
+
+std::size_t HourlySeries::total_count() const {
+  std::size_t n = 0;
+  for (const auto& b : bins_) n += b.samples.size();
+  return n;
+}
+
+HourlySummary HourlySeries::summarize() const {
+  HourlySummary s;
+  for (int h = 0; h < 24; ++h) {
+    const auto& xs = bins_[static_cast<std::size_t>(h)].samples;
+    s.mean[static_cast<std::size_t>(h)] = mean(xs);
+    s.stddev[static_cast<std::size_t>(h)] = stddev(xs);
+    s.median[static_cast<std::size_t>(h)] = median(xs);
+    s.count[static_cast<std::size_t>(h)] = xs.size();
+  }
+  return s;
+}
+
+double HourlySeries::median_over_hours(int from, int to) const {
+  std::vector<double> all;
+  for_hours(from, to, [&](int h) {
+    const auto& xs = bin(h);
+    all.insert(all.end(), xs.begin(), xs.end());
+  });
+  return median(std::move(all));
+}
+
+double HourlySeries::mean_over_hours(int from, int to) const {
+  std::vector<double> all;
+  for_hours(from, to, [&](int h) {
+    const auto& xs = bin(h);
+    all.insert(all.end(), xs.begin(), xs.end());
+  });
+  return mean(all);
+}
+
+std::size_t HourlySeries::count_over_hours(int from, int to) const {
+  std::size_t n = 0;
+  for_hours(from, to, [&](int h) { n += bin(h).size(); });
+  return n;
+}
+
+DiurnalComparison compare_peak_offpeak(const HourlySeries& series,
+                                       int peak_from, int peak_to,
+                                       int offpeak_from, int offpeak_to) {
+  DiurnalComparison c;
+  c.peak_median = series.median_over_hours(peak_from, peak_to);
+  c.offpeak_median = series.median_over_hours(offpeak_from, offpeak_to);
+  c.peak_count = series.count_over_hours(peak_from, peak_to);
+  c.offpeak_count = series.count_over_hours(offpeak_from, offpeak_to);
+  if (c.peak_count == 0 || c.offpeak_count == 0 || c.offpeak_median == 0.0) {
+    c.relative_drop = kNaN;
+  } else {
+    c.relative_drop = (c.offpeak_median - c.peak_median) / c.offpeak_median;
+  }
+  return c;
+}
+
+}  // namespace netcong::stats

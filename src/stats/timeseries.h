@@ -1,0 +1,62 @@
+#pragma once
+
+// Hour-of-day binning of timestamped samples — the aggregation at the heart
+// of the M-Lab diurnal analysis (paper Fig. 5): per-hour mean, stddev,
+// median and sample counts, plus peak/off-peak summaries.
+
+#include <array>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace netcong::stats {
+
+struct HourlyBin {
+  std::vector<double> samples;
+};
+
+// Per-hour summary of one metric.
+struct HourlySummary {
+  std::array<double, 24> mean{};
+  std::array<double, 24> stddev{};
+  std::array<double, 24> median{};
+  std::array<std::size_t, 24> count{};
+};
+
+class HourlySeries {
+ public:
+  // hour_of_day must be in [0, 24); fractional hours are floored.
+  void add(double hour_of_day, double value);
+
+  const std::vector<double>& bin(int hour) const;
+  std::size_t total_count() const;
+
+  HourlySummary summarize() const;
+
+  // Mean of per-hour medians over the given inclusive hour range (wraps
+  // around midnight if from > to). NaN if no samples in range.
+  double median_over_hours(int from, int to) const;
+  double mean_over_hours(int from, int to) const;
+  std::size_t count_over_hours(int from, int to) const;
+
+ private:
+  std::array<HourlyBin, 24> bins_;
+};
+
+// Peak/off-peak comparison. Peak hours default to 19-23 local (evening),
+// off-peak to 1-5, matching the windows used in interconnection studies.
+struct DiurnalComparison {
+  double peak_median = 0.0;
+  double offpeak_median = 0.0;
+  std::size_t peak_count = 0;
+  std::size_t offpeak_count = 0;
+  // Relative drop from off-peak to peak: (off - peak) / off. Negative means
+  // peak is *better* than off-peak. NaN when either window is empty.
+  double relative_drop = 0.0;
+};
+
+DiurnalComparison compare_peak_offpeak(const HourlySeries& series,
+                                       int peak_from = 19, int peak_to = 23,
+                                       int offpeak_from = 1, int offpeak_to = 5);
+
+}  // namespace netcong::stats

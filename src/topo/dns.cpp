@@ -1,0 +1,58 @@
+#include "topo/dns.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace netcong::topo {
+
+std::string peer_tag_from_org(const std::string& org_name) {
+  std::string tag;
+  for (char c : org_name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      tag.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      if (!tag.empty() && tag.back() != '-') tag.push_back('-');
+    }
+  }
+  while (!tag.empty() && tag.back() == '-') tag.pop_back();
+  if (tag.size() > 11) tag.resize(11);
+  return tag;
+}
+
+std::string make_interdomain_dns_name(const std::string& peer_org_name,
+                                      const std::string& router_name,
+                                      const std::string& city_name,
+                                      int pop_index,
+                                      const std::string& owner_domain) {
+  std::string city = city_name;
+  // Strip spaces from multi-word city names ("San Jose" -> "SanJose").
+  std::string compact;
+  for (char c : city) {
+    if (!std::isspace(static_cast<unsigned char>(c))) compact.push_back(c);
+  }
+  return util::format("%s.%s.%s%d.%s", peer_tag_from_org(peer_org_name).c_str(),
+                      router_name.c_str(), compact.c_str(), pop_index,
+                      owner_domain.c_str());
+}
+
+std::optional<DnsNameParts> parse_interdomain_dns_name(
+    const std::string& name) {
+  auto parts = util::split(name, '.');
+  // PEER-TAG . router . CityN . owner . tld  (owner domain may be 2 labels)
+  if (parts.size() < 5) return std::nullopt;
+  DnsNameParts out;
+  out.peer_tag = parts[0];
+  out.router_name = parts[1];
+  out.city_tag = parts[2];
+  std::vector<std::string> domain(parts.begin() + 3, parts.end());
+  out.domain = util::join(domain, ".");
+  if (out.peer_tag.empty() || out.router_name.empty() || out.city_tag.empty())
+    return std::nullopt;
+  // The city tag must end in a digit (PoP index) to follow the convention.
+  if (!std::isdigit(static_cast<unsigned char>(out.city_tag.back())))
+    return std::nullopt;
+  return out;
+}
+
+}  // namespace netcong::topo

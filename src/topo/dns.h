@@ -1,0 +1,37 @@
+#pragma once
+
+// Reverse-DNS name synthesis and parsing for interdomain interfaces,
+// modeled on Level3-style PTR records like
+// "COX-COMMUNI.edge5.Dallas3.Level3.net". The paper (Section 4.3) uses these
+// names to group 39 inferred Cox interdomain links into a handful of routers
+// carrying parallel links; core/link_diversity reimplements that analysis.
+
+#include <optional>
+#include <string>
+
+namespace netcong::topo {
+
+struct DnsNameParts {
+  std::string peer_tag;     // "COX-COMMUNI"
+  std::string router_name;  // "edge5"
+  std::string city_tag;     // "Dallas3"
+  std::string domain;       // "Level3.net"
+};
+
+// Builds "PEER-TAG.router.CityN.Owner.net" from components.
+std::string make_interdomain_dns_name(const std::string& peer_org_name,
+                                      const std::string& router_name,
+                                      const std::string& city_name,
+                                      int pop_index,
+                                      const std::string& owner_domain);
+
+// Derives the conventional peer tag from an organization name: uppercase,
+// non-alphanumerics mapped to '-', truncated to 10 chars ("Cox Communications"
+// -> "COX-COMMUNI" uses 11; we keep the historical 11-char style).
+std::string peer_tag_from_org(const std::string& org_name);
+
+// Parses a name produced by make_interdomain_dns_name. Returns nullopt for
+// names that do not follow the convention (including empty names).
+std::optional<DnsNameParts> parse_interdomain_dns_name(const std::string& name);
+
+}  // namespace netcong::topo

@@ -1,0 +1,127 @@
+#pragma once
+
+// Plain data records for topology entities. The Topology container in
+// topology.h owns vectors of these; strong ids (ids.h) index into them.
+
+#include <string>
+#include <vector>
+
+#include "topo/ids.h"
+#include "topo/ip.h"
+
+namespace netcong::topo {
+
+// Business role of an AS; drives the generator and relationship inference.
+enum class AsType {
+  kAccess,    // residential broadband (Comcast-like)
+  kTransit,   // transit/backbone carrier (Level3-like); may host test servers
+  kContent,   // content/CDN network (Alexa-target hosting)
+  kEnterprise,
+  kIxp,       // route-server/IXP fabric AS
+};
+
+const char* as_type_name(AsType t);
+
+struct City {
+  CityId id;
+  std::string name;        // "Atlanta"
+  std::string code;        // "atl"
+  double lat = 0.0;
+  double lon = 0.0;
+  int utc_offset_hours = 0;  // local-time offset, for diurnal modeling
+  double population_weight = 1.0;  // relative client density
+};
+
+struct Org {
+  OrgId id;
+  std::string name;  // "Comcast Cable Communications"
+};
+
+struct AsInfo {
+  Asn asn = kInvalidAsn;
+  std::string name;  // "Comcast-7922"
+  OrgId org;
+  AsType type = AsType::kEnterprise;
+  std::vector<CityId> cities;  // points of presence
+};
+
+enum class RouterRole {
+  kBackbone,  // intra-AS core
+  kBorder,    // terminates interdomain links
+  kAccess,    // client aggregation
+  kHosting,   // server attachment
+};
+
+struct Router {
+  RouterId id;
+  Asn owner = kInvalidAsn;
+  CityId city;
+  RouterRole role = RouterRole::kBackbone;
+  std::string name;  // "edge5.Dallas3" style token used by DNS synthesis
+  std::vector<InterfaceId> interfaces;
+  // Address the router answers with when the inbound interface has no
+  // link-assigned address (e.g. the first hop past a host).
+  IpAddr mgmt_addr;
+};
+
+struct Interface {
+  InterfaceId id;
+  IpAddr addr;
+  RouterId router;
+  // AS out of whose address space this interface is numbered. On interdomain
+  // links this may be the neighbor's AS — the central difficulty in
+  // traceroute-based border inference (paper Section 4.2).
+  Asn addr_owner = kInvalidAsn;
+  LinkId link;
+  std::string dns_name;  // empty if no PTR record
+};
+
+enum class LinkKind {
+  kInternal,     // both routers in the same AS
+  kInterdomain,  // border link between two ASes
+};
+
+struct Link {
+  LinkId id;
+  InterfaceId side_a;
+  InterfaceId side_b;
+  LinkKind kind = LinkKind::kInternal;
+  Asn as_a = kInvalidAsn;  // owner of side_a's router
+  Asn as_b = kInvalidAsn;  // owner of side_b's router
+  double capacity_mbps = 10000.0;
+  double prop_delay_ms = 1.0;
+  // True if this interdomain link crosses an IXP fabric (addresses from the
+  // IXP prefix rather than either AS).
+  bool via_ixp = false;
+};
+
+enum class HostKind {
+  kClient,      // crowdsourcing end user
+  kTestServer,  // M-Lab/Speedtest-style target
+  kVantage,     // Ark-style vantage point
+  kContent,     // popular-content (Alexa-target) endpoint
+};
+
+// Service tier of a client's access link.
+struct ServiceTier {
+  double down_mbps = 25.0;
+  double up_mbps = 5.0;
+};
+
+struct Host {
+  std::uint32_t id = 0;  // index into Topology::hosts()
+  HostKind kind = HostKind::kClient;
+  IpAddr addr;
+  Asn asn = kInvalidAsn;
+  CityId city;
+  RouterId attachment;  // access/hosting router the host hangs off
+  ServiceTier tier;     // meaningful for clients
+  // Multiplier <= 1 applied to achievable throughput by the home network
+  // (Wi-Fi quality, cross traffic); 1.0 for servers.
+  double home_quality = 1.0;
+  // One-way last-mile delay (DSL/cable/DOCSIS latency); small for servers.
+  double access_delay_ms = 5.0;
+  std::string label;  // e.g. "mlab.atl01", "speedtest.dfw03", "ark.bed-us"
+};
+
+}  // namespace netcong::topo

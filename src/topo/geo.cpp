@@ -1,0 +1,34 @@
+#include "topo/geo.h"
+
+#include <cmath>
+
+namespace netcong::topo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+double radians(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double haversine_km(double lat1, double lon1, double lat2, double lon2) {
+  double dlat = radians(lat2 - lat1);
+  double dlon = radians(lon2 - lon1);
+  double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+             std::cos(radians(lat1)) * std::cos(radians(lat2)) *
+                 std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+double city_distance_km(const City& a, const City& b) {
+  return haversine_km(a.lat, a.lon, b.lat, b.lon);
+}
+
+double propagation_delay_ms(double distance_km) {
+  // Fiber paths are not geodesics; apply a 1.3x circuitousness factor.
+  constexpr double kFiberKmPerMs = 200.0;
+  constexpr double kCircuitousness = 1.3;
+  constexpr double kPerLinkOverheadMs = 0.1;
+  return distance_km * kCircuitousness / kFiberKmPerMs + kPerLinkOverheadMs;
+}
+
+}  // namespace netcong::topo

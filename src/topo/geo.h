@@ -1,0 +1,20 @@
+#pragma once
+
+// Geography helpers: great-circle distance between cities and the derived
+// propagation latency. Test servers are selected by geographic proximity
+// (paper Section 2), so geo drives both latency and server choice.
+
+#include "topo/entities.h"
+
+namespace netcong::topo {
+
+// Great-circle distance in kilometers between two (lat, lon) points.
+double haversine_km(double lat1, double lon1, double lat2, double lon2);
+
+double city_distance_km(const City& a, const City& b);
+
+// One-way propagation delay in ms for a fiber path of the given distance:
+// light travels roughly 200 km/ms in fiber, plus fixed per-link overhead.
+double propagation_delay_ms(double distance_km);
+
+}  // namespace netcong::topo

@@ -1,0 +1,56 @@
+#pragma once
+
+// Strong index types for topology entities. Each wraps a 32-bit index into
+// the owning container in Topology; distinct types prevent accidentally
+// indexing routers with interface ids and the like.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace netcong::topo {
+
+template <typename Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr std::size_t index() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct RouterTag {};
+struct InterfaceTag {};
+struct LinkTag {};
+struct CityTag {};
+struct OrgTag {};
+
+using RouterId = Id<RouterTag>;
+using InterfaceId = Id<InterfaceTag>;
+using LinkId = Id<LinkTag>;
+using CityId = Id<CityTag>;
+using OrgId = Id<OrgTag>;
+
+// AS numbers are real-world-style values (e.g. 7922), not indices.
+using Asn = std::uint32_t;
+inline constexpr Asn kInvalidAsn = 0;
+
+}  // namespace netcong::topo
+
+namespace std {
+template <typename Tag>
+struct hash<netcong::topo::Id<Tag>> {
+  size_t operator()(netcong::topo::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

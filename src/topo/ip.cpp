@@ -1,0 +1,79 @@
+#include "topo/ip.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace netcong::topo {
+
+std::string IpAddr::to_string() const {
+  return util::format("%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                      (value >> 8) & 0xff, value & 0xff);
+}
+
+std::optional<IpAddr> IpAddr::parse(const std::string& s) {
+  auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    int octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return IpAddr(v);
+}
+
+namespace {
+std::uint32_t mask_for(std::uint8_t len) {
+  return len == 0 ? 0u : (~0u << (32 - len));
+}
+}  // namespace
+
+Prefix::Prefix(IpAddr addr, std::uint8_t l) : len(l) {
+  assert(l <= 32);
+  network = IpAddr(addr.value & mask_for(l));
+}
+
+bool Prefix::contains(IpAddr a) const {
+  return (a.value & mask_for(len)) == network.value;
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.len >= len && contains(other.network);
+}
+
+std::uint32_t Prefix::size() const {
+  if (len == 0) return 0;  // avoid overflow of 2^32; /0 treated specially
+  return 1u << (32 - len);
+}
+
+IpAddr Prefix::nth(std::uint32_t offset) const {
+  assert(len == 0 || offset < size());
+  return IpAddr(network.value + offset);
+}
+
+std::string Prefix::to_string() const {
+  return network.to_string() + "/" + std::to_string(len);
+}
+
+std::optional<Prefix> Prefix::parse(const std::string& s) {
+  auto parts = util::split(s, '/');
+  if (parts.size() != 2) return std::nullopt;
+  auto addr = IpAddr::parse(parts[0]);
+  if (!addr) return std::nullopt;
+  int len = 0;
+  if (parts[1].empty() || parts[1].size() > 2) return std::nullopt;
+  for (char c : parts[1]) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+}  // namespace netcong::topo

@@ -1,0 +1,137 @@
+#pragma once
+
+// IPv4 addresses, CIDR prefixes, and a binary trie supporting longest-prefix
+// match — the substrate for prefix-to-AS mapping (CAIDA prefix2as style) and
+// IXP prefix lists used by MAP-IT and bdrmap.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netcong::topo {
+
+struct IpAddr {
+  std::uint32_t value = 0;
+
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t v) : value(v) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                   std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  std::string to_string() const;
+  static std::optional<IpAddr> parse(const std::string& s);
+
+  friend constexpr bool operator==(IpAddr a, IpAddr b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(IpAddr a, IpAddr b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(IpAddr a, IpAddr b) {
+    return a.value < b.value;
+  }
+};
+
+struct Prefix {
+  IpAddr network;   // host bits zeroed
+  std::uint8_t len = 0;  // 0..32
+
+  constexpr Prefix() = default;
+  Prefix(IpAddr addr, std::uint8_t l);
+
+  bool contains(IpAddr a) const;
+  bool contains(const Prefix& other) const;  // other is equal or more specific
+  std::uint32_t size() const;  // number of addresses (2^(32-len)); 0 for /0
+
+  // First usable host-style address offset (we use .0-based offsets freely).
+  IpAddr nth(std::uint32_t offset) const;
+
+  std::string to_string() const;
+  static std::optional<Prefix> parse(const std::string& s);
+
+  friend bool operator==(const Prefix& a, const Prefix& b) {
+    return a.network == b.network && a.len == b.len;
+  }
+  friend bool operator<(const Prefix& a, const Prefix& b) {
+    if (a.network != b.network) return a.network < b.network;
+    return a.len < b.len;
+  }
+};
+
+// Binary trie mapping prefixes to a value; lookup returns the value of the
+// longest matching prefix. Used for prefix->origin-AS and IXP membership.
+template <typename V>
+class PrefixTrie {
+ public:
+  // Later inserts for the same exact prefix overwrite earlier ones.
+  void insert(const Prefix& p, V value) {
+    std::size_t node = 0;
+    if (nodes_.empty()) nodes_.emplace_back();
+    for (std::uint8_t depth = 0; depth < p.len; ++depth) {
+      int bit = (p.network.value >> (31 - depth)) & 1;
+      std::size_t child = bit ? nodes_[node].right : nodes_[node].left;
+      if (child == 0) {
+        // Note: emplace_back may reallocate, so re-index after it.
+        nodes_.emplace_back();
+        child = nodes_.size() - 1;
+        if (bit) {
+          nodes_[node].right = child;
+        } else {
+          nodes_[node].left = child;
+        }
+      }
+      node = child;
+    }
+    nodes_[node].value = std::move(value);
+    nodes_[node].has_value = true;
+    ++size_;
+  }
+
+  // Longest-prefix match; nullopt if no covering prefix exists.
+  std::optional<V> lookup(IpAddr a) const {
+    if (nodes_.empty()) return std::nullopt;
+    std::optional<V> best;
+    std::size_t node = 0;
+    if (nodes_[0].has_value) best = nodes_[0].value;
+    for (int depth = 0; depth < 32; ++depth) {
+      int bit = (a.value >> (31 - depth)) & 1;
+      std::size_t child = bit ? nodes_[node].right : nodes_[node].left;
+      if (child == 0) break;
+      node = child;
+      if (nodes_[node].has_value) best = nodes_[node].value;
+    }
+    return best;
+  }
+
+  // Exact-prefix lookup (no LPM walk past p.len).
+  std::optional<V> lookup_exact(const Prefix& p) const {
+    if (nodes_.empty()) return std::nullopt;
+    std::size_t node = 0;
+    for (std::uint8_t depth = 0; depth < p.len; ++depth) {
+      int bit = (p.network.value >> (31 - depth)) & 1;
+      std::size_t child = bit ? nodes_[node].right : nodes_[node].left;
+      if (child == 0) return std::nullopt;
+      node = child;
+    }
+    if (!nodes_[node].has_value) return std::nullopt;
+    return nodes_[node].value;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::size_t left = 0;   // 0 = none (slot 0 is the root, never a child)
+    std::size_t right = 0;
+    bool has_value = false;
+    V value{};
+  };
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace netcong::topo

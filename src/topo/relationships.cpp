@@ -1,0 +1,67 @@
+#include "topo/relationships.h"
+
+#include <algorithm>
+
+namespace netcong::topo {
+
+const char* rel_type_name(RelType r) {
+  switch (r) {
+    case RelType::kNone:
+      return "none";
+    case RelType::kCustomer:
+      return "customer";
+    case RelType::kProvider:
+      return "provider";
+    case RelType::kPeer:
+      return "peer";
+  }
+  return "?";
+}
+
+RelType invert(RelType r) {
+  switch (r) {
+    case RelType::kCustomer:
+      return RelType::kProvider;
+    case RelType::kProvider:
+      return RelType::kCustomer;
+    default:
+      return r;
+  }
+}
+
+void RelationshipTable::set(Asn a, Asn b, RelType rel) {
+  auto [it, inserted] = edges_.insert_or_assign(key(a, b), rel);
+  (void)it;
+  auto& vec = adj_[a];
+  auto found = std::find_if(vec.begin(), vec.end(),
+                            [&](const auto& p) { return p.first == b; });
+  if (found == vec.end()) {
+    vec.emplace_back(b, rel);
+  } else {
+    found->second = rel;
+  }
+  (void)inserted;
+}
+
+void RelationshipTable::add_customer(Asn customer, Asn provider) {
+  set(customer, provider, RelType::kCustomer);
+  set(provider, customer, RelType::kProvider);
+}
+
+void RelationshipTable::add_peer(Asn a, Asn b) {
+  set(a, b, RelType::kPeer);
+  set(b, a, RelType::kPeer);
+}
+
+RelType RelationshipTable::between(Asn a, Asn b) const {
+  auto it = edges_.find(key(a, b));
+  return it == edges_.end() ? RelType::kNone : it->second;
+}
+
+const std::vector<std::pair<Asn, RelType>>& RelationshipTable::neighbors(
+    Asn a) const {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? empty_ : it->second;
+}
+
+}  // namespace netcong::topo

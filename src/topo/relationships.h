@@ -1,0 +1,54 @@
+#pragma once
+
+// AS business relationships (CAIDA AS-rank style): customer-to-provider and
+// settlement-free peering, plus sibling detection via shared organization.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/ids.h"
+
+namespace netcong::topo {
+
+enum class RelType {
+  kNone,        // not adjacent
+  kCustomer,    // a is a customer of b
+  kProvider,    // a is a provider of b
+  kPeer,        // settlement-free or paid peering
+};
+
+const char* rel_type_name(RelType r);
+
+// Inverts the relationship direction (customer <-> provider).
+RelType invert(RelType r);
+
+class RelationshipTable {
+ public:
+  // Declares `customer` a customer of `provider`. Overwrites any previous
+  // relationship between the pair.
+  void add_customer(Asn customer, Asn provider);
+  void add_peer(Asn a, Asn b);
+
+  // Relationship of a toward b.
+  RelType between(Asn a, Asn b) const;
+  bool adjacent(Asn a, Asn b) const { return between(a, b) != RelType::kNone; }
+
+  // All neighbors of `a` with the relationship of `a` toward each.
+  const std::vector<std::pair<Asn, RelType>>& neighbors(Asn a) const;
+
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  static std::uint64_t key(Asn a, Asn b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  void set(Asn a, Asn b, RelType rel);
+
+  // Directed: edges_[key(a,b)] = relationship of a toward b.
+  std::unordered_map<std::uint64_t, RelType> edges_;
+  std::unordered_map<Asn, std::vector<std::pair<Asn, RelType>>> adj_;
+  std::vector<std::pair<Asn, RelType>> empty_;
+};
+
+}  // namespace netcong::topo

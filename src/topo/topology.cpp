@@ -1,0 +1,250 @@
+#include "topo/topology.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace netcong::topo {
+
+const char* as_type_name(AsType t) {
+  switch (t) {
+    case AsType::kAccess:
+      return "access";
+    case AsType::kTransit:
+      return "transit";
+    case AsType::kContent:
+      return "content";
+    case AsType::kEnterprise:
+      return "enterprise";
+    case AsType::kIxp:
+      return "ixp";
+  }
+  return "?";
+}
+
+CityId Topology::add_city(City city) {
+  city.id = CityId(static_cast<std::uint32_t>(cities_.size()));
+  cities_.push_back(std::move(city));
+  return cities_.back().id;
+}
+
+OrgId Topology::add_org(std::string name) {
+  Org org;
+  org.id = OrgId(static_cast<std::uint32_t>(orgs_.size()));
+  org.name = std::move(name);
+  orgs_.push_back(std::move(org));
+  return orgs_.back().id;
+}
+
+void Topology::add_as(AsInfo info) {
+  assert(info.asn != kInvalidAsn);
+  if (as_index_.count(info.asn)) {
+    throw std::invalid_argument("duplicate ASN " + std::to_string(info.asn));
+  }
+  as_index_[info.asn] = as_list_.size();
+  as_list_.push_back(std::move(info));
+}
+
+const AsInfo& Topology::as_info(Asn asn) const {
+  auto it = as_index_.find(asn);
+  if (it == as_index_.end()) {
+    throw std::out_of_range("unknown ASN " + std::to_string(asn));
+  }
+  return as_list_[it->second];
+}
+
+std::vector<Asn> Topology::all_asns() const {
+  std::vector<Asn> out;
+  out.reserve(as_list_.size());
+  for (const auto& a : as_list_) out.push_back(a.asn);
+  return out;
+}
+
+RouterId Topology::add_router(Asn owner, CityId city, RouterRole role,
+                              std::string name) {
+  Router r;
+  r.id = RouterId(static_cast<std::uint32_t>(routers_.size()));
+  r.owner = owner;
+  r.city = city;
+  r.role = role;
+  r.name = std::move(name);
+  routers_.push_back(std::move(r));
+  routers_by_as_[owner].push_back(routers_.back().id);
+  return routers_.back().id;
+}
+
+void Topology::set_router_mgmt_addr(RouterId id, IpAddr addr) {
+  routers_.at(id.index()).mgmt_addr = addr;
+}
+
+InterfaceId Topology::add_interface(IpAddr addr, RouterId router,
+                                    Asn addr_owner, LinkId link,
+                                    std::string dns_name) {
+  Interface i;
+  i.id = InterfaceId(static_cast<std::uint32_t>(interfaces_.size()));
+  i.addr = addr;
+  i.router = router;
+  i.addr_owner = addr_owner;
+  i.link = link;
+  i.dns_name = std::move(dns_name);
+  interfaces_.push_back(std::move(i));
+  routers_[router.index()].interfaces.push_back(interfaces_.back().id);
+  iface_by_addr_[addr.value] = interfaces_.back().id;
+  return interfaces_.back().id;
+}
+
+LinkId Topology::add_link(const LinkSpec& spec) {
+  Link l;
+  l.id = LinkId(static_cast<std::uint32_t>(links_.size()));
+  l.kind = spec.kind;
+  l.capacity_mbps = spec.capacity_mbps;
+  l.prop_delay_ms = spec.prop_delay_ms;
+  l.via_ixp = spec.via_ixp;
+  l.as_a = router(spec.router_a).owner;
+  l.as_b = router(spec.router_b).owner;
+  assert(spec.kind != LinkKind::kInterdomain || l.as_a != l.as_b);
+  links_.push_back(l);
+  LinkId id = links_.back().id;
+
+  Asn owner_a = spec.addr_owner_a != kInvalidAsn ? spec.addr_owner_a : l.as_a;
+  Asn owner_b = spec.addr_owner_b != kInvalidAsn ? spec.addr_owner_b : l.as_b;
+  links_[id.index()].side_a =
+      add_interface(spec.addr_a, spec.router_a, owner_a, id, spec.dns_a);
+  links_[id.index()].side_b =
+      add_interface(spec.addr_b, spec.router_b, owner_b, id, spec.dns_b);
+
+  links_by_routers_[router_pair_key(spec.router_a, spec.router_b)].push_back(
+      id);
+  if (spec.kind == LinkKind::kInterdomain) {
+    interdomain_by_pair_[pair_key(l.as_a, l.as_b)].push_back(id);
+    interdomain_by_as_[l.as_a].push_back(id);
+    interdomain_by_as_[l.as_b].push_back(id);
+  }
+  return id;
+}
+
+std::uint32_t Topology::add_host(Host host) {
+  host.id = static_cast<std::uint32_t>(hosts_.size());
+  hosts_.push_back(std::move(host));
+  host_by_addr_[hosts_.back().addr.value] = hosts_.back().id;
+  return hosts_.back().id;
+}
+
+void Topology::announce_prefix(const Prefix& p, Asn origin) {
+  announced_.insert(p, origin);
+  announced_list_.emplace_back(p, origin);
+}
+
+void Topology::own_prefix(const Prefix& p, Asn owner) {
+  owned_.insert(p, owner);
+}
+
+void Topology::add_ixp_prefix(const Prefix& p) {
+  ixp_.insert(p, true);
+  ixp_list_.push_back(p);
+}
+
+std::optional<InterfaceId> Topology::interface_by_addr(IpAddr addr) const {
+  auto it = iface_by_addr_.find(addr.value);
+  if (it == iface_by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint32_t> Topology::host_by_addr(IpAddr addr) const {
+  auto it = host_by_addr_.find(addr.value);
+  if (it == host_by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<RouterId>& Topology::routers_of(Asn asn) const {
+  auto it = routers_by_as_.find(asn);
+  return it == routers_by_as_.end() ? empty_routers_ : it->second;
+}
+
+std::vector<RouterId> Topology::routers_of(Asn asn, CityId city) const {
+  std::vector<RouterId> out;
+  for (RouterId id : routers_of(asn)) {
+    if (router(id).city == city) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<LinkId> Topology::interdomain_links(Asn a, Asn b) const {
+  auto it = interdomain_by_pair_.find(pair_key(a, b));
+  return it == interdomain_by_pair_.end() ? std::vector<LinkId>{} : it->second;
+}
+
+const std::vector<LinkId>& Topology::interdomain_links_of(Asn asn) const {
+  auto it = interdomain_by_as_.find(asn);
+  return it == interdomain_by_as_.end() ? empty_links_ : it->second;
+}
+
+std::vector<std::uint32_t> Topology::hosts_of(Asn asn) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& h : hosts_) {
+    if (h.asn == asn) out.push_back(h.id);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Topology::hosts_of_kind(HostKind kind) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& h : hosts_) {
+    if (h.kind == kind) out.push_back(h.id);
+  }
+  return out;
+}
+
+InterfaceId Topology::other_side(LinkId link_id, InterfaceId side) const {
+  const Link& l = link(link_id);
+  return l.side_a == side ? l.side_b : l.side_a;
+}
+
+RouterId Topology::remote_router(LinkId link_id, RouterId local) const {
+  const Link& l = link(link_id);
+  RouterId ra = iface(l.side_a).router;
+  return ra == local ? iface(l.side_b).router : ra;
+}
+
+const std::vector<LinkId>& Topology::links_between(RouterId a,
+                                                   RouterId b) const {
+  auto it = links_by_routers_.find(router_pair_key(a, b));
+  return it == links_by_routers_.end() ? empty_links_ : it->second;
+}
+
+std::optional<Asn> Topology::announced_origin(IpAddr addr) const {
+  return announced_.lookup(addr);
+}
+
+std::optional<Asn> Topology::true_owner(IpAddr addr) const {
+  return owned_.lookup(addr);
+}
+
+bool Topology::is_ixp_addr(IpAddr addr) const {
+  return ixp_.lookup(addr).value_or(false);
+}
+
+bool Topology::same_org(Asn a, Asn b) const {
+  if (a == b) return true;
+  if (!has_as(a) || !has_as(b)) return false;
+  return as_info(a).org == as_info(b).org;
+}
+
+std::vector<Asn> Topology::siblings_of(Asn asn) const {
+  std::vector<Asn> out;
+  if (!has_as(asn)) return out;
+  OrgId org = as_info(asn).org;
+  for (const auto& a : as_list_) {
+    if (a.org == org) out.push_back(a.asn);
+  }
+  return out;
+}
+
+std::size_t Topology::interdomain_link_count() const {
+  std::size_t n = 0;
+  for (const auto& l : links_) {
+    if (l.kind == LinkKind::kInterdomain) ++n;
+  }
+  return n;
+}
+
+}  // namespace netcong::topo

@@ -1,0 +1,173 @@
+#pragma once
+
+// The Topology container: owns all cities, orgs, ASes, routers, interfaces,
+// links and hosts, plus the "control plane views" downstream consumers need:
+//  * announced prefixes (the BGP view used for prefix-to-AS mapping, which
+//    the generator can intentionally make stale/incomplete),
+//  * ground-truth address ownership (who really numbers each block),
+//  * IXP prefixes,
+//  * the AS relationship table.
+//
+// Inference code (infer/, core/) must only consume the *observable* views
+// (announced prefixes, traceroute output, DNS names); ground truth is for
+// generation and validation.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/entities.h"
+#include "topo/ids.h"
+#include "topo/ip.h"
+#include "topo/relationships.h"
+
+namespace netcong::topo {
+
+class Topology {
+ public:
+  // ---- construction ----
+  CityId add_city(City city);
+  OrgId add_org(std::string name);
+  void add_as(AsInfo info);
+  RouterId add_router(Asn owner, CityId city, RouterRole role,
+                      std::string name);
+  void set_router_mgmt_addr(RouterId id, IpAddr addr);
+
+  struct LinkSpec {
+    RouterId router_a;
+    RouterId router_b;
+    LinkKind kind = LinkKind::kInternal;
+    double capacity_mbps = 10000.0;
+    double prop_delay_ms = 1.0;
+    IpAddr addr_a;
+    IpAddr addr_b;
+    Asn addr_owner_a = kInvalidAsn;  // default: router owner
+    Asn addr_owner_b = kInvalidAsn;
+    bool via_ixp = false;
+    std::string dns_a;  // optional PTR for side a's interface
+    std::string dns_b;
+  };
+  LinkId add_link(const LinkSpec& spec);
+
+  std::uint32_t add_host(Host host);
+  // Mutable access for post-placement attribute assignment (tiers, quality).
+  // The address must not be changed through this reference.
+  Host& mutable_host(std::uint32_t id) { return hosts_.at(id); }
+
+  // BGP view: prefix announced with the given origin AS.
+  void announce_prefix(const Prefix& p, Asn origin);
+  // Ground truth: addresses in p are numbered out of AS `owner`'s space.
+  void own_prefix(const Prefix& p, Asn owner);
+  void add_ixp_prefix(const Prefix& p);
+
+  RelationshipTable& relationships() { return rels_; }
+  const RelationshipTable& relationships() const { return rels_; }
+
+  // ---- entity access ----
+  const City& city(CityId id) const { return cities_.at(id.index()); }
+  const Org& org(OrgId id) const { return orgs_.at(id.index()); }
+  const Router& router(RouterId id) const { return routers_.at(id.index()); }
+  const Interface& iface(InterfaceId id) const {
+    return interfaces_.at(id.index());
+  }
+  const Link& link(LinkId id) const { return links_.at(id.index()); }
+  const Host& host(std::uint32_t id) const { return hosts_.at(id); }
+
+  const std::vector<City>& cities() const { return cities_; }
+  const std::vector<Org>& orgs() const { return orgs_; }
+  const std::vector<Router>& routers() const { return routers_; }
+  const std::vector<Interface>& interfaces() const { return interfaces_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<Host>& hosts() const { return hosts_; }
+
+  bool has_as(Asn asn) const { return as_index_.count(asn) > 0; }
+  const AsInfo& as_info(Asn asn) const;
+  std::vector<Asn> all_asns() const;
+
+  // ---- lookups ----
+  std::optional<InterfaceId> interface_by_addr(IpAddr addr) const;
+  std::optional<std::uint32_t> host_by_addr(IpAddr addr) const;
+
+  const std::vector<RouterId>& routers_of(Asn asn) const;
+  std::vector<RouterId> routers_of(Asn asn, CityId city) const;
+
+  // All interdomain links between the two ASes (either orientation).
+  std::vector<LinkId> interdomain_links(Asn a, Asn b) const;
+  // All interdomain links with `asn` on either side.
+  const std::vector<LinkId>& interdomain_links_of(Asn asn) const;
+
+  std::vector<std::uint32_t> hosts_of(Asn asn) const;
+  std::vector<std::uint32_t> hosts_of_kind(HostKind kind) const;
+
+  // Remote endpoint helpers.
+  InterfaceId other_side(LinkId link, InterfaceId side) const;
+  RouterId remote_router(LinkId link, RouterId local) const;
+
+  // All links (internal or interdomain, including parallel links) directly
+  // connecting the two routers.
+  const std::vector<LinkId>& links_between(RouterId a, RouterId b) const;
+
+  // ---- control-plane views ----
+  // Longest-prefix match in the announced (BGP) view.
+  std::optional<Asn> announced_origin(IpAddr addr) const;
+  // Ground-truth owner of the address space.
+  std::optional<Asn> true_owner(IpAddr addr) const;
+  bool is_ixp_addr(IpAddr addr) const;
+  const std::vector<std::pair<Prefix, Asn>>& announced_prefixes() const {
+    return announced_list_;
+  }
+  const std::vector<Prefix>& ixp_prefixes() const { return ixp_list_; }
+
+  // Sibling ASes share an organization (paper: "we considered sibling ASes
+  // as the same AS hop").
+  bool same_org(Asn a, Asn b) const;
+  std::vector<Asn> siblings_of(Asn asn) const;
+
+  // ---- stats ----
+  std::size_t as_count() const { return as_list_.size(); }
+  std::size_t interdomain_link_count() const;
+
+ private:
+  std::vector<City> cities_;
+  std::vector<Org> orgs_;
+  std::vector<AsInfo> as_list_;
+  std::unordered_map<Asn, std::size_t> as_index_;
+  std::vector<Router> routers_;
+  std::vector<Interface> interfaces_;
+  std::vector<Link> links_;
+  std::vector<Host> hosts_;
+
+  RelationshipTable rels_;
+
+  std::unordered_map<std::uint32_t, InterfaceId> iface_by_addr_;
+  std::unordered_map<std::uint32_t, std::uint32_t> host_by_addr_;
+  std::unordered_map<Asn, std::vector<RouterId>> routers_by_as_;
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> links_by_routers_;
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> interdomain_by_pair_;
+  std::unordered_map<Asn, std::vector<LinkId>> interdomain_by_as_;
+
+  PrefixTrie<Asn> announced_;
+  std::vector<std::pair<Prefix, Asn>> announced_list_;
+  PrefixTrie<Asn> owned_;
+  PrefixTrie<bool> ixp_;
+  std::vector<Prefix> ixp_list_;
+
+  std::vector<RouterId> empty_routers_;
+  std::vector<LinkId> empty_links_;
+
+  InterfaceId add_interface(IpAddr addr, RouterId router, Asn addr_owner,
+                            LinkId link, std::string dns_name);
+  static std::uint64_t pair_key(Asn a, Asn b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  static std::uint64_t router_pair_key(RouterId a, RouterId b) {
+    std::uint32_t x = a.value;
+    std::uint32_t y = b.value;
+    if (x > y) std::swap(x, y);
+    return (static_cast<std::uint64_t>(x) << 32) | y;
+  }
+};
+
+}  // namespace netcong::topo

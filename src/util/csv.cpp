@@ -1,0 +1,50 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+namespace netcong::util {
+
+namespace {
+std::string escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+  rows_.back().resize(headers_.size());
+}
+
+std::string CsvWriter::render() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += escape(row[i]);
+    }
+    out.push_back('\n');
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+}  // namespace netcong::util

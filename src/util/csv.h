@@ -1,0 +1,27 @@
+#pragma once
+
+// CSV emission for bench results (machine-readable companion to TextTable).
+
+#include <string>
+#include <vector>
+
+namespace netcong::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  // RFC-4180-style escaping (quotes fields containing , " or newline).
+  std::string render() const;
+
+  // Writes render() to the given path; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netcong::util

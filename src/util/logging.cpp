@@ -1,0 +1,35 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace netcong::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+}
+
+}  // namespace netcong::util

@@ -1,0 +1,48 @@
+#pragma once
+
+// Minimal leveled logging to stderr. Benches and examples keep their tabular
+// output on stdout; diagnostics go through here so they can be filtered.
+
+#include <sstream>
+#include <string>
+
+namespace netcong::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+const char* log_level_name(LogLevel level);
+
+// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace netcong::util
+
+#define NETCONG_LOG(level) ::netcong::util::detail::LogMessage(level)
+#define NETCONG_DEBUG NETCONG_LOG(::netcong::util::LogLevel::kDebug)
+#define NETCONG_INFO NETCONG_LOG(::netcong::util::LogLevel::kInfo)
+#define NETCONG_WARN NETCONG_LOG(::netcong::util::LogLevel::kWarn)
+#define NETCONG_ERROR NETCONG_LOG(::netcong::util::LogLevel::kError)

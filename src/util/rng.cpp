@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace netcong::util {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Rng Rng::fork(std::string_view label) const {
+  // splitmix-style finalizer over (seed, label hash) gives well-spread seeds.
+  std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ull + fnv1a(label);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::chance(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return uniform(0.0, 1.0) < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  // Inverse-CDF sampling; guard against u == 0.
+  double u = 1.0 - uniform(0.0, 1.0);
+  if (u <= 0.0) u = 1e-12;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+int Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  std::poisson_distribution<int> d(mean);
+  return d(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double x = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc && weights[i] > 0.0) return i;
+  }
+  // Floating-point edge: return the last positive-weight entry.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return 0;
+}
+
+}  // namespace netcong::util

@@ -1,0 +1,84 @@
+#pragma once
+
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in netcong draws from an Rng that is seeded
+// explicitly, typically by forking a parent Rng with a string label. Forking
+// (rather than sharing one generator) keeps modules reproducible even when
+// the order of draws between modules changes.
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace netcong::util {
+
+// A labeled, forkable wrapper around a 64-bit Mersenne Twister.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  // Derives an independent generator whose seed depends on this generator's
+  // seed and the label, but not on how many draws have been made.
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  // Bernoulli draw with probability p of true. p is clamped to [0,1].
+  bool chance(double p);
+
+  // Normal draw (mean, stddev).
+  double normal(double mean, double stddev);
+
+  // Log-normal draw parameterized by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  // Exponential draw with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  // Pareto draw with scale xm > 0 and shape alpha > 0 (heavy tails).
+  double pareto(double xm, double alpha);
+
+  // Poisson draw with the given mean >= 0.
+  int poisson(double mean);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Zero-weight entries are never chosen. Requires at least one weight > 0.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Picks an element of the non-empty container uniformly at random.
+  template <typename Container>
+  const typename Container::value_type& pick(const Container& c) {
+    return c[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(c.size()) - 1))];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+// Stable 64-bit FNV-1a hash of a string, used for seed derivation.
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace netcong::util

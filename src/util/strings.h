@@ -1,0 +1,35 @@
+#pragma once
+
+// Small string helpers shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netcong::util {
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Formats a double with the given precision, trimming trailing zeros.
+std::string format_compact(double v, int max_decimals = 2);
+
+// "1234567" -> "1,234,567".
+std::string with_thousands(long long v);
+
+}  // namespace netcong::util

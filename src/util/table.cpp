@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace netcong::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  aligns_.resize(headers_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  if (col < aligns_.size()) aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_mixed(const std::vector<std::string>& text_cells,
+                              const std::vector<double>& numeric_cells) {
+  std::vector<std::string> cells = text_cells;
+  for (double v : numeric_cells) cells.push_back(format_compact(v));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    std::size_t fill = widths[c] > s.size() ? widths[c] - s.size() : 0;
+    if (aligns_[c] == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out += pad(headers_[c], c);
+  }
+  out += '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += pad(row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace netcong::util

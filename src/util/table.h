@@ -1,0 +1,37 @@
+#pragma once
+
+// Plain-text table rendering for bench/example output. Produces aligned
+// columns with a header rule, similar to the tables in the paper.
+
+#include <string>
+#include <vector>
+
+namespace netcong::util {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Per-column alignment; defaults to left for col 0, right elsewhere.
+  void set_align(std::size_t col, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles compactly.
+  void add_row_mixed(const std::vector<std::string>& text_cells,
+                     const std::vector<double>& numeric_cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Renders the full table, each line terminated with '\n'.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netcong::util

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.h"
+#include "route/bgp.h"
+
+namespace netcong::route {
+namespace {
+
+using test::HandTopo;
+using topo::AsType;
+using topo::RelType;
+
+// Star topology: transit 100 on top; 200, 300 customers of 100.
+class BgpStar : public ::testing::Test {
+ protected:
+  BgpStar() {
+    h.add_as(100, "T", AsType::kTransit, {0, 1, 2});
+    h.add_as(200, "A", AsType::kAccess, {0});
+    h.add_as(300, "B", AsType::kAccess, {1});
+    h.connect(200, 100, RelType::kCustomer, {0});
+    h.connect(300, 100, RelType::kCustomer, {1});
+  }
+  HandTopo h;
+};
+
+TEST_F(BgpStar, CustomerToProviderPath) {
+  BgpRouting bgp(h.topo());
+  auto p = bgp.as_path(200, 100);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 200u);
+  EXPECT_EQ(p[1], 100u);
+  EXPECT_EQ(bgp.route_class(200, 100), RouteClass::kProvider);
+  EXPECT_EQ(bgp.route_class(100, 200), RouteClass::kCustomer);
+}
+
+TEST_F(BgpStar, SiblingsReachViaProvider) {
+  BgpRouting bgp(h.topo());
+  auto p = bgp.as_path(200, 300);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 100u);
+  EXPECT_TRUE(is_valley_free(h.topo(), p));
+}
+
+TEST_F(BgpStar, SelfPath) {
+  BgpRouting bgp(h.topo());
+  auto p = bgp.as_path(200, 200);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(bgp.route_class(200, 200), RouteClass::kSelf);
+}
+
+TEST_F(BgpStar, UnknownAsnUnreachable) {
+  BgpRouting bgp(h.topo());
+  EXPECT_TRUE(bgp.as_path(200, 999).empty());
+  EXPECT_FALSE(bgp.reachable(200, 999));
+}
+
+TEST(Bgp, PeersDoNotTransit) {
+  // 200 -peer- 300; 400 is a customer of 300; 500 is a peer of 300.
+  // 300 exports its customer routes to peers, so 200 reaches 400 via 300 —
+  // but peer routes are not re-exported, so 200 must NOT reach 500 via 300.
+  HandTopo h;
+  h.add_as(200, "A", AsType::kAccess, {0});
+  h.add_as(300, "B", AsType::kAccess, {0});
+  h.add_as(400, "C", AsType::kEnterprise, {0});
+  h.add_as(500, "D", AsType::kAccess, {0});
+  h.connect(200, 300, RelType::kPeer, {0});
+  h.connect(400, 300, RelType::kCustomer, {0});
+  h.connect(300, 500, RelType::kPeer, {0});
+  BgpRouting bgp(h.topo());
+  // Customer routes are exported to peers:
+  auto p = bgp.as_path(200, 400);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(bgp.route_class(200, 400), RouteClass::kPeer);
+  // Peer routes are NOT re-exported to other peers (no valley):
+  EXPECT_TRUE(bgp.as_path(200, 500).empty());
+}
+
+TEST(Bgp, PrefersCustomerOverPeerOverProvider) {
+  // Destination 900 reachable from 100 three ways:
+  //   via customer 10 (customer route),
+  //   via peer 20 (peer route),
+  //   via provider 30 (provider route).
+  HandTopo h;
+  h.add_as(100, "X", AsType::kTransit, {0});
+  h.add_as(10, "Cust", AsType::kTransit, {0});
+  h.add_as(20, "Peer", AsType::kTransit, {0});
+  h.add_as(30, "Prov", AsType::kTransit, {0});
+  h.add_as(900, "Dst", AsType::kEnterprise, {0});
+  h.connect(10, 100, RelType::kCustomer, {0});
+  h.connect(100, 20, RelType::kPeer, {0});
+  h.connect(100, 30, RelType::kCustomer, {0});
+  h.connect(900, 10, RelType::kCustomer, {0});
+  h.connect(900, 20, RelType::kCustomer, {0});
+  h.connect(900, 30, RelType::kCustomer, {0});
+  BgpRouting bgp(h.topo());
+  auto p = bgp.as_path(100, 900);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 10u);  // the customer, despite all being 2 hops
+  EXPECT_EQ(bgp.route_class(100, 900), RouteClass::kCustomer);
+}
+
+TEST(Bgp, PrefersShorterWithinClass) {
+  // Two customer routes to 900: direct (via 900 being customer) vs longer.
+  HandTopo h;
+  h.add_as(100, "X", AsType::kTransit, {0});
+  h.add_as(10, "C1", AsType::kTransit, {0});
+  h.add_as(900, "Dst", AsType::kEnterprise, {0});
+  h.connect(10, 100, RelType::kCustomer, {0});
+  h.connect(900, 100, RelType::kCustomer, {0});
+  h.connect(900, 10, RelType::kCustomer, {0});
+  BgpRouting bgp(h.topo());
+  auto p = bgp.as_path(100, 900);
+  ASSERT_EQ(p.size(), 2u);  // direct customer beats 2-hop customer
+}
+
+TEST(Bgp, DeterministicTieBreakLowestAsn) {
+  // Both 10 and 20 are customers of 100 and providers of 900.
+  HandTopo h;
+  h.add_as(100, "X", AsType::kTransit, {0});
+  h.add_as(20, "C2", AsType::kTransit, {0});
+  h.add_as(10, "C1", AsType::kTransit, {0});
+  h.add_as(900, "Dst", AsType::kEnterprise, {0});
+  h.connect(10, 100, RelType::kCustomer, {0});
+  h.connect(20, 100, RelType::kCustomer, {0});
+  h.connect(900, 10, RelType::kCustomer, {0});
+  h.connect(900, 20, RelType::kCustomer, {0});
+  BgpRouting bgp(h.topo());
+  auto p = bgp.as_path(100, 900);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[1], 10u);
+}
+
+TEST(Bgp, ValleyFreeChecker) {
+  HandTopo h;
+  h.add_as(1, "A", AsType::kAccess, {0});
+  h.add_as(2, "B", AsType::kTransit, {0});
+  h.add_as(3, "C", AsType::kAccess, {0});
+  h.connect(1, 2, RelType::kCustomer, {0});
+  h.connect(3, 2, RelType::kCustomer, {0});
+  // up then down: fine
+  EXPECT_TRUE(is_valley_free(h.topo(), {1, 2, 3}));
+  // down then up: valley
+  EXPECT_FALSE(is_valley_free(h.topo(), {2, 1, 2}));
+  // non-adjacent hop
+  EXPECT_FALSE(is_valley_free(h.topo(), {1, 3}));
+}
+
+// Property test over generated worlds: all produced paths are valley-free
+// and loop-free.
+class BgpWorldProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpWorldProperty, PathsAreValleyFreeAndLoopFree) {
+  gen::GeneratorConfig cfg = gen::GeneratorConfig::tiny();
+  cfg.seed = GetParam();
+  gen::World world = gen::generate_world(cfg);
+  BgpRouting bgp(*world.topo);
+  auto asns = world.topo->all_asns();
+  util::Rng rng(GetParam() * 11 + 1);
+  int checked = 0;
+  for (int i = 0; i < 400; ++i) {
+    topo::Asn s = asns[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(asns.size()) - 1))];
+    topo::Asn d = asns[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(asns.size()) - 1))];
+    auto p = bgp.as_path(s, d);
+    if (p.empty()) continue;
+    ++checked;
+    EXPECT_TRUE(is_valley_free(*world.topo, p))
+        << "path from " << s << " to " << d;
+    std::set<topo::Asn> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), p.size()) << "loop in path";
+    EXPECT_EQ(p.front(), s);
+    EXPECT_EQ(p.back(), d);
+  }
+  EXPECT_GT(checked, 100);  // most pairs should be reachable
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpWorldProperty,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(Bgp, TransitCustomersReachableFromEverywhere) {
+  const gen::World& world = test::tiny_world();
+  BgpRouting bgp(*world.topo);
+  // Every client's AS must be reachable from every M-Lab server's AS.
+  for (std::uint32_t s : world.mlab_servers) {
+    for (int i = 0; i < 10; ++i) {
+      std::uint32_t c = world.clients[static_cast<std::size_t>(i) %
+                                      world.clients.size()];
+      EXPECT_TRUE(bgp.reachable(world.topo->host(s).asn,
+                                world.topo->host(c).asn));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netcong::route

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/as_tomography.h"
+#include "core/coverage.h"
+#include "core/diurnal.h"
+#include "core/link_diversity.h"
+#include "core/stratify.h"
+#include "core/tslp_analysis.h"
+#include "helpers.h"
+#include "measure/tslp.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/throughput.h"
+
+namespace netcong::core {
+namespace {
+
+using gen::World;
+
+// ---- diurnal groups & congestion inference on synthetic records ----
+
+measure::NdtRecord make_test(std::uint32_t client, topo::Asn client_asn,
+                             topo::Asn server_asn, double utc, double mbps) {
+  measure::NdtRecord r;
+  r.client = client;
+  r.client_asn = client_asn;
+  r.server_asn = server_asn;
+  r.utc_time_hours = utc;
+  r.download_mbps = mbps;
+  return r;
+}
+
+TEST(DiurnalGroups, GroupsByLocalHourOfClient) {
+  const World& w = test::tiny_world();
+  std::uint32_t client = w.clients[0];
+  const topo::Host& h = w.topo->host(client);
+  int offset = w.topo->city(h.city).utc_offset_hours;
+
+  std::vector<measure::NdtRecord> tests;
+  // A test at client-local hour 21.
+  double utc = 21.0 - offset;
+  while (utc >= 24) utc -= 24;
+  tests.push_back(make_test(client, h.asn, 3356, utc, 50.0));
+
+  auto groups = build_diurnal_groups(
+      tests, w, [](const measure::NdtRecord&) { return "S"; },
+      [](const measure::NdtRecord&) { return "I"; });
+  ASSERT_EQ(groups.size(), 1u);
+  const DiurnalGroup& g = groups.begin()->second;
+  EXPECT_EQ(g.throughput.bin(21).size(), 1u);
+  EXPECT_EQ(g.tests, 1u);
+}
+
+TEST(DiurnalGroups, SkipsUnlabeledTests) {
+  const World& w = test::tiny_world();
+  std::uint32_t client = w.clients[0];
+  std::vector<measure::NdtRecord> tests = {
+      make_test(client, 1, 2, 5.0, 10.0)};
+  auto groups = build_diurnal_groups(
+      tests, w, [](const measure::NdtRecord&) { return ""; },
+      [](const measure::NdtRecord&) { return "I"; });
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(InferCongestion, RequiresMinSamplesBothWindows) {
+  const World& w = test::tiny_world();
+  std::uint32_t client = w.clients[0];
+  const topo::Host& h = w.topo->host(client);
+  int offset = w.topo->city(h.city).utc_offset_hours;
+  auto at_local = [&](double local) {
+    double utc = local - offset;
+    while (utc < 0) utc += 24;
+    while (utc >= 24) utc -= 24;
+    return utc;
+  };
+
+  std::vector<measure::NdtRecord> tests;
+  // 30 peak samples at 5 Mbps but only 5 off-peak samples at 50 Mbps.
+  for (int i = 0; i < 30; ++i) {
+    tests.push_back(make_test(client, h.asn, 1, at_local(21.0), 5.0));
+  }
+  for (int i = 0; i < 5; ++i) {
+    tests.push_back(make_test(client, h.asn, 1, at_local(3.0), 50.0));
+  }
+  auto groups = build_diurnal_groups(
+      tests, w, [](const measure::NdtRecord&) { return "S"; },
+      [](const measure::NdtRecord&) { return "I"; });
+  auto sparse = infer_congestion(groups, 0.3, 20);
+  ASSERT_EQ(sparse.size(), 1u);
+  EXPECT_FALSE(sparse[0].congested);  // off-peak window too thin
+
+  // With enough off-peak samples the call flips.
+  for (int i = 0; i < 20; ++i) {
+    tests.push_back(make_test(client, h.asn, 1, at_local(3.0), 50.0));
+  }
+  groups = build_diurnal_groups(
+      tests, w, [](const measure::NdtRecord&) { return "S"; },
+      [](const measure::NdtRecord&) { return "I"; });
+  auto dense = infer_congestion(groups, 0.3, 20);
+  ASSERT_EQ(dense.size(), 1u);
+  EXPECT_TRUE(dense[0].congested);
+  EXPECT_NEAR(dense[0].comparison.relative_drop, 0.9, 1e-9);
+}
+
+TEST(AsTomography, RulesOutClientSideOnlyWithCleanSource) {
+  const World& w = test::tiny_world();
+  std::uint32_t client = w.clients[0];
+  const topo::Host& h = w.topo->host(client);
+  int offset = w.topo->city(h.city).utc_offset_hours;
+  auto at_local = [&](double local) {
+    double utc = local - offset;
+    while (utc < 0) utc += 24;
+    while (utc >= 24) utc -= 24;
+    return utc;
+  };
+
+  auto fill = [&](std::vector<measure::NdtRecord>& tests, topo::Asn server,
+                  double peak_mbps, double off_mbps) {
+    for (int i = 0; i < 25; ++i) {
+      tests.push_back(make_test(client, h.asn, server, at_local(21), peak_mbps));
+      tests.push_back(make_test(client, h.asn, server, at_local(3), off_mbps));
+    }
+  };
+
+  // Case A: only one source, degraded — cannot rule out the client side.
+  std::vector<measure::NdtRecord> tests;
+  fill(tests, 100, 5.0, 50.0);
+  auto source_by_asn = [](const measure::NdtRecord& t) {
+    return "S" + std::to_string(t.server_asn);
+  };
+  auto isp_fn = [](const measure::NdtRecord&) { return "I"; };
+  auto groups = build_diurnal_groups(tests, w, source_by_asn, isp_fn);
+  auto calls = as_level_tomography(groups, 0.3, 20);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_TRUE(calls[0].degraded);
+  EXPECT_FALSE(calls[0].client_side_ruled_out);
+  EXPECT_FALSE(calls[0].congestion_inferred);
+
+  // Case B: a second, clean source exonerates the client side.
+  fill(tests, 200, 50.0, 50.0);
+  groups = build_diurnal_groups(tests, w, source_by_asn, isp_fn);
+  calls = as_level_tomography(groups, 0.3, 20);
+  ASSERT_EQ(calls.size(), 2u);
+  int inferred = 0;
+  for (const auto& c : calls) {
+    if (c.congestion_inferred) {
+      ++inferred;
+      EXPECT_EQ(c.source, "S100");
+      EXPECT_TRUE(c.client_side_ruled_out);
+    }
+  }
+  EXPECT_EQ(inferred, 1);
+}
+
+// ---- coverage primitives ----
+
+TEST(Coverage, OverlapSetArithmetic) {
+  CoverageSet platform, alexa;
+  platform.add(InterconnectKey{10, 1});
+  platform.add(InterconnectKey{20, 2});
+  alexa.add(InterconnectKey{20, 2});
+  alexa.add(InterconnectKey{30, 3});
+  alexa.add(InterconnectKey{40, 4});
+  auto ov = overlap(platform, alexa);
+  EXPECT_EQ(ov.platform_not_alexa_as, 1u);  // AS 10
+  EXPECT_EQ(ov.alexa_not_platform_as, 2u);  // AS 30, 40
+  EXPECT_EQ(ov.alexa_total_as, 3u);
+  EXPECT_EQ(ov.platform_not_alexa_router, 1u);
+  EXPECT_EQ(ov.alexa_not_platform_router, 2u);
+}
+
+TEST(Coverage, PctHelper) {
+  EXPECT_DOUBLE_EQ(VpCoverage::pct(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(VpCoverage::pct(0, 0), 0.0);
+}
+
+// ---- TSLP on the generated world ----
+
+TEST(Tslp, LocalizesPlantedCongestion) {
+  const World& w = test::small_world();
+  route::BgpRouting bgp(*w.topo);
+  route::Forwarder fwd(*w.topo, bgp);
+  util::Rng rng(5);
+
+  // AT&T VP and one GTT link (congested) plus one Level3 link (clear).
+  std::uint32_t vp = 0;
+  for (std::uint32_t v : w.ark_vps) {
+    if (w.topo->host(v).asn == w.primary_asn("AT&T")) vp = v;
+  }
+  ASSERT_NE(vp, 0u);
+  const topo::Host& vph = w.topo->host(vp);
+  int offset = w.topo->city(vph.city).utc_offset_hours;
+
+  auto check_link = [&](topo::Asn neighbor, bool expect_congested) {
+    auto links = w.topo->interdomain_links(vph.asn, neighbor);
+    ASSERT_FALSE(links.empty());
+    const topo::Link& link = w.topo->link(links[0]);
+    bool a_is_vp = link.as_a == vph.asn;
+    topo::IpAddr near =
+        w.topo->iface(a_is_vp ? link.side_a : link.side_b).addr;
+    topo::IpAddr far = w.topo->iface(a_is_vp ? link.side_b : link.side_a).addr;
+    measure::TslpOptions opt;
+    opt.days = 4;
+    auto series = measure::run_tslp(w, fwd, vp, near, far, opt, rng);
+    TslpAnalysisOptions aopt;
+    aopt.vp_utc_offset_hours = offset;
+    auto verdict = analyze_tslp(series, aopt);
+    EXPECT_EQ(verdict.congested, expect_congested)
+        << "neighbor " << neighbor << " differential "
+        << verdict.differential_ms;
+    if (expect_congested) {
+      EXPECT_GT(verdict.far_elevation_ms, 20.0);
+      EXPECT_LT(verdict.near_elevation_ms, 5.0);
+    }
+  };
+  check_link(w.transit_asns.at("GTT"), true);
+  check_link(3356, false);
+}
+
+TEST(Tslp, HandlesUnreachableTargets) {
+  const World& w = test::tiny_world();
+  route::BgpRouting bgp(*w.topo);
+  route::Forwarder fwd(*w.topo, bgp);
+  util::Rng rng(6);
+  measure::TslpOptions opt;
+  opt.days = 1;
+  auto series = measure::run_tslp(w, fwd, w.ark_vps[0],
+                                  topo::IpAddr(250, 0, 0, 1),
+                                  topo::IpAddr(250, 0, 0, 2), opt, rng);
+  TslpAnalysisOptions aopt;
+  auto verdict = analyze_tslp(series, aopt);
+  EXPECT_FALSE(verdict.congested);
+  EXPECT_EQ(verdict.near_samples, 0u);
+}
+
+// ---- stratification drop-spread helper ----
+
+TEST(Stratify, DropSpreadIgnoresThinStrata) {
+  StratifiedAnalysis a;
+  LinkStratum s1, s2, s3;
+  for (int i = 0; i < 20; ++i) {
+    s1.throughput.add(21, 10.0);
+    s1.throughput.add(3, 50.0);
+    s2.throughput.add(21, 45.0);
+    s2.throughput.add(3, 50.0);
+    // s3 is too thin to participate.
+  }
+  s3.throughput.add(21, 1.0);
+  s3.throughput.add(3, 100.0);
+  for (auto* s : {&s1, &s2, &s3}) {
+    s->comparison = stats::compare_peak_offpeak(s->throughput);
+  }
+  a.strata = {s1, s2, s3};
+  // Spread between 80% and 10% drops; the thin stratum's 99% is excluded.
+  EXPECT_NEAR(a.drop_spread(10), 0.8 - 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace netcong::core

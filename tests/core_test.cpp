@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/adjacency.h"
+#include "core/signatures.h"
+#include "core/threshold.h"
+#include "core/tomography.h"
+#include "helpers.h"
+#include "sim/packet/dumbbell.h"
+#include "util/rng.h"
+
+namespace netcong::core {
+namespace {
+
+topo::LinkId L(std::uint32_t v) { return topo::LinkId(v); }
+
+TEST(Tomography, ExoneratesLinksOnGoodPaths) {
+  std::vector<PathObservation> obs = {
+      {{L(1), L(2)}, false},
+      {{L(2), L(3)}, true},
+  };
+  auto r = greedy_binary_tomography(obs);
+  ASSERT_EQ(r.bad_links.size(), 1u);
+  EXPECT_EQ(r.bad_links[0], L(3));
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(Tomography, MinimalCoverAcrossSharedLink) {
+  // Two bad paths share link 5: one bad link explains both.
+  std::vector<PathObservation> obs = {
+      {{L(1), L(5)}, true},
+      {{L(2), L(5)}, true},
+      {{L(1)}, false},
+      {{L(2)}, false},
+  };
+  auto r = greedy_binary_tomography(obs);
+  ASSERT_EQ(r.bad_links.size(), 1u);
+  EXPECT_EQ(r.bad_links[0], L(5));
+}
+
+TEST(Tomography, InconsistentObservations) {
+  // The bad path's only link is exonerated by a good path.
+  std::vector<PathObservation> obs = {
+      {{L(1)}, false},
+      {{L(1)}, true},
+  };
+  auto r = greedy_binary_tomography(obs);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_EQ(r.uncovered_bad_paths, 1u);
+  EXPECT_TRUE(r.bad_links.empty());
+}
+
+TEST(Tomography, ExactBeatsGreedyOnAdversarialInstance) {
+  // Hitting-set trap: link 9 hits four bad paths (greedy grabs it first and
+  // then still needs 7 and 8), but {7, 8} alone hits all six paths.
+  std::vector<PathObservation> obs = {
+      {{L(7), L(9)}, true}, {{L(7), L(9)}, true},
+      {{L(8), L(9)}, true}, {{L(8), L(9)}, true},
+      {{L(7)}, true},       {{L(8)}, true},
+  };
+  auto greedy = greedy_binary_tomography(obs);
+  EXPECT_EQ(greedy.bad_links.size(), 3u);
+  auto exact = exact_binary_tomography(obs);
+  ASSERT_EQ(exact.bad_links.size(), 2u);
+  EXPECT_EQ(exact.bad_links[0], L(7));
+  EXPECT_EQ(exact.bad_links[1], L(8));
+}
+
+TEST(Tomography, EmptyInput) {
+  auto r = greedy_binary_tomography({});
+  EXPECT_TRUE(r.bad_links.empty());
+  EXPECT_TRUE(r.consistent);
+}
+
+// Property: planted bad links are recovered when each bad path contains
+// exactly one planted link and good paths exonerate the rest.
+class TomographyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TomographyProperty, RecoversPlantedLinks) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n_links = 40;
+  std::set<std::uint32_t> planted;
+  while (planted.size() < 4) {
+    planted.insert(static_cast<std::uint32_t>(rng.uniform_int(0, n_links - 1)));
+  }
+  std::vector<PathObservation> obs;
+  for (int p = 0; p < 300; ++p) {
+    PathObservation o;
+    int len = static_cast<int>(rng.uniform_int(3, 8));
+    bool bad = false;
+    for (int i = 0; i < len; ++i) {
+      std::uint32_t link =
+          static_cast<std::uint32_t>(rng.uniform_int(0, n_links - 1));
+      o.links.push_back(L(link));
+      if (planted.count(link)) bad = true;
+    }
+    o.bad = bad;
+    obs.push_back(std::move(o));
+  }
+  auto r = greedy_binary_tomography(obs);
+  // Soundness: no inferred link may lie on any good path.
+  std::set<std::uint32_t> good_links;
+  for (const auto& o : obs) {
+    if (!o.bad) {
+      for (auto l : o.links) good_links.insert(l.value);
+    }
+  }
+  for (auto l : r.bad_links) {
+    EXPECT_FALSE(good_links.count(l.value));
+  }
+  // Completeness on identifiable instances: every bad path is explained.
+  EXPECT_TRUE(r.consistent);
+  std::set<std::uint32_t> inferred;
+  for (auto l : r.bad_links) inferred.insert(l.value);
+  for (const auto& o : obs) {
+    if (!o.bad) continue;
+    bool covered = false;
+    for (auto l : o.links) covered |= inferred.count(l.value) > 0;
+    EXPECT_TRUE(covered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TomographyProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(TomographyScore, PrecisionRecall) {
+  auto s = score_tomography({L(1), L(2), L(3)}, {L(2), L(3), L(4)});
+  EXPECT_EQ(s.true_positives, 2u);
+  EXPECT_NEAR(s.precision(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.recall(), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(score_tomography({}, {}).precision(), 1.0);
+}
+
+TEST(Threshold, RocEndpoints) {
+  std::vector<LabeledDrop> drops = {
+      {0.8, true, 100}, {0.7, true, 100}, {0.2, false, 100}, {0.1, false, 100}};
+  auto roc = roc_sweep(drops, 10);
+  // Threshold 0: everything positive.
+  EXPECT_DOUBLE_EQ(roc.front().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(roc.front().fpr, 1.0);
+  // Threshold 1: nothing positive.
+  EXPECT_DOUBLE_EQ(roc.back().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(roc.back().fpr, 0.0);
+  auto best = best_threshold(roc);
+  EXPECT_DOUBLE_EQ(best.tpr, 1.0);
+  EXPECT_DOUBLE_EQ(best.fpr, 0.0);
+  EXPECT_GE(best.threshold, 0.2);
+  EXPECT_LE(best.threshold, 0.7);
+}
+
+TEST(Threshold, OverlappingDistributionsHaveNegativeSeparation) {
+  std::vector<LabeledDrop> drops = {
+      {0.5, true, 50}, {0.25, true, 50}, {0.3, false, 50}, {0.1, false, 50}};
+  auto d = drop_distributions(drops);
+  EXPECT_LT(d.separation, 0.0);
+  EXPECT_GT(d.congested_median, d.uncongested_median);
+}
+
+TEST(Signatures, FeatureExtraction) {
+  // Flat elevated RTT: early == min offset.
+  std::vector<double> rtts(200, 80.0);
+  rtts[150] = 85.0;
+  auto f = extract_features(rtts, 50);
+  EXPECT_DOUBLE_EQ(f.min_rtt_ms, 80.0);
+  EXPECT_NEAR(f.early_elevation, 0.0, 1e-9);
+  auto short_f = extract_features({1, 2, 3}, 50);
+  EXPECT_DOUBLE_EQ(short_f.min_rtt_ms, 0.0);
+}
+
+TEST(Signatures, ClassifiesPacketSimRegimes) {
+  SignatureClassifier clf;
+
+  // Self-induced: lone flow fills a deep buffer.
+  sim::packet::Dumbbell::Params p1;
+  p1.bottleneck_mbps = 20.0;
+  p1.buffer_packets = 300;
+  p1.duration_s = 15.0;
+  sim::packet::Dumbbell d1(p1);
+  sim::packet::FlowSpec f1;
+  f1.base_rtt_s = 0.02;
+  d1.add_flow(f1);
+  auto r1 = d1.run();
+  auto feat1 = extract_features(r1.flows[0].stats.rtt_samples_ms);
+  EXPECT_EQ(clf.classify(feat1), CongestionType::kSelfInduced);
+
+  // Pre-existing: late flow joins a congested bottleneck.
+  sim::packet::Dumbbell::Params p2;
+  p2.bottleneck_mbps = 20.0;
+  p2.buffer_packets = 250;
+  p2.duration_s = 25.0;
+  sim::packet::Dumbbell d2(p2);
+  for (int i = 0; i < 4; ++i) {
+    sim::packet::FlowSpec bg;
+    bg.base_rtt_s = 0.02;
+    d2.add_flow(bg);
+  }
+  sim::packet::FlowSpec late;
+  late.base_rtt_s = 0.02;
+  late.start_time_s = 10.0;
+  int id = d2.add_flow(late);
+  auto r2 = d2.run();
+  auto feat2 =
+      extract_features(r2.flows[static_cast<std::size_t>(id)].stats.rtt_samples_ms);
+  EXPECT_EQ(clf.classify(feat2), CongestionType::kPreExisting);
+}
+
+TEST(Signatures, IndeterminateOnEmpty) {
+  SignatureClassifier clf;
+  EXPECT_EQ(clf.classify(SignatureFeatures{}),
+            CongestionType::kIndeterminate);
+}
+
+}  // namespace
+}  // namespace netcong::core

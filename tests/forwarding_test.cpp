@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+
+namespace netcong::route {
+namespace {
+
+using test::HandTopo;
+using topo::AsType;
+using topo::HostKind;
+using topo::RelType;
+
+class ForwardingFixture : public ::testing::Test {
+ protected:
+  ForwardingFixture() {
+    h.add_as(100, "T", AsType::kTransit, {0, 1, 2});
+    h.add_as(200, "A", AsType::kAccess, {0, 2});
+    h.connect(200, 100, RelType::kCustomer, {0, 2});
+    server = h.add_host(100, 1, HostKind::kTestServer);  // Chicago
+    client = h.add_host(200, 0, HostKind::kClient);      // NYC
+  }
+  FlowKey key_for(std::uint32_t src, std::uint32_t dst, std::uint16_t port) {
+    return FlowKey{h.topo().host(src).addr, h.topo().host(dst).addr, 3001,
+                   port, 6};
+  }
+  HandTopo h;
+  std::uint32_t server = 0, client = 0;
+};
+
+TEST_F(ForwardingFixture, PathStructureConsistent) {
+  BgpRouting bgp(h.topo());
+  Forwarder fwd(h.topo(), bgp);
+  auto p = fwd.path(server, h.topo().host(client).addr,
+                    key_for(server, client, 40000));
+  ASSERT_TRUE(p.valid);
+  EXPECT_EQ(p.as_path.front(), 100u);
+  EXPECT_EQ(p.as_path.back(), 200u);
+  EXPECT_EQ(p.hops.size(), p.links.size() + 1);
+  // hops[i+1].in_link must equal links[i]; consecutive hops share the link.
+  for (std::size_t i = 0; i + 1 < p.hops.size(); ++i) {
+    EXPECT_EQ(p.hops[i + 1].in_link, p.links[i]);
+    const topo::Link& l = h.topo().link(p.links[i]);
+    topo::RouterId ra = h.topo().iface(l.side_a).router;
+    topo::RouterId rb = h.topo().iface(l.side_b).router;
+    EXPECT_TRUE((ra == p.hops[i].router && rb == p.hops[i + 1].router) ||
+                (rb == p.hops[i].router && ra == p.hops[i + 1].router));
+  }
+  // First hop is the server's attachment router.
+  EXPECT_EQ(p.hops.front().router, h.topo().host(server).attachment);
+  EXPECT_EQ(p.hops.back().router, h.topo().host(client).attachment);
+  // Exactly one interdomain link on a one-AS-hop path.
+  int interdomain = 0;
+  for (auto l : p.links) {
+    if (h.topo().link(l).kind == topo::LinkKind::kInterdomain) ++interdomain;
+  }
+  EXPECT_EQ(interdomain, 1);
+  EXPECT_GT(p.one_way_delay_ms, 0.0);
+}
+
+TEST_F(ForwardingFixture, SameKeySamePath) {
+  BgpRouting bgp(h.topo());
+  Forwarder fwd(h.topo(), bgp);
+  auto k = key_for(server, client, 50123);
+  auto p1 = fwd.path(server, h.topo().host(client).addr, k);
+  auto p2 = fwd.path(server, h.topo().host(client).addr, k);
+  ASSERT_TRUE(p1.valid && p2.valid);
+  EXPECT_EQ(p1.links, p2.links);
+}
+
+TEST_F(ForwardingFixture, HotPotatoPrefersNearExit) {
+  // Server in Chicago, client in NYC: the NYC interconnection (city 0)
+  // should be chosen over LA (city 2).
+  BgpRouting bgp(h.topo());
+  Forwarder fwd(h.topo(), bgp);
+  auto p = fwd.path(server, h.topo().host(client).addr,
+                    key_for(server, client, 40000));
+  ASSERT_TRUE(p.valid);
+  bool crossed_in_nyc = false;
+  for (auto l : p.links) {
+    const topo::Link& link = h.topo().link(l);
+    if (link.kind != topo::LinkKind::kInterdomain) continue;
+    topo::CityId c =
+        h.topo().router(h.topo().iface(link.side_a).router).city;
+    crossed_in_nyc = (c == h.city(0));
+  }
+  EXPECT_TRUE(crossed_in_nyc);
+}
+
+TEST_F(ForwardingFixture, UnknownDestinationInvalid) {
+  BgpRouting bgp(h.topo());
+  Forwarder fwd(h.topo(), bgp);
+  auto p = fwd.path(server, topo::IpAddr(250, 0, 0, 1),
+                    key_for(server, client, 1));
+  EXPECT_FALSE(p.valid);
+}
+
+TEST_F(ForwardingFixture, PrefixDestinationTerminatesInOwnerAs) {
+  BgpRouting bgp(h.topo());
+  Forwarder fwd(h.topo(), bgp);
+  // An address inside AS200's block that is neither host nor interface.
+  topo::IpAddr inside(17, 0, 200, 77);
+  ASSERT_EQ(h.topo().true_owner(inside).value(), 200u);
+  auto p = fwd.path(server, inside, key_for(server, client, 9));
+  ASSERT_TRUE(p.valid);
+  EXPECT_EQ(h.topo().router(p.hops.back().router).owner, 200u);
+}
+
+TEST(Forwarding, EcmpSpreadsFlowsAcrossParallelLinks) {
+  HandTopo h;
+  h.add_as(100, "T", AsType::kTransit, {0});
+  h.add_as(200, "A", AsType::kAccess, {0});
+  // Three parallel interdomain links in the same city.
+  h.connect(200, 100, RelType::kCustomer, {0, 0, 0});
+  auto server = h.add_host(100, 0, HostKind::kTestServer);
+  auto client = h.add_host(200, 0, HostKind::kClient);
+  BgpRouting bgp(h.topo());
+  Forwarder fwd(h.topo(), bgp);
+  std::set<std::uint32_t> used;
+  for (std::uint16_t port = 1000; port < 1200; ++port) {
+    FlowKey k{h.topo().host(server).addr, h.topo().host(client).addr, 3001,
+              port, 6};
+    auto p = fwd.path(server, h.topo().host(client).addr, k);
+    ASSERT_TRUE(p.valid);
+    for (auto l : p.links) {
+      if (h.topo().link(l).kind == topo::LinkKind::kInterdomain) {
+        used.insert(l.value);
+      }
+    }
+  }
+  EXPECT_GE(used.size(), 2u);  // multiple parallel links see traffic
+}
+
+TEST(Forwarding, GeneratedWorldPathsValid) {
+  const gen::World& world = test::tiny_world();
+  BgpRouting bgp(*world.topo);
+  Forwarder fwd(*world.topo, bgp);
+  int valid = 0, total = 0;
+  for (std::uint32_t s : world.mlab_servers) {
+    for (std::size_t i = 0; i < world.clients.size(); i += 13) {
+      std::uint32_t c = world.clients[i];
+      FlowKey k{world.topo->host(s).addr, world.topo->host(c).addr, 3001,
+                static_cast<std::uint16_t>(40000 + i), 6};
+      auto p = fwd.path(s, world.topo->host(c).addr, k);
+      ++total;
+      if (p.valid) ++valid;
+    }
+  }
+  EXPECT_EQ(valid, total);
+}
+
+}  // namespace
+}  // namespace netcong::route

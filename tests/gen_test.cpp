@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "gen/address_alloc.h"
+#include "gen/cities.h"
+#include "gen/paper_data.h"
+#include "gen/profiles.h"
+#include "gen/workload.h"
+#include "gen/world.h"
+#include "helpers.h"
+#include "sim/diurnal.h"
+
+namespace netcong::gen {
+namespace {
+
+TEST(AddressAllocator, BlocksAreAlignedAndDisjoint) {
+  AddressAllocator a;
+  std::vector<topo::Prefix> blocks;
+  for (int i = 0; i < 50; ++i) {
+    blocks.push_back(a.alloc_block(static_cast<std::uint8_t>(12 + i % 10)));
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].network.value % blocks[i].size(), 0u) << "alignment";
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].contains(blocks[j]));
+      EXPECT_FALSE(blocks[j].contains(blocks[i]));
+    }
+  }
+}
+
+TEST(P2pCarver, Slash30Convention) {
+  P2pCarver c(topo::Prefix(topo::IpAddr(10, 0, 0, 0), 24));
+  P2pCarver::Subnet s;
+  ASSERT_TRUE(c.next(false, s));
+  EXPECT_EQ(s.a.to_string(), "10.0.0.1");
+  EXPECT_EQ(s.b.to_string(), "10.0.0.2");
+  ASSERT_TRUE(c.next(false, s));
+  EXPECT_EQ(s.a.to_string(), "10.0.0.5");
+}
+
+TEST(P2pCarver, Slash31AndExhaustion) {
+  P2pCarver c(topo::Prefix(topo::IpAddr(10, 0, 0, 0), 30));
+  P2pCarver::Subnet s;
+  ASSERT_TRUE(c.next(true, s));
+  EXPECT_EQ(s.a.value + 1, s.b.value);
+  ASSERT_TRUE(c.next(true, s));
+  EXPECT_FALSE(c.next(true, s));  // /30 pool exhausted after two /31s
+}
+
+TEST(Cities, MetrosHaveDistinctCodes) {
+  std::set<std::string> codes;
+  for (const auto& m : us_metros()) codes.insert(m.code);
+  EXPECT_EQ(codes.size(), us_metros().size());
+}
+
+TEST(Cities, SiteMappingCoversTable3) {
+  for (const auto& row : paper::table3_bdrmap()) {
+    std::size_t idx = metro_index_for_site(std::string(row.vp));
+    EXPECT_LT(idx, us_metros().size());
+  }
+}
+
+TEST(Profiles, AccessProfilesMatchTable1Scale) {
+  const auto& profiles = default_access_profiles();
+  // All Table 1 providers with >1M subscribers must be present.
+  for (const auto& row : paper::table1_providers()) {
+    bool found = false;
+    for (const auto& p : profiles) {
+      if (row.name == "Time Warner Cable" ? p.name == "TWC"
+                                          : p.name == row.name) {
+        found = true;
+        EXPECT_EQ(p.subscribers, row.subscribers);
+      }
+    }
+    EXPECT_TRUE(found) << row.name;
+  }
+}
+
+TEST(Profiles, TierMixesSumToOne) {
+  for (auto tech :
+       {AccessTech::kCable, AccessTech::kDsl, AccessTech::kFiber}) {
+    double sum = 0;
+    for (const auto& t : tier_mix(tech)) sum += t.weight;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+class WorldFixture : public ::testing::Test {
+ protected:
+  const World& world() { return test::small_world(); }
+};
+
+TEST_F(WorldFixture, InterfaceAddressesUnique) {
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& i : world().topo->interfaces()) {
+    EXPECT_TRUE(seen.insert(i.addr.value).second)
+        << "duplicate interface address " << i.addr.to_string();
+  }
+}
+
+TEST_F(WorldFixture, HostAddressesUniqueAndOwned) {
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& h : world().topo->hosts()) {
+    EXPECT_TRUE(seen.insert(h.addr.value).second);
+    auto owner = world().topo->true_owner(h.addr);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, h.asn);
+  }
+}
+
+TEST_F(WorldFixture, EveryRelationshipHasPhysicalLinks) {
+  const auto& topo = *world().topo;
+  std::size_t missing = 0, total = 0;
+  for (topo::Asn a : topo.all_asns()) {
+    for (const auto& [b, rel] : topo.relationships().neighbors(a)) {
+      if (a >= b) continue;
+      ++total;
+      if (topo.interdomain_links(a, b).empty()) ++missing;
+    }
+  }
+  // Sibling "customer" edges within an org may lack dedicated links, but
+  // the overwhelming majority of relationships must be physical.
+  EXPECT_LT(static_cast<double>(missing) / static_cast<double>(total), 0.02);
+}
+
+TEST_F(WorldFixture, InterdomainLinksMatchDeclaredRelationships) {
+  const auto& topo = *world().topo;
+  for (const auto& l : topo.links()) {
+    if (l.kind != topo::LinkKind::kInterdomain) continue;
+    EXPECT_NE(topo.relationships().between(l.as_a, l.as_b),
+              topo::RelType::kNone);
+  }
+}
+
+TEST_F(WorldFixture, BackboneExistsPerAsCity) {
+  const auto& topo = *world().topo;
+  for (topo::Asn asn : topo.all_asns()) {
+    for (topo::CityId c : topo.as_info(asn).cities) {
+      bool has_backbone = false;
+      for (topo::RouterId r : topo.routers_of(asn, c)) {
+        if (topo.router(r).role == topo::RouterRole::kBackbone) {
+          has_backbone = true;
+        }
+      }
+      EXPECT_TRUE(has_backbone)
+          << topo.as_info(asn).name << " in " << topo.city(c).name;
+    }
+  }
+}
+
+TEST_F(WorldFixture, ServerFleetsMatchConfig) {
+  gen::GeneratorConfig cfg = gen::GeneratorConfig::small();
+  EXPECT_EQ(world().mlab_servers.size(),
+            static_cast<std::size_t>(cfg.mlab_servers));
+  EXPECT_EQ(world().speedtest_servers_2017.size(),
+            static_cast<std::size_t>(cfg.speedtest_servers_2017));
+  EXPECT_EQ(world().speedtest_servers_2015.size(),
+            static_cast<std::size_t>(cfg.speedtest_servers_2015));
+  // 2015 fleet is a prefix of 2017 (servers only ever added).
+  for (std::size_t i = 0; i < world().speedtest_servers_2015.size(); ++i) {
+    EXPECT_EQ(world().speedtest_servers_2015[i],
+              world().speedtest_servers_2017[i]);
+  }
+}
+
+TEST_F(WorldFixture, ArkVpsMatchProfiles) {
+  std::size_t expected = 0;
+  for (const auto& p : default_access_profiles()) expected += p.vp_sites.size();
+  EXPECT_EQ(world().ark_vps.size(), expected);
+  // VP labels are site codes, hosts live in the right ISP.
+  for (std::uint32_t vp : world().ark_vps) {
+    const topo::Host& h = world().topo->host(vp);
+    EXPECT_EQ(h.kind, topo::HostKind::kVantage);
+    EXPECT_FALSE(h.label.empty());
+  }
+}
+
+TEST_F(WorldFixture, CongestedLinksMatchScenario) {
+  ASSERT_FALSE(world().congested_links.empty());
+  for (topo::LinkId l : world().congested_links) {
+    EXPECT_TRUE(world().traffic->congested_at_peak(l));
+  }
+  // The default scenario congests GTT<->AT&T links.
+  topo::Asn gtt = world().transit_asns.at("GTT");
+  topo::Asn att = world().primary_asn("AT&T");
+  auto links = world().topo->interdomain_links(gtt, att);
+  ASSERT_FALSE(links.empty());
+  for (topo::LinkId l : links) {
+    EXPECT_TRUE(world().traffic->congested_at_peak(l));
+  }
+  // ...but not GTT<->Comcast.
+  topo::Asn comcast = world().primary_asn("Comcast");
+  for (topo::LinkId l : world().topo->interdomain_links(gtt, comcast)) {
+    EXPECT_FALSE(world().traffic->congested_at_peak(l));
+  }
+}
+
+TEST_F(WorldFixture, ClientsHaveTiersAndQuality) {
+  ASSERT_FALSE(world().clients.empty());
+  for (std::uint32_t c : world().clients) {
+    const topo::Host& h = world().topo->host(c);
+    EXPECT_EQ(h.kind, topo::HostKind::kClient);
+    EXPECT_GT(h.tier.down_mbps, 0.0);
+    EXPECT_GT(h.home_quality, 0.0);
+    EXPECT_LE(h.home_quality, 1.0);
+  }
+  // Service plans within one ISP vary by an order of magnitude (paper 6.1).
+  auto comcast = world().clients_of("Comcast");
+  ASSERT_GT(comcast.size(), 10u);
+  double lo = 1e9, hi = 0;
+  for (auto c : comcast) {
+    lo = std::min(lo, world().topo->host(c).tier.down_mbps);
+    hi = std::max(hi, world().topo->host(c).tier.down_mbps);
+  }
+  EXPECT_GE(hi / lo, 5.0);
+}
+
+TEST_F(WorldFixture, DeterministicPerSeed) {
+  gen::GeneratorConfig cfg = gen::GeneratorConfig::tiny();
+  cfg.seed = 99;
+  World a = generate_world(cfg);
+  World b = generate_world(cfg);
+  EXPECT_EQ(a.topo->links().size(), b.topo->links().size());
+  EXPECT_EQ(a.topo->hosts().size(), b.topo->hosts().size());
+  ASSERT_FALSE(a.clients.empty());
+  EXPECT_EQ(a.topo->host(a.clients[0]).addr, b.topo->host(b.clients[0]).addr);
+  EXPECT_EQ(a.congested_links.size(), b.congested_links.size());
+}
+
+TEST_F(WorldFixture, CustomerScaleGrowsBorders) {
+  gen::GeneratorConfig small_cfg = gen::GeneratorConfig::tiny();
+  small_cfg.seed = 5;
+  gen::GeneratorConfig big_cfg = small_cfg;
+  big_cfg.customer_scale = small_cfg.customer_scale * 4.0;
+  World small = generate_world(small_cfg);
+  World big = generate_world(big_cfg);
+  EXPECT_GT(big.topo->as_count(), small.topo->as_count());
+  EXPECT_GT(big.topo->interdomain_link_count(),
+            small.topo->interdomain_link_count());
+}
+
+TEST(Workload, DiurnalBiasSkewsTowardEvening) {
+  const World& world = test::tiny_world();
+  util::Rng rng(3);
+  WorkloadConfig cfg;
+  cfg.days = 14;
+  cfg.mean_tests_per_client = 8.0;
+  auto schedule = crowdsourced_schedule(world, world.clients, cfg, rng);
+  ASSERT_GT(schedule.size(), 200u);
+  // Sortedness.
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LE(schedule[i - 1].utc_time_hours, schedule[i].utc_time_hours);
+  }
+  // Count tests by client-local hour: evening must dominate the small hours.
+  std::size_t evening = 0, night = 0;
+  for (const auto& req : schedule) {
+    int offset =
+        world.topo->city(world.topo->host(req.client).city).utc_offset_hours;
+    double local =
+        sim::local_hour(std::fmod(req.utc_time_hours, 24.0), offset);
+    if (local >= 19 && local <= 23) ++evening;
+    if (local >= 2 && local <= 6) ++night;
+  }
+  EXPECT_GT(evening, 3 * night);
+}
+
+TEST(Workload, UnbiasedModeIsUniform) {
+  const World& world = test::tiny_world();
+  util::Rng rng(4);
+  WorkloadConfig cfg;
+  cfg.days = 30;
+  cfg.mean_tests_per_client = 10.0;
+  cfg.diurnal_bias = false;
+  auto schedule = crowdsourced_schedule(world, world.clients, cfg, rng);
+  std::array<int, 24> hist{};
+  for (const auto& req : schedule) {
+    hist[static_cast<std::size_t>(std::fmod(req.utc_time_hours, 24.0))]++;
+  }
+  double mean = static_cast<double>(schedule.size()) / 24.0;
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GT(hist[static_cast<std::size_t>(h)], 0.5 * mean);
+    EXPECT_LT(hist[static_cast<std::size_t>(h)], 1.6 * mean);
+  }
+}
+
+TEST(Workload, HeavyTailActivity) {
+  const World& world = test::tiny_world();
+  util::Rng rng(5);
+  WorkloadConfig cfg;
+  cfg.mean_tests_per_client = 5.0;
+  auto schedule = crowdsourced_schedule(world, world.clients, cfg, rng);
+  std::map<std::uint32_t, int> per_client;
+  for (const auto& req : schedule) per_client[req.client]++;
+  int max_tests = 0;
+  for (auto& [c, n] : per_client) max_tests = std::max(max_tests, n);
+  // Enthusiast testers exist.
+  EXPECT_GT(max_tests, 3 * 5);
+  // And some clients never test.
+  EXPECT_LT(per_client.size(), world.clients.size());
+}
+
+TEST(PaperData, Table3RowsComplete) {
+  EXPECT_EQ(paper::table3_bdrmap().size(), 16u);
+  for (const auto& r : paper::table3_bdrmap()) {
+    EXPECT_GE(r.all_as, r.peer_as);
+    EXPECT_GE(r.all_router, r.all_as);  // router counts exceed AS counts
+  }
+}
+
+TEST(PaperData, Fig1FractionsInRange) {
+  for (const auto& r : paper::fig1_adjacency()) {
+    EXPECT_GT(r.one_hop_fraction, 0.0);
+    EXPECT_LE(r.one_hop_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace netcong::gen

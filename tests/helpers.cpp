@@ -1,0 +1,238 @@
+#include "helpers.h"
+
+#include <map>
+
+#include "topo/geo.h"
+
+namespace netcong::test {
+
+using topo::Asn;
+using topo::AsType;
+using topo::CityId;
+using topo::HostKind;
+using topo::IpAddr;
+using topo::LinkId;
+using topo::LinkKind;
+using topo::Prefix;
+using topo::RelType;
+using topo::RouterId;
+using topo::RouterRole;
+
+HandTopo::HandTopo() {
+  struct CityDef {
+    const char* name;
+    const char* code;
+    double lat, lon;
+    int utc;
+  };
+  const CityDef defs[] = {
+      {"NewYork", "nyc", 40.71, -74.01, -5},
+      {"Chicago", "chi", 41.88, -87.63, -6},
+      {"LosAngeles", "lax", 34.05, -118.24, -8},
+      {"Atlanta", "atl", 33.75, -84.39, -5},
+      {"Dallas", "dfw", 32.78, -96.80, -6},
+  };
+  for (const auto& d : defs) {
+    topo::City c;
+    c.name = d.name;
+    c.code = d.code;
+    c.lat = d.lat;
+    c.lon = d.lon;
+    c.utc_offset_hours = d.utc;
+    c.population_weight = 1.0;
+    cities_.push_back(topo_.add_city(c));
+  }
+}
+
+IpAddr HandTopo::next_infra(Asn asn) {
+  AsPools& p = pools_.at(asn);
+  return p.block.nth(32768 + p.infra_next++);
+}
+
+IpAddr HandTopo::next_host_addr(Asn asn) {
+  AsPools& p = pools_.at(asn);
+  return p.block.nth(1 + p.host_next++);
+}
+
+void HandTopo::add_as(Asn asn, const std::string& name, AsType type,
+                      const std::vector<int>& city_indices,
+                      const std::string& org_name) {
+  const std::string org_label = org_name.empty() ? name + " Org" : org_name;
+  topo::OrgId org;
+  for (const auto& o : topo_.orgs()) {
+    if (o.name == org_label) {
+      org = o.id;
+      break;
+    }
+  }
+  if (!org.valid()) org = topo_.add_org(org_label);
+  topo::AsInfo info;
+  info.asn = asn;
+  info.name = name;
+  info.org = org;
+  info.type = type;
+  for (int i : city_indices) info.cities.push_back(city(i));
+  topo_.add_as(info);
+
+  Prefix block(IpAddr(next_block_++, 0, 0, 0), 16);
+  pools_[asn] = AsPools{0, 0, block};
+  topo_.own_prefix(block, asn);
+  topo_.announce_prefix(block, asn);
+
+  std::vector<RouterId> backbones;
+  for (int i : city_indices) {
+    RouterId bb = topo_.add_router(asn, city(i), RouterRole::kBackbone,
+                                   "bb1." + topo_.city(city(i)).code);
+    topo_.set_router_mgmt_addr(bb, next_infra(asn));
+    backbones.push_back(bb);
+  }
+  for (std::size_t i = 0; i < backbones.size(); ++i) {
+    for (std::size_t j = i + 1; j < backbones.size(); ++j) {
+      topo::Topology::LinkSpec spec;
+      spec.router_a = backbones[i];
+      spec.router_b = backbones[j];
+      spec.kind = LinkKind::kInternal;
+      spec.capacity_mbps = 100000.0;
+      spec.prop_delay_ms = topo::propagation_delay_ms(topo::city_distance_km(
+          topo_.city(topo_.router(backbones[i]).city),
+          topo_.city(topo_.router(backbones[j]).city)));
+      spec.addr_a = next_infra(asn);
+      spec.addr_b = next_infra(asn);
+      topo_.add_link(spec);
+    }
+  }
+  // One access + one hosting router in the first city.
+  for (auto [role, prefix] :
+       {std::pair{RouterRole::kAccess, "agg"},
+        std::pair{RouterRole::kHosting, "host"}}) {
+    RouterId r = topo_.add_router(asn, city(city_indices[0]), role,
+                                  std::string(prefix) + "1");
+    topo::Topology::LinkSpec spec;
+    spec.router_a = r;
+    spec.router_b = backbones[0];
+    spec.kind = LinkKind::kInternal;
+    spec.capacity_mbps = 40000.0;
+    spec.prop_delay_ms = 0.2;
+    spec.addr_a = next_infra(asn);
+    spec.addr_b = next_infra(asn);
+    topo_.add_link(spec);
+    topo_.set_router_mgmt_addr(r, spec.addr_a);
+  }
+}
+
+RouterId HandTopo::backbone(Asn asn, int city_index) const {
+  for (RouterId r : topo_.routers_of(asn, city(city_index))) {
+    if (topo_.router(r).role == RouterRole::kBackbone) return r;
+  }
+  return RouterId{};
+}
+
+std::vector<LinkId> HandTopo::connect(Asn a, Asn b, RelType rel_a_to_b,
+                                      const std::vector<int>& city_indices,
+                                      bool number_from_b,
+                                      double capacity_mbps) {
+  switch (rel_a_to_b) {
+    case RelType::kCustomer:
+      topo_.relationships().add_customer(a, b);
+      break;
+    case RelType::kProvider:
+      topo_.relationships().add_customer(b, a);
+      break;
+    case RelType::kPeer:
+      topo_.relationships().add_peer(a, b);
+      break;
+    case RelType::kNone:
+      break;
+  }
+  std::vector<LinkId> out;
+  for (int i : city_indices) {
+    RouterId ra = topo_.add_router(a, city(i), RouterRole::kBorder,
+                                   "edge" + std::to_string(i));
+    RouterId rb = topo_.add_router(b, city(i), RouterRole::kBorder,
+                                   "edge" + std::to_string(i));
+    // Connect borders to their backbones.
+    for (auto [asn, border] : {std::pair{a, ra}, std::pair{b, rb}}) {
+      RouterId bb;
+      for (RouterId r : topo_.routers_of(asn, city(i))) {
+        if (topo_.router(r).role == RouterRole::kBackbone) bb = r;
+      }
+      topo::Topology::LinkSpec spec;
+      spec.router_a = border;
+      spec.router_b = bb;
+      spec.kind = LinkKind::kInternal;
+      spec.capacity_mbps = 100000.0;
+      spec.prop_delay_ms = 0.2;
+      spec.addr_a = next_infra(asn);
+      spec.addr_b = next_infra(asn);
+      topo_.add_link(spec);
+      topo_.set_router_mgmt_addr(border, spec.addr_a);
+    }
+    // The interdomain link itself.
+    Asn owner = number_from_b ? b : a;
+    topo::Topology::LinkSpec spec;
+    spec.router_a = ra;
+    spec.router_b = rb;
+    spec.kind = LinkKind::kInterdomain;
+    spec.capacity_mbps = capacity_mbps;
+    spec.prop_delay_ms = 0.3;
+    spec.addr_a = next_infra(owner);
+    spec.addr_b = next_infra(owner);
+    spec.addr_owner_a = owner;
+    spec.addr_owner_b = owner;
+    out.push_back(topo_.add_link(spec));
+  }
+  return out;
+}
+
+std::uint32_t HandTopo::add_host(Asn asn, int city_index, HostKind kind,
+                                 const std::string& label) {
+  topo::Host h;
+  h.kind = kind;
+  h.asn = asn;
+  h.city = city(city_index);
+  h.addr = next_host_addr(asn);
+  h.label = label;
+  // Attach to access router for clients, hosting router otherwise;
+  // fall back to the backbone.
+  RouterRole want = kind == HostKind::kClient ? RouterRole::kAccess
+                                              : RouterRole::kHosting;
+  topo::RouterId attach;
+  for (topo::RouterId r : topo_.routers_of(asn, city(city_index))) {
+    if (topo_.router(r).role == want) attach = r;
+    if (!attach.valid() && topo_.router(r).role == RouterRole::kBackbone) {
+      attach = r;
+    }
+  }
+  if (!attach.valid()) {
+    for (topo::RouterId r : topo_.routers_of(asn)) {
+      attach = r;
+      break;
+    }
+  }
+  h.attachment = attach;
+  if (kind != HostKind::kClient) {
+    h.tier = topo::ServiceTier{10000, 10000};
+    h.access_delay_ms = 0.3;
+  }
+  return topo_.add_host(h);
+}
+
+const gen::World& small_world() {
+  static const gen::World world = [] {
+    gen::GeneratorConfig cfg = gen::GeneratorConfig::small();
+    cfg.seed = 7;
+    return gen::generate_world(cfg);
+  }();
+  return world;
+}
+
+const gen::World& tiny_world() {
+  static const gen::World world = [] {
+    gen::GeneratorConfig cfg = gen::GeneratorConfig::tiny();
+    cfg.seed = 7;
+    return gen::generate_world(cfg);
+  }();
+  return world;
+}
+
+}  // namespace netcong::test

@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared test fixtures: a hand-built miniature topology with full control
+// over every entity (for exact assertions), and a cached generated world
+// (for integration-style tests).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/world.h"
+#include "topo/topology.h"
+
+namespace netcong::test {
+
+// Builds small topologies by hand. Cities 0..4 are NYC/CHI/LAX/ATL/DFW.
+class HandTopo {
+ public:
+  HandTopo();
+
+  topo::Topology& topo() { return topo_; }
+  const topo::Topology& topo() const { return topo_; }
+
+  topo::CityId city(int i) const { return cities_.at(static_cast<std::size_t>(i)); }
+
+  // Creates an AS with a backbone router (plus internal mesh) in each city,
+  // an /16 announced block, and hosting/access routers.
+  void add_as(topo::Asn asn, const std::string& name, topo::AsType type,
+              const std::vector<int>& city_indices,
+              const std::string& org_name = "");
+
+  // Declares the relationship AND creates one interdomain link per shared
+  // city index given. Returns created link ids.
+  std::vector<topo::LinkId> connect(topo::Asn a, topo::Asn b,
+                                    topo::RelType rel_a_to_b,
+                                    const std::vector<int>& city_indices,
+                                    bool number_from_b = true,
+                                    double capacity_mbps = 10000.0);
+
+  // Adds a host of the given kind in the AS at city index.
+  std::uint32_t add_host(topo::Asn asn, int city_index, topo::HostKind kind,
+                         const std::string& label = "host");
+
+  topo::RouterId backbone(topo::Asn asn, int city_index) const;
+
+ private:
+  topo::Topology topo_;
+  std::vector<topo::CityId> cities_;
+  std::uint32_t next_block_ = 16;  // /16 index allocator (16.0.0.0 upward)
+  struct AsPools {
+    std::uint32_t infra_next = 0;
+    std::uint32_t host_next = 0;
+    topo::Prefix block;
+  };
+  std::map<topo::Asn, AsPools> pools_;
+
+  topo::IpAddr next_infra(topo::Asn asn);
+  topo::IpAddr next_host_addr(topo::Asn asn);
+};
+
+// A lazily generated, process-cached small world (seed 7).
+const gen::World& small_world();
+
+// A lazily generated, process-cached tiny world (seed 7).
+const gen::World& tiny_world();
+
+}  // namespace netcong::test

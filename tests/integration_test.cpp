@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adjacency.h"
+#include "core/coverage.h"
+#include "core/diurnal.h"
+#include "core/link_diversity.h"
+#include "core/stratify.h"
+#include "core/threshold.h"
+#include "gen/workload.h"
+#include "helpers.h"
+#include "infer/bdrmap.h"
+#include "measure/alexa.h"
+#include "measure/ark.h"
+#include "measure/matching.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+
+namespace netcong {
+namespace {
+
+using gen::World;
+
+// One end-to-end pipeline over the small world: a two-week crowdsourced
+// NDT campaign with server-side traceroutes, matched and pushed through
+// MAP-IT, then analyzed.
+struct Pipeline {
+  explicit Pipeline(const World& w)
+      : world(w),
+        bgp(*w.topo),
+        fwd(*w.topo, bgp),
+        model(*w.topo, *w.traffic),
+        mlab("mlab", *w.topo, w.mlab_servers),
+        ip2as(*w.topo),
+        orgs(*w.topo) {
+    util::Rng rng(1234);
+    gen::WorkloadConfig wl;
+    wl.days = 14;
+    wl.mean_tests_per_client = 8.0;
+    auto schedule = gen::crowdsourced_schedule(world, world.clients, wl, rng);
+
+    measure::CampaignConfig cc;
+    measure::NdtCampaign campaign(world, fwd, model, mlab, cc);
+    result = campaign.run(schedule, rng);
+
+    measure::MatchOptions mo;
+    matched = measure::match_tests(result.tests, result.traceroutes,
+                                   *world.topo, mo, &match_stats);
+    mapit = infer::run_mapit(result.traceroutes, ip2as, orgs);
+
+    for (const auto& [name, asns] : world.isp_asns) {
+      for (topo::Asn a : asns) isp_of[a] = name;
+    }
+  }
+
+  const World& world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+  measure::Platform mlab;
+  infer::Ip2As ip2as;
+  infer::OrgMap orgs;
+  measure::CampaignResult result;
+  std::vector<measure::MatchedTest> matched;
+  measure::MatchStats match_stats;
+  infer::MapItResult mapit;
+  std::map<topo::Asn, std::string> isp_of;
+};
+
+Pipeline& pipeline() {
+  static Pipeline p(test::small_world());
+  return p;
+}
+
+TEST(Integration, CampaignProducesData) {
+  Pipeline& p = pipeline();
+  EXPECT_GT(p.result.tests.size(), 3000u);
+  EXPECT_GT(p.result.traceroutes.size(), 1000u);
+  // Every test has a valid ground-truth path (the world is connected).
+  std::size_t valid = 0;
+  for (const auto& t : p.result.tests) valid += t.truth_path.valid;
+  EXPECT_EQ(valid, p.result.tests.size());
+}
+
+TEST(Integration, MatchingFractionRealistic) {
+  Pipeline& p = pipeline();
+  // Section 4.1 reports 71-87% matching; the busy-tracer model should land
+  // in a broadly similar range, and strictly below 100%.
+  EXPECT_GT(p.match_stats.fraction(), 0.5);
+  EXPECT_LE(p.match_stats.fraction(), 1.0);
+}
+
+TEST(Integration, AdjacencyReproducesFig1Ordering) {
+  Pipeline& p = pipeline();
+  auto stats =
+      core::analyze_adjacency(p.matched, p.mapit, p.ip2as, p.orgs, p.isp_of);
+  ASSERT_GE(stats.size(), 5u);
+
+  std::map<std::string, double> one_hop;
+  for (const auto& s : stats) {
+    if (s.one_hop + s.two_hops + s.more_hops < 30) continue;
+    one_hop[s.isp] = s.one_hop_fraction();
+  }
+  // Shape targets from Figure 1: the top-5 ISPs are mostly one hop away;
+  // Charter/Cox/Frontier are mostly NOT; Windstream almost never is.
+  ASSERT_TRUE(one_hop.count("Comcast"));
+  ASSERT_TRUE(one_hop.count("Cox"));
+  EXPECT_GT(one_hop["Comcast"], 0.75);
+  if (one_hop.count("AT&T")) {
+    EXPECT_GT(one_hop["AT&T"], 0.7);
+  }
+  EXPECT_LT(one_hop["Cox"], 0.65);
+  if (one_hop.count("Windstream")) {
+    EXPECT_LT(one_hop["Windstream"], 0.3);
+  }
+  // Ordering: Comcast's one-hop fraction exceeds Cox's.
+  EXPECT_GT(one_hop["Comcast"], one_hop["Cox"]);
+}
+
+TEST(Integration, LinkDiversityShowsMultipleIpLinks) {
+  Pipeline& p = pipeline();
+  // Pick the server AS with the most matched tests (a Level3-like host).
+  std::map<topo::Asn, std::size_t> per_server_as;
+  for (const auto& m : p.matched) {
+    if (m.traceroute) per_server_as[m.test->server_asn]++;
+  }
+  ASSERT_FALSE(per_server_as.empty());
+  topo::Asn top_server =
+      std::max_element(per_server_as.begin(), per_server_as.end(),
+                       [](auto& a, auto& b) { return a.second < b.second; })
+          ->first;
+
+  std::map<std::uint32_t, std::string> dns_of;
+  for (const auto& i : p.world.topo->interfaces()) {
+    if (!i.dns_name.empty()) dns_of[i.addr.value] = i.dns_name;
+  }
+  auto diversity = core::analyze_link_diversity(
+      p.matched, top_server, p.mapit, p.ip2as, p.orgs, p.isp_of, dns_of);
+  ASSERT_FALSE(diversity.empty());
+  // Table 2 shape: at least one client AS is reached over multiple IP-level
+  // links with a non-uniform test distribution.
+  bool multi_link = false;
+  for (const auto& d : diversity) {
+    if (d.links.size() >= 2 && d.links[0].tests > 2 * d.links[1].tests) {
+      multi_link = true;
+    }
+  }
+  EXPECT_TRUE(multi_link);
+}
+
+TEST(Integration, DiurnalInferenceFindsPlantedCongestion) {
+  Pipeline& p = pipeline();
+  auto source_of = [&](const measure::NdtRecord& t) {
+    return p.world.topo->as_info(t.server_asn).name;
+  };
+  auto isp_of_fn = [&](const measure::NdtRecord& t) {
+    auto it = p.isp_of.find(t.client_asn);
+    return it == p.isp_of.end() ? std::string() : it->second;
+  };
+  auto groups = core::build_diurnal_groups(p.result.tests, p.world,
+                                           source_of, isp_of_fn);
+  auto calls = core::infer_congestion(groups, 0.35, 15);
+
+  // The planted scenario: GTT->AT&T congested; GTT->Comcast busy but not.
+  bool att_called = false, comcast_called = false;
+  bool att_seen = false, comcast_seen = false;
+  for (const auto& c : calls) {
+    if (c.key.source == "GTT" && c.key.isp == "AT&T" && c.tests > 100) {
+      att_seen = true;
+      att_called = c.congested;
+    }
+    if (c.key.source == "GTT" && c.key.isp == "Comcast" && c.tests > 100) {
+      comcast_seen = true;
+      comcast_called = c.congested;
+    }
+  }
+  ASSERT_TRUE(att_seen);
+  ASSERT_TRUE(comcast_seen);
+  EXPECT_TRUE(att_called);
+  EXPECT_FALSE(comcast_called);
+  // Ground truth agrees.
+  EXPECT_TRUE(core::truth_pair_congested(
+      p.world, p.world.transit_asns.at("GTT"), "AT&T"));
+  EXPECT_FALSE(core::truth_pair_congested(
+      p.world, p.world.transit_asns.at("GTT"), "Comcast"));
+}
+
+TEST(Integration, TimeOfDayBiasVisibleInSampleCounts) {
+  Pipeline& p = pipeline();
+  auto source_of = [&](const measure::NdtRecord&) { return std::string("all"); };
+  auto isp_of_fn = [&](const measure::NdtRecord& t) {
+    auto it = p.isp_of.find(t.client_asn);
+    return it == p.isp_of.end() ? std::string() : it->second;
+  };
+  auto groups = core::build_diurnal_groups(p.result.tests, p.world,
+                                           source_of, isp_of_fn);
+  std::size_t evening = 0, night = 0;
+  for (const auto& [key, g] : groups) {
+    evening += g.throughput.count_over_hours(19, 23);
+    night += g.throughput.count_over_hours(2, 6);
+  }
+  // Paper Section 6.1: far fewer samples off-peak.
+  EXPECT_GT(evening, 2 * night);
+}
+
+TEST(Integration, StratificationSeparatesMixedLinks) {
+  Pipeline& p = pipeline();
+  // Find a (server AS, client AS) pair with several strata.
+  std::map<std::pair<topo::Asn, topo::Asn>, std::size_t> pairs;
+  for (const auto& m : p.matched) {
+    if (m.traceroute) {
+      pairs[{m.test->server_asn, m.test->client_asn}]++;
+    }
+  }
+  bool found_multi = false;
+  for (const auto& [key, n] : pairs) {
+    if (n < 200) continue;
+    auto strat = core::stratify_by_link(p.matched, key.first, key.second,
+                                        p.world, p.mapit, p.ip2as, p.orgs);
+    if (strat.strata.size() >= 2) {
+      found_multi = true;
+      EXPECT_EQ(std::max<std::size_t>(1, strat.aggregate.total_count()),
+                strat.aggregate.total_count());
+      break;
+    }
+  }
+  EXPECT_TRUE(found_multi);
+}
+
+TEST(Integration, BdrmapCoveragePipeline) {
+  Pipeline& p = pipeline();
+  std::uint32_t vp = p.world.ark_vps[0];
+  topo::Asn vp_as = p.world.topo->host(vp).asn;
+  util::Rng rng(77);
+
+  measure::ArkCampaignOptions opt;
+  auto full = measure::ark_full_prefix_campaign(p.world, p.fwd, vp, opt, rng);
+  infer::AliasResolver aliases(*p.world.topo, 0.9, 7);
+  auto bdr = infer::run_bdrmap(full, vp_as, p.ip2as, p.orgs,
+                               p.world.topo->relationships(), aliases);
+
+  auto to_mlab = measure::ark_targeted_campaign(p.world, p.fwd, vp,
+                                                p.world.mlab_servers, opt, rng);
+  auto to_st = measure::ark_targeted_campaign(
+      p.world, p.fwd, vp, p.world.speedtest_servers_2017, opt, rng);
+  auto alexa_targets = measure::resolve_alexa_targets(p.world, vp);
+  auto to_alexa = measure::ark_targeted_campaign(p.world, p.fwd, vp,
+                                                 alexa_targets, opt, rng);
+
+  auto cov = core::analyze_coverage("vp", "net", bdr, to_mlab, to_st,
+                                    to_alexa, p.ip2as, p.orgs, aliases);
+  // Coverage shape (paper Section 5.2): M-Lab covers a small fraction of
+  // all AS-level interconnections; Speedtest covers more.
+  ASSERT_GT(cov.discovered.as_level.size(), 10u);
+  double mlab_pct = core::VpCoverage::pct(cov.mlab.as_level.size(),
+                                          cov.discovered.as_level.size());
+  double st_pct = core::VpCoverage::pct(cov.speedtest.as_level.size(),
+                                        cov.discovered.as_level.size());
+  EXPECT_LT(mlab_pct, 35.0);
+  EXPECT_GT(st_pct, mlab_pct);
+  // Section 5.3: most interconnections toward popular content are not
+  // covered by M-Lab.
+  auto ov = core::overlap(cov.mlab, cov.alexa);
+  EXPECT_GT(ov.alexa_not_platform_as, 0u);
+}
+
+}  // namespace
+}  // namespace netcong

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "helpers.h"
+#include "io/export.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/throughput.h"
+#include "util/strings.h"
+
+namespace netcong::io {
+namespace {
+
+using gen::World;
+
+struct Fixture {
+  Fixture()
+      : world(test::tiny_world()),
+        bgp(*world.topo),
+        fwd(*world.topo, bgp),
+        model(*world.topo, *world.traffic),
+        mlab("mlab", *world.topo, world.mlab_servers) {
+    measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                  measure::CampaignConfig{});
+    util::Rng rng(1);
+    std::vector<gen::TestRequest> schedule;
+    for (int i = 0; i < 20; ++i) {
+      schedule.push_back({world.clients[static_cast<std::size_t>(i) %
+                                        world.clients.size()],
+                          1.0 + i * 0.5});
+    }
+    result = campaign.run(schedule, rng);
+    matched = measure::match_tests(result.tests, result.traceroutes,
+                                   *world.topo, {});
+  }
+  const World& world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+  measure::Platform mlab;
+  measure::CampaignResult result;
+  std::vector<measure::MatchedTest> matched;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+std::size_t line_count(const std::string& s) {
+  std::size_t n = 0;
+  for (char c : s) n += c == '\n' ? 1 : 0;
+  return n;
+}
+
+TEST(Export, NdtTestsRowPerTest) {
+  Fixture& f = fixture();
+  auto csv = export_ndt_tests(f.world, f.result.tests);
+  std::string out = csv.render();
+  EXPECT_EQ(line_count(out), f.result.tests.size() + 1);  // + header
+  EXPECT_NE(out.find("download_mbps"), std::string::npos);
+  EXPECT_NE(out.find("truth_as_hops"), std::string::npos);
+}
+
+TEST(Export, TruthColumnsSuppressible) {
+  Fixture& f = fixture();
+  std::string out = export_ndt_tests(f.world, f.result.tests, false).render();
+  EXPECT_EQ(out.find("truth_"), std::string::npos);
+}
+
+TEST(Export, TracerouteHopsIncludeStarsAndNames) {
+  Fixture& f = fixture();
+  std::string out = export_traceroute_hops(f.result.traceroutes).render();
+  std::size_t hops = 0;
+  for (const auto& tr : f.result.traceroutes) hops += tr.hops.size();
+  EXPECT_EQ(line_count(out), hops + 1);
+}
+
+TEST(Export, MatchesTableDeltas) {
+  Fixture& f = fixture();
+  std::string out = export_matches(f.matched).render();
+  EXPECT_EQ(line_count(out), f.matched.size() + 1);
+  // Matched rows carry a non-negative minute delta in column 3.
+  bool saw_matched = false;
+  for (const auto& line : util::split(out, '\n')) {
+    auto cols = util::split(line, ',');
+    if (cols.size() == 3 && cols[1] == "1") {
+      saw_matched = true;
+      EXPECT_GE(std::atof(cols[2].c_str()), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_matched);
+}
+
+TEST(Export, InterdomainLinksMatchTopology) {
+  Fixture& f = fixture();
+  std::string out = export_interdomain_links(f.world).render();
+  EXPECT_EQ(line_count(out), f.world.topo->interdomain_link_count() + 1);
+  EXPECT_NE(out.find("truth_congested"), std::string::npos);
+}
+
+TEST(Export, CampaignWritesAllFiles) {
+  Fixture& f = fixture();
+  auto dir = std::filesystem::temp_directory_path() / "netcong_io_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(export_campaign(f.world, f.result.tests, f.result.traceroutes,
+                              f.matched, dir.string()));
+  for (const char* name : {"ndt_tests.csv", "traceroute_hops.csv",
+                           "matches.csv", "interdomain_links.csv"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir / name)) << name;
+    EXPECT_GT(std::filesystem::file_size(dir / name), 10u) << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace netcong::io

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gen/workload.h"
+#include "helpers.h"
+#include "measure/alexa.h"
+#include "measure/ark.h"
+#include "measure/matching.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "measure/traceroute.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/throughput.h"
+#include "topo/geo.h"
+
+namespace netcong::measure {
+namespace {
+
+using gen::World;
+
+struct Stack {
+  explicit Stack(const World& w)
+      : world(w),
+        bgp(*w.topo),
+        fwd(*w.topo, bgp),
+        model(*w.topo, *w.traffic) {}
+  const World& world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+};
+
+Stack& tiny_stack() {
+  static Stack s(test::tiny_world());
+  return s;
+}
+
+TEST(Platform, SelectsNearbyServerMostOfTheTime) {
+  Stack& s = tiny_stack();
+  Platform mlab("mlab", *s.world.topo, s.world.mlab_servers);
+  util::Rng rng(1);
+  int near = 0, total = 0;
+  for (std::size_t i = 0; i < s.world.clients.size(); ++i) {
+    std::uint32_t c = s.world.clients[i];
+    std::uint32_t srv = mlab.select_server(c, rng);
+    const topo::City& cc = s.world.topo->city(s.world.topo->host(c).city);
+    double chosen = topo::city_distance_km(
+        cc, s.world.topo->city(s.world.topo->host(srv).city));
+    bool is_near = true;
+    for (std::uint32_t other : mlab.servers()) {
+      double d = topo::city_distance_km(
+          cc, s.world.topo->city(s.world.topo->host(other).city));
+      if (chosen > d + 150.0 + 1e-6) is_near = false;
+    }
+    near += is_near ? 1 : 0;
+    ++total;
+  }
+  // Selection is proximity-based, modulo the modeled ~8% geo-IP misses.
+  EXPECT_GT(static_cast<double>(near) / total, 0.80);
+  EXPECT_LT(near, total);  // some misses do occur
+}
+
+TEST(Platform, RegionalSelectionReturnsDistinctServers) {
+  Stack& s = tiny_stack();
+  Platform mlab("mlab", *s.world.topo, s.world.mlab_servers);
+  util::Rng rng(2);
+  auto servers = mlab.select_servers_region(s.world.clients[0], 5, rng);
+  EXPECT_EQ(servers.size(), 5u);
+  std::set<std::uint32_t> uniq(servers.begin(), servers.end());
+  EXPECT_EQ(uniq.size(), servers.size());
+}
+
+TEST(Traceroute, HopsFollowTruthPath) {
+  Stack& s = tiny_stack();
+  util::Rng rng(3);
+  TracerouteOptions opt;
+  opt.star_prob = 0.0;
+  opt.client_silent_prob = 0.0;
+  std::uint32_t server = s.world.mlab_servers[0];
+  std::uint32_t client = s.world.clients[0];
+  auto tr = run_traceroute(*s.world.topo, s.fwd, server,
+                           s.world.topo->host(client).addr, 12.0, opt, rng);
+  ASSERT_TRUE(tr.truth.valid);
+  // One hop per router plus the destination.
+  ASSERT_EQ(tr.hops.size(), tr.truth.hops.size() + 1);
+  for (std::size_t i = 1; i < tr.truth.hops.size(); ++i) {
+    ASSERT_TRUE(tr.hops[i].responded);
+    const topo::Interface& inif =
+        s.world.topo->iface(tr.truth.hops[i].in_iface);
+    EXPECT_EQ(tr.hops[i].addr, inif.addr);
+  }
+  EXPECT_TRUE(tr.reached_dst);
+  EXPECT_EQ(tr.hops.back().addr, s.world.topo->host(client).addr);
+  // RTTs are nondecreasing-ish along the path (allow small noise).
+  EXPECT_GT(tr.hops.back().rtt_ms, tr.hops.front().rtt_ms);
+}
+
+TEST(Traceroute, StarsAppearAtConfiguredRate) {
+  Stack& s = tiny_stack();
+  util::Rng rng(4);
+  TracerouteOptions opt;
+  opt.star_prob = 0.3;
+  opt.client_silent_prob = 0.0;
+  int responded = 0, total = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::uint32_t server = s.world.mlab_servers[static_cast<std::size_t>(i) %
+                                                s.world.mlab_servers.size()];
+    std::uint32_t client = s.world.clients[static_cast<std::size_t>(i) %
+                                           s.world.clients.size()];
+    auto tr = run_traceroute(*s.world.topo, s.fwd, server,
+                             s.world.topo->host(client).addr, 12.0, opt, rng);
+    for (std::size_t h = 0; h + 1 < tr.hops.size(); ++h) {
+      ++total;
+      responded += tr.hops[h].responded ? 1 : 0;
+    }
+  }
+  double rate = 1.0 - static_cast<double>(responded) / total;
+  EXPECT_NEAR(rate, 0.3, 0.08);
+}
+
+TEST(Traceroute, ParisStableAcrossRuns) {
+  Stack& s = tiny_stack();
+  util::Rng rng(5);
+  TracerouteOptions opt;
+  opt.star_prob = 0.0;
+  opt.client_silent_prob = 0.0;
+  std::uint32_t server = s.world.mlab_servers[1 % s.world.mlab_servers.size()];
+  std::uint32_t client = s.world.clients[3 % s.world.clients.size()];
+  auto t1 = run_traceroute(*s.world.topo, s.fwd, server,
+                           s.world.topo->host(client).addr, 12.0, opt, rng);
+  auto t2 = run_traceroute(*s.world.topo, s.fwd, server,
+                           s.world.topo->host(client).addr, 13.0, opt, rng);
+  ASSERT_EQ(t1.hops.size(), t2.hops.size());
+  for (std::size_t i = 0; i < t1.hops.size(); ++i) {
+    EXPECT_EQ(t1.hops[i].addr, t2.hops[i].addr);
+  }
+}
+
+TEST(Ndt, RecordsPlausibleMetrics) {
+  Stack& s = tiny_stack();
+  Platform mlab("mlab", *s.world.topo, s.world.mlab_servers);
+  CampaignConfig cfg;
+  NdtCampaign campaign(s.world, s.fwd, s.model, mlab, cfg);
+  util::Rng rng(6);
+  std::uint32_t client = s.world.clients[0];
+  std::uint32_t server = mlab.select_server(client, rng);
+  auto rec = campaign.run_single(client, server, 12.0, 1, rng);
+  ASSERT_TRUE(rec.truth_path.valid);
+  EXPECT_GT(rec.download_mbps, 0.0);
+  EXPECT_LE(rec.download_mbps,
+            s.world.topo->host(client).tier.down_mbps * 1.5);
+  EXPECT_GT(rec.upload_mbps, 0.0);
+  EXPECT_LE(rec.upload_mbps, s.world.topo->host(client).tier.up_mbps + 1e-9);
+  EXPECT_GT(rec.flow_rtt_ms, 0.0);
+  EXPECT_EQ(rec.client_asn, s.world.topo->host(client).asn);
+}
+
+TEST(Ndt, CampaignBusyTracerSkipsTraceroutes) {
+  Stack& s = tiny_stack();
+  Platform mlab("mlab", *s.world.topo, s.world.mlab_servers);
+  CampaignConfig cfg;
+  cfg.traceroute_min_s = 300.0;  // slow tracer: overlaps guaranteed
+  cfg.traceroute_max_s = 600.0;
+  NdtCampaign campaign(s.world, s.fwd, s.model, mlab, cfg);
+
+  // Dense schedule: all clients test within one hour.
+  std::vector<gen::TestRequest> schedule;
+  for (std::size_t i = 0; i < s.world.clients.size(); ++i) {
+    schedule.push_back(
+        {s.world.clients[i], 12.0 + static_cast<double>(i) * 0.002});
+  }
+  util::Rng rng(7);
+  auto result = campaign.run(schedule, rng);
+  EXPECT_EQ(result.tests.size(), schedule.size());
+  EXPECT_GT(result.traceroutes_skipped_busy, 0u);
+  EXPECT_EQ(result.traceroutes.size() + result.traceroutes_skipped_busy +
+                result.traceroutes_skipped_cached + result.traceroutes_failed,
+            result.tests.size());
+}
+
+TEST(Ndt, TracerouteCacheSuppressesRepeats) {
+  Stack& s = tiny_stack();
+  Platform mlab("mlab", *s.world.topo, s.world.mlab_servers);
+  CampaignConfig cfg;
+  cfg.traceroute_failure_prob = 0.0;
+  cfg.traceroute_min_s = 1.0;
+  cfg.traceroute_max_s = 2.0;
+  NdtCampaign campaign(s.world, s.fwd, s.model, mlab, cfg);
+  // The same client tests six times within the 10-minute cache window;
+  // server selection is stochastic, but repeats landing on a server that
+  // already traced this client must be cache-suppressed.
+  std::vector<gen::TestRequest> schedule;
+  for (int i = 0; i < 6; ++i) {
+    schedule.push_back({s.world.clients[0], 10.0 + 0.02 * i});
+  }
+  util::Rng rng(71);
+  auto result = campaign.run(schedule, rng);
+  EXPECT_EQ(result.tests.size(), 6u);
+  EXPECT_EQ(result.traceroutes.size() + result.traceroutes_skipped_cached +
+                result.traceroutes_skipped_busy,
+            6u);
+  EXPECT_LT(result.traceroutes.size(), 6u);
+  EXPECT_GT(result.traceroutes_skipped_cached, 0u);
+}
+
+TEST(Ndt, BattleModeMultipliesTests) {
+  Stack& s = tiny_stack();
+  Platform mlab("mlab", *s.world.topo, s.world.mlab_servers);
+  CampaignConfig cfg;
+  cfg.servers_per_request = 3;
+  NdtCampaign campaign(s.world, s.fwd, s.model, mlab, cfg);
+  std::vector<gen::TestRequest> schedule = {{s.world.clients[0], 10.0}};
+  util::Rng rng(8);
+  auto result = campaign.run(schedule, rng);
+  EXPECT_EQ(result.tests.size(), 3u);
+  std::set<std::uint32_t> servers;
+  for (const auto& t : result.tests) servers.insert(t.server);
+  EXPECT_EQ(servers.size(), 3u);
+}
+
+TEST(Matching, WindowSemantics) {
+  const World& w = test::tiny_world();
+  NdtRecord test;
+  test.client = w.clients[0];
+  test.utc_time_hours = 10.0;
+
+  TracerouteRecord before, just_after, late;
+  before.dst = w.topo->host(test.client).addr;
+  before.utc_time_hours = 9.95;  // 3 min before
+  just_after = before;
+  just_after.utc_time_hours = 10.05;  // 3 min after
+  late = before;
+  late.utc_time_hours = 10.5;  // 30 min after
+
+  // Keep the inputs alive: matches point into these vectors.
+  std::vector<NdtRecord> tests = {test};
+  std::vector<TracerouteRecord> before_late = {before, late};
+  std::vector<TracerouteRecord> all_three = {before, just_after, late};
+
+  MatchOptions strict;  // after-only, 10 min
+  MatchStats stats;
+  auto m1 = match_tests(tests, before_late, *w.topo, strict, &stats);
+  EXPECT_EQ(m1[0].traceroute, nullptr);
+  EXPECT_EQ(stats.matched, 0u);
+
+  auto m2 = match_tests(tests, all_three, *w.topo, strict);
+  ASSERT_NE(m2[0].traceroute, nullptr);
+  EXPECT_DOUBLE_EQ(m2[0].traceroute->utc_time_hours, 10.05);
+
+  MatchOptions relaxed;
+  relaxed.allow_before = true;
+  auto m3 = match_tests(tests, before_late, *w.topo, relaxed);
+  ASSERT_NE(m3[0].traceroute, nullptr);
+  EXPECT_DOUBLE_EQ(m3[0].traceroute->utc_time_hours, 9.95);
+}
+
+TEST(Matching, MatchesByClientAddress) {
+  const World& w = test::tiny_world();
+  NdtRecord t1, t2;
+  t1.client = w.clients[0];
+  t2.client = w.clients[1];
+  t1.utc_time_hours = t2.utc_time_hours = 5.0;
+  TracerouteRecord tr;
+  tr.dst = w.topo->host(t1.client).addr;
+  tr.utc_time_hours = 5.01;
+  auto m = match_tests({t1, t2}, {tr}, *w.topo, MatchOptions{});
+  EXPECT_NE(m[0].traceroute, nullptr);
+  EXPECT_EQ(m[1].traceroute, nullptr);
+}
+
+TEST(Ark, FullPrefixCampaignCoversAnnouncements) {
+  Stack& s = tiny_stack();
+  util::Rng rng(9);
+  ArkCampaignOptions opt;
+  auto corpus = ark_full_prefix_campaign(s.world, s.fwd, s.world.ark_vps[0],
+                                         opt, rng);
+  EXPECT_EQ(corpus.size(), s.world.topo->announced_prefixes().size());
+  std::size_t valid = 0;
+  for (const auto& tr : corpus) {
+    if (tr.truth.valid) ++valid;
+  }
+  EXPECT_GT(static_cast<double>(valid) / corpus.size(), 0.95);
+}
+
+TEST(Alexa, ResolvesNearestFrontEnd) {
+  const World& w = test::tiny_world();
+  for (std::uint32_t vp : w.ark_vps) {
+    auto targets = resolve_alexa_targets(w, vp);
+    ASSERT_FALSE(targets.empty());
+    const topo::City& here = w.topo->city(w.topo->host(vp).city);
+    for (std::uint32_t t : targets) {
+      const topo::Host& chosen = w.topo->host(t);
+      EXPECT_EQ(chosen.kind, topo::HostKind::kContent);
+      // Nearest-ness: no other front-end of the same content AS is closer.
+      double d_chosen =
+          topo::city_distance_km(here, w.topo->city(chosen.city));
+      for (std::uint32_t other : w.content_hosts) {
+        if (w.topo->host(other).asn != chosen.asn) continue;
+        double d =
+            topo::city_distance_km(here, w.topo->city(w.topo->host(other).city));
+        EXPECT_LE(d_chosen, d + 1e-6);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netcong::measure

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "measure/traceroute.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "route/path.h"
+
+namespace netcong::measure {
+namespace {
+
+using test::HandTopo;
+using topo::AsType;
+using topo::HostKind;
+using topo::RelType;
+
+TEST(FlowHash, DeterministicAndSaltSensitive) {
+  route::FlowKey k{topo::IpAddr(1, 2, 3, 4), topo::IpAddr(5, 6, 7, 8), 100,
+                   200, 6};
+  EXPECT_EQ(route::flow_hash(k, 1), route::flow_hash(k, 1));
+  EXPECT_NE(route::flow_hash(k, 1), route::flow_hash(k, 2));
+  route::FlowKey k2 = k;
+  k2.dst_port = 201;
+  EXPECT_NE(route::flow_hash(k, 1), route::flow_hash(k2, 1));
+}
+
+class ProbeFixture : public ::testing::Test {
+ protected:
+  ProbeFixture() {
+    h.add_as(100, "T", AsType::kTransit, {0, 1});
+    h.add_as(200, "A", AsType::kAccess, {0, 1});
+    links = h.connect(200, 100, RelType::kCustomer, {0});
+    server = h.add_host(100, 1, HostKind::kTestServer);
+    client = h.add_host(200, 0, HostKind::kClient);
+  }
+  HandTopo h;
+  std::vector<topo::LinkId> links;
+  std::uint32_t server = 0, client = 0;
+};
+
+TEST_F(ProbeFixture, RttProbeReflectsCongestionWindow) {
+  route::BgpRouting bgp(h.topo());
+  route::Forwarder fwd(h.topo(), bgp);
+  sim::TrafficModel traffic(h.topo());
+  sim::LinkLoadProfile quiet;
+  quiet.base_util = 0.1;
+  quiet.peak_util = 0.2;
+  quiet.noise_sigma = 0.0;
+  traffic.set_default_profile(quiet);
+  sim::LinkLoadProfile hot = quiet;
+  hot.peak_util = 1.1;
+  traffic.set_profile(links[0], hot);
+
+  util::Rng rng(1);
+  // Link city is NYC (UTC-5): local peak 21:00 ~ UTC 2:00; trough ~ UTC 9.
+  double peak = rtt_probe(h.topo(), fwd, traffic, server,
+                          h.topo().host(client).addr, 2.0, rng);
+  double trough = rtt_probe(h.topo(), fwd, traffic, server,
+                            h.topo().host(client).addr, 9.0, rng);
+  ASSERT_GT(peak, 0.0);
+  ASSERT_GT(trough, 0.0);
+  EXPECT_GT(peak, trough + 20.0);  // the standing queue is visible
+}
+
+TEST_F(ProbeFixture, RttProbeUnreachable) {
+  route::BgpRouting bgp(h.topo());
+  route::Forwarder fwd(h.topo(), bgp);
+  sim::TrafficModel traffic(h.topo());
+  util::Rng rng(2);
+  EXPECT_LT(rtt_probe(h.topo(), fwd, traffic, server,
+                      topo::IpAddr(250, 0, 0, 1), 0.0, rng),
+            0.0);
+}
+
+TEST_F(ProbeFixture, QueueAwareTracerouteElevatesRtts) {
+  route::BgpRouting bgp(h.topo());
+  route::Forwarder fwd(h.topo(), bgp);
+  sim::TrafficModel traffic(h.topo());
+  sim::LinkLoadProfile hot;
+  hot.base_util = 0.1;
+  hot.peak_util = 1.15;
+  hot.noise_sigma = 0.0;
+  traffic.set_profile(links[0], hot);
+
+  util::Rng rng(3);
+  TracerouteOptions plain;
+  plain.star_prob = 0.0;
+  plain.client_silent_prob = 0.0;
+  TracerouteOptions aware = plain;
+  aware.traffic = &traffic;
+
+  // At the link's local peak (UTC 2), the queue-aware trace's final RTT
+  // exceeds the propagation-only trace's.
+  auto t_plain = run_traceroute(h.topo(), fwd, server,
+                                h.topo().host(client).addr, 2.0, plain, rng);
+  auto t_aware = run_traceroute(h.topo(), fwd, server,
+                                h.topo().host(client).addr, 2.0, aware, rng);
+  ASSERT_FALSE(t_plain.hops.empty());
+  ASSERT_FALSE(t_aware.hops.empty());
+  EXPECT_GT(t_aware.hops.back().rtt_ms, t_plain.hops.back().rtt_ms + 20.0);
+  // Hops before the congested link are unaffected (first hop).
+  EXPECT_NEAR(t_aware.hops.front().rtt_ms, t_plain.hops.front().rtt_ms, 2.0);
+}
+
+TEST(RouterPath, AsHopCount) {
+  route::RouterPath p;
+  EXPECT_EQ(p.as_hop_count(), 0u);
+  p.as_path = {1};
+  EXPECT_EQ(p.as_hop_count(), 0u);
+  p.as_path = {1, 2, 3};
+  EXPECT_EQ(p.as_hop_count(), 2u);
+}
+
+}  // namespace
+}  // namespace netcong::measure

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/report.h"
+#include "helpers.h"
+
+namespace netcong::core {
+namespace {
+
+TEST(ReportCell, DegradedDaysAndStreak) {
+  ReportCell c;
+  // Days: 0-2 degraded (peak 10 vs off 50), 3 recovered, 4-5 degraded.
+  c.daily_peak_median_mbps = {10, 10, 10, 45, 10, 10};
+  c.daily_offpeak_median_mbps = {50, 50, 50, 50, 50, 50};
+  EXPECT_EQ(c.degraded_days(0.6), 5);
+  EXPECT_EQ(c.longest_degraded_streak(0.6), 3);
+  // NaN days are skipped.
+  c.daily_peak_median_mbps[1] = std::nan("");
+  EXPECT_EQ(c.degraded_days(0.6), 4);
+  EXPECT_EQ(c.longest_degraded_streak(0.6), 2);
+}
+
+TEST(Report, BuildsCellsAndFlagsPersistence) {
+  const gen::World& w = test::tiny_world();
+  std::uint32_t client = w.clients[0];
+  const topo::Host& h = w.topo->host(client);
+  int offset = w.topo->city(h.city).utc_offset_hours;
+  // A transit server host.
+  std::uint32_t server = w.mlab_servers[0];
+  topo::Asn server_asn = w.topo->host(server).asn;
+
+  auto at = [&](int day, double local) {
+    double utc = local - offset;
+    while (utc < 0) utc += 24;
+    while (utc >= 24) utc -= 24;
+    return day * 24.0 + utc;
+  };
+
+  std::vector<measure::NdtRecord> tests;
+  for (int day = 0; day < 10; ++day) {
+    for (int i = 0; i < 8; ++i) {
+      measure::NdtRecord peak;
+      peak.client = client;
+      peak.client_asn = h.asn;
+      peak.server = server;
+      peak.server_asn = server_asn;
+      peak.utc_time_hours = at(day, 21.0);
+      peak.download_mbps = day < 8 ? 5.0 : 50.0;  // recovers on day 8
+      tests.push_back(peak);
+
+      measure::NdtRecord off = peak;
+      off.utc_time_hours = at(day, 12.0);
+      off.download_mbps = 50.0;
+      tests.push_back(off);
+    }
+  }
+
+  std::map<topo::Asn, std::string> isp_of = {{h.asn, "TestISP"}};
+  ReportOptions opt;
+  opt.days = 10;
+  opt.min_tests_per_cell = 50;
+  opt.persistent_streak_days = 5;
+  auto report = build_interconnect_report(tests, w, isp_of, opt);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const ReportCell& cell = report.cells[0];
+  EXPECT_EQ(cell.isp, "TestISP");
+  EXPECT_EQ(cell.tests, tests.size());
+  EXPECT_EQ(cell.longest_degraded_streak(opt.degraded_fraction), 8);
+  ASSERT_EQ(report.persistent.size(), 1u);
+  EXPECT_EQ(report.persistent[0], 0u);
+}
+
+TEST(Report, RespectsMinTests) {
+  const gen::World& w = test::tiny_world();
+  std::uint32_t client = w.clients[0];
+  std::uint32_t server = w.mlab_servers[0];
+  std::vector<measure::NdtRecord> tests;
+  measure::NdtRecord r;
+  r.client = client;
+  r.client_asn = w.topo->host(client).asn;
+  r.server = server;
+  r.server_asn = w.topo->host(server).asn;
+  r.utc_time_hours = 1.0;
+  r.download_mbps = 10.0;
+  tests.push_back(r);
+  std::map<topo::Asn, std::string> isp_of = {{r.client_asn, "TestISP"}};
+  ReportOptions opt;
+  opt.min_tests_per_cell = 100;
+  auto report = build_interconnect_report(tests, w, isp_of, opt);
+  EXPECT_TRUE(report.cells.empty());
+}
+
+TEST(TrafficUpgrade, ReducesUtilizationAfterEvent) {
+  const gen::World& w = test::tiny_world();
+  ASSERT_FALSE(w.congested_links.empty());
+  topo::LinkId link = w.congested_links[0];
+  sim::LinkLoadProfile p = w.traffic->profile(link);
+  p.upgrade_at_hours = 48.0;
+  p.upgrade_factor = 0.5;
+  sim::TrafficModel local(*w.topo);
+  local.set_profile(link, p);
+  // Same hour-of-day, before vs after the upgrade.
+  double before = local.utilization(link, 20.0);
+  double after = local.utilization(link, 48.0 + 20.0);
+  EXPECT_NEAR(after, 0.5 * before, 1e-9);
+}
+
+}  // namespace
+}  // namespace netcong::core

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/diurnal.h"
+#include "sim/throughput.h"
+#include "sim/traffic.h"
+
+namespace netcong::sim {
+namespace {
+
+using test::HandTopo;
+using topo::AsType;
+using topo::HostKind;
+using topo::RelType;
+
+TEST(Diurnal, ShapeExtremes) {
+  DiurnalShape s;  // trough 4, peak 21
+  EXPECT_NEAR(s.value(4.0), 0.0, 1e-9);
+  EXPECT_NEAR(s.value(21.0), 1.0, 1e-9);
+  EXPECT_GT(s.value(19.0), s.value(10.0));
+}
+
+TEST(Diurnal, ShapeBoundedAndContinuous) {
+  DiurnalShape s;
+  double prev = s.value(0.0);
+  for (double h = 0.05; h <= 24.0; h += 0.05) {
+    double v = s.value(h);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_LT(std::fabs(v - prev), 0.05);  // no jumps
+    prev = v;
+  }
+}
+
+TEST(Diurnal, LocalHourWraps) {
+  EXPECT_DOUBLE_EQ(local_hour(3.0, -5), 22.0);
+  EXPECT_DOUBLE_EQ(local_hour(23.0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(local_hour(12.0, 0), 12.0);
+}
+
+TEST(Diurnal, TestVolumeEveningHeavy) {
+  EXPECT_GT(test_volume_multiplier(20.5), 3.0 * test_volume_multiplier(4.0));
+  // Rough normalization: daily mean near 1.
+  double sum = 0;
+  for (int h = 0; h < 24; ++h) sum += test_volume_multiplier(h + 0.5);
+  EXPECT_NEAR(sum / 24.0, 1.0, 0.25);
+}
+
+class TrafficFixture : public ::testing::Test {
+ protected:
+  TrafficFixture() {
+    h.add_as(100, "T", AsType::kTransit, {0});
+    h.add_as(200, "A", AsType::kAccess, {0});
+    links = h.connect(200, 100, RelType::kCustomer, {0});
+  }
+  HandTopo h;
+  std::vector<topo::LinkId> links;
+};
+
+TEST_F(TrafficFixture, UtilizationFollowsShape) {
+  TrafficModel tm(h.topo());
+  LinkLoadProfile p;
+  p.base_util = 0.2;
+  p.peak_util = 0.9;
+  tm.set_profile(links[0], p);
+  // The link is in NYC (UTC-5): local 21:00 = UTC 26 -> 2:00 UTC next day.
+  double peak_utc = 26.0 - 24.0 + p.shape.peak_hour - 21.0;  // = 2.0
+  double u_peak = tm.utilization(links[0], 2.0);
+  double u_trough = tm.utilization(links[0], 9.0);  // local 4:00
+  EXPECT_NEAR(u_peak, 0.9, 1e-6);
+  EXPECT_NEAR(u_trough, 0.2, 1e-6);
+  (void)peak_utc;
+}
+
+TEST_F(TrafficFixture, CongestedFlagReflectsPeak) {
+  TrafficModel tm(h.topo());
+  LinkLoadProfile p;
+  p.peak_util = 1.1;
+  tm.set_profile(links[0], p);
+  EXPECT_TRUE(tm.congested_at_peak(links[0]));
+  p.peak_util = 0.9;
+  tm.set_profile(links[0], p);
+  EXPECT_FALSE(tm.congested_at_peak(links[0]));
+}
+
+TEST_F(TrafficFixture, ConditionQueueAndLossGrowWithUtilization) {
+  TrafficModel tm(h.topo());
+  util::Rng rng(1);
+  LinkLoadProfile p;
+  p.noise_sigma = 0.0;
+  p.base_util = 0.3;
+  p.peak_util = 1.15;
+  tm.set_profile(links[0], p);
+  // local 4:00 (trough) vs local 21:00 (peak); link city NYC = UTC-5.
+  LinkCondition at_trough = tm.condition(links[0], 9.0, rng);
+  LinkCondition at_peak = tm.condition(links[0], 2.0, rng);
+  EXPECT_LT(at_trough.queue_delay_ms, at_peak.queue_delay_ms);
+  EXPECT_LT(at_trough.loss_rate, at_peak.loss_rate);
+  EXPECT_GT(at_peak.loss_rate, 0.05);  // over capacity -> real loss
+  EXPECT_GT(at_peak.queue_delay_ms, 10.0);
+}
+
+TEST(TcpResponse, InverseWithRttAndLoss) {
+  double base = tcp_response_mbps(1448, 20, 1e-4);
+  EXPECT_LT(tcp_response_mbps(1448, 80, 1e-4), base);
+  EXPECT_LT(tcp_response_mbps(1448, 20, 1e-2), base);
+  // Paper Section 2: longer latency -> lower throughput, all else equal.
+  EXPECT_NEAR(tcp_response_mbps(1448, 40, 1e-4) /
+                  tcp_response_mbps(1448, 20, 1e-4),
+              0.5, 0.05);
+}
+
+class ThroughputFixture : public ::testing::Test {
+ protected:
+  ThroughputFixture() {
+    h.add_as(100, "T", AsType::kTransit, {0, 1});
+    h.add_as(200, "A", AsType::kAccess, {0, 1});
+    links = h.connect(200, 100, RelType::kCustomer, {0});
+    server = h.add_host(100, 1, HostKind::kTestServer);
+    client = h.add_host(200, 0, HostKind::kClient);
+    h.topo().mutable_host(client).tier = topo::ServiceTier{50, 10};
+    h.topo().mutable_host(client).home_quality = 1.0;
+  }
+
+  sim::ThroughputEstimate run(TrafficModel& tm, double utc_hour,
+                              std::uint64_t seed = 1) {
+    route::BgpRouting bgp(h.topo());
+    route::Forwarder fwd(h.topo(), bgp);
+    route::FlowKey k{h.topo().host(server).addr, h.topo().host(client).addr,
+                     3001, 40000, 6};
+    auto path = fwd.path(server, h.topo().host(client).addr, k);
+    ThroughputModel::Params params;
+    params.measurement_noise_sigma = 0.0;
+    ThroughputModel model(h.topo(), tm, params);
+    util::Rng rng(seed);
+    return model.estimate(path, h.topo().host(client), h.topo().host(server),
+                          utc_hour, rng);
+  }
+
+  HandTopo h;
+  std::vector<topo::LinkId> links;
+  std::uint32_t server = 0, client = 0;
+};
+
+TEST_F(ThroughputFixture, AccessLimitedWhenNetworkIdle) {
+  TrafficModel tm(h.topo());
+  LinkLoadProfile quiet;
+  quiet.base_util = 0.1;
+  quiet.peak_util = 0.3;
+  quiet.noise_sigma = 0.0;
+  tm.set_default_profile(quiet);
+  auto est = run(tm, 9.0);
+  ASSERT_TRUE(est.valid);
+  EXPECT_TRUE(est.access_limited);
+  // Close to the 50 Mbps tier (slow-start ramp penalty shaves a bit).
+  EXPECT_GT(est.goodput_mbps, 38.0);
+  EXPECT_LE(est.goodput_mbps, 51.0);
+}
+
+TEST_F(ThroughputFixture, CongestedInterdomainLinkCollapsesThroughput) {
+  TrafficModel tm(h.topo());
+  LinkLoadProfile quiet;
+  quiet.base_util = 0.1;
+  quiet.peak_util = 0.3;
+  quiet.noise_sigma = 0.0;
+  tm.set_default_profile(quiet);
+  LinkLoadProfile hot;
+  hot.base_util = 0.3;
+  hot.peak_util = 1.15;
+  hot.noise_sigma = 0.0;
+  tm.set_profile(links[0], hot);
+
+  auto offpeak = run(tm, 9.0);  // local 4:00 at the NYC link
+  auto peak = run(tm, 2.0);     // local 21:00
+  ASSERT_TRUE(offpeak.valid && peak.valid);
+  EXPECT_GT(offpeak.goodput_mbps, 5.0 * peak.goodput_mbps);
+  EXPECT_LT(peak.goodput_mbps, 5.0);
+  EXPECT_FALSE(peak.access_limited);
+  EXPECT_EQ(peak.bottleneck, links[0]);
+  // Queueing at the hot link inflates the flow RTT.
+  EXPECT_GT(peak.flow_rtt_ms, offpeak.flow_rtt_ms + 20.0);
+  EXPECT_GT(peak.retrans_rate, offpeak.retrans_rate);
+  EXPECT_GT(peak.congestion_signals, 0);
+}
+
+TEST_F(ThroughputFixture, HomeQualityCapsThroughput) {
+  TrafficModel tm(h.topo());
+  LinkLoadProfile quiet;
+  quiet.base_util = 0.05;
+  quiet.peak_util = 0.2;
+  quiet.noise_sigma = 0.0;
+  tm.set_default_profile(quiet);
+  h.topo().mutable_host(client).home_quality = 0.4;
+  auto est = run(tm, 9.0);
+  EXPECT_LT(est.goodput_mbps, 0.5 * 50.0);
+  h.topo().mutable_host(client).home_quality = 1.0;
+}
+
+TEST_F(ThroughputFixture, InvalidPathRejected) {
+  TrafficModel tm(h.topo());
+  ThroughputModel model(h.topo(), tm);
+  route::RouterPath bad;
+  util::Rng rng(1);
+  auto est = model.estimate(bad, h.topo().host(client),
+                            h.topo().host(server), 0.0, rng);
+  EXPECT_FALSE(est.valid);
+}
+
+}  // namespace
+}  // namespace netcong::sim

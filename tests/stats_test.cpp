@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+#include "stats/timeseries.h"
+#include "util/rng.h"
+
+namespace netcong::stats {
+namespace {
+
+TEST(Descriptive, MeanMedian) {
+  std::vector<double> xs = {1, 2, 3, 4, 10};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Descriptive, MedianInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Descriptive, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(mean({})));
+  EXPECT_TRUE(std::isnan(median({})));
+  EXPECT_TRUE(std::isnan(stddev({})));
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+}
+
+TEST(Descriptive, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(percentile(xs, 0), 1.0, 1e-9);
+  EXPECT_NEAR(percentile(xs, 100), 100.0, 1e-9);
+  EXPECT_NEAR(percentile(xs, 50), 50.5, 1e-9);
+  EXPECT_NEAR(percentile(xs, 90), 90.1, 0.2);
+}
+
+TEST(Descriptive, StddevKnown) {
+  // Population stddev of {2,4,4,4,5,5,7,9} is 2.
+  EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(Descriptive, CoeffVariation) {
+  EXPECT_NEAR(coeff_variation({10, 10, 10}), 0.0, 1e-12);
+  EXPECT_TRUE(std::isnan(coeff_variation({})));
+}
+
+TEST(RunningStats, MatchesBatch) {
+  util::Rng rng(11);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.normal(5.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max(xs));
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  util::Rng rng(12);
+  RunningStats a, b, all;
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.lognormal(0, 1);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(HourlySeries, BinsByFlooredHour) {
+  HourlySeries s;
+  s.add(13.7, 10.0);
+  s.add(13.1, 20.0);
+  s.add(14.0, 30.0);
+  EXPECT_EQ(s.bin(13).size(), 2u);
+  EXPECT_EQ(s.bin(14).size(), 1u);
+  EXPECT_EQ(s.total_count(), 3u);
+}
+
+TEST(HourlySeries, SummaryCounts) {
+  HourlySeries s;
+  for (int h = 0; h < 24; ++h) s.add(h, h * 1.0);
+  auto sum = s.summarize();
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_EQ(sum.count[static_cast<std::size_t>(h)], 1u);
+    EXPECT_DOUBLE_EQ(sum.median[static_cast<std::size_t>(h)], h * 1.0);
+  }
+}
+
+TEST(HourlySeries, WrapAroundMidnight) {
+  HourlySeries s;
+  s.add(23.5, 1.0);
+  s.add(0.5, 3.0);
+  EXPECT_EQ(s.count_over_hours(23, 1), 2u);
+  EXPECT_DOUBLE_EQ(s.median_over_hours(23, 1), 2.0);
+}
+
+TEST(DiurnalComparison, DetectsDrop) {
+  HourlySeries s;
+  // Off-peak (1-5): 100 Mbps; peak (19-23): 40 Mbps.
+  for (int h = 1; h <= 5; ++h) {
+    for (int i = 0; i < 30; ++i) s.add(h, 100.0);
+  }
+  for (int h = 19; h <= 23; ++h) {
+    for (int i = 0; i < 30; ++i) s.add(h, 40.0);
+  }
+  auto c = compare_peak_offpeak(s);
+  EXPECT_NEAR(c.relative_drop, 0.6, 1e-9);
+  EXPECT_EQ(c.peak_count, 150u);
+  EXPECT_EQ(c.offpeak_count, 150u);
+}
+
+TEST(DiurnalComparison, EmptyWindowIsNaN) {
+  HourlySeries s;
+  s.add(20, 10.0);
+  auto c = compare_peak_offpeak(s);
+  EXPECT_TRUE(std::isnan(c.relative_drop));
+}
+
+TEST(Bootstrap, CoversTrueMedian) {
+  util::Rng rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(50, 5));
+  auto ci = bootstrap_median_ci(xs, rng, 500);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, 51.5);
+  EXPECT_GT(ci.hi, 48.5);
+}
+
+TEST(Bootstrap, SmallSampleWideInterval) {
+  util::Rng rng(22);
+  std::vector<double> small_sample = {10, 60, 20, 90, 45};
+  std::vector<double> big;
+  for (int i = 0; i < 500; ++i) big.push_back(rng.uniform(10, 90));
+  auto ci_small = bootstrap_median_ci(small_sample, rng, 400);
+  auto ci_big = bootstrap_median_ci(big, rng, 400);
+  EXPECT_GT(ci_small.hi - ci_small.lo, ci_big.hi - ci_big.lo);
+}
+
+TEST(Bootstrap, EmptyInput) {
+  util::Rng rng(23);
+  auto ci = bootstrap_mean_ci({}, rng, 10);
+  EXPECT_TRUE(std::isnan(ci.point));
+}
+
+TEST(MannWhitney, DetectsShift) {
+  util::Rng rng(31);
+  std::vector<double> a, b;
+  for (int i = 0; i < 80; ++i) {
+    a.push_back(rng.normal(50, 10));
+    b.push_back(rng.normal(35, 10));
+  }
+  auto r = mann_whitney_u(a, b);
+  EXPECT_TRUE(r.significant_at(0.01));
+}
+
+TEST(MannWhitney, SameDistributionUsuallyNotSignificant) {
+  util::Rng rng(32);
+  int significant = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 50; ++i) {
+      a.push_back(rng.normal(50, 10));
+      b.push_back(rng.normal(50, 10));
+    }
+    if (mann_whitney_u(a, b).significant_at(0.05)) ++significant;
+  }
+  // ~5% false positive rate; allow generous slack.
+  EXPECT_LE(significant, 8);
+}
+
+TEST(MannWhitney, AllTied) {
+  std::vector<double> a(10, 5.0), b(12, 5.0);
+  auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchT, DetectsShift) {
+  util::Rng rng(33);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(rng.normal(10, 2));
+    b.push_back(rng.normal(12, 6));
+  }
+  EXPECT_TRUE(welch_t(a, b).significant_at(0.05));
+}
+
+TEST(CliffsDelta, Extremes) {
+  std::vector<double> lo = {1, 2, 3};
+  std::vector<double> hi = {10, 11, 12};
+  EXPECT_DOUBLE_EQ(cliffs_delta(hi, lo), 1.0);
+  EXPECT_DOUBLE_EQ(cliffs_delta(lo, hi), -1.0);
+  EXPECT_DOUBLE_EQ(cliffs_delta(lo, lo), 0.0);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0), 0.5, 1e-9);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+}  // namespace
+}  // namespace netcong::stats

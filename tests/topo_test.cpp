@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "topo/dns.h"
+#include "topo/geo.h"
+#include "topo/relationships.h"
+#include "topo/topology.h"
+
+namespace netcong::topo {
+namespace {
+
+using test::HandTopo;
+
+TEST(Relationships, CustomerProviderSymmetry) {
+  RelationshipTable t;
+  t.add_customer(100, 200);
+  EXPECT_EQ(t.between(100, 200), RelType::kCustomer);
+  EXPECT_EQ(t.between(200, 100), RelType::kProvider);
+  EXPECT_EQ(t.between(100, 300), RelType::kNone);
+}
+
+TEST(Relationships, PeerSymmetry) {
+  RelationshipTable t;
+  t.add_peer(1, 2);
+  EXPECT_EQ(t.between(1, 2), RelType::kPeer);
+  EXPECT_EQ(t.between(2, 1), RelType::kPeer);
+}
+
+TEST(Relationships, OverwriteChangesBothDirections) {
+  RelationshipTable t;
+  t.add_customer(1, 2);
+  t.add_peer(1, 2);
+  EXPECT_EQ(t.between(1, 2), RelType::kPeer);
+  EXPECT_EQ(t.between(2, 1), RelType::kPeer);
+  // Adjacency lists stay deduplicated.
+  EXPECT_EQ(t.neighbors(1).size(), 1u);
+}
+
+TEST(Relationships, Invert) {
+  EXPECT_EQ(invert(RelType::kCustomer), RelType::kProvider);
+  EXPECT_EQ(invert(RelType::kProvider), RelType::kCustomer);
+  EXPECT_EQ(invert(RelType::kPeer), RelType::kPeer);
+}
+
+TEST(Geo, HaversineKnownDistance) {
+  // NYC to LA is roughly 3940 km.
+  double d = haversine_km(40.71, -74.01, 34.05, -118.24);
+  EXPECT_NEAR(d, 3940, 60);
+}
+
+TEST(Geo, ZeroDistance) {
+  EXPECT_NEAR(haversine_km(40, -74, 40, -74), 0.0, 1e-9);
+}
+
+TEST(Geo, PropagationDelayScales) {
+  EXPECT_LT(propagation_delay_ms(0), propagation_delay_ms(1000));
+  // ~1000 km should be in the 5-10 ms one-way range.
+  EXPECT_GT(propagation_delay_ms(1000), 4.0);
+  EXPECT_LT(propagation_delay_ms(1000), 12.0);
+}
+
+TEST(Dns, MakeAndParseRoundTrip) {
+  std::string name = make_interdomain_dns_name("Cox Communications", "edge5",
+                                               "Dallas", 3, "Level3.net");
+  EXPECT_EQ(name, "COX-COMMUNI.edge5.Dallas3.Level3.net");
+  auto parts = parse_interdomain_dns_name(name);
+  ASSERT_TRUE(parts);
+  EXPECT_EQ(parts->peer_tag, "COX-COMMUNI");
+  EXPECT_EQ(parts->router_name, "edge5");
+  EXPECT_EQ(parts->city_tag, "Dallas3");
+  EXPECT_EQ(parts->domain, "Level3.net");
+}
+
+TEST(Dns, MultiWordCityCompacted) {
+  std::string name = make_interdomain_dns_name("Cox Communications", "ear1",
+                                               "San Jose", 3, "Level3.net");
+  EXPECT_EQ(name, "COX-COMMUNI.ear1.SanJose3.Level3.net");
+}
+
+TEST(Dns, ParseRejectsNonConforming) {
+  EXPECT_FALSE(parse_interdomain_dns_name(""));
+  EXPECT_FALSE(parse_interdomain_dns_name("host.example.com"));
+  // City tag must end with a digit.
+  EXPECT_FALSE(parse_interdomain_dns_name("A.b.City.x.net"));
+}
+
+TEST(Dns, PeerTagTruncation) {
+  EXPECT_EQ(peer_tag_from_org("Comcast Cable Communications"),
+            "COMCAST-CAB");
+  EXPECT_LE(peer_tag_from_org("A Very Long Organization Name LLC").size(),
+            11u);
+}
+
+TEST(Topology, BasicLookups) {
+  HandTopo h;
+  h.add_as(100, "TransitOne", AsType::kTransit, {0, 1});
+  h.add_as(200, "AccessOne", AsType::kAccess, {0, 1});
+  auto links = h.connect(200, 100, RelType::kCustomer, {0});
+  ASSERT_EQ(links.size(), 1u);
+
+  const Topology& t = h.topo();
+  EXPECT_TRUE(t.has_as(100));
+  EXPECT_TRUE(t.has_as(200));
+  EXPECT_FALSE(t.has_as(300));
+  EXPECT_EQ(t.as_info(100).name, "TransitOne");
+  EXPECT_THROW(t.as_info(300), std::out_of_range);
+
+  EXPECT_EQ(t.interdomain_links(100, 200).size(), 1u);
+  EXPECT_EQ(t.interdomain_links(200, 100).size(), 1u);  // symmetric
+  EXPECT_EQ(t.interdomain_links_of(100).size(), 1u);
+  EXPECT_EQ(t.interdomain_link_count(), 1u);
+}
+
+TEST(Topology, DuplicateAsnThrows) {
+  HandTopo h;
+  h.add_as(100, "A", AsType::kTransit, {0});
+  EXPECT_THROW(h.add_as(100, "B", AsType::kTransit, {0}), std::invalid_argument);
+}
+
+TEST(Topology, InterfaceAddressLookup) {
+  HandTopo h;
+  h.add_as(100, "A", AsType::kTransit, {0});
+  h.add_as(200, "B", AsType::kAccess, {0});
+  auto links = h.connect(200, 100, RelType::kCustomer, {0});
+  const Topology& t = h.topo();
+  const Link& l = t.link(links[0]);
+  auto found = t.interface_by_addr(t.iface(l.side_a).addr);
+  ASSERT_TRUE(found);
+  EXPECT_EQ(*found, l.side_a);
+  EXPECT_EQ(t.other_side(l.id, l.side_a), l.side_b);
+  RouterId ra = t.iface(l.side_a).router;
+  EXPECT_EQ(t.remote_router(l.id, ra), t.iface(l.side_b).router);
+}
+
+TEST(Topology, LinksBetweenFindsParallel) {
+  HandTopo h;
+  h.add_as(100, "A", AsType::kTransit, {0});
+  h.add_as(200, "B", AsType::kAccess, {0});
+  auto l1 = h.connect(200, 100, RelType::kCustomer, {0});
+  const Link& link = h.topo().link(l1[0]);
+  RouterId ra = h.topo().iface(link.side_a).router;
+  RouterId rb = h.topo().iface(link.side_b).router;
+  EXPECT_EQ(h.topo().links_between(ra, rb).size(), 1u);
+  EXPECT_EQ(h.topo().links_between(rb, ra).size(), 1u);
+}
+
+TEST(Topology, AnnouncedAndTrueOwner) {
+  HandTopo h;
+  h.add_as(100, "A", AsType::kTransit, {0});
+  const Topology& t = h.topo();
+  // HandTopo announces the block (16.0.0.0/16 for the first AS) with its
+  // true owner.
+  IpAddr inside(16, 0, 2, 3);
+  EXPECT_EQ(t.announced_origin(inside).value(), 100u);
+  EXPECT_EQ(t.true_owner(inside).value(), 100u);
+  EXPECT_FALSE(t.announced_origin(IpAddr(200, 0, 0, 1)));
+}
+
+TEST(Topology, SiblingsViaOrg) {
+  HandTopo h;
+  h.add_as(100, "A1", AsType::kAccess, {0}, "SameOrg");
+  h.add_as(101, "A2", AsType::kAccess, {0}, "SameOrg");
+  h.add_as(200, "B", AsType::kTransit, {0});
+  EXPECT_TRUE(h.topo().same_org(100, 101));
+  EXPECT_FALSE(h.topo().same_org(100, 200));
+  auto sibs = h.topo().siblings_of(100);
+  EXPECT_EQ(sibs.size(), 2u);
+}
+
+TEST(Topology, HostsByKindAndAs) {
+  HandTopo h;
+  h.add_as(100, "A", AsType::kTransit, {0});
+  h.add_as(200, "B", AsType::kAccess, {0});
+  auto s = h.add_host(100, 0, HostKind::kTestServer);
+  auto c1 = h.add_host(200, 0, HostKind::kClient);
+  auto c2 = h.add_host(200, 0, HostKind::kClient);
+  EXPECT_EQ(h.topo().hosts_of_kind(HostKind::kClient).size(), 2u);
+  EXPECT_EQ(h.topo().hosts_of(200).size(), 2u);
+  EXPECT_EQ(h.topo().host_by_addr(h.topo().host(s).addr).value(), s);
+  EXPECT_NE(h.topo().host(c1).addr, h.topo().host(c2).addr);
+}
+
+TEST(Topology, IxpPrefixes) {
+  HandTopo h;
+  h.topo().add_ixp_prefix(Prefix(IpAddr(195, 0, 0, 0), 22));
+  EXPECT_TRUE(h.topo().is_ixp_addr(IpAddr(195, 0, 1, 1)));
+  EXPECT_FALSE(h.topo().is_ixp_addr(IpAddr(195, 0, 4, 1)));
+}
+
+}  // namespace
+}  // namespace netcong::topo

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace netcong::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfDrawCount) {
+  Rng a(42);
+  Rng b(42);
+  // Draw from one generator before forking: forks must still agree because
+  // fork depends on seed + label only.
+  for (int i = 0; i < 17; ++i) a.uniform(0, 1);
+  Rng fa = a.fork("x");
+  Rng fb = b.fork("x");
+  EXPECT_EQ(fa.uniform_int(0, 1 << 30), fb.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, ForkLabelsDiffer) {
+  Rng a(42);
+  EXPECT_NE(a.fork("x").seed(), a.fork("y").seed());
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeros) {
+  Rng r(1);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.weighted_index(w), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng r(5);
+  std::vector<double> w = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) counts[r.weighted_index(w)]++;
+  double frac = static_cast<double>(counts[1]) / 10000.0;
+  EXPECT_NEAR(frac, 0.75, 0.03);
+}
+
+TEST(Rng, ParetoHeavyTail) {
+  Rng r(3);
+  double max_seen = 0;
+  for (int i = 0; i < 20000; ++i) max_seen = std::max(max_seen, r.pareto(1.0, 1.5));
+  EXPECT_GT(max_seen, 20.0);  // heavy tail produces large outliers
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  r.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 14695981039346656037ull);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmpty) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  std::vector<std::string> v = {"x", "y", "z"};
+  EXPECT_EQ(join(v, "."), "x.y.z");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("level3.net", "level3"));
+  EXPECT_FALSE(starts_with("x", "xy"));
+  EXPECT_TRUE(ends_with("level3.net", ".net"));
+  EXPECT_FALSE(ends_with("net", "xnet"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Strings, FormatCompact) {
+  EXPECT_EQ(format_compact(1.50), "1.5");
+  EXPECT_EQ(format_compact(2.00), "2");
+  EXPECT_EQ(format_compact(0.25, 2), "0.25");
+}
+
+TEST(Strings, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-9876), "-9,876");
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"name", "count"});
+  t.add_row({"a", "1"});
+  t.add_row({"bbbb", "22"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("bbbb"), std::string::npos);
+  // Header rule line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Csv, EscapesSpecials) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"x,y", "he said \"hi\""});
+  std::string out = w.render();
+  EXPECT_NE(out.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, HeaderFirst) {
+  CsvWriter w({"h1", "h2"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.render().substr(0, 5), "h1,h2");
+}
+
+}  // namespace
+}  // namespace netcong::util

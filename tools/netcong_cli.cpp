@@ -1,0 +1,252 @@
+// netcong command-line tool: generate worlds, run measurement campaigns,
+// export M-Lab-style datasets, and run per-VP coverage analyses without
+// writing any C++.
+//
+//   netcong_cli topology  [--scale full|small|tiny] [--seed N]
+//   netcong_cli campaign  [--scale ...] [--seed N] [--days N]
+//                         [--tests-per-client X] [--out DIR] [--no-truth]
+//   netcong_cli coverage  [--scale ...] [--seed N] [--vp SITE]
+//   netcong_cli diurnal   [--scale ...] [--seed N] [--source NAME]
+//                         [--isp NAME]
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/coverage.h"
+#include "core/diurnal.h"
+#include "gen/workload.h"
+#include "gen/world.h"
+#include "infer/alias.h"
+#include "infer/bdrmap.h"
+#include "io/export.h"
+#include "measure/alexa.h"
+#include "measure/ark.h"
+#include "measure/matching.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/throughput.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace netcong;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+  int get_int(const std::string& key, int def) const {
+    auto it = options.find(key);
+    return it == options.end() ? def : std::atoi(it->second.c_str());
+  }
+  double get_double(const std::string& key, double def) const {
+    auto it = options.find(key);
+    return it == options.end() ? def : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    std::string key = a.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+  return args;
+}
+
+gen::GeneratorConfig config_from(const Args& args) {
+  std::string scale = args.get("scale", "small");
+  gen::GeneratorConfig cfg;
+  if (scale == "full") {
+    cfg = gen::GeneratorConfig::full();
+  } else if (scale == "tiny") {
+    cfg = gen::GeneratorConfig::tiny();
+  } else {
+    cfg = gen::GeneratorConfig::small();
+  }
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return cfg;
+}
+
+int cmd_topology(const Args& args) {
+  gen::World world = gen::generate_world(config_from(args));
+  const topo::Topology& t = *world.topo;
+  std::printf("ASes: %zu  routers: %zu  interfaces: %zu\n", t.as_count(),
+              t.routers().size(), t.interfaces().size());
+  std::printf("links: %zu (%zu interdomain)  hosts: %zu\n", t.links().size(),
+              t.interdomain_link_count(), t.hosts().size());
+  std::printf("congested links (ground truth): %zu\n",
+              world.congested_links.size());
+  util::TextTable table({"ISP", "ASNs", "clients", "peers of primary"});
+  for (const auto& [name, asns] : world.isp_asns) {
+    int peers = 0;
+    for (const auto& [nbr, rel] : t.relationships().neighbors(asns[0])) {
+      if (rel == topo::RelType::kPeer) ++peers;
+    }
+    table.add_row({name, std::to_string(asns.size()),
+                   std::to_string(world.clients_of(name).size()),
+                   std::to_string(peers)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) + 1);
+  gen::WorkloadConfig wl;
+  wl.days = args.get_int("days", 14);
+  wl.mean_tests_per_client = args.get_double("tests-per-client", 8.0);
+  auto schedule = gen::crowdsourced_schedule(world, world.clients, wl, rng);
+  measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                measure::CampaignConfig{});
+  auto result = campaign.run(schedule, rng);
+  measure::MatchStats stats;
+  auto matched = measure::match_tests(result.tests, result.traceroutes,
+                                      *world.topo, {}, &stats);
+  std::printf("tests: %zu  traceroutes: %zu  matched: %.1f%%\n",
+              result.tests.size(), result.traceroutes.size(),
+              100.0 * stats.fraction());
+
+  if (args.has("out")) {
+    std::string dir = args.get("out", ".");
+    bool ok = io::export_campaign(world, result.tests, result.traceroutes,
+                                  matched, dir, !args.has("no-truth"));
+    std::printf("%s datasets to %s/{ndt_tests,traceroute_hops,matches,"
+                "interdomain_links}.csv\n",
+                ok ? "wrote" : "FAILED writing", dir.c_str());
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmd_coverage(const Args& args) {
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  infer::Ip2As ip2as(*world.topo);
+  infer::OrgMap orgs(*world.topo);
+  infer::AliasResolver aliases(*world.topo, 0.88, 42);
+  util::Rng rng(9);
+
+  std::string want = args.get("vp", "");
+  util::TextTable table({"VP", "bdrmap AS", "M-Lab AS", "Speedtest AS",
+                         "Alexa-path AS not via M-Lab"});
+  for (std::uint32_t vp : world.ark_vps) {
+    const topo::Host& host = world.topo->host(vp);
+    if (!want.empty() && host.label != want) continue;
+    measure::ArkCampaignOptions opt;
+    auto full = measure::ark_full_prefix_campaign(world, fwd, vp, opt, rng);
+    auto bdr = infer::run_bdrmap(full, host.asn, ip2as, orgs,
+                                 world.topo->relationships(), aliases);
+    auto to_mlab = measure::ark_targeted_campaign(world, fwd, vp,
+                                                  world.mlab_servers, opt, rng);
+    auto to_st = measure::ark_targeted_campaign(
+        world, fwd, vp, world.speedtest_servers_2017, opt, rng);
+    auto alexa = measure::resolve_alexa_targets(world, vp);
+    auto to_alexa =
+        measure::ark_targeted_campaign(world, fwd, vp, alexa, opt, rng);
+    auto cov = core::analyze_coverage(host.label, "", bdr, to_mlab, to_st,
+                                      to_alexa, ip2as, orgs, aliases);
+    auto ov = core::overlap(cov.mlab, cov.alexa);
+    table.add_row({host.label,
+                   std::to_string(cov.discovered.as_level.size()),
+                   std::to_string(cov.mlab.as_level.size()),
+                   std::to_string(cov.speedtest.as_level.size()),
+                   std::to_string(ov.alexa_not_platform_as)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_diurnal(const Args& args) {
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+  util::Rng rng(7);
+
+  std::string source = args.get("source", "GTT");
+  std::string isp = args.get("isp", "AT&T");
+  auto clients = world.clients_of(isp);
+  if (clients.empty()) {
+    std::fprintf(stderr, "unknown ISP %s\n", isp.c_str());
+    return 1;
+  }
+  gen::WorkloadConfig wl;
+  wl.days = args.get_int("days", 14);
+  wl.mean_tests_per_client = 10.0;
+  auto schedule = gen::crowdsourced_schedule(world, clients, wl, rng);
+  measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                measure::CampaignConfig{});
+  auto result = campaign.run(schedule, rng);
+
+  auto source_of = [&](const measure::NdtRecord& t) {
+    return world.topo->as_info(t.server_asn).name == source ? source
+                                                            : std::string();
+  };
+  auto isp_of = [&](const measure::NdtRecord&) { return isp; };
+  auto groups = core::build_diurnal_groups(result.tests, world, source_of,
+                                           isp_of);
+  auto it = groups.find(core::GroupKey{source, isp});
+  if (it == groups.end()) {
+    std::fprintf(stderr, "no %s -> %s tests observed\n", source.c_str(),
+                 isp.c_str());
+    return 1;
+  }
+  auto summary = it->second.throughput.summarize();
+  util::TextTable table({"local hour", "samples", "median Mbps"});
+  for (int h = 0; h < 24; ++h) {
+    auto idx = static_cast<std::size_t>(h);
+    table.add_row({std::to_string(h), std::to_string(summary.count[idx]),
+                   summary.count[idx] ? util::format("%.1f", summary.median[idx])
+                                      : "-"});
+  }
+  std::printf("%s -> %s (%zu tests)\n%s", source.c_str(), isp.c_str(),
+              it->second.tests, table.render().c_str());
+  auto cmp = stats::compare_peak_offpeak(it->second.throughput);
+  std::printf("relative peak drop: %.0f%%\n", 100.0 * cmp.relative_drop);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  if (args.command == "topology") return cmd_topology(args);
+  if (args.command == "campaign") return cmd_campaign(args);
+  if (args.command == "coverage") return cmd_coverage(args);
+  if (args.command == "diurnal") return cmd_diurnal(args);
+  std::fprintf(stderr,
+               "usage: netcong_cli <topology|campaign|coverage|diurnal> "
+               "[options]\n"
+               "  common options: --scale full|small|tiny  --seed N\n"
+               "  campaign: --days N --tests-per-client X --out DIR "
+               "--no-truth\n"
+               "  coverage: --vp SITE\n"
+               "  diurnal:  --source NAME --isp NAME --days N\n");
+  return args.command.empty() ? 1 : 2;
+}
