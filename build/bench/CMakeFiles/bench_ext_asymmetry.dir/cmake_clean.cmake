@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_asymmetry.dir/bench_ext_asymmetry.cpp.o"
+  "CMakeFiles/bench_ext_asymmetry.dir/bench_ext_asymmetry.cpp.o.d"
+  "CMakeFiles/bench_ext_asymmetry.dir/common.cpp.o"
+  "CMakeFiles/bench_ext_asymmetry.dir/common.cpp.o.d"
+  "bench_ext_asymmetry"
+  "bench_ext_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

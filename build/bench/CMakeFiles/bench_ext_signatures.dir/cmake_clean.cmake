@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_signatures.dir/bench_ext_signatures.cpp.o"
+  "CMakeFiles/bench_ext_signatures.dir/bench_ext_signatures.cpp.o.d"
+  "CMakeFiles/bench_ext_signatures.dir/common.cpp.o"
+  "CMakeFiles/bench_ext_signatures.dir/common.cpp.o.d"
+  "bench_ext_signatures"
+  "bench_ext_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tslp.dir/bench_ext_tslp.cpp.o"
+  "CMakeFiles/bench_ext_tslp.dir/bench_ext_tslp.cpp.o.d"
+  "CMakeFiles/bench_ext_tslp.dir/common.cpp.o"
+  "CMakeFiles/bench_ext_tslp.dir/common.cpp.o.d"
+  "bench_ext_tslp"
+  "bench_ext_tslp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tslp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_as_hops.dir/bench_fig1_as_hops.cpp.o"
+  "CMakeFiles/bench_fig1_as_hops.dir/bench_fig1_as_hops.cpp.o.d"
+  "CMakeFiles/bench_fig1_as_hops.dir/common.cpp.o"
+  "CMakeFiles/bench_fig1_as_hops.dir/common.cpp.o.d"
+  "bench_fig1_as_hops"
+  "bench_fig1_as_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_as_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_peer_coverage.dir/bench_fig3_peer_coverage.cpp.o"
+  "CMakeFiles/bench_fig3_peer_coverage.dir/bench_fig3_peer_coverage.cpp.o.d"
+  "CMakeFiles/bench_fig3_peer_coverage.dir/common.cpp.o"
+  "CMakeFiles/bench_fig3_peer_coverage.dir/common.cpp.o.d"
+  "bench_fig3_peer_coverage"
+  "bench_fig3_peer_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_peer_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_alexa_overlap.dir/bench_fig4_alexa_overlap.cpp.o"
+  "CMakeFiles/bench_fig4_alexa_overlap.dir/bench_fig4_alexa_overlap.cpp.o.d"
+  "CMakeFiles/bench_fig4_alexa_overlap.dir/common.cpp.o"
+  "CMakeFiles/bench_fig4_alexa_overlap.dir/common.cpp.o.d"
+  "bench_fig4_alexa_overlap"
+  "bench_fig4_alexa_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_alexa_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_diurnal.dir/bench_fig5_diurnal.cpp.o"
+  "CMakeFiles/bench_fig5_diurnal.dir/bench_fig5_diurnal.cpp.o.d"
+  "CMakeFiles/bench_fig5_diurnal.dir/common.cpp.o"
+  "CMakeFiles/bench_fig5_diurnal.dir/common.cpp.o.d"
+  "bench_fig5_diurnal"
+  "bench_fig5_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mlab_report.dir/bench_mlab_report.cpp.o"
+  "CMakeFiles/bench_mlab_report.dir/bench_mlab_report.cpp.o.d"
+  "CMakeFiles/bench_mlab_report.dir/common.cpp.o"
+  "CMakeFiles/bench_mlab_report.dir/common.cpp.o.d"
+  "bench_mlab_report"
+  "bench_mlab_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mlab_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec41_matching.dir/bench_sec41_matching.cpp.o"
+  "CMakeFiles/bench_sec41_matching.dir/bench_sec41_matching.cpp.o.d"
+  "CMakeFiles/bench_sec41_matching.dir/common.cpp.o"
+  "CMakeFiles/bench_sec41_matching.dir/common.cpp.o.d"
+  "bench_sec41_matching"
+  "bench_sec41_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec41_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec54_snapshots.cpp" "bench/CMakeFiles/bench_sec54_snapshots.dir/bench_sec54_snapshots.cpp.o" "gcc" "bench/CMakeFiles/bench_sec54_snapshots.dir/bench_sec54_snapshots.cpp.o.d"
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/bench_sec54_snapshots.dir/common.cpp.o" "gcc" "bench/CMakeFiles/bench_sec54_snapshots.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netcong_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/netcong_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/netcong_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/netcong_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netcong_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/netcong_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netcong_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netcong_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netcong_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

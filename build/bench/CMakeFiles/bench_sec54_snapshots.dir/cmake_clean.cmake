@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_snapshots.dir/bench_sec54_snapshots.cpp.o"
+  "CMakeFiles/bench_sec54_snapshots.dir/bench_sec54_snapshots.cpp.o.d"
+  "CMakeFiles/bench_sec54_snapshots.dir/common.cpp.o"
+  "CMakeFiles/bench_sec54_snapshots.dir/common.cpp.o.d"
+  "bench_sec54_snapshots"
+  "bench_sec54_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

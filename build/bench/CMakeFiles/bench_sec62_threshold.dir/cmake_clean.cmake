@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_threshold.dir/bench_sec62_threshold.cpp.o"
+  "CMakeFiles/bench_sec62_threshold.dir/bench_sec62_threshold.cpp.o.d"
+  "CMakeFiles/bench_sec62_threshold.dir/common.cpp.o"
+  "CMakeFiles/bench_sec62_threshold.dir/common.cpp.o.d"
+  "bench_sec62_threshold"
+  "bench_sec62_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

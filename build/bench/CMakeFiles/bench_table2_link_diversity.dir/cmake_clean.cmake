@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_link_diversity.dir/bench_table2_link_diversity.cpp.o"
+  "CMakeFiles/bench_table2_link_diversity.dir/bench_table2_link_diversity.cpp.o.d"
+  "CMakeFiles/bench_table2_link_diversity.dir/common.cpp.o"
+  "CMakeFiles/bench_table2_link_diversity.dir/common.cpp.o.d"
+  "bench_table2_link_diversity"
+  "bench_table2_link_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_link_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bdrmap.dir/bench_table3_bdrmap.cpp.o"
+  "CMakeFiles/bench_table3_bdrmap.dir/bench_table3_bdrmap.cpp.o.d"
+  "CMakeFiles/bench_table3_bdrmap.dir/common.cpp.o"
+  "CMakeFiles/bench_table3_bdrmap.dir/common.cpp.o.d"
+  "bench_table3_bdrmap"
+  "bench_table3_bdrmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bdrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

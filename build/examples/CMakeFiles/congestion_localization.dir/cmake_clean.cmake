@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_localization.dir/congestion_localization.cpp.o"
+  "CMakeFiles/congestion_localization.dir/congestion_localization.cpp.o.d"
+  "congestion_localization"
+  "congestion_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

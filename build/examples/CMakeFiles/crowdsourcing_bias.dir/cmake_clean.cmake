@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowdsourcing_bias.dir/crowdsourcing_bias.cpp.o"
+  "CMakeFiles/crowdsourcing_bias.dir/crowdsourcing_bias.cpp.o.d"
+  "crowdsourcing_bias"
+  "crowdsourcing_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowdsourcing_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

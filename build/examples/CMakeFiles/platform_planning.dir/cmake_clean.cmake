@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_planning.dir/platform_planning.cpp.o"
+  "CMakeFiles/platform_planning.dir/platform_planning.cpp.o.d"
+  "platform_planning"
+  "platform_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

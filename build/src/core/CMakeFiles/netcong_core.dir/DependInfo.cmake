@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adjacency.cpp" "src/core/CMakeFiles/netcong_core.dir/adjacency.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/adjacency.cpp.o.d"
+  "/root/repo/src/core/as_tomography.cpp" "src/core/CMakeFiles/netcong_core.dir/as_tomography.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/as_tomography.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/netcong_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/diurnal.cpp" "src/core/CMakeFiles/netcong_core.dir/diurnal.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/diurnal.cpp.o.d"
+  "/root/repo/src/core/link_diversity.cpp" "src/core/CMakeFiles/netcong_core.dir/link_diversity.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/link_diversity.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/netcong_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/signatures.cpp" "src/core/CMakeFiles/netcong_core.dir/signatures.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/signatures.cpp.o.d"
+  "/root/repo/src/core/stratify.cpp" "src/core/CMakeFiles/netcong_core.dir/stratify.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/stratify.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/core/CMakeFiles/netcong_core.dir/threshold.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/threshold.cpp.o.d"
+  "/root/repo/src/core/tomography.cpp" "src/core/CMakeFiles/netcong_core.dir/tomography.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/tomography.cpp.o.d"
+  "/root/repo/src/core/tslp_analysis.cpp" "src/core/CMakeFiles/netcong_core.dir/tslp_analysis.cpp.o" "gcc" "src/core/CMakeFiles/netcong_core.dir/tslp_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/infer/CMakeFiles/netcong_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/netcong_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/netcong_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netcong_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netcong_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netcong_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netcong_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/netcong_route.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_core.dir/adjacency.cpp.o"
+  "CMakeFiles/netcong_core.dir/adjacency.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/as_tomography.cpp.o"
+  "CMakeFiles/netcong_core.dir/as_tomography.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/coverage.cpp.o"
+  "CMakeFiles/netcong_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/diurnal.cpp.o"
+  "CMakeFiles/netcong_core.dir/diurnal.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/link_diversity.cpp.o"
+  "CMakeFiles/netcong_core.dir/link_diversity.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/report.cpp.o"
+  "CMakeFiles/netcong_core.dir/report.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/signatures.cpp.o"
+  "CMakeFiles/netcong_core.dir/signatures.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/stratify.cpp.o"
+  "CMakeFiles/netcong_core.dir/stratify.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/threshold.cpp.o"
+  "CMakeFiles/netcong_core.dir/threshold.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/tomography.cpp.o"
+  "CMakeFiles/netcong_core.dir/tomography.cpp.o.d"
+  "CMakeFiles/netcong_core.dir/tslp_analysis.cpp.o"
+  "CMakeFiles/netcong_core.dir/tslp_analysis.cpp.o.d"
+  "libnetcong_core.a"
+  "libnetcong_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

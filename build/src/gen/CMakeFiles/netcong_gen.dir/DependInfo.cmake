@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/address_alloc.cpp" "src/gen/CMakeFiles/netcong_gen.dir/address_alloc.cpp.o" "gcc" "src/gen/CMakeFiles/netcong_gen.dir/address_alloc.cpp.o.d"
+  "/root/repo/src/gen/cities.cpp" "src/gen/CMakeFiles/netcong_gen.dir/cities.cpp.o" "gcc" "src/gen/CMakeFiles/netcong_gen.dir/cities.cpp.o.d"
+  "/root/repo/src/gen/paper_data.cpp" "src/gen/CMakeFiles/netcong_gen.dir/paper_data.cpp.o" "gcc" "src/gen/CMakeFiles/netcong_gen.dir/paper_data.cpp.o.d"
+  "/root/repo/src/gen/profiles.cpp" "src/gen/CMakeFiles/netcong_gen.dir/profiles.cpp.o" "gcc" "src/gen/CMakeFiles/netcong_gen.dir/profiles.cpp.o.d"
+  "/root/repo/src/gen/workload.cpp" "src/gen/CMakeFiles/netcong_gen.dir/workload.cpp.o" "gcc" "src/gen/CMakeFiles/netcong_gen.dir/workload.cpp.o.d"
+  "/root/repo/src/gen/world.cpp" "src/gen/CMakeFiles/netcong_gen.dir/world.cpp.o" "gcc" "src/gen/CMakeFiles/netcong_gen.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/netcong_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netcong_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netcong_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/netcong_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netcong_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_gen.dir/address_alloc.cpp.o"
+  "CMakeFiles/netcong_gen.dir/address_alloc.cpp.o.d"
+  "CMakeFiles/netcong_gen.dir/cities.cpp.o"
+  "CMakeFiles/netcong_gen.dir/cities.cpp.o.d"
+  "CMakeFiles/netcong_gen.dir/paper_data.cpp.o"
+  "CMakeFiles/netcong_gen.dir/paper_data.cpp.o.d"
+  "CMakeFiles/netcong_gen.dir/profiles.cpp.o"
+  "CMakeFiles/netcong_gen.dir/profiles.cpp.o.d"
+  "CMakeFiles/netcong_gen.dir/workload.cpp.o"
+  "CMakeFiles/netcong_gen.dir/workload.cpp.o.d"
+  "CMakeFiles/netcong_gen.dir/world.cpp.o"
+  "CMakeFiles/netcong_gen.dir/world.cpp.o.d"
+  "libnetcong_gen.a"
+  "libnetcong_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

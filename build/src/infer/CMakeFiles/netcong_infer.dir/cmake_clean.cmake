@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_infer.dir/alias.cpp.o"
+  "CMakeFiles/netcong_infer.dir/alias.cpp.o.d"
+  "CMakeFiles/netcong_infer.dir/bdrmap.cpp.o"
+  "CMakeFiles/netcong_infer.dir/bdrmap.cpp.o.d"
+  "CMakeFiles/netcong_infer.dir/datasets.cpp.o"
+  "CMakeFiles/netcong_infer.dir/datasets.cpp.o.d"
+  "CMakeFiles/netcong_infer.dir/mapit.cpp.o"
+  "CMakeFiles/netcong_infer.dir/mapit.cpp.o.d"
+  "libnetcong_infer.a"
+  "libnetcong_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

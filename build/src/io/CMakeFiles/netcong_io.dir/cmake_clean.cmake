@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_io.dir/export.cpp.o"
+  "CMakeFiles/netcong_io.dir/export.cpp.o.d"
+  "libnetcong_io.a"
+  "libnetcong_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetcong_io.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/alexa.cpp" "src/measure/CMakeFiles/netcong_measure.dir/alexa.cpp.o" "gcc" "src/measure/CMakeFiles/netcong_measure.dir/alexa.cpp.o.d"
+  "/root/repo/src/measure/ark.cpp" "src/measure/CMakeFiles/netcong_measure.dir/ark.cpp.o" "gcc" "src/measure/CMakeFiles/netcong_measure.dir/ark.cpp.o.d"
+  "/root/repo/src/measure/matching.cpp" "src/measure/CMakeFiles/netcong_measure.dir/matching.cpp.o" "gcc" "src/measure/CMakeFiles/netcong_measure.dir/matching.cpp.o.d"
+  "/root/repo/src/measure/ndt.cpp" "src/measure/CMakeFiles/netcong_measure.dir/ndt.cpp.o" "gcc" "src/measure/CMakeFiles/netcong_measure.dir/ndt.cpp.o.d"
+  "/root/repo/src/measure/platform.cpp" "src/measure/CMakeFiles/netcong_measure.dir/platform.cpp.o" "gcc" "src/measure/CMakeFiles/netcong_measure.dir/platform.cpp.o.d"
+  "/root/repo/src/measure/traceroute.cpp" "src/measure/CMakeFiles/netcong_measure.dir/traceroute.cpp.o" "gcc" "src/measure/CMakeFiles/netcong_measure.dir/traceroute.cpp.o.d"
+  "/root/repo/src/measure/tslp.cpp" "src/measure/CMakeFiles/netcong_measure.dir/tslp.cpp.o" "gcc" "src/measure/CMakeFiles/netcong_measure.dir/tslp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/netcong_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netcong_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/netcong_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/netcong_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netcong_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netcong_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

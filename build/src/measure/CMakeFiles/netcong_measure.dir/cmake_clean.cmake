@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_measure.dir/alexa.cpp.o"
+  "CMakeFiles/netcong_measure.dir/alexa.cpp.o.d"
+  "CMakeFiles/netcong_measure.dir/ark.cpp.o"
+  "CMakeFiles/netcong_measure.dir/ark.cpp.o.d"
+  "CMakeFiles/netcong_measure.dir/matching.cpp.o"
+  "CMakeFiles/netcong_measure.dir/matching.cpp.o.d"
+  "CMakeFiles/netcong_measure.dir/ndt.cpp.o"
+  "CMakeFiles/netcong_measure.dir/ndt.cpp.o.d"
+  "CMakeFiles/netcong_measure.dir/platform.cpp.o"
+  "CMakeFiles/netcong_measure.dir/platform.cpp.o.d"
+  "CMakeFiles/netcong_measure.dir/traceroute.cpp.o"
+  "CMakeFiles/netcong_measure.dir/traceroute.cpp.o.d"
+  "CMakeFiles/netcong_measure.dir/tslp.cpp.o"
+  "CMakeFiles/netcong_measure.dir/tslp.cpp.o.d"
+  "libnetcong_measure.a"
+  "libnetcong_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

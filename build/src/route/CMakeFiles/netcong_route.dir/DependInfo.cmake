@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/bgp.cpp" "src/route/CMakeFiles/netcong_route.dir/bgp.cpp.o" "gcc" "src/route/CMakeFiles/netcong_route.dir/bgp.cpp.o.d"
+  "/root/repo/src/route/forwarding.cpp" "src/route/CMakeFiles/netcong_route.dir/forwarding.cpp.o" "gcc" "src/route/CMakeFiles/netcong_route.dir/forwarding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/netcong_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netcong_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

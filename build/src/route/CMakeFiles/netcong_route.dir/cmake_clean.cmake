@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_route.dir/bgp.cpp.o"
+  "CMakeFiles/netcong_route.dir/bgp.cpp.o.d"
+  "CMakeFiles/netcong_route.dir/forwarding.cpp.o"
+  "CMakeFiles/netcong_route.dir/forwarding.cpp.o.d"
+  "libnetcong_route.a"
+  "libnetcong_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetcong_route.a"
+)

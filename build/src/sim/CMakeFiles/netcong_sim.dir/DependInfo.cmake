@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/diurnal.cpp" "src/sim/CMakeFiles/netcong_sim.dir/diurnal.cpp.o" "gcc" "src/sim/CMakeFiles/netcong_sim.dir/diurnal.cpp.o.d"
+  "/root/repo/src/sim/packet/dumbbell.cpp" "src/sim/CMakeFiles/netcong_sim.dir/packet/dumbbell.cpp.o" "gcc" "src/sim/CMakeFiles/netcong_sim.dir/packet/dumbbell.cpp.o.d"
+  "/root/repo/src/sim/packet/event_queue.cpp" "src/sim/CMakeFiles/netcong_sim.dir/packet/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/netcong_sim.dir/packet/event_queue.cpp.o.d"
+  "/root/repo/src/sim/packet/queue.cpp" "src/sim/CMakeFiles/netcong_sim.dir/packet/queue.cpp.o" "gcc" "src/sim/CMakeFiles/netcong_sim.dir/packet/queue.cpp.o.d"
+  "/root/repo/src/sim/packet/tcp.cpp" "src/sim/CMakeFiles/netcong_sim.dir/packet/tcp.cpp.o" "gcc" "src/sim/CMakeFiles/netcong_sim.dir/packet/tcp.cpp.o.d"
+  "/root/repo/src/sim/throughput.cpp" "src/sim/CMakeFiles/netcong_sim.dir/throughput.cpp.o" "gcc" "src/sim/CMakeFiles/netcong_sim.dir/throughput.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/netcong_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/netcong_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/netcong_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/netcong_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netcong_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/netcong_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_sim.dir/diurnal.cpp.o"
+  "CMakeFiles/netcong_sim.dir/diurnal.cpp.o.d"
+  "CMakeFiles/netcong_sim.dir/packet/dumbbell.cpp.o"
+  "CMakeFiles/netcong_sim.dir/packet/dumbbell.cpp.o.d"
+  "CMakeFiles/netcong_sim.dir/packet/event_queue.cpp.o"
+  "CMakeFiles/netcong_sim.dir/packet/event_queue.cpp.o.d"
+  "CMakeFiles/netcong_sim.dir/packet/queue.cpp.o"
+  "CMakeFiles/netcong_sim.dir/packet/queue.cpp.o.d"
+  "CMakeFiles/netcong_sim.dir/packet/tcp.cpp.o"
+  "CMakeFiles/netcong_sim.dir/packet/tcp.cpp.o.d"
+  "CMakeFiles/netcong_sim.dir/throughput.cpp.o"
+  "CMakeFiles/netcong_sim.dir/throughput.cpp.o.d"
+  "CMakeFiles/netcong_sim.dir/traffic.cpp.o"
+  "CMakeFiles/netcong_sim.dir/traffic.cpp.o.d"
+  "libnetcong_sim.a"
+  "libnetcong_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/netcong_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/netcong_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/netcong_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/netcong_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/netcong_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/netcong_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/netcong_stats.dir/timeseries.cpp.o.d"
+  "libnetcong_stats.a"
+  "libnetcong_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

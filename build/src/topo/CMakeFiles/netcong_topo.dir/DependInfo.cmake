@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/dns.cpp" "src/topo/CMakeFiles/netcong_topo.dir/dns.cpp.o" "gcc" "src/topo/CMakeFiles/netcong_topo.dir/dns.cpp.o.d"
+  "/root/repo/src/topo/geo.cpp" "src/topo/CMakeFiles/netcong_topo.dir/geo.cpp.o" "gcc" "src/topo/CMakeFiles/netcong_topo.dir/geo.cpp.o.d"
+  "/root/repo/src/topo/ip.cpp" "src/topo/CMakeFiles/netcong_topo.dir/ip.cpp.o" "gcc" "src/topo/CMakeFiles/netcong_topo.dir/ip.cpp.o.d"
+  "/root/repo/src/topo/relationships.cpp" "src/topo/CMakeFiles/netcong_topo.dir/relationships.cpp.o" "gcc" "src/topo/CMakeFiles/netcong_topo.dir/relationships.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/netcong_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/netcong_topo.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netcong_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_topo.dir/dns.cpp.o"
+  "CMakeFiles/netcong_topo.dir/dns.cpp.o.d"
+  "CMakeFiles/netcong_topo.dir/geo.cpp.o"
+  "CMakeFiles/netcong_topo.dir/geo.cpp.o.d"
+  "CMakeFiles/netcong_topo.dir/ip.cpp.o"
+  "CMakeFiles/netcong_topo.dir/ip.cpp.o.d"
+  "CMakeFiles/netcong_topo.dir/relationships.cpp.o"
+  "CMakeFiles/netcong_topo.dir/relationships.cpp.o.d"
+  "CMakeFiles/netcong_topo.dir/topology.cpp.o"
+  "CMakeFiles/netcong_topo.dir/topology.cpp.o.d"
+  "libnetcong_topo.a"
+  "libnetcong_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

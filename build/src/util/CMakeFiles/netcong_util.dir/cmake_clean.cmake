@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_util.dir/csv.cpp.o"
+  "CMakeFiles/netcong_util.dir/csv.cpp.o.d"
+  "CMakeFiles/netcong_util.dir/logging.cpp.o"
+  "CMakeFiles/netcong_util.dir/logging.cpp.o.d"
+  "CMakeFiles/netcong_util.dir/rng.cpp.o"
+  "CMakeFiles/netcong_util.dir/rng.cpp.o.d"
+  "CMakeFiles/netcong_util.dir/strings.cpp.o"
+  "CMakeFiles/netcong_util.dir/strings.cpp.o.d"
+  "CMakeFiles/netcong_util.dir/table.cpp.o"
+  "CMakeFiles/netcong_util.dir/table.cpp.o.d"
+  "libnetcong_util.a"
+  "libnetcong_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_analyses_test.dir/core_analyses_test.cpp.o"
+  "CMakeFiles/core_analyses_test.dir/core_analyses_test.cpp.o.d"
+  "CMakeFiles/core_analyses_test.dir/helpers.cpp.o"
+  "CMakeFiles/core_analyses_test.dir/helpers.cpp.o.d"
+  "core_analyses_test"
+  "core_analyses_test.pdb"
+  "core_analyses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_analyses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcong_cli.dir/netcong_cli.cpp.o"
+  "CMakeFiles/netcong_cli.dir/netcong_cli.cpp.o.d"
+  "netcong_cli"
+  "netcong_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcong_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
