@@ -1,0 +1,150 @@
+// Campaign-engine micro-bench: wall-clock of the month-long crowdsourced
+// NDT campaign (the hot path every experiment bench funnels through), run
+//   (a) serially with no path cache — the seed-equivalent reference, and
+//   (b) with the parallel two-phase engine plus a shared PathCache.
+// Emits BENCH_campaign.json with both timings, the speedup, and the path
+// cache hit rate so later PRs have a perf trajectory. The two runs must
+// produce identical results (the engine is deterministic across thread
+// counts and with/without the cache); this is cross-checked here and
+// enforced exhaustively by campaign_parallel_test.
+
+#include <cstdio>
+#include <thread>
+
+#include "common.h"
+#include "gen/workload.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace {
+
+// Order-independent fingerprint of campaign output (tests and traceroutes
+// are compared in full by the unit tests; the bench just cross-checks).
+double fingerprint(const netcong::measure::CampaignResult& r) {
+  double acc = 0.0;
+  for (const auto& t : r.tests) {
+    acc += t.download_mbps + t.upload_mbps + t.flow_rtt_ms +
+           static_cast<double>(t.truth_path.links.size());
+  }
+  for (const auto& tr : r.traceroutes) {
+    acc += static_cast<double>(tr.hops.size()) + tr.utc_time_hours;
+  }
+  acc += static_cast<double>(r.traceroutes_skipped_busy +
+                             r.traceroutes_skipped_cached +
+                             r.traceroutes_failed);
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace netcong;
+
+  bench::print_header("BENCH campaign",
+                      "parallel NDT campaign engine vs. serial reference");
+
+  bench::Context ctx(bench::bench_config());
+  const int days = 28;
+  const double tests_per_client = 10.0;
+  const std::uint64_t seed = 7;
+
+  util::Rng schedule_rng(seed);
+  gen::WorkloadConfig wl;
+  wl.days = days;
+  wl.mean_tests_per_client = tests_per_client;
+  auto schedule =
+      gen::crowdsourced_schedule(ctx.world, ctx.world.clients, wl,
+                                 schedule_rng);
+  std::printf("schedule: %zu requests over %d days (%zu clients)\n",
+              schedule.size(), days, ctx.world.clients.size());
+
+  measure::Platform mlab = ctx.mlab_platform();
+  bench::BenchRecorder rec("campaign");
+
+  // (a) serial reference: one worker, no path cache — the cost every test
+  // paid in the seed implementation.
+  measure::CampaignConfig serial_cfg;
+  serial_cfg.threads = 1;
+  measure::NdtCampaign serial_campaign(ctx.world, ctx.fwd, ctx.model, mlab,
+                                       serial_cfg);
+  util::Rng serial_rng(seed);
+  bench::Stopwatch sw_serial;
+  auto serial = serial_campaign.run(schedule, serial_rng);
+  const double serial_ms = sw_serial.elapsed_ms();
+  rec.record("serial", serial_ms);
+  rec.stat("serial", "tests", static_cast<double>(serial.tests.size()));
+  rec.stat("serial", "traceroutes",
+           static_cast<double>(serial.traceroutes.size()));
+
+  // (b) parallel engine with a shared path cache.
+  const int threads = util::default_thread_count();
+  measure::CampaignConfig par_cfg;
+  par_cfg.threads = threads;
+  measure::NdtCampaign par_campaign(ctx.world, ctx.fwd, ctx.model, mlab,
+                                    par_cfg);
+  route::PathCache cache(ctx.fwd);
+  par_campaign.set_path_cache(&cache);
+  util::Rng par_rng(seed);
+  bench::Stopwatch sw_par;
+  auto parallel = par_campaign.run(schedule, par_rng);
+  const double parallel_ms = sw_par.elapsed_ms();
+  rec.record("parallel", parallel_ms);
+  route::PathCache::Stats cs = cache.stats();
+  rec.stat("parallel", "threads", threads);
+  rec.stat("parallel", "hardware_threads",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  rec.stat("parallel", "tests", static_cast<double>(parallel.tests.size()));
+  rec.stat("parallel", "cache_hits", static_cast<double>(cs.hits));
+  rec.stat("parallel", "cache_misses", static_cast<double>(cs.misses));
+  rec.stat("parallel", "cache_hit_rate", cs.hit_rate());
+  rec.stat("parallel", "cached_paths", static_cast<double>(cache.size()));
+
+  bool identical = fingerprint(serial) == fingerprint(parallel) &&
+                   serial.tests.size() == parallel.tests.size() &&
+                   serial.traceroutes.size() == parallel.traceroutes.size();
+  std::printf("determinism cross-check: %s\n",
+              identical ? "identical output" : "MISMATCH");
+
+  // (c) cache-only serial run, isolating the PathCache win from threading
+  // (relevant on small machines where the parallel phase cannot fan out).
+  measure::CampaignConfig cached_cfg;
+  cached_cfg.threads = 1;
+  measure::NdtCampaign cached_campaign(ctx.world, ctx.fwd, ctx.model, mlab,
+                                       cached_cfg);
+  route::PathCache cache2(ctx.fwd);
+  cached_campaign.set_path_cache(&cache2);
+  util::Rng cached_rng(seed);
+  bench::Stopwatch sw_cached;
+  auto cached = cached_campaign.run(schedule, cached_rng);
+  const double cached_ms = sw_cached.elapsed_ms();
+  rec.record("serial_cached", cached_ms);
+  rec.stat("serial_cached", "cache_hit_rate", cache2.stats().hit_rate());
+  rec.stat("serial_cached", "tests",
+           static_cast<double>(cached.tests.size()));
+
+  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  const double cache_speedup = cached_ms > 0.0 ? serial_ms / cached_ms : 0.0;
+  rec.stat("parallel", "speedup_vs_serial", speedup);
+  rec.stat("serial_cached", "speedup_vs_serial", cache_speedup);
+  rec.write();
+  if (!identical) {
+    std::printf("ERROR: parallel output diverged from serial reference\n");
+    return 1;
+  }
+  std::printf("tests: %zu, traceroutes: %zu (busy-skipped %zu, cached %zu, "
+              "failed %zu)\n",
+              parallel.tests.size(), parallel.traceroutes.size(),
+              parallel.traceroutes_skipped_busy,
+              parallel.traceroutes_skipped_cached,
+              parallel.traceroutes_failed);
+  std::printf("path cache: %.1f%% hit rate (%llu hits / %llu misses)\n",
+              100.0 * cs.hit_rate(),
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses));
+  std::printf("serial %.0f ms | serial+cache %.0f ms | parallel+cache %.0f ms\n",
+              serial_ms, cached_ms, parallel_ms);
+  bench::print_footnote(util::format(
+      "speedup vs. serial seed: %.2fx with %d thread(s); cache-only: %.2fx",
+      speedup, threads, cache_speedup));
+  return 0;
+}

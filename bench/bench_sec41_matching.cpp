@@ -43,6 +43,7 @@ int main() {
   plain_cc.traceroute_cache_minutes = 20.0;
   measure::NdtCampaign plain_campaign(ctx.world, ctx.fwd, ctx.model, mlab,
                                       plain_cc);
+  plain_campaign.set_path_cache(&ctx.path_cache);
   auto plain_result = plain_campaign.run(plain, rng);
 
   measure::CampaignConfig battle_cc;
@@ -51,6 +52,7 @@ int main() {
   battle_cc.traceroute_cache_minutes = 20.0;
   measure::NdtCampaign battle_campaign(ctx.world, ctx.fwd, ctx.model, mlab,
                                        battle_cc);
+  battle_campaign.set_path_cache(&ctx.path_cache);
   auto battle_result = battle_campaign.run(battle, rng);
 
   measure::CampaignResult merged;

@@ -28,6 +28,7 @@ Context::Context(const gen::GeneratorConfig& cfg)
     : world(gen::generate_world(cfg)),
       bgp(*world.topo),
       fwd(*world.topo, bgp),
+      path_cache(fwd),
       model(*world.topo, *world.traffic),
       ip2as(*world.topo),
       orgs(*world.topo) {
@@ -59,6 +60,7 @@ CampaignData run_standard_campaign(Context& ctx, int days,
   measure::CampaignConfig cc;
   measure::Platform mlab = ctx.mlab_platform();
   measure::NdtCampaign campaign(ctx.world, ctx.fwd, ctx.model, mlab, cc);
+  campaign.set_path_cache(&ctx.path_cache);
 
   CampaignData data;
   data.result = campaign.run(schedule, rng);
@@ -115,6 +117,46 @@ void print_footnote(const std::string& text) {
 
 std::string pct(double value, int decimals) {
   return util::format("%.*f%%", decimals, value);
+}
+
+BenchRecorder::Entry& BenchRecorder::entry(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  entries_.push_back(Entry{name, 0.0, {}});
+  return entries_.back();
+}
+
+void BenchRecorder::record(const std::string& name, double wall_ms) {
+  entry(name).wall_ms = wall_ms;
+}
+
+void BenchRecorder::stat(const std::string& name, const std::string& key,
+                         double value) {
+  entry(name).stats.emplace_back(key, value);
+}
+
+void BenchRecorder::write() const {
+  std::string path = "BENCH_" + label_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "BenchRecorder: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"label\": \"%s\",\n  \"entries\": [\n",
+               label_.c_str());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"wall_ms\": %.3f",
+                 e.name.c_str(), e.wall_ms);
+    for (const auto& [key, value] : e.stats) {
+      std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench timings written to %s\n", path.c_str());
 }
 
 }  // namespace netcong::bench

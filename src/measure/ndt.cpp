@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/parallel.h"
+
 namespace netcong::measure {
+
+namespace {
+// The NDT server's data port (constant across tests; the client side's
+// ephemeral port carries the ECMP bucket).
+constexpr std::uint16_t kNdtServerPort = 3001;
+
+// Disjoint fork-stream families, one per campaign phase, so a draw in one
+// phase can never shift another phase's randomness. Ids stay far below 2^40.
+constexpr std::uint64_t kStreamRequest = 1ull << 40;
+constexpr std::uint64_t kStreamTest = 2ull << 40;
+constexpr std::uint64_t kStreamTrace = 3ull << 40;
+constexpr std::uint64_t kStreamProbe = 4ull << 40;
+}  // namespace
 
 NdtCampaign::NdtCampaign(const gen::World& world, const route::Forwarder& fwd,
                          const sim::ThroughputModel& model,
@@ -29,12 +44,12 @@ NdtRecord NdtCampaign::run_single(std::uint32_t client, std::uint32_t server,
 
   // Downstream: data flows server -> client; the path is computed from the
   // server, matching the direction M-Lab's server-side traceroute sees.
-  route::FlowKey key;
-  key.src = topo.host(server).addr;
-  key.dst = topo.host(client).addr;
-  key.src_port = 3001;
-  key.dst_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
-  route::RouterPath down = fwd_->path(server, key.dst, key);
+  int bucket = static_cast<int>(
+      rng.uniform_int(0, std::max(config_.ecmp_buckets, 1) - 1));
+  route::FlowKey key = route::PathCache::ecmp_key(
+      topo.host(server).addr, topo.host(client).addr, kNdtServerPort, bucket);
+  route::RouterPath down = cache_ ? cache_->path(server, key.dst, key)
+                                  : fwd_->path(server, key.dst, key);
   rec.truth_path = down;
   if (!down.valid) return rec;
 
@@ -47,68 +62,114 @@ NdtRecord NdtCampaign::run_single(std::uint32_t client, std::uint32_t server,
   rec.truth_bottleneck = est.bottleneck;
   rec.truth_access_limited = est.access_limited;
 
-  // Upstream: bounded by the client's upload tier; reuse the same path (the
-  // reverse path may differ in reality, but NDT upload is almost always
-  // access-limited, which this preserves).
-  sim::ThroughputEstimate up = model_->estimate(
-      down, topo.host(client), topo.host(server), utc_time_hours, rng);
+  // Upstream: bounded by the client's upload tier; the network leg reuses
+  // the downstream estimate (the reverse path may differ in reality, but
+  // NDT upload is almost always access-limited, which this preserves).
   rec.upload_mbps =
       std::min(topo.host(client).tier.up_mbps * topo.host(client).home_quality,
-               up.goodput_mbps);
+               est.goodput_mbps);
   return rec;
 }
 
 CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
                                 util::Rng& rng) const {
   CampaignResult out;
-  // Per-server time when the single-threaded traceroute daemon frees up.
-  std::unordered_map<std::uint32_t, double> tracer_busy_until;
-  // Per-(server, client) time of the last traceroute (the daemon's cache).
-  std::unordered_map<std::uint64_t, double> last_traced;
-  std::uint64_t next_id = 1;
 
-  for (const auto& req : schedule) {
+  // RNG discipline: every stochastic decision draws from a generator forked
+  // off `root` by a stable id (request index or test id), never from one
+  // shared sequential stream. Each phase's draws are therefore independent
+  // of the other phases and of how the parallel phase is scheduled, making
+  // the campaign output bit-identical for any worker count.
+  const util::Rng root = rng.fork("ndt-campaign");
+
+  // Phase 1 (sequential, cheap): expand requests into a flat test plan.
+  struct Planned {
+    std::uint32_t client = 0;
+    std::uint32_t server = 0;
+    double when = 0.0;
+    std::uint64_t id = 0;
+  };
+  std::vector<Planned> plan;
+  plan.reserve(schedule.size() *
+               static_cast<std::size_t>(
+                   std::max(config_.servers_per_request, 1)));
+  std::uint64_t next_id = 1;
+  for (std::size_t r = 0; r < schedule.size(); ++r) {
+    const gen::TestRequest& req = schedule[r];
+    util::Rng req_rng = root.fork(kStreamRequest + r);
     std::vector<std::uint32_t> servers;
     if (config_.servers_per_request <= 1) {
-      servers.push_back(platform_->select_server(req.client, rng));
+      servers.push_back(platform_->select_server(req.client, req_rng));
     } else {
       servers = platform_->select_servers_region(
-          req.client, config_.servers_per_request, rng);
+          req.client, config_.servers_per_request, req_rng);
     }
     double when = req.utc_time_hours;
     for (std::uint32_t server : servers) {
-      NdtRecord rec = run_single(req.client, server, when, next_id++, rng);
-      out.tests.push_back(rec);
-
-      // Server-side Paris traceroute toward the client: skipped when the
-      // single-threaded daemon is busy, when it traced this client recently
-      // (cache), or when the collection plainly fails (Section 4.1).
-      double tr_start = when + config_.ndt_duration_s / 3600.0;
-      double& busy = tracer_busy_until[server];
-      std::uint64_t cache_key =
-          (static_cast<std::uint64_t>(server) << 32) | req.client;
-      auto cached = last_traced.find(cache_key);
-      if (cached != last_traced.end() &&
-          tr_start - cached->second <
-              config_.traceroute_cache_minutes / 60.0) {
-        ++out.traceroutes_skipped_cached;
-      } else if (busy > tr_start) {
-        ++out.traceroutes_skipped_busy;
-      } else if (rng.chance(config_.traceroute_failure_prob)) {
-        ++out.traceroutes_failed;
-      } else {
-        TracerouteRecord tr = run_traceroute(
-            *world_->topo, *fwd_, server, world_->topo->host(req.client).addr,
-            tr_start, config_.traceroute, rng);
-        out.traceroutes.push_back(std::move(tr));
-        double dur_s = rng.uniform(config_.traceroute_min_s,
-                                   config_.traceroute_max_s);
-        busy = tr_start + dur_s / 3600.0;
-        last_traced[cache_key] = tr_start;
-      }
+      plan.push_back(Planned{req.client, server, when, next_id++});
       when += config_.ndt_duration_s / 3600.0;
     }
   }
+
+  // Phase 2 (parallel): simulate every test. Each slot is written by exactly
+  // one iteration and each test's randomness comes from a fork on its id.
+  out.tests.resize(plan.size());
+  util::parallel_for(plan.size(), config_.threads, [&](std::size_t i) {
+    const Planned& p = plan[i];
+    util::Rng test_rng = root.fork(kStreamTest + p.id);
+    out.tests[i] = run_single(p.client, p.server, p.when, p.id, test_rng);
+  });
+
+  // Phase 3a (sequential, cheap): the server-side traceroute daemons'
+  // scheduling. A traceroute toward the client is skipped when the
+  // single-threaded daemon is busy, when it traced this client recently
+  // (cache), or when the collection plainly fails (Section 4.1). The
+  // busy/cache state is time-ordered per server, so this pass stays serial
+  // and deterministic. Only the *decision* is made here — the daemon's
+  // occupancy depends on a drawn trace duration, never on the trace's
+  // contents — so the simulation of the selected traceroutes can run in
+  // parallel afterwards.
+  std::unordered_map<std::uint32_t, double> tracer_busy_until;
+  std::unordered_map<std::uint64_t, double> last_traced;
+  std::vector<std::size_t> traced;  // indices into plan, in time order
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const Planned& p = plan[i];
+    util::Rng tr_rng = root.fork(kStreamTrace + p.id);
+    double tr_start = p.when + config_.ndt_duration_s / 3600.0;
+    double& busy = tracer_busy_until[p.server];
+    std::uint64_t cache_key =
+        (static_cast<std::uint64_t>(p.server) << 32) | p.client;
+    auto cached = last_traced.find(cache_key);
+    if (cached != last_traced.end() &&
+        tr_start - cached->second <
+            config_.traceroute_cache_minutes / 60.0) {
+      ++out.traceroutes_skipped_cached;
+    } else if (busy > tr_start) {
+      ++out.traceroutes_skipped_busy;
+    } else if (tr_rng.chance(config_.traceroute_failure_prob)) {
+      ++out.traceroutes_failed;
+    } else {
+      double dur_s = tr_rng.uniform(config_.traceroute_min_s,
+                                    config_.traceroute_max_s);
+      busy = tr_start + dur_s / 3600.0;
+      last_traced[cache_key] = tr_start;
+      traced.push_back(i);
+    }
+  }
+
+  // Phase 3b (parallel): simulate the selected traceroutes. Probe artifacts
+  // (stars, silent clients, missing PTRs) draw from their own fork stream,
+  // keyed on the test id, so the records are independent of worker count
+  // and of the scheduling draws above.
+  out.traceroutes.resize(traced.size());
+  util::parallel_for(traced.size(), config_.threads, [&](std::size_t t) {
+    const Planned& p = plan[traced[t]];
+    util::Rng probe_rng = root.fork(kStreamProbe + p.id);
+    double tr_start = p.when + config_.ndt_duration_s / 3600.0;
+    out.traceroutes[t] = run_traceroute(
+        *world_->topo, *fwd_, p.server, world_->topo->host(p.client).addr,
+        tr_start, config_.traceroute, probe_rng, cache_);
+  });
   return out;
 }
 

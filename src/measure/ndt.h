@@ -5,6 +5,18 @@
 // paper Section 2.1/4.1 — including the single-threaded traceroute daemon
 // that silently skips traceroutes when busy, which is why only ~71-76% of
 // NDT tests could be matched to a traceroute.
+//
+// The campaign engine runs in three phases:
+//   1. a sequential planning pass expanding requests into a flat test plan
+//      (server selection per request);
+//   2. a parallel test-simulation phase sharded across worker threads, each
+//      test seeded by Rng::fork on its test id — output is bit-identical
+//      for any thread count, including a fully serial run;
+//   3. the traceroute-daemon pass, split in two: a sequential scheduling
+//      sweep (whether a traceroute runs depends on when the previous one on
+//      the same server finished — inherently time-ordered per server),
+//      then a parallel pass simulating the selected traceroutes, whose
+//      probe artifacts draw from their own per-test fork stream.
 
 #include <vector>
 
@@ -13,6 +25,7 @@
 #include "measure/platform.h"
 #include "measure/traceroute.h"
 #include "route/forwarding.h"
+#include "route/path_cache.h"
 #include "sim/throughput.h"
 
 namespace netcong::measure {
@@ -53,6 +66,15 @@ struct CampaignConfig {
   // Daemon brownouts/overload: a due traceroute is silently dropped with
   // this probability (the platform's collection had documented gaps).
   double traceroute_failure_prob = 0.05;
+  // Distinct ephemeral "ECMP bucket" ports a test's flow key draws from.
+  // The router path depends on the port only through the flow hash, so a
+  // few representative ports preserve the per-pair ECMP path diversity of
+  // Section 4.3 while letting a PathCache hit on repeat pairs.
+  int ecmp_buckets = 8;
+  // Worker threads for the parallel test-simulation phase: 0 = default
+  // (NETCONG_THREADS environment variable, else hardware concurrency),
+  // 1 = fully serial. The output does not depend on this value.
+  int threads = 0;
   TracerouteOptions traceroute;
 };
 
@@ -70,7 +92,13 @@ class NdtCampaign {
               const sim::ThroughputModel& model, const Platform& platform,
               CampaignConfig config);
 
-  // Executes the schedule (must be time-sorted).
+  // Attaches a shared path memo (must outlive the campaign). Cached and
+  // uncached runs produce identical results; the cache only removes
+  // repeated path construction (see route::PathCache).
+  void set_path_cache(const route::PathCache* cache) { cache_ = cache; }
+
+  // Executes the schedule (must be time-sorted). Results are deterministic
+  // given the schedule and rng seed, independent of config.threads.
   CampaignResult run(const std::vector<gen::TestRequest>& schedule,
                      util::Rng& rng) const;
 
@@ -84,6 +112,7 @@ class NdtCampaign {
   const route::Forwarder* fwd_;
   const sim::ThroughputModel* model_;
   const Platform* platform_;
+  const route::PathCache* cache_ = nullptr;
   CampaignConfig config_;
 };
 

@@ -7,7 +7,8 @@ TracerouteRecord run_traceroute(const topo::Topology& topo,
                                 std::uint32_t src_host, topo::IpAddr dst,
                                 double utc_time_hours,
                                 const TracerouteOptions& options,
-                                util::Rng& rng) {
+                                util::Rng& rng,
+                                const route::PathCache* cache) {
   TracerouteRecord rec;
   rec.src_host = src_host;
   rec.dst = dst;
@@ -29,7 +30,8 @@ TracerouteRecord run_traceroute(const topo::Topology& topo,
     key.dst_port = static_cast<std::uint16_t>(rng.uniform_int(33434, 33534));
   }
 
-  route::RouterPath path = fwd.path(src_host, dst, key);
+  route::RouterPath path = cache ? cache->path(src_host, dst, key)
+                                 : fwd.path(src_host, dst, key);
   rec.truth = path;
   if (!path.valid) return rec;
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "route/forwarding.h"
+#include "route/path_cache.h"
 #include "sim/traffic.h"
 #include "topo/topology.h"
 #include "util/rng.h"
@@ -49,13 +50,17 @@ struct TracerouteOptions {
   const sim::TrafficModel* traffic = nullptr;
 };
 
-// Runs one traceroute along the forwarder's path.
+// Runs one traceroute along the forwarder's path. When a PathCache is
+// given, path construction is memoized through it (results are identical;
+// Paris traceroutes use a fixed flow key per (src, dst) pair, so repeat
+// traces hit the cache).
 TracerouteRecord run_traceroute(const topo::Topology& topo,
                                 const route::Forwarder& fwd,
                                 std::uint32_t src_host, topo::IpAddr dst,
                                 double utc_time_hours,
                                 const TracerouteOptions& options,
-                                util::Rng& rng);
+                                util::Rng& rng,
+                                const route::PathCache* cache = nullptr);
 
 // One latency probe (ping-style) to an arbitrary address: round-trip time
 // including the queueing delay of every link crossed (both directions are

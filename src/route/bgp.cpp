@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <deque>
+#include <mutex>
 #include <queue>
 
 namespace netcong::route {
@@ -124,14 +125,19 @@ BgpRouting::Tree BgpRouting::compute_tree(std::uint32_t d) const {
   return t;
 }
 
-const BgpRouting::Tree& BgpRouting::tree_for(Asn dst) const {
+std::shared_ptr<const BgpRouting::Tree> BgpRouting::tree_for(Asn dst) const {
   std::uint32_t d = index_.at(dst);
-  auto it = trees_.find(d);
-  if (it == trees_.end()) {
-    if (trees_.size() >= cache_cap_) trees_.clear();
-    it = trees_.emplace(d, std::make_unique<Tree>(compute_tree(d))).first;
+  {
+    std::shared_lock<std::shared_mutex> lk(trees_mu_);
+    auto it = trees_.find(d);
+    if (it != trees_.end()) return it->second;
   }
-  return *it->second;
+  // Compute outside the lock; a tree is a pure function of the destination,
+  // so concurrent misses build identical trees and the first insert wins.
+  auto tree = std::make_shared<const Tree>(compute_tree(d));
+  std::unique_lock<std::shared_mutex> lk(trees_mu_);
+  if (trees_.size() >= cache_cap_) trees_.clear();
+  return trees_.emplace(d, std::move(tree)).first->second;
 }
 
 void BgpRouting::warm(Asn dst) const { tree_for(dst); }
@@ -140,7 +146,8 @@ std::vector<Asn> BgpRouting::as_path(Asn src, Asn dst) const {
   auto sit = index_.find(src);
   auto dit = index_.find(dst);
   if (sit == index_.end() || dit == index_.end()) return {};
-  const Tree& t = tree_for(dst);
+  std::shared_ptr<const Tree> tp = tree_for(dst);
+  const Tree& t = *tp;
   std::uint32_t cur = sit->second;
   if (t.cls[cur] == RouteClass::kNone) return {};
   std::vector<Asn> path;
@@ -162,7 +169,7 @@ RouteClass BgpRouting::route_class(Asn src, Asn dst) const {
   auto sit = index_.find(src);
   auto dit = index_.find(dst);
   if (sit == index_.end() || dit == index_.end()) return RouteClass::kNone;
-  return tree_for(dst).cls[sit->second];
+  return tree_for(dst)->cls[sit->second];
 }
 
 bool is_valley_free(const topo::Topology& topo,

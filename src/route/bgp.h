@@ -9,13 +9,18 @@
 // Routes are computed per destination AS as a "routing tree" giving, for
 // every source AS, the next hop toward the destination. Trees are computed
 // lazily and cached, so a workload touching k destinations costs
-// O(k * (V + E)).
+// O(k * (V + E)). The tree cache is guarded by a reader-writer lock and
+// hands out shared ownership, so concurrent queries (e.g. from the
+// parallel campaign engine) are safe even across a cap eviction; a tree is
+// a pure function of the destination, so concurrent double-computation is
+// harmless.
 //
 // All resulting paths are valley-free by construction; this invariant is
 // checked by property tests.
 
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -50,7 +55,10 @@ class BgpRouting {
   // Forces computation of the routing tree for dst (useful for benches).
   void warm(topo::Asn dst) const;
 
-  std::size_t cached_tree_count() const { return trees_.size(); }
+  std::size_t cached_tree_count() const {
+    std::shared_lock<std::shared_mutex> lk(trees_mu_);
+    return trees_.size();
+  }
 
   // Bounds the routing-tree cache; when exceeded the cache is cleared
   // (recomputing a tree is O(V + E), far cheaper than holding thousands).
@@ -65,7 +73,7 @@ class BgpRouting {
   };
   static constexpr std::uint32_t kNoHop = 0xffffffffu;
 
-  const Tree& tree_for(topo::Asn dst) const;
+  std::shared_ptr<const Tree> tree_for(topo::Asn dst) const;
   Tree compute_tree(std::uint32_t dst_index) const;
 
   const topo::Topology* topo_;
@@ -78,7 +86,9 @@ class BgpRouting {
   };
   std::vector<std::vector<Neighbor>> adj_;
 
-  mutable std::unordered_map<std::uint32_t, std::unique_ptr<Tree>> trees_;
+  mutable std::shared_mutex trees_mu_;
+  mutable std::unordered_map<std::uint32_t, std::shared_ptr<const Tree>>
+      trees_;
   std::size_t cache_cap_ = 3000;
 };
 

@@ -1,0 +1,104 @@
+#include "route/path_cache.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace netcong::route {
+
+namespace {
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+PathCache::PathCache(const Forwarder& fwd, std::size_t num_shards)
+    : fwd_(&fwd) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+FlowKey PathCache::ecmp_key(topo::IpAddr src, topo::IpAddr dst,
+                            std::uint16_t src_port, int bucket) {
+  FlowKey key;
+  key.src = src;
+  key.dst = dst;
+  key.src_port = src_port;
+  key.dst_port =
+      static_cast<std::uint16_t>(kEphemeralPortBase + std::max(bucket, 0));
+  key.proto = 6;
+  return key;
+}
+
+PathCache::Key PathCache::make_key(std::uint32_t src_host, topo::IpAddr dst,
+                                   const FlowKey& key) {
+  Key k;
+  k.a = (static_cast<std::uint64_t>(src_host) << 32) | dst.value;
+  k.b = (static_cast<std::uint64_t>(key.src.value) << 32) | key.dst.value;
+  k.c = (static_cast<std::uint64_t>(key.src_port) << 32) |
+        (static_cast<std::uint64_t>(key.dst_port) << 16) | key.proto;
+  return k;
+}
+
+std::size_t PathCache::KeyHash::operator()(const Key& k) const {
+  return static_cast<std::size_t>(
+      mix64(k.a ^ mix64(k.b ^ mix64(k.c ^ 0x5bf03635f0935ad1ull))));
+}
+
+PathCache::Shard& PathCache::shard_for(const Key& k) const {
+  return *shards_[KeyHash{}(k) % shards_.size()];
+}
+
+RouterPath PathCache::path(std::uint32_t src_host, topo::IpAddr dst,
+                           const FlowKey& key) const {
+  Key k = make_key(src_host, dst, key);
+  Shard& shard = shard_for(k);
+  {
+    std::shared_lock<std::shared_mutex> lk(shard.mu);
+    auto it = shard.map.find(k);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Compute outside any lock; concurrent misses on the same key compute the
+  // same value (the path is a pure function of the arguments).
+  RouterPath p = fwd_->path(src_host, dst, key);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::shared_mutex> lk(shard.mu);
+    shard.map.emplace(k, p);
+  }
+  return p;
+}
+
+PathCache::Stats PathCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t PathCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lk(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+void PathCache::clear() {
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lk(shard->mu);
+    shard->map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace netcong::route

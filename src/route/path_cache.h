@@ -1,0 +1,100 @@
+#pragma once
+
+// A shared, thread-safe, read-mostly memo of Forwarder::path results.
+//
+// Router-level path construction is expensive — a BGP walk plus
+// hot-potato/ECMP scoring over every candidate interconnection link at each
+// AS hop — and the measurement workloads recompute identical paths over and
+// over: every repeat NDT test between a client/server pair, and every Paris
+// traceroute toward a recently tested client (Paris fixes the flow key, so
+// the key is a constant per (server, client) pair). PathCache memoizes the
+// exact result keyed on (src_host, dst, ECMP-relevant flow fields).
+//
+// Correctness and determinism: the cached value is a pure function of the
+// key — a miss computes Forwarder::path with the caller's own arguments —
+// so a cached lookup is bit-identical to the uncached call, concurrent
+// double-computation under races is harmless, and campaigns produce the
+// same output with or without the cache attached.
+//
+// ECMP bucketing: the path depends on the ephemeral port only through the
+// flow hash, so callers drawing ports from the full ~28k-wide ephemeral
+// range would essentially never hit. NdtCampaign instead draws one of a
+// small set of representative "ECMP bucket" ports (ecmp_key below); per
+// (src, dst) pair the cache then holds at most one path per bucket while
+// preserving the per-pair ECMP path diversity the paper's Section 4.3
+// analysis depends on.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "route/forwarding.h"
+#include "route/path.h"
+
+namespace netcong::route {
+
+class PathCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double hit_rate() const {
+      std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  // First ephemeral destination port used for ECMP bucket keys.
+  static constexpr std::uint16_t kEphemeralPortBase = 32768;
+
+  explicit PathCache(const Forwarder& fwd, std::size_t num_shards = 64);
+
+  // The TCP flow key representing ECMP bucket `bucket` of an (src, dst)
+  // address pair: a real flow's key with the ephemeral destination port
+  // pinned to the bucket's representative port.
+  static FlowKey ecmp_key(topo::IpAddr src, topo::IpAddr dst,
+                          std::uint16_t src_port, int bucket);
+
+  // Memoized Forwarder::path(src_host, dst, key); bit-identical to the
+  // uncached call for any key. Safe to call concurrently.
+  RouterPath path(std::uint32_t src_host, topo::IpAddr dst,
+                  const FlowKey& key) const;
+
+  Stats stats() const;
+
+  // Number of distinct paths currently cached.
+  std::size_t size() const;
+
+  // Drops all entries and resets the hit/miss counters.
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t a = 0;  // (src_host << 32) | dst
+    std::uint64_t b = 0;  // (key.src << 32) | key.dst
+    std::uint64_t c = 0;  // (src_port << 32) | (dst_port << 16) | proto
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, RouterPath, KeyHash> map;
+  };
+
+  static Key make_key(std::uint32_t src_host, topo::IpAddr dst,
+                      const FlowKey& key);
+  Shard& shard_for(const Key& k) const;
+
+  const Forwarder* fwd_;
+  // unique_ptr because shared_mutex is neither movable nor copyable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace netcong::route

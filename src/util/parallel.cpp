@@ -1,0 +1,132 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <latch>
+
+namespace netcong::util {
+
+namespace {
+thread_local bool tls_on_worker = false;
+}  // namespace
+
+int default_thread_count() {
+  if (const char* env = std::getenv("NETCONG_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  ensure_workers(threads > 0 ? threads : default_thread_count());
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ensure_workers(int threads) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (static_cast<int>(workers_.size()) < threads) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      task_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  int want = threads > 0 ? threads : default_thread_count();
+  std::size_t workers =
+      std::min(static_cast<std::size_t>(std::max(want, 1)), n);
+  if (workers <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensure_workers(static_cast<int>(workers));
+
+  std::atomic<std::size_t> next{0};
+  const std::size_t grain = std::max<std::size_t>(1, n / (workers * 8));
+  std::latch done(static_cast<std::ptrdiff_t>(workers));
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  auto body = [&] {
+    for (;;) {
+      std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) break;
+      std::size_t end = std::min(n, begin + grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    }
+    done.count_down();
+  };
+
+  // The calling thread works too: workers - 1 pool tasks plus this one.
+  for (std::size_t w = 0; w + 1 < workers; ++w) pool.submit(body);
+  body();
+  done.wait();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace netcong::util

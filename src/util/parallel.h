@@ -1,0 +1,79 @@
+#pragma once
+
+// A small reusable thread pool and a blocking parallel_for on top of it.
+//
+// Rules that keep netcong deterministic under parallelism:
+//  * parallel_for(n, threads, fn) promises only that fn(i) runs exactly once
+//    for every i in [0, n); callers must make fn(i) depend on i alone (e.g.
+//    seed per-item randomness with Rng::fork on the item id) so results are
+//    independent of the worker count and of scheduling order.
+//  * Shared mutable state written from fn must either be pre-sized and
+//    indexed by i (each slot written by exactly one call) or be a pure
+//    function of its key (see route::PathCache).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netcong::util {
+
+// Worker count used when a caller passes threads == 0: the NETCONG_THREADS
+// environment variable when set (clamped to >= 1), else the hardware
+// concurrency (>= 1).
+int default_thread_count();
+
+// Fixed set of workers draining a FIFO task queue. The process-wide shared()
+// pool grows on demand and is reused by every parallel_for, so campaigns do
+// not pay thread start-up per call.
+class ThreadPool {
+ public:
+  // threads == 0 uses default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const;
+
+  // Enqueues a task; runs as soon as a worker frees up.
+  void submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void wait();
+
+  // Grows the pool to at least `threads` workers.
+  void ensure_workers(int threads);
+
+  // Process-wide pool shared by parallel_for.
+  static ThreadPool& shared();
+
+  // True when the calling thread is one of a ThreadPool's workers (used to
+  // run nested parallel_for calls inline instead of deadlocking the pool).
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  // queued + running
+  bool stop_ = false;
+};
+
+// Runs fn(i) for every i in [0, n), distributed over up to `threads` workers
+// (0 = default_thread_count()). Blocks until all iterations finish; the
+// calling thread participates. The first exception thrown by fn is rethrown
+// after the loop completes. With threads == 1 (or n < 2, or when already on
+// a pool worker) the loop runs inline on the calling thread.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace netcong::util

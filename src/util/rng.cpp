@@ -15,6 +15,16 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
+Rng Rng::fork(std::uint64_t stream) const {
+  // Weyl step on the stream id, then a splitmix finalizer; the added
+  // constant keeps stream 0 distinct from the parent seed itself.
+  std::uint64_t z =
+      seed_ ^ (0x6a09e667f3bcc909ull + stream * 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return Rng(z ^ (z >> 31));
+}
+
 Rng Rng::fork(std::string_view label) const {
   // splitmix-style finalizer over (seed, label hash) gives well-spread seeds.
   std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ull + fnv1a(label);

@@ -23,6 +23,12 @@ class Rng {
   // seed and the label, but not on how many draws have been made.
   [[nodiscard]] Rng fork(std::string_view label) const;
 
+  // Numbered-stream fork for hot paths (e.g. one stream per test id in a
+  // campaign): same independence guarantees as the string overload without
+  // formatting a label. Streams with distinct ids are independent of each
+  // other and of any string-labeled fork.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
   std::uint64_t seed() const { return seed_; }
 
   // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.

@@ -1,0 +1,157 @@
+// Determinism of the parallel campaign engine: the full CampaignResult —
+// every test record, every traceroute hop, every skip counter — must be
+// byte-identical whatever the worker count, and identical with or without
+// a PathCache attached.
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "helpers.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "route/path_cache.h"
+#include "sim/throughput.h"
+
+namespace netcong::measure {
+namespace {
+
+using gen::World;
+
+struct Stack {
+  explicit Stack(const World& w)
+      : world(w),
+        bgp(*w.topo),
+        fwd(*w.topo, bgp),
+        model(*w.topo, *w.traffic),
+        mlab("mlab", *w.topo, w.mlab_servers) {}
+  const World& world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+  Platform mlab;
+};
+
+Stack& stack() {
+  static Stack s(test::tiny_world());
+  return s;
+}
+
+// A dense multi-client schedule exercising every traceroute outcome
+// (run, busy-skip, cache-skip, failure).
+std::vector<gen::TestRequest> dense_schedule() {
+  Stack& s = stack();
+  std::vector<gen::TestRequest> schedule;
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < s.world.clients.size(); ++i) {
+      schedule.push_back(
+          {s.world.clients[i],
+           10.0 + round * 0.05 + static_cast<double>(i) * 0.003});
+    }
+  }
+  return schedule;
+}
+
+void expect_paths_equal(const route::RouterPath& a, const route::RouterPath& b) {
+  ASSERT_EQ(a.valid, b.valid);
+  ASSERT_EQ(a.as_path, b.as_path);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i], b.links[i]);
+  }
+  ASSERT_EQ(a.hops.size(), b.hops.size());
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    EXPECT_EQ(a.hops[i].router, b.hops[i].router);
+    EXPECT_EQ(a.hops[i].in_iface, b.hops[i].in_iface);
+    EXPECT_EQ(a.hops[i].in_link, b.hops[i].in_link);
+  }
+  EXPECT_DOUBLE_EQ(a.one_way_delay_ms, b.one_way_delay_ms);
+}
+
+void expect_results_equal(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.tests.size(), b.tests.size());
+  for (std::size_t i = 0; i < a.tests.size(); ++i) {
+    const NdtRecord& x = a.tests[i];
+    const NdtRecord& y = b.tests[i];
+    EXPECT_EQ(x.test_id, y.test_id);
+    EXPECT_EQ(x.client, y.client);
+    EXPECT_EQ(x.server, y.server);
+    EXPECT_DOUBLE_EQ(x.utc_time_hours, y.utc_time_hours);
+    EXPECT_DOUBLE_EQ(x.download_mbps, y.download_mbps);
+    EXPECT_DOUBLE_EQ(x.upload_mbps, y.upload_mbps);
+    EXPECT_DOUBLE_EQ(x.flow_rtt_ms, y.flow_rtt_ms);
+    EXPECT_DOUBLE_EQ(x.retrans_rate, y.retrans_rate);
+    EXPECT_EQ(x.congestion_signals, y.congestion_signals);
+    EXPECT_EQ(x.truth_bottleneck, y.truth_bottleneck);
+    EXPECT_EQ(x.truth_access_limited, y.truth_access_limited);
+    expect_paths_equal(x.truth_path, y.truth_path);
+  }
+  ASSERT_EQ(a.traceroutes.size(), b.traceroutes.size());
+  for (std::size_t i = 0; i < a.traceroutes.size(); ++i) {
+    const TracerouteRecord& x = a.traceroutes[i];
+    const TracerouteRecord& y = b.traceroutes[i];
+    EXPECT_EQ(x.src_host, y.src_host);
+    EXPECT_EQ(x.dst, y.dst);
+    EXPECT_DOUBLE_EQ(x.utc_time_hours, y.utc_time_hours);
+    EXPECT_EQ(x.reached_dst, y.reached_dst);
+    ASSERT_EQ(x.hops.size(), y.hops.size());
+    for (std::size_t h = 0; h < x.hops.size(); ++h) {
+      EXPECT_EQ(x.hops[h].ttl, y.hops[h].ttl);
+      EXPECT_EQ(x.hops[h].responded, y.hops[h].responded);
+      EXPECT_EQ(x.hops[h].addr, y.hops[h].addr);
+      EXPECT_DOUBLE_EQ(x.hops[h].rtt_ms, y.hops[h].rtt_ms);
+      EXPECT_EQ(x.hops[h].dns_name, y.hops[h].dns_name);
+    }
+    expect_paths_equal(x.truth, y.truth);
+  }
+  EXPECT_EQ(a.traceroutes_skipped_busy, b.traceroutes_skipped_busy);
+  EXPECT_EQ(a.traceroutes_skipped_cached, b.traceroutes_skipped_cached);
+  EXPECT_EQ(a.traceroutes_failed, b.traceroutes_failed);
+}
+
+CampaignResult run_with(int threads, const route::PathCache* cache,
+                        const std::vector<gen::TestRequest>& schedule) {
+  Stack& s = stack();
+  CampaignConfig cfg;
+  cfg.threads = threads;
+  NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab, cfg);
+  if (cache) campaign.set_path_cache(cache);
+  util::Rng rng(20150501);
+  return campaign.run(schedule, rng);
+}
+
+TEST(CampaignParallel, IdenticalAcrossThreadCounts) {
+  auto schedule = dense_schedule();
+  CampaignResult serial = run_with(1, nullptr, schedule);
+  // The engine exercised every daemon outcome at least once.
+  EXPECT_GT(serial.traceroutes.size(), 0u);
+  EXPECT_GT(serial.traceroutes_skipped_busy + serial.traceroutes_skipped_cached,
+            0u);
+  for (int threads : {2, 8}) {
+    CampaignResult par = run_with(threads, nullptr, schedule);
+    SCOPED_TRACE(threads);
+    expect_results_equal(serial, par);
+  }
+}
+
+TEST(CampaignParallel, IdenticalWithAndWithoutPathCache) {
+  auto schedule = dense_schedule();
+  Stack& s = stack();
+  CampaignResult uncached = run_with(4, nullptr, schedule);
+  route::PathCache cache(s.fwd);
+  CampaignResult cached = run_with(4, &cache, schedule);
+  expect_results_equal(uncached, cached);
+  // The dense repeat schedule must actually exercise the cache.
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(CampaignParallel, RepeatRunsWithSameSeedAgree) {
+  auto schedule = dense_schedule();
+  CampaignResult a = run_with(0, nullptr, schedule);
+  CampaignResult b = run_with(0, nullptr, schedule);
+  expect_results_equal(a, b);
+}
+
+}  // namespace
+}  // namespace netcong::measure

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "helpers.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "route/path_cache.h"
+#include "util/parallel.h"
+
+namespace netcong::route {
+namespace {
+
+using gen::World;
+
+struct Stack {
+  explicit Stack(const World& w) : world(w), bgp(*w.topo), fwd(*w.topo, bgp) {}
+  const World& world;
+  BgpRouting bgp;
+  Forwarder fwd;
+};
+
+Stack& stack() {
+  static Stack s(test::tiny_world());
+  return s;
+}
+
+void expect_same_path(const RouterPath& a, const RouterPath& b) {
+  ASSERT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.as_path, b.as_path);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i], b.links[i]);
+  }
+  ASSERT_EQ(a.hops.size(), b.hops.size());
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    EXPECT_EQ(a.hops[i].router, b.hops[i].router);
+    EXPECT_EQ(a.hops[i].in_iface, b.hops[i].in_iface);
+  }
+  EXPECT_DOUBLE_EQ(a.one_way_delay_ms, b.one_way_delay_ms);
+}
+
+TEST(PathCache, EcmpKeyPinsBucketPort) {
+  const topo::IpAddr src{0x01020304}, dst{0x05060708};
+  for (int b = 0; b < 8; ++b) {
+    FlowKey key = PathCache::ecmp_key(src, dst, 3001, b);
+    EXPECT_EQ(key.src, src);
+    EXPECT_EQ(key.dst, dst);
+    EXPECT_EQ(key.src_port, 3001);
+    EXPECT_EQ(key.dst_port, PathCache::kEphemeralPortBase + b);
+    EXPECT_EQ(key.proto, 6);
+  }
+}
+
+TEST(PathCache, BitIdenticalToUncachedForwarder) {
+  Stack& s = stack();
+  PathCache cache(s.fwd);
+  // Every (server, client, ECMP bucket) combination: the cached result must
+  // equal the uncached Forwarder::path for the same key, on first lookup
+  // (miss -> compute) and on repeat lookup (hit -> stored copy).
+  for (std::uint32_t server : s.world.mlab_servers) {
+    for (std::size_t c = 0; c < 3 && c < s.world.clients.size(); ++c) {
+      std::uint32_t client = s.world.clients[c];
+      topo::IpAddr dst = s.world.topo->host(client).addr;
+      for (int bucket = 0; bucket < 4; ++bucket) {
+        FlowKey key = PathCache::ecmp_key(s.world.topo->host(server).addr,
+                                          dst, 3001, bucket);
+        RouterPath direct = s.fwd.path(server, dst, key);
+        RouterPath first = cache.path(server, dst, key);
+        RouterPath second = cache.path(server, dst, key);
+        expect_same_path(direct, first);
+        expect_same_path(direct, second);
+      }
+    }
+  }
+}
+
+TEST(PathCache, DistinctBucketsAreDistinctEntries) {
+  Stack& s = stack();
+  PathCache cache(s.fwd);
+  std::uint32_t server = s.world.mlab_servers[0];
+  std::uint32_t client = s.world.clients[0];
+  topo::IpAddr dst = s.world.topo->host(client).addr;
+  const int buckets = 8;
+  for (int b = 0; b < buckets; ++b) {
+    cache.path(server, dst,
+               PathCache::ecmp_key(s.world.topo->host(server).addr, dst,
+                                   3001, b));
+  }
+  PathCache::Stats st = cache.stats();
+  EXPECT_EQ(st.misses, static_cast<std::uint64_t>(buckets));
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(buckets));
+  // Re-walking every bucket is all hits.
+  for (int b = 0; b < buckets; ++b) {
+    cache.path(server, dst,
+               PathCache::ecmp_key(s.world.topo->host(server).addr, dst,
+                                   3001, b));
+  }
+  st = cache.stats();
+  EXPECT_EQ(st.hits, static_cast<std::uint64_t>(buckets));
+  EXPECT_EQ(st.misses, static_cast<std::uint64_t>(buckets));
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 0.5);
+}
+
+TEST(PathCache, CachesParisTracerouteKeys) {
+  Stack& s = stack();
+  PathCache cache(s.fwd);
+  std::uint32_t server = s.world.mlab_servers[0];
+  std::uint32_t client = s.world.clients[1];
+  topo::IpAddr dst = s.world.topo->host(client).addr;
+  // The fixed Paris probe key (see measure::run_traceroute).
+  FlowKey key;
+  key.src = s.world.topo->host(server).addr;
+  key.dst = dst;
+  key.proto = 17;
+  key.src_port = 33434;
+  key.dst_port = 33435;
+  RouterPath direct = s.fwd.path(server, dst, key);
+  expect_same_path(direct, cache.path(server, dst, key));
+  expect_same_path(direct, cache.path(server, dst, key));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PathCache, ClearResetsEntriesAndCounters) {
+  Stack& s = stack();
+  PathCache cache(s.fwd);
+  std::uint32_t server = s.world.mlab_servers[0];
+  topo::IpAddr dst = s.world.topo->host(s.world.clients[0]).addr;
+  FlowKey key = PathCache::ecmp_key(s.world.topo->host(server).addr, dst,
+                                    3001, 0);
+  cache.path(server, dst, key);
+  cache.path(server, dst, key);
+  EXPECT_GT(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(PathCache, ConcurrentLookupsStayExact) {
+  Stack& s = stack();
+  PathCache cache(s.fwd);
+  const std::size_t lookups = 512;
+  std::atomic<int> mismatches{0};
+  util::parallel_for(lookups, 8, [&](std::size_t i) {
+    // Fold the index into 64 distinct flows so each one is looked up ~8
+    // times and the hit counter provably advances under contention.
+    std::size_t flow = i % 64;
+    std::uint32_t server =
+        s.world.mlab_servers[flow % s.world.mlab_servers.size()];
+    std::uint32_t client = s.world.clients[flow % s.world.clients.size()];
+    topo::IpAddr dst = s.world.topo->host(client).addr;
+    FlowKey key = PathCache::ecmp_key(s.world.topo->host(server).addr, dst,
+                                      3001, static_cast<int>(flow % 4));
+    RouterPath cached = cache.path(server, dst, key);
+    RouterPath direct = s.fwd.path(server, dst, key);
+    if (cached.valid != direct.valid || cached.links != direct.links) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  PathCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, lookups);
+  EXPECT_GT(st.hits, 0u);
+}
+
+}  // namespace
+}  // namespace netcong::route

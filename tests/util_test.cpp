@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/csv.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -168,6 +172,76 @@ TEST(Csv, HeaderFirst) {
   CsvWriter w({"h1", "h2"});
   w.add_row({"1", "2"});
   EXPECT_EQ(w.render().substr(0, 5), "h1,h2");
+}
+
+TEST(Rng, NumberedForkMatchesAcrossDrawCounts) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 9; ++i) a.uniform(0, 1);
+  Rng fa = a.fork(std::uint64_t{17});
+  Rng fb = b.fork(std::uint64_t{17});
+  EXPECT_EQ(fa.seed(), fb.seed());
+  EXPECT_EQ(fa.uniform_int(0, 1 << 30), fb.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, NumberedForkStreamsAreDistinct) {
+  Rng a(42);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 100; ++s) seeds.insert(a.fork(s).seed());
+  EXPECT_EQ(seeds.size(), 100u);
+  // Distinct from the parent and from string-labeled forks.
+  EXPECT_NE(a.fork(std::uint64_t{0}).seed(), a.seed());
+  EXPECT_NE(a.fork(std::uint64_t{0}).seed(), a.fork("0").seed());
+}
+
+TEST(Parallel, DefaultThreadCountPositive) {
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> counts(1000);
+    for (auto& c : counts) c.store(0);
+    parallel_for(counts.size(), threads,
+                 [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(Parallel, ForHandlesEmptyAndTinyRanges) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, ForPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, NestedForRunsInline) {
+  std::atomic<int> total{0};
+  parallel_for(4, 4, [&](std::size_t) {
+    // A nested call from a pool worker must not deadlock the shared pool.
+    parallel_for(8, 4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(Parallel, ThreadPoolRunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_GE(pool.size(), 3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 20);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "measure/platform.h"
 #include "route/bgp.h"
 #include "route/forwarding.h"
+#include "route/path_cache.h"
 #include "sim/throughput.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -120,8 +121,10 @@ int cmd_campaign(const Args& args) {
   wl.days = args.get_int("days", 14);
   wl.mean_tests_per_client = args.get_double("tests-per-client", 8.0);
   auto schedule = gen::crowdsourced_schedule(world, world.clients, wl, rng);
+  route::PathCache path_cache(fwd);
   measure::NdtCampaign campaign(world, fwd, model, mlab,
                                 measure::CampaignConfig{});
+  campaign.set_path_cache(&path_cache);
   auto result = campaign.run(schedule, rng);
   measure::MatchStats stats;
   auto matched = measure::match_tests(result.tests, result.traceroutes,
@@ -200,8 +203,10 @@ int cmd_diurnal(const Args& args) {
   wl.days = args.get_int("days", 14);
   wl.mean_tests_per_client = 10.0;
   auto schedule = gen::crowdsourced_schedule(world, clients, wl, rng);
+  route::PathCache path_cache(fwd);
   measure::NdtCampaign campaign(world, fwd, model, mlab,
                                 measure::CampaignConfig{});
+  campaign.set_path_cache(&path_cache);
   auto result = campaign.run(schedule, rng);
 
   auto source_of = [&](const measure::NdtRecord& t) {

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Race-checks the concurrent code (thread pool, path cache, parallel
+# campaign engine) under ThreadSanitizer in one command:
+#
+#   tools/run_tsan.sh [extra cmake args...]
+#
+# Configures a dedicated build-tsan tree with -fsanitize=thread and runs
+# every test carrying the `tsan` CTest label.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-tsan
+cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=thread "$@"
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" -L tsan --output-on-failure
