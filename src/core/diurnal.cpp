@@ -9,27 +9,55 @@ namespace netcong::core {
 std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
     const std::vector<measure::NdtRecord>& tests, const gen::World& world,
     const std::function<std::string(const measure::NdtRecord&)>& source_of,
-    const std::function<std::string(const measure::NdtRecord&)>& isp_of) {
+    const std::function<std::string(const measure::NdtRecord&)>& isp_of,
+    DiurnalBuildStats* stats) {
   std::map<GroupKey, DiurnalGroup> groups;
+  DiurnalBuildStats local;
   for (const auto& t : tests) {
-    if (t.download_mbps <= 0.0) continue;
+    ++local.total;
+    if (!t.completed()) {
+      ++local.incomplete;
+      continue;
+    }
+    if (t.download_mbps <= 0.0) {
+      ++local.invalid_throughput;
+      continue;
+    }
     std::string source = source_of(t);
     std::string isp = isp_of(t);
-    if (source.empty() || isp.empty()) continue;
+    if (source.empty() || isp.empty()) {
+      ++local.unlabeled;
+      continue;
+    }
+    ++local.used;
     GroupKey key{source, isp};
     DiurnalGroup& g = groups[key];
     g.source = source;
     g.isp = isp;
     int offset =
         world.topo->city(world.topo->host(t.client).city).utc_offset_hours;
-    double local =
+    double local_hr =
         sim::local_hour(std::fmod(t.utc_time_hours, 24.0), offset);
-    g.throughput.add(local, t.download_mbps);
-    g.rtt.add(local, t.flow_rtt_ms);
-    g.retrans.add(local, t.retrans_rate);
+    g.throughput.add(local_hr, t.download_mbps);
+    // Dropped WebStats fields must not enter the RTT/retransmission series
+    // as zeros — the throughput sample survives, the fields do not.
+    if (t.has_webstats) {
+      g.rtt.add(local_hr, t.flow_rtt_ms);
+      g.retrans.add(local_hr, t.retrans_rate);
+    }
     g.tests++;
   }
+  if (stats) *stats = local;
   return groups;
+}
+
+std::vector<int> low_sample_hours(const DiurnalGroup& group,
+                                  std::size_t min_samples) {
+  std::vector<int> out;
+  for (int h = 0; h < 24; ++h) {
+    if (group.throughput.bin(h).size() < min_samples) out.push_back(h);
+  }
+  return out;
 }
 
 std::vector<CongestionCall> infer_congestion(
@@ -41,9 +69,12 @@ std::vector<CongestionCall> infer_congestion(
     call.key = key;
     call.tests = g.tests;
     call.comparison = stats::compare_peak_offpeak(g.throughput);
-    call.congested = call.comparison.peak_count >= min_samples &&
-                     call.comparison.offpeak_count >= min_samples &&
-                     !std::isnan(call.comparison.relative_drop) &&
+    call.insufficient_samples =
+        call.comparison.peak_count < min_samples ||
+        call.comparison.offpeak_count < min_samples ||
+        std::isnan(call.comparison.relative_drop);
+    call.low_sample_hour_count = low_sample_hours(g, min_samples).size();
+    call.congested = !call.insufficient_samples &&
                      call.comparison.relative_drop >= drop_threshold;
     out.push_back(std::move(call));
   }

@@ -35,24 +35,55 @@ struct GroupKey {
   }
 };
 
+// Exclusion accounting for group building over a possibly degraded corpus:
+// total = used + every classified exclusion, so the analysis can report its
+// effective sample coverage next to its result.
+struct DiurnalBuildStats {
+  std::size_t total = 0;
+  std::size_t used = 0;
+  std::size_t incomplete = 0;          // aborted/unserved/failed records
+  std::size_t invalid_throughput = 0;  // completed but download <= 0
+  std::size_t unlabeled = 0;           // source/isp selector returned empty
+
+  double coverage() const {
+    return total == 0 ? 0.0 : static_cast<double>(used) / total;
+  }
+  bool accounted() const {
+    return total == used + incomplete + invalid_throughput + unlabeled;
+  }
+};
+
 // Builds diurnal groups; local hour is the client's local time (the axis
 // in the paper's Figure 5). `source_of` labels each test's server
 // (e.g. host-transit name + city), `isp_of` its client ISP; empty string
-// skips the test.
+// skips the test. Records that never completed are excluded and counted.
 std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
     const std::vector<measure::NdtRecord>& tests, const gen::World& world,
     const std::function<std::string(const measure::NdtRecord&)>& source_of,
-    const std::function<std::string(const measure::NdtRecord&)>& isp_of);
+    const std::function<std::string(const measure::NdtRecord&)>& isp_of,
+    DiurnalBuildStats* stats = nullptr);
+
+// Hours of day whose sample count falls below min_samples — the Section 6.1
+// sparsity problem (small-hour bins collapse). Reported next to any per-hour
+// figure so sparse bins are flagged instead of shown bare.
+std::vector<int> low_sample_hours(const DiurnalGroup& group,
+                                  std::size_t min_samples);
 
 struct CongestionCall {
   GroupKey key;
   stats::DiurnalComparison comparison;
   bool congested = false;  // inferred
+  // True when either comparison window is under min_samples: the group
+  // cannot support a call either way. Distinguishes "confidently clear"
+  // from "too sparse to tell" (Section 6.1).
+  bool insufficient_samples = false;
+  std::size_t low_sample_hour_count = 0;  // hours under min_samples
   std::size_t tests = 0;
 };
 
 // M-Lab-style inference: congested iff the relative peak drop exceeds the
-// threshold and both windows have at least min_samples.
+// threshold and both windows have at least min_samples; groups failing the
+// sample floor are flagged insufficient rather than silently cleared.
 std::vector<CongestionCall> infer_congestion(
     const std::map<GroupKey, DiurnalGroup>& groups, double drop_threshold,
     std::size_t min_samples = 20);

@@ -32,6 +32,22 @@ BdrmapCounts BdrmapResult::counts() const {
   return c;
 }
 
+double bdrmap_neighbor_recall(const BdrmapResult& inferred,
+                              const BdrmapResult& reference) {
+  if (reference.borders.empty()) return 0.0;
+  std::size_t found = 0;
+  for (const auto& ref : reference.borders) {
+    for (const auto& b : inferred.borders) {
+      if (b.neighbor == ref.neighbor) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(found) /
+         static_cast<double>(reference.borders.size());
+}
+
 BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
                         topo::Asn vp_as, const Ip2As& ip2as,
                         const OrgMap& orgs,

@@ -45,7 +45,15 @@ struct BdrmapResult {
   MapItResult mapit;                  // underlying interface assignment
 
   BdrmapCounts counts() const;
+  // Effective sample coverage of the corpus this map was inferred from.
+  const CorpusCoverage& coverage() const { return mapit.coverage; }
 };
+
+// Fraction of the reference map's neighbor ASes that `inferred` also found
+// — how much border visibility survives a degraded corpus (reference is
+// typically the clean-corpus run).
+double bdrmap_neighbor_recall(const BdrmapResult& inferred,
+                              const BdrmapResult& reference);
 
 struct BdrmapConfig {
   MapItConfig mapit;

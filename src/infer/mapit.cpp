@@ -60,22 +60,32 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
     return it->second;
   };
 
+  result.coverage.traces_total = corpus.size();
   for (const auto& tr : corpus) {
     topo::IpAddr prev;
     bool have_prev = false;
+    bool used = false;
     for (const auto& hop : tr.hops) {
+      ++result.coverage.hops_total;
       if (!hop.responded) {
         have_prev = false;  // a star breaks adjacency evidence
         continue;
       }
+      ++result.coverage.hops_responsive;
       note_iface(hop.addr);
       if (have_prev && prev != hop.addr) {
         std::uint64_t key =
             (static_cast<std::uint64_t>(prev.value) << 32) | hop.addr.value;
         hop_pairs[key]++;
+        used = true;
       }
       prev = hop.addr;
       have_prev = true;
+    }
+    if (used) {
+      ++result.coverage.traces_used;
+    } else {
+      ++result.coverage.traces_unusable;
     }
   }
 

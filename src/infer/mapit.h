@@ -39,6 +39,33 @@ struct MapItConfig {
   int min_observations = 1;
 };
 
+// Effective sample coverage of a traceroute corpus as consumed by an
+// inference pass — emitted next to every result so a conclusion drawn from
+// a degraded corpus carries its own data-quality caveat (the paper's
+// Section 4.1/6 warning, and Feamster's "conclusions are only trustworthy
+// with the caveats attached").
+struct CorpusCoverage {
+  std::size_t traces_total = 0;
+  std::size_t traces_used = 0;      // contributed at least one hop pair
+  std::size_t traces_unusable = 0;  // invalid, empty, or all-star
+  std::size_t hops_total = 0;
+  std::size_t hops_responsive = 0;
+
+  double trace_fraction() const {
+    return traces_total == 0
+               ? 0.0
+               : static_cast<double>(traces_used) / traces_total;
+  }
+  double hop_fraction() const {
+    return hops_total == 0
+               ? 0.0
+               : static_cast<double>(hops_responsive) / hops_total;
+  }
+  bool accounted() const {
+    return traces_total == traces_used + traces_unusable;
+  }
+};
+
 struct BorderCrossing {
   topo::IpAddr near_addr;  // last interface in the near AS
   topo::IpAddr far_addr;   // first interface in the far AS (in-interface)
@@ -54,6 +81,8 @@ struct MapItResult {
   std::vector<BorderCrossing> crossings;
   int passes_run = 0;
   int reassignments = 0;  // interfaces whose AS changed from the BGP origin
+  // How much of the input corpus actually fed the inference.
+  CorpusCoverage coverage;
 
   topo::Asn op(topo::IpAddr a) const {
     auto it = operating_as.find(a.value);

@@ -1,5 +1,8 @@
 #include "io/export.h"
 
+#include <filesystem>
+#include <system_error>
+
 #include "util/strings.h"
 
 namespace netcong::io {
@@ -14,7 +17,8 @@ util::CsvWriter export_ndt_tests(const gen::World& world,
   std::vector<std::string> headers = {
       "test_id",        "utc_time_hours", "client_addr",  "client_asn",
       "server_label",   "server_asn",     "download_mbps", "upload_mbps",
-      "flow_rtt_ms",    "retrans_rate",   "congestion_signals"};
+      "flow_rtt_ms",    "retrans_rate",   "congestion_signals",
+      "status",         "truncated",      "has_webstats"};
   if (include_truth) {
     headers.push_back("truth_access_limited");
     headers.push_back("truth_bottleneck_link");
@@ -35,7 +39,10 @@ util::CsvWriter export_ndt_tests(const gen::World& world,
         f2(t.upload_mbps),
         f2(t.flow_rtt_ms),
         f2(t.retrans_rate),
-        std::to_string(t.congestion_signals)};
+        std::to_string(t.congestion_signals),
+        measure::ndt_status_name(t.status),
+        t.truncated ? "1" : "0",
+        t.has_webstats ? "1" : "0"};
     if (include_truth) {
       row.push_back(t.truth_access_limited ? "1" : "0");
       row.push_back(t.truth_bottleneck.valid()
@@ -117,20 +124,45 @@ util::CsvWriter export_interdomain_links(const gen::World& world,
   return csv;
 }
 
-bool export_campaign(const gen::World& world,
-                     const std::vector<measure::NdtRecord>& tests,
-                     const std::vector<measure::TracerouteRecord>& traceroutes,
-                     const std::vector<measure::MatchedTest>& matched,
-                     const std::string& directory, bool include_truth) {
-  bool ok = true;
-  ok &= export_ndt_tests(world, tests, include_truth)
-            .write_file(directory + "/ndt_tests.csv");
-  ok &= export_traceroute_hops(traceroutes)
-            .write_file(directory + "/traceroute_hops.csv");
-  ok &= export_matches(matched).write_file(directory + "/matches.csv");
-  ok &= export_interdomain_links(world, include_truth)
-            .write_file(directory + "/interdomain_links.csv");
-  return ok;
+util::CsvWriter export_data_quality(const sim::DataQuality& quality) {
+  util::CsvWriter csv({"metric", "value"});
+  for (const auto& [metric, value] : quality.rows()) {
+    csv.add_row({metric, std::to_string(value)});
+  }
+  csv.add_row({"consistent", quality.consistent() ? "1" : "0"});
+  return csv;
+}
+
+util::Status export_campaign(
+    const gen::World& world, const std::vector<measure::NdtRecord>& tests,
+    const std::vector<measure::TracerouteRecord>& traceroutes,
+    const std::vector<measure::MatchedTest>& matched,
+    const std::string& directory, bool include_truth,
+    const sim::DataQuality* quality) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return util::error_status("cannot create " + directory + ": " +
+                              ec.message());
+  }
+  std::string failed;
+  auto write = [&](const util::CsvWriter& csv, const std::string& name) {
+    std::string path = directory + "/" + name;
+    if (!csv.write_file(path)) {
+      if (!failed.empty()) failed += ", ";
+      failed += path;
+    }
+  };
+  write(export_ndt_tests(world, tests, include_truth), "ndt_tests.csv");
+  write(export_traceroute_hops(traceroutes), "traceroute_hops.csv");
+  write(export_matches(matched), "matches.csv");
+  write(export_interdomain_links(world, include_truth),
+        "interdomain_links.csv");
+  if (quality) write(export_data_quality(*quality), "data_quality.csv");
+  if (!failed.empty()) {
+    return util::error_status("failed writing: " + failed);
+  }
+  return util::ok_status();
 }
 
 }  // namespace netcong::io

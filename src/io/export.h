@@ -11,7 +11,9 @@
 #include "measure/matching.h"
 #include "measure/ndt.h"
 #include "measure/traceroute.h"
+#include "sim/faults.h"
 #include "util/csv.h"
+#include "util/result.h"
 
 namespace netcong::io {
 
@@ -37,12 +39,19 @@ util::CsvWriter export_matches(const std::vector<measure::MatchedTest>& matched)
 util::CsvWriter export_interdomain_links(const gen::World& world,
                                          bool include_truth = true);
 
-// Convenience: write all four into a directory (created by the caller);
-// returns false if any file fails to write.
-bool export_campaign(const gen::World& world,
-                     const std::vector<measure::NdtRecord>& tests,
-                     const std::vector<measure::TracerouteRecord>& traceroutes,
-                     const std::vector<measure::MatchedTest>& matched,
-                     const std::string& directory, bool include_truth = true);
+// One (metric, value) row per DataQuality counter — the campaign's
+// data-quality report, shipped beside the datasets so downstream analysis
+// knows how lossy its input was.
+util::CsvWriter export_data_quality(const sim::DataQuality& quality);
+
+// Convenience: write everything into a directory (created by the caller):
+// the four datasets, plus data_quality.csv when `quality` is given. On
+// failure the status lists every path that could not be written.
+util::Status export_campaign(
+    const gen::World& world, const std::vector<measure::NdtRecord>& tests,
+    const std::vector<measure::TracerouteRecord>& traceroutes,
+    const std::vector<measure::MatchedTest>& matched,
+    const std::string& directory, bool include_truth = true,
+    const sim::DataQuality* quality = nullptr);
 
 }  // namespace netcong::io

@@ -1,0 +1,47 @@
+#include "measure/degrade.h"
+
+namespace netcong::measure {
+
+std::vector<TracerouteRecord> degrade_corpus(
+    const std::vector<TracerouteRecord>& corpus,
+    const sim::FaultInjector& faults, const DegradeOptions& options,
+    DegradeStats* stats) {
+  DegradeStats local;
+  local.traces_in = corpus.size();
+  std::vector<TracerouteRecord> out;
+  if (!faults.enabled()) {
+    out = corpus;
+    local.traces_out = corpus.size();
+    if (stats) *stats = local;
+    return out;
+  }
+  out.reserve(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (faults.fires(sim::FaultSite::kTracerouteCrash, i,
+                     options.trace_loss)) {
+      ++local.traces_dropped;
+      continue;
+    }
+    TracerouteRecord tr = corpus[i];
+    if (options.hop_loss > 0.0) {
+      util::Rng rng = faults.stream(sim::FaultSite::kProbeLoss, i);
+      for (auto& hop : tr.hops) {
+        ++local.hops_in;
+        if (hop.responded && rng.chance(options.hop_loss)) {
+          hop = TraceHop{hop.ttl, false, topo::IpAddr{}, 0.0, std::string()};
+          ++local.hops_blanked;
+        }
+      }
+      // If the destination hop was blanked, the trace no longer shows it.
+      tr.reached_dst =
+          !tr.hops.empty() && tr.hops.back().responded &&
+          tr.hops.back().addr == tr.dst;
+    }
+    out.push_back(std::move(tr));
+    ++local.traces_out;
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace netcong::measure

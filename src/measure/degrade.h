@@ -1,0 +1,46 @@
+#pragma once
+
+// Deterministic degradation of an existing traceroute corpus — the bridge
+// between the fault layer and inference-robustness studies. Where the
+// campaign engine injects faults while measuring, this applies loss to a
+// corpus that was already collected (drop whole traces, knock out per-hop
+// responses), so MAP-IT/bdrmap can be evaluated at exact loss levels
+// against the clean baseline. Decisions draw from the injector's
+// (site, item) streams keyed on the trace index, so a degraded corpus is a
+// pure function of (corpus, seed, loss).
+
+#include <vector>
+
+#include "measure/traceroute.h"
+#include "sim/faults.h"
+
+namespace netcong::measure {
+
+struct DegradeOptions {
+  // Probability a whole trace is lost from the corpus (collection failure).
+  double trace_loss = 0.0;
+  // Probability each responding hop is knocked out (turned into a star).
+  double hop_loss = 0.0;
+};
+
+struct DegradeStats {
+  std::size_t traces_in = 0;
+  std::size_t traces_out = 0;
+  std::size_t traces_dropped = 0;
+  std::size_t hops_in = 0;
+  std::size_t hops_blanked = 0;
+
+  bool accounted() const {
+    return traces_in == traces_out + traces_dropped;
+  }
+};
+
+// Returns the corpus with the configured loss applied. The injector's
+// enabled flag is respected (a disabled injector returns the corpus
+// unchanged); item ids are the trace's index in `corpus`.
+std::vector<TracerouteRecord> degrade_corpus(
+    const std::vector<TracerouteRecord>& corpus,
+    const sim::FaultInjector& faults, const DegradeOptions& options,
+    DegradeStats* stats = nullptr);
+
+}  // namespace netcong::measure

@@ -28,10 +28,24 @@ std::vector<MatchedTest> match_tests(
   std::vector<MatchedTest> out;
   out.reserve(tests.size());
   std::size_t matched = 0;
+  std::size_t excluded_aborted = 0, excluded_unserved = 0, excluded_failed = 0;
 
   for (const auto& test : tests) {
     MatchedTest m;
     m.test = &test;
+    if (!test.completed()) {
+      // Degraded corpus: the test never produced a measurement, so it
+      // cannot (and must not) count against the matching rate. Classified
+      // and kept in the output for downstream accounting.
+      m.outcome = MatchedTest::Outcome::kExcludedIncomplete;
+      switch (test.status) {
+        case NdtStatus::kAborted: ++excluded_aborted; break;
+        case NdtStatus::kUnserved: ++excluded_unserved; break;
+        default: ++excluded_failed; break;
+      }
+      out.push_back(m);
+      continue;
+    }
     topo::IpAddr client_addr = topo.host(test.client).addr;
     auto it = by_dst.find(client_addr.value);
     if (it != by_dst.end()) {
@@ -56,11 +70,18 @@ std::vector<MatchedTest> match_tests(
       m.traceroute = best;
     }
     if (m.traceroute) ++matched;
+    m.outcome = m.traceroute ? MatchedTest::Outcome::kMatched
+                             : MatchedTest::Outcome::kUnmatched;
     out.push_back(m);
   }
   if (stats) {
     stats->total_tests = tests.size();
+    stats->eligible = tests.size() - excluded_aborted - excluded_unserved -
+                      excluded_failed;
     stats->matched = matched;
+    stats->excluded_aborted = excluded_aborted;
+    stats->excluded_unserved = excluded_unserved;
+    stats->excluded_failed = excluded_failed;
   }
   return out;
 }

@@ -17,6 +17,15 @@ namespace netcong::measure {
 struct MatchedTest {
   const NdtRecord* test = nullptr;
   const TracerouteRecord* traceroute = nullptr;  // null if unmatched
+  // Why this test did or did not get a traceroute. Incomplete tests
+  // (aborted/unserved/failed) are classified and excluded from matching
+  // rather than diluting the Section 4.1 rate.
+  enum class Outcome : std::uint8_t {
+    kMatched = 0,
+    kUnmatched,
+    kExcludedIncomplete,
+  };
+  Outcome outcome = Outcome::kUnmatched;
 };
 
 struct MatchOptions {
@@ -27,11 +36,28 @@ struct MatchOptions {
 };
 
 struct MatchStats {
-  std::size_t total_tests = 0;
+  std::size_t total_tests = 0;  // every record seen, any status
+  std::size_t eligible = 0;     // completed tests that entered matching
   std::size_t matched = 0;
+  // Classified exclusions, by record status (total = eligible + these).
+  std::size_t excluded_aborted = 0;
+  std::size_t excluded_unserved = 0;
+  std::size_t excluded_failed = 0;
+
+  // The Section 4.1 matching rate: matched / tests-that-ran. For a clean
+  // corpus eligible == total_tests, preserving the original semantics.
   double fraction() const {
+    return eligible == 0 ? 0.0 : static_cast<double>(matched) / eligible;
+  }
+  // Effective sample coverage of the full attempted corpus.
+  double coverage() const {
     return total_tests == 0 ? 0.0
                             : static_cast<double>(matched) / total_tests;
+  }
+  // "Attempted = eligible + classified-excluded" — no silent drops.
+  bool accounted() const {
+    return total_tests ==
+           eligible + excluded_aborted + excluded_unserved + excluded_failed;
   }
 };
 

@@ -20,6 +20,16 @@ constexpr std::uint64_t kStreamTrace = 3ull << 40;
 constexpr std::uint64_t kStreamProbe = 4ull << 40;
 }  // namespace
 
+const char* ndt_status_name(NdtStatus status) {
+  switch (status) {
+    case NdtStatus::kCompleted: return "completed";
+    case NdtStatus::kAborted: return "aborted";
+    case NdtStatus::kUnserved: return "unserved";
+    case NdtStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
 NdtCampaign::NdtCampaign(const gen::World& world, const route::Forwarder& fwd,
                          const sim::ThroughputModel& model,
                          const Platform& platform, CampaignConfig config)
@@ -74,20 +84,29 @@ NdtRecord NdtCampaign::run_single(std::uint32_t client, std::uint32_t server,
 CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
                                 util::Rng& rng) const {
   CampaignResult out;
+  const bool faulted = faults_ != nullptr && faults_->enabled();
+  const sim::FaultConfig* fc = faulted ? &faults_->config() : nullptr;
 
   // RNG discipline: every stochastic decision draws from a generator forked
   // off `root` by a stable id (request index or test id), never from one
-  // shared sequential stream. Each phase's draws are therefore independent
-  // of the other phases and of how the parallel phase is scheduled, making
-  // the campaign output bit-identical for any worker count.
+  // shared sequential stream — and every *fault* decision draws from the
+  // injector's (site, item) streams. Each phase's draws are therefore
+  // independent of the other phases and of how the parallel phase is
+  // scheduled, making the campaign output bit-identical for any worker
+  // count, with or without faults.
   const util::Rng root = rng.fork("ndt-campaign");
 
   // Phase 1 (sequential, cheap): expand requests into a flat test plan.
+  // Under faults, a chosen server that is down triggers the client retry
+  // policy: bounded attempts against the next-nearest servers, each after a
+  // deterministic backoff. A test with no reachable server is planned as
+  // unserved — attempted, classified, never silently dropped.
   struct Planned {
     std::uint32_t client = 0;
     std::uint32_t server = 0;
     double when = 0.0;
     std::uint64_t id = 0;
+    NdtStatus status = NdtStatus::kCompleted;  // kCompleted = "to run"
   };
   std::vector<Planned> plan;
   plan.reserve(schedule.size() *
@@ -106,34 +125,126 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
     }
     double when = req.utc_time_hours;
     for (std::uint32_t server : servers) {
-      plan.push_back(Planned{req.client, server, when, next_id++});
+      Planned p{req.client, server, when, next_id++, NdtStatus::kCompleted};
+      if (faulted && faults_->server_down(p.server, p.when)) {
+        util::Rng backoff_rng =
+            faults_->stream(sim::FaultSite::kRetryBackoff, p.id);
+        std::vector<std::uint32_t> ladder =
+            platform_->nearest_servers(p.client, fc->max_retries + 4);
+        bool served = false;
+        std::size_t ladder_pos = 0;
+        for (int attempt = 1; attempt <= fc->max_retries; ++attempt) {
+          ++out.quality.retry_attempts;
+          p.when += fc->backoff_base_s * attempt *
+                    backoff_rng.uniform(0.75, 1.5) / 3600.0;
+          // Next-nearest server not yet tried.
+          while (ladder_pos < ladder.size() &&
+                 ladder[ladder_pos] == p.server) {
+            ++ladder_pos;
+          }
+          if (ladder_pos >= ladder.size()) break;
+          std::uint32_t candidate = ladder[ladder_pos++];
+          if (!faults_->server_down(candidate, p.when)) {
+            p.server = candidate;
+            served = true;
+            break;
+          }
+        }
+        if (served) {
+          ++out.quality.tests_retried;
+        } else {
+          p.status = NdtStatus::kUnserved;
+        }
+      }
+      plan.push_back(p);
       when += config_.ndt_duration_s / 3600.0;
     }
   }
 
-  // Phase 2 (parallel): simulate every test. Each slot is written by exactly
-  // one iteration and each test's randomness comes from a fork on its id.
+  // Phase 2 (parallel): simulate every runnable test. Each slot is written
+  // by exactly one iteration and each test's randomness comes from a fork
+  // on its id; fault draws come from the injector's per-site streams. An
+  // iteration never throws out of the loop — internal errors classify the
+  // record as kFailed instead.
+  const double dur_h = config_.ndt_duration_s / 3600.0;
   out.tests.resize(plan.size());
   util::parallel_for(plan.size(), config_.threads, [&](std::size_t i) {
     const Planned& p = plan[i];
-    util::Rng test_rng = root.fork(kStreamTest + p.id);
-    out.tests[i] = run_single(p.client, p.server, p.when, p.id, test_rng);
+    NdtRecord& rec = out.tests[i];
+    rec.test_id = p.id;
+    rec.client = p.client;
+    rec.server = p.server;
+    rec.utc_time_hours = p.when;
+    rec.client_asn = world_->topo->host(p.client).asn;
+    rec.server_asn = world_->topo->host(p.server).asn;
+    rec.status = p.status;
+    if (p.status != NdtStatus::kCompleted) return;  // unserved stub
+
+    if (faulted &&
+        (faults_->fires(sim::FaultSite::kNdtAbort, p.id, fc->ndt_abort_prob) ||
+         faults_->server_down(p.server, p.when + dur_h))) {
+      // Abort fault, or the server flapped away mid-test.
+      rec.status = NdtStatus::kAborted;
+      return;
+    }
+    try {
+      util::Rng test_rng = root.fork(kStreamTest + p.id);
+      rec = run_single(p.client, p.server, p.when, p.id, test_rng);
+    } catch (...) {
+      rec.status = NdtStatus::kFailed;
+      return;
+    }
+    if (!faulted) return;
+    util::Rng trunc_rng = faults_->stream(sim::FaultSite::kNdtTruncate, p.id);
+    if (trunc_rng.chance(fc->ndt_truncate_prob)) {
+      // Throughput measured on a partial transfer: biased by slow-start
+      // weight or a missed late dip, in either direction.
+      rec.truncated = true;
+      rec.download_mbps *= trunc_rng.uniform(0.5, 1.1);
+    }
+    if (faults_->fires(sim::FaultSite::kWebStatsDrop, p.id,
+                       fc->webstats_drop_prob)) {
+      rec.has_webstats = false;
+      rec.flow_rtt_ms = 0.0;
+      rec.retrans_rate = 0.0;
+    }
   });
+
+  // Serial accounting sweep over the per-slot statuses (the parallel phase
+  // writes no shared counters).
+  out.quality.tests_attempted = plan.size();
+  for (const NdtRecord& rec : out.tests) {
+    switch (rec.status) {
+      case NdtStatus::kCompleted:
+        ++out.quality.tests_completed;
+        if (rec.truncated) ++out.quality.tests_truncated;
+        if (!rec.has_webstats) {
+          ++out.quality.webstats_dropped;
+          out.quality.fields_dropped += 2;  // flow_rtt_ms + retrans_rate
+        }
+        break;
+      case NdtStatus::kAborted: ++out.quality.tests_aborted; break;
+      case NdtStatus::kUnserved: ++out.quality.tests_unserved; break;
+      case NdtStatus::kFailed: ++out.quality.tests_failed; break;
+    }
+  }
 
   // Phase 3a (sequential, cheap): the server-side traceroute daemons'
   // scheduling. A traceroute toward the client is skipped when the
   // single-threaded daemon is busy, when it traced this client recently
-  // (cache), or when the collection plainly fails (Section 4.1). The
-  // busy/cache state is time-ordered per server, so this pass stays serial
-  // and deterministic. Only the *decision* is made here — the daemon's
-  // occupancy depends on a drawn trace duration, never on the trace's
-  // contents — so the simulation of the selected traceroutes can run in
-  // parallel afterwards.
+  // (cache), when the collection plainly fails (Section 4.1), or — under
+  // faults — when the daemon crashes, which also keeps it down for the
+  // restart delay. The busy/cache state is time-ordered per server, so this
+  // pass stays serial and deterministic. Only the *decision* is made here —
+  // the daemon's occupancy depends on a drawn trace duration, never on the
+  // trace's contents — so the simulation of the selected traceroutes can
+  // run in parallel afterwards. Only completed tests reach the daemon.
   std::unordered_map<std::uint32_t, double> tracer_busy_until;
   std::unordered_map<std::uint64_t, double> last_traced;
   std::vector<std::size_t> traced;  // indices into plan, in time order
   for (std::size_t i = 0; i < plan.size(); ++i) {
     const Planned& p = plan[i];
+    if (out.tests[i].status != NdtStatus::kCompleted) continue;
     util::Rng tr_rng = root.fork(kStreamTrace + p.id);
     double tr_start = p.when + config_.ndt_duration_s / 3600.0;
     double& busy = tracer_busy_until[p.server];
@@ -146,29 +257,53 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
       ++out.traceroutes_skipped_cached;
     } else if (busy > tr_start) {
       ++out.traceroutes_skipped_busy;
+      ++out.quality.traceroutes_lost_busy;
+    } else if (faulted && faults_->fires(sim::FaultSite::kTracerouteCrash,
+                                         p.id, fc->daemon_crash_prob)) {
+      // Daemon crash: the due trace is lost and the daemon restarts after a
+      // delay, so the next traces in the window get busy-skipped.
+      busy = tr_start + fc->daemon_restart_s / 3600.0;
+      ++out.quality.traceroutes_lost_crash;
     } else if (tr_rng.chance(config_.traceroute_failure_prob)) {
       ++out.traceroutes_failed;
+      ++out.quality.traceroutes_lost_failed;
     } else {
       double dur_s = tr_rng.uniform(config_.traceroute_min_s,
                                     config_.traceroute_max_s);
       busy = tr_start + dur_s / 3600.0;
       last_traced[cache_key] = tr_start;
       traced.push_back(i);
+      if (faulted && faults_->fires(sim::FaultSite::kProbeLoss, p.id,
+                                    fc->probe_loss_prob)) {
+        ++out.quality.traceroutes_degraded;
+      }
     }
   }
+  out.quality.traceroutes_suppressed_cached = out.traceroutes_skipped_cached;
+  out.quality.traceroutes_completed = traced.size();
+  out.quality.traceroutes_scheduled =
+      traced.size() + out.quality.traceroutes_lost_busy +
+      out.quality.traceroutes_lost_failed + out.quality.traceroutes_lost_crash;
 
   // Phase 3b (parallel): simulate the selected traceroutes. Probe artifacts
   // (stars, silent clients, missing PTRs) draw from their own fork stream,
   // keyed on the test id, so the records are independent of worker count
-  // and of the scheduling draws above.
+  // and of the scheduling draws above. A trace that drew the probe-loss
+  // fault runs with an elevated star probability (a lossy probe path).
   out.traceroutes.resize(traced.size());
   util::parallel_for(traced.size(), config_.threads, [&](std::size_t t) {
     const Planned& p = plan[traced[t]];
     util::Rng probe_rng = root.fork(kStreamProbe + p.id);
     double tr_start = p.when + config_.ndt_duration_s / 3600.0;
+    TracerouteOptions opts = config_.traceroute;
+    if (faulted && faults_->fires(sim::FaultSite::kProbeLoss, p.id,
+                                  fc->probe_loss_prob)) {
+      opts.star_prob =
+          std::min(0.9, opts.star_prob + fc->probe_loss_extra_star);
+    }
     out.traceroutes[t] = run_traceroute(
         *world_->topo, *fwd_, p.server, world_->topo->host(p.client).addr,
-        tr_start, config_.traceroute, probe_rng, cache_);
+        tr_start, opts, probe_rng, cache_);
   });
   return out;
 }

@@ -26,9 +26,22 @@
 #include "measure/traceroute.h"
 #include "route/forwarding.h"
 #include "route/path_cache.h"
+#include "sim/faults.h"
 #include "sim/throughput.h"
 
 namespace netcong::measure {
+
+// Terminal state of an attempted NDT test. Every planned test produces a
+// record in exactly one state — degraded corpora carry their own exclusion
+// evidence instead of silently losing rows.
+enum class NdtStatus : std::uint8_t {
+  kCompleted = 0,  // produced a measurement (possibly truncated/degraded)
+  kAborted,        // failed mid-test (abort fault or server flap)
+  kUnserved,       // every candidate server down after bounded retries
+  kFailed,         // internal error, classified instead of thrown
+};
+
+const char* ndt_status_name(NdtStatus status);
 
 struct NdtRecord {
   std::uint64_t test_id = 0;
@@ -42,11 +55,20 @@ struct NdtRecord {
   int congestion_signals = 0;
   topo::Asn client_asn = 0;
   topo::Asn server_asn = 0;
+  NdtStatus status = NdtStatus::kCompleted;
+  // Measurement taken on a partial transfer (mid-test truncation fault);
+  // the value is kept but biased.
+  bool truncated = false;
+  // False when the WebStats fields (flow_rtt_ms, retrans_rate) were dropped
+  // from the record; the fields read 0 and must not enter statistics.
+  bool has_webstats = true;
   // Ground truth (not visible to inference): the downstream router path and
   // the binding bottleneck.
   route::RouterPath truth_path;
   topo::LinkId truth_bottleneck;
   bool truth_access_limited = false;
+
+  bool completed() const { return status == NdtStatus::kCompleted; }
 };
 
 struct CampaignConfig {
@@ -84,6 +106,9 @@ struct CampaignResult {
   std::size_t traceroutes_skipped_busy = 0;
   std::size_t traceroutes_skipped_cached = 0;
   std::size_t traceroutes_failed = 0;
+  // Per-campaign accounting: every attempted test and due traceroute ends
+  // in exactly one bucket (quality.consistent() holds by construction).
+  sim::DataQuality quality;
 };
 
 class NdtCampaign {
@@ -96,6 +121,14 @@ class NdtCampaign {
   // uncached runs produce identical results; the cache only removes
   // repeated path construction (see route::PathCache).
   void set_path_cache(const route::PathCache* cache) { cache_ = cache; }
+
+  // Attaches a fault injector (must outlive the campaign). Null or a
+  // disabled injector leaves the campaign untouched; an enabled one injects
+  // server outages (with client retry/backoff to the next-nearest server),
+  // test aborts/truncation, WebStats drops, daemon crashes with restart
+  // delay, and per-probe loss — all drawn from (seed, site, item id)
+  // streams, so faulted output stays bit-identical across thread counts.
+  void set_faults(const sim::FaultInjector* faults) { faults_ = faults; }
 
   // Executes the schedule (must be time-sorted). Results are deterministic
   // given the schedule and rng seed, independent of config.threads.
@@ -113,6 +146,7 @@ class NdtCampaign {
   const sim::ThroughputModel* model_;
   const Platform* platform_;
   const route::PathCache* cache_ = nullptr;
+  const sim::FaultInjector* faults_ = nullptr;
   CampaignConfig config_;
 };
 

@@ -65,4 +65,15 @@ std::vector<std::uint32_t> Platform::select_servers_region(
   return out;
 }
 
+std::vector<std::uint32_t> Platform::nearest_servers(std::uint32_t client,
+                                                     int count) const {
+  auto r = ranked(*topo_, client, servers_);
+  std::vector<std::uint32_t> out;
+  for (const auto& [d, s] : r) {
+    if (static_cast<int>(out.size()) >= count) break;
+    out.push_back(s);
+  }
+  return out;
+}
+
 }  // namespace netcong::measure

@@ -32,6 +32,11 @@ class Platform {
                                                    int count,
                                                    util::Rng& rng) const;
 
+  // The `count` servers nearest to the client, by distance — deterministic
+  // (no rng). Used as the retry ladder when the chosen server is down.
+  std::vector<std::uint32_t> nearest_servers(std::uint32_t client,
+                                             int count) const;
+
  private:
   std::string name_;
   const topo::Topology* topo_;

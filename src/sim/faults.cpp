@@ -1,0 +1,175 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace netcong::sim {
+
+namespace {
+
+// Fork-stream family base for fault sites: far above the campaign's own
+// phase families (which stay below 8 << 40 in measure/ndt.cpp).
+constexpr std::uint64_t kSiteFamily = 1ull << 48;
+
+struct SiteInfo {
+  FaultSite site;
+  const char* name;
+  const char* description;
+};
+
+constexpr SiteInfo kSites[] = {
+    {FaultSite::kServerOutage, "server-outage",
+     "scheduled test-server outage windows (M-Lab/Speedtest node down)"},
+    {FaultSite::kServerFlap, "server-flap",
+     "short repeated server down-windows (flapping node)"},
+    {FaultSite::kNdtAbort, "ndt-abort",
+     "NDT test aborts before producing a measurement"},
+    {FaultSite::kNdtTruncate, "ndt-truncate",
+     "mid-test truncation: throughput measured on partial transfer"},
+    {FaultSite::kTracerouteCrash, "traceroute-crash",
+     "traceroute daemon crash; due trace lost, restart delay follows"},
+    {FaultSite::kProbeLoss, "probe-loss",
+     "per-probe packet loss beyond the base star model"},
+    {FaultSite::kWebStatsDrop, "webstats-drop",
+     "WebStats fields dropped from the test record"},
+    {FaultSite::kPrefix2AsStale, "prefix2as-stale",
+     "stale prefix2AS entries (wrong origin ASN in the BGP view)"},
+    {FaultSite::kRetryBackoff, "retry-backoff",
+     "client-side retry backoff draws after a server outage"},
+};
+
+const SiteInfo& info(FaultSite site) {
+  for (const SiteInfo& s : kSites) {
+    if (s.site == site) return s;
+  }
+  return kSites[0];
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) { return info(site).name; }
+
+const char* fault_site_description(FaultSite site) {
+  return info(site).description;
+}
+
+const std::vector<FaultSite>& all_fault_sites() {
+  static const std::vector<FaultSite> sites = [] {
+    std::vector<FaultSite> out;
+    for (const SiteInfo& s : kSites) out.push_back(s.site);
+    return out;
+  }();
+  return sites;
+}
+
+FaultConfig FaultConfig::scaled(double severity) {
+  double s = std::clamp(severity, 0.0, 1.0);
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.server_outage_fraction = s;
+  cfg.server_flap_fraction = 0.5 * s;
+  cfg.ndt_abort_prob = 0.5 * s;
+  cfg.ndt_truncate_prob = 0.5 * s;
+  cfg.webstats_drop_prob = s;
+  cfg.daemon_crash_prob = 0.5 * s;
+  cfg.probe_loss_prob = s;
+  cfg.prefix2as_stale_fraction = 0.25 * s;
+  return cfg;
+}
+
+util::Result<FaultConfig> parse_fault_severity(const std::string& text) {
+  char* end = nullptr;
+  double s = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return util::Result<FaultConfig>::failure("not a number: '" + text + "'");
+  }
+  if (s < 0.0 || s > 1.0) {
+    return util::Result<FaultConfig>::failure(
+        "severity must be in [0, 1], got " + text);
+  }
+  return util::Result<FaultConfig>::success(FaultConfig::scaled(s));
+}
+
+std::vector<std::pair<std::string, std::size_t>> DataQuality::rows() const {
+  return {
+      {"tests_attempted", tests_attempted},
+      {"tests_completed", tests_completed},
+      {"tests_aborted", tests_aborted},
+      {"tests_unserved", tests_unserved},
+      {"tests_failed", tests_failed},
+      {"tests_truncated", tests_truncated},
+      {"tests_retried", tests_retried},
+      {"retry_attempts", retry_attempts},
+      {"webstats_dropped", webstats_dropped},
+      {"fields_dropped", fields_dropped},
+      {"traceroutes_scheduled", traceroutes_scheduled},
+      {"traceroutes_completed", traceroutes_completed},
+      {"traceroutes_lost_busy", traceroutes_lost_busy},
+      {"traceroutes_lost_failed", traceroutes_lost_failed},
+      {"traceroutes_lost_crash", traceroutes_lost_crash},
+      {"traceroutes_suppressed_cached", traceroutes_suppressed_cached},
+      {"traceroutes_degraded", traceroutes_degraded},
+  };
+}
+
+FaultInjector::FaultInjector(FaultConfig config, std::uint64_t seed)
+    : config_(config), root_(seed) {}
+
+util::Rng FaultInjector::stream(FaultSite site, std::uint64_t item) const {
+  return root_.fork(kSiteFamily + static_cast<std::uint64_t>(site))
+      .fork(item);
+}
+
+bool FaultInjector::fires(FaultSite site, std::uint64_t item,
+                          double prob) const {
+  if (!config_.enabled || prob <= 0.0) return false;
+  return stream(site, item).chance(prob);
+}
+
+bool FaultInjector::server_down(std::uint32_t server,
+                                double utc_time_hours) const {
+  if (!config_.enabled) return false;
+  if (config_.server_outage_fraction > 0.0) {
+    util::Rng rng = stream(FaultSite::kServerOutage, server);
+    if (rng.chance(config_.server_outage_fraction)) {
+      double start = rng.uniform(0.0, config_.outage_horizon_hours);
+      if (utc_time_hours >= start &&
+          utc_time_hours < start + config_.outage_duration_hours) {
+        return true;
+      }
+    }
+  }
+  if (config_.server_flap_fraction > 0.0) {
+    util::Rng rng = stream(FaultSite::kServerFlap, server);
+    if (rng.chance(config_.server_flap_fraction)) {
+      double phase = rng.uniform(0.0, config_.flap_period_hours);
+      double pos = std::fmod(utc_time_hours + phase, config_.flap_period_hours);
+      if (pos >= 0.0 && pos < config_.flap_down_hours) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<topo::Prefix, topo::Asn>>
+FaultInjector::degrade_prefix2as(
+    const std::vector<std::pair<topo::Prefix, topo::Asn>>& announced) const {
+  std::vector<std::pair<topo::Prefix, topo::Asn>> out = announced;
+  if (!config_.enabled || config_.prefix2as_stale_fraction <= 0.0 ||
+      announced.size() < 2) {
+    return out;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    util::Rng rng = stream(FaultSite::kPrefix2AsStale, i);
+    if (!rng.chance(config_.prefix2as_stale_fraction)) continue;
+    // Re-originate to another announced origin — the shape of real
+    // staleness, where a delisted block still maps to a previous holder.
+    std::size_t j = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(announced.size()) - 2));
+    if (j >= i) ++j;
+    out[i].second = announced[j].second;
+  }
+  return out;
+}
+
+}  // namespace netcong::sim

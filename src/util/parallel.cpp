@@ -9,8 +9,37 @@
 namespace netcong::util {
 
 namespace {
+
 thread_local bool tls_on_worker = false;
+
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+// Rethrows a single captured exception unchanged; aggregates several into a
+// ParallelError so no worker's failure is lost.
+[[noreturn]] void rethrow_all(std::vector<std::exception_ptr>& errors) {
+  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  std::vector<std::string> messages;
+  messages.reserve(errors.size());
+  for (const auto& e : errors) messages.push_back(describe(e));
+  throw ParallelError(std::move(messages));
+}
+
 }  // namespace
+
+ParallelError::ParallelError(std::vector<std::string> messages)
+    : std::runtime_error("parallel_for: " + std::to_string(messages.size()) +
+                         " iterations failed; first: " +
+                         (messages.empty() ? std::string("?")
+                                           : messages.front())),
+      messages_(std::move(messages)) {}
 
 int default_thread_count() {
   if (const char* env = std::getenv("NETCONG_THREADS")) {
@@ -94,7 +123,15 @@ void parallel_for(std::size_t n, int threads,
   std::size_t workers =
       std::min(static_cast<std::size_t>(std::max(want, 1)), n);
   if (workers <= 1 || ThreadPool::on_worker_thread()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    std::vector<std::exception_ptr> errors;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors.push_back(std::current_exception());
+      }
+    }
+    if (!errors.empty()) rethrow_all(errors);
     return;
   }
 
@@ -105,18 +142,22 @@ void parallel_for(std::size_t n, int threads,
   const std::size_t grain = std::max<std::size_t>(1, n / (workers * 8));
   std::latch done(static_cast<std::ptrdiff_t>(workers));
   std::mutex err_mu;
-  std::exception_ptr err;
+  std::vector<std::exception_ptr> errors;
 
   auto body = [&] {
     for (;;) {
       std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) break;
       std::size_t end = std::min(n, begin + grain);
-      try {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
-        if (!err) err = std::current_exception();
+      // Per-iteration capture: a throwing iteration is recorded but never
+      // cancels the rest of its chunk or any other worker's range.
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          errors.push_back(std::current_exception());
+        }
       }
     }
     done.count_down();
@@ -126,7 +167,7 @@ void parallel_for(std::size_t n, int threads,
   for (std::size_t w = 0; w + 1 < workers; ++w) pool.submit(body);
   body();
   done.wait();
-  if (err) std::rethrow_exception(err);
+  if (!errors.empty()) rethrow_all(errors);
 }
 
 }  // namespace netcong::util

@@ -16,6 +16,8 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,11 +70,25 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// Thrown by parallel_for when more than one iteration failed: what() is a
+// summary, messages() the per-failure details (each failing chunk or
+// iteration contributes one entry). A single failure is rethrown as-is.
+class ParallelError : public std::runtime_error {
+ public:
+  explicit ParallelError(std::vector<std::string> messages);
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  std::vector<std::string> messages_;
+};
+
 // Runs fn(i) for every i in [0, n), distributed over up to `threads` workers
 // (0 = default_thread_count()). Blocks until all iterations finish; the
-// calling thread participates. The first exception thrown by fn is rethrown
-// after the loop completes. With threads == 1 (or n < 2, or when already on
-// a pool worker) the loop runs inline on the calling thread.
+// calling thread participates. A throwing iteration never cancels the rest:
+// every remaining chunk still runs, and after the loop the sole captured
+// exception is rethrown, or several are aggregated into a ParallelError —
+// no worker's failure is lost. With threads == 1 (or n < 2, or when already
+// on a pool worker) the loop runs inline with the same semantics.
 void parallel_for(std::size_t n, int threads,
                   const std::function<void(std::size_t)>& fn);
 

@@ -1,0 +1,66 @@
+#pragma once
+
+// Result<T>: a value-or-error return type for fallible operations that must
+// not throw — the degradation contract of the fault-injection layer is that
+// failures deep inside a campaign or a parallel loop are *classified and
+// counted*, never thrown past the caller. Errors are plain strings (this is
+// a simulator: errors are for operators reading a report, not for matching).
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace netcong::util {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  static Result success(T value) {
+    Result r;
+    r.ok_ = true;
+    r.value_ = std::move(value);
+    return r;
+  }
+  static Result failure(std::string error) {
+    Result r;
+    r.ok_ = false;
+    r.error_ = std::move(error);
+    return r;
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const T& value() const {
+    assert(ok_);
+    return value_;
+  }
+  T& value() {
+    assert(ok_);
+    return value_;
+  }
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Empty string when ok().
+  const std::string& error() const { return error_; }
+
+ private:
+  Result() = default;
+  bool ok_ = false;
+  T value_{};
+  std::string error_;
+};
+
+// Status: a Result carrying no value.
+struct Unit {};
+using Status = Result<Unit>;
+
+inline Status ok_status() { return Status::success(Unit{}); }
+inline Status error_status(std::string error) {
+  return Status::failure(std::move(error));
+}
+
+}  // namespace netcong::util

@@ -12,6 +12,7 @@
 #include "route/bgp.h"
 #include "route/forwarding.h"
 #include "route/path_cache.h"
+#include "sim/faults.h"
 #include "sim/throughput.h"
 
 namespace netcong::measure {
@@ -83,6 +84,9 @@ void expect_results_equal(const CampaignResult& a, const CampaignResult& b) {
     EXPECT_DOUBLE_EQ(x.flow_rtt_ms, y.flow_rtt_ms);
     EXPECT_DOUBLE_EQ(x.retrans_rate, y.retrans_rate);
     EXPECT_EQ(x.congestion_signals, y.congestion_signals);
+    EXPECT_EQ(x.status, y.status);
+    EXPECT_EQ(x.truncated, y.truncated);
+    EXPECT_EQ(x.has_webstats, y.has_webstats);
     EXPECT_EQ(x.truth_bottleneck, y.truth_bottleneck);
     EXPECT_EQ(x.truth_access_limited, y.truth_access_limited);
     expect_paths_equal(x.truth_path, y.truth_path);
@@ -108,6 +112,7 @@ void expect_results_equal(const CampaignResult& a, const CampaignResult& b) {
   EXPECT_EQ(a.traceroutes_skipped_busy, b.traceroutes_skipped_busy);
   EXPECT_EQ(a.traceroutes_skipped_cached, b.traceroutes_skipped_cached);
   EXPECT_EQ(a.traceroutes_failed, b.traceroutes_failed);
+  EXPECT_EQ(a.quality, b.quality);
 }
 
 CampaignResult run_with(int threads, const route::PathCache* cache,
@@ -151,6 +156,62 @@ TEST(CampaignParallel, RepeatRunsWithSameSeedAgree) {
   CampaignResult a = run_with(0, nullptr, schedule);
   CampaignResult b = run_with(0, nullptr, schedule);
   expect_results_equal(a, b);
+}
+
+CampaignResult run_faulted(int threads, const route::PathCache* cache,
+                           const std::vector<gen::TestRequest>& schedule,
+                           const sim::FaultInjector& faults) {
+  Stack& s = stack();
+  CampaignConfig cfg;
+  cfg.threads = threads;
+  NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab, cfg);
+  if (cache) campaign.set_path_cache(cache);
+  campaign.set_faults(&faults);
+  util::Rng rng(20150501);
+  return campaign.run(schedule, rng);
+}
+
+// The PR-1 determinism contract extends to faulted campaigns: every fault
+// decision is a pure function of (seed, site, item), so the whole degraded
+// result — statuses, truncations, quality counters — is bit-identical
+// across worker counts and with or without a path cache.
+TEST(CampaignParallel, FaultedIdenticalAcrossThreadsAndCache) {
+  auto schedule = dense_schedule();
+  Stack& s = stack();
+  sim::FaultInjector faults(sim::FaultConfig::scaled(0.3), 77);
+  CampaignResult serial = run_faulted(1, nullptr, schedule, faults);
+
+  // The faults actually fired and every record is accounted for.
+  EXPECT_TRUE(serial.quality.consistent());
+  EXPECT_EQ(serial.quality.tests_attempted, schedule.size());
+  EXPECT_GT(serial.quality.tests_aborted + serial.quality.tests_unserved +
+                serial.quality.tests_truncated +
+                serial.quality.webstats_dropped,
+            0u);
+  EXPECT_LT(serial.quality.tests_completed, serial.quality.tests_attempted);
+  EXPECT_GT(serial.quality.tests_completed, 0u);
+
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    CampaignResult par = run_faulted(threads, nullptr, schedule, faults);
+    expect_results_equal(serial, par);
+  }
+  route::PathCache cache(s.fwd);
+  CampaignResult cached = run_faulted(4, &cache, schedule, faults);
+  expect_results_equal(serial, cached);
+}
+
+// An enabled injector whose every rate is zero must reproduce the clean
+// campaign exactly — enabling the layer does not perturb the draw streams.
+TEST(CampaignParallel, ZeroRateInjectorMatchesCleanRun) {
+  auto schedule = dense_schedule();
+  sim::FaultConfig zero;
+  zero.enabled = true;
+  sim::FaultInjector faults(zero, 77);
+  CampaignResult clean = run_with(4, nullptr, schedule);
+  CampaignResult zeroed = run_faulted(4, nullptr, schedule, faults);
+  expect_results_equal(clean, zeroed);
+  EXPECT_EQ(zeroed.quality.tests_completed, schedule.size());
 }
 
 }  // namespace

@@ -1,0 +1,239 @@
+// The fault-injection layer itself: named sites, the severity preset, the
+// (seed, site, item) determinism contract, the scheduled-outage model, and
+// the data-quality accounting invariant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "helpers.h"
+#include "sim/faults.h"
+
+namespace netcong::sim {
+namespace {
+
+TEST(FaultSites, NamedAndDescribed) {
+  const auto& sites = all_fault_sites();
+  EXPECT_EQ(sites.size(), 9u);
+  std::set<std::string> names;
+  for (FaultSite site : sites) {
+    std::string name = fault_site_name(site);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(std::string(fault_site_description(site)), "");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), sites.size());  // unique
+}
+
+TEST(FaultConfig, ScaledSeverityIsMonotone) {
+  FaultConfig zero = FaultConfig::scaled(0.0);
+  FaultConfig mid = FaultConfig::scaled(0.3);
+  FaultConfig full = FaultConfig::scaled(1.0);
+  EXPECT_TRUE(zero.enabled);
+  EXPECT_EQ(zero.ndt_abort_prob, 0.0);
+  EXPECT_EQ(zero.server_outage_fraction, 0.0);
+  EXPECT_GT(mid.ndt_abort_prob, 0.0);
+  EXPECT_LT(mid.ndt_abort_prob, full.ndt_abort_prob);
+  EXPECT_LT(mid.server_outage_fraction, full.server_outage_fraction);
+  EXPECT_LE(full.server_outage_fraction, 1.0);
+}
+
+TEST(FaultConfig, ParseSeverity) {
+  auto ok = parse_fault_severity("0.2");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->enabled);
+  EXPECT_GT(ok->ndt_abort_prob, 0.0);
+
+  for (const char* bad : {"", "abc", "-0.1", "1.5", "0.2x"}) {
+    auto r = parse_fault_severity(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_FALSE(r.error().empty()) << bad;
+  }
+}
+
+TEST(FaultInjector, StreamsArePureFunctionsOfSiteAndItem) {
+  FaultInjector inj(FaultConfig::scaled(0.5), 42);
+  // Same (site, item) -> same stream, regardless of call order or what
+  // other streams were taken in between.
+  util::Rng a = inj.stream(FaultSite::kNdtAbort, 7);
+  (void)inj.stream(FaultSite::kProbeLoss, 3);
+  (void)inj.stream(FaultSite::kNdtAbort, 8);
+  util::Rng b = inj.stream(FaultSite::kNdtAbort, 7);
+  EXPECT_EQ(a.seed(), b.seed());
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+
+  // Distinct sites and distinct items give distinct streams.
+  std::set<std::uint64_t> seeds;
+  for (FaultSite site : all_fault_sites()) {
+    for (std::uint64_t item = 0; item < 20; ++item) {
+      seeds.insert(inj.stream(site, item).seed());
+    }
+  }
+  EXPECT_EQ(seeds.size(), all_fault_sites().size() * 20);
+}
+
+TEST(FaultInjector, FiresIsDeterministicAndGated) {
+  FaultConfig cfg = FaultConfig::scaled(0.5);
+  FaultInjector inj(cfg, 42);
+  FaultInjector same(cfg, 42);
+  FaultInjector other(cfg, 43);
+  int fired = 0, differs = 0;
+  for (std::uint64_t item = 0; item < 500; ++item) {
+    bool f = inj.fires(FaultSite::kNdtAbort, item, 0.3);
+    EXPECT_EQ(f, same.fires(FaultSite::kNdtAbort, item, 0.3));
+    fired += f ? 1 : 0;
+    differs += f != other.fires(FaultSite::kNdtAbort, item, 0.3) ? 1 : 0;
+  }
+  EXPECT_GT(fired, 100);  // ~150 expected
+  EXPECT_LT(fired, 220);
+  EXPECT_GT(differs, 50);  // different seed -> different decisions
+
+  // Gates: probability zero never fires; a disabled injector never fires.
+  EXPECT_FALSE(inj.fires(FaultSite::kNdtAbort, 1, 0.0));
+  FaultConfig off = cfg;
+  off.enabled = false;
+  FaultInjector disabled(off, 42);
+  for (std::uint64_t item = 0; item < 100; ++item) {
+    EXPECT_FALSE(disabled.fires(FaultSite::kNdtAbort, item, 1.0));
+  }
+}
+
+TEST(FaultInjector, OutageWindowsHaveConfiguredDuration) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.server_outage_fraction = 1.0;
+  cfg.outage_duration_hours = 12.0;
+  cfg.outage_horizon_hours = 336.0;
+  FaultInjector inj(cfg, 7);
+  for (std::uint32_t server : {1u, 2u, 55u}) {
+    // Sample every half hour past the horizon so a window starting late is
+    // still fully observed; a 12h window holds exactly 24 sample points.
+    int down = 0;
+    bool repeatable = true;
+    for (double t = 0.25; t < cfg.outage_horizon_hours + 24.0; t += 0.5) {
+      bool d = inj.server_down(server, t);
+      repeatable = repeatable && d == inj.server_down(server, t);
+      down += d ? 1 : 0;
+    }
+    EXPECT_EQ(down, 24) << "server " << server;
+    EXPECT_TRUE(repeatable);
+  }
+}
+
+TEST(FaultInjector, FlappingIsPeriodic) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.server_flap_fraction = 1.0;
+  cfg.flap_period_hours = 8.0;
+  cfg.flap_down_hours = 0.5;
+  FaultInjector inj(cfg, 7);
+  int down = 0, total = 0;
+  for (double t = 0.05; t < 8.0; t += 0.1, ++total) {
+    bool d = inj.server_down(9, t);
+    down += d ? 1 : 0;
+    EXPECT_EQ(d, inj.server_down(9, t + 8.0));
+    EXPECT_EQ(d, inj.server_down(9, t + 80.0));
+  }
+  // Down 0.5h out of every 8h: ~5 of 80 samples.
+  EXPECT_GT(down, 0);
+  EXPECT_LT(down, 10);
+}
+
+TEST(FaultInjector, NoOutageConfiguredMeansAlwaysUp) {
+  FaultConfig cfg;
+  cfg.enabled = true;
+  FaultInjector inj(cfg, 7);
+  for (double t = 0.0; t < 100.0; t += 3.3) {
+    EXPECT_FALSE(inj.server_down(3, t));
+  }
+}
+
+TEST(FaultInjector, DegradePrefix2AsRestagesConfiguredFraction) {
+  const gen::World& world = test::tiny_world();
+  const auto& announced = world.topo->announced_prefixes();
+  ASSERT_GT(announced.size(), 20u);
+
+  std::set<topo::Asn> origins;
+  for (const auto& [p, asn] : announced) origins.insert(asn);
+  ASSERT_GT(origins.size(), 1u);
+
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.prefix2as_stale_fraction = 0.25;
+  FaultInjector inj(cfg, 11);
+  auto stale = inj.degrade_prefix2as(announced);
+  ASSERT_EQ(stale.size(), announced.size());
+
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < announced.size(); ++i) {
+    EXPECT_EQ(stale[i].first.network, announced[i].first.network);
+    EXPECT_EQ(stale[i].first.len, announced[i].first.len);
+    if (stale[i].second != announced[i].second) {
+      ++changed;
+      // The wrong origin is still a real announced AS.
+      EXPECT_TRUE(origins.count(stale[i].second)) << i;
+    }
+  }
+  double frac = static_cast<double>(changed) / announced.size();
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.45);
+
+  // Deterministic: a second injector with the same seed agrees entry for
+  // entry; a zero fraction changes nothing.
+  FaultInjector again(cfg, 11);
+  EXPECT_EQ(again.degrade_prefix2as(announced), stale);
+  cfg.prefix2as_stale_fraction = 0.0;
+  FaultInjector none(cfg, 11);
+  EXPECT_EQ(none.degrade_prefix2as(announced), announced);
+}
+
+TEST(DataQuality, ConsistencyInvariant) {
+  DataQuality q;
+  EXPECT_TRUE(q.consistent());  // all-zero report
+
+  q.tests_attempted = 10;
+  q.tests_completed = 7;
+  q.tests_aborted = 2;
+  q.tests_unserved = 1;
+  q.traceroutes_scheduled = 7;
+  q.traceroutes_completed = 5;
+  q.traceroutes_lost_busy = 1;
+  q.traceroutes_lost_crash = 1;
+  q.tests_truncated = 3;
+  EXPECT_TRUE(q.consistent());
+
+  DataQuality dropped = q;
+  dropped.tests_completed = 6;  // one record silently vanished
+  EXPECT_FALSE(dropped.consistent());
+
+  DataQuality impossible = q;
+  impossible.tests_truncated = 8;  // more truncated than completed
+  EXPECT_FALSE(impossible.consistent());
+
+  DataQuality lost_trace = q;
+  lost_trace.traceroutes_scheduled = 8;
+  EXPECT_FALSE(lost_trace.consistent());
+}
+
+TEST(DataQuality, RowsCoverEveryCounter) {
+  DataQuality q;
+  q.tests_attempted = 4;
+  q.traceroutes_degraded = 2;
+  auto rows = q.rows();
+  ASSERT_GE(rows.size(), 17u);
+  std::set<std::string> keys;
+  bool saw_attempted = false, saw_degraded = false;
+  for (const auto& [k, v] : rows) {
+    keys.insert(k);
+    if (k == "tests_attempted") saw_attempted = v == 4;
+    if (k == "traceroutes_degraded") saw_degraded = v == 2;
+  }
+  EXPECT_EQ(keys.size(), rows.size());  // stable unique names
+  EXPECT_TRUE(saw_attempted);
+  EXPECT_TRUE(saw_degraded);
+}
+
+}  // namespace
+}  // namespace netcong::sim

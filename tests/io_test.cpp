@@ -108,14 +108,34 @@ TEST(Export, CampaignWritesAllFiles) {
   Fixture& f = fixture();
   auto dir = std::filesystem::temp_directory_path() / "netcong_io_test";
   std::filesystem::create_directories(dir);
-  ASSERT_TRUE(export_campaign(f.world, f.result.tests, f.result.traceroutes,
-                              f.matched, dir.string()));
-  for (const char* name : {"ndt_tests.csv", "traceroute_hops.csv",
-                           "matches.csv", "interdomain_links.csv"}) {
+  util::Status status =
+      export_campaign(f.world, f.result.tests, f.result.traceroutes,
+                      f.matched, dir.string(), true, &f.result.quality);
+  ASSERT_TRUE(status.ok()) << status.error();
+  for (const char* name :
+       {"ndt_tests.csv", "traceroute_hops.csv", "matches.csv",
+        "interdomain_links.csv", "data_quality.csv"}) {
     EXPECT_TRUE(std::filesystem::exists(dir / name)) << name;
     EXPECT_GT(std::filesystem::file_size(dir / name), 10u) << name;
   }
   std::filesystem::remove_all(dir);
+}
+
+TEST(Export, DataQualityReportIsConsistent) {
+  Fixture& f = fixture();
+  EXPECT_TRUE(f.result.quality.consistent());
+  std::string out = export_data_quality(f.result.quality).render();
+  EXPECT_NE(out.find("tests_attempted"), std::string::npos);
+  EXPECT_NE(out.find("traceroutes_scheduled"), std::string::npos);
+  EXPECT_NE(out.find("consistent,1"), std::string::npos);
+}
+
+TEST(Export, NdtStatusColumnsPresent) {
+  Fixture& f = fixture();
+  std::string out = export_ndt_tests(f.world, f.result.tests).render();
+  EXPECT_NE(out.find("status"), std::string::npos);
+  EXPECT_NE(out.find("has_webstats"), std::string::npos);
+  EXPECT_NE(out.find("completed"), std::string::npos);
 }
 
 }  // namespace

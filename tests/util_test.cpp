@@ -7,6 +7,7 @@
 
 #include "util/csv.h"
 #include "util/parallel.h"
+#include "util/result.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -226,6 +227,53 @@ TEST(Parallel, ForPropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(Parallel, ForAggregatesAllWorkerExceptions) {
+  // Failures on multiple shards must all be reported, not just the first
+  // one a worker happened to capture. Indices 3 and 997 land on different
+  // shards for any small thread count.
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    std::atomic<int> ran{0};
+    try {
+      parallel_for(1000, threads, [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("shard-low");
+        if (i == 997) throw std::invalid_argument("shard-high");
+        ran.fetch_add(1);
+      });
+      FAIL() << "expected ParallelError";
+    } catch (const ParallelError& e) {
+      ASSERT_EQ(e.messages().size(), 2u);
+      std::string all = e.messages()[0] + "|" + e.messages()[1];
+      EXPECT_NE(all.find("shard-low"), std::string::npos);
+      EXPECT_NE(all.find("shard-high"), std::string::npos);
+    }
+    // A throwing iteration never cancels the rest of the range.
+    EXPECT_EQ(ran.load(), 998);
+  }
+}
+
+TEST(Parallel, InlinePathAggregatesAllExceptions) {
+  int ran = 0;
+  try {
+    parallel_for(10, 1, [&](std::size_t i) {
+      if (i == 2 || i == 7) throw std::runtime_error("inline-boom");
+      ++ran;
+    });
+    FAIL() << "expected ParallelError";
+  } catch (const ParallelError& e) {
+    EXPECT_EQ(e.messages().size(), 2u);
+  }
+  EXPECT_EQ(ran, 8);
+}
+
+TEST(Parallel, SingleExceptionRethrownUnchanged) {
+  EXPECT_THROW(parallel_for(64, 1,
+                            [](std::size_t i) {
+                              if (i == 13) throw std::invalid_argument("only");
+                            }),
+               std::invalid_argument);
+}
+
 TEST(Parallel, NestedForRunsInline) {
   std::atomic<int> total{0};
   parallel_for(4, 4, [&](std::size_t) {
@@ -242,6 +290,36 @@ TEST(Parallel, ThreadPoolRunsSubmittedTasks) {
   for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
   pool.wait();
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(Result, SuccessCarriesValue) {
+  Result<int> r = Result<int>::success(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.error().empty());
+}
+
+TEST(Result, FailureCarriesError) {
+  Result<std::string> r = Result<std::string>::failure("bad input");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error(), "bad input");
+}
+
+TEST(Result, ArrowOperatorReachesMembers) {
+  Result<std::string> r = Result<std::string>::success("abc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Result, StatusHelpers) {
+  Status good = ok_status();
+  EXPECT_TRUE(good.ok());
+  Status bad = error_status("disk full");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "disk full");
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 //   netcong_cli coverage  [--scale ...] [--seed N] [--vp SITE]
 //   netcong_cli diurnal   [--scale ...] [--seed N] [--source NAME]
 //                         [--isp NAME]
+//   netcong_cli faults    [--list] [--scale ...] [--seed N] [--days N]
+//                         [--severity X] [--out DIR]
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +31,7 @@
 #include "route/bgp.h"
 #include "route/forwarding.h"
 #include "route/path_cache.h"
+#include "sim/faults.h"
 #include "sim/throughput.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -135,12 +138,109 @@ int cmd_campaign(const Args& args) {
 
   if (args.has("out")) {
     std::string dir = args.get("out", ".");
-    bool ok = io::export_campaign(world, result.tests, result.traceroutes,
-                                  matched, dir, !args.has("no-truth"));
-    std::printf("%s datasets to %s/{ndt_tests,traceroute_hops,matches,"
-                "interdomain_links}.csv\n",
-                ok ? "wrote" : "FAILED writing", dir.c_str());
-    return ok ? 0 : 1;
+    util::Status st =
+        io::export_campaign(world, result.tests, result.traceroutes, matched,
+                            dir, !args.has("no-truth"), &result.quality);
+    if (!st.ok()) {
+      std::fprintf(stderr, "export: %s\n", st.error().c_str());
+      return 1;
+    }
+    std::printf("wrote datasets to %s/{ndt_tests,traceroute_hops,matches,"
+                "interdomain_links,data_quality}.csv\n",
+                dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_faults(const Args& args) {
+  if (args.has("list")) {
+    util::TextTable table({"site", "what it breaks"});
+    for (sim::FaultSite site : sim::all_fault_sites()) {
+      table.add_row({sim::fault_site_name(site),
+                     sim::fault_site_description(site)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
+
+  std::string severity_text = args.get("severity", "0.2");
+  auto config = sim::parse_fault_severity(severity_text);
+  if (!config) {
+    std::fprintf(stderr, "--severity: %s\n", config.error().c_str());
+    return 1;
+  }
+  std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+
+  gen::WorkloadConfig wl;
+  wl.days = args.get_int("days", 14);
+  wl.mean_tests_per_client = args.get_double("tests-per-client", 8.0);
+  util::Rng sched_rng(seed + 1);
+  auto schedule = gen::crowdsourced_schedule(world, world.clients, wl,
+                                             sched_rng);
+  route::PathCache path_cache(fwd);
+
+  auto run_once = [&](const sim::FaultInjector* faults) {
+    measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                  measure::CampaignConfig{});
+    campaign.set_path_cache(&path_cache);
+    campaign.set_faults(faults);
+    util::Rng rng(seed + 2);
+    return campaign.run(schedule, rng);
+  };
+
+  auto clean = run_once(nullptr);
+  sim::FaultInjector injector(*config, seed);
+  auto faulted = run_once(&injector);
+
+  measure::MatchStats clean_stats, faulted_stats;
+  auto clean_matched = measure::match_tests(
+      clean.tests, clean.traceroutes, *world.topo, {}, &clean_stats);
+  auto faulted_matched = measure::match_tests(
+      faulted.tests, faulted.traceroutes, *world.topo, {}, &faulted_stats);
+
+  std::printf("fault severity %s (seed %llu)\n", severity_text.c_str(),
+              static_cast<unsigned long long>(seed));
+  util::TextTable quality({"metric", "value"});
+  for (const auto& [metric, value] : faulted.quality.rows()) {
+    quality.add_row({metric, std::to_string(value)});
+  }
+  quality.add_row({"consistent", faulted.quality.consistent() ? "yes" : "NO"});
+  std::printf("%s", quality.render().c_str());
+
+  util::TextTable cmp({"campaign", "tests", "traceroutes", "matched/eligible",
+                       "matched/all"});
+  auto row = [&](const char* name, const measure::CampaignResult& r,
+                 const measure::MatchStats& s) {
+    cmp.add_row({name, std::to_string(r.tests.size()),
+                 std::to_string(r.traceroutes.size()),
+                 util::format("%.1f%%", 100.0 * s.fraction()),
+                 util::format("%.1f%%", 100.0 * s.coverage())});
+  };
+  row("clean", clean, clean_stats);
+  row("faulted", faulted, faulted_stats);
+  std::printf("%s", cmp.render().c_str());
+  if (!faulted.quality.consistent()) {
+    std::fprintf(stderr, "data-quality report is NOT consistent\n");
+    return 1;
+  }
+
+  if (args.has("out")) {
+    std::string dir = args.get("out", ".");
+    util::Status st =
+        io::export_campaign(world, faulted.tests, faulted.traceroutes,
+                            faulted_matched, dir, !args.has("no-truth"),
+                            &faulted.quality);
+    if (!st.ok()) {
+      std::fprintf(stderr, "export: %s\n", st.error().c_str());
+      return 1;
+    }
+    std::printf("wrote faulted datasets to %s (see data_quality.csv)\n",
+                dir.c_str());
   }
   return 0;
 }
@@ -245,13 +345,15 @@ int main(int argc, char** argv) {
   if (args.command == "campaign") return cmd_campaign(args);
   if (args.command == "coverage") return cmd_coverage(args);
   if (args.command == "diurnal") return cmd_diurnal(args);
+  if (args.command == "faults") return cmd_faults(args);
   std::fprintf(stderr,
-               "usage: netcong_cli <topology|campaign|coverage|diurnal> "
+               "usage: netcong_cli <topology|campaign|coverage|diurnal|faults> "
                "[options]\n"
                "  common options: --scale full|small|tiny  --seed N\n"
                "  campaign: --days N --tests-per-client X --out DIR "
                "--no-truth\n"
                "  coverage: --vp SITE\n"
-               "  diurnal:  --source NAME --isp NAME --days N\n");
+               "  diurnal:  --source NAME --isp NAME --days N\n"
+               "  faults:   --list | --severity X --days N --out DIR\n");
   return args.command.empty() ? 1 : 2;
 }

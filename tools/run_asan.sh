@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Memory-checks the degraded-data paths (fault injection, corpus
+# degradation, inference over lossy corpora) under AddressSanitizer in one
+# command:
+#
+#   tools/run_asan.sh [extra cmake args...]
+#
+# Configures a dedicated build-asan tree with -fsanitize=address and runs
+# every test carrying the `asan` CTest label.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-asan
+cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=address "$@"
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" -L asan --output-on-failure
