@@ -13,6 +13,8 @@
 
 #include "common.h"
 #include "gen/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/faults.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -204,11 +206,60 @@ int main() {
               faulted_ms, q.tests_completed, q.tests_attempted,
               q.consistent() ? "consistent" : "INCONSISTENT");
 
+  // (f) observability enabled (metrics + tracing + per-test histogram) vs
+  // the idle baseline where the same instrumentation is compiled in but the
+  // registry is off — the default state every run above measured. Contract:
+  // enabled <3% over idle, and bit-identical output (instrumentation never
+  // touches an Rng). Same alternating best-of-3 floors as (d).
+  obs::MetricsRegistry& mreg = obs::MetricsRegistry::global();
+  obs::TraceRecorder& trec = obs::TraceRecorder::global();
+  auto obs_run = [&](bool instrumented, double* fp, std::size_t* tests) {
+    mreg.set_enabled(instrumented);
+    trec.set_enabled(instrumented);
+    double ms = timed_run(nullptr, fp, tests);
+    mreg.set_enabled(false);
+    trec.set_enabled(false);
+    return ms;
+  };
+  double obs_idle_ms = 0.0, obs_on_ms = 0.0;
+  double obs_fp = 0.0;
+  std::size_t obs_tests = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    double idle = obs_run(false, nullptr, nullptr);
+    double on = obs_run(true, &obs_fp, &obs_tests);
+    if (rep == 0 || idle < obs_idle_ms) obs_idle_ms = idle;
+    if (rep == 0 || on < obs_on_ms) obs_on_ms = on;
+  }
+  const double obs_overhead_pct =
+      obs_idle_ms > 0.0 ? 100.0 * (obs_on_ms / obs_idle_ms - 1.0) : 0.0;
+  const bool obs_identical =
+      obs_fp == fingerprint(parallel) && obs_tests == parallel.tests.size();
+  obs::MetricsSnapshot msnap = mreg.snapshot();
+  rec.record("instrumented", obs_on_ms);
+  rec.stat("instrumented", "idle_ms", obs_idle_ms);
+  rec.stat("instrumented", "overhead_pct", obs_overhead_pct);
+  rec.stat("instrumented", "output_identical", obs_identical ? 1.0 : 0.0);
+  rec.stat("instrumented", "counters_registered",
+           static_cast<double>(msnap.counters.size()));
+  rec.stat("instrumented", "trace_events_dropped",
+           static_cast<double>(trec.dropped()));
+  std::printf("observability on: %.0f ms vs %.0f ms idle "
+              "(%+.2f%% overhead, output %s)\n",
+              obs_on_ms, obs_idle_ms, obs_overhead_pct,
+              obs_identical ? "identical" : "MISMATCH");
+
   const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
   const double cache_speedup = cached_ms > 0.0 ? serial_ms / cached_ms : 0.0;
   rec.stat("parallel", "speedup_vs_serial", speedup);
   rec.stat("serial_cached", "speedup_vs_serial", cache_speedup);
+  // Leave the registry on for write(): BENCH_campaign.json then embeds the
+  // metrics snapshot accumulated by the instrumented runs above.
+  mreg.set_enabled(true);
   rec.write();
+  if (!obs_identical) {
+    std::printf("ERROR: instrumented output diverged from uninstrumented\n");
+    return 1;
+  }
   if (!disabled_identical || !q.consistent()) {
     std::printf("ERROR: fault layer broke the clean campaign contract\n");
     return 1;

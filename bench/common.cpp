@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "measure/alexa.h"
 #include "measure/ark.h"
@@ -154,7 +155,14 @@ void BenchRecorder::write() const {
     }
     std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  // When the bench ran with metrics on, ship the snapshot alongside the
+  // timings so run_bench.sh's aggregate has the counters in one file.
+  if (obs::MetricsRegistry::global().enabled()) {
+    std::string metrics = obs::MetricsRegistry::global().snapshot().to_json();
+    std::fprintf(f, ",\n  \"metrics\": %s", metrics.c_str());
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("bench timings written to %s\n", path.c_str());
 }

@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace netcong::infer {
+
+namespace {
+struct BdrmapMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter runs = reg.counter("bdrmap.runs");
+  obs::Counter borders = reg.counter("bdrmap.borders");
+};
+const BdrmapMetrics& bdrmap_metrics() {
+  static const BdrmapMetrics m;
+  return m;
+}
+}  // namespace
 
 BdrmapCounts BdrmapResult::counts() const {
   BdrmapCounts c;
@@ -54,6 +69,7 @@ BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
                         const topo::RelationshipTable& rels,
                         const AliasResolver& aliases,
                         const BdrmapConfig& config) {
+  obs::Span span("bdrmap.run");
   BdrmapResult result;
   result.vp_as = vp_as;
   result.mapit = run_mapit(corpus, ip2as, orgs, config.mapit);
@@ -86,6 +102,9 @@ BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
             [](const BdrmapBorder& x, const BdrmapBorder& y) {
               return x.neighbor < y.neighbor;
             });
+  const BdrmapMetrics& metrics = bdrmap_metrics();
+  metrics.runs.inc();
+  metrics.borders.inc(result.borders.size());
   return result;
 }
 

@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace netcong::infer {
 
 namespace {
+
+struct MapItMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter runs = reg.counter("mapit.runs");
+  obs::Counter passes = reg.counter("mapit.passes");
+  obs::Counter reassignments = reg.counter("mapit.reassignments");
+  obs::Counter crossings = reg.counter("mapit.crossings");
+};
+const MapItMetrics& mapit_metrics() {
+  static const MapItMetrics m;
+  return m;
+}
 
 // Potential point-to-point mates of an address: the /31 mate and the /30
 // mate (for the .1/.2 convention).
@@ -42,6 +57,7 @@ topo::Asn majority_as(const std::unordered_map<topo::Asn, int>& votes,
 MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
                       const Ip2As& ip2as, const OrgMap& orgs,
                       const MapItConfig& config) {
+  obs::Span span("mapit.run");
   MapItResult result;
 
   // ---- collate the corpus: adjacency counts per interface ----
@@ -183,6 +199,11 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   }
 
   result.operating_as = std::move(op);
+  const MapItMetrics& metrics = mapit_metrics();
+  metrics.runs.inc();
+  metrics.passes.inc(static_cast<std::uint64_t>(result.passes_run));
+  metrics.reassignments.inc(static_cast<std::uint64_t>(result.reassignments));
+  metrics.crossings.inc(result.crossings.size());
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "io/export.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <system_error>
 
@@ -159,6 +160,37 @@ util::Status export_campaign(
   write(export_interdomain_links(world, include_truth),
         "interdomain_links.csv");
   if (quality) write(export_data_quality(*quality), "data_quality.csv");
+  if (!failed.empty()) {
+    return util::error_status("failed writing: " + failed);
+  }
+  return util::ok_status();
+}
+
+util::Status export_observability(const obs::MetricsSnapshot& snapshot,
+                                  const std::string& trace_json,
+                                  const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return util::error_status("cannot create " + directory + ": " +
+                              ec.message());
+  }
+  std::string failed;
+  auto write = [&](const std::string& body, const std::string& name) {
+    std::string path = directory + "/" + name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    bool ok = f != nullptr;
+    if (f) {
+      ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+      ok = (std::fclose(f) == 0) && ok;
+    }
+    if (!ok) {
+      if (!failed.empty()) failed += ", ";
+      failed += path;
+    }
+  };
+  write(snapshot.to_json() + "\n", "metrics.json");
+  if (!trace_json.empty()) write(trace_json + "\n", "trace.json");
   if (!failed.empty()) {
     return util::error_status("failed writing: " + failed);
   }

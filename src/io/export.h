@@ -11,6 +11,7 @@
 #include "measure/matching.h"
 #include "measure/ndt.h"
 #include "measure/traceroute.h"
+#include "obs/metrics.h"
 #include "sim/faults.h"
 #include "util/csv.h"
 #include "util/result.h"
@@ -53,5 +54,13 @@ util::Status export_campaign(
     const std::vector<measure::MatchedTest>& matched,
     const std::string& directory, bool include_truth = true,
     const sim::DataQuality* quality = nullptr);
+
+// Observability export: `metrics.json` (the snapshot's to_json payload) and
+// `trace.json` (Chrome trace-event JSON — load via chrome://tracing or
+// Perfetto). Pass an empty trace_json to skip trace.json. Creates the
+// directory like export_campaign does.
+util::Status export_observability(const obs::MetricsSnapshot& snapshot,
+                                  const std::string& trace_json,
+                                  const std::string& directory);
 
 }  // namespace netcong::io

@@ -1,8 +1,12 @@
 #include "measure/ndt.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace netcong::measure {
@@ -18,6 +22,38 @@ constexpr std::uint64_t kStreamRequest = 1ull << 40;
 constexpr std::uint64_t kStreamTest = 2ull << 40;
 constexpr std::uint64_t kStreamTrace = 3ull << 40;
 constexpr std::uint64_t kStreamProbe = 4ull << 40;
+
+// Campaign instrumentation. Counters are bumped only from the serial
+// phases (planning and the accounting sweep), never inside parallel_for
+// bodies, so enabling metrics cannot perturb the parallel phases at all —
+// the instrumented campaign is bit-identical to the uninstrumented one by
+// construction, and the hot loops pay nothing.
+struct CampaignMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter runs = reg.counter("campaign.runs");
+  obs::Counter attempted = reg.counter("campaign.tests_attempted");
+  obs::Counter completed = reg.counter("campaign.tests_completed");
+  obs::Counter aborted = reg.counter("campaign.tests_aborted");
+  obs::Counter unserved = reg.counter("campaign.tests_unserved");
+  obs::Counter failed = reg.counter("campaign.tests_failed");
+  obs::Counter truncated = reg.counter("campaign.tests_truncated");
+  obs::Counter retried = reg.counter("campaign.tests_retried");
+  obs::Counter retry_attempts = reg.counter("campaign.retry_attempts");
+  obs::Counter webstats_dropped = reg.counter("campaign.webstats_dropped");
+  obs::Counter tr_completed = reg.counter("campaign.traceroutes_completed");
+  obs::Counter tr_busy = reg.counter("campaign.traceroutes_skipped_busy");
+  obs::Counter tr_cached = reg.counter("campaign.traceroutes_skipped_cached");
+  obs::Counter tr_failed = reg.counter("campaign.traceroutes_failed");
+  obs::Counter tr_crashed = reg.counter("campaign.traceroutes_lost_crash");
+  obs::Gauge tests_per_sec = reg.gauge("campaign.tests_per_sec");
+  obs::Histogram download =
+      reg.histogram("campaign.download_mbps",
+                    {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+};
+const CampaignMetrics& campaign_metrics() {
+  static const CampaignMetrics m;
+  return m;
+}
 }  // namespace
 
 const char* ndt_status_name(NdtStatus status) {
@@ -83,6 +119,9 @@ NdtRecord NdtCampaign::run_single(std::uint32_t client, std::uint32_t server,
 
 CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
                                 util::Rng& rng) const {
+  obs::Span run_span("campaign.run");
+  const CampaignMetrics& metrics = campaign_metrics();
+  metrics.runs.inc();
   CampaignResult out;
   const bool faulted = faults_ != nullptr && faults_->enabled();
   const sim::FaultConfig* fc = faulted ? &faults_->config() : nullptr;
@@ -113,6 +152,8 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
                static_cast<std::size_t>(
                    std::max(config_.servers_per_request, 1)));
   std::uint64_t next_id = 1;
+  std::optional<obs::Span> phase_span;
+  phase_span.emplace("campaign.plan");
   for (std::size_t r = 0; r < schedule.size(); ++r) {
     const gen::TestRequest& req = schedule[r];
     util::Rng req_rng = root.fork(kStreamRequest + r);
@@ -168,6 +209,8 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
   // record as kFailed instead.
   const double dur_h = config_.ndt_duration_s / 3600.0;
   out.tests.resize(plan.size());
+  phase_span.emplace("campaign.simulate");
+  const auto simulate_start = std::chrono::steady_clock::now();
   util::parallel_for(plan.size(), config_.threads, [&](std::size_t i) {
     const Planned& p = plan[i];
     NdtRecord& rec = out.tests[i];
@@ -211,8 +254,15 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
   });
 
   // Serial accounting sweep over the per-slot statuses (the parallel phase
-  // writes no shared counters).
+  // writes no shared counters; metrics are bumped here too, so the hot loop
+  // stays untouched even with the registry enabled).
+  const double simulate_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    simulate_start)
+          .count();
+  phase_span.emplace("campaign.account");
   out.quality.tests_attempted = plan.size();
+  const bool metrics_on = metrics.reg.enabled();
   for (const NdtRecord& rec : out.tests) {
     switch (rec.status) {
       case NdtStatus::kCompleted:
@@ -222,11 +272,24 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
           ++out.quality.webstats_dropped;
           out.quality.fields_dropped += 2;  // flow_rtt_ms + retrans_rate
         }
+        if (metrics_on) metrics.download.observe(rec.download_mbps);
         break;
       case NdtStatus::kAborted: ++out.quality.tests_aborted; break;
       case NdtStatus::kUnserved: ++out.quality.tests_unserved; break;
       case NdtStatus::kFailed: ++out.quality.tests_failed; break;
     }
+  }
+  metrics.attempted.inc(out.quality.tests_attempted);
+  metrics.completed.inc(out.quality.tests_completed);
+  metrics.aborted.inc(out.quality.tests_aborted);
+  metrics.unserved.inc(out.quality.tests_unserved);
+  metrics.failed.inc(out.quality.tests_failed);
+  metrics.truncated.inc(out.quality.tests_truncated);
+  metrics.retried.inc(out.quality.tests_retried);
+  metrics.retry_attempts.inc(out.quality.retry_attempts);
+  metrics.webstats_dropped.inc(out.quality.webstats_dropped);
+  if (simulate_s > 0.0) {
+    metrics.tests_per_sec.set(static_cast<double>(plan.size()) / simulate_s);
   }
 
   // Phase 3a (sequential, cheap): the server-side traceroute daemons'
@@ -239,6 +302,7 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
   // the daemon's occupancy depends on a drawn trace duration, never on the
   // trace's contents — so the simulation of the selected traceroutes can
   // run in parallel afterwards. Only completed tests reach the daemon.
+  phase_span.emplace("campaign.trace_schedule");
   std::unordered_map<std::uint32_t, double> tracer_busy_until;
   std::unordered_map<std::uint64_t, double> last_traced;
   std::vector<std::size_t> traced;  // indices into plan, in time order
@@ -284,6 +348,11 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
   out.quality.traceroutes_scheduled =
       traced.size() + out.quality.traceroutes_lost_busy +
       out.quality.traceroutes_lost_failed + out.quality.traceroutes_lost_crash;
+  metrics.tr_completed.inc(out.quality.traceroutes_completed);
+  metrics.tr_busy.inc(out.quality.traceroutes_lost_busy);
+  metrics.tr_cached.inc(out.quality.traceroutes_suppressed_cached);
+  metrics.tr_failed.inc(out.quality.traceroutes_lost_failed);
+  metrics.tr_crashed.inc(out.quality.traceroutes_lost_crash);
 
   // Phase 3b (parallel): simulate the selected traceroutes. Probe artifacts
   // (stars, silent clients, missing PTRs) draw from their own fork stream,
@@ -291,6 +360,7 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
   // and of the scheduling draws above. A trace that drew the probe-loss
   // fault runs with an elevated star probability (a lossy probe path).
   out.traceroutes.resize(traced.size());
+  phase_span.emplace("campaign.trace_simulate");
   util::parallel_for(traced.size(), config_.threads, [&](std::size_t t) {
     const Planned& p = plan[traced[t]];
     util::Rng probe_rng = root.fork(kStreamProbe + p.id);

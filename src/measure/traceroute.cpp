@@ -1,6 +1,26 @@
 #include "measure/traceroute.h"
 
+#include "obs/metrics.h"
+
 namespace netcong::measure {
+
+namespace {
+// Incremented from whatever worker thread simulates the trace — the
+// registry's per-thread slabs make this lock-free and race-free; the bulk
+// inc() calls below cost a handful of relaxed atomic ops per traceroute.
+struct TracerouteMetrics {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter runs = reg.counter("traceroute.runs");
+  obs::Counter unreachable = reg.counter("traceroute.unreachable");
+  obs::Counter hops = reg.counter("traceroute.hops");
+  obs::Counter stars = reg.counter("traceroute.stars");
+  obs::Counter reached_dst = reg.counter("traceroute.reached_dst");
+};
+const TracerouteMetrics& traceroute_metrics() {
+  static const TracerouteMetrics m;
+  return m;
+}
+}  // namespace
 
 TracerouteRecord run_traceroute(const topo::Topology& topo,
                                 const route::Forwarder& fwd,
@@ -33,7 +53,12 @@ TracerouteRecord run_traceroute(const topo::Topology& topo,
   route::RouterPath path = cache ? cache->path(src_host, dst, key)
                                  : fwd.path(src_host, dst, key);
   rec.truth = path;
-  if (!path.valid) return rec;
+  const TracerouteMetrics& metrics = traceroute_metrics();
+  metrics.runs.inc();
+  if (!path.valid) {
+    metrics.unreachable.inc();
+    return rec;
+  }
 
   double cum_delay = topo.host(src_host).access_delay_ms;
   double cum_queue = 0.0;
@@ -80,6 +105,15 @@ TracerouteRecord run_traceroute(const topo::Topology& topo,
         (2.0 * path.one_way_delay_ms + cum_queue) * rng.uniform(1.0, 1.08);
     rec.hops.push_back(th);
     rec.reached_dst = true;
+  }
+  if (metrics.reg.enabled()) {
+    std::uint64_t star_hops = 0;
+    for (const TraceHop& th : rec.hops) {
+      if (!th.responded) ++star_hops;
+    }
+    metrics.hops.inc(rec.hops.size());
+    metrics.stars.inc(star_hops);
+    if (rec.reached_dst) metrics.reached_dst.inc();
   }
   return rec;
 }

@@ -1,0 +1,405 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace netcong::obs {
+
+namespace {
+// One module-wide mutex serializes every cold operation across all
+// registries: registration, snapshot, reset, slab birth/retirement, and
+// registry destruction. Hot-path increments never take it.
+std::mutex& obs_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// JSON number formatting that survives round-trips and never emits the
+// locale-dependent or non-JSON tokens (inf/nan become 0).
+std::string json_double(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  std::string s = util::format("%.17g", v);
+  return s;
+}
+}  // namespace
+
+// Per-thread storage: a fixed-size block of single-writer atomics. The
+// owning thread is the only writer; snapshots read concurrently with
+// relaxed loads. Fixed capacity keeps the layout stable so readers never
+// race a resize.
+struct MetricsRegistry::Slab {
+  MetricsRegistry* owner = nullptr;  // null once the registry died first
+  std::uint64_t registry_id = 0;
+  std::uint64_t seq = 0;  // registration order, for deterministic merging
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxHistogramBins> bins{};
+  std::array<std::atomic<double>, kMaxHistograms> hist_sums{};
+};
+
+// The calling thread's slabs, one per registry it has written to. The
+// destructor (thread exit) folds each slab's totals into its registry so
+// short-lived worker threads never lose counts.
+struct MetricsRegistry::ThreadSlabs {
+  std::vector<std::unique_ptr<Slab>> slabs;
+  ~ThreadSlabs() {
+    std::lock_guard<std::mutex> lk(obs_mutex());
+    for (auto& slab : slabs) {
+      if (slab->owner != nullptr) slab->owner->retire_slab(*slab);
+    }
+  }
+};
+
+MetricsRegistry::MetricsRegistry()
+    : registry_id_(g_next_registry_id.fetch_add(1)) {}
+
+MetricsRegistry::~MetricsRegistry() {
+  // Detach live slabs so their threads' exit hooks skip the dead registry.
+  std::lock_guard<std::mutex> lk(obs_mutex());
+  for (Slab* slab : live_slabs_) slab->owner = nullptr;
+  live_slabs_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instrumented code may run during static destruction.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry::Slab* MetricsRegistry::thread_slab() {
+  thread_local ThreadSlabs t_slabs;
+  for (auto& slab : t_slabs.slabs) {
+    if (slab->registry_id == registry_id_) return slab.get();
+  }
+  auto slab = std::make_unique<Slab>();
+  slab->owner = this;
+  slab->registry_id = registry_id_;
+  Slab* raw = slab.get();
+  {
+    std::lock_guard<std::mutex> lk(obs_mutex());
+    slab->seq = next_slab_seq_++;
+    live_slabs_.push_back(raw);
+  }
+  t_slabs.slabs.push_back(std::move(slab));
+  return raw;
+}
+
+void MetricsRegistry::retire_slab(Slab& slab) {
+  // Caller holds obs_mutex().
+  for (std::size_t i = 0; i < kMaxCounters; ++i) {
+    retired_counters_[i] += slab.counters[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kMaxHistogramBins; ++i) {
+    retired_bins_[i] += slab.bins[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+    retired_hist_sums_[i] += slab.hist_sums[i].load(std::memory_order_relaxed);
+  }
+  live_slabs_.erase(std::remove(live_slabs_.begin(), live_slabs_.end(), &slab),
+                    live_slabs_.end());
+  slab.owner = nullptr;
+}
+
+// NB: registration never logs while holding obs_mutex() — the obs log sink
+// itself increments counters, and a first-touch increment registers a
+// thread slab under the same mutex.
+Counter MetricsRegistry::counter(const std::string& name) {
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lk(obs_mutex());
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      if (counter_names_[i] == name) {
+        return Counter(this, static_cast<std::uint32_t>(i));
+      }
+    }
+    if (counter_names_.size() < kMaxCounters) {
+      counter_names_.push_back(name);
+      return Counter(this,
+                     static_cast<std::uint32_t>(counter_names_.size() - 1));
+    }
+    full = true;
+  }
+  if (full) NETCONG_WARN << "obs: counter capacity exceeded, dropping " << name;
+  return Counter();
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lk(obs_mutex());
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+      if (gauge_names_[i] == name) {
+        return Gauge(this, static_cast<std::uint32_t>(i));
+      }
+    }
+    if (gauge_names_.size() < kMaxGauges) {
+      gauge_names_.push_back(name);
+      return Gauge(this, static_cast<std::uint32_t>(gauge_names_.size() - 1));
+    }
+    full = true;
+  }
+  if (full) NETCONG_WARN << "obs: gauge capacity exceeded, dropping " << name;
+  return Gauge();
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  bool full = false, mismatch = false;
+  Histogram existing;
+  {
+    std::lock_guard<std::mutex> lk(obs_mutex());
+    for (std::size_t i = 0; i < hist_count_; ++i) {
+      if (histograms_[i].name == name) {
+        mismatch = histograms_[i].bounds != bounds;
+        existing = Histogram(this, static_cast<std::uint32_t>(i));
+        if (mismatch) break;
+        return existing;
+      }
+    }
+    std::uint32_t bin_count = static_cast<std::uint32_t>(bounds.size()) + 1;
+    if (!mismatch) {
+      if (hist_count_ < kMaxHistograms &&
+          bins_used_ + bin_count <= kMaxHistogramBins) {
+        HistogramInfo& info = histograms_[hist_count_];
+        info.name = name;
+        info.bounds = std::move(bounds);
+        info.bin_offset = bins_used_;
+        info.bin_count = bin_count;
+        bins_used_ += bin_count;
+        return Histogram(this, hist_count_++);
+      }
+      full = true;
+    }
+  }
+  if (mismatch) {
+    NETCONG_WARN << "obs: histogram " << name
+                 << " re-registered with different bounds; keeping the "
+                    "original bin layout";
+    return existing;
+  }
+  if (full) {
+    NETCONG_WARN << "obs: histogram capacity exceeded, dropping " << name;
+  }
+  return Histogram();
+}
+
+void MetricsRegistry::add_counter(std::uint32_t id, std::uint64_t n) {
+  Slab* slab = thread_slab();
+  std::atomic<std::uint64_t>& c = slab->counters[id];
+  // Single-writer: a relaxed load+store is enough (and cheaper than RMW).
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe_histogram(std::uint32_t id, double value) {
+  // Lock-free: histograms_ is a fixed array whose entries are written once,
+  // at registration, strictly before the handle carrying `id` escapes — so
+  // this read can never race a write to the same entry.
+  const HistogramInfo* info = &histograms_[id];
+  std::size_t bin = static_cast<std::size_t>(
+      std::lower_bound(info->bounds.begin(), info->bounds.end(), value) -
+      info->bounds.begin());
+  Slab* slab = thread_slab();
+  std::atomic<std::uint64_t>& b = slab->bins[info->bin_offset + bin];
+  b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  std::atomic<double>& s = slab->hist_sums[id];
+  s.store(s.load(std::memory_order_relaxed) + value,
+          std::memory_order_relaxed);
+}
+
+void Counter::inc(std::uint64_t n) const {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  reg_->add_counter(id_, n);
+}
+
+void Gauge::set(double value) const {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  reg_->gauges_[id_].store(value, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double value) const {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  reg_->observe_histogram(id_, value);
+}
+
+std::vector<double> exp_bounds(double lo, double hi, int steps) {
+  std::vector<double> out;
+  if (steps < 1 || lo <= 0.0 || hi <= lo) return out;
+  double ratio = hi / lo;
+  for (int i = 0; i <= steps; ++i) {
+    out.push_back(lo * std::pow(ratio, static_cast<double>(i) / steps));
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lk(obs_mutex());
+  // Deterministic merge order: retired totals, then live slabs sorted by
+  // registration sequence. (Counter sums are order-independent; histogram
+  // double sums get a stable order anyway.)
+  std::vector<Slab*> slabs = live_slabs_;
+  std::sort(slabs.begin(), slabs.end(),
+            [](const Slab* a, const Slab* b) { return a->seq < b->seq; });
+
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = retired_counters_[i];
+    for (const Slab* s : slabs) {
+      total += s->counters[i].load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges.emplace_back(gauge_names_[i],
+                             gauges_[i].load(std::memory_order_relaxed));
+  }
+  for (std::size_t h = 0; h < hist_count_; ++h) {
+    const HistogramInfo& info = histograms_[h];
+    HistogramValue v;
+    v.bounds = info.bounds;
+    v.counts.resize(info.bin_count, 0);
+    v.sum = retired_hist_sums_[h];
+    for (std::uint32_t b = 0; b < info.bin_count; ++b) {
+      v.counts[b] = retired_bins_[info.bin_offset + b];
+    }
+    for (const Slab* s : slabs) {
+      for (std::uint32_t b = 0; b < info.bin_count; ++b) {
+        v.counts[b] +=
+            s->bins[info.bin_offset + b].load(std::memory_order_relaxed);
+      }
+      v.sum += s->hist_sums[h].load(std::memory_order_relaxed);
+    }
+    for (std::uint64_t c : v.counts) v.count += c;
+    snap.histograms.emplace_back(info.name, std::move(v));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(obs_mutex());
+  retired_counters_.fill(0);
+  retired_bins_.fill(0);
+  retired_hist_sums_.fill(0.0);
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+  for (Slab* slab : live_slabs_) {
+    for (auto& c : slab->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& b : slab->bins) b.store(0, std::memory_order_relaxed);
+    for (auto& s : slab->hist_sums) s.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramValue* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += util::format("%s\n    \"%s\": %llu", i ? "," : "",
+                        json_escape(counters[i].first).c_str(),
+                        static_cast<unsigned long long>(counters[i].second));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += util::format("%s\n    \"%s\": %s", i ? "," : "",
+                        json_escape(gauges[i].first).c_str(),
+                        json_double(gauges[i].second).c_str());
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i].second;
+    out += util::format("%s\n    \"%s\": {\"bounds\": [", i ? "," : "",
+                        json_escape(histograms[i].first).c_str());
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out += util::format("%s%s", b ? ", " : "",
+                          json_double(h.bounds[b]).c_str());
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out += util::format("%s%llu", b ? ", " : "",
+                          static_cast<unsigned long long>(h.counts[b]));
+    }
+    out += util::format("], \"count\": %llu, \"sum\": %s}",
+                        static_cast<unsigned long long>(h.count),
+                        json_double(h.sum).c_str());
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void hook_logging() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    // Fixed handles per level, so the sink itself is allocation-free.
+    static const Counter debug = reg.counter("log.lines.debug");
+    static const Counter info = reg.counter("log.lines.info");
+    static const Counter warn = reg.counter("log.lines.warn");
+    static const Counter error = reg.counter("log.lines.error");
+    util::set_log_sink([](util::LogLevel level, const std::string& line) {
+      switch (level) {
+        case util::LogLevel::kDebug: debug.inc(); break;
+        case util::LogLevel::kInfo: info.inc(); break;
+        case util::LogLevel::kWarn: warn.inc(); break;
+        case util::LogLevel::kError: error.inc(); break;
+      }
+      util::write_log_line_to_stderr(line);
+    });
+  });
+}
+
+}  // namespace netcong::obs

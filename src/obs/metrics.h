@@ -1,0 +1,193 @@
+#pragma once
+
+// Runtime metrics for the measurement/inference pipeline: counters, gauges,
+// and fixed-bin histograms behind a single process-wide registry.
+//
+// Design constraints, in order:
+//  1. The bit-identical-output contract from the campaign engine must
+//     survive instrumentation. Metrics never touch an Rng, never branch the
+//     instrumented code's logic, and are merged at snapshot time in a fixed
+//     order (retired totals first, then live thread slabs in registration
+//     order), so an instrumented run produces the same campaign output as an
+//     uninstrumented one — only the side-channel numbers differ.
+//  2. The hot path is lock-free. Each thread writes to its own slab of
+//     relaxed atomics (single-writer; the atomics exist so a concurrent
+//     snapshot is race-free, not for cross-thread ordering). No mutex is
+//     ever taken on increment.
+//  3. Disabled means near-free. Every increment short-circuits on one
+//     relaxed atomic load when the registry is off (the default), so the
+//     instrumentation can stay compiled into production binaries.
+//
+// Handles (Counter/Gauge/Histogram) are cheap POD-ish values obtained from
+// the registry once — typically in a function-local static — and used
+// forever after. Handles must not outlive their registry; the global()
+// registry lives for the whole process.
+//
+// Thread slabs retire on thread exit: their totals fold into the registry
+// so counts from short-lived threads are never lost.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netcong::obs {
+
+class MetricsRegistry;
+
+// Capacity limits. Registration past a limit returns an inert handle (and
+// warns once) rather than failing; limits are generous for this codebase.
+inline constexpr std::size_t kMaxCounters = 256;
+inline constexpr std::size_t kMaxGauges = 64;
+inline constexpr std::size_t kMaxHistograms = 64;
+inline constexpr std::size_t kMaxHistogramBins = 1024;  // pooled, all hists
+
+// Monotonic event count. inc() is safe from any thread.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+// Last-written value (not per-thread; intended for end-of-phase summary
+// values like tests/sec, written from one thread at a time).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+// Fixed-bin histogram: `bounds` are ascending upper bounds, with an
+// implicit final +inf bin; observe(v) lands in the first bin whose bound
+// is >= v. Bin layout is fixed at registration, so merging per-thread
+// copies is a plain elementwise sum.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+// Exponential-ish bucket bounds helper: `steps` multiplicative steps from
+// `lo` to `hi` inclusive (e.g. exp_bounds(1, 1000, 10) for decades-ish).
+std::vector<double> exp_bounds(double lo, double hi, int steps);
+
+struct HistogramValue {
+  std::vector<double> bounds;         // upper bounds (without the +inf bin)
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;            // total observations
+  double sum = 0.0;                   // sum of observed values
+};
+
+// A merged, name-sorted view of every metric. Plain data: safe to keep
+// after the registry changes.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramValue>> histograms;
+
+  // Value lookup helpers (0 / empty when the metric is absent).
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  const HistogramValue* histogram(const std::string& name) const;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys in
+  // sorted order — the payload of metrics.json.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every instrumented library writes to.
+  // Never destroyed (intentional leak: instrumented code may log from
+  // static destructors).
+  static MetricsRegistry& global();
+
+  // Master switch; off by default. Flipping it on/off never loses counts.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Registration: returns the existing metric when the name is already
+  // registered (histogram bounds must then match; mismatch warns and keeps
+  // the original). Cold path, mutex-protected.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+
+  // Merged view of all values: retired totals plus every live thread slab,
+  // in slab-registration order. Cold path.
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes every value (keeps registrations, so existing handles stay
+  // valid). Used by tests and by the CLI between runs.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  struct Slab;
+  struct ThreadSlabs;
+  struct HistogramInfo {
+    std::string name;
+    std::vector<double> bounds;
+    std::uint32_t bin_offset = 0;  // into the slab bin pool
+    std::uint32_t bin_count = 0;   // bounds.size() + 1
+  };
+
+  void add_counter(std::uint32_t id, std::uint64_t n);
+  void observe_histogram(std::uint32_t id, double value);
+  Slab* thread_slab();
+  void retire_slab(Slab& slab);  // fold a dying thread's totals in
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t registry_id_;
+
+  // Cold state, all guarded by the module-wide obs mutex (see metrics.cpp):
+  // registration tables, the live-slab list, and retired totals. Histogram
+  // infos live in a fixed array and are written exactly once (registration),
+  // so the hot path may index them without the mutex.
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::array<HistogramInfo, kMaxHistograms> histograms_{};
+  std::uint32_t hist_count_ = 0;
+  std::uint32_t bins_used_ = 0;
+  std::vector<Slab*> live_slabs_;  // in registration order
+  std::uint64_t next_slab_seq_ = 0;
+  std::array<std::uint64_t, kMaxCounters> retired_counters_{};
+  std::array<std::uint64_t, kMaxHistogramBins> retired_bins_{};
+  std::array<double, kMaxHistograms> retired_hist_sums_{};
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+};
+
+// Installs a util::set_log_sink hook that counts emitted log lines per
+// level ("log.lines.debug" ... "log.lines.error") in the global registry
+// and forwards each line to the default stderr writer. Idempotent.
+void hook_logging();
+
+}  // namespace netcong::obs

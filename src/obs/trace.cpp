@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "util/strings.h"
+
+namespace netcong::obs {
+
+namespace {
+std::mutex& trace_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+// Per-thread bounded event ring. Only the owning thread writes; collect()
+// reads under the ring's own mutex, which record() also takes — contention
+// exists only while an export is in flight.
+struct TraceRecorder::Ring {
+  TraceRecorder* owner = nullptr;
+  std::uint64_t recorder_id = 0;
+  std::uint32_t tid = 0;
+  mutable std::mutex mu;
+  std::array<TraceEvent, kTraceRingCapacity> events;
+  std::size_t size = 0;   // events retained (<= capacity)
+  std::size_t head = 0;   // next write slot once wrapped
+  std::uint64_t dropped = 0;
+};
+
+struct TraceRecorder::ThreadRings {
+  std::vector<std::unique_ptr<Ring>> rings;
+  ~ThreadRings() {
+    std::lock_guard<std::mutex> lk(trace_mutex());
+    for (auto& ring : rings) {
+      if (ring->owner != nullptr) ring->owner->retire_ring(*ring);
+    }
+  }
+};
+
+TraceRecorder::TraceRecorder()
+    : recorder_id_(g_next_recorder_id.fetch_add(1)), epoch_ns_(steady_ns()) {}
+
+TraceRecorder::~TraceRecorder() {
+  std::lock_guard<std::mutex> lk(trace_mutex());
+  for (Ring* ring : live_rings_) ring->owner = nullptr;
+  live_rings_.clear();
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = new TraceRecorder();
+  return *rec;
+}
+
+double TraceRecorder::now_us() const {
+  return static_cast<double>(steady_ns() - epoch_ns_) / 1000.0;
+}
+
+TraceRecorder::Ring* TraceRecorder::thread_ring() {
+  thread_local ThreadRings t_rings;
+  for (auto& ring : t_rings.rings) {
+    if (ring->recorder_id == recorder_id_) return ring.get();
+  }
+  auto ring = std::make_unique<Ring>();
+  ring->owner = this;
+  ring->recorder_id = recorder_id_;
+  Ring* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lk(trace_mutex());
+    ring->tid = next_tid_++;
+    live_rings_.push_back(raw);
+  }
+  t_rings.rings.push_back(std::move(ring));
+  return raw;
+}
+
+void TraceRecorder::retire_ring(Ring& ring) {
+  // Caller holds trace_mutex().
+  std::lock_guard<std::mutex> lk(ring.mu);
+  for (std::size_t i = 0; i < ring.size; ++i) {
+    retired_events_.push_back(ring.events[i]);
+  }
+  retired_dropped_ += ring.dropped;
+  live_rings_.erase(
+      std::remove(live_rings_.begin(), live_rings_.end(), &ring),
+      live_rings_.end());
+  ring.owner = nullptr;
+}
+
+void TraceRecorder::record(const char* name, double ts_us, double dur_us) {
+  Ring* ring = thread_ring();
+  std::lock_guard<std::mutex> lk(ring->mu);
+  TraceEvent ev{name, ts_us, dur_us, ring->tid};
+  if (ring->size < kTraceRingCapacity) {
+    ring->events[ring->size++] = ev;
+  } else {
+    ring->events[ring->head] = ev;  // overwrite oldest
+    ring->head = (ring->head + 1) % kTraceRingCapacity;
+    ++ring->dropped;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::collect() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(trace_mutex());
+    out = retired_events_;
+    for (const Ring* ring : live_rings_) {
+      std::lock_guard<std::mutex> rlk(ring->mu);
+      for (std::size_t i = 0; i < ring->size; ++i) {
+        out.push_back(ring->events[i]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.tid < b.tid;
+  });
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lk(trace_mutex());
+  std::uint64_t total = retired_dropped_;
+  for (const Ring* ring : live_rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lk(trace_mutex());
+  retired_events_.clear();
+  retired_dropped_ = 0;
+  for (Ring* ring : live_rings_) {
+    std::lock_guard<std::mutex> rlk(ring->mu);
+    ring->size = 0;
+    ring->head = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::vector<TraceEvent> events = collect();
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += util::format(
+        "%s\n  {\"name\": \"%s\", \"cat\": \"netcong\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+        i ? "," : "", e.name, e.ts_us, e.dur_us, e.tid);
+  }
+  out += util::format(
+      "%s], \"displayTimeUnit\": \"ms\", \"otherData\": "
+      "{\"dropped_events\": %llu}}\n",
+      events.empty() ? "" : "\n", static_cast<unsigned long long>(dropped()));
+  return out;
+}
+
+}  // namespace netcong::obs

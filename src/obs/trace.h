@@ -1,0 +1,112 @@
+#pragma once
+
+// RAII trace spans with per-thread ring buffers, exportable as Chrome
+// trace-event JSON ("complete" events, ph:"X") loadable in chrome://tracing
+// or https://ui.perfetto.dev.
+//
+// Same discipline as obs/metrics.h: recording never touches an Rng and
+// never branches instrumented logic, so tracing cannot perturb the
+// campaign's bit-identical-output contract; the disabled path is one
+// relaxed atomic load; the hot path takes only the calling thread's own
+// ring mutex (uncontended except during export, so in practice a couple of
+// uncontended atomic ops — "lock-free" in spirit, race-free under tsan by
+// construction).
+//
+// Span names must be string literals (or otherwise outlive the recorder):
+// events store the pointer, not a copy.
+//
+// Rings are bounded (kTraceRingCapacity events per thread); overflow
+// overwrites the oldest events and counts the loss in dropped(), so a
+// 10M-test campaign can stay instrumented without unbounded memory.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netcong::obs {
+
+inline constexpr std::size_t kTraceRingCapacity = 16384;
+
+struct TraceEvent {
+  const char* name = "";
+  double ts_us = 0.0;   // start, microseconds since the recorder epoch
+  double dur_us = 0.0;  // duration, microseconds
+  std::uint32_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Process-wide recorder used by obs::Span. Never destroyed.
+  static TraceRecorder& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds since the recorder's construction (steady clock).
+  double now_us() const;
+
+  // Appends one complete event to the calling thread's ring.
+  void record(const char* name, double ts_us, double dur_us);
+
+  // All retained events, merged across threads and sorted by (ts, tid).
+  std::vector<TraceEvent> collect() const;
+
+  // Chrome trace-event JSON: {"traceEvents": [...], ...}.
+  std::string to_chrome_json() const;
+
+  // Events lost to ring overflow since the last clear().
+  std::uint64_t dropped() const;
+
+  // Drops every retained event and zeroes the drop counter.
+  void clear();
+
+ private:
+  struct Ring;
+  struct ThreadRings;
+  Ring* thread_ring();
+  void retire_ring(Ring& ring);
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t recorder_id_;
+  std::int64_t epoch_ns_ = 0;
+
+  // Guarded by the module-wide trace mutex (trace.cpp):
+  std::vector<Ring*> live_rings_;
+  std::vector<TraceEvent> retired_events_;
+  std::uint64_t retired_dropped_ = 0;
+  std::uint32_t next_tid_ = 1;
+};
+
+// Times the enclosing scope into TraceRecorder::global(). Near-free when
+// tracing is disabled. `name` must be a string literal.
+class Span {
+ public:
+  explicit Span(const char* name) : name_(name) {
+    TraceRecorder& rec = TraceRecorder::global();
+    active_ = rec.enabled();
+    if (active_) start_us_ = rec.now_us();
+  }
+  ~Span() {
+    if (active_) {
+      TraceRecorder& rec = TraceRecorder::global();
+      rec.record(name_, start_us_, rec.now_us() - start_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace netcong::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace netcong::route {
 
 namespace {
@@ -11,14 +13,32 @@ std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
 }
+
+// Process-wide metric handles (registered once; near-free while the
+// registry is disabled). All PathCache instances feed the same counters.
+struct CacheMetrics {
+  obs::Counter hits = obs::MetricsRegistry::global().counter("path_cache.hits");
+  obs::Counter misses =
+      obs::MetricsRegistry::global().counter("path_cache.misses");
+  obs::Counter evictions =
+      obs::MetricsRegistry::global().counter("path_cache.evictions");
+};
+const CacheMetrics& cache_metrics() {
+  static const CacheMetrics m;
+  return m;
+}
 }  // namespace
 
-PathCache::PathCache(const Forwarder& fwd, std::size_t num_shards)
+PathCache::PathCache(const Forwarder& fwd, std::size_t num_shards,
+                     std::size_t max_entries)
     : fwd_(&fwd) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  if (max_entries > 0) {
+    max_per_shard_ = std::max<std::size_t>(1, max_entries / num_shards);
   }
 }
 
@@ -62,6 +82,7 @@ RouterPath PathCache::path(std::uint32_t src_host, topo::IpAddr dst,
     auto it = shard.map.find(k);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_metrics().hits.inc();
       return it->second;
     }
   }
@@ -69,9 +90,18 @@ RouterPath PathCache::path(std::uint32_t src_host, topo::IpAddr dst,
   // same value (the path is a pure function of the arguments).
   RouterPath p = fwd_->path(src_host, dst, key);
   misses_.fetch_add(1, std::memory_order_relaxed);
+  cache_metrics().misses.inc();
   {
     std::unique_lock<std::shared_mutex> lk(shard.mu);
     shard.map.emplace(k, p);
+    while (max_per_shard_ > 0 && shard.map.size() > max_per_shard_) {
+      auto victim = shard.map.begin();
+      if (victim->first == k) ++victim;  // keep the entry just inserted
+      if (victim == shard.map.end()) break;
+      shard.map.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      cache_metrics().evictions.inc();
+    }
   }
   return p;
 }
@@ -80,6 +110,7 @@ PathCache::Stats PathCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -99,6 +130,7 @@ void PathCache::clear() {
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace netcong::route

@@ -41,6 +41,7 @@ class PathCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     double hit_rate() const {
       std::uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
@@ -50,7 +51,13 @@ class PathCache {
   // First ephemeral destination port used for ECMP bucket keys.
   static constexpr std::uint16_t kEphemeralPortBase = 32768;
 
-  explicit PathCache(const Forwarder& fwd, std::size_t num_shards = 64);
+  // max_entries == 0 means unbounded; otherwise inserts that push a shard
+  // past its share of the budget evict an arbitrary resident entry.
+  // Eviction cannot change results (a re-miss recomputes the identical
+  // pure-function value), only the hit rate — so campaigns stay
+  // bit-identical under any capacity.
+  explicit PathCache(const Forwarder& fwd, std::size_t num_shards = 64,
+                     std::size_t max_entries = 0);
 
   // The TCP flow key representing ECMP bucket `bucket` of an (src, dst)
   // address pair: a real flow's key with the ephemeral destination port
@@ -93,8 +100,10 @@ class PathCache {
   const Forwarder* fwd_;
   // unique_ptr because shared_mutex is neither movable nor copyable.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t max_per_shard_ = 0;  // 0 = unbounded
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace netcong::route

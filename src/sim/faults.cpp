@@ -1,8 +1,11 @@
 #include "sim/faults.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdlib>
+
+#include "obs/metrics.h"
 
 namespace netcong::sim {
 
@@ -44,6 +47,26 @@ const SiteInfo& info(FaultSite site) {
     if (s.site == site) return s;
   }
   return kSites[0];
+}
+
+// Per-site fire counters, indexed by the site's (stable) enum value. The
+// inc() on a fired site is a single relaxed per-thread atomic op, so the
+// decision streams stay pure functions of (seed, site, item) — metrics
+// observe the draws, they never consume randomness.
+struct FireMetrics {
+  std::array<obs::Counter, 10> fired{};
+  FireMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    for (const SiteInfo& s : kSites) {
+      fired[static_cast<std::size_t>(s.site)] =
+          reg.counter(std::string("faults.fired.") + s.name);
+    }
+  }
+};
+
+void count_fire(FaultSite site) {
+  static const FireMetrics m;
+  m.fired[static_cast<std::size_t>(site)].inc();
 }
 
 }  // namespace
@@ -124,7 +147,9 @@ util::Rng FaultInjector::stream(FaultSite site, std::uint64_t item) const {
 bool FaultInjector::fires(FaultSite site, std::uint64_t item,
                           double prob) const {
   if (!config_.enabled || prob <= 0.0) return false;
-  return stream(site, item).chance(prob);
+  bool fired = stream(site, item).chance(prob);
+  if (fired) count_fire(site);
+  return fired;
 }
 
 bool FaultInjector::server_down(std::uint32_t server,
@@ -136,6 +161,7 @@ bool FaultInjector::server_down(std::uint32_t server,
       double start = rng.uniform(0.0, config_.outage_horizon_hours);
       if (utc_time_hours >= start &&
           utc_time_hours < start + config_.outage_duration_hours) {
+        count_fire(FaultSite::kServerOutage);
         return true;
       }
     }
@@ -145,7 +171,10 @@ bool FaultInjector::server_down(std::uint32_t server,
     if (rng.chance(config_.server_flap_fraction)) {
       double phase = rng.uniform(0.0, config_.flap_period_hours);
       double pos = std::fmod(utc_time_hours + phase, config_.flap_period_hours);
-      if (pos >= 0.0 && pos < config_.flap_down_hours) return true;
+      if (pos >= 0.0 && pos < config_.flap_down_hours) {
+        count_fire(FaultSite::kServerFlap);
+        return true;
+      }
     }
   }
   return false;
@@ -162,6 +191,7 @@ FaultInjector::degrade_prefix2as(
   for (std::size_t i = 0; i < out.size(); ++i) {
     util::Rng rng = stream(FaultSite::kPrefix2AsStale, i);
     if (!rng.chance(config_.prefix2as_stale_fraction)) continue;
+    count_fire(FaultSite::kPrefix2AsStale);
     // Re-originate to another announced origin — the shape of real
     // staleness, where a delisted block still maps to a previous holder.
     std::size_t j = static_cast<std::size_t>(rng.uniform_int(

@@ -47,4 +47,61 @@ bool CsvWriter::write_file(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // distinguishes "" from an absent last field
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;  // doubled quote -> literal quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);  // commas and newlines are literal here
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // a comma implies a following field
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+    }
+  }
+  // Final row without a trailing newline.
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
 }  // namespace netcong::util

@@ -1,6 +1,10 @@
 #pragma once
 
-// CSV emission for bench results (machine-readable companion to TextTable).
+// CSV emission and parsing (machine-readable companion to TextTable).
+// Writer and parser are RFC-4180 inverses: parse_csv(w.render()) returns
+// exactly the header + rows that were added, including fields containing
+// commas, quotes, and embedded newlines (metrics/data-quality exports
+// depend on this round-trip).
 
 #include <string>
 #include <vector>
@@ -23,5 +27,11 @@ class CsvWriter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// Parses RFC-4180 CSV text into rows of fields: quoted fields may contain
+// commas, doubled quotes ("" -> "), and embedded CR/LF; rows end at an
+// unquoted newline (LF or CRLF). A trailing newline does not produce an
+// empty final row. The first row is typically the header.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
 }  // namespace netcong::util

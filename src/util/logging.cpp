@@ -1,17 +1,85 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+#include "util/strings.h"
 
 namespace netcong::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Guards the sink pointer and serializes emission, so a line is always
+// delivered (and written) whole.
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
+
+bool parse_level(const char* text, LogLevel* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::string s;
+  for (const char* p = text; *p != '\0'; ++p) {
+    s.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (s == "debug" || s == "0") *out = LogLevel::kDebug;
+  else if (s == "info" || s == "1") *out = LogLevel::kInfo;
+  else if (s == "warn" || s == "warning" || s == "2") *out = LogLevel::kWarn;
+  else if (s == "error" || s == "3") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+void load_env_level_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { reload_log_level_from_env(); });
+}
+
+// [2026-08-06T12:34:56.789Z] — UTC wall clock with millisecond resolution.
+std::string timestamp() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                now.time_since_epoch())
+                .count() %
+            1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  return format("%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(ms));
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) {
+  load_env_level_once();  // so a later env reload cannot undo this call
+  g_level.store(level);
+}
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() {
+  load_env_level_once();
+  return g_level.load();
+}
+
+void reload_log_level_from_env() {
+  LogLevel level;
+  if (parse_level(std::getenv("NETCONG_LOG_LEVEL"), &level)) {
+    g_level.store(level);
+  }
+}
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
@@ -27,9 +95,30 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lk(log_mutex());
+  sink_slot() = std::move(sink);
+}
+
+void write_log_line_to_stderr(const std::string& line) {
+  // One write call per line: stderr is unbuffered, so a single fwrite is
+  // what keeps concurrent processes/threads from interleaving mid-line.
+  std::string with_newline = line + "\n";
+  std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+}
+
 void log_line(LogLevel level, const std::string& message) {
+  load_env_level_once();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+  std::string line = "[" + timestamp() + "] [" +
+                     std::string(log_level_name(level)) + "] " + message;
+  std::lock_guard<std::mutex> lk(log_mutex());
+  LogSink& sink = sink_slot();
+  if (sink) {
+    sink(level, line);
+  } else {
+    write_log_line_to_stderr(line);
+  }
 }
 
 }  // namespace netcong::util

@@ -1,8 +1,20 @@
 #pragma once
 
-// Minimal leveled logging to stderr. Benches and examples keep their tabular
+// Leveled, thread-safe logging. Benches and examples keep their tabular
 // output on stdout; diagnostics go through here so they can be filtered.
+//
+// Each message is formatted into one complete line —
+//   [2026-08-06T12:34:56.789Z] [WARN] message
+// — and handed to the active sink under a single mutex, so concurrent
+// loggers never interleave characters within a line. The default sink
+// writes the line to stderr with one fwrite; obs::hook_logging() installs
+// a sink that additionally counts lines per level in the metrics registry.
+//
+// The threshold starts from the NETCONG_LOG_LEVEL environment variable
+// (debug|info|warn|error, or 0-3), read once before the first line is
+// emitted; set_log_level() overrides it at any time.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -10,13 +22,31 @@ namespace netcong::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global threshold; messages below it are dropped. Default: kInfo.
+// Global threshold; messages below it are dropped. Default: kInfo, or the
+// NETCONG_LOG_LEVEL environment variable when set.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+// Re-reads NETCONG_LOG_LEVEL and applies it (no-op when unset or invalid).
+// Called automatically once before the first emitted line; exposed so tests
+// and long-lived tools can re-apply a changed environment.
+void reload_log_level_from_env();
+
 const char* log_level_name(LogLevel level);
 
-// Emits one formatted line to stderr if `level` passes the threshold.
+// Receives fully formatted lines (no trailing newline), already filtered by
+// the threshold, serialized by the logging mutex.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+// Replaces the sink; an empty function restores the default stderr sink.
+void set_log_sink(LogSink sink);
+
+// The default sink's writer: one line, one fwrite to stderr (appends the
+// newline). Custom sinks that still want terminal output call this.
+void write_log_line_to_stderr(const std::string& line);
+
+// Emits one formatted line through the sink if `level` passes the
+// threshold. Safe to call from any thread.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

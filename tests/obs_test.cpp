@@ -1,0 +1,368 @@
+// The observability subsystem: metric semantics, lock-free multi-threaded
+// exactness, thread-exit retention, snapshot/JSON shape, trace rings, and
+// the load-bearing contract — an instrumented campaign is bit-identical to
+// an uninstrumented one.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/workload.h"
+#include "helpers.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "route/path_cache.h"
+#include "sim/throughput.h"
+#include "util/logging.h"
+
+namespace netcong::obs {
+namespace {
+
+TEST(MetricsTest, CounterGaugeHistogramSemantics) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("requests");
+  Gauge g = reg.gauge("rate");
+  Histogram h = reg.histogram("latency", {1.0, 10.0, 100.0});
+
+  c.inc();
+  c.inc(41);
+  g.set(2.5);
+  g.set(7.25);  // last write wins
+  h.observe(0.5);    // bin 0 (<= 1)
+  h.observe(10.0);   // bin 1 (<= 10, inclusive upper bound)
+  h.observe(99.0);   // bin 2
+  h.observe(1e6);    // overflow bin
+
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("requests"), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauge("rate"), 7.25);
+  const HistogramValue* hv = snap.histogram("latency");
+  ASSERT_NE(hv, nullptr);
+  ASSERT_EQ(hv->bounds.size(), 3u);
+  ASSERT_EQ(hv->counts.size(), 4u);
+  EXPECT_EQ(hv->counts[0], 1u);
+  EXPECT_EQ(hv->counts[1], 1u);
+  EXPECT_EQ(hv->counts[2], 1u);
+  EXPECT_EQ(hv->counts[3], 1u);
+  EXPECT_EQ(hv->count, 4u);
+  EXPECT_DOUBLE_EQ(hv->sum, 0.5 + 10.0 + 99.0 + 1e6);
+
+  // Absent names fall back to zero values.
+  EXPECT_EQ(snap.counter("no-such"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("no-such"), 0.0);
+  EXPECT_EQ(snap.histogram("no-such"), nullptr);
+}
+
+TEST(MetricsTest, DisabledRegistryIsInertAndFlippingKeepsCounts) {
+  MetricsRegistry reg;  // disabled by default
+  Counter c = reg.counter("n");
+  c.inc(5);
+  EXPECT_EQ(reg.snapshot().counter("n"), 0u);
+
+  reg.set_enabled(true);
+  c.inc(3);
+  reg.set_enabled(false);
+  c.inc(100);  // dropped again
+  reg.set_enabled(true);
+  c.inc(4);
+  EXPECT_EQ(reg.snapshot().counter("n"), 7u);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Counter a = reg.counter("same");
+  Counter b = reg.counter("same");
+  a.inc(2);
+  b.inc(3);
+  MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counter("same"), 5u);
+
+  // Re-registering a histogram with different bounds keeps the original.
+  Histogram h1 = reg.histogram("h", {1.0, 2.0});
+  Histogram h2 = reg.histogram("h", {5.0, 50.0, 500.0});
+  h1.observe(1.5);
+  h2.observe(1.5);
+  MetricsSnapshot snap2 = reg.snapshot();
+  const HistogramValue* hv = snap2.histogram("h");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(hv->count, 2u);
+}
+
+TEST(MetricsTest, MultiThreadedCountsAreExact) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("hits");
+  Histogram h = reg.histogram("v", {10.0, 20.0});
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIncs; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Every increment from every (now exited) thread must be retained: the
+  // per-thread slabs fold into the registry on thread exit.
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("hits"),
+            static_cast<std::uint64_t>(kThreads) * kIncs);
+  const HistogramValue* hv = snap.histogram("v");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->count, static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndJsonShaped) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("zeta").inc();
+  reg.counter("alpha").inc(2);
+  reg.gauge("mid").set(1.5);
+  reg.histogram("hist", {1.0}).observe(0.5);
+
+  MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+
+  std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+  // "alpha" sorts before "zeta" in the serialized document too.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  Counter c = reg.counter("n");
+  Gauge g = reg.gauge("g");
+  Histogram h = reg.histogram("h", {1.0});
+  c.inc(9);
+  g.set(3.0);
+  h.observe(0.5);
+  reg.reset();
+
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("n"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("g"), 0.0);
+  ASSERT_NE(snap.histogram("h"), nullptr);
+  EXPECT_EQ(snap.histogram("h")->count, 0u);
+
+  // Handles issued before the reset still work.
+  c.inc(2);
+  EXPECT_EQ(reg.snapshot().counter("n"), 2u);
+}
+
+TEST(MetricsTest, RegistrationPastCapacityReturnsInertHandles) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  std::vector<Counter> handles;
+  for (std::size_t i = 0; i < kMaxCounters + 5; ++i) {
+    handles.push_back(reg.counter("c" + std::to_string(i)));
+  }
+  for (Counter& c : handles) c.inc();  // the overflow handles must not crash
+  MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.size(), kMaxCounters);
+  EXPECT_EQ(snap.counter("c0"), 1u);
+}
+
+TEST(MetricsTest, ExpBounds) {
+  std::vector<double> b = exp_bounds(1.0, 1000.0, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b.front(), 1.0);
+  EXPECT_DOUBLE_EQ(b.back(), 1000.0);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+TEST(TraceTest, SpanRecordsCompleteEvent) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  {
+    Span span("obs_test.span");
+    Span inner("obs_test.inner");
+  }
+  rec.set_enabled(false);
+
+  std::vector<TraceEvent> events = rec.collect();
+  auto named = [&](const char* name) {
+    return std::count_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+      return std::string(e.name) == name;
+    });
+  };
+  EXPECT_EQ(named("obs_test.span"), 1);
+  EXPECT_EQ(named("obs_test.inner"), 1);
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.ts_us, 0.0);
+    EXPECT_GE(e.dur_us, 0.0);
+    EXPECT_GT(e.tid, 0u);
+  }
+  rec.clear();
+}
+
+TEST(TraceTest, DisabledSpanRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  ASSERT_FALSE(rec.enabled());
+  { Span span("obs_test.disabled"); }
+  EXPECT_TRUE(rec.collect().empty());
+}
+
+TEST(TraceTest, RingOverflowDropsOldestAndCounts) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  const std::size_t total = kTraceRingCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    rec.record("e", static_cast<double>(i), 1.0);
+  }
+  std::vector<TraceEvent> events = rec.collect();
+  EXPECT_EQ(events.size(), kTraceRingCapacity);
+  EXPECT_EQ(rec.dropped(), 100u);
+  // The survivors are the most recent events, still sorted by timestamp.
+  EXPECT_DOUBLE_EQ(events.front().ts_us, 100.0);
+  EXPECT_DOUBLE_EQ(events.back().ts_us, static_cast<double>(total - 1));
+
+  rec.clear();
+  EXPECT_TRUE(rec.collect().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.record("phase_a", 10.0, 5.0);
+  std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+}
+
+TEST(ObsTest, HookLoggingCountsEmittedLines) {
+  hook_logging();
+  MetricsRegistry& reg = MetricsRegistry::global();
+  bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  std::uint64_t before = reg.snapshot().counter("log.lines.warn");
+  NETCONG_WARN << "obs_test: counted warning (expected in test output)";
+  std::uint64_t after = reg.snapshot().counter("log.lines.warn");
+  reg.set_enabled(was_enabled);
+  EXPECT_EQ(after, before + 1);
+}
+
+// --- the load-bearing contract -------------------------------------------
+
+struct Stack {
+  explicit Stack(const gen::World& w)
+      : world(w),
+        bgp(*w.topo),
+        fwd(*w.topo, bgp),
+        model(*w.topo, *w.traffic),
+        mlab("mlab", *w.topo, w.mlab_servers) {}
+  const gen::World& world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+  measure::Platform mlab;
+};
+
+measure::CampaignResult run_campaign(bool instrumented) {
+  static Stack s(test::tiny_world());
+  std::vector<gen::TestRequest> schedule;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < s.world.clients.size(); ++i) {
+      schedule.push_back(
+          {s.world.clients[i],
+           12.0 + round * 0.08 + static_cast<double>(i) * 0.004});
+    }
+  }
+  MetricsRegistry::global().set_enabled(instrumented);
+  TraceRecorder::global().set_enabled(instrumented);
+  measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab,
+                                measure::CampaignConfig{});
+  route::PathCache cache(s.fwd, 16, 64);  // tiny capacity: force evictions
+  campaign.set_path_cache(&cache);
+  util::Rng rng(2017);
+  auto result = campaign.run(schedule, rng);
+  MetricsRegistry::global().set_enabled(false);
+  TraceRecorder::global().set_enabled(false);
+  return result;
+}
+
+TEST(ObsTest, InstrumentedCampaignIsBitIdentical) {
+  TraceRecorder::global().clear();
+  measure::CampaignResult plain = run_campaign(false);
+  measure::CampaignResult instrumented = run_campaign(true);
+
+  ASSERT_EQ(plain.tests.size(), instrumented.tests.size());
+  for (std::size_t i = 0; i < plain.tests.size(); ++i) {
+    const measure::NdtRecord& x = plain.tests[i];
+    const measure::NdtRecord& y = instrumented.tests[i];
+    EXPECT_EQ(x.test_id, y.test_id);
+    EXPECT_EQ(x.client, y.client);
+    EXPECT_EQ(x.server, y.server);
+    EXPECT_DOUBLE_EQ(x.utc_time_hours, y.utc_time_hours);
+    EXPECT_DOUBLE_EQ(x.download_mbps, y.download_mbps);
+    EXPECT_DOUBLE_EQ(x.upload_mbps, y.upload_mbps);
+    EXPECT_DOUBLE_EQ(x.flow_rtt_ms, y.flow_rtt_ms);
+    EXPECT_EQ(x.status, y.status);
+  }
+  ASSERT_EQ(plain.traceroutes.size(), instrumented.traceroutes.size());
+  for (std::size_t i = 0; i < plain.traceroutes.size(); ++i) {
+    const measure::TracerouteRecord& x = plain.traceroutes[i];
+    const measure::TracerouteRecord& y = instrumented.traceroutes[i];
+    EXPECT_EQ(x.src_host, y.src_host);
+    EXPECT_EQ(x.dst, y.dst);
+    ASSERT_EQ(x.hops.size(), y.hops.size());
+    for (std::size_t h = 0; h < x.hops.size(); ++h) {
+      EXPECT_EQ(x.hops[h].responded, y.hops[h].responded);
+      EXPECT_EQ(x.hops[h].addr, y.hops[h].addr);
+      EXPECT_DOUBLE_EQ(x.hops[h].rtt_ms, y.hops[h].rtt_ms);
+    }
+  }
+  EXPECT_EQ(plain.quality, instrumented.quality);
+
+  // The instrumented run actually measured things.
+  MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_GE(snap.counter("campaign.runs"), 1u);
+  EXPECT_GT(snap.counter("campaign.tests_attempted"), 0u);
+  EXPECT_GT(snap.counter("traceroute.runs"), 0u);
+  EXPECT_GT(snap.counter("path_cache.misses"), 0u);
+  const HistogramValue* dl = snap.histogram("campaign.download_mbps");
+  ASSERT_NE(dl, nullptr);
+  EXPECT_GT(dl->count, 0u);
+
+  // And the campaign phases produced spans.
+  std::vector<TraceEvent> events = TraceRecorder::global().collect();
+  auto has = [&](const char* name) {
+    return std::any_of(events.begin(), events.end(), [&](const TraceEvent& e) {
+      return std::string(e.name) == name;
+    });
+  };
+  EXPECT_TRUE(has("campaign.run"));
+  EXPECT_TRUE(has("campaign.plan"));
+  EXPECT_TRUE(has("campaign.simulate"));
+  TraceRecorder::global().clear();
+}
+
+}  // namespace
+}  // namespace netcong::obs

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -320,6 +326,135 @@ TEST(Result, StatusHelpers) {
   Status bad = error_status("disk full");
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.error(), "disk full");
+}
+
+TEST(Csv, ParseRoundTripsQuotingCommasAndNewlines) {
+  CsvWriter w({"name", "note"});
+  w.add_row({"plain", "x"});
+  w.add_row({"comma,field", "quote \"inside\""});
+  w.add_row({"multi\nline", "crlf\r\nline"});
+  w.add_row({"", "trailing empty then this"});
+
+  auto rows = parse_csv(w.render());
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "note"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"plain", "x"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"comma,field", "quote \"inside\""}));
+  EXPECT_EQ(rows[3], (std::vector<std::string>{"multi\nline", "crlf\r\nline"}));
+  EXPECT_EQ(rows[4], (std::vector<std::string>{"", "trailing empty then this"}));
+}
+
+TEST(Csv, ParseHandlesCrlfRowsAndTrailingNewline) {
+  auto rows = parse_csv("a,b\r\n1,\"2,2\"\r\n");
+  ASSERT_EQ(rows.size(), 2u);  // the trailing newline adds no empty row
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2,2"}));
+
+  // Doubled quotes collapse; a lone final field without newline still lands.
+  auto rows2 = parse_csv("\"he said \"\"hi\"\"\",tail");
+  ASSERT_EQ(rows2.size(), 1u);
+  EXPECT_EQ(rows2[0], (std::vector<std::string>{"he said \"hi\"", "tail"}));
+
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(Logging, SinkReceivesFormattedFilteredLines) {
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  set_log_sink([&](LogLevel level, const std::string& line) {
+    seen.emplace_back(level, line);
+  });
+  LogLevel prev = log_level();
+  set_log_level(LogLevel::kInfo);
+  NETCONG_DEBUG << "dropped below threshold";
+  NETCONG_WARN << "captured message";
+  set_log_level(prev);
+  set_log_sink({});  // restore the default stderr sink
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, LogLevel::kWarn);
+  const std::string& line = seen[0].second;
+  // "[<ISO-8601 UTC>] [WARN] captured message"
+  ASSERT_GE(line.size(), 2u);
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_NE(line.find("Z] [WARN] captured message"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Logging, EnvOverrideReload) {
+  LogLevel prev = log_level();
+  ASSERT_EQ(setenv("NETCONG_LOG_LEVEL", "error", 1), 0);
+  reload_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ASSERT_EQ(setenv("NETCONG_LOG_LEVEL", "debug", 1), 0);
+  reload_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  unsetenv("NETCONG_LOG_LEVEL");
+  reload_log_level_from_env();  // no-op when unset
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(prev);
+}
+
+TEST(Logging, ConcurrentLoggersNeverInterleaveLines) {
+  // Redirect stderr to a temp file and hammer the *default* sink from many
+  // threads: every captured line must be one complete log line.
+  std::FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  std::fflush(stderr);
+  int saved_fd = dup(fileno(stderr));
+  ASSERT_GE(saved_fd, 0);
+  ASSERT_GE(dup2(fileno(capture), fileno(stderr)), 0);
+
+  LogLevel prev = log_level();
+  set_log_level(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  const std::string payload(40, 'x');
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kLines; ++i) {
+          NETCONG_WARN << "t" << t << "-i" << i << " " << payload;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  set_log_level(prev);
+
+  std::fflush(stderr);
+  dup2(saved_fd, fileno(stderr));
+  close(saved_fd);
+
+  std::fseek(capture, 0, SEEK_SET);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, capture)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(capture);
+
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < contents.size()) {
+    std::size_t end = contents.find('\n', start);
+    ASSERT_NE(end, std::string::npos) << "truncated final line";
+    std::string line = contents.substr(start, end - start);
+    start = end + 1;
+    ++lines;
+    // A complete line: one timestamp prefix, one level tag, one payload.
+    EXPECT_EQ(line.front(), '[') << line;
+    EXPECT_NE(line.find("] [WARN] t"), std::string::npos) << line;
+    EXPECT_TRUE(line.size() >= payload.size() &&
+                line.compare(line.size() - payload.size(), payload.size(),
+                             payload) == 0)
+        << line;
+    EXPECT_EQ(line.find("] [WARN] t", line.find("] [WARN] t") + 1),
+              std::string::npos)
+        << "two messages fused into one line: " << line;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads) * kLines);
 }
 
 }  // namespace

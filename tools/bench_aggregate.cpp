@@ -1,0 +1,117 @@
+// Collects every BENCH_<label>.json in a directory into one BENCH_all.json
+// so a campaign of bench runs ships as a single artifact:
+//
+//   bench_aggregate [DIR]          # default: current directory
+//
+// Output shape: {"generated_by": ..., "benches": {"<label>": <raw json>}}.
+// The per-bench payloads are embedded verbatim (they are already JSON), so
+// the aggregator needs no JSON parser — it only validates non-emptiness.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return in.good() || in.eof();
+}
+
+// "BENCH_campaign.json" -> "campaign"; empty when the name doesn't match.
+std::string label_of(const std::string& filename) {
+  const std::string prefix = "BENCH_";
+  const std::string suffix = ".json";
+  if (filename.size() <= prefix.size() + suffix.size()) return "";
+  if (filename.rfind(prefix, 0) != 0) return "";
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return "";
+  }
+  return filename.substr(prefix.size(),
+                         filename.size() - prefix.size() - suffix.size());
+}
+
+// Strips trailing whitespace so embedded payloads don't carry stray
+// newlines into the combined document.
+std::string trimmed(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                        s.back() == ' ' || s.back() == '\t')) {
+    s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path dir = argc > 1 ? fs::path(argv[1]) : fs::current_path();
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "bench_aggregate: %s is not a directory\n",
+                 dir.string().c_str());
+    return 1;
+  }
+
+  // std::map for a deterministic (sorted) label order in the output.
+  std::map<std::string, std::string> benches;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string label = label_of(entry.path().filename().string());
+    if (label.empty() || label == "all") continue;
+    std::string body;
+    if (!read_file(entry.path(), &body) || trimmed(body).empty()) {
+      std::fprintf(stderr, "bench_aggregate: skipping unreadable/empty %s\n",
+                   entry.path().string().c_str());
+      continue;
+    }
+    benches[label] = trimmed(body);
+  }
+  if (ec) {
+    std::fprintf(stderr, "bench_aggregate: cannot scan %s: %s\n",
+                 dir.string().c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (benches.empty()) {
+    std::fprintf(stderr, "bench_aggregate: no BENCH_*.json in %s\n",
+                 dir.string().c_str());
+    return 1;
+  }
+
+  fs::path out_path = dir / "BENCH_all.json";
+  std::FILE* f = std::fopen(out_path.string().c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_aggregate: cannot open %s\n",
+                 out_path.string().c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"generated_by\": \"bench_aggregate\",\n");
+  std::fprintf(f, "  \"bench_count\": %zu,\n", benches.size());
+  std::fprintf(f, "  \"benches\": {\n");
+  std::size_t i = 0;
+  for (const auto& [label, body] : benches) {
+    // Indent the embedded document so the combined file stays readable.
+    std::string indented;
+    indented.reserve(body.size());
+    for (char c : body) {
+      indented.push_back(c);
+      if (c == '\n') indented += "    ";
+    }
+    std::fprintf(f, "    \"%s\": %s%s\n", label.c_str(), indented.c_str(),
+                 ++i < benches.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu benches)\n", out_path.string().c_str(),
+              benches.size());
+  return 0;
+}

@@ -2,14 +2,9 @@
 // export M-Lab-style datasets, and run per-VP coverage analyses without
 // writing any C++.
 //
-//   netcong_cli topology  [--scale full|small|tiny] [--seed N]
-//   netcong_cli campaign  [--scale ...] [--seed N] [--days N]
-//                         [--tests-per-client X] [--out DIR] [--no-truth]
-//   netcong_cli coverage  [--scale ...] [--seed N] [--vp SITE]
-//   netcong_cli diurnal   [--scale ...] [--seed N] [--source NAME]
-//                         [--isp NAME]
-//   netcong_cli faults    [--list] [--scale ...] [--seed N] [--days N]
-//                         [--severity X] [--out DIR]
+// Run `netcong_cli` with no arguments for the subcommand list — the usage
+// text and the dispatch both come from the kSubcommands registry below, so
+// a new subcommand is one table entry plus its cmd_* function.
 
 #include <cstdio>
 #include <cstring>
@@ -28,6 +23,8 @@
 #include "measure/matching.h"
 #include "measure/ndt.h"
 #include "measure/platform.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "route/bgp.h"
 #include "route/forwarding.h"
 #include "route/path_cache.h"
@@ -337,23 +334,123 @@ int cmd_diurnal(const Args& args) {
   return 0;
 }
 
+int cmd_stats(const Args& args) {
+  // Flip the whole observability stack on, then run an instrumented
+  // campaign. The campaign output is bit-identical to an uninstrumented
+  // run (the obs determinism contract); this command exists to surface the
+  // side-channel numbers.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  obs::hook_logging();
+  reg.set_enabled(true);
+  recorder.set_enabled(true);
+
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) + 1);
+  gen::WorkloadConfig wl;
+  wl.days = args.get_int("days", 14);
+  wl.mean_tests_per_client = args.get_double("tests-per-client", 8.0);
+  auto schedule = gen::crowdsourced_schedule(world, world.clients, wl, rng);
+  route::PathCache path_cache(fwd);
+  measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                measure::CampaignConfig{});
+  campaign.set_path_cache(&path_cache);
+  auto result = campaign.run(schedule, rng);
+  std::printf("tests: %zu  traceroutes: %zu\n", result.tests.size(),
+              result.traceroutes.size());
+
+  obs::MetricsSnapshot snap = reg.snapshot();
+  util::TextTable counters({"counter", "value"});
+  for (const auto& [name, value] : snap.counters) {
+    counters.add_row({name, std::to_string(value)});
+  }
+  std::printf("%s", counters.render().c_str());
+  if (!snap.gauges.empty()) {
+    util::TextTable gauges({"gauge", "value"});
+    for (const auto& [name, value] : snap.gauges) {
+      gauges.add_row({name, util::format("%.3f", value)});
+    }
+    std::printf("%s", gauges.render().c_str());
+  }
+  if (!snap.histograms.empty()) {
+    util::TextTable hists({"histogram", "count", "mean"});
+    for (const auto& [name, h] : snap.histograms) {
+      hists.add_row({name, std::to_string(h.count),
+                     h.count ? util::format("%.3f", h.sum / h.count) : "-"});
+    }
+    std::printf("%s", hists.render().c_str());
+  }
+
+  if (args.has("out")) {
+    std::string dir = args.get("out", ".");
+    util::Status st =
+        io::export_observability(snap, recorder.to_chrome_json(), dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "export: %s\n", st.error().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/metrics.json and %s/trace.json "
+                "(load trace.json in chrome://tracing)\n",
+                dir.c_str(), dir.c_str());
+  }
+  return 0;
+}
+
+// The subcommand registry: the one place a subcommand is declared. Both
+// the usage text and main()'s dispatch are generated from this table.
+struct Subcommand {
+  const char* name;
+  const char* summary;
+  const char* options;  // subcommand-specific flags, for the usage text
+  int (*fn)(const Args&);
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"topology", "generate a world and summarize its topology", "", &cmd_topology},
+    {"campaign", "run an NDT measurement campaign, optionally exporting datasets",
+     "--days N --tests-per-client X --out DIR --no-truth", &cmd_campaign},
+    {"coverage", "per-VP interdomain coverage analysis (bdrmap vs platforms)",
+     "--vp SITE", &cmd_coverage},
+    {"diurnal", "diurnal throughput profile for one transit/ISP pair",
+     "--source NAME --isp NAME --days N", &cmd_diurnal},
+    {"faults", "run clean vs faulted campaigns and report data quality",
+     "--list | --severity X --days N --out DIR --no-truth", &cmd_faults},
+    {"stats", "run an instrumented campaign; print/export metrics and traces",
+     "--days N --tests-per-client X --out DIR", &cmd_stats},
+};
+
+int usage(std::FILE* to) {
+  std::fprintf(to, "usage: netcong_cli <subcommand> [options]\n\n");
+  std::fprintf(to, "subcommands:\n");
+  for (const Subcommand& sub : kSubcommands) {
+    std::fprintf(to, "  %-9s %s\n", sub.name, sub.summary);
+  }
+  std::fprintf(to, "\ncommon options: --scale full|small|tiny  --seed N\n");
+  for (const Subcommand& sub : kSubcommands) {
+    if (sub.options[0] == '\0') continue;
+    std::fprintf(to, "  %-9s %s\n", sub.name, sub.options);
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
-  if (args.command == "topology") return cmd_topology(args);
-  if (args.command == "campaign") return cmd_campaign(args);
-  if (args.command == "coverage") return cmd_coverage(args);
-  if (args.command == "diurnal") return cmd_diurnal(args);
-  if (args.command == "faults") return cmd_faults(args);
-  std::fprintf(stderr,
-               "usage: netcong_cli <topology|campaign|coverage|diurnal|faults> "
-               "[options]\n"
-               "  common options: --scale full|small|tiny  --seed N\n"
-               "  campaign: --days N --tests-per-client X --out DIR "
-               "--no-truth\n"
-               "  coverage: --vp SITE\n"
-               "  diurnal:  --source NAME --isp NAME --days N\n"
-               "  faults:   --list | --severity X --days N --out DIR\n");
-  return args.command.empty() ? 1 : 2;
+  if (args.command == "help" || args.command == "--help") {
+    usage(stdout);
+    return 0;
+  }
+  if (args.command.empty()) return usage(stderr);
+  for (const Subcommand& sub : kSubcommands) {
+    if (args.command == sub.name) return sub.fn(args);
+  }
+  std::fprintf(stderr, "unknown subcommand '%s'\n\n", args.command.c_str());
+  usage(stderr);
+  return 2;
 }

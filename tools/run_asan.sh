@@ -12,5 +12,7 @@ cd "$(dirname "$0")/.."
 
 BUILD=build-asan
 cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=address "$@"
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" -L asan --output-on-failure
+cmake --build "$BUILD" -j "$(nproc)"
+# asan-labeled tests plus the obs suite (ring-buffer indexing and slab
+# pooling are the kind of code ASan exists for).
+ctest --test-dir "$BUILD" -L 'asan|obs' --output-on-failure

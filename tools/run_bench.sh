@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the full bench suite and aggregates every BENCH_<label>.json into a
+# single BENCH_all.json:
+#
+#   tools/run_bench.sh [BUILD_DIR]        # default: build
+#
+# NETCONG_BENCH_SCALE (full|small|tiny) controls the world size; this
+# script defaults it to `small` so an unconfigured run finishes in minutes
+# — export NETCONG_BENCH_SCALE=full for the paper-scale numbers.
+# Bench binaries run from $BUILD/bench-out, so the JSON artifacts (and
+# BENCH_all.json) land there instead of cluttering the build root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+export NETCONG_BENCH_SCALE=${NETCONG_BENCH_SCALE:-small}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" >/dev/null
+BUILD_ABS=$(cd "$BUILD" && pwd)
+
+OUT="$BUILD_ABS/bench-out"
+mkdir -p "$OUT"
+
+shopt -s nullglob
+benches=("$BUILD_ABS"/bench/bench_*)
+if [ ${#benches[@]} -eq 0 ]; then
+  echo "run_bench.sh: no bench binaries under $BUILD_ABS/bench" >&2
+  exit 1
+fi
+
+failed=()
+for bin in "${benches[@]}"; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  echo "=== $name (scale: $NETCONG_BENCH_SCALE) ==="
+  case "$name" in
+    bench_micro_*)
+      # google-benchmark binaries: short repetitions, no BENCH json.
+      (cd "$OUT" && "$bin" --benchmark_min_time=0.05) || failed+=("$name")
+      ;;
+    *)
+      (cd "$OUT" && "$bin") || failed+=("$name")
+      ;;
+  esac
+done
+
+"$BUILD_ABS/tools/bench_aggregate" "$OUT"
+
+if [ ${#failed[@]} -gt 0 ]; then
+  echo "run_bench.sh: FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "run_bench.sh: all benches passed; combined report: $OUT/BENCH_all.json"

@@ -11,5 +11,7 @@ cd "$(dirname "$0")/.."
 
 BUILD=build-tsan
 cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=thread "$@"
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" -L tsan --output-on-failure
+cmake --build "$BUILD" -j "$(nproc)"
+# tsan-labeled tests plus the obs suite (its lock-free slabs/rings are
+# exactly the code a race checker should see).
+ctest --test-dir "$BUILD" -L 'tsan|obs' --output-on-failure
