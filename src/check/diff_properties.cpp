@@ -1,0 +1,215 @@
+#include <vector>
+
+#include "check/fixtures.h"
+#include "check/properties.h"
+#include "measure/degrade.h"
+#include "measure/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "route/path_cache.h"
+#include "sim/faults.h"
+#include "util/strings.h"
+
+// Differential determinism: one harness runs the same campaign across
+// worker counts {1, 2, hardware}, with the path cache attached and not,
+// and with instrumentation enabled and not, then diffs full output
+// fingerprints. This replaces the scattered per-feature identity checks —
+// any new feature that breaks the "output is a pure function of (world,
+// schedule, seed)" contract fails here, for a random world rather than the
+// one blessed fixture.
+
+namespace netcong::check {
+namespace {
+
+using gen::GeneratorConfig;
+using util::format;
+
+struct MatrixCell {
+  const char* label;
+  int threads;
+  bool cache;
+  bool instrumented;
+};
+
+constexpr MatrixCell kMatrix[] = {
+    {"serial", 1, false, false},
+    {"2 threads", 2, false, false},
+    {"hardware threads", 0, false, false},
+    {"serial+cache", 1, true, false},
+    {"hardware+cache", 0, true, false},
+    {"hardware+obs", 0, false, true},
+};
+
+std::string run_matrix(const Stack& s,
+                       const std::vector<gen::TestRequest>& schedule,
+                       std::uint64_t rng_seed,
+                       const sim::FaultInjector* faults,
+                       measure::CampaignResult* serial_out = nullptr) {
+  route::PathCache cache(s.fwd);
+  bool have_baseline = false;
+  std::uint64_t baseline = 0;
+  const char* baseline_label = "";
+  for (const MatrixCell& cell : kMatrix) {
+    measure::CampaignConfig ccfg;
+    ccfg.threads = cell.threads;
+    measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab, ccfg);
+    if (cell.cache) campaign.set_path_cache(&cache);
+    if (faults) campaign.set_faults(faults);
+
+    bool metrics_were = obs::MetricsRegistry::global().enabled();
+    bool traces_were = obs::TraceRecorder::global().enabled();
+    if (cell.instrumented) {
+      obs::MetricsRegistry::global().set_enabled(true);
+      obs::TraceRecorder::global().set_enabled(true);
+    }
+    util::Rng rng(rng_seed);
+    measure::CampaignResult result = campaign.run(schedule, rng);
+    if (cell.instrumented) {
+      obs::MetricsRegistry::global().set_enabled(metrics_were);
+      obs::TraceRecorder::global().set_enabled(traces_were);
+    }
+
+    std::uint64_t fp = measure::fingerprint(result);
+    if (!have_baseline) {
+      have_baseline = true;
+      baseline = fp;
+      baseline_label = cell.label;
+      if (serial_out) *serial_out = std::move(result);
+    } else if (fp != baseline) {
+      return format("campaign output differs: '%s' vs '%s' "
+                    "(fingerprints %016llx vs %016llx)",
+                    cell.label, baseline_label,
+                    static_cast<unsigned long long>(fp),
+                    static_cast<unsigned long long>(baseline));
+    }
+  }
+  return "";
+}
+
+std::string check_campaign_matrix(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto schedule = dense_schedule(s.world, 2);
+  return run_matrix(s, schedule, cfg.seed, nullptr);
+}
+
+std::string check_campaign_matrix_faulted(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto schedule = dense_schedule(s.world, 2);
+  util::Rng rng(cfg.seed ^ 0x5e7e12ull);
+  double severity = rng.uniform(0.05, 0.5);
+  sim::FaultInjector faults(sim::FaultConfig::scaled(severity),
+                            cfg.seed ^ 0xfa117ull);
+
+  measure::CampaignResult serial;
+  std::string err = run_matrix(s, schedule, cfg.seed, &faults, &serial);
+  if (!err.empty()) return err;
+  if (!serial.quality.consistent()) {
+    return format("severity %.3f: data-quality accounting inconsistent",
+                  severity);
+  }
+  if (serial.quality.tests_attempted != schedule.size()) {
+    return format("severity %.3f: %zu tests attempted for a %zu-test "
+                  "schedule",
+                  severity, serial.quality.tests_attempted, schedule.size());
+  }
+  return "";
+}
+
+std::string check_world_regen(const GeneratorConfig& cfg) {
+  std::uint64_t a = measure::fingerprint(gen::generate_world(cfg));
+  std::uint64_t b = measure::fingerprint(gen::generate_world(cfg));
+  if (a != b) {
+    return format("same config generated different worlds "
+                  "(%016llx vs %016llx)",
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+  }
+  GeneratorConfig reseeded = cfg;
+  reseeded.seed = cfg.seed + 1;
+  std::uint64_t c = measure::fingerprint(gen::generate_world(reseeded));
+  if (c == a) {
+    return "seed change left the world fingerprint unchanged";
+  }
+  return "";
+}
+
+std::string check_degrade_deterministic(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto corpus = vp_corpus(s, 0, cfg.seed ^ 0xdecadeull);
+  if (corpus.empty()) return "";
+  std::uint64_t original = measure::fingerprint(corpus);
+
+  util::Rng rng(cfg.seed ^ 0x1055ull);
+  measure::DegradeOptions opts;
+  opts.trace_loss = rng.uniform(0.0, 0.5);
+  opts.hop_loss = rng.uniform(0.0, 0.5);
+  sim::FaultConfig fc;
+  fc.enabled = true;
+  sim::FaultInjector faults(fc, cfg.seed ^ 0xde6ull);
+
+  measure::DegradeStats stats_a, stats_b;
+  auto degraded_a = measure::degrade_corpus(corpus, faults, opts, &stats_a);
+  auto degraded_b = measure::degrade_corpus(corpus, faults, opts, &stats_b);
+  if (measure::fingerprint(degraded_a) != measure::fingerprint(degraded_b)) {
+    return format("degrading the same corpus twice (loss %.3f/%.3f) gave "
+                  "different outputs",
+                  opts.trace_loss, opts.hop_loss);
+  }
+  if (!stats_a.accounted() || !stats_b.accounted()) {
+    return "degrade stats not accounted (in != out + dropped)";
+  }
+  if (stats_a.traces_dropped != stats_b.traces_dropped ||
+      stats_a.hops_blanked != stats_b.hops_blanked) {
+    return "degrade stats differ across identical runs";
+  }
+
+  // A disabled injector is the identity on the corpus.
+  sim::FaultConfig off;  // enabled defaults to false
+  sim::FaultInjector inert(off, cfg.seed ^ 0xde6ull);
+  measure::DegradeStats stats_off;
+  auto untouched = measure::degrade_corpus(corpus, inert, opts, &stats_off);
+  if (measure::fingerprint(untouched) != original) {
+    return "a disabled injector modified the corpus";
+  }
+  if (stats_off.traces_dropped != 0 || stats_off.hops_blanked != 0) {
+    return "a disabled injector reported drops";
+  }
+  return "";
+}
+
+Property world_property(const char* name, const char* summary, int iters,
+                        std::string (*fn)(const GeneratorConfig&)) {
+  Property p;
+  p.name = name;
+  p.family = "diff";
+  p.summary = summary;
+  p.default_iterations = iters;
+  std::string pname = p.name;
+  p.run = [pname, fn](util::pbt::Config cfg) {
+    return util::pbt::check<GeneratorConfig>(pname, config_domain(), fn, cfg);
+  };
+  return p;
+}
+
+}  // namespace
+
+void register_diff_properties(std::vector<Property>& out) {
+  out.push_back(world_property(
+      "diff.campaign_matrix",
+      "campaign bit-identical across threads x cache x instrumentation", 4,
+      check_campaign_matrix));
+  out.push_back(world_property(
+      "diff.campaign_matrix_faulted",
+      "the determinism matrix holds under injected faults, fully accounted",
+      4, check_campaign_matrix_faulted));
+  out.push_back(world_property(
+      "diff.world_regen_identical",
+      "same config -> identical world fingerprint; new seed -> different", 5,
+      check_world_regen));
+  out.push_back(world_property(
+      "diff.degrade_deterministic",
+      "corpus degradation is a pure function of (corpus, seed, loss)", 5,
+      check_degrade_deterministic));
+}
+
+}  // namespace netcong::check

@@ -1,0 +1,146 @@
+#include "check/fixtures.h"
+
+#include <cmath>
+
+#include "measure/ark.h"
+#include "util/strings.h"
+
+namespace netcong::check {
+
+using gen::GeneratorConfig;
+using util::pbt::Domain;
+
+namespace {
+
+// Simplest values each knob shrinks toward.
+constexpr double kMinScale = 0.004;
+constexpr int kMinServers = 2;
+constexpr int kMinClients = 2;
+constexpr int kMinAlexa = 2;
+
+void shrink_int(std::vector<GeneratorConfig>& out, const GeneratorConfig& base,
+                int GeneratorConfig::*field, int target) {
+  int v = base.*field;
+  if (v == target) return;
+  GeneratorConfig snap = base;
+  snap.*field = target;
+  out.push_back(snap);
+  int mid = target + (v - target) / 2;
+  if (mid != target && mid != v) {
+    GeneratorConfig half = base;
+    half.*field = mid;
+    out.push_back(half);
+  }
+}
+
+void shrink_double(std::vector<GeneratorConfig>& out,
+                   const GeneratorConfig& base,
+                   double GeneratorConfig::*field, double target) {
+  double v = base.*field;
+  if (std::fabs(v - target) < 1e-9) return;
+  GeneratorConfig snap = base;
+  snap.*field = target;
+  out.push_back(snap);
+  double mid = target + (v - target) / 2.0;
+  // Snap when close enough that halving would descend forever.
+  if (std::fabs(mid - target) > 1e-3 && std::fabs(mid - v) > 1e-9) {
+    GeneratorConfig half = base;
+    half.*field = mid;
+    out.push_back(half);
+  }
+}
+
+}  // namespace
+
+Domain<GeneratorConfig> config_domain() {
+  Domain<GeneratorConfig> d;
+  d.generate = [](util::Rng& rng) {
+    GeneratorConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1000000000));
+    cfg.customer_scale = rng.uniform(kMinScale, 0.03);
+    cfg.mlab_servers = static_cast<int>(rng.uniform_int(kMinServers, 12));
+    cfg.speedtest_servers_2015 = static_cast<int>(rng.uniform_int(2, 30));
+    cfg.speedtest_servers_2017 =
+        cfg.speedtest_servers_2015 + static_cast<int>(rng.uniform_int(0, 10));
+    cfg.clients_per_access_isp = static_cast<int>(rng.uniform_int(kMinClients, 24));
+    cfg.alexa_targets = static_cast<int>(rng.uniform_int(kMinAlexa, 20));
+    cfg.ixp_peer_fraction = rng.uniform(0.0, 0.5);
+    cfg.dns_ptr_coverage = rng.uniform(0.3, 1.0);
+    cfg.announce_staleness = rng.uniform(0.0, 0.10);
+    cfg.congest_internal_links = rng.chance(0.3);
+    return cfg;
+  };
+  d.shrink = [](const GeneratorConfig& base) {
+    std::vector<GeneratorConfig> out;
+    if (base.seed != 1) {
+      GeneratorConfig c = base;
+      c.seed = 1;
+      out.push_back(c);
+    }
+    if (base.congest_internal_links) {
+      GeneratorConfig c = base;
+      c.congest_internal_links = false;
+      out.push_back(c);
+    }
+    shrink_int(out, base, &GeneratorConfig::clients_per_access_isp,
+               kMinClients);
+    shrink_double(out, base, &GeneratorConfig::customer_scale, kMinScale);
+    shrink_int(out, base, &GeneratorConfig::mlab_servers, kMinServers);
+    shrink_int(out, base, &GeneratorConfig::speedtest_servers_2015, 2);
+    // Keep the 2015 fleet a prefix of 2017's: shrink 2017 down to 2015.
+    shrink_int(out, base, &GeneratorConfig::speedtest_servers_2017,
+               base.speedtest_servers_2015);
+    shrink_int(out, base, &GeneratorConfig::alexa_targets, kMinAlexa);
+    shrink_double(out, base, &GeneratorConfig::ixp_peer_fraction, 0.0);
+    shrink_double(out, base, &GeneratorConfig::dns_ptr_coverage, 1.0);
+    shrink_double(out, base, &GeneratorConfig::announce_staleness, 0.0);
+    return out;
+  };
+  d.describe = describe_config;
+  return d;
+}
+
+std::string describe_config(const GeneratorConfig& cfg) {
+  return util::format(
+      "{seed=%llu scale=%.4g mlab=%d st15=%d st17=%d clients=%d alexa=%d "
+      "ixp=%.3f dns=%.3f stale=%.3f congest_internal=%d}",
+      static_cast<unsigned long long>(cfg.seed), cfg.customer_scale,
+      cfg.mlab_servers, cfg.speedtest_servers_2015,
+      cfg.speedtest_servers_2017, cfg.clients_per_access_isp,
+      cfg.alexa_targets, cfg.ixp_peer_fraction, cfg.dns_ptr_coverage,
+      cfg.announce_staleness, cfg.congest_internal_links ? 1 : 0);
+}
+
+Stack::Stack(const GeneratorConfig& cfg)
+    : world(gen::generate_world(cfg)),
+      bgp(*world.topo),
+      fwd(*world.topo, bgp),
+      model(*world.topo, *world.traffic),
+      mlab("mlab", *world.topo, world.mlab_servers) {}
+
+std::vector<gen::TestRequest> dense_schedule(const gen::World& world,
+                                             int rounds) {
+  std::vector<gen::TestRequest> schedule;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < world.clients.size(); ++i) {
+      schedule.push_back(
+          {world.clients[i],
+           10.0 + round * 0.05 + static_cast<double>(i) * 0.003});
+    }
+  }
+  return schedule;
+}
+
+std::vector<measure::TracerouteRecord> vp_corpus(const Stack& stack,
+                                                 std::size_t vp_index,
+                                                 std::uint64_t seed) {
+  if (stack.world.ark_vps.empty()) return {};
+  std::uint32_t vp =
+      stack.world.ark_vps[vp_index % stack.world.ark_vps.size()];
+  measure::ArkCampaignOptions options;
+  util::Rng rng(seed);
+  return measure::ark_full_prefix_campaign(stack.world, stack.fwd, vp,
+                                           options, rng);
+}
+
+}  // namespace netcong::check

@@ -1,0 +1,53 @@
+#pragma once
+
+// Shared fixtures for the property families: a bounded GeneratorConfig
+// domain (worlds stay at or below the tiny preset's scale so one generation
+// costs low milliseconds), the standard simulation stack built on top of a
+// generated world, and small deterministic workloads/corpora.
+
+#include <memory>
+#include <vector>
+
+#include "gen/workload.h"
+#include "gen/world.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "measure/traceroute.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/throughput.h"
+#include "util/pbt.h"
+
+namespace netcong::check {
+
+// Random world configurations bounded for speed. Shrinking moves each knob
+// toward its simplest value (fewest entities, zero optional fractions), so
+// a failing world config minimizes to the smallest world still failing.
+util::pbt::Domain<gen::GeneratorConfig> config_domain();
+
+std::string describe_config(const gen::GeneratorConfig& cfg);
+
+// The standard pipeline stack over a generated world: BGP control plane,
+// forwarder, throughput model, and the M-Lab platform view.
+struct Stack {
+  explicit Stack(const gen::GeneratorConfig& cfg);
+
+  gen::World world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+  measure::Platform mlab;
+};
+
+// Dense schedule over the world's clients: `rounds` closely spaced tests
+// per client, exercising every traceroute-daemon outcome (run, busy-skip,
+// cache-skip) like the campaign determinism tests do.
+std::vector<gen::TestRequest> dense_schedule(const gen::World& world,
+                                             int rounds);
+
+// Full-prefix Ark corpus from the given VP index (modulo the VP count).
+std::vector<measure::TracerouteRecord> vp_corpus(const Stack& stack,
+                                                 std::size_t vp_index,
+                                                 std::uint64_t seed);
+
+}  // namespace netcong::check

@@ -1,0 +1,388 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/fixtures.h"
+#include "check/properties.h"
+#include "gen/workload.h"
+#include "gen/world.h"
+#include "topo/relationships.h"
+#include "topo/topology.h"
+#include "util/strings.h"
+
+// Generator well-formedness: every configuration in the bounded domain must
+// yield a structurally sound world. These are the invariants the inference
+// layers silently rely on — duplicate addresses would alias unrelated
+// routers in MAP-IT, a partitioned intra-AS graph would make BGP paths
+// unroutable, and out-of-bounds profile fractions would mean the ablation
+// knobs do not measure what they claim.
+
+namespace netcong::check {
+namespace {
+
+using gen::GeneratorConfig;
+using util::format;
+
+std::string check_addresses_unique(const GeneratorConfig& cfg) {
+  gen::World w = gen::generate_world(cfg);
+  const topo::Topology& t = *w.topo;
+
+  std::unordered_set<std::uint32_t> iface_addrs;
+  for (const auto& i : t.interfaces()) {
+    if (!iface_addrs.insert(i.addr.value).second) {
+      return format("duplicate interface address %s",
+                    i.addr.to_string().c_str());
+    }
+    if (!t.interface_by_addr(i.addr).has_value()) {
+      return format("interface_by_addr(%s) misses an existing interface",
+                    i.addr.to_string().c_str());
+    }
+  }
+  std::unordered_set<std::uint32_t> host_addrs;
+  for (std::uint32_t id = 0; id < t.hosts().size(); ++id) {
+    const auto& h = t.host(id);
+    if (!host_addrs.insert(h.addr.value).second) {
+      return format("duplicate host address %s", h.addr.to_string().c_str());
+    }
+    if (iface_addrs.count(h.addr.value) > 0) {
+      return format("host address %s collides with an interface address",
+                    h.addr.to_string().c_str());
+    }
+    auto found = t.host_by_addr(h.addr);
+    if (!found || *found != id) {
+      return format("host_by_addr(%s) != host id %u",
+                    h.addr.to_string().c_str(), id);
+    }
+  }
+  return "";
+}
+
+// Union-find over router indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::string check_intra_as_connected(const GeneratorConfig& cfg) {
+  gen::World w = gen::generate_world(cfg);
+  const topo::Topology& t = *w.topo;
+
+  UnionFind uf(t.routers().size());
+  for (const auto& l : t.links()) {
+    if (l.kind != topo::LinkKind::kInternal) continue;
+    uf.unite(t.iface(l.side_a).router.index(), t.iface(l.side_b).router.index());
+  }
+  for (topo::Asn asn : t.all_asns()) {
+    const auto& routers = t.routers_of(asn);
+    if (routers.size() < 2) continue;
+    std::size_t root = uf.find(routers.front().index());
+    for (topo::RouterId r : routers) {
+      if (uf.find(r.index()) != root) {
+        return format("AS%u intra-AS graph is disconnected (router '%s' "
+                      "unreachable from '%s' over internal links)",
+                      asn, t.router(r).name.c_str(),
+                      t.router(routers.front()).name.c_str());
+      }
+    }
+  }
+  return "";
+}
+
+std::string check_link_endpoints(const GeneratorConfig& cfg) {
+  gen::World w = gen::generate_world(cfg);
+  const topo::Topology& t = *w.topo;
+
+  for (const auto& l : t.links()) {
+    const auto& ia = t.iface(l.side_a);
+    const auto& ib = t.iface(l.side_b);
+    if (!(ia.link == l.id) || !(ib.link == l.id)) {
+      return format("link %u: side interface does not point back at it",
+                    l.id.value);
+    }
+    if (t.router(ia.router).owner != l.as_a ||
+        t.router(ib.router).owner != l.as_b) {
+      return format("link %u: endpoint router owners (%u, %u) disagree with "
+                    "link ASes (%u, %u)",
+                    l.id.value, t.router(ia.router).owner,
+                    t.router(ib.router).owner, l.as_a, l.as_b);
+    }
+    if (l.kind == topo::LinkKind::kInternal && l.as_a != l.as_b) {
+      return format("internal link %u spans AS%u and AS%u", l.id.value,
+                    l.as_a, l.as_b);
+    }
+    if (l.kind == topo::LinkKind::kInterdomain && l.as_a == l.as_b) {
+      return format("interdomain link %u has both sides in AS%u", l.id.value,
+                    l.as_a);
+    }
+    if (l.via_ixp) {
+      if (l.kind != topo::LinkKind::kInterdomain) {
+        return format("internal link %u claims via_ixp", l.id.value);
+      }
+      if (!t.is_ixp_addr(ia.addr) || !t.is_ixp_addr(ib.addr)) {
+        return format("IXP link %u numbered outside the IXP prefixes",
+                      l.id.value);
+      }
+    } else {
+      for (const auto* i : {&ia, &ib}) {
+        if (i->addr_owner != l.as_a && i->addr_owner != l.as_b) {
+          return format("link %u: interface %s numbered from AS%u, which is "
+                        "on neither side",
+                        l.id.value, i->addr.to_string().c_str(),
+                        i->addr_owner);
+        }
+      }
+    }
+    if (!(l.capacity_mbps > 0.0) || l.prop_delay_ms < 0.0) {
+      return format("link %u: non-positive capacity or negative delay",
+                    l.id.value);
+    }
+  }
+  return "";
+}
+
+// Named-border-interface count of a world generated from cfg.
+std::size_t named_border_ifaces(const GeneratorConfig& cfg) {
+  gen::World w = gen::generate_world(cfg);
+  const topo::Topology& t = *w.topo;
+  std::size_t named = 0;
+  for (const auto& l : t.links()) {
+    if (l.kind != topo::LinkKind::kInterdomain) continue;
+    for (topo::InterfaceId side : {l.side_a, l.side_b}) {
+      if (!t.iface(side).dns_name.empty()) ++named;
+    }
+  }
+  return named;
+}
+
+std::string check_profile_fractions(const GeneratorConfig& cfg) {
+  gen::World w = gen::generate_world(cfg);
+  const topo::Topology& t = *w.topo;
+  const topo::RelationshipTable& rels = t.relationships();
+
+  // The IXP knob is an upper bound on the realized fraction: a peer link
+  // only lands on a fabric when its city hosts one and the fabric still has
+  // addresses, and parallel links share one decision (clusters of up to 9).
+  std::size_t peer_links = 0, ixp_links = 0;
+  for (const auto& l : t.links()) {
+    if (l.kind != topo::LinkKind::kInterdomain) continue;
+    if (rels.between(l.as_a, l.as_b) == topo::RelType::kPeer) {
+      ++peer_links;
+      if (l.via_ixp) ++ixp_links;
+    }
+  }
+  if (peer_links >= 30) {
+    double p = cfg.ixp_peer_fraction;
+    double observed =
+        static_cast<double>(ixp_links) / static_cast<double>(peer_links);
+    double sigma =
+        std::sqrt(p * (1.0 - p) * 9.0 / static_cast<double>(peer_links));
+    if (observed > p + 4.0 * sigma + 10.0 / static_cast<double>(peer_links)) {
+      return format("ixp_peer_fraction: observed %.4f exceeds the %.4f "
+                    "upper bound",
+                    observed, p);
+    }
+  }
+  GeneratorConfig no_ixp = cfg;
+  no_ixp.ixp_peer_fraction = 0.0;
+  {
+    gen::World w0 = gen::generate_world(no_ixp);
+    for (const auto& l : w0.topo->links()) {
+      if (l.via_ixp) return "ixp_peer_fraction=0 still produced IXP links";
+    }
+  }
+
+  // Staleness fires only for ASes that already have siblings, so the knob
+  // bounds the realized rate from above; every stale origin must still be
+  // a sibling of the true owner.
+  std::size_t announced = 0, stale = 0;
+  for (const auto& [prefix, origin] : t.announced_prefixes()) {
+    ++announced;
+    auto owner = t.true_owner(prefix.network);
+    if (owner && *owner != origin) {
+      ++stale;
+      if (!(t.as_info(*owner).org == t.as_info(origin).org)) {
+        return format("prefix %s announced by AS%u, which is not a sibling "
+                      "of owner AS%u",
+                      prefix.to_string().c_str(), origin, *owner);
+      }
+    }
+  }
+  if (announced >= 30) {
+    double p = cfg.announce_staleness;
+    double observed =
+        static_cast<double>(stale) / static_cast<double>(announced);
+    double sigma = std::sqrt(p * (1.0 - p) / static_cast<double>(announced));
+    if (observed > p + 4.0 * sigma + 6.0 / static_cast<double>(announced)) {
+      return format("announce_staleness: observed %.4f exceeds the %.4f "
+                    "upper bound",
+                    observed, p);
+    }
+  }
+  GeneratorConfig fresh = cfg;
+  fresh.announce_staleness = 0.0;
+  {
+    gen::World w0 = gen::generate_world(fresh);
+    for (const auto& [prefix, origin] : w0.topo->announced_prefixes()) {
+      auto owner = w0.topo->true_owner(prefix.network);
+      if (owner && *owner != origin) {
+        return "announce_staleness=0 still produced stale origins";
+      }
+    }
+  }
+
+  // PTR coverage is heterogeneous per AS type, so the knob is checked
+  // metamorphically: zero strips every record, and raising it (same seed,
+  // same draw stream) can only add names.
+  GeneratorConfig none = cfg;
+  none.dns_ptr_coverage = 0.0;
+  if (named_border_ifaces(none) != 0) {
+    return "dns_ptr_coverage=0 still produced PTR records";
+  }
+  GeneratorConfig all = cfg;
+  all.dns_ptr_coverage = 1.0;
+  std::size_t base = named_border_ifaces(cfg);
+  std::size_t raised = named_border_ifaces(all);
+  if (raised < base) {
+    return format("raising dns_ptr_coverage %.3f -> 1.0 lost PTR records "
+                  "(%zu -> %zu)",
+                  cfg.dns_ptr_coverage, base, raised);
+  }
+  // At full coverage the per-AS probability saturates for transit ASes, and
+  // every world has transit-adjacent interdomain links — so a knob that is
+  // wired up at all must name a strictly positive number of interfaces.
+  if (raised == 0) {
+    return "dns_ptr_coverage=1.0 named zero border interfaces (knob not "
+           "wired to the generator?)";
+  }
+  return "";
+}
+
+std::string check_relationships_symmetric(const GeneratorConfig& cfg) {
+  gen::World w = gen::generate_world(cfg);
+  const topo::Topology& t = *w.topo;
+  const topo::RelationshipTable& rels = t.relationships();
+
+  for (topo::Asn a : t.all_asns()) {
+    for (const auto& [b, rel] : rels.neighbors(a)) {
+      if (rels.between(a, b) != rel) {
+        return format("neighbors(%u) lists AS%u with a different relationship "
+                      "than between()",
+                      a, b);
+      }
+      if (rels.between(b, a) != topo::invert(rel)) {
+        return format("relationship AS%u->AS%u is not the inverse of "
+                      "AS%u->AS%u",
+                      b, a, a, b);
+      }
+    }
+  }
+  for (const auto& l : t.links()) {
+    if (l.kind != topo::LinkKind::kInterdomain) continue;
+    if (!rels.adjacent(l.as_a, l.as_b)) {
+      return format("interdomain link %u between AS%u and AS%u has no "
+                    "declared relationship",
+                    l.id.value, l.as_a, l.as_b);
+    }
+  }
+  for (const auto& [name, asns] : w.isp_asns) {
+    if (asns.empty()) return format("ISP '%s' has no ASNs", name.c_str());
+    topo::OrgId org = t.as_info(asns.front()).org;
+    for (topo::Asn sibling : asns) {
+      if (!(t.as_info(sibling).org == org)) {
+        return format("ISP '%s' siblings span multiple orgs", name.c_str());
+      }
+    }
+  }
+  return "";
+}
+
+std::string check_schedule_sorted(const GeneratorConfig& cfg) {
+  gen::World w = gen::generate_world(cfg);
+  util::Rng rng(cfg.seed ^ 0x5c4ed01eull);
+  gen::WorkloadConfig wl;
+  wl.days = static_cast<int>(rng.uniform_int(1, 7));
+  wl.mean_tests_per_client = rng.uniform(0.5, 6.0);
+  wl.diurnal_bias = rng.chance(0.7);
+  wl.repeat_session_prob = rng.uniform(0.0, 0.5);
+  auto schedule = gen::crowdsourced_schedule(w, w.clients, wl, rng);
+
+  std::unordered_set<std::uint32_t> known(w.clients.begin(), w.clients.end());
+  double horizon = wl.days * 24.0;
+  double prev = 0.0;
+  for (const auto& req : schedule) {
+    if (req.utc_time_hours < prev) {
+      return format("schedule not time-sorted at t=%.4f (previous %.4f)",
+                    req.utc_time_hours, prev);
+    }
+    prev = req.utc_time_hours;
+    if (req.utc_time_hours < 0.0 || req.utc_time_hours > horizon) {
+      return format("test time %.4f outside the %d-day window",
+                    req.utc_time_hours, wl.days);
+    }
+    if (known.count(req.client) == 0) {
+      return format("schedule references client %u outside the input set",
+                    req.client);
+    }
+  }
+  return "";
+}
+
+Property world_property(const char* name, const char* summary, int iters,
+                        std::string (*fn)(const GeneratorConfig&)) {
+  Property p;
+  p.name = name;
+  p.family = "gen";
+  p.summary = summary;
+  p.default_iterations = iters;
+  std::string pname = p.name;
+  p.run = [pname, fn](util::pbt::Config cfg) {
+    return util::pbt::check<GeneratorConfig>(pname, config_domain(), fn, cfg);
+  };
+  return p;
+}
+
+}  // namespace
+
+void register_gen_properties(std::vector<Property>& out) {
+  out.push_back(world_property(
+      "gen.addresses_unique",
+      "no duplicate interface/host addresses; by-address lookups roundtrip",
+      10, check_addresses_unique));
+  out.push_back(world_property(
+      "gen.intra_as_connected",
+      "every AS's routers form one component over internal links", 10,
+      check_intra_as_connected));
+  out.push_back(world_property(
+      "gen.link_endpoints_consistent",
+      "link/interface backrefs, AS sides, IXP numbering, capacities", 10,
+      check_link_endpoints));
+  out.push_back(world_property(
+      "gen.profile_fractions_in_bounds",
+      "ixp/dns/staleness knobs land within statistical bounds", 10,
+      check_profile_fractions));
+  out.push_back(world_property(
+      "gen.relationships_symmetric",
+      "AS relationships invert pairwise; ISP siblings share an org", 10,
+      check_relationships_symmetric));
+  out.push_back(world_property(
+      "gen.schedule_sorted_and_bounded",
+      "crowdsourced schedules are sorted, in-window, and client-closed", 10,
+      check_schedule_sorted));
+}
+
+}  // namespace netcong::check

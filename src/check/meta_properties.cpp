@@ -1,0 +1,625 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/fixtures.h"
+#include "check/properties.h"
+#include "core/threshold.h"
+#include "core/tomography.h"
+#include "infer/alias.h"
+#include "infer/bdrmap.h"
+#include "infer/datasets.h"
+#include "infer/mapit.h"
+#include "measure/fingerprint.h"
+#include "measure/matching.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/faults.h"
+#include "util/strings.h"
+
+// Metamorphic inference invariants: transformations of the input that must
+// leave the output unchanged (corpus shuffles, IP relabelings, no-op fault
+// and instrumentation toggles) or change it in a predictable way (corpus
+// duplication doubles evidence, adding vantage points only grows the
+// discovered border set). These catch the class of bug where an inference
+// is "plausible per run" but secretly depends on input order, raw address
+// values, or which orthogonal features happen to be switched on.
+
+namespace netcong::check {
+namespace {
+
+using gen::GeneratorConfig;
+using util::format;
+
+// ---- MAP-IT helpers ----
+
+struct CrossingKey {
+  std::uint32_t near = 0, far = 0;
+  topo::Asn near_as = 0, far_as = 0;
+  int observations = 0;
+
+  bool operator==(const CrossingKey& o) const {
+    return near == o.near && far == o.far && near_as == o.near_as &&
+           far_as == o.far_as && observations == o.observations;
+  }
+  bool operator!=(const CrossingKey& o) const { return !(*this == o); }
+  bool operator<(const CrossingKey& o) const {
+    if (near != o.near) return near < o.near;
+    if (far != o.far) return far < o.far;
+    return observations < o.observations;
+  }
+};
+
+std::vector<CrossingKey> crossing_keys(const infer::MapItResult& r) {
+  std::vector<CrossingKey> keys;
+  keys.reserve(r.crossings.size());
+  for (const auto& c : r.crossings) {
+    keys.push_back({c.near_addr.value, c.far_addr.value, c.near_as, c.far_as,
+                    c.observations});
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::string compare_mapit(const infer::MapItResult& a,
+                          const infer::MapItResult& b, const char* what) {
+  if (a.operating_as != b.operating_as) {
+    return format("%s: operating-AS assignment differs (%zu vs %zu entries)",
+                  what, a.operating_as.size(), b.operating_as.size());
+  }
+  if (crossing_keys(a) != crossing_keys(b)) {
+    return format("%s: border-crossing sets differ (%zu vs %zu crossings)",
+                  what, a.crossings.size(), b.crossings.size());
+  }
+  return "";
+}
+
+std::string check_mapit_corpus_shuffle(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto corpus = vp_corpus(s, 0, cfg.seed ^ 0xa4c);
+  if (corpus.empty()) return "";
+  infer::Ip2As ip2as(*s.world.topo);
+  infer::OrgMap orgs(*s.world.topo);
+
+  auto base = infer::run_mapit(corpus, ip2as, orgs);
+  if (!base.coverage.accounted()) {
+    return "coverage accounting broken: total != used + unusable";
+  }
+  auto shuffled = corpus;
+  util::Rng shuffler(cfg.seed ^ 0x0f17e5ull);
+  shuffler.shuffle(shuffled);
+  auto again = infer::run_mapit(shuffled, ip2as, orgs);
+  return compare_mapit(base, again, "corpus shuffle");
+}
+
+// XOR-relabeling of the top bits shared by every prefix: preserves both
+// longest-prefix-match structure (the mask never touches bits below any
+// prefix boundary) and /31-/30 point-to-point mates (low bits untouched),
+// so MAP-IT's output must be the same map under the relabeling.
+std::string check_mapit_relabel(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  const topo::Topology& t = *s.world.topo;
+  auto corpus = vp_corpus(s, 0, cfg.seed ^ 0x3e1abe1ull);
+  if (corpus.empty()) return "";
+
+  std::uint8_t min_len = 32;
+  for (const auto& [prefix, origin] : t.announced_prefixes()) {
+    (void)origin;
+    min_len = std::min(min_len, prefix.len);
+  }
+  for (const auto& prefix : t.ixp_prefixes()) {
+    min_len = std::min(min_len, prefix.len);
+  }
+  if (min_len == 0 || min_len == 32) return "";
+  std::uint32_t bits = std::min<std::uint32_t>(min_len, 16);
+  util::Rng rng(cfg.seed ^ 0xd00dull);
+  std::uint32_t mask = static_cast<std::uint32_t>(
+                           rng.uniform_int(1, (1 << bits) - 1))
+                       << (32 - bits);
+  auto relabel = [mask](topo::IpAddr a) {
+    return topo::IpAddr(a.value ^ mask);
+  };
+
+  std::vector<std::pair<topo::Prefix, topo::Asn>> announced;
+  for (const auto& [prefix, origin] : t.announced_prefixes()) {
+    announced.emplace_back(topo::Prefix(relabel(prefix.network), prefix.len),
+                           origin);
+  }
+  std::vector<topo::Prefix> ixp;
+  for (const auto& prefix : t.ixp_prefixes()) {
+    ixp.emplace_back(relabel(prefix.network), prefix.len);
+  }
+  infer::Ip2As ip2as(t);
+  infer::Ip2As ip2as_relabeled(announced, ixp);
+  infer::OrgMap orgs(t);
+
+  auto relabeled = corpus;
+  for (auto& trace : relabeled) {
+    trace.dst = relabel(trace.dst);
+    for (auto& hop : trace.hops) {
+      if (hop.responded) hop.addr = relabel(hop.addr);
+    }
+  }
+
+  auto base = infer::run_mapit(corpus, ip2as, orgs);
+  auto mapped = infer::run_mapit(relabeled, ip2as_relabeled, orgs);
+
+  if (base.operating_as.size() != mapped.operating_as.size()) {
+    return format("relabeling changed the assigned-interface count "
+                  "(%zu vs %zu)",
+                  base.operating_as.size(), mapped.operating_as.size());
+  }
+  for (const auto& [addr, asn] : base.operating_as) {
+    topo::Asn got = mapped.op(relabel(topo::IpAddr(addr)));
+    if (got != asn) {
+      return format("interface %s: operating AS %u became %u under "
+                    "relabeling",
+                    topo::IpAddr(addr).to_string().c_str(), asn, got);
+    }
+  }
+  auto mapped_back = crossing_keys(mapped);
+  for (auto& key : mapped_back) {
+    key.near ^= mask;
+    key.far ^= mask;
+  }
+  std::sort(mapped_back.begin(), mapped_back.end());
+  if (crossing_keys(base) != mapped_back) {
+    return "relabeling changed the border-crossing set";
+  }
+  return "";
+}
+
+std::string check_mapit_duplication(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto corpus = vp_corpus(s, 0, cfg.seed ^ 0xd0b1eull);
+  if (corpus.empty()) return "";
+  infer::Ip2As ip2as(*s.world.topo);
+  infer::OrgMap orgs(*s.world.topo);
+
+  auto base = infer::run_mapit(corpus, ip2as, orgs);
+  auto doubled_corpus = corpus;
+  doubled_corpus.insert(doubled_corpus.end(), corpus.begin(), corpus.end());
+  auto doubled = infer::run_mapit(doubled_corpus, ip2as, orgs);
+
+  if (base.operating_as != doubled.operating_as) {
+    return "duplicating the corpus changed the operating-AS assignment";
+  }
+  auto keys_a = crossing_keys(base);
+  auto keys_b = crossing_keys(doubled);
+  if (keys_a.size() != keys_b.size()) {
+    return format("duplicating the corpus changed the crossing count "
+                  "(%zu vs %zu)",
+                  keys_a.size(), keys_b.size());
+  }
+  for (std::size_t i = 0; i < keys_a.size(); ++i) {
+    CrossingKey expect = keys_a[i];
+    expect.observations *= 2;
+    if (expect != keys_b[i]) {
+      return format("crossing %s->%s: observations not doubled",
+                    topo::IpAddr(keys_a[i].near).to_string().c_str(),
+                    topo::IpAddr(keys_a[i].far).to_string().c_str());
+    }
+  }
+  if (doubled.coverage.traces_total != 2 * base.coverage.traces_total ||
+      doubled.coverage.traces_used != 2 * base.coverage.traces_used ||
+      doubled.coverage.hops_total != 2 * base.coverage.hops_total) {
+    return "duplicating the corpus did not double the coverage counters";
+  }
+  return "";
+}
+
+std::string check_bdrmap_vp_monotone(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  const topo::Topology& t = *s.world.topo;
+  if (s.world.ark_vps.empty()) return "";
+  infer::Ip2As ip2as(t);
+  infer::OrgMap orgs(t);
+  infer::AliasResolver aliases(t, 0.9, cfg.seed);
+
+  std::unordered_set<topo::Asn> discovered;
+  std::size_t previous = 0;
+  std::size_t nvps = std::min<std::size_t>(3, s.world.ark_vps.size());
+  for (std::size_t i = 0; i < nvps; ++i) {
+    std::uint32_t vp = s.world.ark_vps[i];
+    auto corpus = vp_corpus(s, i, cfg.seed ^ (0xb0dull + i));
+    topo::Asn vp_as = t.host(vp).asn;
+    auto result = infer::run_bdrmap(corpus, vp_as, ip2as, orgs,
+                                    t.relationships(), aliases);
+    if (!result.coverage().accounted()) {
+      return format("VP %zu: corpus coverage not accounted", i);
+    }
+    std::unordered_set<topo::Asn> seen;
+    for (const auto& border : result.borders) {
+      if (!seen.insert(border.neighbor).second) {
+        return format("VP %zu: neighbor AS%u listed twice", i,
+                      border.neighbor);
+      }
+      if (border.neighbor == vp_as) {
+        return format("VP %zu: the VP's own AS%u listed as a neighbor", i,
+                      vp_as);
+      }
+      if (border.far_ifaces.empty()) {
+        return format("VP %zu: neighbor AS%u has no far-side interfaces", i,
+                      border.neighbor);
+      }
+      discovered.insert(border.neighbor);
+    }
+    if (discovered.size() < previous) {
+      return format("adding VP %zu shrank the discovered border set", i);
+    }
+    previous = discovered.size();
+  }
+  return "";
+}
+
+// ---- matching ----
+
+std::string check_matching_shuffle(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto schedule = dense_schedule(s.world, 2);
+  measure::CampaignConfig ccfg;
+  measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab, ccfg);
+  util::Rng rng(cfg.seed);
+  auto result = campaign.run(schedule, rng);
+
+  measure::MatchOptions opts;
+  opts.allow_before = (cfg.seed & 1) != 0;
+  measure::MatchStats stats_a;
+  auto matches = measure::match_tests(result.tests, result.traceroutes,
+                                      *s.world.topo, opts, &stats_a);
+  if (!stats_a.accounted()) return "match stats not accounted";
+  if (!(stats_a.fraction() >= 0.0 && stats_a.fraction() <= 1.0)) {
+    return format("matching fraction %.4f outside [0, 1]",
+                  stats_a.fraction());
+  }
+
+  // Key the outcomes by test id; pointers differ across input orders.
+  struct Outcome {
+    measure::MatchedTest::Outcome outcome;
+    std::uint32_t dst = 0;
+    double time = 0.0;
+  };
+  auto keyed = [](const std::vector<measure::MatchedTest>& ms) {
+    std::unordered_map<std::uint64_t, Outcome> out;
+    for (const auto& m : ms) {
+      Outcome o{m.outcome, 0, 0.0};
+      if (m.traceroute != nullptr) {
+        o.dst = m.traceroute->dst.value;
+        o.time = m.traceroute->utc_time_hours;
+      }
+      out[m.test->test_id] = o;
+    }
+    return out;
+  };
+  auto base = keyed(matches);
+
+  auto tests = result.tests;
+  auto traceroutes = result.traceroutes;
+  util::Rng shuffler(cfg.seed ^ 0x77ull);
+  shuffler.shuffle(tests);
+  shuffler.shuffle(traceroutes);
+  measure::MatchStats stats_b;
+  auto again = measure::match_tests(tests, traceroutes, *s.world.topo, opts,
+                                    &stats_b);
+  auto shuffled = keyed(again);
+
+  if (base.size() != shuffled.size()) {
+    return "shuffling inputs changed the matched-test count";
+  }
+  for (const auto& [id, o] : base) {
+    auto it = shuffled.find(id);
+    if (it == shuffled.end()) {
+      return format("test %llu lost after shuffling",
+                    static_cast<unsigned long long>(id));
+    }
+    if (it->second.outcome != o.outcome || it->second.dst != o.dst ||
+        it->second.time != o.time) {
+      return format("test %llu matched differently after shuffling",
+                    static_cast<unsigned long long>(id));
+    }
+  }
+  if (stats_a.matched != stats_b.matched ||
+      stats_a.eligible != stats_b.eligible ||
+      stats_a.total_tests != stats_b.total_tests) {
+    return "match stats differ across input orders";
+  }
+  return "";
+}
+
+// ---- no-op toggles ----
+
+std::string check_campaign_noop_toggles(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto schedule = dense_schedule(s.world, 2);
+  measure::CampaignConfig ccfg;
+  measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab, ccfg);
+
+  auto run_fp = [&] {
+    util::Rng rng(cfg.seed);
+    return measure::fingerprint(campaign.run(schedule, rng));
+  };
+  std::uint64_t clean = run_fp();
+
+  // A zero-rate (but enabled) injector must not perturb any draw stream.
+  sim::FaultConfig zero;
+  zero.enabled = true;
+  sim::FaultInjector faults(zero, cfg.seed ^ 0xfa17ull);
+  campaign.set_faults(&faults);
+  std::uint64_t zeroed = run_fp();
+  campaign.set_faults(nullptr);
+  if (zeroed != clean) {
+    return "enabling a zero-rate fault injector changed the campaign output";
+  }
+
+  // Turning instrumentation on records metrics/spans but must not change
+  // a single output bit.
+  bool metrics_were = obs::MetricsRegistry::global().enabled();
+  bool traces_were = obs::TraceRecorder::global().enabled();
+  obs::MetricsRegistry::global().set_enabled(true);
+  obs::TraceRecorder::global().set_enabled(true);
+  std::uint64_t instrumented = run_fp();
+  obs::MetricsRegistry::global().set_enabled(metrics_were);
+  obs::TraceRecorder::global().set_enabled(traces_were);
+  if (instrumented != clean) {
+    return "enabling observability instrumentation changed the campaign "
+           "output";
+  }
+  return "";
+}
+
+// ---- tomography (synthetic observations; cheap, high iteration count) ----
+
+util::pbt::Domain<core::PathObservation> observation_domain() {
+  util::pbt::Domain<core::PathObservation> d;
+  d.generate = [](util::Rng& rng) {
+    core::PathObservation obs;
+    int nlinks = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < nlinks; ++i) {
+      obs.links.push_back(topo::LinkId(
+          static_cast<std::uint32_t>(rng.uniform_int(1, 10))));
+    }
+    obs.bad = rng.chance(0.3);
+    return obs;
+  };
+  d.shrink = [](const core::PathObservation& obs) {
+    std::vector<core::PathObservation> out;
+    if (obs.bad) {
+      core::PathObservation good = obs;
+      good.bad = false;
+      out.push_back(good);
+    }
+    for (std::size_t i = 0; obs.links.size() > 1 && i < obs.links.size();
+         ++i) {
+      core::PathObservation smaller = obs;
+      smaller.links.erase(smaller.links.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      out.push_back(smaller);
+    }
+    return out;
+  };
+  d.describe = [](const core::PathObservation& obs) {
+    std::string out = obs.bad ? "bad{" : "good{";
+    for (std::size_t i = 0; i < obs.links.size(); ++i) {
+      if (i) out += ",";
+      out += format("%u", obs.links[i].value);
+    }
+    return out + "}";
+  };
+  return d;
+}
+
+std::string check_tomography(const std::vector<core::PathObservation>& obs) {
+  auto greedy = core::greedy_binary_tomography(obs);
+
+  // Order invariance: reversing the observations is a nontrivial
+  // permutation and must not change the result.
+  std::vector<core::PathObservation> reversed(obs.rbegin(), obs.rend());
+  auto reversed_result = core::greedy_binary_tomography(reversed);
+  if (greedy.bad_links != reversed_result.bad_links ||
+      greedy.consistent != reversed_result.consistent ||
+      greedy.uncovered_bad_paths != reversed_result.uncovered_bad_paths) {
+    return "greedy tomography depends on observation order";
+  }
+
+  // No inferred bad link may sit on a good path (exoneration).
+  std::unordered_set<topo::LinkId> inferred(greedy.bad_links.begin(),
+                                            greedy.bad_links.end());
+  for (const auto& o : obs) {
+    if (o.bad) continue;
+    for (topo::LinkId l : o.links) {
+      if (inferred.count(l) > 0) {
+        return format("inferred bad link %u lies on a good path", l.value);
+      }
+    }
+  }
+  // Covering: every bad path holds an inferred link, or is counted
+  // uncovered and flips the consistency flag.
+  std::size_t uncovered = 0;
+  for (const auto& o : obs) {
+    if (!o.bad) continue;
+    bool covered = false;
+    for (topo::LinkId l : o.links) covered = covered || inferred.count(l) > 0;
+    if (!covered) ++uncovered;
+  }
+  if (uncovered != greedy.uncovered_bad_paths) {
+    return format("uncovered bad paths misreported: %zu actual vs %zu "
+                  "reported",
+                  uncovered, greedy.uncovered_bad_paths);
+  }
+  if (greedy.consistent != (uncovered == 0)) {
+    return "consistency flag disagrees with uncovered-path count";
+  }
+
+  // The exact solver never needs more links than greedy, and must satisfy
+  // the same soundness conditions.
+  auto exact = core::exact_binary_tomography(obs);
+  if (exact.bad_links.size() > greedy.bad_links.size()) {
+    return format("exact cover (%zu links) larger than greedy (%zu)",
+                  exact.bad_links.size(), greedy.bad_links.size());
+  }
+  if (exact.consistent != greedy.consistent) {
+    return "exact and greedy disagree on consistency";
+  }
+  return "";
+}
+
+// ---- threshold sweep (synthetic drops; cheap) ----
+
+util::pbt::Domain<core::LabeledDrop> drop_domain() {
+  util::pbt::Domain<core::LabeledDrop> d;
+  d.generate = [](util::Rng& rng) {
+    core::LabeledDrop drop;
+    drop.relative_drop = rng.uniform(-0.2, 0.9);
+    drop.truth_congested = rng.chance(0.4);
+    drop.samples = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    return drop;
+  };
+  d.describe = [](const core::LabeledDrop& drop) {
+    return format("%s%.3f", drop.truth_congested ? "+" : "-",
+                  drop.relative_drop);
+  };
+  return d;
+}
+
+std::string check_threshold_roc(const std::vector<core::LabeledDrop>& drops) {
+  auto roc = core::roc_sweep(drops, 20);
+  if (roc.empty()) return "roc_sweep returned no points";
+
+  std::vector<core::LabeledDrop> reversed(drops.rbegin(), drops.rend());
+  auto roc_rev = core::roc_sweep(reversed, 20);
+  if (roc.size() != roc_rev.size()) return "ROC size depends on input order";
+  for (std::size_t i = 0; i < roc.size(); ++i) {
+    if (roc[i].threshold != roc_rev[i].threshold ||
+        roc[i].tpr != roc_rev[i].tpr || roc[i].fpr != roc_rev[i].fpr) {
+      return "ROC points depend on input order";
+    }
+  }
+
+  for (std::size_t i = 0; i < roc.size(); ++i) {
+    const auto& pt = roc[i];
+    if (pt.tpr < 0.0 || pt.tpr > 1.0 || pt.fpr < 0.0 || pt.fpr > 1.0) {
+      return format("ROC point %zu outside the unit square (tpr=%.3f "
+                    "fpr=%.3f)",
+                    i, pt.tpr, pt.fpr);
+    }
+    if (i > 0) {
+      if (pt.threshold <= roc[i - 1].threshold) {
+        return "ROC thresholds not strictly increasing";
+      }
+      // Raising the threshold can only shed positive predictions.
+      if (pt.tpr > roc[i - 1].tpr + 1e-12 ||
+          pt.fpr > roc[i - 1].fpr + 1e-12 ||
+          pt.predicted_positive > roc[i - 1].predicted_positive) {
+        return format("ROC not monotone at threshold %.3f", pt.threshold);
+      }
+    }
+  }
+
+  auto best = core::best_threshold(roc);
+  for (const auto& pt : roc) {
+    if (pt.tpr - pt.fpr > best.tpr - best.fpr + 1e-12) {
+      return format("best_threshold (J=%.4f) beaten by threshold %.3f "
+                    "(J=%.4f)",
+                    best.tpr - best.fpr, pt.threshold, pt.tpr - pt.fpr);
+    }
+  }
+
+  auto dist = core::drop_distributions(drops);
+  if (dist.congested.size() + dist.uncongested.size() != drops.size()) {
+    return "drop_distributions lost samples";
+  }
+  if (!dist.congested.empty()) {
+    auto [lo, hi] = std::minmax_element(dist.congested.begin(),
+                                        dist.congested.end());
+    if (dist.congested_median < *lo || dist.congested_median > *hi) {
+      return "congested median outside its own distribution";
+    }
+  }
+  if (!dist.uncongested.empty()) {
+    auto [lo, hi] = std::minmax_element(dist.uncongested.begin(),
+                                        dist.uncongested.end());
+    if (dist.uncongested_median < *lo || dist.uncongested_median > *hi) {
+      return "uncongested median outside its own distribution";
+    }
+  }
+  return "";
+}
+
+Property world_property(const char* name, const char* summary, int iters,
+                        std::string (*fn)(const GeneratorConfig&)) {
+  Property p;
+  p.name = name;
+  p.family = "meta";
+  p.summary = summary;
+  p.default_iterations = iters;
+  std::string pname = p.name;
+  p.run = [pname, fn](util::pbt::Config cfg) {
+    return util::pbt::check<GeneratorConfig>(pname, config_domain(), fn, cfg);
+  };
+  return p;
+}
+
+}  // namespace
+
+void register_meta_properties(std::vector<Property>& out) {
+  out.push_back(world_property(
+      "meta.mapit_corpus_shuffle",
+      "MAP-IT assignment and crossings invariant under corpus shuffles", 6,
+      check_mapit_corpus_shuffle));
+  out.push_back(world_property(
+      "meta.mapit_relabel",
+      "MAP-IT equivariant under top-bit IP relabeling of the whole view", 6,
+      check_mapit_relabel));
+  out.push_back(world_property(
+      "meta.mapit_duplication",
+      "duplicating the corpus doubles evidence, not conclusions", 6,
+      check_mapit_duplication));
+  out.push_back(world_property(
+      "meta.bdrmap_vp_monotone",
+      "border sets grow monotonically as vantage points are added", 5,
+      check_bdrmap_vp_monotone));
+  out.push_back(world_property(
+      "meta.matching_shuffle",
+      "NDT-traceroute matching invariant under input shuffles", 5,
+      check_matching_shuffle));
+  out.push_back(world_property(
+      "meta.campaign_noop_toggles",
+      "zero-rate faults and observability toggles leave output bit-identical",
+      4, check_campaign_noop_toggles));
+
+  {
+    Property p;
+    p.name = "meta.tomography_invariants";
+    p.family = "meta";
+    p.summary =
+        "binary tomography: order-invariant, sound, exact <= greedy";
+    p.default_iterations = 150;
+    p.run = [](util::pbt::Config cfg) {
+      return util::pbt::check<std::vector<core::PathObservation>>(
+          "meta.tomography_invariants",
+          util::pbt::vector_of(observation_domain(), 1, 30),
+          check_tomography, cfg);
+    };
+    out.push_back(p);
+  }
+  {
+    Property p;
+    p.name = "meta.threshold_roc_invariants";
+    p.family = "meta";
+    p.summary =
+        "ROC sweep: order-invariant, monotone, best threshold maximizes J";
+    p.default_iterations = 150;
+    p.run = [](util::pbt::Config cfg) {
+      return util::pbt::check<std::vector<core::LabeledDrop>>(
+          "meta.threshold_roc_invariants",
+          util::pbt::vector_of(drop_domain(), 1, 40), check_threshold_roc,
+          cfg);
+    };
+    out.push_back(p);
+  }
+}
+
+}  // namespace netcong::check

@@ -1,0 +1,59 @@
+#pragma once
+
+// The netcong property registry: every invariant the property-based suite
+// knows how to check, grouped into three families (see DESIGN.md §9):
+//
+//   gen   — generator well-formedness: any configuration the bounded domain
+//           can produce yields a structurally sound world (unique addresses,
+//           connected intra-AS graphs, consistent link endpoints, profile
+//           knobs honored within statistical bounds);
+//   meta  — metamorphic inference invariants: transformations of the input
+//           that must not change (or must change predictably) the output of
+//           MAP-IT, bdrmap, matching, tomography, and threshold selection;
+//   diff  — differential determinism: one harness running the same campaign
+//           across worker counts, path-cache settings, fault severities, and
+//           instrumentation toggles, diffing full output fingerprints.
+//
+// Both `netcong_check` and the gtest wrappers in tests/properties/ drive
+// the same registry, so a seed printed by either reproduces in the other.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/pbt.h"
+
+namespace netcong::check {
+
+struct Property {
+  std::string name;     // "family.short_name", e.g. "gen.addresses_unique"
+  std::string family;   // "gen", "meta", or "diff"
+  std::string summary;  // one line, shown by `netcong_check --list`
+  // Iteration budget used when the caller's Config leaves iterations <= 0.
+  // Scaled to keep the whole suite within the tier-1 time budget; raise
+  // globally with NETCONG_PBT_ITERS or per-run with --iterations.
+  int default_iterations = 20;
+  std::function<util::pbt::CheckResult(util::pbt::Config)> run;
+};
+
+// All registered properties, grouped by family then name.
+const std::vector<Property>& all_properties();
+
+// Lookup by exact name; nullptr when unknown.
+const Property* find_property(std::string_view name);
+
+// Distinct family names in registry order.
+std::vector<std::string> families();
+
+// Runs one property, applying its default iteration budget when the config
+// leaves iterations unset (<= 0).
+util::pbt::CheckResult run_property(const Property& prop,
+                                    util::pbt::Config cfg);
+
+// Family registration hooks (one per translation unit).
+void register_gen_properties(std::vector<Property>& out);
+void register_meta_properties(std::vector<Property>& out);
+void register_diff_properties(std::vector<Property>& out);
+
+}  // namespace netcong::check

@@ -1,0 +1,39 @@
+#include "check/properties.h"
+
+namespace netcong::check {
+
+const std::vector<Property>& all_properties() {
+  static const std::vector<Property> props = [] {
+    std::vector<Property> out;
+    register_gen_properties(out);
+    register_meta_properties(out);
+    register_diff_properties(out);
+    return out;
+  }();
+  return props;
+}
+
+const Property* find_property(std::string_view name) {
+  for (const Property& p : all_properties()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> families() {
+  std::vector<std::string> out;
+  for (const Property& p : all_properties()) {
+    bool seen = false;
+    for (const std::string& f : out) seen = seen || f == p.family;
+    if (!seen) out.push_back(p.family);
+  }
+  return out;
+}
+
+util::pbt::CheckResult run_property(const Property& prop,
+                                    util::pbt::Config cfg) {
+  if (cfg.iterations <= 0) cfg.iterations = prop.default_iterations;
+  return prop.run(cfg);
+}
+
+}  // namespace netcong::check

@@ -784,14 +784,18 @@ void WorldBuilder::add_one_link(AsState& a, AsState& b, CityId city,
     spec.addr_owner_b = space_owner;
   }
 
-  // PTR records: each side's interface names the remote org.
+  // PTR records: each side's interface names the remote org. Per-AS
+  // coverage is scaled by the config knob relative to its 0.85 default, so
+  // dns_ptr_coverage=0 strips every PTR and raising it names more
+  // interfaces while preserving the per-AS-type spread.
+  const double dns_scale = cfg_.dns_ptr_coverage / 0.85;
   const topo::City& c = topo_->city(city);
   int pop_index = 1 + static_cast<int>(rng.uniform_int(0, 4));
-  if (rng.chance(a.dns_coverage)) {
+  if (rng.chance(a.dns_coverage * dns_scale)) {
     spec.dns_a = topo::make_interdomain_dns_name(
         b.org_name, topo_->router(ra).name, c.name, pop_index, a.domain);
   }
-  if (rng.chance(b.dns_coverage)) {
+  if (rng.chance(b.dns_coverage * dns_scale)) {
     spec.dns_b = topo::make_interdomain_dns_name(
         a.org_name, topo_->router(rb).name, c.name, pop_index, b.domain);
   }

@@ -1,0 +1,54 @@
+#pragma once
+
+// Order-sensitive 64-bit fingerprints of pipeline outputs. One number
+// stands in for "these two results are bit-identical", which is how the
+// differential-determinism properties (and the refactored campaign
+// determinism tests) compare full outputs across worker counts, path-cache
+// settings, and instrumentation toggles without field-by-field assertion
+// code per record type.
+//
+// Every field that previously carried an EXPECT_EQ in the scattered
+// identity checks is mixed in: doubles by bit pattern (so -0.0 != 0.0 and
+// NaN payloads count), strings length-prefixed, vectors size-prefixed.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gen/world.h"
+#include "measure/ndt.h"
+#include "measure/traceroute.h"
+
+namespace netcong::measure {
+
+// FNV-1a accumulator over typed values.
+class Fingerprint {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ ((v >> (8 * i)) & 0xffu)) * 1099511628211ull;
+    }
+  }
+  void mix(double v);
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(std::string_view s);
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+void mix_record(Fingerprint& fp, const NdtRecord& t);
+void mix_record(Fingerprint& fp, const TracerouteRecord& tr);
+void mix_record(Fingerprint& fp, const route::RouterPath& p);
+
+std::uint64_t fingerprint(const std::vector<TracerouteRecord>& corpus);
+std::uint64_t fingerprint(const CampaignResult& result);
+
+// Structural fingerprint of a generated world: every topology entity,
+// control-plane view, and host list. Two calls to generate_world with the
+// same config must produce the same value (generator determinism).
+std::uint64_t fingerprint(const gen::World& world);
+
+}  // namespace netcong::measure

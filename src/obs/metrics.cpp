@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -22,34 +23,6 @@ std::mutex& obs_mutex() {
 
 std::atomic<std::uint64_t> g_next_registry_id{1};
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::format("\\u%04x", c);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-// JSON number formatting that survives round-trips and never emits the
-// locale-dependent or non-JSON tokens (inf/nan become 0).
-std::string json_double(double v) {
-  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
-  std::string s = util::format("%.17g", v);
-  return s;
-}
 }  // namespace
 
 // Per-thread storage: a fixed-size block of single-writer atomics. The
@@ -346,26 +319,26 @@ const HistogramValue* MetricsSnapshot::histogram(
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
   for (std::size_t i = 0; i < counters.size(); ++i) {
-    out += util::format("%s\n    \"%s\": %llu", i ? "," : "",
-                        json_escape(counters[i].first).c_str(),
+    out += util::format("%s\n    %s: %llu", i ? "," : "",
+                        util::json_quote(counters[i].first).c_str(),
                         static_cast<unsigned long long>(counters[i].second));
   }
   out += counters.empty() ? "},\n" : "\n  },\n";
   out += "  \"gauges\": {";
   for (std::size_t i = 0; i < gauges.size(); ++i) {
-    out += util::format("%s\n    \"%s\": %s", i ? "," : "",
-                        json_escape(gauges[i].first).c_str(),
-                        json_double(gauges[i].second).c_str());
+    out += util::format("%s\n    %s: %s", i ? "," : "",
+                        util::json_quote(gauges[i].first).c_str(),
+                        util::json_number(gauges[i].second).c_str());
   }
   out += gauges.empty() ? "},\n" : "\n  },\n";
   out += "  \"histograms\": {";
   for (std::size_t i = 0; i < histograms.size(); ++i) {
     const HistogramValue& h = histograms[i].second;
-    out += util::format("%s\n    \"%s\": {\"bounds\": [", i ? "," : "",
-                        json_escape(histograms[i].first).c_str());
+    out += util::format("%s\n    %s: {\"bounds\": [", i ? "," : "",
+                        util::json_quote(histograms[i].first).c_str());
     for (std::size_t b = 0; b < h.bounds.size(); ++b) {
       out += util::format("%s%s", b ? ", " : "",
-                          json_double(h.bounds[b]).c_str());
+                          util::json_number(h.bounds[b]).c_str());
     }
     out += "], \"counts\": [";
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
@@ -374,7 +347,7 @@ std::string MetricsSnapshot::to_json() const {
     }
     out += util::format("], \"count\": %llu, \"sum\": %s}",
                         static_cast<unsigned long long>(h.count),
-                        json_double(h.sum).c_str());
+                        util::json_number(h.sum).c_str());
   }
   out += histograms.empty() ? "}\n" : "\n  }\n";
   out += "}\n";

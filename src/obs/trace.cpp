@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace netcong::obs {
@@ -159,9 +160,10 @@ std::string TraceRecorder::to_chrome_json() const {
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     out += util::format(
-        "%s\n  {\"name\": \"%s\", \"cat\": \"netcong\", \"ph\": \"X\", "
+        "%s\n  {\"name\": %s, \"cat\": \"netcong\", \"ph\": \"X\", "
         "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
-        i ? "," : "", e.name, e.ts_us, e.dur_us, e.tid);
+        i ? "," : "", util::json_quote(e.name).c_str(), e.ts_us, e.dur_us,
+        e.tid);
   }
   out += util::format(
       "%s], \"displayTimeUnit\": \"ms\", \"otherData\": "

@@ -1,0 +1,198 @@
+#include "util/json.h"
+
+#include "util/strings.h"
+
+namespace netcong::util {
+
+namespace {
+
+// Decodes one UTF-8 sequence starting at s[i]. Returns the codepoint and
+// advances i past the sequence; returns nullopt (advancing i by one byte)
+// on any invalid sequence: bad lead byte, truncation, bad continuation,
+// overlong encoding, surrogate, or > U+10FFFF.
+std::optional<std::uint32_t> decode_utf8(std::string_view s, std::size_t& i) {
+  unsigned char lead = static_cast<unsigned char>(s[i]);
+  int len;
+  std::uint32_t cp;
+  if (lead < 0x80) {
+    ++i;
+    return lead;
+  } else if ((lead & 0xe0) == 0xc0) {
+    len = 2;
+    cp = lead & 0x1fu;
+  } else if ((lead & 0xf0) == 0xe0) {
+    len = 3;
+    cp = lead & 0x0fu;
+  } else if ((lead & 0xf8) == 0xf0) {
+    len = 4;
+    cp = lead & 0x07u;
+  } else {
+    ++i;
+    return std::nullopt;
+  }
+  if (i + static_cast<std::size_t>(len) > s.size()) {
+    ++i;
+    return std::nullopt;
+  }
+  for (int k = 1; k < len; ++k) {
+    unsigned char c = static_cast<unsigned char>(s[i + static_cast<std::size_t>(k)]);
+    if ((c & 0xc0) != 0x80) {
+      ++i;
+      return std::nullopt;
+    }
+    cp = (cp << 6) | (c & 0x3fu);
+  }
+  // Overlong encodings, UTF-16 surrogates, and out-of-range values are
+  // invalid even when the byte pattern parses.
+  static constexpr std::uint32_t kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMin[len] || (cp >= 0xd800 && cp <= 0xdfff) || cp > 0x10ffff) {
+    ++i;
+    return std::nullopt;
+  }
+  i += static_cast<std::size_t>(len);
+  return cp;
+}
+
+void append_u16_escape(std::string& out, std::uint32_t unit) {
+  out += format("\\u%04x", unit);
+}
+
+void append_codepoint_escape(std::string& out, std::uint32_t cp) {
+  if (cp <= 0xffff) {
+    append_u16_escape(out, cp);
+  } else {
+    cp -= 0x10000;
+    append_u16_escape(out, 0xd800 + (cp >> 10));
+    append_u16_escape(out, 0xdc00 + (cp & 0x3ffu));
+  }
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+constexpr std::uint32_t kReplacement = 0xfffd;
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  std::size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    switch (c) {
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      append_u16_escape(out, u);
+      ++i;
+    } else if (u < 0x80) {
+      out.push_back(c);
+      ++i;
+    } else {
+      auto cp = decode_utf8(s, i);
+      append_codepoint_escape(out, cp.value_or(kReplacement));
+    }
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string json_number(double v) {
+  if (!(v == v) || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    return "0";
+  }
+  return format("%.17g", v);
+}
+
+std::optional<std::string> json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  auto hex4 = [&](std::size_t at) -> std::optional<std::uint32_t> {
+    if (at + 4 > s.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (std::size_t k = at; k < at + 4; ++k) {
+      char c = s[k];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    return v;
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+    if (c != '\\') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= s.size()) return std::nullopt;
+    char e = s[i + 1];
+    i += 2;
+    switch (e) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        auto hi = hex4(i);
+        if (!hi) return std::nullopt;
+        i += 4;
+        std::uint32_t cp = *hi;
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+          // High surrogate: a \uDC00-\uDFFF low surrogate must follow.
+          if (i + 2 > s.size() || s[i] != '\\' || s[i + 1] != 'u') {
+            return std::nullopt;
+          }
+          auto lo = hex4(i + 2);
+          if (!lo || *lo < 0xdc00 || *lo > 0xdfff) return std::nullopt;
+          i += 6;
+          cp = 0x10000 + ((cp - 0xd800) << 10) + (*lo - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+          return std::nullopt;  // unpaired low surrogate
+        }
+        append_utf8(out, cp);
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace netcong::util

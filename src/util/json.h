@@ -1,0 +1,32 @@
+#pragma once
+
+// Shared RFC 8259 JSON string/number formatting. Every JSON exporter in the
+// tree (obs metrics/trace, io exports, netcong_check reports) must go
+// through these helpers so arbitrary bytes — control characters, quotes,
+// non-ASCII, even invalid UTF-8 — always yield a parseable document.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netcong::util {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes). Output is pure ASCII: control characters and every non-ASCII
+// codepoint become \uXXXX escapes (astral codepoints as surrogate pairs);
+// bytes that do not form valid UTF-8 are replaced with U+FFFD.
+std::string json_escape(std::string_view s);
+
+// json_escape with surrounding double quotes — a complete JSON string.
+std::string json_quote(std::string_view s);
+
+// Round-trip-safe JSON number: finite values via %.17g, non-finite values
+// (inf/nan, which JSON cannot represent) become 0.
+std::string json_number(double v);
+
+// Inverse of json_escape for tests and report readers: decodes the escape
+// sequences of a JSON string body (no surrounding quotes) back to UTF-8.
+// Returns nullopt on malformed escapes or raw control characters.
+std::optional<std::string> json_unescape(std::string_view s);
+
+}  // namespace netcong::util

@@ -1,0 +1,100 @@
+#include "util/pbt.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace netcong::util::pbt {
+
+std::optional<std::uint64_t> env_repro_seed() {
+  const char* v = std::getenv("NETCONG_PBT_SEED");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  // Accepts decimal or 0x-prefixed hex (the format the report prints).
+  unsigned long long parsed = std::strtoull(v, &end, 0);
+  if (end == v || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::optional<int> env_iterations() {
+  const char* v = std::getenv("NETCONG_PBT_ITERS");
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed <= 0 || parsed > 1000000) {
+    return std::nullopt;
+  }
+  return static_cast<int>(parsed);
+}
+
+std::uint64_t case_seed(std::uint64_t base, int iteration) {
+  // Same Weyl-step + splitmix finalizer as Rng::fork(stream): case seeds
+  // are independent of each other and of the raw base seed.
+  std::uint64_t z = base ^ (0x9e3779b97f4a7c15ull +
+                            static_cast<std::uint64_t>(iteration) *
+                                0xd1342543de82ef95ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string failure_report(std::string_view name, int iterations_run,
+                           std::uint64_t failing_seed, int shrink_steps,
+                           std::string_view counterexample,
+                           std::string_view failure) {
+  std::string out;
+  out += format("property '%.*s' FAILED on case %d\n",
+                static_cast<int>(name.size()), name.data(), iterations_run);
+  out += format("  NETCONG_PBT_SEED=0x%016llx\n",
+                static_cast<unsigned long long>(failing_seed));
+  out += format("  (set that variable to re-run exactly this case in any "
+                "pbt test binary or netcong_check)\n");
+  out += format("  counterexample (after %d shrink evaluations): %.*s\n",
+                shrink_steps, static_cast<int>(counterexample.size()),
+                counterexample.data());
+  out += format("  failure: %.*s", static_cast<int>(failure.size()),
+                failure.data());
+  return out;
+}
+
+Domain<std::int64_t> int_range(std::int64_t lo, std::int64_t hi) {
+  Domain<std::int64_t> d;
+  d.generate = [lo, hi](Rng& rng) { return rng.uniform_int(lo, hi); };
+  d.shrink = [lo](const std::int64_t& v) {
+    std::vector<std::int64_t> out;
+    if (v == lo) return out;
+    out.push_back(lo);                 // jump straight to the minimum
+    std::int64_t mid = lo + (v - lo) / 2;
+    if (mid != lo && mid != v) out.push_back(mid);  // binary descent
+    if (v - 1 != lo && v - 1 != mid) out.push_back(v - 1);
+    return out;
+  };
+  d.describe = [](const std::int64_t& v) { return format("%lld", static_cast<long long>(v)); };
+  return d;
+}
+
+Domain<double> double_range(double lo, double hi) {
+  Domain<double> d;
+  d.generate = [lo, hi](Rng& rng) { return rng.uniform(lo, hi); };
+  d.shrink = [lo](const double& v) {
+    std::vector<double> out;
+    if (!(v > lo)) return out;
+    out.push_back(lo);
+    double mid = lo + (v - lo) / 2.0;
+    if (mid > lo && mid < v) out.push_back(mid);
+    return out;
+  };
+  d.describe = [](const double& v) { return format("%.6g", v); };
+  return d;
+}
+
+Domain<bool> boolean() {
+  Domain<bool> d;
+  d.generate = [](Rng& rng) { return rng.chance(0.5); };
+  d.shrink = [](const bool& v) {
+    return v ? std::vector<bool>{false} : std::vector<bool>{};
+  };
+  d.describe = [](const bool& v) { return std::string(v ? "true" : "false"); };
+  return d;
+}
+
+}  // namespace netcong::util::pbt

@@ -1,0 +1,230 @@
+#pragma once
+
+// Dependency-free property-based testing for netcong.
+//
+// A Domain<T> bundles a seeded generator for random values of T, a shrinker
+// proposing strictly "smaller" variants of a failing value, and a printer.
+// check() drives a property (a function of T returning an empty string on
+// success, a failure description otherwise) over many independent cases;
+// the first failure is greedily shrunk to a minimal counterexample and the
+// report carries a one-line repro:
+//
+//     NETCONG_PBT_SEED=0x1f2e3d4c...
+//
+// Setting that environment variable makes every subsequent check() run
+// exactly that one case — generation is a pure function of the case seed,
+// so the failure (and its shrunk counterexample) reproduces bit-identically
+// in any pbt test binary or in netcong_check.
+//
+// NETCONG_PBT_ITERS overrides the iteration budget globally, letting the
+// sanitizer scripts run the whole suite at a reduced budget and deep soak
+// runs raise it without recompiling.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace netcong::util::pbt {
+
+struct Config {
+  // Number of independent random cases; <= 0 means "the caller's default".
+  int iterations = 100;
+  // Base seed; case i draws from a splitmix-derived per-case seed.
+  std::uint64_t seed = 42;
+  // Upper bound on property evaluations spent shrinking one failure.
+  int max_shrink_steps = 2000;
+  // When set, run exactly one case with this seed (repro mode).
+  std::optional<std::uint64_t> repro_seed;
+  // When true (the default), NETCONG_PBT_SEED fills repro_seed and
+  // NETCONG_PBT_ITERS overrides iterations.
+  bool env_override = true;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::string name;
+  int iterations_run = 0;
+  int shrink_steps = 0;            // property evaluations spent shrinking
+  std::uint64_t failing_seed = 0;  // case seed that reproduces the failure
+  std::string counterexample;      // describe() of the minimal failing value
+  std::string failure;             // property message at the minimal value
+  std::string report;              // full human-readable failure report
+};
+
+// Value domain: generator + shrinker + printer. The shrinker returns
+// candidate replacements strictly simpler than its argument (an empty
+// vector stops shrinking); it must terminate, i.e. the "simpler than"
+// relation must be well-founded.
+template <typename T>
+struct Domain {
+  std::function<T(Rng&)> generate;
+  std::function<std::vector<T>(const T&)> shrink =
+      [](const T&) { return std::vector<T>{}; };
+  std::function<std::string(const T&)> describe =
+      [](const T&) { return std::string("<value>"); };
+};
+
+// Environment plumbing (implemented in pbt.cpp).
+std::optional<std::uint64_t> env_repro_seed();  // NETCONG_PBT_SEED
+std::optional<int> env_iterations();            // NETCONG_PBT_ITERS
+
+// Per-case seed derivation: splitmix over (base, iteration), matching the
+// independence guarantees of Rng::fork.
+std::uint64_t case_seed(std::uint64_t base, int iteration);
+
+// Assembles the failure report (shared between check() instantiations).
+std::string failure_report(std::string_view name, int iterations_run,
+                           std::uint64_t failing_seed, int shrink_steps,
+                           std::string_view counterexample,
+                           std::string_view failure);
+
+// Runs `property` over random cases from `domain`. Exceptions thrown by the
+// property are treated as failures (and shrunk like any other).
+template <typename T>
+CheckResult check(std::string_view name, const Domain<T>& domain,
+                  const std::function<std::string(const T&)>& property,
+                  Config cfg = Config{}, T* minimal_out = nullptr) {
+  CheckResult result;
+  result.name = std::string(name);
+  if (cfg.env_override) {
+    if (auto s = env_repro_seed()) cfg.repro_seed = *s;
+    if (auto n = env_iterations()) cfg.iterations = *n;
+  }
+  if (cfg.iterations <= 0) cfg.iterations = 100;
+
+  auto evaluate = [&](const T& value) -> std::string {
+    try {
+      return property(value);
+    } catch (const std::exception& e) {
+      return std::string("unhandled exception: ") + e.what();
+    } catch (...) {
+      return "unhandled non-standard exception";
+    }
+  };
+
+  const int iterations = cfg.repro_seed ? 1 : cfg.iterations;
+  for (int i = 0; i < iterations; ++i) {
+    std::uint64_t cs = cfg.repro_seed ? *cfg.repro_seed : case_seed(cfg.seed, i);
+    Rng rng(cs);
+    T value = domain.generate(rng);
+    std::string msg = evaluate(value);
+    ++result.iterations_run;
+    if (msg.empty()) continue;
+
+    // Greedy shrink: repeatedly move to the first still-failing candidate.
+    T minimal = std::move(value);
+    std::string minimal_msg = std::move(msg);
+    bool progressed = true;
+    while (progressed && result.shrink_steps < cfg.max_shrink_steps) {
+      progressed = false;
+      for (const T& candidate : domain.shrink(minimal)) {
+        if (result.shrink_steps >= cfg.max_shrink_steps) break;
+        ++result.shrink_steps;
+        std::string m = evaluate(candidate);
+        if (!m.empty()) {
+          minimal = candidate;
+          minimal_msg = std::move(m);
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    result.ok = false;
+    result.failing_seed = cs;
+    result.counterexample = domain.describe(minimal);
+    result.failure = std::move(minimal_msg);
+    result.report =
+        failure_report(name, result.iterations_run, cs, result.shrink_steps,
+                       result.counterexample, result.failure);
+    if (minimal_out) *minimal_out = std::move(minimal);
+    return result;
+  }
+  return result;
+}
+
+// ---- stock domains ----
+
+Domain<std::int64_t> int_range(std::int64_t lo, std::int64_t hi);
+Domain<double> double_range(double lo, double hi);
+Domain<bool> boolean();
+
+template <typename T>
+Domain<T> element_of(std::vector<T> values) {
+  Domain<T> d;
+  auto shared = std::make_shared<std::vector<T>>(std::move(values));
+  d.generate = [shared](Rng& rng) { return rng.pick(*shared); };
+  // Shrink toward the first element (the caller puts the simplest first).
+  d.shrink = [shared](const T& v) {
+    std::vector<T> out;
+    if (!shared->empty() && !(shared->front() == v)) {
+      out.push_back(shared->front());
+    }
+    return out;
+  };
+  return d;
+}
+
+// Fixed-size-free vector domain: random length in [min_len, max_len],
+// elements from `elem`. Shrinks by halving length, dropping single
+// elements, and shrinking individual elements.
+template <typename T>
+Domain<std::vector<T>> vector_of(Domain<T> elem, std::size_t min_len,
+                                 std::size_t max_len) {
+  Domain<std::vector<T>> d;
+  auto shared = std::make_shared<Domain<T>>(std::move(elem));
+  d.generate = [shared, min_len, max_len](Rng& rng) {
+    std::size_t n = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_len),
+                        static_cast<std::int64_t>(max_len)));
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(shared->generate(rng));
+    return out;
+  };
+  d.shrink = [shared, min_len](const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.size() > min_len) {
+      // Halve first (fast progress), then drop one element at a time.
+      std::size_t half = v.size() / 2;
+      if (half >= min_len && half < v.size()) {
+        out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half));
+      }
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        std::vector<T> smaller;
+        smaller.reserve(v.size() - 1);
+        for (std::size_t j = 0; j < v.size(); ++j) {
+          if (j != i) smaller.push_back(v[j]);
+        }
+        out.push_back(std::move(smaller));
+      }
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (T& cand : shared->shrink(v[i])) {
+        std::vector<T> copy = v;
+        copy[i] = std::move(cand);
+        out.push_back(std::move(copy));
+      }
+    }
+    return out;
+  };
+  d.describe = [shared](const std::vector<T>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ", ";
+      out += shared->describe(v[i]);
+    }
+    return out + "]";
+  };
+  return d;
+}
+
+}  // namespace netcong::util::pbt

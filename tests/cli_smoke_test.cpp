@@ -1,0 +1,151 @@
+// End-to-end smoke tests for the netcong_cli binary: argument validation
+// (unknown subcommands, unknown flags, stray positionals all exit 2 with
+// usage on stderr) and one fast invocation of every registered subcommand.
+// The subcommand list is discovered from the binary's own help output, so
+// registering a new subcommand without adding a smoke invocation here
+// fails the suite.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // whatever the shell redirections leave on stdout
+};
+
+// Runs the CLI through /bin/sh so tests can use redirections to separate
+// the streams: "2>&1 1>/dev/null" captures stderr only, "2>/dev/null"
+// captures stdout only.
+RunResult run_cli(const std::string& args) {
+  std::string cmd = std::string(NETCONG_CLI_PATH) + " " + args;
+  RunResult result;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+TEST(CliErrors, NoArgumentsPrintsUsageToStderr) {
+  RunResult err = run_cli("2>&1 1>/dev/null");
+  EXPECT_NE(err.exit_code, 0);
+  EXPECT_NE(err.output.find("usage:"), std::string::npos) << err.output;
+
+  RunResult out = run_cli("2>/dev/null");
+  EXPECT_EQ(out.output.find("usage:"), std::string::npos)
+      << "usage text leaked to stdout";
+}
+
+TEST(CliErrors, UnknownSubcommandExits2WithUsageOnStderr) {
+  RunResult err = run_cli("frobnicate 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("unknown subcommand 'frobnicate'"),
+            std::string::npos)
+      << err.output;
+  EXPECT_NE(err.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownFlagExits2WithUsageOnStderr) {
+  RunResult err = run_cli("topology --frob 3 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("unknown option '--frob'"), std::string::npos)
+      << err.output;
+  EXPECT_NE(err.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliErrors, FlagValidForOneSubcommandIsRejectedForAnother) {
+  // --days belongs to campaign (and friends), not to topology.
+  RunResult err = run_cli("topology --days 1 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("unknown option '--days'"), std::string::npos)
+      << err.output;
+}
+
+TEST(CliErrors, StrayPositionalExits2WithUsageOnStderr) {
+  RunResult err = run_cli("topology extra-arg 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("unexpected argument 'extra-arg'"),
+            std::string::npos)
+      << err.output;
+  EXPECT_NE(err.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliHelp, HelpExitsZeroOnStdout) {
+  RunResult out = run_cli("--help 2>/dev/null");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.output.find("usage:"), std::string::npos);
+  EXPECT_NE(out.output.find("topology"), std::string::npos);
+}
+
+TEST(CliHelp, SubcommandHelpExitsZero) {
+  RunResult out = run_cli("campaign --help 2>/dev/null");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.output.find("usage:"), std::string::npos);
+}
+
+// Parses subcommand names out of the help text: the indented block between
+// "subcommands:" and the following blank line, first token of each line.
+std::vector<std::string> registered_subcommands() {
+  RunResult help = run_cli("--help 2>/dev/null");
+  std::vector<std::string> names;
+  std::istringstream in(help.output);
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (line == "subcommands:") {
+      in_block = true;
+      continue;
+    }
+    if (!in_block) continue;
+    if (line.empty()) break;
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    if (!name.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+TEST(CliSmoke, EveryRegisteredSubcommandRuns) {
+  // Fast flags for each subcommand: tiny world, short workloads. A
+  // subcommand in the registry but missing here fails the ASSERT below —
+  // add a smoke invocation when you add a subcommand.
+  const std::map<std::string, std::string> smoke_args = {
+      {"topology", "--scale tiny --seed 3"},
+      {"campaign", "--scale tiny --seed 3 --days 1 --tests-per-client 1"},
+      {"coverage", "--scale tiny --seed 3"},
+      {"diurnal", "--scale tiny --seed 3 --days 2"},
+      {"faults", "--list"},
+      {"stats", "--scale tiny --seed 3 --days 1 --tests-per-client 1"},
+  };
+
+  std::vector<std::string> names = registered_subcommands();
+  ASSERT_GE(names.size(), 6u) << "failed to parse subcommands from help";
+  for (const std::string& name : names) {
+    auto it = smoke_args.find(name);
+    ASSERT_NE(it, smoke_args.end())
+        << "subcommand '" << name << "' has no smoke invocation";
+    RunResult run = run_cli(it->first + " " + it->second + " 2>&1");
+    EXPECT_EQ(run.exit_code, 0)
+        << "subcommand '" << name << "' failed:\n"
+        << run.output;
+    EXPECT_FALSE(run.output.empty())
+        << "subcommand '" << name << "' produced no output";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// Edge cases for corpus degradation, NDT<->traceroute matching, and the
+// diurnal analysis: empty corpora, total (100%) loss, and single-sample
+// hour bins must produce well-defined, accounted results — zeros and flags,
+// not NaN, crashes, or silently dropped rows.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/diurnal.h"
+#include "helpers.h"
+#include "measure/degrade.h"
+#include "measure/matching.h"
+#include "sim/faults.h"
+#include "stats/timeseries.h"
+
+namespace netcong::measure {
+namespace {
+
+sim::FaultInjector enabled_injector(std::uint64_t seed) {
+  sim::FaultConfig config;
+  config.enabled = true;
+  return sim::FaultInjector(config, seed);
+}
+
+TracerouteRecord make_trace(std::uint32_t src, std::uint32_t dst_addr,
+                            double utc_hours, int hops) {
+  TracerouteRecord tr;
+  tr.src_host = src;
+  tr.dst = topo::IpAddr(dst_addr);
+  tr.utc_time_hours = utc_hours;
+  for (int ttl = 1; ttl <= hops; ++ttl) {
+    TraceHop hop;
+    hop.ttl = ttl;
+    hop.responded = true;
+    hop.addr = topo::IpAddr(0x0a000000u + static_cast<std::uint32_t>(ttl));
+    hop.rtt_ms = ttl * 1.5;
+    hop.dns_name = "hop";
+    tr.hops.push_back(hop);
+  }
+  return tr;
+}
+
+TEST(DegradeEdge, EmptyCorpusIsGracefulAndAccounted) {
+  sim::FaultInjector faults = enabled_injector(7);
+  DegradeOptions options;
+  options.trace_loss = 0.5;
+  options.hop_loss = 0.5;
+  DegradeStats stats;
+  auto out = degrade_corpus({}, faults, options, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.traces_in, 0u);
+  EXPECT_EQ(stats.traces_out, 0u);
+  EXPECT_EQ(stats.traces_dropped, 0u);
+  EXPECT_EQ(stats.hops_in, 0u);
+  EXPECT_EQ(stats.hops_blanked, 0u);
+  EXPECT_TRUE(stats.accounted());
+}
+
+TEST(DegradeEdge, TotalTraceLossDropsEverythingAccounted) {
+  std::vector<TracerouteRecord> corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back(make_trace(1, 0xc0a80000u + static_cast<std::uint32_t>(i),
+                                10.0 + i, 4));
+  }
+  sim::FaultInjector faults = enabled_injector(7);
+  DegradeOptions options;
+  options.trace_loss = 1.0;
+  DegradeStats stats;
+  auto out = degrade_corpus(corpus, faults, options, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.traces_in, 10u);
+  EXPECT_EQ(stats.traces_dropped, 10u);
+  EXPECT_EQ(stats.traces_out, 0u);
+  EXPECT_TRUE(stats.accounted());
+}
+
+TEST(DegradeEdge, TotalHopLossBlanksEveryHopButKeepsTraces) {
+  std::vector<TracerouteRecord> corpus;
+  for (int i = 0; i < 5; ++i) {
+    corpus.push_back(make_trace(1, 0xc0a80000u + static_cast<std::uint32_t>(i),
+                                10.0 + i, 3 + i));
+  }
+  sim::FaultInjector faults = enabled_injector(7);
+  DegradeOptions options;
+  options.hop_loss = 1.0;
+  DegradeStats stats;
+  auto out = degrade_corpus(corpus, faults, options, &stats);
+  ASSERT_EQ(out.size(), corpus.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Trace structure survives: same dst, same hop count, every hop a star.
+    EXPECT_EQ(out[i].dst, corpus[i].dst);
+    ASSERT_EQ(out[i].hops.size(), corpus[i].hops.size());
+    for (const TraceHop& hop : out[i].hops) {
+      EXPECT_FALSE(hop.responded);
+    }
+  }
+  EXPECT_EQ(stats.hops_blanked, stats.hops_in);
+  EXPECT_GT(stats.hops_in, 0u);
+  EXPECT_TRUE(stats.accounted());
+}
+
+TEST(MatchingEdge, EmptyInputsYieldZeroStatsWithoutNan) {
+  const gen::World& world = test::tiny_world();
+  MatchStats stats;
+  auto matched = match_tests({}, {}, *world.topo, {}, &stats);
+  EXPECT_TRUE(matched.empty());
+  EXPECT_EQ(stats.total_tests, 0u);
+  EXPECT_EQ(stats.eligible, 0u);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_EQ(stats.fraction(), 0.0);   // not NaN: 0/0 is defined as 0
+  EXPECT_EQ(stats.coverage(), 0.0);
+  EXPECT_TRUE(stats.accounted());
+}
+
+TEST(MatchingEdge, TestsWithNoTraceroutesAllUnmatched) {
+  const gen::World& world = test::tiny_world();
+  ASSERT_FALSE(world.clients.empty());
+  std::vector<NdtRecord> tests;
+  for (int i = 0; i < 4; ++i) {
+    NdtRecord t;
+    t.test_id = static_cast<std::uint64_t>(i);
+    t.client = world.clients[0];
+    t.utc_time_hours = 10.0 + i;
+    t.download_mbps = 50.0;
+    t.status = NdtStatus::kCompleted;
+    tests.push_back(t);
+  }
+  // One record of each incomplete status: classified, not silently lost.
+  tests[1].status = NdtStatus::kAborted;
+  tests[2].status = NdtStatus::kUnserved;
+  tests[3].status = NdtStatus::kFailed;
+
+  MatchStats stats;
+  auto matched = match_tests(tests, {}, *world.topo, {}, &stats);
+  ASSERT_EQ(matched.size(), tests.size());
+  EXPECT_EQ(matched[0].outcome, MatchedTest::Outcome::kUnmatched);
+  EXPECT_EQ(matched[0].traceroute, nullptr);
+  for (std::size_t i = 1; i < matched.size(); ++i) {
+    EXPECT_EQ(matched[i].outcome, MatchedTest::Outcome::kExcludedIncomplete);
+  }
+  EXPECT_EQ(stats.total_tests, 4u);
+  EXPECT_EQ(stats.eligible, 1u);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_EQ(stats.excluded_aborted, 1u);
+  EXPECT_EQ(stats.excluded_unserved, 1u);
+  EXPECT_EQ(stats.excluded_failed, 1u);
+  EXPECT_EQ(stats.fraction(), 0.0);
+  EXPECT_TRUE(stats.accounted());
+}
+
+TEST(MatchingEdge, TotallyDegradedCorpusMatchesNothingGracefully) {
+  // The 100%-loss pipeline: a corpus degraded to nothing behaves exactly
+  // like the no-traceroutes case downstream.
+  const gen::World& world = test::tiny_world();
+  std::vector<TracerouteRecord> corpus = {make_trace(1, 0xc0a80001u, 10.0, 4)};
+  sim::FaultInjector faults = enabled_injector(3);
+  DegradeOptions options;
+  options.trace_loss = 1.0;
+  auto degraded = degrade_corpus(corpus, faults, options);
+  ASSERT_TRUE(degraded.empty());
+
+  NdtRecord t;
+  t.client = world.clients.empty() ? 0 : world.clients[0];
+  t.utc_time_hours = 10.0;
+  t.download_mbps = 25.0;
+  MatchStats stats;
+  auto matched = match_tests({t}, degraded, *world.topo, {}, &stats);
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0].outcome, MatchedTest::Outcome::kUnmatched);
+  EXPECT_EQ(stats.matched, 0u);
+  EXPECT_TRUE(stats.accounted());
+}
+
+TEST(DiurnalEdge, SingleSampleBinsAreFlaggedNotCalled) {
+  const gen::World& world = test::tiny_world();
+  ASSERT_FALSE(world.clients.empty());
+  NdtRecord t;
+  t.client = world.clients[0];
+  t.utc_time_hours = 20.0;
+  t.download_mbps = 42.0;
+  t.status = NdtStatus::kCompleted;
+
+  core::DiurnalBuildStats build_stats;
+  auto groups = core::build_diurnal_groups(
+      {t}, world, [](const NdtRecord&) { return "src"; },
+      [](const NdtRecord&) { return "isp"; }, &build_stats);
+  EXPECT_EQ(build_stats.total, 1u);
+  EXPECT_EQ(build_stats.used, 1u);
+  EXPECT_TRUE(build_stats.accounted());
+  ASSERT_EQ(groups.size(), 1u);
+  const core::DiurnalGroup& g = groups.begin()->second;
+  EXPECT_EQ(g.tests, 1u);
+
+  // 23 empty bins plus the single-sample bin are all under a 2-sample floor.
+  EXPECT_EQ(core::low_sample_hours(g, 2).size(), 24u);
+  EXPECT_EQ(core::low_sample_hours(g, 1).size(), 23u);
+
+  // The single sample summarizes to itself, with every other bin empty.
+  auto summary = g.throughput.summarize();
+  std::size_t total = 0;
+  for (int h = 0; h < 24; ++h) {
+    std::size_t count = summary.count[static_cast<std::size_t>(h)];
+    total += count;
+    if (count == 1) {
+      EXPECT_EQ(summary.median[static_cast<std::size_t>(h)], 42.0);
+    }
+  }
+  EXPECT_EQ(total, 1u);
+
+  // Inference must flag the group as too sparse, never call it congested.
+  auto calls = core::infer_congestion(groups, 0.1);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_TRUE(calls[0].insufficient_samples);
+  EXPECT_FALSE(calls[0].congested);
+}
+
+TEST(DiurnalEdge, EmptyWindowComparisonIsNanAndFlagged) {
+  // One sample that lands outside the off-peak window: the comparison has
+  // an empty side, relative_drop is NaN, and inference treats NaN as
+  // insufficient rather than propagating it into a verdict.
+  stats::HourlySeries series;
+  series.add(20.5, 10.0);  // inside the default 19-23 peak window
+  auto cmp = stats::compare_peak_offpeak(series);
+  EXPECT_EQ(cmp.peak_count, 1u);
+  EXPECT_EQ(cmp.offpeak_count, 0u);
+  EXPECT_TRUE(std::isnan(cmp.relative_drop));
+
+  core::DiurnalGroup g;
+  g.source = "src";
+  g.isp = "isp";
+  g.throughput = series;
+  g.tests = 1;
+  std::map<core::GroupKey, core::DiurnalGroup> groups;
+  groups[core::GroupKey{g.source, g.isp}] = g;
+  auto calls = core::infer_congestion(groups, 0.1, 1);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_TRUE(calls[0].insufficient_samples);
+  EXPECT_FALSE(calls[0].congested);
+}
+
+}  // namespace
+}  // namespace netcong::measure

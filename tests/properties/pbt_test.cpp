@@ -1,0 +1,224 @@
+// Unit tests for the pbt library itself (seed derivation, shrinking to
+// exact boundaries, repro mode, environment overrides), plus the
+// acceptance test for the whole harness: an intentionally planted
+// generator-config bug must be caught, shrunk to within 2x of the minimal
+// failing config, and reproduce bit-identically from its printed seed.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "check/fixtures.h"
+#include "util/pbt.h"
+#include "util/strings.h"
+
+namespace pbt = netcong::util::pbt;
+
+namespace {
+
+// RAII save/restore so env-override tests cannot leak into each other or
+// into a developer's NETCONG_PBT_SEED repro session.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+pbt::Config no_env_config() {
+  pbt::Config cfg;
+  cfg.env_override = false;  // isolate from any ambient repro variables
+  return cfg;
+}
+
+TEST(PbtSeeds, CaseSeedIsDeterministicAndSpreads) {
+  EXPECT_EQ(pbt::case_seed(42, 0), pbt::case_seed(42, 0));
+  EXPECT_NE(pbt::case_seed(42, 0), pbt::case_seed(42, 1));
+  EXPECT_NE(pbt::case_seed(42, 0), pbt::case_seed(43, 0));
+  // The finalizer should decorrelate the raw base from case 0.
+  EXPECT_NE(pbt::case_seed(42, 0), 42u);
+}
+
+TEST(PbtCheck, PassingPropertyRunsFullBudget) {
+  auto result = pbt::check<std::int64_t>(
+      "always_ok", pbt::int_range(0, 100),
+      [](const std::int64_t&) { return std::string(); }, no_env_config());
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.iterations_run, 100);
+  EXPECT_TRUE(result.report.empty());
+}
+
+TEST(PbtShrink, IntRangeShrinksToExactBoundary) {
+  // Fails for v >= 500: greedy shrinking must land exactly on 500, not
+  // merely somewhere in the failing region.
+  std::int64_t minimal = -1;
+  auto result = pbt::check<std::int64_t>(
+      "ge_500", pbt::int_range(0, 1000),
+      [](const std::int64_t& v) {
+        return v >= 500 ? "v >= 500" : std::string();
+      },
+      no_env_config(), &minimal);
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(minimal, 500);
+  EXPECT_EQ(result.counterexample, "500");
+  EXPECT_GT(result.shrink_steps, 0);
+  EXPECT_NE(result.report.find("NETCONG_PBT_SEED=0x"), std::string::npos);
+}
+
+TEST(PbtShrink, VectorShrinksLengthAndElements) {
+  // Fails for size >= 3: dropping elements must stop at exactly 3, and
+  // element-wise shrinking must take every survivor to the range minimum.
+  std::vector<std::int64_t> minimal;
+  auto result = pbt::check<std::vector<std::int64_t>>(
+      "len_ge_3", pbt::vector_of(pbt::int_range(0, 50), 0, 10),
+      [](const std::vector<std::int64_t>& v) {
+        return v.size() >= 3 ? "size >= 3" : std::string();
+      },
+      no_env_config(), &minimal);
+  ASSERT_FALSE(result.ok);
+  ASSERT_EQ(minimal.size(), 3u);
+  for (std::int64_t v : minimal) EXPECT_EQ(v, 0);
+  EXPECT_EQ(result.counterexample, "[0, 0, 0]");
+}
+
+TEST(PbtRepro, ReproSeedRunsExactlyTheFailingCase) {
+  auto property = [](const std::int64_t& v) {
+    return v >= 500 ? "v >= 500" : std::string();
+  };
+  auto first = pbt::check<std::int64_t>("ge_500", pbt::int_range(0, 1000),
+                                        property, no_env_config());
+  ASSERT_FALSE(first.ok);
+
+  pbt::Config repro = no_env_config();
+  repro.repro_seed = first.failing_seed;
+  auto second = pbt::check<std::int64_t>("ge_500", pbt::int_range(0, 1000),
+                                         property, repro);
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.iterations_run, 1);  // repro mode runs one case only
+  EXPECT_EQ(second.failing_seed, first.failing_seed);
+  EXPECT_EQ(second.counterexample, first.counterexample);
+  EXPECT_EQ(second.failure, first.failure);
+}
+
+TEST(PbtRepro, EnvSeedOverrideReproducesIdentically) {
+  auto property = [](const std::int64_t& v) {
+    return v >= 500 ? "v >= 500" : std::string();
+  };
+  auto first = pbt::check<std::int64_t>("ge_500", pbt::int_range(0, 1000),
+                                        property, no_env_config());
+  ASSERT_FALSE(first.ok);
+
+  // The report prints NETCONG_PBT_SEED=0x...; setting that variable must
+  // re-run exactly that case through the default env-reading config.
+  std::string hex = netcong::util::format(
+      "0x%016llx", static_cast<unsigned long long>(first.failing_seed));
+  ScopedEnv seed_env("NETCONG_PBT_SEED", hex.c_str());
+  ASSERT_TRUE(pbt::env_repro_seed().has_value());
+  EXPECT_EQ(*pbt::env_repro_seed(), first.failing_seed);
+
+  auto second = pbt::check<std::int64_t>("ge_500", pbt::int_range(0, 1000),
+                                         property, pbt::Config{});
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.iterations_run, 1);
+  EXPECT_EQ(second.failing_seed, first.failing_seed);
+  EXPECT_EQ(second.counterexample, first.counterexample);
+}
+
+TEST(PbtRepro, EnvItersOverrideControlsBudget) {
+  ScopedEnv iters_env("NETCONG_PBT_ITERS", "7");
+  ASSERT_TRUE(pbt::env_iterations().has_value());
+  auto result = pbt::check<std::int64_t>(
+      "always_ok", pbt::int_range(0, 100),
+      [](const std::int64_t&) { return std::string(); }, pbt::Config{});
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.iterations_run, 7);
+}
+
+TEST(PbtRepro, MalformedEnvValuesAreIgnored) {
+  ScopedEnv seed_env("NETCONG_PBT_SEED", "not-a-seed");
+  ScopedEnv iters_env("NETCONG_PBT_ITERS", "-3");
+  EXPECT_FALSE(pbt::env_repro_seed().has_value());
+  EXPECT_FALSE(pbt::env_iterations().has_value());
+}
+
+// ---- acceptance test: planted generator bug ----
+//
+// Simulates a bug that only bites when two generator knobs combine:
+// clients_per_access_isp >= 7 AND ixp_peer_fraction > 0.1. The harness must
+// (a) catch it over random configs, (b) shrink every unrelated knob to its
+// simplest value and the two culprit knobs to within 2x of the true
+// boundary (clients <= 14, ixp <= 0.2), and (c) reproduce the identical
+// counterexample from the failing seed alone.
+
+std::string planted_bug(const netcong::gen::GeneratorConfig& cfg) {
+  if (cfg.clients_per_access_isp >= 7 && cfg.ixp_peer_fraction > 0.1) {
+    return "planted bug: many clients with IXP peering enabled";
+  }
+  return std::string();
+}
+
+TEST(PbtAcceptance, PlantedGeneratorBugIsCaughtAndShrunkNearMinimal) {
+  auto domain = netcong::check::config_domain();
+  netcong::gen::GeneratorConfig minimal;
+  auto result = pbt::check<netcong::gen::GeneratorConfig>(
+      "planted_generator_bug", domain, {planted_bug}, no_env_config(),
+      &minimal);
+  ASSERT_FALSE(result.ok) << "harness failed to catch the planted bug";
+
+  // Culprit knobs within 2x of the minimal failing boundary.
+  EXPECT_GE(minimal.clients_per_access_isp, 7);
+  EXPECT_LE(minimal.clients_per_access_isp, 14);
+  EXPECT_GT(minimal.ixp_peer_fraction, 0.1);
+  EXPECT_LE(minimal.ixp_peer_fraction, 0.2);
+
+  // Every knob the bug does not depend on shrinks all the way down.
+  EXPECT_EQ(minimal.seed, 1u);
+  EXPECT_EQ(minimal.mlab_servers, 2);
+  EXPECT_EQ(minimal.alexa_targets, 2);
+  EXPECT_EQ(minimal.speedtest_servers_2015, 2);
+  EXPECT_EQ(minimal.speedtest_servers_2017, 2);
+  EXPECT_FALSE(minimal.congest_internal_links);
+  EXPECT_NEAR(minimal.customer_scale, 0.004, 1e-9);
+  EXPECT_NEAR(minimal.announce_staleness, 0.0, 1e-9);
+
+  // The report carries the one-line repro.
+  EXPECT_NE(result.report.find("NETCONG_PBT_SEED=0x"), std::string::npos);
+  EXPECT_NE(result.report.find(netcong::check::describe_config(minimal)),
+            std::string::npos);
+}
+
+TEST(PbtAcceptance, PlantedBugReproducesDeterministicallyFromSeed) {
+  auto domain = netcong::check::config_domain();
+  auto first = pbt::check<netcong::gen::GeneratorConfig>(
+      "planted_generator_bug", domain, {planted_bug}, no_env_config());
+  ASSERT_FALSE(first.ok);
+
+  // Same seed, fresh run (as a developer pasting the repro line would do):
+  // identical counterexample, identical shrink trajectory.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    pbt::Config repro = no_env_config();
+    repro.repro_seed = first.failing_seed;
+    auto again = pbt::check<netcong::gen::GeneratorConfig>(
+        "planted_generator_bug", domain, {planted_bug}, repro);
+    ASSERT_FALSE(again.ok);
+    EXPECT_EQ(again.iterations_run, 1);
+    EXPECT_EQ(again.failing_seed, first.failing_seed);
+    EXPECT_EQ(again.counterexample, first.counterexample);
+    EXPECT_EQ(again.shrink_steps, first.shrink_steps);
+  }
+}
+
+}  // namespace

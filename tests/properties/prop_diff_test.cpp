@@ -1,0 +1,57 @@
+// Gtest wrapper for the "diff" property family (differential determinism):
+// the same campaign run across worker counts, path-cache settings, fault
+// severities, and instrumentation toggles must produce bit-identical
+// output fingerprints — for random worlds, not just the blessed fixture.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+
+namespace netcong::check {
+namespace {
+
+std::vector<const Property*> family_properties(const char* family) {
+  std::vector<const Property*> out;
+  for (const Property& p : all_properties()) {
+    if (p.family == family) out.push_back(&p);
+  }
+  return out;
+}
+
+class DiffProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(DiffProperty, Holds) {
+  util::pbt::Config cfg;
+  cfg.iterations = 0;  // the property's bounded default budget
+  util::pbt::CheckResult result = run_property(*GetParam(), cfg);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+std::string test_name(const ::testing::TestParamInfo<const Property*>& info) {
+  std::string name = info.param->name;
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, DiffProperty,
+                         ::testing::ValuesIn(family_properties("diff")),
+                         test_name);
+
+TEST(DiffFamily, RegistryHasEnoughProperties) {
+  EXPECT_GE(family_properties("diff").size(), 3u);
+}
+
+// The whole registry meets the advertised floor: at least 12 distinct
+// runnable properties across the three families.
+TEST(DiffFamily, FullRegistryFloor) {
+  EXPECT_GE(all_properties().size(), 12u);
+  for (const Property& p : all_properties()) {
+    EXPECT_NE(find_property(p.name), nullptr) << p.name;
+    EXPECT_TRUE(static_cast<bool>(p.run)) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace netcong::check

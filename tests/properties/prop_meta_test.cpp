@@ -1,0 +1,47 @@
+// Gtest wrapper for the "meta" property family (metamorphic inference
+// invariants): corpus shuffles, IP relabelings, evidence duplication,
+// vantage-point monotonicity, and no-op toggles must not change what the
+// inference layers conclude.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+
+namespace netcong::check {
+namespace {
+
+std::vector<const Property*> family_properties(const char* family) {
+  std::vector<const Property*> out;
+  for (const Property& p : all_properties()) {
+    if (p.family == family) out.push_back(&p);
+  }
+  return out;
+}
+
+class MetaProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(MetaProperty, Holds) {
+  util::pbt::Config cfg;
+  cfg.iterations = 0;  // the property's bounded default budget
+  util::pbt::CheckResult result = run_property(*GetParam(), cfg);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+std::string test_name(const ::testing::TestParamInfo<const Property*>& info) {
+  std::string name = info.param->name;
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, MetaProperty,
+                         ::testing::ValuesIn(family_properties("meta")),
+                         test_name);
+
+TEST(MetaFamily, RegistryHasEnoughProperties) {
+  EXPECT_GE(family_properties("meta").size(), 6u);
+}
+
+}  // namespace
+}  // namespace netcong::check

@@ -5,12 +5,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/result.h"
@@ -455,6 +457,85 @@ TEST(Logging, ConcurrentLoggersNeverInterleaveLines) {
         << "two messages fused into one line: " << line;
   }
   EXPECT_EQ(lines, static_cast<std::size_t>(kThreads) * kLines);
+}
+
+TEST(Json, EscapesRfc8259MandatoryCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape(std::string("nul\0!", 5)), "nul\\u0000!");
+  EXPECT_EQ(json_quote("x"), "\"x\"");
+}
+
+TEST(Json, NonAsciiBecomesPureAsciiEscapes) {
+  // U+00E9 (é), U+4E2D (中), and an astral codepoint (U+1F600) as a
+  // surrogate pair — output must be 7-bit clean.
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\\u00e9");
+  EXPECT_EQ(json_escape("\xe4\xb8\xad"), "\\u4e2d");
+  EXPECT_EQ(json_escape("\xf0\x9f\x98\x80"), "\\ud83d\\ude00");
+  for (char c : json_escape("caf\xc3\xa9 \xf0\x9f\x98\x80")) {
+    EXPECT_LT(static_cast<unsigned char>(c), 0x80);
+  }
+}
+
+TEST(Json, InvalidUtf8BecomesReplacementCharacter) {
+  // Lone continuation byte and truncated sequence both map to U+FFFD
+  // instead of producing an unparseable document.
+  EXPECT_EQ(json_escape(std::string("a\x80z", 3)), "a\\ufffdz");
+  EXPECT_EQ(json_escape(std::string("a\xc3", 2)), "a\\ufffd");
+}
+
+TEST(Json, RoundTripsArbitraryStrings) {
+  std::vector<std::string> cases = {
+      "",
+      "plain ascii",
+      "quotes \" and \\ backslashes",
+      "ctrl \x01\x02\x1f and \n\r\t",
+      "caf\xc3\xa9 \xe4\xb8\xad \xf0\x9f\x98\x80",
+      std::string("embedded\0nul", 12),
+  };
+  for (const std::string& s : cases) {
+    auto back = json_unescape(json_escape(s));
+    ASSERT_TRUE(back.has_value()) << json_escape(s);
+    EXPECT_EQ(*back, s);
+  }
+  // Fuzz-ish: random byte strings (including invalid UTF-8) must escape to
+  // something unescapable; valid-UTF-8 inputs must round-trip exactly.
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    int n = static_cast<int>(rng.uniform_int(0, 32));
+    for (int j = 0; j < n; ++j) {
+      s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    std::string escaped = json_escape(s);
+    auto back = json_unescape(escaped);
+    ASSERT_TRUE(back.has_value()) << escaped;
+    // Escaping is idempotent through the replacement character: escaping
+    // the round-tripped string yields the same escaped form.
+    EXPECT_EQ(json_escape(*back), escaped);
+  }
+}
+
+TEST(Json, UnescapeRejectsMalformedInput) {
+  EXPECT_FALSE(json_unescape("trailing\\").has_value());
+  EXPECT_FALSE(json_unescape("\\q").has_value());
+  EXPECT_FALSE(json_unescape("\\u12").has_value());
+  EXPECT_FALSE(json_unescape("\\uzzzz").has_value());
+  EXPECT_FALSE(json_unescape(std::string("raw\nctrl", 8)).has_value());
+}
+
+TEST(Json, NumbersAreFiniteAndRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+  // %.17g preserves doubles exactly.
+  for (double v : {0.1, 1e-300, 123456.789, -2.5e17}) {
+    EXPECT_EQ(std::stod(json_number(v)), v);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// netcong_check: the property-based testing driver. Runs the registered
+// property families (gen / meta / diff — see src/check/properties.h) at a
+// configurable iteration budget, prints one line per property, and on
+// failure prints the shrunk counterexample plus the NETCONG_PBT_SEED line
+// that reproduces exactly that case.
+//
+//   netcong_check --list                 # what can run
+//   netcong_check                        # everything, default budgets
+//   netcong_check --family diff          # one family
+//   netcong_check --property gen.addresses_unique --iterations 200
+//   NETCONG_PBT_SEED=0x... netcong_check --property gen.addresses_unique
+//   netcong_check --out report.json      # machine-readable summary
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/properties.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace netcong;
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage: netcong_check [--list] [--family gen|meta|diff]\n"
+      "                     [--property NAME] [--iterations N] [--seed N]\n"
+      "                     [--out FILE.json]\n"
+      "\n"
+      "Runs the netcong property suite. With no filters, every registered\n"
+      "property runs at its default iteration budget. NETCONG_PBT_SEED\n"
+      "re-runs exactly one case (the repro line printed on failure);\n"
+      "NETCONG_PBT_ITERS overrides every budget.\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
+
+int list_properties() {
+  for (const check::Property& p : check::all_properties()) {
+    std::printf("%-32s %4d iters  %s\n", p.name.c_str(),
+                p.default_iterations, p.summary.c_str());
+  }
+  return 0;
+}
+
+struct Options {
+  bool list = false;
+  std::string family;
+  std::string property;
+  int iterations = 0;  // 0 = per-property default
+  std::uint64_t seed = 42;
+  bool seed_set = false;
+  std::string out_path;
+};
+
+bool parse(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "netcong_check: %s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (a == "--list") {
+      opts.list = true;
+    } else if (a == "--family") {
+      const char* v = value("--family");
+      if (!v) return false;
+      opts.family = v;
+    } else if (a == "--property") {
+      const char* v = value("--property");
+      if (!v) return false;
+      opts.property = v;
+    } else if (a == "--iterations") {
+      const char* v = value("--iterations");
+      if (!v) return false;
+      opts.iterations = std::atoi(v);
+      if (opts.iterations <= 0) {
+        std::fprintf(stderr, "netcong_check: bad --iterations '%s'\n", v);
+        return false;
+      }
+    } else if (a == "--seed") {
+      const char* v = value("--seed");
+      if (!v) return false;
+      opts.seed = std::strtoull(v, nullptr, 0);
+      opts.seed_set = true;
+    } else if (a == "--out") {
+      const char* v = value("--out");
+      if (!v) return false;
+      opts.out_path = v;
+    } else {
+      std::fprintf(stderr, "netcong_check: unknown option '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string json_report(const std::vector<util::pbt::CheckResult>& results) {
+  std::string out = "{\n  \"properties\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out += "    {\"name\": " + util::json_quote(r.name) +
+           ", \"ok\": " + (r.ok ? "true" : "false") +
+           util::format(", \"iterations\": %d", r.iterations_run);
+    if (!r.ok) {
+      out += util::format(", \"seed\": \"0x%016llx\"",
+                          static_cast<unsigned long long>(r.failing_seed));
+      out += ", \"counterexample\": " + util::json_quote(r.counterexample);
+      out += ", \"failure\": " + util::json_quote(r.failure);
+    }
+    out += "}";
+    if (i + 1 < results.size()) out += ",";
+    out += "\n";
+  }
+  std::size_t failed = 0;
+  for (const auto& r : results) failed += r.ok ? 0 : 1;
+  out += util::format("  ],\n  \"total\": %zu,\n  \"failed\": %zu\n}\n",
+                      results.size(), failed);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse(argc, argv, opts)) {
+    usage(stderr);
+    return 2;
+  }
+  if (opts.list) return list_properties();
+
+  if (!opts.property.empty() && check::find_property(opts.property) == nullptr) {
+    std::fprintf(stderr, "netcong_check: unknown property '%s'\n",
+                 opts.property.c_str());
+    return 2;
+  }
+  if (!opts.family.empty()) {
+    bool known = false;
+    for (const std::string& f : check::families()) known = known || f == opts.family;
+    if (!known) {
+      std::fprintf(stderr, "netcong_check: unknown family '%s'\n",
+                   opts.family.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<util::pbt::CheckResult> results;
+  bool all_ok = true;
+  for (const check::Property& p : check::all_properties()) {
+    if (!opts.property.empty() && p.name != opts.property) continue;
+    if (!opts.family.empty() && p.family != opts.family) continue;
+
+    util::pbt::Config cfg;
+    cfg.iterations = opts.iterations;
+    cfg.seed = opts.seed;
+    util::pbt::CheckResult r = check::run_property(p, cfg);
+    results.push_back(r);
+    if (r.ok) {
+      std::printf("ok      %-32s (%d cases)\n", p.name.c_str(),
+                  r.iterations_run);
+    } else {
+      all_ok = false;
+      std::printf("FAILED  %-32s\n%s\n", p.name.c_str(), r.report.c_str());
+    }
+    std::fflush(stdout);
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "netcong_check: nothing matched the filters\n");
+    return 2;
+  }
+
+  if (!opts.out_path.empty()) {
+    std::FILE* f = std::fopen(opts.out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "netcong_check: cannot write '%s'\n",
+                   opts.out_path.c_str());
+      return 2;
+    }
+    std::string report = json_report(results);
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+  }
+
+  std::size_t failed = 0;
+  for (const auto& r : results) failed += r.ok ? 0 : 1;
+  std::printf("%zu properties, %zu failed\n", results.size(), failed);
+  return all_ok ? 0 : 1;
+}

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/coverage.h"
 #include "core/diurnal.h"
@@ -40,6 +42,7 @@ using namespace netcong;
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  std::vector<std::string> stray;  // positionals that are not option values
 
   std::string get(const std::string& key, const std::string& def) const {
     auto it = options.find(key);
@@ -61,7 +64,10 @@ Args parse_args(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) continue;
+    if (a.rfind("--", 0) != 0) {
+      args.stray.push_back(a);
+      continue;
+    }
     std::string key = a.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[key] = argv[++i];
@@ -424,6 +430,23 @@ constexpr Subcommand kSubcommands[] = {
      "--days N --tests-per-client X --out DIR", &cmd_stats},
 };
 
+// Flags a subcommand accepts, derived from the same registry strings the
+// usage text prints (every "--token" in sub.options) plus the options all
+// subcommands share — so the usage text and the validator cannot drift.
+std::set<std::string> allowed_flags(const Subcommand& sub) {
+  std::set<std::string> flags = {"scale", "seed", "help"};
+  for (const char* p = sub.options; *p != '\0'; ++p) {
+    if (p[0] == '-' && p[1] == '-') {
+      const char* start = p + 2;
+      const char* end = start;
+      while (*end != '\0' && *end != ' ') ++end;
+      flags.emplace(start, end);
+      p = end - 1;
+    }
+  }
+  return flags;
+}
+
 int usage(std::FILE* to) {
   std::fprintf(to, "usage: netcong_cli <subcommand> [options]\n\n");
   std::fprintf(to, "subcommands:\n");
@@ -448,7 +471,27 @@ int main(int argc, char** argv) {
   }
   if (args.command.empty()) return usage(stderr);
   for (const Subcommand& sub : kSubcommands) {
-    if (args.command == sub.name) return sub.fn(args);
+    if (args.command != sub.name) continue;
+    if (!args.stray.empty()) {
+      std::fprintf(stderr, "unexpected argument '%s'\n\n",
+                   args.stray.front().c_str());
+      usage(stderr);
+      return 2;
+    }
+    const std::set<std::string> allowed = allowed_flags(sub);
+    for (const auto& [key, value] : args.options) {
+      if (allowed.count(key) == 0) {
+        std::fprintf(stderr, "unknown option '--%s' for subcommand '%s'\n\n",
+                     key.c_str(), sub.name);
+        usage(stderr);
+        return 2;
+      }
+    }
+    if (args.has("help")) {
+      usage(stdout);
+      return 0;
+    }
+    return sub.fn(args);
   }
   std::fprintf(stderr, "unknown subcommand '%s'\n\n", args.command.c_str());
   usage(stderr);

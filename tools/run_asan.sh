@@ -14,5 +14,8 @@ BUILD=build-asan
 cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=address "$@"
 cmake --build "$BUILD" -j "$(nproc)"
 # asan-labeled tests plus the obs suite (ring-buffer indexing and slab
-# pooling are the kind of code ASan exists for).
-ctest --test-dir "$BUILD" -L 'asan|obs' --output-on-failure
+# pooling are the kind of code ASan exists for) and the property families
+# (randomized worlds through every layer), at a reduced iteration budget so
+# the instrumented run stays fast.
+NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
+  ctest --test-dir "$BUILD" -L 'asan|obs|pbt' --output-on-failure

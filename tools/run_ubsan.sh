@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Checks the arithmetic-heavy paths (generator fractions, throughput model,
+# inference scoring, property shrinking) under UndefinedBehaviorSanitizer
+# in one command:
+#
+#   tools/run_ubsan.sh [extra cmake args...]
+#
+# Configures a dedicated build-ubsan tree with -fsanitize=undefined (errors
+# are fatal, not just printed) and runs every test carrying the `pbt` CTest
+# label plus the core unit suites — the property families feed randomized
+# worlds through every layer, which is exactly the input diversity UBSan
+# needs to surface overflow and bad-shift bugs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-ubsan
+cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=undefined "$@"
+cmake --build "$BUILD" -j "$(nproc)"
+NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
+  ctest --test-dir "$BUILD" -L 'pbt|asan|obs' --output-on-failure
