@@ -1,0 +1,157 @@
+// Microbenchmarks (google-benchmark) for util::FlatMap / util::FlatSet
+// against the node-based std containers they replaced on the campaign hot
+// paths (route::PathCache shards, MAP-IT evidence corpora, core/
+// aggregation accumulators). Workloads mirror those call sites: integer
+// keys from a mixed sequence, lookup-heavy phases over a resident set, and
+// erase churn standing in for cache eviction.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.h"
+#include "util/flat_set.h"
+
+namespace {
+
+using namespace netcong;
+
+std::vector<std::uint64_t> make_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(util::splitmix64(i * 2 + 1));
+  }
+  return keys;
+}
+
+template <typename M>
+void insert_n(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    M m;
+    for (std::uint64_t k : keys) m[k] = static_cast<int>(k);
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_FlatMapInsert(benchmark::State& state) {
+  insert_n<util::FlatMap<std::uint64_t, int>>(state);
+}
+void BM_UnorderedMapInsert(benchmark::State& state) {
+  insert_n<std::unordered_map<std::uint64_t, int>>(state);
+}
+void BM_OrderedMapInsert(benchmark::State& state) {
+  insert_n<std::map<std::uint64_t, int>>(state);
+}
+BENCHMARK(BM_FlatMapInsert)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_UnorderedMapInsert)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_OrderedMapInsert)->Arg(1024)->Arg(65536);
+
+template <typename M>
+void lookup_hit(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  M m;
+  for (std::uint64_t k : keys) m[k] = static_cast<int>(k);
+  std::size_t i = 0;
+  const std::size_t mask = keys.size() - 1;  // sizes are powers of two
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.find(keys[i++ & mask]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FlatMapLookupHit(benchmark::State& state) {
+  lookup_hit<util::FlatMap<std::uint64_t, int>>(state);
+}
+void BM_UnorderedMapLookupHit(benchmark::State& state) {
+  lookup_hit<std::unordered_map<std::uint64_t, int>>(state);
+}
+void BM_OrderedMapLookupHit(benchmark::State& state) {
+  lookup_hit<std::map<std::uint64_t, int>>(state);
+}
+BENCHMARK(BM_FlatMapLookupHit)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_UnorderedMapLookupHit)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_OrderedMapLookupHit)->Arg(1024)->Arg(65536);
+
+template <typename M>
+void lookup_miss(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  M m;
+  for (std::uint64_t k : keys) m[k] = static_cast<int>(k);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // Absent keys: the generator only emits odd pre-mix inputs.
+    benchmark::DoNotOptimize(m.find(util::splitmix64(i++ * 2)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FlatMapLookupMiss(benchmark::State& state) {
+  lookup_miss<util::FlatMap<std::uint64_t, int>>(state);
+}
+void BM_UnorderedMapLookupMiss(benchmark::State& state) {
+  lookup_miss<std::unordered_map<std::uint64_t, int>>(state);
+}
+BENCHMARK(BM_FlatMapLookupMiss)->Arg(65536);
+BENCHMARK(BM_UnorderedMapLookupMiss)->Arg(65536);
+
+// Insert/erase churn over a bounded resident set — the PathCache shard
+// pattern: capacity evictions keep the table near its cap while fresh keys
+// keep arriving.
+template <typename M>
+void churn(benchmark::State& state) {
+  const std::size_t cap = static_cast<std::size_t>(state.range(0));
+  const auto keys = make_keys(cap * 4);
+  M m;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::uint64_t k = keys[i % keys.size()];
+    m[k] = static_cast<int>(i);
+    if (m.size() > cap) m.erase(m.begin()->first);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  churn<util::FlatMap<std::uint64_t, int>>(state);
+}
+void BM_UnorderedMapChurn(benchmark::State& state) {
+  churn<std::unordered_map<std::uint64_t, int>>(state);
+}
+BENCHMARK(BM_FlatMapChurn)->Arg(4096);
+BENCHMARK(BM_UnorderedMapChurn)->Arg(4096);
+
+template <typename S>
+void set_insert_contains(benchmark::State& state) {
+  const auto keys = make_keys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    S s;
+    std::size_t hits = 0;
+    for (std::uint64_t k : keys) s.insert(k);
+    for (std::uint64_t k : keys) hits += s.count(k);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * state.range(0));
+}
+
+void BM_FlatSetInsertContains(benchmark::State& state) {
+  set_insert_contains<util::FlatSet<std::uint64_t>>(state);
+}
+void BM_OrderedSetInsertContains(benchmark::State& state) {
+  set_insert_contains<std::set<std::uint64_t>>(state);
+}
+BENCHMARK(BM_FlatSetInsertContains)->Arg(16384);
+BENCHMARK(BM_OrderedSetInsertContains)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

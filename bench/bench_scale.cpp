@@ -1,0 +1,193 @@
+// Scaling sweep for ROADMAP item 1 (Internet-scale campaigns): world size
+// (~1k / 10k / 30k ASes) × corpus size (100k / 1M / 10M NDT tests), each
+// point running the full campaign engine (planning, parallel test
+// simulation, traceroute daemon) and reporting wall time, tests/sec, and
+// peak RSS into BENCH_scale.json.
+//
+// Unlike the paper-artifact benches this one controls the corpus size
+// exactly: requests are synthesized round-robin over the client population
+// at a fixed global arrival rate instead of sampling a crowdsourced
+// workload, so a "1M-test" point is 1M planned tests on every run and
+// tests/sec numbers are comparable across commits.
+//
+// Scale selection:
+//   NETCONG_BENCH_SCALE=tiny   -> 1k-AS world, 10k tests (CI smoke)
+//   NETCONG_BENCH_SCALE=small  -> {1k,10k} ASes × 100k tests
+//   default                    -> {1k,10k,30k} × {100k,1M,10M}
+// Point-list overrides (comma-separated, win over the preset):
+//   NETCONG_SCALE_WORLDS=1k,10k,30k
+//   NETCONG_SCALE_TESTS=100k,1m,10m   (raw integers also accepted)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "gen/workload.h"
+#include "measure/corpus.h"
+
+namespace {
+
+struct WorldPoint {
+  std::string label;
+  double customer_scale;
+};
+
+struct CorpusPoint {
+  std::string label;
+  std::size_t tests;
+};
+
+// customer_scale -> AS count is close to linear (ases ≈ 63 + 5650·scale);
+// these hit the nominal targets within a few percent. The actual as_count
+// of each generated world is recorded in the JSON.
+WorldPoint world_point(const std::string& tok) {
+  if (tok == "1k") return {"1k", 0.17};
+  if (tok == "10k") return {"10k", 1.76};
+  if (tok == "30k") return {"30k", 5.30};
+  std::fprintf(stderr, "bench_scale: unknown world size '%s' (use 1k|10k|30k)\n",
+               tok.c_str());
+  std::exit(2);
+}
+
+CorpusPoint corpus_point(const std::string& tok) {
+  if (tok == "100k") return {"100k", 100'000};
+  if (tok == "1m" || tok == "1M") return {"1m", 1'000'000};
+  if (tok == "10m" || tok == "10M") return {"10m", 10'000'000};
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(tok.c_str(), &end, 10);
+  if (end && *end == '\0' && n > 0) return {tok, static_cast<std::size_t>(n)};
+  std::fprintf(stderr,
+               "bench_scale: unknown corpus size '%s' (use 100k|1m|10m or an "
+               "integer)\n",
+               tok.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split_list(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (; *s; ++s) {
+    if (*s == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*s);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Fixed-rate synthetic schedule: exactly `n` requests, round-robin over the
+// client population, arriving at a constant 5000 tests/hour platform-wide.
+std::vector<netcong::gen::TestRequest> synthetic_schedule(
+    const std::vector<std::uint32_t>& clients, std::size_t n) {
+  constexpr double kTestsPerHour = 5000.0;
+  std::vector<netcong::gen::TestRequest> schedule;
+  schedule.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    netcong::gen::TestRequest req;
+    req.client = clients[i % clients.size()];
+    req.utc_time_hours = static_cast<double>(i) / kTestsPerHour;
+    schedule.push_back(req);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+int main() {
+  using namespace netcong;
+
+  bench::print_header("BENCH scale",
+                      "world size × corpus size campaign scaling sweep");
+
+  std::vector<std::string> world_toks;
+  std::vector<std::string> corpus_toks;
+  const char* preset = std::getenv("NETCONG_BENCH_SCALE");
+  if (preset && std::strcmp(preset, "tiny") == 0) {
+    world_toks = {"1k"};
+    corpus_toks = {"10000"};
+  } else if (preset && std::strcmp(preset, "small") == 0) {
+    world_toks = {"1k", "10k"};
+    corpus_toks = {"100k"};
+  } else {
+    world_toks = {"1k", "10k", "30k"};
+    corpus_toks = {"100k", "1m", "10m"};
+  }
+  if (const char* w = std::getenv("NETCONG_SCALE_WORLDS")) {
+    world_toks = split_list(w);
+  }
+  if (const char* t = std::getenv("NETCONG_SCALE_TESTS")) {
+    corpus_toks = split_list(t);
+  }
+
+  bench::BenchRecorder rec("scale");
+
+  for (const std::string& wtok : world_toks) {
+    WorldPoint wp = world_point(wtok);
+    gen::GeneratorConfig cfg = gen::GeneratorConfig::full();
+    cfg.seed = 20150501;
+    cfg.customer_scale = wp.customer_scale;
+    // Client count only needs to be large enough for realistic server
+    // fan-in; the corpus size is set by the schedule, not the population.
+    cfg.clients_per_access_isp = 400;
+
+    bench::Stopwatch sw_world;
+    bench::Context ctx(cfg);
+    const double build_ms = sw_world.elapsed_ms();
+    const std::string wname = "w" + wp.label;
+    rec.record(wname + "_build", build_ms);
+    rec.stat(wname + "_build", "ases",
+             static_cast<double>(ctx.world.topo->as_count()));
+    rec.stat(wname + "_build", "clients",
+             static_cast<double>(ctx.world.clients.size()));
+
+    measure::Platform mlab = ctx.mlab_platform();
+
+    for (const std::string& ctok : corpus_toks) {
+      CorpusPoint cp = corpus_point(ctok);
+      const std::string name = wname + "_t" + cp.label;
+      auto schedule = synthetic_schedule(ctx.world.clients, cp.tests);
+
+      // Fresh path cache per point so later points don't ride on a memo
+      // warmed by earlier ones.
+      route::PathCache cache(ctx.fwd);
+      measure::CampaignConfig cc;
+      measure::NdtCampaign campaign(ctx.world, ctx.fwd, ctx.model, mlab, cc);
+      campaign.set_path_cache(&cache);
+      util::Rng rng(7);
+
+      bench::Stopwatch sw;
+      measure::ColumnarCampaignResult result =
+          campaign.run_columnar(schedule, rng);
+      const double wall_ms = sw.elapsed_ms();
+      const double tps = 1000.0 * static_cast<double>(cp.tests) / wall_ms;
+
+      rec.record(name, wall_ms);
+      rec.stat(name, "ases", static_cast<double>(ctx.world.topo->as_count()));
+      rec.stat(name, "tests", static_cast<double>(result.tests.size()));
+      rec.stat(name, "traceroutes",
+               static_cast<double>(result.traceroutes.size()));
+      rec.stat(name, "trace_hops",
+               static_cast<double>(result.traceroutes.total_hops()));
+      rec.stat(name, "paths_interned",
+               static_cast<double>(result.paths.size()));
+      rec.stat(name, "tests_per_sec", tps);
+      rec.stat(name, "peak_rss_mb", bench::peak_rss_mb());
+      std::printf(
+          "%-12s %10.1f ms  %12.0f tests/sec  rss %8.1f MiB  (%zu tests, %zu "
+          "traceroutes, %zu paths)\n",
+          name.c_str(), wall_ms, tps, bench::peak_rss_mb(),
+          result.tests.size(), result.traceroutes.size(),
+          result.paths.size());
+      std::fflush(stdout);
+    }
+  }
+
+  rec.write();
+  return 0;
+}

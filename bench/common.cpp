@@ -1,5 +1,7 @@
 #include "common.h"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -120,6 +122,13 @@ std::string pct(double value, int decimals) {
   return util::format("%.*f%%", decimals, value);
 }
 
+double peak_rss_mb() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
 BenchRecorder::Entry& BenchRecorder::entry(const std::string& name) {
   for (Entry& e : entries_) {
     if (e.name == name) return e;
@@ -155,7 +164,7 @@ void BenchRecorder::write() const {
     }
     std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
   }
-  std::fprintf(f, "  ]");
+  std::fprintf(f, "  ],\n  \"peak_rss_mb\": %.3f", peak_rss_mb());
   // When the bench ran with metrics on, ship the snapshot alongside the
   // timings so run_bench.sh's aggregate has the counters in one file.
   if (obs::MetricsRegistry::global().enabled()) {

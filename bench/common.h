@@ -76,6 +76,11 @@ void print_header(const std::string& artifact, const std::string& title);
 void print_footnote(const std::string& text);
 std::string pct(double value, int decimals = 1);
 
+// Peak resident set size of this process so far, in MiB (getrusage
+// ru_maxrss). Monotone over the process lifetime — sample it right after
+// the phase whose footprint you want to attribute.
+double peak_rss_mb();
+
 // --- Timing harness -------------------------------------------------------
 
 class Stopwatch {

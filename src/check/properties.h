@@ -55,5 +55,6 @@ util::pbt::CheckResult run_property(const Property& prop,
 void register_gen_properties(std::vector<Property>& out);
 void register_meta_properties(std::vector<Property>& out);
 void register_diff_properties(std::vector<Property>& out);
+void register_util_properties(std::vector<Property>& out);
 
 }  // namespace netcong::check

@@ -8,6 +8,7 @@ const std::vector<Property>& all_properties() {
     register_gen_properties(out);
     register_meta_properties(out);
     register_diff_properties(out);
+    register_util_properties(out);
     return out;
   }();
   return props;

@@ -1,0 +1,175 @@
+// Container-level differential properties: util::FlatMap must agree with
+// std::unordered_map on arbitrary operation sequences — same lookup
+// results, same sizes, same surviving contents — and its iteration order
+// must be a pure function of the resident key set (the canonical-layout
+// guarantee the deterministic PathCache eviction rests on), regardless of
+// the insert/erase history that produced it.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "check/properties.h"
+#include "util/flat_map.h"
+#include "util/flat_set.h"
+#include "util/pbt.h"
+#include "util/strings.h"
+
+namespace netcong::check {
+namespace {
+
+using util::format;
+
+struct MapOp {
+  enum Kind : int { kInsert = 0, kErase = 1, kFind = 2 };
+  int kind = kInsert;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+
+// Keys from a small range so erases hit and probe chains collide; the
+// interesting behaviour (robbing, backward shift) needs collisions.
+util::pbt::Domain<std::vector<MapOp>> op_sequence_domain() {
+  util::pbt::Domain<MapOp> op;
+  op.generate = [](util::Rng& rng) {
+    MapOp o;
+    o.kind = static_cast<int>(rng.uniform_int(0, 2));
+    o.key = static_cast<std::uint64_t>(rng.uniform_int(0, 96));
+    o.value = static_cast<std::uint64_t>(rng.uniform_int(0, 1'000'000));
+    return o;
+  };
+  op.describe = [](const MapOp& o) {
+    const char* names[] = {"insert", "erase", "find"};
+    return format("%s(%llu,%llu)", names[o.kind],
+                  static_cast<unsigned long long>(o.key),
+                  static_cast<unsigned long long>(o.value));
+  };
+  auto d = util::pbt::vector_of(std::move(op), 0, 400);
+  auto inner_describe = d.describe;
+  d.describe = [](const std::vector<MapOp>& ops) {
+    std::string out = format("[%zu ops:", ops.size());
+    const char* names[] = {"ins", "del", "get"};
+    for (const MapOp& o : ops) {
+      out += format(" %s(%llu)", names[o.kind],
+                    static_cast<unsigned long long>(o.key));
+    }
+    return out + "]";
+  };
+  return d;
+}
+
+std::string check_flat_map_vs_std(const std::vector<MapOp>& ops) {
+  util::FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const MapOp& o = ops[i];
+    switch (o.kind) {
+      case MapOp::kInsert: {
+        auto [fit, fresh] = flat.try_emplace(o.key, o.value);
+        auto [rit, ref_fresh] = ref.try_emplace(o.key, o.value);
+        if (fresh != ref_fresh) {
+          return format("op %zu: insert(%llu) fresh=%d, std says %d", i,
+                        static_cast<unsigned long long>(o.key), int(fresh),
+                        int(ref_fresh));
+        }
+        if (fit->second != rit->second) {
+          return format("op %zu: insert(%llu) maps to %llu, std has %llu", i,
+                        static_cast<unsigned long long>(o.key),
+                        static_cast<unsigned long long>(fit->second),
+                        static_cast<unsigned long long>(rit->second));
+        }
+        break;
+      }
+      case MapOp::kErase: {
+        std::size_t fn = flat.erase(o.key);
+        std::size_t rn = ref.erase(o.key);
+        if (fn != rn) {
+          return format("op %zu: erase(%llu) removed %zu, std removed %zu", i,
+                        static_cast<unsigned long long>(o.key), fn, rn);
+        }
+        break;
+      }
+      case MapOp::kFind: {
+        auto fit = flat.find(o.key);
+        auto rit = ref.find(o.key);
+        bool fhit = fit != flat.end();
+        bool rhit = rit != ref.end();
+        if (fhit != rhit) {
+          return format("op %zu: find(%llu) hit=%d, std says %d", i,
+                        static_cast<unsigned long long>(o.key), int(fhit),
+                        int(rhit));
+        }
+        if (fhit && fit->second != rit->second) {
+          return format("op %zu: find(%llu) = %llu, std has %llu", i,
+                        static_cast<unsigned long long>(o.key),
+                        static_cast<unsigned long long>(fit->second),
+                        static_cast<unsigned long long>(rit->second));
+        }
+        break;
+      }
+    }
+    if (flat.size() != ref.size()) {
+      return format("op %zu: size %zu != std size %zu", i, flat.size(),
+                    ref.size());
+    }
+  }
+
+  // Survivors agree in both directions.
+  for (const auto& e : flat) {
+    auto rit = ref.find(e.first);
+    if (rit == ref.end() || rit->second != e.second) {
+      return format("final: flat holds stale (%llu,%llu)",
+                    static_cast<unsigned long long>(e.first),
+                    static_cast<unsigned long long>(e.second));
+    }
+  }
+  for (const auto& [k, v] : ref) {
+    if (!flat.contains(k)) {
+      return format("final: flat lost key %llu",
+                    static_cast<unsigned long long>(k));
+    }
+  }
+
+  // Canonical layout: a fresh map holding the same final key set (inserted
+  // in sorted order, i.e. a maximally different history) must iterate in
+  // exactly the same sequence.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> survivors(ref.begin(),
+                                                                 ref.end());
+  std::sort(survivors.begin(), survivors.end());
+  util::FlatMap<std::uint64_t, std::uint64_t> rebuilt;
+  for (const auto& [k, v] : survivors) rebuilt.try_emplace(k, v);
+  // Match the churned map's capacity: layout is canonical per (key set,
+  // capacity), and the churned table may have grown past its size's needs.
+  while (rebuilt.capacity() < flat.capacity()) rebuilt.reserve(rebuilt.capacity() * 2);
+  auto a = flat.begin();
+  auto b = rebuilt.begin();
+  for (; a != flat.end() && b != rebuilt.end(); ++a, ++b) {
+    if (a->first != b->first) {
+      return format("layout not canonical: slot order diverges at %llu vs %llu",
+                    static_cast<unsigned long long>(a->first),
+                    static_cast<unsigned long long>(b->first));
+    }
+  }
+  if ((a != flat.end()) != (b != rebuilt.end())) {
+    return "layout not canonical: iteration lengths diverge";
+  }
+  return "";
+}
+
+}  // namespace
+
+void register_util_properties(std::vector<Property>& out) {
+  out.push_back(Property{
+      "util.flat_map_vs_std", "util",
+      "FlatMap agrees with std::unordered_map on random op sequences and "
+      "its layout is insertion-order independent",
+      40,
+      [](util::pbt::Config cfg) {
+        return util::pbt::check<std::vector<MapOp>>(
+            "util.flat_map_vs_std", op_sequence_domain(),
+            check_flat_map_vs_std, cfg);
+      }});
+}
+
+}  // namespace netcong::check

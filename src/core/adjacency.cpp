@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/flat_map.h"
+
 namespace netcong::core {
 
 int as_hops_on_traceroute(const measure::TracerouteRecord& trace,
@@ -60,7 +62,7 @@ std::vector<AdjacencyStats> analyze_adjacency(
     const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
     const infer::OrgMap& orgs,
     const std::map<topo::Asn, std::string>& isp_of) {
-  std::map<std::string, AdjacencyStats> by_isp;
+  util::FlatMap<std::string, AdjacencyStats> by_isp;
   for (const auto& m : matched) {
     if (!m.traceroute) continue;
     auto it = isp_of.find(m.test->client_asn);
@@ -83,6 +85,12 @@ std::vector<AdjacencyStats> analyze_adjacency(
   std::vector<AdjacencyStats> out;
   out.reserve(by_isp.size());
   for (auto& [name, s] : by_isp) out.push_back(std::move(s));
+  // Keep the historical name-ordered output now that the accumulator no
+  // longer iterates in key order.
+  std::sort(out.begin(), out.end(),
+            [](const AdjacencyStats& a, const AdjacencyStats& b) {
+              return a.isp < b.isp;
+            });
   return out;
 }
 

@@ -2,14 +2,24 @@
 
 #include <algorithm>
 
+#include "util/flat_set.h"
+
 namespace netcong::core {
+
+namespace {
+struct InterconnectKeyHash {
+  std::uint64_t operator()(const InterconnectKey& k) const {
+    return util::splitmix64(k.neighbor ^ util::splitmix64(k.far_router));
+  }
+};
+}  // namespace
 
 std::vector<InterconnectKey> interconnects_used(
     const std::vector<measure::TracerouteRecord>& corpus, topo::Asn vp_as,
     const infer::MapItResult& mapit, const infer::Ip2As& ip2as,
     const infer::OrgMap& orgs, const infer::AliasResolver& aliases) {
   std::uint32_t vp_org = orgs.org_of(vp_as);
-  std::set<InterconnectKey> seen;
+  util::FlatSet<InterconnectKey, InterconnectKeyHash> seen;
   for (const auto& tr : corpus) {
     topo::Asn prev_op = 0;
     topo::IpAddr prev;
@@ -33,7 +43,11 @@ std::vector<InterconnectKey> interconnects_used(
       }
     }
   }
-  return {seen.begin(), seen.end()};
+  std::vector<InterconnectKey> out;
+  out.reserve(seen.size());
+  for (const InterconnectKey& k : seen) out.push_back(k);
+  std::sort(out.begin(), out.end());  // the ordered-set contract callers saw
+  return out;
 }
 
 VpCoverage analyze_coverage(

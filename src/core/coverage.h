@@ -25,6 +25,9 @@ struct InterconnectKey {
     if (neighbor != o.neighbor) return neighbor < o.neighbor;
     return far_router < o.far_router;
   }
+  bool operator==(const InterconnectKey& o) const {
+    return neighbor == o.neighbor && far_router == o.far_router;
+  }
 };
 
 // Extracts the set of interconnections of `vp_as` traversed by the corpus:

@@ -2,32 +2,48 @@
 
 #include <cmath>
 
+#include "measure/corpus.h"
 #include "sim/diurnal.h"
+#include "util/flat_map.h"
 
 namespace netcong::core {
 
-std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
-    const std::vector<measure::NdtRecord>& tests, const gen::World& world,
-    const std::function<std::string(const measure::NdtRecord&)>& source_of,
-    const std::function<std::string(const measure::NdtRecord&)>& isp_of,
-    DiurnalBuildStats* stats) {
-  std::map<GroupKey, DiurnalGroup> groups;
-  DiurnalBuildStats local;
-  for (const auto& t : tests) {
+namespace {
+
+struct GroupKeyHash {
+  std::uint64_t operator()(const GroupKey& k) const {
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : k.source) h = (h ^ c) * 1099511628211ull;
+    h = (h ^ 0xffu) * 1099511628211ull;  // separator between the fields
+    for (unsigned char c : k.isp) h = (h ^ c) * 1099511628211ull;
+    return util::splitmix64(h);
+  }
+};
+
+// Shared accumulation core for the AoS and columnar overloads: a flat map
+// on the per-test hot path, converted to the ordered-map return type once.
+struct GroupAccumulator {
+  const gen::World& world;
+  const std::function<std::string(const measure::NdtRecord&)>& source_of;
+  const std::function<std::string(const measure::NdtRecord&)>& isp_of;
+  util::FlatMap<GroupKey, DiurnalGroup, GroupKeyHash> groups{};
+  DiurnalBuildStats local{};
+
+  void add(const measure::NdtRecord& t) {
     ++local.total;
     if (!t.completed()) {
       ++local.incomplete;
-      continue;
+      return;
     }
     if (t.download_mbps <= 0.0) {
       ++local.invalid_throughput;
-      continue;
+      return;
     }
     std::string source = source_of(t);
     std::string isp = isp_of(t);
     if (source.empty() || isp.empty()) {
       ++local.unlabeled;
-      continue;
+      return;
     }
     ++local.used;
     GroupKey key{source, isp};
@@ -47,8 +63,40 @@ std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
     }
     g.tests++;
   }
-  if (stats) *stats = local;
-  return groups;
+
+  std::map<GroupKey, DiurnalGroup> finish(DiurnalBuildStats* stats) {
+    std::map<GroupKey, DiurnalGroup> out;
+    for (auto& [key, g] : groups) out.emplace(key, std::move(g));
+    if (stats) *stats = local;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
+    const std::vector<measure::NdtRecord>& tests, const gen::World& world,
+    const std::function<std::string(const measure::NdtRecord&)>& source_of,
+    const std::function<std::string(const measure::NdtRecord&)>& isp_of,
+    DiurnalBuildStats* stats) {
+  GroupAccumulator acc{world, source_of, isp_of};
+  for (const auto& t : tests) acc.add(t);
+  return acc.finish(stats);
+}
+
+std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
+    const measure::NdtCorpus& tests, const gen::World& world,
+    const std::function<std::string(const measure::NdtRecord&)>& source_of,
+    const std::function<std::string(const measure::NdtRecord&)>& isp_of,
+    DiurnalBuildStats* stats, std::size_t batch_size) {
+  GroupAccumulator acc{world, source_of, isp_of};
+  measure::for_each_batch(
+      tests.size(), batch_size, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          acc.add(tests.materialize_scalar(i));
+        }
+      });
+  return acc.finish(stats);
 }
 
 std::vector<int> low_sample_hours(const DiurnalGroup& group,

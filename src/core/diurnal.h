@@ -14,6 +14,10 @@
 #include "measure/ndt.h"
 #include "stats/timeseries.h"
 
+namespace netcong::measure {
+struct NdtCorpus;
+}  // namespace netcong::measure
+
 namespace netcong::core {
 
 struct DiurnalGroup {
@@ -32,6 +36,9 @@ struct GroupKey {
   bool operator<(const GroupKey& o) const {
     if (source != o.source) return source < o.source;
     return isp < o.isp;
+  }
+  bool operator==(const GroupKey& o) const {
+    return source == o.source && isp == o.isp;
   }
 };
 
@@ -62,6 +69,16 @@ std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
     const std::function<std::string(const measure::NdtRecord&)>& source_of,
     const std::function<std::string(const measure::NdtRecord&)>& isp_of,
     DiurnalBuildStats* stats = nullptr);
+
+// Columnar overload: streams the SoA corpus in bounded batches of
+// `batch_size` rows (0 = a single batch), materializing only the scalar
+// columns the selectors read — the truth paths never leave the pool.
+// Produces groups identical to the record-vector overload.
+std::map<GroupKey, DiurnalGroup> build_diurnal_groups(
+    const measure::NdtCorpus& tests, const gen::World& world,
+    const std::function<std::string(const measure::NdtRecord&)>& source_of,
+    const std::function<std::string(const measure::NdtRecord&)>& isp_of,
+    DiurnalBuildStats* stats = nullptr, std::size_t batch_size = 4096);
 
 // Hours of day whose sample count falls below min_samples — the Section 6.1
 // sparsity problem (small-hour bins collapse). Reported next to any per-hour

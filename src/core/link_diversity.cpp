@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/flat_map.h"
+
 namespace netcong::core {
 
 std::size_t ClientAsDiversity::total_tests() const {
@@ -25,8 +27,18 @@ std::vector<ClientAsDiversity> analyze_link_diversity(
     bool operator<(const Key& o) const {
       return std::tie(client, near, far) < std::tie(o.client, o.near, o.far);
     }
+    bool operator==(const Key& o) const {
+      return client == o.client && near == o.near && far == o.far;
+    }
   };
-  std::map<Key, std::size_t> counts;
+  struct KeyHash {
+    std::uint64_t operator()(const Key& k) const {
+      return util::splitmix64(k.client ^
+                              util::splitmix64((std::uint64_t{k.near} << 32) |
+                                               k.far));
+    }
+  };
+  util::FlatMap<Key, std::size_t, KeyHash> counts;
 
   auto dns_for = [&](std::uint32_t addr) -> std::string {
     auto it = dns_of.find(addr);
@@ -66,8 +78,16 @@ std::vector<ClientAsDiversity> analyze_link_diversity(
     }
   }
 
+  // Feed the per-client grouping in Key order — the order the old ordered
+  // map iterated in — so each client's link list is built identically.
+  std::vector<std::pair<Key, std::size_t>> ordered(counts.size());
+  std::size_t w = 0;
+  for (const auto& [key, n] : counts) ordered[w++] = {key, n};
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
   std::map<topo::Asn, ClientAsDiversity> by_client;
-  for (const auto& [key, n] : counts) {
+  for (const auto& [key, n] : ordered) {
     ClientAsDiversity& d = by_client[key.client];
     d.client_asn = key.client;
     d.isp = isp_of.at(key.client);
@@ -92,7 +112,7 @@ std::vector<ClientAsDiversity> analyze_link_diversity(
 }
 
 std::vector<DnsRouterGroup> group_links_by_dns(const ClientAsDiversity& d) {
-  std::map<std::string, DnsRouterGroup> groups;
+  util::FlatMap<std::string, DnsRouterGroup> groups;
   for (const auto& link : d.links) {
     // Prefer the near-side name (the transit's PTR names the access peer,
     // as in "COX-COMMUNI.edge5.Dallas3.Level3.net").
@@ -111,10 +131,14 @@ std::vector<DnsRouterGroup> group_links_by_dns(const ClientAsDiversity& d) {
     g.tests += link.tests;
   }
   std::vector<DnsRouterGroup> out;
+  out.reserve(groups.size());
   for (auto& [k, g] : groups) out.push_back(std::move(g));
+  // Sort by name first (the old ordered-map iteration order), then by link
+  // count, so ties land exactly where they always did.
   std::sort(out.begin(), out.end(),
             [](const DnsRouterGroup& a, const DnsRouterGroup& b) {
-              return a.links > b.links;
+              if (a.links != b.links) return a.links > b.links;
+              return a.router_and_city < b.router_and_city;
             });
   return out;
 }

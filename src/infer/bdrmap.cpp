@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/flat_map.h"
 
 namespace netcong::infer {
 
@@ -75,7 +76,7 @@ BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
   result.mapit = run_mapit(corpus, ip2as, orgs, config.mapit);
 
   // Crossings out of the VP network's org, keyed by neighbor ASN.
-  std::unordered_map<topo::Asn, BdrmapBorder> borders;
+  util::FlatMap<topo::Asn, BdrmapBorder> borders;
   for (const auto& c : result.mapit.crossings) {
     if (!orgs.same_org(c.near_as, vp_as)) continue;
     if (orgs.same_org(c.far_as, vp_as)) continue;

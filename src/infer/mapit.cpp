@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/flat_map.h"
 
 namespace netcong::infer {
 
@@ -37,11 +38,11 @@ struct IfaceInfo {
   bool ixp = false;
   int observations = 0;
   // Votes keyed by ASN.
-  std::unordered_map<topo::Asn, int> succ_votes;
-  std::unordered_map<topo::Asn, int> pred_votes;
+  util::FlatMap<topo::Asn, int> succ_votes;
+  util::FlatMap<topo::Asn, int> pred_votes;
 };
 
-topo::Asn majority_as(const std::unordered_map<topo::Asn, int>& votes,
+topo::Asn majority_as(const util::FlatMap<topo::Asn, int>& votes,
                       double threshold) {
   int total = 0;
   for (const auto& [asn, n] : votes) total += n;
@@ -61,9 +62,9 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   MapItResult result;
 
   // ---- collate the corpus: adjacency counts per interface ----
-  std::unordered_map<std::uint32_t, IfaceInfo> ifaces;
+  util::FlatMap<std::uint32_t, IfaceInfo> ifaces;
   // Observed consecutive hop pairs with counts.
-  std::unordered_map<std::uint64_t, int> hop_pairs;
+  util::FlatMap<std::uint64_t, int> hop_pairs;
 
   auto note_iface = [&](topo::IpAddr a) -> IfaceInfo& {
     auto [it, fresh] = ifaces.try_emplace(a.value);
@@ -106,7 +107,7 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   }
 
   // ---- initial operating-AS assignment ----
-  std::unordered_map<std::uint32_t, topo::Asn> op;
+  util::FlatMap<std::uint32_t, topo::Asn> op;
   op.reserve(ifaces.size());
   for (const auto& [addr, info] : ifaces) {
     op[addr] = info.ixp ? 0 : info.origin;
@@ -122,8 +123,10 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   for (const auto& [key, count] : hop_pairs) {
     std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
     std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
-    ifaces[a].succ_votes[ifaces[b].origin] += count;
-    ifaces[b].pred_votes[ifaces[a].origin] += count;
+    IfaceInfo& ia = ifaces.at(a);
+    IfaceInfo& ib = ifaces.at(b);
+    ia.succ_votes[ib.origin] += count;
+    ib.pred_votes[ia.origin] += count;
   }
 
   int pass = 0;
@@ -179,7 +182,7 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   }
 
   // ---- extract crossings ----
-  std::unordered_map<std::uint64_t, std::size_t> crossing_index;
+  util::FlatMap<std::uint64_t, std::size_t> crossing_index;
   for (const auto& [key, count] : hop_pairs) {
     std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
     std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
@@ -197,6 +200,12 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
     }
     result.crossings[it->second].observations += count;
   }
+  // Canonical external order, independent of the collation container.
+  std::sort(result.crossings.begin(), result.crossings.end(),
+            [](const BorderCrossing& x, const BorderCrossing& y) {
+              if (x.near_addr != y.near_addr) return x.near_addr < y.near_addr;
+              return x.far_addr < y.far_addr;
+            });
 
   result.operating_as = std::move(op);
   const MapItMetrics& metrics = mapit_metrics();

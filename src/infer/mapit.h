@@ -20,11 +20,11 @@
 //           AS. Iterate to fixpoint.
 // Border crossings are then the hop pairs whose operating ASes differ.
 
-#include <unordered_map>
 #include <vector>
 
 #include "infer/datasets.h"
 #include "measure/traceroute.h"
+#include "util/flat_map.h"
 
 namespace netcong::infer {
 
@@ -76,8 +76,8 @@ struct BorderCrossing {
 
 struct MapItResult {
   // Final operating-AS assignment per interface address (0 = unknown).
-  std::unordered_map<std::uint32_t, topo::Asn> operating_as;
-  // Distinct (near_addr, far_addr) crossings.
+  util::FlatMap<std::uint32_t, topo::Asn> operating_as;
+  // Distinct (near_addr, far_addr) crossings, sorted by (near, far) address.
   std::vector<BorderCrossing> crossings;
   int passes_run = 0;
   int reassignments = 0;  // interfaces whose AS changed from the BGP origin

@@ -46,6 +46,12 @@ void mix_record(Fingerprint& fp, const route::RouterPath& p);
 std::uint64_t fingerprint(const std::vector<TracerouteRecord>& corpus);
 std::uint64_t fingerprint(const CampaignResult& result);
 
+// Streams the columnar result through the same byte sequence as the
+// CampaignResult overload — run() and run_columnar() on identical inputs
+// yield equal fingerprints, without materializing an AoS copy. Requires
+// result.topo (PTR names are derived from the topology).
+std::uint64_t fingerprint(const ColumnarCampaignResult& result);
+
 // Structural fingerprint of a generated world: every topology entity,
 // control-plane view, and host list. Two calls to generate_world with the
 // same config must produce the same value (generator determinism).

@@ -9,7 +9,10 @@ namespace netcong::measure {
 
 Platform::Platform(std::string name, const topo::Topology& topo,
                    std::vector<std::uint32_t> servers)
-    : name_(std::move(name)), topo_(&topo), servers_(std::move(servers)) {
+    : name_(std::move(name)),
+      topo_(&topo),
+      servers_(std::move(servers)),
+      rank_cache_(std::make_shared<RankCache>()) {
   assert(!servers_.empty());
 }
 
@@ -30,9 +33,21 @@ std::vector<std::pair<double, std::uint32_t>> ranked(
 }
 }  // namespace
 
+std::shared_ptr<const Platform::Ranking> Platform::ranked_from(
+    std::uint32_t client) const {
+  const std::uint32_t city = topo_->host(client).city.value;
+  std::lock_guard<std::mutex> lock(rank_cache_->mu);
+  auto it = rank_cache_->by_city.find(city);
+  if (it != rank_cache_->by_city.end()) return it->second;
+  auto r = std::make_shared<const Ranking>(ranked(*topo_, client, servers_));
+  rank_cache_->by_city.try_emplace(city, r);
+  return r;
+}
+
 std::uint32_t Platform::select_server(std::uint32_t client,
                                       util::Rng& rng) const {
-  auto r = ranked(*topo_, client, servers_);
+  std::shared_ptr<const Ranking> rp = ranked_from(client);
+  const Ranking& r = *rp;
   // Geo-IP is imprecise: occasionally the client is located wrongly and
   // lands on a distant server (this is how the real atl01 received tests
   // from clients whose paths crossed interconnections in DC and NYC).
@@ -55,9 +70,9 @@ std::uint32_t Platform::select_server(std::uint32_t client,
 
 std::vector<std::uint32_t> Platform::select_servers_region(
     std::uint32_t client, int count, util::Rng& rng) const {
-  auto r = ranked(*topo_, client, servers_);
+  std::shared_ptr<const Ranking> rp = ranked_from(client);
   std::vector<std::uint32_t> out;
-  for (const auto& [d, s] : r) {
+  for (const auto& [d, s] : *rp) {
     if (static_cast<int>(out.size()) >= count) break;
     out.push_back(s);
   }
@@ -67,9 +82,9 @@ std::vector<std::uint32_t> Platform::select_servers_region(
 
 std::vector<std::uint32_t> Platform::nearest_servers(std::uint32_t client,
                                                      int count) const {
-  auto r = ranked(*topo_, client, servers_);
+  std::shared_ptr<const Ranking> rp = ranked_from(client);
   std::vector<std::uint32_t> out;
-  for (const auto& [d, s] : r) {
+  for (const auto& [d, s] : *rp) {
     if (static_cast<int>(out.size()) >= count) break;
     out.push_back(s);
   }

@@ -5,10 +5,14 @@
 // ("the M-Lab backend uses IP geolocation to select a server close to the
 // client").
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "topo/topology.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 
 namespace netcong::measure {
@@ -38,9 +42,23 @@ class Platform {
                                              int count) const;
 
  private:
+  // Distance ranking of the fleet as seen from one city. The ranking is a
+  // pure function of (city, fleet), and a campaign asks for it once per
+  // request — memoizing per city turns ~1M haversine+sort passes into one
+  // per distinct client city. Entries are immutable once built; the shared
+  // cache survives Platform copies (the fleet and topology do too).
+  using Ranking = std::vector<std::pair<double, std::uint32_t>>;
+  struct RankCache {
+    std::mutex mu;
+    util::FlatMap<std::uint32_t, std::shared_ptr<const Ranking>> by_city;
+  };
+
+  std::shared_ptr<const Ranking> ranked_from(std::uint32_t client) const;
+
   std::string name_;
   const topo::Topology* topo_;
   std::vector<std::uint32_t> servers_;
+  std::shared_ptr<RankCache> rank_cache_;
 };
 
 }  // namespace netcong::measure

@@ -20,20 +20,46 @@ const TracerouteMetrics& traceroute_metrics() {
   static const TracerouteMetrics m;
   return m;
 }
+
+// Sink producing the classic AoS record (vector of TraceHop with the PTR
+// string resolved eagerly).
+struct RecordSink {
+  const topo::Topology& topo;
+  TracerouteRecord& rec;
+  void hop(int ttl, bool responded, topo::IpAddr addr, double rtt_ms,
+           topo::InterfaceId iface) {
+    TraceHop th;
+    th.ttl = ttl;
+    th.responded = responded;
+    if (responded) {
+      th.addr = addr;
+      th.rtt_ms = rtt_ms;
+      if (iface.valid()) th.dns_name = topo.iface(iface).dns_name;
+    }
+    rec.hops.push_back(std::move(th));
+  }
+};
 }  // namespace
 
-TracerouteRecord run_traceroute(const topo::Topology& topo,
-                                const route::Forwarder& fwd,
-                                std::uint32_t src_host, topo::IpAddr dst,
-                                double utc_time_hours,
-                                const TracerouteOptions& options,
-                                util::Rng& rng,
-                                const route::PathCache* cache) {
-  TracerouteRecord rec;
-  rec.src_host = src_host;
-  rec.dst = dst;
-  rec.utc_time_hours = utc_time_hours;
+void note_traceroute_metrics(std::size_t hops, std::size_t stars,
+                             bool reached_dst, bool unreachable) {
+  const TracerouteMetrics& metrics = traceroute_metrics();
+  metrics.runs.inc();
+  if (unreachable) {
+    metrics.unreachable.inc();
+    return;
+  }
+  if (metrics.reg.enabled()) {
+    metrics.hops.inc(hops);
+    metrics.stars.inc(stars);
+    if (reached_dst) metrics.reached_dst.inc();
+  }
+}
 
+route::FlowKey trace_flow_key(const topo::Topology& topo,
+                              std::uint32_t src_host, topo::IpAddr dst,
+                              const TracerouteOptions& options,
+                              util::Rng& rng) {
   route::FlowKey key;
   key.src = topo.host(src_host).addr;
   key.dst = dst;
@@ -49,72 +75,40 @@ TracerouteRecord run_traceroute(const topo::Topology& topo,
     key.src_port = static_cast<std::uint16_t>(rng.uniform_int(33434, 33534));
     key.dst_port = static_cast<std::uint16_t>(rng.uniform_int(33434, 33534));
   }
+  return key;
+}
 
-  route::RouterPath path = cache ? cache->path(src_host, dst, key)
-                                 : fwd.path(src_host, dst, key);
-  rec.truth = path;
-  const TracerouteMetrics& metrics = traceroute_metrics();
-  metrics.runs.inc();
-  if (!path.valid) {
-    metrics.unreachable.inc();
+TracerouteRecord run_traceroute(const topo::Topology& topo,
+                                const route::Forwarder& fwd,
+                                std::uint32_t src_host, topo::IpAddr dst,
+                                double utc_time_hours,
+                                const TracerouteOptions& options,
+                                util::Rng& rng,
+                                const route::PathCache* cache) {
+  TracerouteRecord rec;
+  rec.src_host = src_host;
+  rec.dst = dst;
+  rec.utc_time_hours = utc_time_hours;
+
+  route::FlowKey key = trace_flow_key(topo, src_host, dst, options, rng);
+  if (cache) {
+    rec.truth = *cache->path_shared(src_host, dst, key);
+  } else {
+    rec.truth = fwd.path(src_host, dst, key);
+  }
+  if (!rec.truth.valid) {
+    note_traceroute_metrics(0, 0, false, true);
     return rec;
   }
 
-  double cum_delay = topo.host(src_host).access_delay_ms;
-  double cum_queue = 0.0;
-  int ttl = 0;
-  for (std::size_t i = 0; i < path.hops.size(); ++i) {
-    const route::RouterHop& hop = path.hops[i];
-    if (i > 0) {
-      cum_delay += topo.link(hop.in_link).prop_delay_ms;
-      if (options.traffic) {
-        double q = options.traffic
-                       ->condition(hop.in_link, utc_time_hours, rng)
-                       .queue_delay_ms;
-        cum_delay += q;
-        cum_queue += q;
-      }
-    }
-    TraceHop th;
-    th.ttl = ++ttl;
-    if (!rng.chance(options.star_prob)) {
-      th.responded = true;
-      // Routers reply from the inbound interface; the first hop (no inbound
-      // link) replies from its management address.
-      if (hop.in_iface.valid()) {
-        const topo::Interface& inif = topo.iface(hop.in_iface);
-        th.addr = inif.addr;
-        th.dns_name = inif.dns_name;
-      } else {
-        th.addr = topo.router(hop.router).mgmt_addr;
-      }
-      th.rtt_ms = 2.0 * cum_delay * rng.uniform(1.0, 1.08);
-    }
-    rec.hops.push_back(th);
+  RecordSink sink{topo, rec};
+  rec.reached_dst = simulate_trace(topo, rec.truth, src_host, dst,
+                                   utc_time_hours, options, rng, sink);
+  std::size_t star_hops = 0;
+  for (const TraceHop& th : rec.hops) {
+    if (!th.responded) ++star_hops;
   }
-
-  // The destination itself (client hosts often sit behind NAT/firewalls).
-  bool dst_is_host = topo.host_by_addr(dst).has_value();
-  bool silent = dst_is_host && rng.chance(options.client_silent_prob);
-  if (!silent) {
-    TraceHop th;
-    th.ttl = ++ttl;
-    th.responded = true;
-    th.addr = dst;
-    th.rtt_ms =
-        (2.0 * path.one_way_delay_ms + cum_queue) * rng.uniform(1.0, 1.08);
-    rec.hops.push_back(th);
-    rec.reached_dst = true;
-  }
-  if (metrics.reg.enabled()) {
-    std::uint64_t star_hops = 0;
-    for (const TraceHop& th : rec.hops) {
-      if (!th.responded) ++star_hops;
-    }
-    metrics.hops.inc(rec.hops.size());
-    metrics.stars.inc(star_hops);
-    if (rec.reached_dst) metrics.reached_dst.inc();
-  }
+  note_traceroute_metrics(rec.hops.size(), star_hops, rec.reached_dst, false);
   return rec;
 }
 

@@ -9,6 +9,12 @@
 //
 // Artifacts modeled: unresponsive hops (stars), probes suppressed near the
 // client (home-gateway firewalls), and missing PTR records.
+//
+// The hop-production loop is a template over a sink so the classic
+// vector-of-TraceHop record and the columnar arena-backed corpus
+// (measure/corpus.h) are produced by the same code — the random draws are
+// shared instruction-for-instruction, which is what keeps the two layouts
+// bit-identical.
 
 #include <optional>
 #include <string>
@@ -50,6 +56,14 @@ struct TracerouteOptions {
   const sim::TrafficModel* traffic = nullptr;
 };
 
+// The probe flow key a traceroute from src_host toward dst uses. Non-Paris
+// mode draws its ports from `rng` (one draw per port), so callers must
+// invoke this exactly once per traceroute, before any other draw.
+route::FlowKey trace_flow_key(const topo::Topology& topo,
+                              std::uint32_t src_host, topo::IpAddr dst,
+                              const TracerouteOptions& options,
+                              util::Rng& rng);
+
 // Runs one traceroute along the forwarder's path. When a PathCache is
 // given, path construction is memoized through it (results are identical;
 // Paris traceroutes use a fixed flow key per (src, dst) pair, so repeat
@@ -61,6 +75,68 @@ TracerouteRecord run_traceroute(const topo::Topology& topo,
                                 const TracerouteOptions& options,
                                 util::Rng& rng,
                                 const route::PathCache* cache = nullptr);
+
+// Bumps the process-wide traceroute counters exactly as run_traceroute
+// does; exposed for alternative sinks (the columnar corpus builder).
+void note_traceroute_metrics(std::size_t hops, std::size_t stars,
+                             bool reached_dst, bool unreachable);
+
+// Core of the simulation: walks a precomputed (valid) path and feeds each
+// produced hop to `sink.hop(ttl, responded, addr, rtt_ms, in_iface)`,
+// where in_iface is the replying interface (invalid id when the reply came
+// from a management address, a star, or the destination host — exactly the
+// cases with no PTR record). Returns whether the destination replied. The
+// draw sequence is the contract: any two sinks see identical streams.
+template <typename Sink>
+bool simulate_trace(const topo::Topology& topo, const route::RouterPath& path,
+                    std::uint32_t src_host, topo::IpAddr dst,
+                    double utc_time_hours, const TracerouteOptions& options,
+                    util::Rng& rng, Sink& sink) {
+  double cum_delay = topo.host(src_host).access_delay_ms;
+  double cum_queue = 0.0;
+  int ttl = 0;
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    const route::RouterHop& hop = path.hops[i];
+    if (i > 0) {
+      cum_delay += topo.link(hop.in_link).prop_delay_ms;
+      if (options.traffic) {
+        double q = options.traffic
+                       ->condition(hop.in_link, utc_time_hours, rng)
+                       .queue_delay_ms;
+        cum_delay += q;
+        cum_queue += q;
+      }
+    }
+    ++ttl;
+    if (!rng.chance(options.star_prob)) {
+      // Routers reply from the inbound interface; the first hop (no inbound
+      // link) replies from its management address.
+      topo::IpAddr addr;
+      topo::InterfaceId iface;  // invalid unless the reply names a PTR
+      if (hop.in_iface.valid()) {
+        addr = topo.iface(hop.in_iface).addr;
+        iface = hop.in_iface;
+      } else {
+        addr = topo.router(hop.router).mgmt_addr;
+      }
+      double rtt = 2.0 * cum_delay * rng.uniform(1.0, 1.08);
+      sink.hop(ttl, true, addr, rtt, iface);
+    } else {
+      sink.hop(ttl, false, topo::IpAddr{}, 0.0, topo::InterfaceId{});
+    }
+  }
+
+  // The destination itself (client hosts often sit behind NAT/firewalls).
+  bool dst_is_host = topo.host_by_addr(dst).has_value();
+  bool silent = dst_is_host && rng.chance(options.client_silent_prob);
+  if (!silent) {
+    double rtt =
+        (2.0 * path.one_way_delay_ms + cum_queue) * rng.uniform(1.0, 1.08);
+    sink.hop(++ttl, true, dst, rtt, topo::InterfaceId{});
+    return true;
+  }
+  return false;
+}
 
 // One latency probe (ping-style) to an arbitrary address: round-trip time
 // including the queueing delay of every link crossed (both directions are

@@ -137,7 +137,7 @@ std::shared_ptr<const BgpRouting::Tree> BgpRouting::tree_for(Asn dst) const {
   auto tree = std::make_shared<const Tree>(compute_tree(d));
   std::unique_lock<std::shared_mutex> lk(trees_mu_);
   if (trees_.size() >= cache_cap_) trees_.clear();
-  return trees_.emplace(d, std::move(tree)).first->second;
+  return trees_.try_emplace(d, std::move(tree)).first->second;
 }
 
 void BgpRouting::warm(Asn dst) const { tree_for(dst); }

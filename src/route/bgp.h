@@ -21,10 +21,10 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "topo/topology.h"
+#include "util/flat_map.h"
 
 namespace netcong::route {
 
@@ -77,8 +77,8 @@ class BgpRouting {
   Tree compute_tree(std::uint32_t dst_index) const;
 
   const topo::Topology* topo_;
-  std::vector<topo::Asn> asns_;                       // index -> ASN
-  std::unordered_map<topo::Asn, std::uint32_t> index_;  // ASN -> index
+  std::vector<topo::Asn> asns_;                         // index -> ASN
+  util::FlatMap<topo::Asn, std::uint32_t> index_;       // ASN -> index
   // Adjacency by index with the relationship of node toward neighbor.
   struct Neighbor {
     std::uint32_t idx;
@@ -87,8 +87,7 @@ class BgpRouting {
   std::vector<std::vector<Neighbor>> adj_;
 
   mutable std::shared_mutex trees_mu_;
-  mutable std::unordered_map<std::uint32_t, std::shared_ptr<const Tree>>
-      trees_;
+  mutable util::FlatMap<std::uint32_t, std::shared_ptr<const Tree>> trees_;
   std::size_t cache_cap_ = 3000;
 };
 

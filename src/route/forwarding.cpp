@@ -47,7 +47,7 @@ Forwarder::Forwarder(const topo::Topology& topo, const BgpRouting& bgp)
     : topo_(&topo), bgp_(&bgp) {
   for (const auto& r : topo.routers()) {
     if (r.role == topo::RouterRole::kBackbone) {
-      backbone_.emplace(bb_key(r.owner, r.city), r.id);
+      backbone_.try_emplace(bb_key(r.owner, r.city), r.id);
     }
   }
 }

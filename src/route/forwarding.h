@@ -12,11 +12,11 @@
 // exactly the phenomenon that breaks the paper's Assumption 3 (Section 4.3).
 
 #include <optional>
-#include <unordered_map>
 
 #include "route/bgp.h"
 #include "route/path.h"
 #include "topo/topology.h"
+#include "util/flat_map.h"
 
 namespace netcong::route {
 
@@ -62,7 +62,7 @@ class Forwarder {
   const topo::Topology* topo_;
   const BgpRouting* bgp_;
   // (asn, city) -> backbone router.
-  std::unordered_map<std::uint64_t, topo::RouterId> backbone_;
+  util::FlatMap<std::uint64_t, topo::RouterId> backbone_;
 };
 
 }  // namespace netcong::route

@@ -8,12 +8,6 @@
 namespace netcong::route {
 
 namespace {
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
 // Process-wide metric handles (registered once; near-free while the
 // registry is disabled). All PathCache instances feed the same counters.
 struct CacheMetrics {
@@ -65,8 +59,12 @@ PathCache::Key PathCache::make_key(std::uint32_t src_host, topo::IpAddr dst,
 }
 
 std::size_t PathCache::KeyHash::operator()(const Key& k) const {
-  return static_cast<std::size_t>(
-      mix64(k.a ^ mix64(k.b ^ mix64(k.c ^ 0x5bf03635f0935ad1ull))));
+  // Full splitmix64 finalizer at each combining step (the shared mixer in
+  // util/flat_map.h): each word avalanches before it touches the next, so
+  // structured keys (sequential hosts, port constants) spread uniformly in
+  // a power-of-two slot space.
+  return static_cast<std::size_t>(util::splitmix64(
+      k.a ^ util::splitmix64(k.b ^ util::splitmix64(k.c))));
 }
 
 PathCache::Shard& PathCache::shard_for(const Key& k) const {
@@ -75,6 +73,11 @@ PathCache::Shard& PathCache::shard_for(const Key& k) const {
 
 RouterPath PathCache::path(std::uint32_t src_host, topo::IpAddr dst,
                            const FlowKey& key) const {
+  return *path_shared(src_host, dst, key);
+}
+
+std::shared_ptr<const RouterPath> PathCache::path_shared(
+    std::uint32_t src_host, topo::IpAddr dst, const FlowKey& key) const {
   Key k = make_key(src_host, dst, key);
   Shard& shard = shard_for(k);
   {
@@ -88,15 +91,17 @@ RouterPath PathCache::path(std::uint32_t src_host, topo::IpAddr dst,
   }
   // Compute outside any lock; concurrent misses on the same key compute the
   // same value (the path is a pure function of the arguments).
-  RouterPath p = fwd_->path(src_host, dst, key);
+  auto p = std::make_shared<const RouterPath>(fwd_->path(src_host, dst, key));
   misses_.fetch_add(1, std::memory_order_relaxed);
   cache_metrics().misses.inc();
   {
     std::unique_lock<std::shared_mutex> lk(shard.mu);
-    shard.map.emplace(k, p);
+    shard.map.try_emplace(k, p);
     while (max_per_shard_ > 0 && shard.map.size() > max_per_shard_) {
+      // Deterministic victim: the entry in the lowest occupied probe slot
+      // of the canonical layout (skipping the entry just inserted).
       auto victim = shard.map.begin();
-      if (victim->first == k) ++victim;  // keep the entry just inserted
+      if (victim != shard.map.end() && victim->first == k) ++victim;
       if (victim == shard.map.end()) break;
       shard.map.erase(victim);
       evictions_.fetch_add(1, std::memory_order_relaxed);

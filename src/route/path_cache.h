@@ -16,6 +16,18 @@
 // double-computation under races is harmless, and campaigns produce the
 // same output with or without the cache attached.
 //
+// Storage: each shard is an open-addressing util::FlatMap whose values are
+// shared_ptr<const RouterPath>. Callers on the hot path take the shared
+// pointer (path_shared) and never copy the three per-path vectors; the
+// by-value path() remains for call sites where a copy is fine. Eviction
+// under a capacity bound removes the entry in the lowest probe slot of the
+// shard's canonical robin-hood layout — a deterministic policy: since the
+// layout is a pure function of the resident key set, the victim is a pure
+// function of the insert/evict history, so capacity-limited serial runs
+// reproduce their hit rates exactly (std::unordered_map::begin() depended
+// on allocation addresses). Outstanding shared_ptrs keep evicted paths
+// alive, so eviction never invalidates a caller.
+//
 // ECMP bucketing: the path depends on the ephemeral port only through the
 // flow hash, so callers drawing ports from the full ~28k-wide ephemeral
 // range would essentially never hit. NdtCampaign instead draws one of a
@@ -28,11 +40,11 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "route/forwarding.h"
 #include "route/path.h"
+#include "util/flat_map.h"
 
 namespace netcong::route {
 
@@ -51,8 +63,28 @@ class PathCache {
   // First ephemeral destination port used for ECMP bucket keys.
   static constexpr std::uint16_t kEphemeralPortBase = 32768;
 
+  // Packed cache key. Public so corpus builders can deduplicate paths by
+  // the same identity the cache uses (see measure::PathPool).
+  struct Key {
+    std::uint64_t a = 0;  // (src_host << 32) | dst
+    std::uint64_t b = 0;  // (key.src << 32) | key.dst
+    std::uint64_t c = 0;  // (src_port << 32) | (dst_port << 16) | proto
+    friend bool operator==(const Key&, const Key&) = default;
+    // Ordering for the flat map's canonical-layout tie-break.
+    friend bool operator<(const Key& x, const Key& y) {
+      if (x.a != y.a) return x.a < y.a;
+      if (x.b != y.b) return x.b < y.b;
+      return x.c < y.c;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  static Key make_key(std::uint32_t src_host, topo::IpAddr dst,
+                      const FlowKey& key);
+
   // max_entries == 0 means unbounded; otherwise inserts that push a shard
-  // past its share of the budget evict an arbitrary resident entry.
+  // past its share of the budget evict the lowest-slot resident entry.
   // Eviction cannot change results (a re-miss recomputes the identical
   // pure-function value), only the hit rate — so campaigns stay
   // bit-identical under any capacity.
@@ -70,6 +102,12 @@ class PathCache {
   RouterPath path(std::uint32_t src_host, topo::IpAddr dst,
                   const FlowKey& key) const;
 
+  // Copy-free variant: the returned pointer stays valid after eviction or
+  // clear() (shared ownership). Never null.
+  std::shared_ptr<const RouterPath> path_shared(std::uint32_t src_host,
+                                                topo::IpAddr dst,
+                                                const FlowKey& key) const;
+
   Stats stats() const;
 
   // Number of distinct paths currently cached.
@@ -79,22 +117,11 @@ class PathCache {
   void clear();
 
  private:
-  struct Key {
-    std::uint64_t a = 0;  // (src_host << 32) | dst
-    std::uint64_t b = 0;  // (key.src << 32) | key.dst
-    std::uint64_t c = 0;  // (src_port << 32) | (dst_port << 16) | proto
-    friend bool operator==(const Key&, const Key&) = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
-  };
   struct Shard {
     mutable std::shared_mutex mu;
-    std::unordered_map<Key, RouterPath, KeyHash> map;
+    util::FlatMap<Key, std::shared_ptr<const RouterPath>, KeyHash> map;
   };
 
-  static Key make_key(std::uint32_t src_host, topo::IpAddr dst,
-                      const FlowKey& key);
   Shard& shard_for(const Key& k) const;
 
   const Forwarder* fwd_;

@@ -1,0 +1,130 @@
+#pragma once
+
+// Bump-pointer arena for campaign-lifetime allocations. The traceroute
+// corpus previously paid one heap allocation per trace for its hop vector
+// (plus one per DNS name); at paper scale that is tens of millions of small
+// node allocations whose only purpose is to be freed together when the
+// campaign result is dropped. The arena replaces them with appends into
+// large contiguous slabs: traces hold (offset, count) spans into the slab,
+// allocation is a pointer bump, and teardown is freeing a handful of chunks.
+//
+// Restrictions, by design:
+//  * only trivially-destructible element types (nothing is ever destroyed
+//    individually — reset()/~Arena just drop the chunks);
+//  * not thread-safe — parallel fills use one arena per block shard and
+//    merge serially (see measure::TraceCorpus).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace netcong::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 1u << 16;  // 64 KiB
+  static constexpr std::size_t kMaxChunkBytes = 4u << 20;      // 4 MiB cap
+  static constexpr std::size_t kMaxAlign = 64;                 // cache line
+
+  explicit Arena(std::size_t min_chunk_bytes = kDefaultChunkBytes)
+      : min_chunk_bytes_(min_chunk_bytes < 64 ? 64 : min_chunk_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw aligned allocation. `align` must be a power of two ≤ kMaxAlign.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (chunks_.empty()) new_chunk(bytes + align);
+    std::size_t aligned = aligned_offset(align);
+    if (aligned + bytes > chunks_.back().size) {
+      new_chunk(bytes + align);
+      aligned = aligned_offset(align);
+    }
+    used_ += (aligned - offset_) + bytes;
+    offset_ = aligned + bytes;
+    return chunks_.back().data.get() + aligned;
+  }
+
+  // Uninitialized array of n Ts. T must be trivially destructible (the
+  // arena never runs destructors) and trivially copyable (elements are
+  // moved around with memcpy by the columnar builders).
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena elements are never individually destroyed");
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Arena elements are relocated bytewise");
+    static_assert(alignof(T) <= kMaxAlign);
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Copies [src, src + n) into the arena and returns the stable pointer.
+  template <typename T>
+  T* append(const T* src, std::size_t n) {
+    T* dst = alloc_array<T>(n);
+    if (n != 0) std::memcpy(dst, src, n * sizeof(T));
+    return dst;
+  }
+
+  // Drops every chunk but retains the first (largest-lived) one so a
+  // recycled arena reuses warm memory instead of re-growing from scratch.
+  void reset() {
+    if (chunks_.size() > 1) chunks_.erase(chunks_.begin() + 1, chunks_.end());
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  std::size_t bytes_used() const { return used_; }
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  // Alignment relative to the chunk's *absolute* base address — operator
+  // new[] only guarantees max_align_t, so offsets alone can't express a
+  // 64-byte-aligned slot.
+  std::size_t aligned_offset(std::size_t align) const {
+    auto base = reinterpret_cast<std::uintptr_t>(chunks_.back().data.get());
+    std::uintptr_t p =
+        (base + offset_ + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    return static_cast<std::size_t>(p - base);
+  }
+
+  void new_chunk(std::size_t at_least) {
+    // Geometric growth bounded by kMaxChunkBytes keeps chunk count low
+    // without ballooning the tail chunk on huge corpora.
+    std::size_t want = min_chunk_bytes_;
+    if (!chunks_.empty()) {
+      want = chunks_.back().size * 2;
+      if (want > kMaxChunkBytes) want = kMaxChunkBytes;
+      if (want < min_chunk_bytes_) want = min_chunk_bytes_;
+    }
+    if (want < at_least) want = at_least;
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(want);
+    c.size = want;
+    chunks_.push_back(std::move(c));
+    offset_ = 0;
+  }
+
+  std::size_t min_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t offset_ = 0;  // bump offset within chunks_.back()
+  std::size_t used_ = 0;    // total bytes handed out (incl. alignment pad)
+};
+
+}  // namespace netcong::util

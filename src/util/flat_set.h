@@ -1,0 +1,77 @@
+#pragma once
+
+// FlatSet: the set counterpart of util::FlatMap — same open-addressing
+// robin-hood table, canonical layout, and splitmix64-mixed hashing, exposed
+// with set semantics (iteration yields `const K&`). Used by the core/
+// aggregation passes that previously held `std::set`/`std::unordered_set`
+// per-key state on the campaign hot path.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "util/flat_map.h"
+
+namespace netcong::util {
+
+namespace detail {
+struct Unit {};
+}  // namespace detail
+
+template <typename K, typename Hash = FlatHash<K>, typename Less = std::less<K>>
+class FlatSet {
+  using Map = FlatMap<K, detail::Unit, Hash, Less>;
+
+ public:
+  class const_iterator {
+   public:
+    const_iterator() = default;
+    explicit const_iterator(typename Map::const_iterator it) : it_(it) {}
+    const K& operator*() const { return it_->first; }
+    const K* operator->() const { return &it_->first; }
+    const_iterator& operator++() {
+      ++it_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++it_;
+      return tmp;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.it_ == b.it_;
+    }
+
+   private:
+    typename Map::const_iterator it_;
+  };
+  using iterator = const_iterator;
+  using key_type = K;
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+  const_iterator begin() const { return const_iterator(map_.begin()); }
+  const_iterator end() const { return const_iterator(map_.end()); }
+
+  bool contains(const K& key) const { return map_.contains(key); }
+  std::size_t count(const K& key) const { return map_.count(key); }
+  const_iterator find(const K& key) const {
+    return const_iterator(map_.find(key));
+  }
+
+  // Returns true when the key was newly inserted.
+  std::pair<const_iterator, bool> insert(const K& key) {
+    auto [it, fresh] = map_.try_emplace(key);
+    return {const_iterator(typename Map::const_iterator(it)), fresh};
+  }
+
+  std::size_t erase(const K& key) { return map_.erase(key); }
+
+ private:
+  Map map_;
+};
+
+}  // namespace netcong::util

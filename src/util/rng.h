@@ -14,6 +14,66 @@
 
 namespace netcong::util {
 
+// Drop-in mt19937_64 with lazy state construction. Produces the exact
+// output sequence of std::mt19937_64(seed) — same seed-init recurrence,
+// same twist, same tempering — but computes state words on demand instead
+// of eagerly: std::mt19937_64 pays a 312-word seed init at construction
+// and a full 312-word block refill on the first draw, which dominates the
+// campaign engine's cost when millions of short-lived forked streams each
+// draw only a handful of values. Here construction stores one word, and a
+// stream that draws D values runs min(D+156, 312) init steps and D twist
+// steps. Long-lived heavy users pay a small per-draw branch instead of
+// amortized block refills; the campaign's fork-per-request pattern is the
+// hot path this trades for.
+class LazyMt64 {
+ public:
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  explicit LazyMt64(std::uint64_t seed) { x_[0] = seed; }
+
+  result_type operator()() {
+    const std::uint64_t k = k_++;
+    if (k < kN) {
+      // Dependencies that are still seed-init words: x_k, x_{k+1}, and
+      // x_{k+m} while it falls below n. Draws are sequential, so extending
+      // the init frontier here never touches an already-recycled slot.
+      const std::size_t needed = (k + kM < kN) ? k + kM : k + 1;
+      if (needed < kN) ensure_init(needed);
+    }
+    // x_{n+k} = x_{m+k} ^ twist(x_k, x_{k+1}); slot j%n holds x_j for the
+    // last n positions, exactly the in-place ring of _M_gen_rand.
+    const std::uint64_t y = (x_[k % kN] & 0xFFFFFFFF80000000ull) |
+                            (x_[(k + 1) % kN] & 0x7FFFFFFFull);
+    std::uint64_t z = x_[(k + kM) % kN] ^ (y >> 1) ^
+                      ((y & 1) ? 0xB5026F5AA96619E9ull : 0);
+    x_[k % kN] = z;
+    z ^= (z >> 29) & 0x5555555555555555ull;
+    z ^= (z << 17) & 0x71D67FFFEDA60000ull;
+    z ^= (z << 37) & 0xFFF7EEE000000000ull;
+    z ^= z >> 43;
+    return z;
+  }
+
+ private:
+  static constexpr std::size_t kN = 312;
+  static constexpr std::size_t kM = 156;
+
+  void ensure_init(std::size_t p) {
+    while (init_filled_ <= p) {
+      const std::uint64_t prev = x_[init_filled_ - 1];
+      x_[init_filled_] =
+          6364136223846793005ull * (prev ^ (prev >> 62)) + init_filled_;
+      ++init_filled_;
+    }
+  }
+
+  std::uint64_t x_[kN];
+  std::size_t init_filled_ = 1;
+  std::uint64_t k_ = 0;
+};
+
 // A labeled, forkable wrapper around a 64-bit Mersenne Twister.
 class Rng {
  public:
@@ -77,10 +137,10 @@ class Rng {
     }
   }
 
-  std::mt19937_64& engine() { return engine_; }
+  LazyMt64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  LazyMt64 engine_;
   std::uint64_t seed_;
 };
 

@@ -130,6 +130,7 @@ TEST(CliSmoke, EveryRegisteredSubcommandRuns) {
       {"coverage", "--scale tiny --seed 3"},
       {"diurnal", "--scale tiny --seed 3 --days 2"},
       {"faults", "--list"},
+      {"scale", "--scale tiny --seed 3 --tests 500 --threads 2"},
       {"stats", "--scale tiny --seed 3 --days 1 --tests-per-client 1"},
   };
 

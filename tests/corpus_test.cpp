@@ -1,0 +1,238 @@
+// Columnar-corpus tests: the SoA campaign engine (run_columnar) must be
+// bit-identical to the classic AoS engine across worker counts, path-cache
+// attachment, and fault injection — pinned by golden fingerprints captured
+// from the pre-migration seed build — plus PathPool interning semantics and
+// the bounded-batch streaming helper's edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/diurnal.h"
+#include "gen/workload.h"
+#include "gen/world.h"
+#include "measure/corpus.h"
+#include "measure/fingerprint.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "route/path_cache.h"
+#include "sim/faults.h"
+#include "sim/throughput.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace netcong;
+
+// Golden fingerprints captured from the seed build's classic engine before
+// any container/layout migration. These pin the full campaign output —
+// every record field, truth path, traceroute hop, and quality row.
+constexpr std::uint64_t kGoldenTiny = 0x3f2524789cc40ee5ull;
+constexpr std::uint64_t kGoldenTinyFaulted = 0xc99f481b9b40cec2ull;
+
+struct CampaignRig {
+  gen::World world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+  measure::Platform mlab;
+
+  explicit CampaignRig(std::uint64_t world_seed)
+      : world([&] {
+          gen::GeneratorConfig gc = gen::GeneratorConfig::tiny();
+          gc.seed = world_seed;
+          return gen::generate_world(gc);
+        }()),
+        bgp(*world.topo),
+        fwd(*world.topo, bgp),
+        model(*world.topo, *world.traffic),
+        mlab("M-Lab", *world.topo, world.mlab_servers) {}
+
+  std::vector<gen::TestRequest> schedule(std::uint64_t seed) const {
+    gen::WorkloadConfig wl;
+    wl.days = 3;
+    wl.mean_tests_per_client = 4.0;
+    util::Rng rng(seed);
+    return gen::crowdsourced_schedule(world, world.clients, wl, rng);
+  }
+};
+
+CampaignRig& rig() {
+  static CampaignRig r(31337);
+  return r;
+}
+
+measure::CampaignConfig config_with_threads(int threads) {
+  measure::CampaignConfig cc;
+  cc.threads = threads;
+  return cc;
+}
+
+std::uint64_t classic_fp(int threads, bool cached, bool faulted) {
+  measure::NdtCampaign campaign(rig().world, rig().fwd, rig().model,
+                                rig().mlab, config_with_threads(threads));
+  route::PathCache cache(rig().fwd);
+  if (cached) campaign.set_path_cache(&cache);
+  sim::FaultInjector faults(sim::FaultConfig::scaled(0.3), 4242);
+  if (faulted) campaign.set_faults(&faults);
+  util::Rng rng(99);
+  auto result = campaign.run(rig().schedule(99), rng);
+  return measure::fingerprint(result);
+}
+
+measure::ColumnarCampaignResult columnar_run(int threads, bool cached,
+                                             bool faulted) {
+  measure::NdtCampaign campaign(rig().world, rig().fwd, rig().model,
+                                rig().mlab, config_with_threads(threads));
+  route::PathCache cache(rig().fwd);
+  if (cached) campaign.set_path_cache(&cache);
+  sim::FaultInjector faults(sim::FaultConfig::scaled(0.3), 4242);
+  if (faulted) campaign.set_faults(&faults);
+  util::Rng rng(99);
+  return campaign.run_columnar(rig().schedule(99), rng);
+}
+
+TEST(CorpusGolden, ClassicMatchesSeedBuild) {
+  EXPECT_EQ(classic_fp(0, false, false), kGoldenTiny);
+  EXPECT_EQ(classic_fp(0, true, false), kGoldenTiny);  // cache is transparent
+  EXPECT_EQ(classic_fp(0, true, true), kGoldenTinyFaulted);
+}
+
+TEST(CorpusGolden, ColumnarMatchesClassicAcrossWorkerCounts) {
+  for (int threads : {1, 2, 5}) {
+    auto col = columnar_run(threads, true, false);
+    EXPECT_EQ(measure::fingerprint(col), kGoldenTiny) << threads << " workers";
+  }
+  auto faulted = columnar_run(3, true, true);
+  EXPECT_EQ(measure::fingerprint(faulted), kGoldenTinyFaulted);
+}
+
+TEST(CorpusGolden, MaterializeRoundTripsBitExactly) {
+  auto col = columnar_run(2, true, false);
+  measure::CampaignResult aos = col.materialize();
+  EXPECT_EQ(measure::fingerprint(aos), kGoldenTiny);
+  ASSERT_EQ(aos.tests.size(), col.tests.size());
+  ASSERT_EQ(aos.traceroutes.size(), col.traceroutes.size());
+  EXPECT_EQ(aos.quality.rows().size(), col.quality.rows().size());
+}
+
+TEST(CorpusLayout, TraceSpansAndPathPool) {
+  auto col = columnar_run(2, true, false);
+  ASSERT_GT(col.traceroutes.size(), 0u);
+  std::size_t hops = 0;
+  for (std::size_t i = 0; i < col.traceroutes.size(); ++i) {
+    std::uint32_t n = col.traceroutes.hop_count[i];
+    // The span pointer is null exactly when the trace recorded no hops.
+    EXPECT_EQ(col.traceroutes.hops[i] == nullptr, n == 0) << "trace " << i;
+    hops += n;
+  }
+  EXPECT_EQ(col.traceroutes.total_hops(), hops);
+
+  // Interning: far fewer distinct paths than tests (repeat pairs share),
+  // and every non-null ref resolves to a valid path.
+  ASSERT_GT(col.paths.size(), 0u);
+  EXPECT_LT(col.paths.size(), col.tests.size());
+  for (std::size_t i = 0; i < col.tests.size(); ++i) {
+    measure::PathRef ref = col.tests.truth_path[i];
+    if (ref == measure::kNoPath) continue;
+    ASSERT_LT(ref, col.paths.size());
+    EXPECT_TRUE(col.paths.at(ref).valid);
+  }
+  // kNoPath materializes as the default (invalid) path.
+  EXPECT_FALSE(col.paths.at(measure::kNoPath).valid);
+}
+
+TEST(CorpusLayout, DiurnalColumnarOverloadMatchesClassic) {
+  auto col = columnar_run(2, true, false);
+  measure::CampaignResult aos = col.materialize();
+
+  auto source_of = [](const measure::NdtRecord& t) {
+    return "as" + std::to_string(t.server_asn);
+  };
+  auto isp_of = [](const measure::NdtRecord& t) {
+    return "isp" + std::to_string(t.client_asn);
+  };
+  core::DiurnalBuildStats cs, ks;
+  auto classic = core::build_diurnal_groups(aos.tests, rig().world, source_of,
+                                            isp_of, &cs);
+  for (std::size_t batch : {std::size_t{0}, std::size_t{1}, std::size_t{777},
+                            col.tests.size() + 5}) {
+    auto columnar = core::build_diurnal_groups(col.tests, rig().world,
+                                               source_of, isp_of, &ks, batch);
+    ASSERT_EQ(columnar.size(), classic.size()) << "batch " << batch;
+    EXPECT_EQ(ks.total, cs.total);
+    EXPECT_EQ(ks.used, cs.used);
+    auto a = classic.begin();
+    for (auto b = columnar.begin(); b != columnar.end(); ++a, ++b) {
+      EXPECT_EQ(a->first.source, b->first.source);
+      EXPECT_EQ(a->first.isp, b->first.isp);
+      EXPECT_EQ(a->second.tests, b->second.tests);
+    }
+  }
+}
+
+TEST(CorpusBatching, PartitionsExactly) {
+  auto collect = [](std::size_t n, std::size_t batch) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    measure::for_each_batch(n, batch, [&](std::size_t b, std::size_t e) {
+      ranges.emplace_back(b, e);
+    });
+    return ranges;
+  };
+
+  // Empty corpus: no batches at all.
+  EXPECT_TRUE(collect(0, 16).empty());
+  EXPECT_TRUE(collect(0, 0).empty());
+
+  // Batch size 1: one range per element.
+  auto ones = collect(5, 1);
+  ASSERT_EQ(ones.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ones[i], std::make_pair(i, i + 1));
+  }
+
+  // Batch larger than the corpus: a single full range.
+  auto big = collect(7, 100);
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0], std::make_pair(std::size_t{0}, std::size_t{7}));
+
+  // Batch 0 means "one batch".
+  auto zero = collect(7, 0);
+  ASSERT_EQ(zero.size(), 1u);
+  EXPECT_EQ(zero[0], std::make_pair(std::size_t{0}, std::size_t{7}));
+
+  // General case: contiguous half-open ranges covering [0, n) in order.
+  auto gen = collect(10, 3);
+  ASSERT_EQ(gen.size(), 4u);
+  std::size_t cursor = 0;
+  for (auto [b, e] : gen) {
+    EXPECT_EQ(b, cursor);
+    EXPECT_LE(e - b, 3u);
+    cursor = e;
+  }
+  EXPECT_EQ(cursor, 10u);
+}
+
+TEST(CorpusBatching, PathPoolInterning) {
+  measure::PathPool pool;
+  auto p1 = std::make_shared<const route::RouterPath>();
+  auto p2 = std::make_shared<const route::RouterPath>();
+  route::PathCache::Key k1{1, 2, 3};
+  route::PathCache::Key k2{1, 2, 4};
+  measure::PathRef r1 = pool.intern(k1, p1);
+  measure::PathRef r1b = pool.intern(k1, p2);  // same key: same slot
+  measure::PathRef r2 = pool.intern(k2, p2);
+  EXPECT_EQ(r1, r1b);
+  EXPECT_NE(r1, r2);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(&pool.at(r1), p1.get());  // first intern wins
+  EXPECT_EQ(&pool.at(r2), p2.get());
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Unit tests for util::FlatMap / util::FlatSet (open-addressing robin-hood
+// tables with canonical layout) and util::Arena (bump allocator backing the
+// columnar traceroute corpus). The property-based cross-check against
+// std::unordered_map lives in check/util_properties.cpp; these pin the
+// specific contracts the hot paths rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/flat_map.h"
+#include "util/flat_set.h"
+
+namespace {
+
+using netcong::util::Arena;
+using netcong::util::FlatMap;
+using netcong::util::FlatSet;
+
+TEST(FlatMap, BasicInsertLookupErase) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_EQ(m.find(7), m.end());
+
+  m[7] = 70;
+  m[9] = 90;
+  auto [it, fresh] = m.try_emplace(7, 999);
+  EXPECT_FALSE(fresh);  // existing key: value untouched
+  EXPECT_EQ(it->second, 70);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(9), 90);
+  EXPECT_EQ(m.count(9), 1u);
+  EXPECT_EQ(m.count(8), 0u);
+  EXPECT_THROW(m.at(8), std::out_of_range);
+
+  m.assign(9, 91);  // insert-or-assign overwrites
+  EXPECT_EQ(m.at(9), 91);
+  m.insert({11, 110});
+  EXPECT_EQ(m.at(11), 110);
+
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, GrowthKeepsEverything) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  constexpr std::uint64_t kN = 20000;
+  for (std::uint64_t i = 0; i < kN; ++i) m[i * 3 + 1] = i;
+  EXPECT_EQ(m.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    auto it = m.find(i * 3 + 1);
+    ASSERT_NE(it, m.end()) << "key " << i * 3 + 1;
+    EXPECT_EQ(it->second, i);
+  }
+  EXPECT_FALSE(m.contains(2));  // only ≡1 (mod 3) keys inserted
+}
+
+TEST(FlatMap, CanonicalLayoutIsInsertionOrderIndependent) {
+  // Same key set in forward, reverse, and interleaved order: the physical
+  // layout — and therefore iteration order — must come out identical. This
+  // is what makes concurrent cache fills reproducible.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    keys.push_back(netcong::util::splitmix64(i));
+  }
+  FlatMap<std::uint64_t, int> fwd, rev, mix;
+  for (std::size_t i = 0; i < keys.size(); ++i) fwd[keys[i]] = 1;
+  for (std::size_t i = keys.size(); i-- > 0;) rev[keys[i]] = 1;
+  for (std::size_t i = 0; i < keys.size(); i += 2) mix[keys[i]] = 1;
+  for (std::size_t i = 1; i < keys.size(); i += 2) mix[keys[i]] = 1;
+
+  ASSERT_EQ(fwd.capacity(), rev.capacity());
+  ASSERT_EQ(fwd.capacity(), mix.capacity());
+  auto a = fwd.begin(), b = rev.begin(), c = mix.begin();
+  for (; a != fwd.end(); ++a, ++b, ++c) {
+    EXPECT_EQ(a->first, b->first);
+    EXPECT_EQ(a->first, c->first);
+  }
+  EXPECT_EQ(b, rev.end());
+  EXPECT_EQ(c, mix.end());
+}
+
+TEST(FlatMap, EraseBackwardShiftPreservesResidents) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  constexpr std::uint64_t kN = 5000;
+  for (std::uint64_t i = 0; i < kN; ++i) m[i] = i * 10;
+  for (std::uint64_t i = 0; i < kN; i += 2) EXPECT_EQ(m.erase(i), 1u);
+  EXPECT_EQ(m.size(), kN / 2);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_FALSE(m.contains(i));
+    } else {
+      ASSERT_TRUE(m.contains(i));
+      EXPECT_EQ(m.at(i), i * 10);
+    }
+  }
+  // Erase-and-refill at the same keys: table stays consistent (no
+  // tombstone accumulation to degrade probing).
+  for (std::uint64_t i = 0; i < kN; i += 2) m[i] = i;
+  EXPECT_EQ(m.size(), kN);
+  for (std::uint64_t i = 0; i < kN; i += 2) EXPECT_EQ(m.at(i), i);
+}
+
+TEST(FlatMap, IteratorEraseDrainsTable) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t i = 0; i < 200; ++i) m[i] = 1;
+  std::size_t seen = 0;
+  for (auto it = m.begin(); it != m.end();) {
+    it = m.erase(it);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 200u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, EqualityIsLayoutIndependent) {
+  FlatMap<std::uint64_t, int> a, b;
+  for (std::uint64_t i = 0; i < 500; ++i) a[i] = static_cast<int>(i);
+  b.reserve(4096);  // different capacity, same contents
+  for (std::uint64_t i = 500; i-- > 0;) b[i] = static_cast<int>(i);
+  EXPECT_EQ(a, b);
+  b[123] = -1;
+  EXPECT_NE(a, b);
+  b[123] = 123;
+  b[9999] = 0;
+  EXPECT_NE(a, b);  // extra key
+}
+
+TEST(FlatMap, ResidentKeyAccessNeverRehashes) {
+  // Access to a key already in the table must not grow it, even at the
+  // load-factor threshold — callers hold mapped references while touching
+  // other resident keys (e.g. the tracer-busy table in measure::run).
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t i = 0; i < 12; ++i) m[i] = static_cast<int>(i);
+  ASSERT_EQ(m.capacity(), 16u);  // 12/16 = load 0.75: next insert grows
+  int* ref = &m[5];
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      EXPECT_EQ(m[i], static_cast<int>(i));
+    }
+  }
+  EXPECT_EQ(m.capacity(), 16u);
+  EXPECT_EQ(ref, &m[5]);
+  m[12] = 12;  // a genuinely fresh key does grow
+  EXPECT_GT(m.capacity(), 16u);
+}
+
+TEST(FlatMap, StringKeys) {
+  FlatMap<std::string, int> m;
+  m["comcast"] = 1;
+  m["verizon"] = 2;
+  m[""] = 3;
+  EXPECT_EQ(m.at("comcast"), 1);
+  EXPECT_EQ(m.at(""), 3);
+  EXPECT_FALSE(m.contains("cox"));
+  EXPECT_EQ(m.erase("verizon"), 1u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet<std::uint32_t> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(42).second);
+  EXPECT_FALSE(s.insert(42).second);  // duplicate
+  s.insert(7);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_EQ(s.count(7), 1u);
+  EXPECT_FALSE(s.contains(8));
+  EXPECT_EQ(s.erase(42), 1u);
+  EXPECT_EQ(s.erase(42), 0u);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v : s) out.push_back(v);
+  EXPECT_EQ(out, std::vector<std::uint32_t>{7});
+}
+
+TEST(Arena, AlignmentForEveryPowerOfTwo) {
+  Arena arena(128);  // tiny chunks force mid-test chunk rollover
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t align = 1; align <= Arena::kMaxAlign; align <<= 1) {
+      void* p = arena.allocate(align + 3, align);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "align " << align << " round " << round;
+    }
+  }
+}
+
+TEST(Arena, AppendReturnsStableCopies) {
+  Arena arena(256);
+  std::vector<const std::uint64_t*> spans;
+  std::vector<std::vector<std::uint64_t>> expect;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    std::vector<std::uint64_t> src(i % 17, i);
+    spans.push_back(arena.append(src.data(), src.size()));
+    expect.push_back(std::move(src));
+  }
+  // Earlier spans stay intact while later appends roll new chunks.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = 0; j < expect[i].size(); ++j) {
+      EXPECT_EQ(spans[i][j], expect[i][j]) << "span " << i;
+    }
+  }
+}
+
+TEST(Arena, BytesAccountingAndReset) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  arena.alloc_array<std::uint32_t>(100);
+  EXPECT_GE(arena.bytes_used(), 400u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+  std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_LE(arena.bytes_reserved(), reserved);  // keeps at most one chunk
+  // The recycled arena allocates into the retained chunk.
+  void* p = arena.allocate(64, 8);
+  EXPECT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_used(), 64u);
+}
+
+TEST(Arena, OversizedAllocationGetsOwnChunk) {
+  Arena arena(64);
+  auto* big = arena.alloc_array<std::uint8_t>(1u << 20);  // 1 MiB > chunk
+  big[0] = 1;
+  big[(1u << 20) - 1] = 2;
+  EXPECT_EQ(big[0], 1);
+  EXPECT_EQ(big[(1u << 20) - 1], 2);
+  EXPECT_GE(arena.bytes_reserved(), 1u << 20);
+  auto* zero = arena.append<std::uint16_t>(nullptr, 0);  // empty append ok
+  EXPECT_NE(zero, nullptr);
+}
+
+}  // namespace

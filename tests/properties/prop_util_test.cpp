@@ -1,0 +1,53 @@
+// Gtest wrapper for the "util" property family (container/differential
+// properties over the dependency-free utility layer, e.g. FlatMap vs
+// std::unordered_map on random op sequences). Each registered property
+// becomes one parameterized test case, so a failure surfaces with the
+// shrunk counterexample and its NETCONG_PBT_SEED repro line in the gtest
+// output.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+
+namespace netcong::check {
+namespace {
+
+std::vector<const Property*> family_properties(const char* family) {
+  std::vector<const Property*> out;
+  for (const Property& p : all_properties()) {
+    if (p.family == family) out.push_back(&p);
+  }
+  return out;
+}
+
+class UtilProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(UtilProperty, Holds) {
+  util::pbt::Config cfg;
+  cfg.iterations = 0;  // the property's bounded default budget
+  util::pbt::CheckResult result = run_property(*GetParam(), cfg);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+std::string test_name(const ::testing::TestParamInfo<const Property*>& info) {
+  std::string name = info.param->name;
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, UtilProperty,
+                         ::testing::ValuesIn(family_properties("util")),
+                         test_name);
+
+TEST(UtilFamily, FlatMapDifferentialIsRegistered) {
+  bool found = false;
+  for (const Property* p : family_properties("util")) {
+    if (std::string(p->name) == "util.flat_map_vs_std") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace netcong::check

@@ -8,6 +8,7 @@
 // the aggregator needs no JSON parser — it only validates non-emptiness.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -49,6 +50,16 @@ std::string trimmed(std::string s) {
     s.pop_back();
   }
   return s;
+}
+
+// Top-level "peak_rss_mb" of a bench payload (every BenchRecorder emits
+// one), or a negative value when absent. A targeted string scan keeps the
+// aggregator parser-free.
+double peak_rss_of(const std::string& body) {
+  const std::string key = "\"peak_rss_mb\":";
+  std::size_t pos = body.rfind(key);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(body.c_str() + pos + key.size(), nullptr);
 }
 
 }  // namespace
@@ -109,9 +120,28 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    \"%s\": %s%s\n", label.c_str(), indented.c_str(),
                  ++i < benches.size() ? "," : "");
   }
+  std::fprintf(f, "  },\n");
+  // Memory summary across all benches: each run's peak RSS side by side,
+  // so a perf trajectory tracks footprint next to wall time.
+  std::fprintf(f, "  \"peak_rss_mb\": {\n");
+  i = 0;
+  for (const auto& [label, body] : benches) {
+    double rss = peak_rss_of(body);
+    if (rss >= 0.0) {
+      std::fprintf(f, "    \"%s\": %.3f%s\n", label.c_str(), rss,
+                   ++i < benches.size() ? "," : "");
+    } else {
+      std::fprintf(f, "    \"%s\": null%s\n", label.c_str(),
+                   ++i < benches.size() ? "," : "");
+    }
+  }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s (%zu benches)\n", out_path.string().c_str(),
               benches.size());
+  for (const auto& [label, body] : benches) {
+    double rss = peak_rss_of(body);
+    if (rss >= 0.0) std::printf("  %-20s peak rss %8.1f MiB\n", label.c_str(), rss);
+  }
   return 0;
 }

@@ -6,6 +6,9 @@
 // text and the dispatch both come from the kSubcommands registry below, so
 // a new subcommand is one table entry plus its cmd_* function.
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -15,6 +18,7 @@
 
 #include "core/coverage.h"
 #include "core/diurnal.h"
+#include "measure/corpus.h"
 #include "gen/workload.h"
 #include "gen/world.h"
 #include "infer/alias.h"
@@ -407,6 +411,64 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_scale(const Args& args) {
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+
+  // Fixed-size synthetic schedule (round-robin clients, constant arrival
+  // rate) so tests/sec is comparable across runs and machines.
+  std::size_t n = static_cast<std::size_t>(args.get_int("tests", 20000));
+  std::vector<gen::TestRequest> schedule;
+  schedule.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gen::TestRequest req;
+    req.client = world.clients[i % world.clients.size()];
+    req.utc_time_hours = static_cast<double>(i) / 5000.0;
+    schedule.push_back(req);
+  }
+
+  measure::CampaignConfig cc;
+  cc.threads = args.get_int("threads", 0);
+  route::PathCache path_cache(fwd);
+  measure::NdtCampaign campaign(world, fwd, model, mlab, cc);
+  campaign.set_path_cache(&path_cache);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) + 1);
+
+  auto peak_rss_mb = [] {
+    struct rusage ru {};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB -> MiB
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  std::size_t tests = 0, traceroutes = 0, paths = 0;
+  if (args.has("classic")) {
+    measure::CampaignResult result = campaign.run(schedule, rng);
+    tests = result.tests.size();
+    traceroutes = result.traceroutes.size();
+  } else {
+    measure::ColumnarCampaignResult result =
+        campaign.run_columnar(schedule, rng);
+    tests = result.tests.size();
+    traceroutes = result.traceroutes.size();
+    paths = result.paths.size();
+  }
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+  std::printf("engine: %s\n", args.has("classic") ? "classic" : "columnar");
+  std::printf("tests: %zu  traceroutes: %zu", tests, traceroutes);
+  if (paths != 0) std::printf("  paths interned: %zu", paths);
+  std::printf("\n");
+  std::printf("wall: %.2f s  tests/sec: %.0f  peak rss: %.1f MiB\n", wall_s,
+              static_cast<double>(tests) / wall_s, peak_rss_mb());
+  return 0;
+}
+
 // The subcommand registry: the one place a subcommand is declared. Both
 // the usage text and main()'s dispatch are generated from this table.
 struct Subcommand {
@@ -426,6 +488,8 @@ constexpr Subcommand kSubcommands[] = {
      "--source NAME --isp NAME --days N", &cmd_diurnal},
     {"faults", "run clean vs faulted campaigns and report data quality",
      "--list | --severity X --days N --out DIR --no-truth", &cmd_faults},
+    {"scale", "columnar-engine scaling probe: tests/sec and peak RSS",
+     "--tests N --threads N --classic", &cmd_scale},
     {"stats", "run an instrumented campaign; print/export metrics and traces",
      "--days N --tests-per-client X --out DIR", &cmd_stats},
 };

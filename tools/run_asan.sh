@@ -14,8 +14,10 @@ BUILD=build-asan
 cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=address "$@"
 cmake --build "$BUILD" -j "$(nproc)"
 # asan-labeled tests plus the obs suite (ring-buffer indexing and slab
-# pooling are the kind of code ASan exists for) and the property families
-# (randomized worlds through every layer), at a reduced iteration budget so
+# pooling are the kind of code ASan exists for), the property families
+# (randomized worlds through every layer), and the bench_scale smoke (the
+# arena/columnar corpus under memory checking) — all at reduced budgets so
 # the instrumented run stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
-  ctest --test-dir "$BUILD" -L 'asan|obs|pbt' --output-on-failure
+NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
+  ctest --test-dir "$BUILD" -L 'asan|obs|pbt|bench' --output-on-failure

@@ -13,8 +13,10 @@ BUILD=build-tsan
 cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=thread "$@"
 cmake --build "$BUILD" -j "$(nproc)"
 # tsan-labeled tests plus the obs suite (its lock-free slabs/rings are
-# exactly the code a race checker should see) and the property families,
-# whose differential-determinism harness runs the campaign across thread
-# counts — at a reduced iteration budget so the instrumented run stays fast.
+# exactly the code a race checker should see), the property families, whose
+# differential-determinism harness runs the campaign across thread counts,
+# and the bench_scale smoke (the block-sharded columnar trace builder under
+# race checking) — at reduced budgets so the instrumented run stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
-  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt' --output-on-failure
+NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
+  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt|bench' --output-on-failure
