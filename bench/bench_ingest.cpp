@@ -1,0 +1,189 @@
+// Ingest-service throughput bench (ROADMAP item 2, always-on service): a
+// synthetic campaign is flattened into an arrival-ordered event log, then
+// replayed through serve::IngestService as fast as the queues accept it,
+// with periodic snapshots taken mid-stream. Reports sustained events/sec,
+// snapshot staleness percentiles (p50/p99 of the quiesce+drain+merge+infer
+// wall time — the age of the freshest data a snapshot can contain), and
+// peak RSS before/after the replay into BENCH_ingest.json.
+//
+// The RSS delta matters as much as the rate: the service owns bounded
+// queues plus evidence stores that grow with *distinct* interfaces and hop
+// pairs, not with event count, so replaying a larger log must not grow the
+// footprint proportionally.
+//
+// Scale selection:
+//   NETCONG_BENCH_SCALE=tiny   -> 1k-AS world, 10k tests (CI smoke)
+//   NETCONG_BENCH_SCALE=small  -> 10k-AS world, 100k tests
+//   default                    -> 10k-AS world, 1M tests
+// NETCONG_INGEST_EVENTS=<n> overrides the scheduled test count.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "gen/workload.h"
+#include "measure/corpus.h"
+#include "serve/event.h"
+#include "serve/service.h"
+
+namespace {
+
+// Fixed-rate synthetic schedule as in bench_scale: exactly `n` requests,
+// round-robin over the client population.
+std::vector<netcong::gen::TestRequest> synthetic_schedule(
+    const std::vector<std::uint32_t>& clients, std::size_t n) {
+  constexpr double kTestsPerHour = 5000.0;
+  std::vector<netcong::gen::TestRequest> schedule;
+  schedule.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    netcong::gen::TestRequest req;
+    req.client = clients[i % clients.size()];
+    req.utc_time_hours = static_cast<double>(i) / kTestsPerHour;
+    schedule.push_back(req);
+  }
+  return schedule;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace netcong;
+
+  bench::print_header("BENCH ingest",
+                      "always-on ingest service: events/sec and snapshot "
+                      "staleness");
+
+  double customer_scale = 1.76;  // ~10k ASes, as in bench_scale's 10k point
+  std::size_t tests = 1'000'000;
+  const char* preset = std::getenv("NETCONG_BENCH_SCALE");
+  if (preset && std::strcmp(preset, "tiny") == 0) {
+    customer_scale = 0.17;  // ~1k ASes
+    tests = 10'000;
+  } else if (preset && std::strcmp(preset, "small") == 0) {
+    tests = 100'000;
+  }
+  if (const char* n = std::getenv("NETCONG_INGEST_EVENTS")) {
+    unsigned long long parsed = std::strtoull(n, nullptr, 10);
+    if (parsed > 0) tests = static_cast<std::size_t>(parsed);
+  }
+
+  gen::GeneratorConfig cfg = gen::GeneratorConfig::full();
+  cfg.seed = 20150501;
+  cfg.customer_scale = customer_scale;
+  cfg.clients_per_access_isp = 400;
+
+  bench::BenchRecorder rec("ingest");
+
+  bench::Stopwatch sw_world;
+  bench::Context ctx(cfg);
+  rec.record("world_build", sw_world.elapsed_ms());
+  rec.stat("world_build", "ases",
+           static_cast<double>(ctx.world.topo->as_count()));
+
+  // The campaign is bench setup, not the measured system: generate with the
+  // columnar engine (cheapest at 1M tests) and flatten to the event log.
+  measure::Platform mlab = ctx.mlab_platform();
+  auto schedule = synthetic_schedule(ctx.world.clients, tests);
+  measure::NdtCampaign campaign(ctx.world, ctx.fwd, ctx.model, mlab,
+                                measure::CampaignConfig{});
+  campaign.set_path_cache(&ctx.path_cache);
+  util::Rng rng(7);
+  bench::Stopwatch sw_log;
+  std::vector<serve::IngestEvent> log =
+      serve::event_log_from(campaign.run_columnar(schedule, rng));
+  rec.record("event_log_build", sw_log.elapsed_ms());
+  rec.stat("event_log_build", "events", static_cast<double>(log.size()));
+  const double rss_before_mb = bench::peak_rss_mb();
+
+  infer::AliasResolver aliases(*ctx.world.topo, 0.9, cfg.seed);
+  serve::ServeConfig scfg;
+  scfg.shards = 0;  // one worker per hardware thread
+  scfg.queue_capacity = 4096;
+  scfg.policy = serve::OverflowPolicy::kBlock;
+  if (!ctx.world.ark_vps.empty()) {
+    scfg.vp_as = ctx.world.topo->host(ctx.world.ark_vps[0]).asn;
+  }
+  serve::IngestService svc(ctx.ip2as, ctx.orgs, scfg);
+  svc.set_relationships(&ctx.world.topo->relationships(), &aliases);
+  svc.start();
+
+  // Replay unpaced with 8 snapshots spread through the stream. The wall
+  // clock covers the whole replay including snapshots — this is the
+  // sustained rate a live deployment would see, not a queues-only figure.
+  constexpr std::size_t kSnapshots = 8;
+  const std::size_t stride = log.size() / kSnapshots + 1;
+  std::vector<double> staleness_ms;
+  serve::ServiceSnapshot last;
+  bench::Stopwatch sw_replay;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    svc.submit(log[i]);
+    if ((i + 1) % stride == 0) {
+      last = svc.snapshot();
+      staleness_ms.push_back(last.snapshot_ms);
+    }
+  }
+  last = svc.snapshot();
+  staleness_ms.push_back(last.snapshot_ms);
+  const double replay_ms = sw_replay.elapsed_ms();
+  serve::ServiceCounters counters = svc.counters();
+  svc.stop();
+
+  std::sort(staleness_ms.begin(), staleness_ms.end());
+  const double events_per_sec =
+      1000.0 * static_cast<double>(counters.consumed) / replay_ms;
+  const double p50 = percentile(staleness_ms, 0.50);
+  const double p99 = percentile(staleness_ms, 0.99);
+  const double rss_after_mb = bench::peak_rss_mb();
+
+  rec.record("replay", replay_ms);
+  rec.stat("replay", "events", static_cast<double>(counters.consumed));
+  rec.stat("replay", "dropped", static_cast<double>(counters.dropped));
+  rec.stat("replay", "shards", static_cast<double>(svc.shards()));
+  rec.stat("replay", "snapshots", static_cast<double>(staleness_ms.size()));
+  rec.stat("replay", "events_per_sec", events_per_sec);
+  rec.stat("replay", "staleness_p50_ms", p50);
+  rec.stat("replay", "staleness_p99_ms", p99);
+  rec.stat("replay", "rss_before_mb", rss_before_mb);
+  rec.stat("replay", "ingest_rss_delta_mb", rss_after_mb - rss_before_mb);
+  rec.stat("replay", "peak_rss_mb", rss_after_mb);
+  rec.stat("replay", "interfaces_assigned",
+           static_cast<double>(last.mapit.operating_as.size()));
+  rec.stat("replay", "crossings",
+           static_cast<double>(last.mapit.crossings.size()));
+  rec.stat("replay", "borders",
+           last.borders ? static_cast<double>(last.borders->borders.size())
+                        : 0.0);
+
+  std::printf("events: %llu (%llu dropped)  shards: %zu\n",
+              static_cast<unsigned long long>(counters.consumed),
+              static_cast<unsigned long long>(counters.dropped),
+              svc.shards());
+  std::printf("replay: %.1f ms  events/sec: %.0f\n", replay_ms,
+              events_per_sec);
+  std::printf("staleness: p50 %.2f ms  p99 %.2f ms  (%zu snapshots)\n", p50,
+              p99, staleness_ms.size());
+  std::printf("rss: %.1f MiB before ingest, %.1f MiB peak (+%.1f)\n",
+              rss_before_mb, rss_after_mb, rss_after_mb - rss_before_mb);
+  std::printf("final snapshot: %zu interfaces, %zu crossings, %zu borders, "
+              "fingerprint %016llx\n",
+              last.mapit.operating_as.size(), last.mapit.crossings.size(),
+              last.borders ? last.borders->borders.size() : 0,
+              static_cast<unsigned long long>(last.fingerprint));
+  bench::print_footnote(
+      "staleness = wall time of snapshot() (quiesce + drain + merge + "
+      "infer): the age of the freshest event a snapshot can reflect.");
+
+  rec.write();
+  return 0;
+}

@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "check/fixtures.h"
+#include "check/properties.h"
+#include "infer/alias.h"
+#include "infer/bdrmap.h"
+#include "infer/datasets.h"
+#include "infer/mapit.h"
+#include "measure/ndt.h"
+#include "serve/event.h"
+#include "serve/ndt_stats.h"
+#include "serve/service.h"
+#include "util/strings.h"
+
+// The ingest family (DESIGN.md §11): the always-on service's snapshots must
+// be bit-identical to a batch run over the same event-log prefix — for any
+// producer interleaving and any shard count — and its queue accounting must
+// conserve events under both overflow policies.
+
+namespace netcong::check {
+namespace {
+
+using gen::GeneratorConfig;
+using util::format;
+
+// The batch reference: feed the first `prefix` events of the log through
+// run_mapit / borders_from_mapit / NdtStreamStats directly, with no queues
+// or threads involved, and digest the result exactly as snapshot() does.
+serve::ServiceSnapshot batch_snapshot(
+    const std::vector<serve::IngestEvent>& log, std::size_t prefix,
+    const infer::Ip2As& ip2as, const infer::OrgMap& orgs, topo::Asn vp_as,
+    const topo::RelationshipTable* rels, const infer::AliasResolver* aliases,
+    const infer::MapItConfig& mapit_cfg) {
+  std::vector<measure::TracerouteRecord> traces;
+  serve::ServiceSnapshot snap;
+  for (std::size_t i = 0; i < prefix && i < log.size(); ++i) {
+    if (const auto* t = std::get_if<measure::NdtRecord>(&log[i])) {
+      snap.ndt.add(*t);
+    } else {
+      traces.push_back(std::get<measure::TracerouteRecord>(log[i]));
+    }
+  }
+  snap.events_consumed = std::min(prefix, log.size());
+  snap.ndt_tests = snap.ndt.tests();
+  snap.mapit = infer::run_mapit(traces, ip2as, orgs, mapit_cfg);
+  snap.traces = snap.mapit.coverage.traces_total;
+  if (rels != nullptr && aliases != nullptr) {
+    snap.borders =
+        infer::borders_from_mapit(snap.mapit, vp_as, orgs, *rels, *aliases);
+  }
+  snap.fingerprint = serve::snapshot_fingerprint(snap);
+  return snap;
+}
+
+std::string check_snapshot_equals_batch(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  const topo::Topology& t = *s.world.topo;
+  infer::Ip2As ip2as(t);
+  infer::OrgMap orgs(t);
+  infer::AliasResolver aliases(t, 0.9, cfg.seed);
+
+  auto schedule = dense_schedule(s.world, 2);
+  measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab,
+                                measure::CampaignConfig{});
+  util::Rng rng(cfg.seed ^ 0x16e57ull);
+  auto log = serve::event_log_from(campaign.run(schedule, rng));
+
+  // The columnar engine must derive the identical event log (same events,
+  // same order, same bytes) — replay sources are interchangeable.
+  util::Rng rng2(cfg.seed ^ 0x16e57ull);
+  auto log_col = serve::event_log_from(campaign.run_columnar(schedule, rng2));
+  if (serve::fingerprint(log, log.size()) !=
+      serve::fingerprint(log_col, log_col.size())) {
+    return "classic and columnar campaigns derived different event logs";
+  }
+
+  topo::Asn vp_as =
+      s.world.ark_vps.empty() ? 0 : t.host(s.world.ark_vps[0]).asn;
+  bool with_borders = !s.world.ark_vps.empty();
+
+  util::Rng pick(cfg.seed ^ 0x9e1ec7ull);
+  std::size_t prefix = static_cast<std::size_t>(
+      pick.uniform_int(0, static_cast<std::int64_t>(log.size())));
+
+  serve::ServiceSnapshot batch = batch_snapshot(
+      log, prefix, ip2as, orgs, vp_as,
+      with_borders ? &t.relationships() : nullptr,
+      with_borders ? &aliases : nullptr, infer::MapItConfig{});
+
+  const std::size_t shard_counts[] = {1, 2, 0};  // 0 = hardware threads
+  for (std::size_t shards : shard_counts) {
+    serve::ServeConfig scfg;
+    scfg.shards = shards;
+    scfg.queue_capacity = 64;  // small enough that kBlock engages
+    scfg.policy = serve::OverflowPolicy::kBlock;
+    scfg.vp_as = vp_as;
+    serve::IngestService svc(ip2as, orgs, scfg);
+    if (with_borders) svc.set_relationships(&t.relationships(), &aliases);
+    svc.start();
+
+    // A fresh random submission interleaving per shard count: the snapshot
+    // must not depend on producer order, only on the event set.
+    std::vector<std::size_t> order(prefix);
+    for (std::size_t i = 0; i < prefix; ++i) order[i] = i;
+    util::Rng shuffle = pick.fork(shards + 1);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          shuffle.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    for (std::size_t idx : order) {
+      if (!svc.submit(log[idx])) {
+        return format("shards=%zu: kBlock submit rejected event %zu", shards,
+                      idx);
+      }
+    }
+
+    serve::ServiceSnapshot snap = svc.snapshot();
+    if (snap.fingerprint != batch.fingerprint) {
+      return format("shards=%zu prefix=%zu/%zu: snapshot fingerprint "
+                    "%016llx != batch %016llx",
+                    shards, prefix, log.size(),
+                    static_cast<unsigned long long>(snap.fingerprint),
+                    static_cast<unsigned long long>(batch.fingerprint));
+    }
+    // A second snapshot with no new events is the same snapshot.
+    serve::ServiceSnapshot again = svc.snapshot();
+    if (again.fingerprint != snap.fingerprint) {
+      return format("shards=%zu: back-to-back snapshots differ", shards);
+    }
+    svc.stop();
+  }
+  return "";
+}
+
+std::string check_drop_policy_accounting(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  infer::Ip2As ip2as(*s.world.topo);
+  infer::OrgMap orgs(*s.world.topo);
+
+  auto schedule = dense_schedule(s.world, 2);
+  measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab,
+                                measure::CampaignConfig{});
+  util::Rng rng(cfg.seed ^ 0xacc7ull);
+  auto log = serve::event_log_from(campaign.run(schedule, rng));
+  if (log.empty()) return "";
+
+  const serve::OverflowPolicy policies[] = {serve::OverflowPolicy::kBlock,
+                                            serve::OverflowPolicy::kDrop};
+  for (serve::OverflowPolicy policy : policies) {
+    serve::ServeConfig scfg;
+    scfg.shards = 2;
+    // A tiny queue plus a slowed consumer makes overflow certain under
+    // kDrop and backpressure certain under kBlock.
+    scfg.queue_capacity = 2;
+    scfg.consume_delay_us = 20;
+    scfg.policy = policy;
+    serve::IngestService svc(ip2as, orgs, scfg);
+    svc.start();
+
+    std::uint64_t accepted = 0;
+    for (const auto& ev : log) {
+      if (svc.submit(ev)) ++accepted;
+    }
+    svc.flush();
+
+    serve::ServiceCounters c = svc.counters();
+    const char* pname = serve::overflow_policy_name(policy);
+    if (c.submitted != log.size()) {
+      return format("%s: submitted %llu != %zu events", pname,
+                    static_cast<unsigned long long>(c.submitted), log.size());
+    }
+    if (c.enqueued != accepted) {
+      return format("%s: enqueued %llu != %llu accepted submits", pname,
+                    static_cast<unsigned long long>(c.enqueued),
+                    static_cast<unsigned long long>(accepted));
+    }
+    if (c.submitted != c.enqueued + c.dropped) {
+      return format("%s: submitted %llu != enqueued %llu + dropped %llu",
+                    pname, static_cast<unsigned long long>(c.submitted),
+                    static_cast<unsigned long long>(c.enqueued),
+                    static_cast<unsigned long long>(c.dropped));
+    }
+    if (c.consumed != c.enqueued) {
+      return format("%s: after flush, consumed %llu != enqueued %llu", pname,
+                    static_cast<unsigned long long>(c.consumed),
+                    static_cast<unsigned long long>(c.enqueued));
+    }
+    if (policy == serve::OverflowPolicy::kBlock && c.dropped != 0) {
+      return format("kBlock dropped %llu events",
+                    static_cast<unsigned long long>(c.dropped));
+    }
+    // The consumed prefix is what snapshots see: the snapshot's event count
+    // must equal the conserved enqueued count, not the submitted count.
+    serve::ServiceSnapshot snap = svc.snapshot();
+    if (snap.events_consumed != c.enqueued) {
+      return format("%s: snapshot covers %llu events, %llu were enqueued",
+                    pname,
+                    static_cast<unsigned long long>(snap.events_consumed),
+                    static_cast<unsigned long long>(c.enqueued));
+    }
+    svc.stop();
+  }
+  return "";
+}
+
+Property world_property(const char* name, const char* summary, int iters,
+                        std::string (*fn)(const GeneratorConfig&)) {
+  Property p;
+  p.name = name;
+  p.family = "ingest";
+  p.summary = summary;
+  p.default_iterations = iters;
+  std::string pname = p.name;
+  p.run = [pname, fn](util::pbt::Config cfg) {
+    return util::pbt::check<GeneratorConfig>(pname, config_domain(), fn, cfg);
+  };
+  return p;
+}
+
+}  // namespace
+
+void register_ingest_properties(std::vector<Property>& out) {
+  out.push_back(world_property(
+      "ingest.snapshot_equals_batch",
+      "service snapshot bit-identical to a batch run over the same event "
+      "prefix, for any interleaving and shard count",
+      3, check_snapshot_equals_batch));
+  out.push_back(world_property(
+      "ingest.drop_policy_accounting",
+      "submitted = enqueued + dropped under both overflow policies; flush "
+      "conserves the enqueued stream",
+      3, check_drop_policy_accounting));
+}
+
+}  // namespace netcong::check

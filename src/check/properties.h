@@ -12,7 +12,11 @@
 //           MAP-IT, bdrmap, matching, tomography, and threshold selection;
 //   diff  — differential determinism: one harness running the same campaign
 //           across worker counts, path-cache settings, fault severities, and
-//           instrumentation toggles, diffing full output fingerprints.
+//           instrumentation toggles, diffing full output fingerprints;
+//   ingest— serve-subsystem equivalence: incremental snapshots bit-identical
+//           to batch runs over the same event-log prefix for any producer
+//           interleaving and shard count, plus queue-accounting
+//           conservation under both overflow policies.
 //
 // Both `netcong_check` and the gtest wrappers in tests/properties/ drive
 // the same registry, so a seed printed by either reproduces in the other.
@@ -56,5 +60,6 @@ void register_gen_properties(std::vector<Property>& out);
 void register_meta_properties(std::vector<Property>& out);
 void register_diff_properties(std::vector<Property>& out);
 void register_util_properties(std::vector<Property>& out);
+void register_ingest_properties(std::vector<Property>& out);
 
 }  // namespace netcong::check

@@ -9,6 +9,7 @@ const std::vector<Property>& all_properties() {
     register_meta_properties(out);
     register_diff_properties(out);
     register_util_properties(out);
+    register_ingest_properties(out);
     return out;
   }();
   return props;

@@ -1,6 +1,7 @@
 #include "infer/bdrmap.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -64,16 +65,14 @@ double bdrmap_neighbor_recall(const BdrmapResult& inferred,
          static_cast<double>(reference.borders.size());
 }
 
-BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
-                        topo::Asn vp_as, const Ip2As& ip2as,
-                        const OrgMap& orgs,
-                        const topo::RelationshipTable& rels,
-                        const AliasResolver& aliases,
-                        const BdrmapConfig& config) {
+BdrmapResult borders_from_mapit(MapItResult mapit, topo::Asn vp_as,
+                                const OrgMap& orgs,
+                                const topo::RelationshipTable& rels,
+                                const AliasResolver& aliases) {
   obs::Span span("bdrmap.run");
   BdrmapResult result;
   result.vp_as = vp_as;
-  result.mapit = run_mapit(corpus, ip2as, orgs, config.mapit);
+  result.mapit = std::move(mapit);
 
   // Crossings out of the VP network's org, keyed by neighbor ASN.
   util::FlatMap<topo::Asn, BdrmapBorder> borders;
@@ -107,6 +106,16 @@ BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
   metrics.runs.inc();
   metrics.borders.inc(result.borders.size());
   return result;
+}
+
+BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
+                        topo::Asn vp_as, const Ip2As& ip2as,
+                        const OrgMap& orgs,
+                        const topo::RelationshipTable& rels,
+                        const AliasResolver& aliases,
+                        const BdrmapConfig& config) {
+  return borders_from_mapit(run_mapit(corpus, ip2as, orgs, config.mapit),
+                            vp_as, orgs, rels, aliases);
 }
 
 }  // namespace netcong::infer

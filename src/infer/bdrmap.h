@@ -59,6 +59,17 @@ struct BdrmapConfig {
   MapItConfig mapit;
 };
 
+// Border-extraction stage alone: crossings out of the VP's org in an
+// already-computed MAP-IT result are grouped by neighbor ASN, alias-resolved
+// and relationship-annotated. Takes the MapItResult by value (it becomes
+// the result's `mapit` member). Shared between the batch `run_bdrmap` and
+// the serve subsystem's incremental snapshots, so the two are equivalent by
+// construction.
+BdrmapResult borders_from_mapit(MapItResult mapit, topo::Asn vp_as,
+                                const OrgMap& orgs,
+                                const topo::RelationshipTable& rels,
+                                const AliasResolver& aliases);
+
 BdrmapResult run_bdrmap(const std::vector<measure::TracerouteRecord>& corpus,
                         topo::Asn vp_as, const Ip2As& ip2as,
                         const OrgMap& orgs,

@@ -1,0 +1,72 @@
+#include "infer/fingerprint.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "measure/fingerprint.h"
+
+namespace netcong::infer {
+
+namespace {
+
+void mix_coverage(measure::Fingerprint& fp, const CorpusCoverage& c) {
+  fp.mix(static_cast<std::uint64_t>(c.traces_total));
+  fp.mix(static_cast<std::uint64_t>(c.traces_used));
+  fp.mix(static_cast<std::uint64_t>(c.traces_unusable));
+  fp.mix(static_cast<std::uint64_t>(c.hops_total));
+  fp.mix(static_cast<std::uint64_t>(c.hops_responsive));
+}
+
+void mix_result(measure::Fingerprint& fp, const MapItResult& r) {
+  std::vector<std::pair<std::uint32_t, topo::Asn>> assignment;
+  assignment.reserve(r.operating_as.size());
+  for (const auto& [addr, asn] : r.operating_as) {
+    assignment.emplace_back(addr, asn);
+  }
+  std::sort(assignment.begin(), assignment.end());
+  fp.mix(static_cast<std::uint64_t>(assignment.size()));
+  for (const auto& [addr, asn] : assignment) {
+    fp.mix(static_cast<std::uint64_t>(addr));
+    fp.mix(static_cast<std::uint64_t>(asn));
+  }
+  fp.mix(static_cast<std::uint64_t>(r.crossings.size()));
+  for (const BorderCrossing& c : r.crossings) {
+    fp.mix(static_cast<std::uint64_t>(c.near_addr.value));
+    fp.mix(static_cast<std::uint64_t>(c.far_addr.value));
+    fp.mix(static_cast<std::uint64_t>(c.near_as));
+    fp.mix(static_cast<std::uint64_t>(c.far_as));
+    fp.mix(static_cast<std::uint64_t>(c.observations));
+  }
+  fp.mix(static_cast<std::uint64_t>(r.passes_run));
+  fp.mix(static_cast<std::uint64_t>(r.reassignments));
+  mix_coverage(fp, r.coverage);
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const MapItResult& result) {
+  measure::Fingerprint fp;
+  mix_result(fp, result);
+  return fp.value();
+}
+
+std::uint64_t fingerprint(const BdrmapResult& result) {
+  measure::Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(result.vp_as));
+  fp.mix(static_cast<std::uint64_t>(result.borders.size()));
+  for (const BdrmapBorder& b : result.borders) {
+    fp.mix(static_cast<std::uint64_t>(b.neighbor));
+    fp.mix(static_cast<std::uint64_t>(b.rel));
+    fp.mix(static_cast<std::uint64_t>(b.far_ifaces.size()));
+    for (topo::IpAddr a : b.far_ifaces) {
+      fp.mix(static_cast<std::uint64_t>(a.value));
+    }
+    fp.mix(static_cast<std::uint64_t>(b.far_routers.size()));
+    for (std::uint64_t r : b.far_routers) fp.mix(r);
+  }
+  mix_result(fp, result.mapit);
+  return fp.value();
+}
+
+}  // namespace netcong::infer

@@ -1,0 +1,24 @@
+#pragma once
+
+// Order-insensitive-input, canonical-output 64-bit fingerprints of inference
+// results, extending measure/fingerprint to the MAP-IT / bdrmap layer. One
+// number stands in for "these two inferences are bit-identical", which is
+// how the serve subsystem's snapshot-equals-batch obligation (DESIGN.md §11)
+// and the ingest.* properties compare an incremental snapshot against a
+// batch run over the same event prefix.
+//
+// The operating-AS table is mixed in ascending address order (an explicit
+// sort, not container iteration order), so the fingerprint is well-defined
+// independent of how the table was populated.
+
+#include <cstdint>
+
+#include "infer/bdrmap.h"
+#include "infer/mapit.h"
+
+namespace netcong::infer {
+
+std::uint64_t fingerprint(const MapItResult& result);
+std::uint64_t fingerprint(const BdrmapResult& result);
+
+}  // namespace netcong::infer

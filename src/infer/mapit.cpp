@@ -33,13 +33,12 @@ std::vector<std::uint32_t> mate_candidates(std::uint32_t v) {
   return out;
 }
 
-struct IfaceInfo {
-  topo::Asn origin = 0;
-  bool ixp = false;
-  int observations = 0;
-  // Votes keyed by ASN.
-  util::FlatMap<topo::Asn, int> succ_votes;
-  util::FlatMap<topo::Asn, int> pred_votes;
+// Per-interface adjacency votes, keyed by ASN. Derived from the evidence
+// tables at inference time: votes depend only on static BGP origins and
+// hop-pair counts, so they need not be maintained incrementally.
+struct Votes {
+  util::FlatMap<topo::Asn, int> succ;
+  util::FlatMap<topo::Asn, int> pred;
 };
 
 topo::Asn majority_as(const util::FlatMap<topo::Asn, int>& votes,
@@ -55,61 +54,67 @@ topo::Asn majority_as(const util::FlatMap<topo::Asn, int>& votes,
 
 }  // namespace
 
-MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
-                      const Ip2As& ip2as, const OrgMap& orgs,
-                      const MapItConfig& config) {
-  obs::Span span("mapit.run");
-  MapItResult result;
-
-  // ---- collate the corpus: adjacency counts per interface ----
-  util::FlatMap<std::uint32_t, IfaceInfo> ifaces;
-  // Observed consecutive hop pairs with counts.
-  util::FlatMap<std::uint64_t, int> hop_pairs;
-
-  auto note_iface = [&](topo::IpAddr a) -> IfaceInfo& {
-    auto [it, fresh] = ifaces.try_emplace(a.value);
+void MapItEvidence::add(const measure::TracerouteRecord& trace,
+                        const Ip2As& ip2as) {
+  ++coverage_.traces_total;
+  topo::IpAddr prev;
+  bool have_prev = false;
+  bool used = false;
+  for (const auto& hop : trace.hops) {
+    ++coverage_.hops_total;
+    if (!hop.responded) {
+      have_prev = false;  // a star breaks adjacency evidence
+      continue;
+    }
+    ++coverage_.hops_responsive;
+    auto [it, fresh] = ifaces_.try_emplace(hop.addr.value);
     if (fresh) {
-      auto r = ip2as.lookup(a);
+      auto r = ip2as.lookup(hop.addr);
       it->second.origin = r.kind == Ip2As::Kind::kAs ? r.asn : 0;
       it->second.ixp = r.kind == Ip2As::Kind::kIxp;
     }
     it->second.observations++;
-    return it->second;
-  };
-
-  result.coverage.traces_total = corpus.size();
-  for (const auto& tr : corpus) {
-    topo::IpAddr prev;
-    bool have_prev = false;
-    bool used = false;
-    for (const auto& hop : tr.hops) {
-      ++result.coverage.hops_total;
-      if (!hop.responded) {
-        have_prev = false;  // a star breaks adjacency evidence
-        continue;
-      }
-      ++result.coverage.hops_responsive;
-      note_iface(hop.addr);
-      if (have_prev && prev != hop.addr) {
-        std::uint64_t key =
-            (static_cast<std::uint64_t>(prev.value) << 32) | hop.addr.value;
-        hop_pairs[key]++;
-        used = true;
-      }
-      prev = hop.addr;
-      have_prev = true;
+    if (have_prev && prev != hop.addr) {
+      std::uint64_t key =
+          (static_cast<std::uint64_t>(prev.value) << 32) | hop.addr.value;
+      hop_pairs_[key]++;
+      used = true;
     }
-    if (used) {
-      ++result.coverage.traces_used;
-    } else {
-      ++result.coverage.traces_unusable;
-    }
+    prev = hop.addr;
+    have_prev = true;
   }
+  if (used) {
+    ++coverage_.traces_used;
+  } else {
+    ++coverage_.traces_unusable;
+  }
+}
+
+void MapItEvidence::merge(const MapItEvidence& other) {
+  for (const auto& [addr, info] : other.ifaces_) {
+    auto [it, fresh] = ifaces_.try_emplace(addr, info);
+    if (!fresh) it->second.observations += info.observations;
+  }
+  for (const auto& [key, count] : other.hop_pairs_) {
+    hop_pairs_[key] += count;
+  }
+  coverage_.traces_total += other.coverage_.traces_total;
+  coverage_.traces_used += other.coverage_.traces_used;
+  coverage_.traces_unusable += other.coverage_.traces_unusable;
+  coverage_.hops_total += other.coverage_.hops_total;
+  coverage_.hops_responsive += other.coverage_.hops_responsive;
+}
+
+MapItResult MapItEvidence::infer(const Ip2As& ip2as, const OrgMap& orgs,
+                                 const MapItConfig& config) const {
+  obs::Span span("mapit.run");
+  MapItResult result;
+  result.coverage = coverage_;
 
   // ---- initial operating-AS assignment ----
   util::FlatMap<std::uint32_t, topo::Asn> op;
-  op.reserve(ifaces.size());
-  for (const auto& [addr, info] : ifaces) {
+  op.reserve(ifaces_.size());
+  for (const auto& [addr, info] : ifaces_) {
     op[addr] = info.ixp ? 0 : info.origin;
   }
 
@@ -120,21 +125,26 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   // is numbered from A's space, only that interface sees majority-B origins
   // downstream; the exit interface one hop earlier still sees the A-origin
   // entry interface as its successor and stays put.
-  for (const auto& [key, count] : hop_pairs) {
+  util::FlatMap<std::uint32_t, Votes> votes;
+  for (const auto& [key, count] : hop_pairs_) {
     std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
     std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
-    IfaceInfo& ia = ifaces.at(a);
-    IfaceInfo& ib = ifaces.at(b);
-    ia.succ_votes[ib.origin] += count;
-    ib.pred_votes[ia.origin] += count;
+    votes[a].succ[ifaces_.at(b).origin] += count;
+    votes[b].pred[ifaces_.at(a).origin] += count;
   }
+  static const util::FlatMap<topo::Asn, int> kNoVotes;
+  auto votes_of = [&](std::uint32_t addr) -> const Votes* {
+    auto it = votes.find(addr);
+    return it == votes.end() ? nullptr : &it->second;
+  };
 
   int pass = 0;
   for (; pass < config.max_passes; ++pass) {
     int changes = 0;
-    for (auto& [addr, info] : ifaces) {
+    for (const auto& [addr, info] : ifaces_) {
       if (info.observations < config.min_observations) continue;
-      topo::Asn succ = majority_as(info.succ_votes, config.majority);
+      const Votes* v = votes_of(addr);
+      topo::Asn succ = majority_as(v ? v->succ : kNoVotes, config.majority);
       topo::Asn cur = op[addr];
 
       if (info.ixp || cur == 0) {
@@ -153,12 +163,12 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
       // `succ`. Require corroboration: predecessors consistent with the
       // origin AS (we are at the first hop inside `succ`), or the
       // point-to-point mate mapping back to the origin AS.
-      topo::Asn pred = majority_as(info.pred_votes, config.majority);
+      topo::Asn pred = majority_as(v ? v->pred : kNoVotes, config.majority);
       bool pred_supports = pred != 0 && orgs.same_org(pred, cur);
       bool mate_supports = false;
       for (std::uint32_t mate : mate_candidates(addr)) {
-        auto it = ifaces.find(mate);
-        topo::Asn mate_as = it != ifaces.end()
+        auto it = ifaces_.find(mate);
+        topo::Asn mate_as = it != ifaces_.end()
                                 ? it->second.origin
                                 : ip2as.origin(topo::IpAddr(mate));
         if (mate_as != 0 && orgs.same_org(mate_as, cur)) {
@@ -175,7 +185,7 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   }
   result.passes_run = pass + 1;
 
-  for (const auto& [addr, info] : ifaces) {
+  for (const auto& [addr, info] : ifaces_) {
     if (!info.ixp && info.origin != 0 && op[addr] != info.origin) {
       ++result.reassignments;
     }
@@ -183,7 +193,7 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
 
   // ---- extract crossings ----
   util::FlatMap<std::uint64_t, std::size_t> crossing_index;
-  for (const auto& [key, count] : hop_pairs) {
+  for (const auto& [key, count] : hop_pairs_) {
     std::uint32_t a = static_cast<std::uint32_t>(key >> 32);
     std::uint32_t b = static_cast<std::uint32_t>(key & 0xffffffffu);
     topo::Asn oa = op[a];
@@ -214,6 +224,14 @@ MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
   metrics.reassignments.inc(static_cast<std::uint64_t>(result.reassignments));
   metrics.crossings.inc(result.crossings.size());
   return result;
+}
+
+MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
+                      const Ip2As& ip2as, const OrgMap& orgs,
+                      const MapItConfig& config) {
+  MapItEvidence evidence;
+  for (const auto& tr : corpus) evidence.add(tr, ip2as);
+  return evidence.infer(ip2as, orgs, config);
 }
 
 MapItAccuracy evaluate_mapit(const MapItResult& result,

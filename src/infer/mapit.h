@@ -90,6 +90,56 @@ struct MapItResult {
   }
 };
 
+// Incremental evidence store backing MAP-IT inference. The aggregation
+// tables a batch run collates from a whole corpus — per-interface
+// observation counts and origins, consecutive-hop-pair counts, corpus
+// coverage accounting — are all sums keyed by pure functions of a single
+// traceroute, so they can be fed one record at a time (a streaming ingest
+// worker) or built shard-by-shard and merged. `infer()` runs the fixpoint
+// passes over whatever evidence has accumulated so far.
+//
+// Determinism contract: the tables are commutative accumulations and the
+// flat containers' canonical layout makes iteration order a pure function
+// of the resident key set, so `infer()` output is bit-identical for any
+// interleaving, sharding, or merge order of the same evidence — and
+// identical to `run_mapit` over the same records (which is now implemented
+// as add() per record + infer()). This is the property the serve
+// subsystem's snapshot-equals-batch obligation rests on (DESIGN.md §11).
+class MapItEvidence {
+ public:
+  // Collates one traceroute into the tables. Origins resolve through
+  // `ip2as` at first observation of each interface; the same store must
+  // always be fed through the same mapping.
+  void add(const measure::TracerouteRecord& trace, const Ip2As& ip2as);
+
+  // Folds another store into this one (sums counts; both sides must have
+  // been fed through the same Ip2As). Commutative and associative.
+  void merge(const MapItEvidence& other);
+
+  // Runs the multipass inference over the accumulated evidence. Cost is
+  // O(interfaces + hop pairs), independent of how many traceroutes fed the
+  // store — the incremental win over re-collating a growing corpus.
+  MapItResult infer(const Ip2As& ip2as, const OrgMap& orgs,
+                    const MapItConfig& config = MapItConfig{}) const;
+
+  std::size_t traces() const { return coverage_.traces_total; }
+  std::size_t interfaces() const { return ifaces_.size(); }
+  std::size_t hop_pairs() const { return hop_pairs_.size(); }
+  const CorpusCoverage& coverage() const { return coverage_; }
+
+ private:
+  struct IfaceEvidence {
+    topo::Asn origin = 0;  // BGP origin at first observation (0 = unknown)
+    bool ixp = false;
+    int observations = 0;
+  };
+
+  util::FlatMap<std::uint32_t, IfaceEvidence> ifaces_;
+  // (prev_addr << 32 | next_addr) -> times this consecutive pair was seen.
+  util::FlatMap<std::uint64_t, int> hop_pairs_;
+  CorpusCoverage coverage_;
+};
+
 MapItResult run_mapit(const std::vector<measure::TracerouteRecord>& corpus,
                       const Ip2As& ip2as, const OrgMap& orgs,
                       const MapItConfig& config = MapItConfig{});

@@ -1,0 +1,57 @@
+#include "serve/ndt_stats.h"
+
+#include "measure/fingerprint.h"
+
+namespace netcong::serve {
+
+const std::vector<double>& NdtStreamStats::download_bounds() {
+  // Service-tier edges from the paper's era: dial-up-ish, DSL, cable tiers,
+  // fiber. Bin membership is an exact double comparison, so classification
+  // is deterministic regardless of which shard sees the record.
+  static const std::vector<double> kBounds = {1.0,  5.0,   10.0,  25.0,
+                                              50.0, 100.0, 250.0, 500.0};
+  return kBounds;
+}
+
+NdtStreamStats::NdtStreamStats()
+    : download_bins_(download_bounds().size() + 1, 0) {}
+
+void NdtStreamStats::add(const measure::NdtRecord& test) {
+  ++tests_;
+  ++by_status_[static_cast<std::size_t>(test.status)];
+  if (test.truncated) ++truncated_;
+  if (!test.has_webstats) ++missing_webstats_;
+  if (test.completed()) {
+    const auto& bounds = download_bounds();
+    std::size_t bin = bounds.size();  // +inf bin unless a bound catches it
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (test.download_mbps <= bounds[i]) {
+        bin = i;
+        break;
+      }
+    }
+    ++download_bins_[bin];
+  }
+}
+
+void NdtStreamStats::merge(const NdtStreamStats& other) {
+  tests_ += other.tests_;
+  for (std::size_t i = 0; i < by_status_.size(); ++i) {
+    by_status_[i] += other.by_status_[i];
+  }
+  truncated_ += other.truncated_;
+  missing_webstats_ += other.missing_webstats_;
+  for (std::size_t i = 0; i < download_bins_.size(); ++i) {
+    download_bins_[i] += other.download_bins_[i];
+  }
+}
+
+void NdtStreamStats::mix_into(measure::Fingerprint& fp) const {
+  fp.mix(tests_);
+  for (std::uint64_t n : by_status_) fp.mix(n);
+  fp.mix(truncated_);
+  fp.mix(missing_webstats_);
+  for (std::uint64_t n : download_bins_) fp.mix(n);
+}
+
+}  // namespace netcong::serve

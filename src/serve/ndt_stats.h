@@ -1,0 +1,59 @@
+#pragma once
+
+// Incremental NDT-stream statistics: the service-side evidence store for
+// throughput test events, sibling of infer::MapItEvidence for traceroutes.
+//
+// Deliberately integer-only. Per-shard stores are merged at snapshot time,
+// and a float accumulator's value depends on summation grouping — one shard
+// vs four would change the low bits and break the "snapshot is bit-identical
+// for any shard count" contract. Counts (status buckets, fixed-bin
+// throughput histograms, data-quality flags) are commutative and
+// associative, so the merged store is a pure function of the event set.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "measure/ndt.h"
+
+namespace netcong::measure {
+class Fingerprint;
+}
+
+namespace netcong::serve {
+
+class NdtStreamStats {
+ public:
+  // Upper bounds (Mbps) of the download-throughput bins; an implicit +inf
+  // bin follows. Chosen to straddle the paper's service-tier range.
+  static const std::vector<double>& download_bounds();
+
+  NdtStreamStats();
+
+  void add(const measure::NdtRecord& test);
+  void merge(const NdtStreamStats& other);
+
+  std::uint64_t tests() const { return tests_; }
+  std::uint64_t by_status(measure::NdtStatus status) const {
+    return by_status_[static_cast<std::size_t>(status)];
+  }
+  std::uint64_t truncated() const { return truncated_; }
+  std::uint64_t missing_webstats() const { return missing_webstats_; }
+  // download_bounds().size() + 1 entries (the last is the +inf bin). Only
+  // completed tests land in the histogram.
+  const std::vector<std::uint64_t>& download_bins() const {
+    return download_bins_;
+  }
+
+  void mix_into(measure::Fingerprint& fp) const;
+
+ private:
+  std::uint64_t tests_ = 0;
+  std::array<std::uint64_t, 4> by_status_{};  // indexed by NdtStatus
+  std::uint64_t truncated_ = 0;
+  std::uint64_t missing_webstats_ = 0;
+  std::vector<std::uint64_t> download_bins_;
+};
+
+}  // namespace netcong::serve

@@ -1,0 +1,203 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "infer/fingerprint.h"
+#include "measure/fingerprint.h"
+
+namespace netcong::serve {
+
+namespace {
+
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// flush() wakeup channel. A plain global (not per-service) keeps Shard a
+// movable-free aggregate; spurious wakeups from another service instance
+// just re-check that instance's predicate.
+std::mutex g_flush_mu;
+std::condition_variable g_flush_cv;
+
+}  // namespace
+
+const char* overflow_policy_name(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock:
+      return "block";
+    case OverflowPolicy::kDrop:
+      return "drop";
+  }
+  return "unknown";
+}
+
+IngestService::IngestService(const infer::Ip2As& ip2as,
+                             const infer::OrgMap& orgs, ServeConfig config)
+    : ip2as_(ip2as), orgs_(orgs), config_(std::move(config)) {
+  auto& reg = obs::MetricsRegistry::global();
+  enqueued_ctr_ = reg.counter("serve.enqueued");
+  consumed_ctr_ = reg.counter("serve.consumed");
+  dropped_ctr_ = reg.counter("serve.dropped");
+  snapshots_ctr_ = reg.counter("serve.snapshots");
+  snapshot_ms_hist_ =
+      reg.histogram("serve.snapshot_ms", obs::exp_bounds(0.1, 10000.0, 16));
+
+  std::size_t n = resolve_shards(config_.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(config_.queue_capacity, config_.policy));
+    shards_.back()->depth_gauge =
+        reg.gauge("serve.queue_depth." + std::to_string(i));
+  }
+}
+
+IngestService::~IngestService() { stop(); }
+
+void IngestService::set_relationships(const topo::RelationshipTable* rels,
+                                      const infer::AliasResolver* aliases) {
+  rels_ = rels;
+  aliases_ = aliases;
+}
+
+void IngestService::start() {
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  if (running_) return;
+  running_ = true;
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+}
+
+bool IngestService::submit(IngestEvent event) {
+  std::shared_lock<std::shared_mutex> gate(gate_);
+  if (!running_) return false;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[seq % shards_.size()];
+  if (shard.queue.push(std::move(event))) {
+    enqueued_ctr_.inc();
+    return true;
+  }
+  dropped_ctr_.inc();
+  return false;
+}
+
+void IngestService::flush() {
+  // Every event enqueued before this call must be consumed before we
+  // return. Later enqueues may or may not be covered — callers needing a
+  // stable cut take the snapshot() gate.
+  std::uint64_t target = 0;
+  for (const auto& shard : shards_) target += shard->queue.counters().pushed;
+  std::unique_lock<std::mutex> lock(g_flush_mu);
+  g_flush_cv.wait(lock, [this, target] {
+    return consumed_.load(std::memory_order_acquire) >= target;
+  });
+}
+
+ServiceSnapshot IngestService::snapshot() {
+  auto t0 = std::chrono::steady_clock::now();
+  // Exclusive gate: no producer can enqueue mid-snapshot, so the drained
+  // evidence corresponds to an exact prefix of the submitted stream.
+  std::unique_lock<std::shared_mutex> gate(gate_);
+  flush();
+
+  ServiceSnapshot snap;
+  infer::MapItEvidence merged;
+  // Merge in shard order for a fixed traversal; the result is order-
+  // independent anyway (commutative sums into canonical-layout tables).
+  for (const auto& shard : shards_) {
+    merged.merge(shard->mapit);
+    snap.ndt.merge(shard->ndt);
+  }
+  snap.events_consumed = consumed_.load(std::memory_order_acquire);
+  snap.traces = merged.traces();
+  snap.ndt_tests = snap.ndt.tests();
+  snap.mapit = merged.infer(ip2as_, orgs_, config_.mapit);
+  if (rels_ != nullptr && aliases_ != nullptr) {
+    snap.borders = infer::borders_from_mapit(snap.mapit, config_.vp_as, orgs_,
+                                             *rels_, *aliases_);
+  }
+  snap.fingerprint = snapshot_fingerprint(snap);
+
+  auto t1 = std::chrono::steady_clock::now();
+  snap.snapshot_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  snapshots_ctr_.inc();
+  snapshot_ms_hist_.observe(snap.snapshot_ms);
+  return snap;
+}
+
+void IngestService::stop() {
+  {
+    std::unique_lock<std::shared_mutex> gate(gate_);
+    if (!running_) return;
+    running_ = false;
+  }
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+    shard->depth_gauge.set(0.0);
+  }
+}
+
+ServiceCounters IngestService::counters() const {
+  ServiceCounters c;
+  c.submitted = submitted_.load(std::memory_order_relaxed);
+  c.consumed = consumed_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    QueueCounters q = shard->queue.counters();
+    c.enqueued += q.pushed;
+    c.dropped += q.dropped;
+  }
+  return c;
+}
+
+void IngestService::worker_loop(Shard& shard) {
+  std::uint64_t local = 0;
+  while (auto ev = shard.queue.pop()) {
+    if (config_.consume_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.consume_delay_us));
+    }
+    if (const auto* test = std::get_if<measure::NdtRecord>(&*ev)) {
+      shard.ndt.add(*test);
+      ++shard.ndt_tests;
+    } else {
+      shard.mapit.add(std::get<measure::TracerouteRecord>(*ev), ip2as_);
+    }
+    consumed_ctr_.inc();
+    // Release pairs with flush()'s acquire: once a flusher observes the
+    // count, the shard-local store writes above are visible to it.
+    consumed_.fetch_add(1, std::memory_order_release);
+    // The empty critical section orders this increment against a flusher's
+    // predicate check, closing the lost-wakeup window (the flusher may be
+    // between "predicate false" and "blocked" — notify must not race past).
+    { std::lock_guard<std::mutex> lk(g_flush_mu); }
+    g_flush_cv.notify_all();
+    if ((++local & 63) == 0) {
+      shard.depth_gauge.set(static_cast<double>(shard.queue.depth()));
+    }
+  }
+  shard.depth_gauge.set(static_cast<double>(shard.queue.depth()));
+}
+
+std::uint64_t snapshot_fingerprint(const ServiceSnapshot& snap) {
+  measure::Fingerprint fp;
+  fp.mix(snap.events_consumed);
+  fp.mix(snap.traces);
+  fp.mix(snap.ndt_tests);
+  snap.ndt.mix_into(fp);
+  fp.mix(infer::fingerprint(snap.mapit));
+  fp.mix(static_cast<std::uint64_t>(snap.borders.has_value()));
+  if (snap.borders) fp.mix(infer::fingerprint(*snap.borders));
+  return fp.value();
+}
+
+}  // namespace netcong::serve

@@ -1,0 +1,159 @@
+#pragma once
+
+// Always-on ingest service (DESIGN.md §11): bounded MPSC queues feed sharded
+// worker threads, each owning an incremental evidence store (MapItEvidence
+// for traceroutes, NdtStreamStats for tests). snapshot() quiesces producers,
+// drains the queues, merges the per-shard stores in shard order, and runs
+// the same inference tail as a batch run (MapItEvidence::infer +
+// borders_from_mapit), so a snapshot after N consumed events is bit-identical
+// to run_mapit/run_bdrmap over the same N-event log prefix — the equivalence
+// the ingest.snapshot_equals_batch property enforces for every shard count.
+//
+// Why sharding is sound: both evidence stores are commutative monoids keyed
+// by pure functions of single events, and FlatMap's canonical layout makes
+// the merged table a pure function of the event *set*. Routing (seq % shards)
+// therefore only changes which shard holds which partial sum, never the
+// merged result.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "infer/bdrmap.h"
+#include "infer/mapit.h"
+#include "obs/metrics.h"
+#include "serve/event.h"
+#include "serve/ndt_stats.h"
+#include "serve/queue.h"
+
+namespace netcong::serve {
+
+struct ServeConfig {
+  // 0 = one shard per hardware thread (at least 1).
+  std::size_t shards = 0;
+  std::size_t queue_capacity = 1024;
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  infer::MapItConfig mapit;
+  // The vantage point's ASN; snapshots include a bdrmap border map when the
+  // relationship table and alias resolver have been provided.
+  topo::Asn vp_as = 0;
+  // Test knob: each worker sleeps this long per consumed event, making a
+  // slow consumer (and thus backpressure / drops) deterministic to provoke.
+  std::uint32_t consume_delay_us = 0;
+};
+
+// Service-wide accounting. Invariant (checked by the
+// ingest.drop_policy_accounting property): submitted = enqueued + dropped,
+// and after flush() consumed == enqueued.
+struct ServiceCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t dropped = 0;
+};
+
+struct ServiceSnapshot {
+  std::uint64_t events_consumed = 0;
+  std::uint64_t traces = 0;
+  std::uint64_t ndt_tests = 0;
+  infer::MapItResult mapit;
+  // Present when relationships/aliases were wired in (set_relationships).
+  std::optional<infer::BdrmapResult> borders;
+  NdtStreamStats ndt;
+  // Wall time spent inside snapshot(): quiesce + drain + merge + infer.
+  // This is the staleness of the freshest data the snapshot can contain.
+  double snapshot_ms = 0.0;
+  // Deterministic digest of the full snapshot (evidence + inference), for
+  // the batch-equivalence proof and for cheap cross-run comparison.
+  std::uint64_t fingerprint = 0;
+};
+
+class IngestService {
+ public:
+  // The referenced tables must outlive the service.
+  IngestService(const infer::Ip2As& ip2as, const infer::OrgMap& orgs,
+                ServeConfig config);
+  ~IngestService();
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  // Optional: enables the bdrmap stage of snapshots. Must be called before
+  // start(); pointers must outlive the service.
+  void set_relationships(const topo::RelationshipTable* rels,
+                         const infer::AliasResolver* aliases);
+
+  // Spawns the shard workers. Idempotent.
+  void start();
+
+  // Routes one event to its shard. Returns false when the event was dropped
+  // (kDrop policy, full queue) or the service is stopped. Thread-safe; any
+  // number of producers may call concurrently.
+  bool submit(IngestEvent event);
+
+  // Blocks until every enqueued event has been consumed. Queues stay open;
+  // producers blocked in submit() under kBlock may refill them afterwards.
+  void flush();
+
+  // Quiesces producers, drains all queues, merges the per-shard stores and
+  // runs inference. The service keeps running; subsequent submits continue
+  // to accumulate on top of the same evidence.
+  ServiceSnapshot snapshot();
+
+  // Closes the queues and joins the workers. Idempotent; the destructor
+  // calls it. After stop(), submit() returns false.
+  void stop();
+
+  bool running() const { return running_; }
+  std::size_t shards() const { return shards_.size(); }
+  ServiceCounters counters() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity, OverflowPolicy policy)
+        : queue(capacity, policy) {}
+    BoundedQueue<IngestEvent> queue;
+    std::thread worker;
+    // Written only by the worker thread; read under quiescence (flush drains
+    // the queue and a consumed-count barrier orders these writes).
+    infer::MapItEvidence mapit;
+    NdtStreamStats ndt;
+    std::uint64_t ndt_tests = 0;
+    obs::Gauge depth_gauge;
+  };
+
+  void worker_loop(Shard& shard);
+
+  const infer::Ip2As& ip2as_;
+  const infer::OrgMap& orgs_;
+  const topo::RelationshipTable* rels_ = nullptr;
+  const infer::AliasResolver* aliases_ = nullptr;
+  ServeConfig config_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<bool> running_{false};
+  // submit() holds this shared; snapshot() holds it exclusive while it
+  // drains, so no producer can interleave new events mid-snapshot.
+  std::shared_mutex gate_;
+
+  obs::Counter enqueued_ctr_;
+  obs::Counter consumed_ctr_;
+  obs::Counter dropped_ctr_;
+  obs::Counter snapshots_ctr_;
+  obs::Histogram snapshot_ms_hist_;
+};
+
+// Digest of an (evidence, inference) snapshot; also used by the property
+// family to fingerprint a batch run for comparison.
+std::uint64_t snapshot_fingerprint(const ServiceSnapshot& snap);
+
+}  // namespace netcong::serve

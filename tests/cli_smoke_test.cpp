@@ -97,6 +97,28 @@ TEST(CliHelp, SubcommandHelpExitsZero) {
   EXPECT_NE(out.output.find("usage:"), std::string::npos);
 }
 
+TEST(CliServe, UnknownFlagExits2WithUsage) {
+  RunResult err = run_cli("serve --workers 3 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("unknown option '--workers'"), std::string::npos)
+      << err.output;
+  EXPECT_NE(err.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliServe, HelpExitsZeroWithoutRunning) {
+  RunResult out = run_cli("serve --help 2>/dev/null");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliServe, InvalidPolicyExits2) {
+  RunResult err = run_cli(
+      "serve --scale tiny --seed 3 --tests 100 --policy never "
+      "2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("--policy"), std::string::npos) << err.output;
+}
+
 // Parses subcommand names out of the help text: the indented block between
 // "subcommands:" and the following blank line, first token of each line.
 std::vector<std::string> registered_subcommands() {
@@ -131,6 +153,7 @@ TEST(CliSmoke, EveryRegisteredSubcommandRuns) {
       {"diurnal", "--scale tiny --seed 3 --days 2"},
       {"faults", "--list"},
       {"scale", "--scale tiny --seed 3 --tests 500 --threads 2"},
+      {"serve", "--scale tiny --seed 3 --tests 500 --shards 2 --snapshots 2"},
       {"stats", "--scale tiny --seed 3 --days 1 --tests-per-client 1"},
   };
 

@@ -1,0 +1,47 @@
+// Gtest wrapper for the "ingest" property family: the always-on service's
+// snapshots must be bit-identical to batch runs over the same event-log
+// prefix for any producer interleaving and shard count, and its queue
+// accounting must conserve events under both overflow policies.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+
+namespace netcong::check {
+namespace {
+
+std::vector<const Property*> family_properties(const char* family) {
+  std::vector<const Property*> out;
+  for (const Property& p : all_properties()) {
+    if (p.family == family) out.push_back(&p);
+  }
+  return out;
+}
+
+class IngestProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(IngestProperty, Holds) {
+  util::pbt::Config cfg;
+  cfg.iterations = 0;  // the property's bounded default budget
+  util::pbt::CheckResult result = run_property(*GetParam(), cfg);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+std::string test_name(const ::testing::TestParamInfo<const Property*>& info) {
+  std::string name = info.param->name;
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, IngestProperty,
+                         ::testing::ValuesIn(family_properties("ingest")),
+                         test_name);
+
+TEST(IngestFamily, RegistryHasEnoughProperties) {
+  EXPECT_GE(family_properties("ingest").size(), 2u);
+}
+
+}  // namespace
+}  // namespace netcong::check

@@ -52,15 +52,26 @@ std::string trimmed(std::string s) {
   return s;
 }
 
-// Top-level "peak_rss_mb" of a bench payload (every BenchRecorder emits
-// one), or a negative value when absent. A targeted string scan keeps the
-// aggregator parser-free.
-double peak_rss_of(const std::string& body) {
-  const std::string key = "\"peak_rss_mb\":";
-  std::size_t pos = body.rfind(key);
+// Last occurrence of `"<key>":` in a bench payload, or a negative value
+// when absent. A targeted string scan keeps the aggregator parser-free;
+// "last" means a key recorded in several phases reports the final one
+// (peak RSS is monotone, rates/percentiles describe the closing phase).
+double stat_of(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = body.rfind(needle);
   if (pos == std::string::npos) return -1.0;
-  return std::strtod(body.c_str() + pos + key.size(), nullptr);
+  return std::strtod(body.c_str() + pos + needle.size(), nullptr);
 }
+
+// Cross-bench summary keys surfaced at the top level of BENCH_all.json.
+// Any bench that records one of these (BenchRecorder stat names) appears
+// in the corresponding section; benches without it are listed as null.
+const char* const kSummaryKeys[] = {
+    "peak_rss_mb",
+    "events_per_sec",
+    "staleness_p50_ms",
+    "staleness_p99_ms",
+};
 
 }  // namespace
 
@@ -120,28 +131,61 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    \"%s\": %s%s\n", label.c_str(), indented.c_str(),
                  ++i < benches.size() ? "," : "");
   }
-  std::fprintf(f, "  },\n");
-  // Memory summary across all benches: each run's peak RSS side by side,
-  // so a perf trajectory tracks footprint next to wall time.
-  std::fprintf(f, "  \"peak_rss_mb\": {\n");
-  i = 0;
-  for (const auto& [label, body] : benches) {
-    double rss = peak_rss_of(body);
-    if (rss >= 0.0) {
-      std::fprintf(f, "    \"%s\": %.3f%s\n", label.c_str(), rss,
-                   ++i < benches.size() ? "," : "");
-    } else {
-      std::fprintf(f, "    \"%s\": null%s\n", label.c_str(),
-                   ++i < benches.size() ? "," : "");
+  // Cross-bench summaries, one section per key (memory footprint, ingest
+  // rate, snapshot staleness, ...), so a perf trajectory tracks every
+  // headline number without digging into the embedded payloads. A key some
+  // bench never recorded shows as null for that bench; a section no bench
+  // recorded is omitted entirely.
+  const std::size_t nkeys = sizeof(kSummaryKeys) / sizeof(kSummaryKeys[0]);
+  bool any_summary = false;
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    for (const auto& [label, body] : benches) {
+      any_summary = any_summary || stat_of(body, kSummaryKeys[k]) >= 0.0;
     }
   }
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  }%s\n", any_summary ? "," : "");
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    const char* key = kSummaryKeys[k];
+    bool any = false;
+    for (const auto& [label, body] : benches) {
+      any = any || stat_of(body, key) >= 0.0;
+    }
+    if (!any) continue;
+    std::fprintf(f, "  \"%s\": {\n", key);
+    i = 0;
+    for (const auto& [label, body] : benches) {
+      double value = stat_of(body, key);
+      if (value >= 0.0) {
+        std::fprintf(f, "    \"%s\": %.3f%s\n", label.c_str(), value,
+                     ++i < benches.size() ? "," : "");
+      } else {
+        std::fprintf(f, "    \"%s\": null%s\n", label.c_str(),
+                     ++i < benches.size() ? "," : "");
+      }
+    }
+    // peak_rss_mb is never the last key only when a later section follows;
+    // emit the comma lazily by checking whether any remaining key appears.
+    bool more = false;
+    for (std::size_t k2 = k + 1; k2 < nkeys; ++k2) {
+      for (const auto& [label, body] : benches) {
+        more = more || stat_of(body, kSummaryKeys[k2]) >= 0.0;
+      }
+    }
+    std::fprintf(f, "  }%s\n", more ? "," : "");
+  }
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s (%zu benches)\n", out_path.string().c_str(),
               benches.size());
   for (const auto& [label, body] : benches) {
-    double rss = peak_rss_of(body);
-    if (rss >= 0.0) std::printf("  %-20s peak rss %8.1f MiB\n", label.c_str(), rss);
+    double rss = stat_of(body, "peak_rss_mb");
+    if (rss < 0.0) continue;
+    std::printf("  %-20s peak rss %8.1f MiB", label.c_str(), rss);
+    double eps = stat_of(body, "events_per_sec");
+    if (eps >= 0.0) std::printf("  %10.0f events/sec", eps);
+    double p99 = stat_of(body, "staleness_p99_ms");
+    if (p99 >= 0.0) std::printf("  staleness p99 %.1f ms", p99);
+    std::printf("\n");
   }
   return 0;
 }

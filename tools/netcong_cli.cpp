@@ -34,6 +34,8 @@
 #include "route/bgp.h"
 #include "route/forwarding.h"
 #include "route/path_cache.h"
+#include "serve/event.h"
+#include "serve/service.h"
 #include "sim/faults.h"
 #include "sim/throughput.h"
 #include "util/strings.h"
@@ -469,6 +471,118 @@ int cmd_scale(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  // Validate flags with values from a closed set before any heavy work.
+  std::string policy = args.get("policy", "block");
+  if (policy != "block" && policy != "drop") {
+    std::fprintf(stderr, "unknown --policy '%s' (block|drop)\n",
+                 policy.c_str());
+    return 2;
+  }
+
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+
+  // Synthetic schedule as in `scale`, then flattened into the arrival-
+  // ordered event log the service would see in production.
+  std::size_t n = static_cast<std::size_t>(args.get_int("tests", 20000));
+  std::vector<gen::TestRequest> schedule;
+  schedule.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gen::TestRequest req;
+    req.client = world.clients[i % world.clients.size()];
+    req.utc_time_hours = static_cast<double>(i) / 5000.0;
+    schedule.push_back(req);
+  }
+  measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                measure::CampaignConfig{});
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) + 1);
+  std::vector<serve::IngestEvent> log =
+      serve::event_log_from(campaign.run(schedule, rng));
+
+  infer::Ip2As ip2as(*world.topo);
+  infer::OrgMap orgs(*world.topo);
+  infer::AliasResolver aliases(*world.topo, 0.9,
+                               static_cast<std::uint64_t>(args.get_int("seed", 42)));
+
+  serve::ServeConfig scfg;
+  scfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  scfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 1024));
+  if (policy == "drop") scfg.policy = serve::OverflowPolicy::kDrop;
+  if (!world.ark_vps.empty()) {
+    scfg.vp_as = world.topo->host(world.ark_vps[0]).asn;
+  }
+  serve::IngestService svc(ip2as, orgs, scfg);
+  svc.set_relationships(&world.topo->relationships(), &aliases);
+  svc.start();
+
+  // Replay at --rate events/sec (0 = unpaced), snapshotting --snapshots
+  // times at even intervals through the log.
+  double rate = args.get_double("rate", 0.0);
+  std::size_t snapshots =
+      static_cast<std::size_t>(args.get_int("snapshots", 4));
+  if (snapshots == 0) snapshots = 1;
+  std::size_t stride = log.size() / snapshots + 1;
+  std::vector<double> snapshot_ms;
+  serve::ServiceSnapshot last;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    svc.submit(log[i]);
+    if (rate > 0.0 && (i & 0xff) == 0xff) {
+      double due_s = static_cast<double>(i + 1) / rate;
+      double wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+      if (wall_s < due_s) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(due_s - wall_s));
+      }
+    }
+    if ((i + 1) % stride == 0) {
+      last = svc.snapshot();
+      snapshot_ms.push_back(last.snapshot_ms);
+    }
+  }
+  last = svc.snapshot();
+  snapshot_ms.push_back(last.snapshot_ms);
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  serve::ServiceCounters counters = svc.counters();
+  svc.stop();
+
+  std::sort(snapshot_ms.begin(), snapshot_ms.end());
+  auto pct = [&](double p) {
+    std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(snapshot_ms.size() - 1));
+    return snapshot_ms[idx];
+  };
+
+  std::printf("shards: %zu  queue: %zu  policy: %s\n", svc.shards(),
+              scfg.queue_capacity, serve::overflow_policy_name(scfg.policy));
+  std::printf("events: %llu submitted, %llu consumed, %llu dropped\n",
+              static_cast<unsigned long long>(counters.submitted),
+              static_cast<unsigned long long>(counters.consumed),
+              static_cast<unsigned long long>(counters.dropped));
+  std::printf("wall: %.2f s  events/sec: %.0f\n", wall_s,
+              static_cast<double>(counters.consumed) / wall_s);
+  std::printf("snapshots: %zu  staleness p50: %.2f ms  p99: %.2f ms\n",
+              snapshot_ms.size(), pct(0.50), pct(0.99));
+  std::printf("final snapshot: %llu events (%llu tests, %llu traces), "
+              "%zu interfaces assigned, %zu crossings, %zu borders, "
+              "fingerprint %016llx\n",
+              static_cast<unsigned long long>(last.events_consumed),
+              static_cast<unsigned long long>(last.ndt_tests),
+              static_cast<unsigned long long>(last.traces),
+              last.mapit.operating_as.size(), last.mapit.crossings.size(),
+              last.borders ? last.borders->borders.size() : 0,
+              static_cast<unsigned long long>(last.fingerprint));
+  return 0;
+}
+
 // The subcommand registry: the one place a subcommand is declared. Both
 // the usage text and main()'s dispatch are generated from this table.
 struct Subcommand {
@@ -490,6 +604,9 @@ constexpr Subcommand kSubcommands[] = {
      "--list | --severity X --days N --out DIR --no-truth", &cmd_faults},
     {"scale", "columnar-engine scaling probe: tests/sec and peak RSS",
      "--tests N --threads N --classic", &cmd_scale},
+    {"serve", "replay a campaign through the always-on ingest service",
+     "--tests N --shards N --queue N --policy block|drop --rate X --snapshots N",
+     &cmd_serve},
     {"stats", "run an instrumented campaign; print/export metrics and traces",
      "--days N --tests-per-client X --out DIR", &cmd_stats},
 };

@@ -15,8 +15,11 @@ cmake --build "$BUILD" -j "$(nproc)"
 # tsan-labeled tests plus the obs suite (its lock-free slabs/rings are
 # exactly the code a race checker should see), the property families, whose
 # differential-determinism harness runs the campaign across thread counts,
-# and the bench_scale smoke (the block-sharded columnar trace builder under
-# race checking) — at reduced budgets so the instrumented run stays fast.
+# the serve suite (MPSC queues feeding sharded workers — the densest
+# cross-thread traffic in the codebase), and the bench_scale smoke (the
+# block-sharded columnar trace builder under race checking) — at reduced
+# budgets so the instrumented run stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
 NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
-  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt|bench' --output-on-failure
+NETCONG_INGEST_EVENTS="${NETCONG_INGEST_EVENTS:-500}" \
+  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt|bench|serve' --output-on-failure
