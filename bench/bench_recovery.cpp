@@ -1,0 +1,200 @@
+// WAL durability bench (DESIGN.md §12): how fast can the ingest service
+// persist its event stream, and how fast does a crashed daemon come back?
+// A synthetic campaign is flattened to the arrival-ordered event log, then
+// (a) appended to a fresh WAL without per-record fsync — the service's
+// default, where sync() runs only at snapshot/shutdown, (b) appended with
+// fsync_each_append for the fully-durable bound, and (c) recovered by
+// scanning and decoding every frame back into events. Reports all three
+// as events/sec into BENCH_recovery.json.
+//
+// Recovery speed is a restart-availability number: a daemon that ingests
+// at X events/sec but replays its log at X/10 spends ten times its outage
+// window catching up after every crash.
+//
+// Scale selection:
+//   NETCONG_BENCH_SCALE=tiny   -> 1k-AS world, 10k tests (CI smoke)
+//   NETCONG_BENCH_SCALE=small  -> 10k-AS world, 100k tests
+//   default                    -> 10k-AS world, 1M tests
+// NETCONG_INGEST_EVENTS=<n> overrides the scheduled test count.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "gen/workload.h"
+#include "serve/event.h"
+#include "serve/wal.h"
+
+namespace {
+
+std::vector<netcong::gen::TestRequest> synthetic_schedule(
+    const std::vector<std::uint32_t>& clients, std::size_t n) {
+  constexpr double kTestsPerHour = 5000.0;
+  std::vector<netcong::gen::TestRequest> schedule;
+  schedule.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    netcong::gen::TestRequest req;
+    req.client = clients[i % clients.size()];
+    req.utc_time_hours = static_cast<double>(i) / kTestsPerHour;
+    schedule.push_back(req);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+int main() {
+  using namespace netcong;
+  namespace fs = std::filesystem;
+
+  bench::print_header("BENCH recovery",
+                      "WAL durability: append and crash-recovery rates");
+
+  double customer_scale = 1.76;
+  std::size_t tests = 1'000'000;
+  const char* preset = std::getenv("NETCONG_BENCH_SCALE");
+  if (preset && std::strcmp(preset, "tiny") == 0) {
+    customer_scale = 0.17;
+    tests = 10'000;
+  } else if (preset && std::strcmp(preset, "small") == 0) {
+    tests = 100'000;
+  }
+  if (const char* n = std::getenv("NETCONG_INGEST_EVENTS")) {
+    unsigned long long parsed = std::strtoull(n, nullptr, 10);
+    if (parsed > 0) tests = static_cast<std::size_t>(parsed);
+  }
+
+  gen::GeneratorConfig cfg = gen::GeneratorConfig::full();
+  cfg.seed = 20150501;
+  cfg.customer_scale = customer_scale;
+  cfg.clients_per_access_isp = 400;
+
+  bench::BenchRecorder rec("recovery");
+
+  bench::Stopwatch sw_world;
+  bench::Context ctx(cfg);
+  rec.record("world_build", sw_world.elapsed_ms());
+
+  measure::Platform mlab = ctx.mlab_platform();
+  auto schedule = synthetic_schedule(ctx.world.clients, tests);
+  measure::NdtCampaign campaign(ctx.world, ctx.fwd, ctx.model, mlab,
+                                measure::CampaignConfig{});
+  campaign.set_path_cache(&ctx.path_cache);
+  util::Rng rng(7);
+  bench::Stopwatch sw_log;
+  std::vector<serve::IngestEvent> log =
+      serve::event_log_from(campaign.run_columnar(schedule, rng));
+  rec.record("event_log_build", sw_log.elapsed_ms());
+  rec.stat("event_log_build", "events", static_cast<double>(log.size()));
+
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("netcong-bench-recovery-" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+
+  // (a) Append without per-record fsync — the service's hot path.
+  serve::WalOptions opts;
+  opts.segment_bytes = 16u << 20;
+  {
+    serve::WalWriter wal;
+    if (!wal.open(dir, opts).ok()) {
+      std::fprintf(stderr, "cannot open wal dir %s\n", dir.c_str());
+      return 1;
+    }
+    bench::Stopwatch sw;
+    for (const serve::IngestEvent& ev : log) (void)wal.append(ev);
+    (void)wal.sync();
+    const double append_ms = sw.elapsed_ms();
+    serve::WalStats st = wal.stats();
+    wal.close();
+    const double append_eps =
+        1000.0 * static_cast<double>(st.appended) / append_ms;
+    rec.record("append", append_ms);
+    rec.stat("append", "events", static_cast<double>(st.appended));
+    rec.stat("append", "segments", static_cast<double>(st.segments_created));
+    rec.stat("append", "bytes_written",
+             static_cast<double>(st.bytes_written));
+    rec.stat("append", "wal_append_events_per_sec", append_eps);
+    std::printf("append (sync at end): %.1f ms  %.0f events/sec  "
+                "%llu bytes in %llu segments\n",
+                append_ms, append_eps,
+                static_cast<unsigned long long>(st.bytes_written),
+                static_cast<unsigned long long>(st.segments_created));
+  }
+
+  // (b) Fully durable: fsync after every append, on a bounded slice — the
+  // per-record fsync floor is what matters, not minutes of runtime.
+  {
+    const std::size_t durable_n = std::min<std::size_t>(log.size(), 2000);
+    const std::string durable_dir = dir + "-fsync";
+    fs::remove_all(durable_dir);
+    serve::WalOptions dopts = opts;
+    dopts.fsync_each_append = true;
+    serve::WalWriter wal;
+    if (!wal.open(durable_dir, dopts).ok()) {
+      std::fprintf(stderr, "cannot open wal dir %s\n", durable_dir.c_str());
+      return 1;
+    }
+    bench::Stopwatch sw;
+    for (std::size_t i = 0; i < durable_n; ++i) (void)wal.append(log[i]);
+    const double fsync_ms = sw.elapsed_ms();
+    wal.close();
+    fs::remove_all(durable_dir);
+    const double fsync_eps =
+        1000.0 * static_cast<double>(durable_n) / fsync_ms;
+    rec.record("append_fsync", fsync_ms);
+    rec.stat("append_fsync", "events", static_cast<double>(durable_n));
+    rec.stat("append_fsync", "wal_append_fsync_events_per_sec", fsync_eps);
+    std::printf("append (fsync each): %.1f ms  %.0f events/sec  "
+                "(%zu events)\n",
+                fsync_ms, fsync_eps, durable_n);
+  }
+
+  // (c) Crash recovery: scan + checksum + decode the whole log.
+  {
+    bench::Stopwatch sw;
+    util::Result<serve::WalRecovery> recov =
+        serve::recover_wal(dir, /*repair=*/false);
+    const double recover_ms = sw.elapsed_ms();
+    if (!recov.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n", recov.error().c_str());
+      return 1;
+    }
+    const double recover_eps =
+        1000.0 * static_cast<double>(recov.value().events.size()) /
+        recover_ms;
+    rec.record("recover", recover_ms);
+    rec.stat("recover", "events",
+             static_cast<double>(recov.value().events.size()));
+    rec.stat("recover", "bytes_scanned",
+             static_cast<double>(recov.value().bytes_scanned));
+    rec.stat("recover", "recovery_events_per_sec", recover_eps);
+    rec.stat("recover", "peak_rss_mb", bench::peak_rss_mb());
+    std::printf("recover: %.1f ms  %.0f events/sec  (%zu events, "
+                "%llu bytes)\n",
+                recover_ms, recover_eps, recov.value().events.size(),
+                static_cast<unsigned long long>(
+                    recov.value().bytes_scanned));
+    if (recov.value().events.size() != log.size()) {
+      std::fprintf(stderr, "recovery lost events: %zu != %zu\n",
+                   recov.value().events.size(), log.size());
+      return 1;
+    }
+  }
+  fs::remove_all(dir);
+
+  bench::print_footnote(
+      "append = frame encode + write to page cache (sync once at the end); "
+      "append_fsync = fsync per record, the fully-durable floor; recover = "
+      "scan + CRC + decode, the restart catch-up rate.");
+
+  rec.write();
+  return 0;
+}

@@ -1,0 +1,353 @@
+#include "serve/codec.h"
+
+#include <array>
+#include <cstring>
+#include <string>
+
+namespace netcong::serve {
+
+namespace {
+
+// -- little-endian primitives ------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// Cursor over a payload. Every read checks the remaining byte count and
+// latches failure; callers check ok() once at the end (reads after a
+// failure return zeros and never touch memory).
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : p_(data), left_(n) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return left_; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return p_[-1];
+  }
+
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return static_cast<std::uint16_t>(p_[-2] |
+                                      (static_cast<std::uint16_t>(p_[-1]) << 8));
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    return load_u32(p_ - 4);
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    return static_cast<std::uint64_t>(load_u32(p_ - 8)) |
+           (static_cast<std::uint64_t>(load_u32(p_ - 4)) << 32);
+  }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // Element count for a vector whose elements need >= min_elem_bytes each;
+  // a count the remaining bytes cannot possibly hold is corruption, caught
+  // here rather than in a giant reserve().
+  std::uint32_t count(std::size_t min_elem_bytes) {
+    std::uint32_t n = u32();
+    if (ok_ && min_elem_bytes > 0 && n > left_ / min_elem_bytes) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+
+  std::string str() {
+    std::uint32_t n = count(1);
+    if (!ok_ || n == 0) return {};
+    std::string s(reinterpret_cast<const char*>(p_), n);
+    take(n);
+    return s;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n > left_) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+    left_ -= n;
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t left_;
+  bool ok_ = true;
+};
+
+// -- RouterPath --------------------------------------------------------
+
+void put_path(std::vector<std::uint8_t>& out, const route::RouterPath& p) {
+  put_u8(out, p.valid ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(p.as_path.size()));
+  for (topo::Asn as : p.as_path) put_u32(out, as);
+  put_u32(out, static_cast<std::uint32_t>(p.hops.size()));
+  for (const route::RouterHop& h : p.hops) {
+    put_u32(out, h.router.value);
+    put_u32(out, h.in_iface.value);
+    put_u32(out, h.in_link.value);
+  }
+  put_u32(out, static_cast<std::uint32_t>(p.links.size()));
+  for (topo::LinkId l : p.links) put_u32(out, l.value);
+  put_f64(out, p.one_way_delay_ms);
+}
+
+route::RouterPath read_path(Reader& r) {
+  route::RouterPath p;
+  p.valid = r.u8() != 0;
+  std::uint32_t n_as = r.count(4);
+  p.as_path.reserve(n_as);
+  for (std::uint32_t i = 0; i < n_as && r.ok(); ++i) p.as_path.push_back(r.u32());
+  std::uint32_t n_hops = r.count(12);
+  p.hops.reserve(n_hops);
+  for (std::uint32_t i = 0; i < n_hops && r.ok(); ++i) {
+    route::RouterHop h;
+    h.router = topo::RouterId{r.u32()};
+    h.in_iface = topo::InterfaceId{r.u32()};
+    h.in_link = topo::LinkId{r.u32()};
+    p.hops.push_back(h);
+  }
+  std::uint32_t n_links = r.count(4);
+  p.links.reserve(n_links);
+  for (std::uint32_t i = 0; i < n_links && r.ok(); ++i) {
+    p.links.push_back(topo::LinkId{r.u32()});
+  }
+  p.one_way_delay_ms = r.f64();
+  return p;
+}
+
+// -- records -----------------------------------------------------------
+
+void put_ndt(std::vector<std::uint8_t>& out, const measure::NdtRecord& t) {
+  put_u64(out, t.test_id);
+  put_u32(out, t.client);
+  put_u32(out, t.server);
+  put_f64(out, t.utc_time_hours);
+  put_f64(out, t.download_mbps);
+  put_f64(out, t.upload_mbps);
+  put_f64(out, t.flow_rtt_ms);
+  put_f64(out, t.retrans_rate);
+  put_u32(out, static_cast<std::uint32_t>(t.congestion_signals));
+  put_u32(out, t.client_asn);
+  put_u32(out, t.server_asn);
+  put_u8(out, static_cast<std::uint8_t>(t.status));
+  put_u8(out, t.truncated ? 1 : 0);
+  put_u8(out, t.has_webstats ? 1 : 0);
+  put_path(out, t.truth_path);
+  put_u32(out, t.truth_bottleneck.value);
+  put_u8(out, t.truth_access_limited ? 1 : 0);
+}
+
+util::Result<IngestEvent> read_ndt(Reader& r) {
+  measure::NdtRecord t;
+  t.test_id = r.u64();
+  t.client = r.u32();
+  t.server = r.u32();
+  t.utc_time_hours = r.f64();
+  t.download_mbps = r.f64();
+  t.upload_mbps = r.f64();
+  t.flow_rtt_ms = r.f64();
+  t.retrans_rate = r.f64();
+  t.congestion_signals = static_cast<int>(r.u32());
+  t.client_asn = r.u32();
+  t.server_asn = r.u32();
+  std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(measure::NdtStatus::kFailed)) {
+    return util::Result<IngestEvent>::failure("ndt status out of range");
+  }
+  t.status = static_cast<measure::NdtStatus>(status);
+  t.truncated = r.u8() != 0;
+  t.has_webstats = r.u8() != 0;
+  t.truth_path = read_path(r);
+  t.truth_bottleneck = topo::LinkId{r.u32()};
+  t.truth_access_limited = r.u8() != 0;
+  if (!r.ok() || r.remaining() != 0) {
+    return util::Result<IngestEvent>::failure("ndt payload malformed");
+  }
+  return util::Result<IngestEvent>::success(IngestEvent{std::move(t)});
+}
+
+void put_trace(std::vector<std::uint8_t>& out,
+               const measure::TracerouteRecord& t) {
+  put_u32(out, t.src_host);
+  put_u32(out, t.dst.value);
+  put_f64(out, t.utc_time_hours);
+  put_u32(out, static_cast<std::uint32_t>(t.hops.size()));
+  for (const measure::TraceHop& h : t.hops) {
+    put_u32(out, static_cast<std::uint32_t>(h.ttl));
+    put_u8(out, h.responded ? 1 : 0);
+    put_u32(out, h.addr.value);
+    put_f64(out, h.rtt_ms);
+    put_string(out, h.dns_name);
+  }
+  put_u8(out, t.reached_dst ? 1 : 0);
+  put_path(out, t.truth);
+}
+
+util::Result<IngestEvent> read_trace(Reader& r) {
+  measure::TracerouteRecord t;
+  t.src_host = r.u32();
+  t.dst = topo::IpAddr{r.u32()};
+  t.utc_time_hours = r.f64();
+  std::uint32_t n_hops = r.count(21);  // fixed hop fields + dns length
+  t.hops.reserve(n_hops);
+  for (std::uint32_t i = 0; i < n_hops && r.ok(); ++i) {
+    measure::TraceHop h;
+    h.ttl = static_cast<int>(r.u32());
+    h.responded = r.u8() != 0;
+    h.addr = topo::IpAddr{r.u32()};
+    h.rtt_ms = r.f64();
+    h.dns_name = r.str();
+    t.hops.push_back(std::move(h));
+  }
+  t.reached_dst = r.u8() != 0;
+  t.truth = read_path(r);
+  if (!r.ok() || r.remaining() != 0) {
+    return util::Result<IngestEvent>::failure("traceroute payload malformed");
+  }
+  return util::Result<IngestEvent>::success(IngestEvent{std::move(t)});
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* frame_error_name(FrameError err) {
+  switch (err) {
+    case FrameError::kNone: return "ok";
+    case FrameError::kTruncated: return "truncated";
+    case FrameError::kBadVersion: return "bad-version";
+    case FrameError::kBadKind: return "bad-kind";
+    case FrameError::kOversize: return "oversize";
+    case FrameError::kBadChecksum: return "bad-checksum";
+    case FrameError::kBadPayload: return "bad-payload";
+  }
+  return "unknown";
+}
+
+FrameError parse_frame(const std::uint8_t* buf, std::size_t n, FrameView* out,
+                       std::size_t* consumed) {
+  *consumed = 0;
+  if (n < kFrameHeaderBytes) return FrameError::kTruncated;
+  std::uint32_t len = load_u32(buf);
+  std::uint32_t crc = load_u32(buf + 4);
+  std::uint8_t version = buf[8];
+  std::uint8_t kind = buf[9];
+  std::uint16_t reserved =
+      static_cast<std::uint16_t>(buf[10] | (buf[11] << 8));
+  // Header sanity comes first: a corrupt header must not be believed about
+  // how many payload bytes to wait for.
+  if (version != kFrameVersion || reserved != 0) return FrameError::kBadVersion;
+  if (kind > 1) return FrameError::kBadKind;
+  if (len > kMaxFramePayload) return FrameError::kOversize;
+  if (n < kFrameHeaderBytes + len) return FrameError::kTruncated;
+  const std::uint8_t* payload = buf + kFrameHeaderBytes;
+  if (crc32c(buf + 8, 4 + len) != crc) return FrameError::kBadChecksum;
+  out->kind = kind;
+  out->payload = payload;
+  out->payload_len = len;
+  *consumed = kFrameHeaderBytes + len;
+  return FrameError::kNone;
+}
+
+void append_frame(const IngestEvent& event, std::vector<std::uint8_t>& out) {
+  std::size_t header_at = out.size();
+  out.resize(out.size() + kFrameHeaderBytes);
+  std::size_t payload_at = out.size();
+  std::uint8_t kind;
+  if (const auto* ndt = std::get_if<measure::NdtRecord>(&event)) {
+    kind = 0;
+    put_ndt(out, *ndt);
+  } else {
+    kind = 1;
+    put_trace(out, std::get<measure::TracerouteRecord>(event));
+  }
+  std::uint32_t len = static_cast<std::uint32_t>(out.size() - payload_at);
+  std::vector<std::uint8_t> header;
+  header.reserve(kFrameHeaderBytes);
+  put_u32(header, len);
+  put_u32(header, 0);  // CRC patched below, once the covered bytes exist
+  put_u8(header, kFrameVersion);
+  put_u8(header, kind);
+  put_u16(header, 0);
+  std::memcpy(out.data() + header_at, header.data(), kFrameHeaderBytes);
+  std::uint32_t crc = crc32c(out.data() + header_at + 8, 4 + len);
+  std::vector<std::uint8_t> crc_bytes;
+  put_u32(crc_bytes, crc);
+  std::memcpy(out.data() + header_at + 4, crc_bytes.data(), 4);
+}
+
+util::Result<IngestEvent> decode_event(const FrameView& frame) {
+  Reader r(frame.payload, frame.payload_len);
+  if (frame.kind == 0) return read_ndt(r);
+  if (frame.kind == 1) return read_trace(r);
+  return util::Result<IngestEvent>::failure("unknown event kind");
+}
+
+}  // namespace netcong::serve

@@ -1,0 +1,86 @@
+#pragma once
+
+// Wire/disk codec for IngestEvent (DESIGN.md §12). One frame format is
+// shared by the write-ahead log and the socket front-end:
+//
+//   offset  size  field
+//   0       4     payload length (u32, little-endian)
+//   4       4     CRC32C of bytes [8, 12 + len) — version, kind, reserved
+//                 and payload, so a single bit flip anywhere outside the
+//                 length/CRC words themselves is always caught (a kind flip
+//                 must not let a record decode as the wrong type)
+//   8       1     format version (kFrameVersion)
+//   9       1     event kind (0 = NDT record, 1 = traceroute record —
+//                 the IngestEvent variant index)
+//   10      2     reserved, must be zero
+//   12      len   payload (the serialized record, little-endian throughout;
+//                 doubles by IEEE-754 bit pattern)
+//
+// The decoder is the trust boundary: it must classify every malformed
+// input — torn tail on disk, garbage from a socket — with a typed error
+// and never crash or over-allocate. parse_frame() validates the header
+// *before* trusting the length (so a torn 4-byte prefix can't demand a
+// 4 GiB read), and decode_event() bounds-checks every count against the
+// bytes actually present.
+//
+// Round-trip contract: decode(encode(ev)) is bit-identical to ev — the
+// serve.wal_* and codec tests enforce it via serve::fingerprint, which is
+// what makes WAL replay equivalent to in-process submission.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/event.h"
+#include "util/result.h"
+
+namespace netcong::serve {
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+// Generous bound for one serialized record (long traceroutes run ~hundreds
+// of bytes); anything larger is corruption, not data.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+// Software CRC32C (Castagnoli, reflected 0x82F63B78) — the checksum iSCSI
+// and leveldb-style logs use; good burst detection for both media.
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t n);
+
+// Typed frame-validation outcome. kTruncated is the only retryable one: on
+// a socket it means "need more bytes", in a WAL segment it marks the torn
+// tail where recovery truncates.
+enum class FrameError : std::uint8_t {
+  kNone = 0,
+  kTruncated,    // fewer bytes than one complete frame
+  kBadVersion,   // version byte or reserved field unrecognized
+  kBadKind,      // kind byte is not a known event kind
+  kOversize,     // declared payload length exceeds kMaxFramePayload
+  kBadChecksum,  // payload CRC mismatch
+  kBadPayload,   // frame intact but the payload fails to decode
+};
+
+const char* frame_error_name(FrameError err);
+
+// A validated frame pointing into the caller's buffer (no copy).
+struct FrameView {
+  std::uint8_t kind = 0;
+  const std::uint8_t* payload = nullptr;
+  std::uint32_t payload_len = 0;
+};
+
+// Validates the frame at the start of [buf, buf+n). On kNone, fills *out
+// and sets *consumed to the full frame size (header + payload). On any
+// error *consumed is 0. Header fields are checked before the payload
+// length is trusted, so corrupt lengths surface as kBadVersion/kOversize
+// rather than an unbounded kTruncated wait.
+FrameError parse_frame(const std::uint8_t* buf, std::size_t n,
+                       FrameView* out, std::size_t* consumed);
+
+// Serializes one event as a complete frame appended to `out`.
+void append_frame(const IngestEvent& event, std::vector<std::uint8_t>& out);
+
+// Decodes a parse_frame-validated frame's payload back into an event.
+// Fails (never throws, never over-allocates) on any malformed payload.
+util::Result<IngestEvent> decode_event(const FrameView& frame);
+
+}  // namespace netcong::serve

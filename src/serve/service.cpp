@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -8,6 +9,7 @@
 
 #include "infer/fingerprint.h"
 #include "measure/fingerprint.h"
+#include "serve/wal.h"
 
 namespace netcong::serve {
 
@@ -25,6 +27,36 @@ std::size_t resolve_shards(std::size_t requested) {
 std::mutex g_flush_mu;
 std::condition_variable g_flush_cv;
 
+// Sorted unique neighbor ASNs of a snapshot's border map (empty when the
+// bdrmap stage is off).
+std::vector<topo::Asn> border_keys(const ServiceSnapshot& snap) {
+  std::vector<topo::Asn> keys;
+  if (snap.borders) {
+    keys.reserve(snap.borders->borders.size());
+    for (const infer::BdrmapBorder& b : snap.borders->borders) {
+      keys.push_back(b.neighbor);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  }
+  return keys;
+}
+
+SnapshotDiff diff_from_keys(const std::vector<topo::Asn>& prev_keys,
+                            std::uint64_t prev_events,
+                            const std::vector<topo::Asn>& cur_keys,
+                            std::uint64_t cur_events) {
+  SnapshotDiff diff;
+  std::set_difference(cur_keys.begin(), cur_keys.end(), prev_keys.begin(),
+                      prev_keys.end(), std::back_inserter(diff.borders_added));
+  std::set_difference(prev_keys.begin(), prev_keys.end(), cur_keys.begin(),
+                      cur_keys.end(),
+                      std::back_inserter(diff.borders_removed));
+  diff.events_delta = static_cast<std::int64_t>(cur_events) -
+                      static_cast<std::int64_t>(prev_events);
+  return diff;
+}
+
 }  // namespace
 
 const char* overflow_policy_name(OverflowPolicy policy) {
@@ -37,14 +69,25 @@ const char* overflow_policy_name(OverflowPolicy policy) {
   return "unknown";
 }
 
+SnapshotDiff diff_snapshots(const ServiceSnapshot& prev,
+                            const ServiceSnapshot& cur) {
+  return diff_from_keys(border_keys(prev), prev.events_consumed,
+                        border_keys(cur), cur.events_consumed);
+}
+
 IngestService::IngestService(const infer::Ip2As& ip2as,
                              const infer::OrgMap& orgs, ServeConfig config)
     : ip2as_(ip2as), orgs_(orgs), config_(std::move(config)) {
+  if (config_.epoch_events == 0) config_.epoch_events = 1;
   auto& reg = obs::MetricsRegistry::global();
   enqueued_ctr_ = reg.counter("serve.enqueued");
   consumed_ctr_ = reg.counter("serve.consumed");
   dropped_ctr_ = reg.counter("serve.dropped");
   snapshots_ctr_ = reg.counter("serve.snapshots");
+  evicted_events_ctr_ = reg.counter("serve.evicted.events");
+  evicted_tests_ctr_ = reg.counter("serve.evicted.tests");
+  evicted_traces_ctr_ = reg.counter("serve.evicted.traces");
+  evicted_epochs_ctr_ = reg.counter("serve.evicted.epochs");
   snapshot_ms_hist_ =
       reg.histogram("serve.snapshot_ms", obs::exp_bounds(0.1, 10000.0, 16));
 
@@ -66,6 +109,8 @@ void IngestService::set_relationships(const topo::RelationshipTable* rels,
   aliases_ = aliases;
 }
 
+void IngestService::attach_wal(WalWriter* wal) { wal_ = wal; }
+
 void IngestService::start() {
   std::unique_lock<std::shared_mutex> gate(gate_);
   if (running_) return;
@@ -79,9 +124,19 @@ bool IngestService::submit(IngestEvent event) {
   std::shared_lock<std::shared_mutex> gate(gate_);
   if (!running_) return false;
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (wal_ != nullptr) {
+    // Durability before volatility: an event the log cannot hold is
+    // rejected here, before it can reach a queue and be double-counted.
+    util::Status st = wal_->append(event);
+    if (!st.ok()) {
+      wal_rejected_.fetch_add(1, std::memory_order_relaxed);
+      dropped_ctr_.inc();
+      return false;
+    }
+  }
   std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = *shards_[seq % shards_.size()];
-  if (shard.queue.push(std::move(event))) {
+  if (shard.queue.push(SeqEvent{seq, std::move(event)})) {
     enqueued_ctr_.inc();
     return true;
   }
@@ -101,22 +156,69 @@ void IngestService::flush() {
   });
 }
 
+std::uint64_t IngestService::epoch_of(std::uint64_t seq) const {
+  // With retention off everything lives in one bucket, so the merge cost
+  // per snapshot is exactly the pre-§12 cost.
+  if (config_.retain_epochs == 0) return 0;
+  return seq / config_.epoch_events;
+}
+
+std::uint64_t IngestService::watermark_epoch_locked() const {
+  if (config_.retain_epochs == 0) return 0;
+  std::uint64_t total = next_seq_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  std::uint64_t last_epoch = (total - 1) / config_.epoch_events;
+  if (last_epoch + 1 <= config_.retain_epochs) return 0;
+  return last_epoch + 1 - config_.retain_epochs;
+}
+
+void IngestService::evict_locked() {
+  std::uint64_t wm = watermark_epoch_locked();
+  if (wm == 0) return;
+  std::uint64_t events = 0, tests = 0, traces = 0, epochs = 0;
+  for (auto& shard : shards_) {
+    auto it = shard->epochs.begin();
+    while (it != shard->epochs.end() && it->first < wm) {
+      events += it->second.events;
+      tests += it->second.ndt_tests;
+      traces += it->second.mapit.traces();
+      ++epochs;
+      it = shard->epochs.erase(it);
+    }
+  }
+  if (events > 0) evicted_events_ctr_.inc(events);
+  if (tests > 0) evicted_tests_ctr_.inc(tests);
+  if (traces > 0) evicted_traces_ctr_.inc(traces);
+  if (epochs > 0) evicted_epochs_ctr_.inc(epochs);
+  evicted_events_.fetch_add(events, std::memory_order_relaxed);
+  eviction_watermark_.store(wm * config_.epoch_events,
+                            std::memory_order_relaxed);
+}
+
 ServiceSnapshot IngestService::snapshot() {
   auto t0 = std::chrono::steady_clock::now();
   // Exclusive gate: no producer can enqueue mid-snapshot, so the drained
   // evidence corresponds to an exact prefix of the submitted stream.
   std::unique_lock<std::shared_mutex> gate(gate_);
   flush();
+  evict_locked();
 
   ServiceSnapshot snap;
   infer::MapItEvidence merged;
-  // Merge in shard order for a fixed traversal; the result is order-
+  // Merge in shard/epoch order for a fixed traversal; the result is order-
   // independent anyway (commutative sums into canonical-layout tables).
   for (const auto& shard : shards_) {
-    merged.merge(shard->mapit);
-    snap.ndt.merge(shard->ndt);
+    for (const auto& [epoch, store] : shard->epochs) {
+      merged.merge(store.mapit);
+      snap.ndt.merge(store.ndt);
+    }
   }
-  snap.events_consumed = consumed_.load(std::memory_order_acquire);
+  snap.events_total = next_seq_.load(std::memory_order_relaxed);
+  snap.events_evicted = evicted_events_.load(std::memory_order_relaxed);
+  snap.eviction_watermark =
+      eviction_watermark_.load(std::memory_order_relaxed);
+  snap.events_consumed =
+      consumed_.load(std::memory_order_acquire) - snap.events_evicted;
   snap.traces = merged.traces();
   snap.ndt_tests = snap.ndt.tests();
   snap.mapit = merged.infer(ip2as_, orgs_, config_.mapit);
@@ -126,11 +228,27 @@ ServiceSnapshot IngestService::snapshot() {
   }
   snap.fingerprint = snapshot_fingerprint(snap);
 
+  // The diff stream: churn against this service's previous snapshot.
+  std::vector<topo::Asn> keys = border_keys(snap);
+  if (have_prev_snapshot_) {
+    snap.diff = diff_from_keys(prev_borders_, prev_events_, keys,
+                               snap.events_consumed);
+  }
+  prev_borders_ = std::move(keys);
+  prev_events_ = snap.events_consumed;
+  have_prev_snapshot_ = true;
+
   auto t1 = std::chrono::steady_clock::now();
   snap.snapshot_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   snapshots_ctr_.inc();
   snapshot_ms_hist_.observe(snap.snapshot_ms);
+  return snap;
+}
+
+ServiceSnapshot IngestService::drain_and_stop() {
+  ServiceSnapshot snap = snapshot();
+  stop();
   return snap;
 }
 
@@ -145,12 +263,21 @@ void IngestService::stop() {
     if (shard->worker.joinable()) shard->worker.join();
     shard->depth_gauge.set(0.0);
   }
+  // The log's tail must be durable before the process that owns it exits.
+  if (wal_ != nullptr && wal_->is_open() && !wal_->failed()) {
+    (void)wal_->sync();
+  }
 }
 
 ServiceCounters IngestService::counters() const {
   ServiceCounters c;
   c.submitted = submitted_.load(std::memory_order_relaxed);
   c.consumed = consumed_.load(std::memory_order_relaxed);
+  c.wal_rejected = wal_rejected_.load(std::memory_order_relaxed);
+  c.evicted = evicted_events_.load(std::memory_order_relaxed);
+  // WAL-rejected events never reached a queue; folding them into dropped
+  // keeps submitted = enqueued + dropped conserved with durability on.
+  c.dropped = c.wal_rejected;
   for (const auto& shard : shards_) {
     QueueCounters q = shard->queue.counters();
     c.enqueued += q.pushed;
@@ -166,11 +293,13 @@ void IngestService::worker_loop(Shard& shard) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(config_.consume_delay_us));
     }
-    if (const auto* test = std::get_if<measure::NdtRecord>(&*ev)) {
-      shard.ndt.add(*test);
-      ++shard.ndt_tests;
+    EpochStore& store = shard.epochs[epoch_of(ev->seq)];
+    ++store.events;
+    if (const auto* test = std::get_if<measure::NdtRecord>(&ev->event)) {
+      store.ndt.add(*test);
+      ++store.ndt_tests;
     } else {
-      shard.mapit.add(std::get<measure::TracerouteRecord>(*ev), ip2as_);
+      store.mapit.add(std::get<measure::TracerouteRecord>(ev->event), ip2as_);
     }
     consumed_ctr_.inc();
     // Release pairs with flush()'s acquire: once a flusher observes the

@@ -1,10 +1,10 @@
 #pragma once
 
-// Always-on ingest service (DESIGN.md §11): bounded MPSC queues feed sharded
-// worker threads, each owning an incremental evidence store (MapItEvidence
-// for traceroutes, NdtStreamStats for tests). snapshot() quiesces producers,
-// drains the queues, merges the per-shard stores in shard order, and runs
-// the same inference tail as a batch run (MapItEvidence::infer +
+// Always-on ingest service (DESIGN.md §11/§12): bounded MPSC queues feed
+// sharded worker threads, each owning incremental evidence stores
+// (MapItEvidence for traceroutes, NdtStreamStats for tests). snapshot()
+// quiesces producers, drains the queues, merges the per-shard stores and
+// runs the same inference tail as a batch run (MapItEvidence::infer +
 // borders_from_mapit), so a snapshot after N consumed events is bit-identical
 // to run_mapit/run_bdrmap over the same N-event log prefix — the equivalence
 // the ingest.snapshot_equals_batch property enforces for every shard count.
@@ -14,10 +14,18 @@
 // the merged table a pure function of the event *set*. Routing (seq % shards)
 // therefore only changes which shard holds which partial sum, never the
 // merged result.
+//
+// Durability and aging (§12): an attached WalWriter persists every accepted
+// event before it is enqueued, and evidence is bucketed per sequence-number
+// epoch so retention can evict whole epochs below a deterministic watermark
+// — a pure function of the submitted-event count and the retention config,
+// never of wall clock — keeping snapshots reproducible under eviction
+// (ingest.eviction_watermark_deterministic).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -33,6 +41,8 @@
 
 namespace netcong::serve {
 
+class WalWriter;
+
 struct ServeConfig {
   // 0 = one shard per hardware thread (at least 1).
   std::size_t shards = 0;
@@ -42,6 +52,12 @@ struct ServeConfig {
   // The vantage point's ASN; snapshots include a bdrmap border map when the
   // relationship table and alias resolver have been provided.
   topo::Asn vp_as = 0;
+  // Evidence retention: events are bucketed by epoch = seq / epoch_events,
+  // and each snapshot evicts every epoch below the watermark that keeps the
+  // newest retain_epochs epochs. retain_epochs = 0 disables eviction (the
+  // pre-§12 unbounded behaviour).
+  std::uint64_t epoch_events = 8192;
+  std::uint64_t retain_epochs = 0;
   // Test knob: each worker sleeps this long per consumed event, making a
   // slow consumer (and thus backpressure / drops) deterministic to provoke.
   std::uint32_t consume_delay_us = 0;
@@ -49,22 +65,50 @@ struct ServeConfig {
 
 // Service-wide accounting. Invariant (checked by the
 // ingest.drop_policy_accounting property): submitted = enqueued + dropped,
-// and after flush() consumed == enqueued.
+// and after flush() consumed == enqueued. Events refused by a failed WAL
+// count as dropped (wal_rejected breaks them out), so the conservation
+// holds with durability on.
 struct ServiceCounters {
   std::uint64_t submitted = 0;
   std::uint64_t enqueued = 0;
   std::uint64_t consumed = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t wal_rejected = 0;  // subset of dropped
+  std::uint64_t evicted = 0;       // events aged out of the evidence stores
+};
+
+// Border churn between two consecutive snapshots — the service's
+// anomaly-facing output: a neighbor AS appearing in or vanishing from the
+// border map between snapshots is exactly the event an interconnection
+// monitor alerts on.
+struct SnapshotDiff {
+  std::vector<topo::Asn> borders_added;    // ascending
+  std::vector<topo::Asn> borders_removed;  // ascending
+  std::int64_t events_delta = 0;  // consumed-event count change
+  bool changed() const {
+    return !borders_added.empty() || !borders_removed.empty();
+  }
 };
 
 struct ServiceSnapshot {
+  // Events represented in the evidence stores (consumed minus evicted).
   std::uint64_t events_consumed = 0;
+  // All events ever assigned a sequence number, including evicted ones.
+  std::uint64_t events_total = 0;
+  // Events aged out of the stores so far (cumulative).
+  std::uint64_t events_evicted = 0;
+  // First sequence number the evidence still covers: every retained event
+  // has seq >= eviction_watermark. 0 when retention is off.
+  std::uint64_t eviction_watermark = 0;
   std::uint64_t traces = 0;
   std::uint64_t ndt_tests = 0;
   infer::MapItResult mapit;
   // Present when relationships/aliases were wired in (set_relationships).
   std::optional<infer::BdrmapResult> borders;
   NdtStreamStats ndt;
+  // Churn against the previous snapshot of this service (empty diff on the
+  // first snapshot).
+  SnapshotDiff diff;
   // Wall time spent inside snapshot(): quiesce + drain + merge + infer.
   // This is the staleness of the freshest data the snapshot can contain.
   double snapshot_ms = 0.0;
@@ -72,6 +116,11 @@ struct ServiceSnapshot {
   // the batch-equivalence proof and for cheap cross-run comparison.
   std::uint64_t fingerprint = 0;
 };
+
+// Recomputes the border churn between two snapshots; the service fills
+// ServiceSnapshot::diff with exactly this (serve_test cross-checks).
+SnapshotDiff diff_snapshots(const ServiceSnapshot& prev,
+                            const ServiceSnapshot& cur);
 
 class IngestService {
  public:
@@ -88,22 +137,36 @@ class IngestService {
   void set_relationships(const topo::RelationshipTable* rels,
                          const infer::AliasResolver* aliases);
 
+  // Optional durability: every accepted event is appended to the WAL
+  // before it is enqueued, so a crashed process can recover_wal() and
+  // replay. Must be called before start(); the writer (already open) must
+  // outlive the service. A failed append rejects the submit (counted in
+  // dropped/wal_rejected) — an event the log cannot hold must not enter
+  // volatile state claiming to be durable.
+  void attach_wal(WalWriter* wal);
+
   // Spawns the shard workers. Idempotent.
   void start();
 
   // Routes one event to its shard. Returns false when the event was dropped
-  // (kDrop policy, full queue) or the service is stopped. Thread-safe; any
-  // number of producers may call concurrently.
+  // (kDrop policy, full queue), refused by the WAL, or the service is
+  // stopped. Thread-safe; any number of producers may call concurrently.
   bool submit(IngestEvent event);
 
   // Blocks until every enqueued event has been consumed. Queues stay open;
   // producers blocked in submit() under kBlock may refill them afterwards.
   void flush();
 
-  // Quiesces producers, drains all queues, merges the per-shard stores and
-  // runs inference. The service keeps running; subsequent submits continue
-  // to accumulate on top of the same evidence.
+  // Quiesces producers, drains all queues, evicts evidence epochs below
+  // the retention watermark, merges the per-shard stores and runs
+  // inference. The service keeps running; subsequent submits continue to
+  // accumulate on top of the same evidence.
   ServiceSnapshot snapshot();
+
+  // Graceful shutdown: drains everything in flight, takes a final
+  // snapshot, stops the workers and syncs the WAL (if attached). The
+  // returned snapshot is the service's last word.
+  ServiceSnapshot drain_and_stop();
 
   // Closes the queues and joins the workers. Idempotent; the destructor
   // calls it. After stop(), submit() returns false.
@@ -115,40 +178,74 @@ class IngestService {
   const ServeConfig& config() const { return config_; }
 
  private:
-  struct Shard {
-    explicit Shard(std::size_t capacity, OverflowPolicy policy)
-        : queue(capacity, policy) {}
-    BoundedQueue<IngestEvent> queue;
-    std::thread worker;
-    // Written only by the worker thread; read under quiescence (flush drains
-    // the queue and a consumed-count barrier orders these writes).
+  // Queue element: the global sequence number rides along so the worker
+  // can bucket evidence by epoch without re-deriving arrival order.
+  struct SeqEvent {
+    std::uint64_t seq = 0;
+    IngestEvent event;
+  };
+
+  // Per-epoch evidence bucket. Eviction drops whole buckets, so the
+  // retained stores are always an exact union of epoch event sets.
+  struct EpochStore {
     infer::MapItEvidence mapit;
     NdtStreamStats ndt;
     std::uint64_t ndt_tests = 0;
+    std::uint64_t events = 0;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t capacity, OverflowPolicy policy)
+        : queue(capacity, policy) {}
+    BoundedQueue<SeqEvent> queue;
+    std::thread worker;
+    // Written only by the worker thread; read under quiescence (flush
+    // drains the queue and a consumed-count barrier orders these writes).
+    // std::map: deterministic ascending-epoch iteration, cold path.
+    std::map<std::uint64_t, EpochStore> epochs;
     obs::Gauge depth_gauge;
   };
 
   void worker_loop(Shard& shard);
+  std::uint64_t epoch_of(std::uint64_t seq) const;
+  std::uint64_t watermark_epoch_locked() const;
+  void evict_locked();
 
   const infer::Ip2As& ip2as_;
   const infer::OrgMap& orgs_;
   const topo::RelationshipTable* rels_ = nullptr;
   const infer::AliasResolver* aliases_ = nullptr;
+  WalWriter* wal_ = nullptr;
   ServeConfig config_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::uint64_t> wal_rejected_{0};
   std::atomic<bool> running_{false};
   // submit() holds this shared; snapshot() holds it exclusive while it
   // drains, so no producer can interleave new events mid-snapshot.
   std::shared_mutex gate_;
 
+  // Eviction state, written only under the exclusive gate; atomics so
+  // counters() can read them without taking it.
+  std::atomic<std::uint64_t> evicted_events_{0};
+  std::atomic<std::uint64_t> eviction_watermark_{0};
+  // Previous snapshot's border set (neighbor ASNs, ascending) and event
+  // count, for the diff stream.
+  bool have_prev_snapshot_ = false;
+  std::vector<topo::Asn> prev_borders_;
+  std::uint64_t prev_events_ = 0;
+
   obs::Counter enqueued_ctr_;
   obs::Counter consumed_ctr_;
   obs::Counter dropped_ctr_;
   obs::Counter snapshots_ctr_;
+  obs::Counter evicted_events_ctr_;
+  obs::Counter evicted_tests_ctr_;
+  obs::Counter evicted_traces_ctr_;
+  obs::Counter evicted_epochs_ctr_;
   obs::Histogram snapshot_ms_hist_;
 };
 

@@ -1,0 +1,322 @@
+#include "serve/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace netcong::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string segment_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.seg",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+// Extracts the numeric index from a "wal-XXXXXXXX.seg" basename; returns
+// false for anything else in the directory.
+bool parse_segment_index(const std::string& name, std::uint64_t* index) {
+  if (name.size() != 16 || name.rfind("wal-", 0) != 0 ||
+      name.substr(12) != ".seg") {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 4; i < 12; ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *index = v;
+  return true;
+}
+
+// Full write with EINTR/short-write handling.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { close(); }
+
+util::Status WalWriter::open(const std::string& dir, WalOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return util::error_status("wal already open");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::error_status("wal dir '" + dir + "': " + ec.message());
+  }
+  dir_ = dir;
+  options_ = options;
+  failed_ = false;
+  // Never reopen an existing segment for append: recovery owns old tails,
+  // the writer owns only segments it created.
+  std::uint64_t next = 0;
+  for (const std::string& path : wal_segments(dir)) {
+    std::uint64_t idx = 0;
+    if (parse_segment_index(fs::path(path).filename().string(), &idx)) {
+      next = std::max(next, idx + 1);
+    }
+  }
+  segment_index_ = next;
+  return rotate_locked();
+}
+
+util::Status WalWriter::rotate_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ++segment_index_;
+  }
+  std::string path = dir_ + "/" + segment_name(segment_index_);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::error_status("wal open '" + path +
+                              "': " + std::strerror(errno));
+  }
+  if (!write_all(fd, reinterpret_cast<const std::uint8_t*>(kWalMagic),
+                 kWalMagicBytes)) {
+    ::close(fd);
+    return util::error_status("wal magic write failed: " +
+                              std::string(std::strerror(errno)));
+  }
+  fd_ = fd;
+  segment_size_ = kWalMagicBytes;
+  segment_records_ = 0;
+  ++stats_.segments_created;
+  stats_.bytes_written += kWalMagicBytes;
+  return util::ok_status();
+}
+
+util::Status WalWriter::append(const IngestEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return util::error_status("wal writer failed (torn write)");
+  if (fd_ < 0) return util::error_status("wal not open");
+
+  std::vector<std::uint8_t> frame;
+  append_frame(event, frame);
+
+  if (segment_records_ > 0 &&
+      segment_size_ + frame.size() > options_.segment_bytes) {
+    util::Status st = rotate_locked();
+    if (!st.ok()) return st;
+  }
+
+  const sim::FaultInjector* f = options_.faults;
+  double torn_prob = f ? f->config().wal_torn_write_prob : 0.0;
+  if (f && frame.size() > 1 &&
+      f->fires(sim::FaultSite::kWalTornWrite, stats_.appended, torn_prob)) {
+    // Simulated crash mid-append: a strict prefix of the frame reaches the
+    // disk and this process never runs again. The partial length comes
+    // from the same (seed, site, item) stream as the decision, after
+    // re-taking the decision draw, so it is deterministic too.
+    util::Rng rng = f->stream(sim::FaultSite::kWalTornWrite, stats_.appended);
+    (void)rng.chance(torn_prob);
+    std::size_t partial = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(frame.size()) - 1));
+    write_all(fd_, frame.data(), partial);
+    segment_size_ += partial;
+    stats_.bytes_written += partial;
+    ++stats_.torn_writes;
+    failed_ = true;
+    return util::error_status("wal torn write (simulated crash)");
+  }
+
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    failed_ = true;
+    return util::error_status("wal write failed: " +
+                              std::string(std::strerror(errno)));
+  }
+  segment_size_ += frame.size();
+  stats_.bytes_written += frame.size();
+  ++segment_records_;
+  ++stats_.appended;
+
+  if (options_.fsync_each_append) return sync_locked();
+  return util::ok_status();
+}
+
+util::Status WalWriter::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return util::error_status("wal not open");
+  return sync_locked();
+}
+
+util::Status WalWriter::sync_locked() {
+  ++stats_.syncs;
+  const sim::FaultInjector* f = options_.faults;
+  if (f && f->fires(sim::FaultSite::kWalFsyncFail, stats_.syncs,
+                    f->config().wal_fsync_fail_prob)) {
+    // Injected fsync failure: the append survives only in the page cache.
+    // Counted, not fatal — the writer keeps running, and whether the data
+    // survives a crash is the recovery property's business.
+    ++stats_.fsync_failures;
+    return util::ok_status();
+  }
+  if (::fsync(fd_) != 0) {
+    ++stats_.fsync_failures;
+    return util::error_status("fsync failed: " +
+                              std::string(std::strerror(errno)));
+  }
+  return util::ok_status();
+}
+
+void WalWriter::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    if (!failed_) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WalWriter::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+bool WalWriter::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+WalStats WalWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<std::string> wal_segments(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t idx = 0;
+    if (parse_segment_index(entry.path().filename().string(), &idx)) {
+      out.push_back(entry.path().string());
+    }
+  }
+  // Fixed-width zero-padded indices: lexicographic order is numeric order.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+util::Result<WalRecovery> recover_wal(const std::string& dir, bool repair) {
+  using R = util::Result<WalRecovery>;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return R::failure("wal dir '" + dir + "' does not exist");
+  }
+  if (!fs::is_directory(dir, ec)) {
+    return R::failure("wal dir '" + dir + "' is not a directory");
+  }
+
+  WalRecovery rec;
+  std::vector<std::string> segments = wal_segments(dir);
+  std::size_t stop_segment = segments.size();  // first segment to drop
+  std::size_t truncate_at = 0;                 // keep [0, truncate_at) of it
+  bool truncate_in_place = false;
+
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const std::string& path = segments[s];
+    std::vector<std::uint8_t> data;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) return R::failure("cannot read wal segment '" + path + "'");
+      in.seekg(0, std::ios::end);
+      std::streamoff size = in.tellg();
+      in.seekg(0, std::ios::beg);
+      data.resize(static_cast<std::size_t>(size));
+      if (size > 0 &&
+          !in.read(reinterpret_cast<char*>(data.data()), size)) {
+        return R::failure("short read on wal segment '" + path + "'");
+      }
+    }
+    ++rec.segments_scanned;
+    rec.bytes_scanned += data.size();
+
+    if (data.size() < kWalMagicBytes ||
+        std::memcmp(data.data(), kWalMagic, kWalMagicBytes) != 0) {
+      // A bad magic means nothing in this segment can be trusted; the
+      // valid prefix ends at the previous segment boundary.
+      rec.truncated_tail = true;
+      rec.tail_error = "bad segment magic";
+      rec.torn_bytes += data.size();
+      stop_segment = s;
+      break;
+    }
+
+    std::size_t off = kWalMagicBytes;
+    bool bad = false;
+    while (off < data.size()) {
+      FrameView frame;
+      std::size_t consumed = 0;
+      FrameError err =
+          parse_frame(data.data() + off, data.size() - off, &frame, &consumed);
+      if (err == FrameError::kNone) {
+        util::Result<IngestEvent> ev = decode_event(frame);
+        if (!ev.ok()) {
+          err = FrameError::kBadPayload;
+          rec.tail_error = ev.error();
+        } else {
+          rec.events.push_back(std::move(ev.value()));
+          off += consumed;
+          continue;
+        }
+      }
+      // First invalid byte: the valid prefix ends here. Everything after
+      // it — the rest of this segment and all later segments — is cut.
+      rec.truncated_tail = true;
+      if (rec.tail_error.empty()) rec.tail_error = frame_error_name(err);
+      rec.torn_bytes += data.size() - off;
+      stop_segment = s;
+      truncate_at = off;
+      truncate_in_place = true;
+      bad = true;
+      break;
+    }
+    if (bad) break;
+  }
+
+  if (repair && rec.truncated_tail) {
+    if (truncate_in_place) {
+      fs::resize_file(segments[stop_segment], truncate_at, ec);
+      if (ec) {
+        return R::failure("wal repair: cannot truncate '" +
+                          segments[stop_segment] + "': " + ec.message());
+      }
+      for (std::size_t s = stop_segment + 1; s < segments.size(); ++s) {
+        fs::remove(segments[s], ec);
+        ++rec.segments_dropped;
+      }
+    } else {
+      // Bad magic: the whole segment and everything after it goes.
+      for (std::size_t s = stop_segment; s < segments.size(); ++s) {
+        fs::remove(segments[s], ec);
+        ++rec.segments_dropped;
+      }
+    }
+  }
+
+  return R::success(std::move(rec));
+}
+
+}  // namespace netcong::serve

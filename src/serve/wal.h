@@ -1,0 +1,127 @@
+#pragma once
+
+// Write-ahead event log for the ingest service (DESIGN.md §12). Every
+// submitted IngestEvent is appended — as one codec frame — to a segment
+// file before it enters the queues, so a crashed daemon restarts by
+// replaying the log and arrives at the exact state a never-crashed run
+// over the same events would reach (snapshot equality is the monoid
+// argument of §11: evidence stores are order-insensitive merges, so the
+// replayed set, not the interleaving, determines the snapshot).
+//
+// Disk layout: `<dir>/wal-<index>.seg`, each segment starting with an
+// 8-byte magic and followed by frames back to back. Segments rotate at a
+// configurable byte threshold; a segment always holds at least one record
+// so an oversized record cannot wedge rotation.
+//
+// Recovery contract: recover_wal() replays the longest valid prefix of
+// the log — every frame up to the first torn/corrupt byte — and, with
+// repair on, truncates the bad tail in place and deletes any later
+// segments so a reopened writer continues from a clean boundary. The
+// ingest.wal_recovery_equals_batch / wal_torn_tail properties drive this
+// with random truncations and bit-flips.
+//
+// Fault sites (sim/faults): kWalTornWrite models process death mid-append
+// — a partial frame lands on disk and the writer refuses further work,
+// like the dead process it simulates; kWalFsyncFail models an fsync error
+// with the append surviving only in page cache.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/codec.h"
+#include "serve/event.h"
+#include "sim/faults.h"
+#include "util/result.h"
+
+namespace netcong::serve {
+
+inline constexpr char kWalMagic[8] = {'N', 'C', 'W', 'A', 'L', '0', '0', '1'};
+inline constexpr std::size_t kWalMagicBytes = 8;
+
+struct WalOptions {
+  // Rotation threshold; a segment may exceed it by one record.
+  std::size_t segment_bytes = 4u << 20;
+  // fsync after every append (durable but slow) vs. on sync()/close only.
+  bool fsync_each_append = false;
+  // Optional deterministic fault injector (sites kWalTornWrite /
+  // kWalFsyncFail). Must outlive the writer.
+  const sim::FaultInjector* faults = nullptr;
+};
+
+struct WalStats {
+  std::uint64_t appended = 0;        // records fully written
+  std::uint64_t segments_created = 0;
+  std::uint64_t bytes_written = 0;   // magic + frames, incl. torn bytes
+  std::uint64_t syncs = 0;
+  std::uint64_t fsync_failures = 0;  // injected or real, append kept
+  std::uint64_t torn_writes = 0;     // injected partial appends (fatal)
+};
+
+// Appends events to rotating segment files. Thread-safe: concurrent
+// producers serialize on an internal mutex, so the on-disk order is the
+// canonical event order. After a torn write the writer is failed() and
+// every further append errors — the process it models is dead.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens `dir` (created if missing) and starts a fresh segment numbered
+  // after the highest existing one — recovered segments are never
+  // reopened for append, so recovery and append cannot race over a tail.
+  util::Status open(const std::string& dir, WalOptions options);
+
+  util::Status append(const IngestEvent& event);
+
+  // Flushes the current segment to disk (fsync).
+  util::Status sync();
+
+  void close();
+
+  bool is_open() const;
+  bool failed() const;
+  WalStats stats() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  util::Status rotate_locked();
+  util::Status sync_locked();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  WalOptions options_;
+  WalStats stats_;
+  int fd_ = -1;
+  std::uint64_t segment_index_ = 0;  // index of the open segment
+  std::size_t segment_size_ = 0;     // bytes in the open segment
+  std::size_t segment_records_ = 0;
+  bool failed_ = false;
+};
+
+struct WalRecovery {
+  std::vector<IngestEvent> events;   // the valid prefix, in append order
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t torn_bytes = 0;      // bytes cut from the first bad segment
+  std::uint64_t segments_dropped = 0;  // later segments removed by repair
+  bool truncated_tail = false;       // a torn/corrupt tail was found
+  // Why the scan stopped early (empty when the whole log was valid).
+  std::string tail_error;
+};
+
+// Scans `dir`'s segments in index order and decodes every frame up to the
+// first invalid byte. With `repair`, the bad segment is truncated at that
+// byte and all later segments are deleted, leaving a log that a fresh
+// scan reads back clean. Never throws; unreadable directories fail.
+util::Result<WalRecovery> recover_wal(const std::string& dir,
+                                      bool repair = true);
+
+// Sorted segment paths currently in `dir` (exposed for tests/benches that
+// corrupt specific offsets).
+std::vector<std::string> wal_segments(const std::string& dir);
+
+}  // namespace netcong::serve

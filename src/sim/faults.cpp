@@ -40,6 +40,14 @@ constexpr SiteInfo kSites[] = {
      "stale prefix2AS entries (wrong origin ASN in the BGP view)"},
     {FaultSite::kRetryBackoff, "retry-backoff",
      "client-side retry backoff draws after a server outage"},
+    {FaultSite::kWalTornWrite, "wal-torn-write",
+     "process death mid-append leaves a torn frame at the WAL tail"},
+    {FaultSite::kWalFsyncFail, "wal-fsync-fail",
+     "fsync on a WAL segment fails; append survives only in page cache"},
+    {FaultSite::kNetShortRead, "net-short-read",
+     "socket front-end receives frames in 1-3 byte chunks"},
+    {FaultSite::kNetDisconnect, "net-disconnect",
+     "producer disconnects after sending only part of a frame"},
 };
 
 const SiteInfo& info(FaultSite site) {
@@ -54,7 +62,7 @@ const SiteInfo& info(FaultSite site) {
 // decision streams stay pure functions of (seed, site, item) — metrics
 // observe the draws, they never consume randomness.
 struct FireMetrics {
-  std::array<obs::Counter, 10> fired{};
+  std::array<obs::Counter, 14> fired{};
   FireMetrics() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
     for (const SiteInfo& s : kSites) {
@@ -98,6 +106,10 @@ FaultConfig FaultConfig::scaled(double severity) {
   cfg.daemon_crash_prob = 0.5 * s;
   cfg.probe_loss_prob = s;
   cfg.prefix2as_stale_fraction = 0.25 * s;
+  cfg.wal_torn_write_prob = 0.25 * s;
+  cfg.wal_fsync_fail_prob = 0.25 * s;
+  cfg.net_short_read_prob = s;
+  cfg.net_disconnect_prob = 0.25 * s;
   return cfg;
 }
 
@@ -133,6 +145,10 @@ std::vector<std::pair<std::string, std::size_t>> DataQuality::rows() const {
       {"traceroutes_lost_crash", traceroutes_lost_crash},
       {"traceroutes_suppressed_cached", traceroutes_suppressed_cached},
       {"traceroutes_degraded", traceroutes_degraded},
+      {"ingest_frames_ok", ingest_frames_ok},
+      {"ingest_frames_rejected", ingest_frames_rejected},
+      {"ingest_events_submitted", ingest_events_submitted},
+      {"ingest_events_dropped", ingest_events_dropped},
   };
 }
 

@@ -43,6 +43,12 @@ enum class FaultSite : std::uint64_t {
   kWebStatsDrop = 7,    // WebStats fields dropped from the test record
   kPrefix2AsStale = 8,  // stale prefix2AS entries (wrong origin ASN)
   kRetryBackoff = 9,    // client-side retry backoff draws
+  // Ingest durability sites (DESIGN.md §12): the serve subsystem's WAL and
+  // socket front-end compose with the same deterministic injector.
+  kWalTornWrite = 10,   // process dies mid-append: partial frame on disk
+  kWalFsyncFail = 11,   // fsync returns an error; append stays page-cached
+  kNetShortRead = 12,   // socket delivers frames in tiny chunks
+  kNetDisconnect = 13,  // producer disconnects mid-frame
 };
 
 const char* fault_site_name(FaultSite site);
@@ -93,6 +99,21 @@ struct FaultConfig {
   // by a deterministic wrong AS drawn from the announced set).
   double prefix2as_stale_fraction = 0.0;
 
+  // -- ingest durability (sites kWalTornWrite / kWalFsyncFail) --
+  // Per-append probability the process "dies" mid-write, leaving a torn
+  // frame at the segment tail (the writer then refuses further appends,
+  // like the dead process it models), and per-sync probability that fsync
+  // fails (the append survives only in the page cache).
+  double wal_torn_write_prob = 0.0;
+  double wal_fsync_fail_prob = 0.0;
+
+  // -- socket front-end (sites kNetShortRead / kNetDisconnect) --
+  // Per-connection probability the server's reads arrive in 1-3 byte
+  // chunks (framing reassembly stress), and per-event probability a client
+  // disconnects after sending only part of a frame.
+  double net_short_read_prob = 0.0;
+  double net_disconnect_prob = 0.0;
+
   // A one-knob severity preset: s in [0,1] scales every site's rate.
   static FaultConfig scaled(double severity);
 };
@@ -127,6 +148,14 @@ struct DataQuality {
   std::size_t traceroutes_suppressed_cached = 0;
   std::size_t traceroutes_degraded = 0;  // ran with injected probe loss
 
+  // Socket ingest (serve/net): received = ok + rejected, and every ok
+  // frame's event is either submitted or classified dropped — the
+  // socket-layer share of the conserved drop-policy accounting.
+  std::size_t ingest_frames_ok = 0;
+  std::size_t ingest_frames_rejected = 0;
+  std::size_t ingest_events_submitted = 0;
+  std::size_t ingest_events_dropped = 0;
+
   bool consistent() const {
     return tests_attempted == tests_completed + tests_aborted +
                                   tests_unserved + tests_failed &&
@@ -135,7 +164,8 @@ struct DataQuality {
                                         traceroutes_lost_failed +
                                         traceroutes_lost_crash &&
            tests_truncated <= tests_completed &&
-           webstats_dropped <= tests_completed;
+           webstats_dropped <= tests_completed &&
+           ingest_frames_ok == ingest_events_submitted + ingest_events_dropped;
   }
 
   bool operator==(const DataQuality& o) const = default;

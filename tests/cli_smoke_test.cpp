@@ -119,6 +119,87 @@ TEST(CliServe, InvalidPolicyExits2) {
   EXPECT_NE(err.output.find("--policy"), std::string::npos) << err.output;
 }
 
+// Every malformed value of the §12 flags is a usage error caught before
+// the (expensive) world generation: exit 2 with the flag named on stderr.
+TEST(CliServe, InvalidListenPortExits2) {
+  for (const char* bad : {"--listen nope", "--listen 70000", "--listen 12x"}) {
+    RunResult err = run_cli(std::string("serve --scale tiny ") + bad +
+                            " 2>&1 1>/dev/null");
+    EXPECT_EQ(err.exit_code, 2) << bad;
+    EXPECT_NE(err.output.find("--listen"), std::string::npos)
+        << bad << ": " << err.output;
+  }
+}
+
+TEST(CliServe, InvalidConnectExits2) {
+  for (const char* bad :
+       {"--connect nohost", "--connect :99", "--connect h:0",
+        "--connect h:huge"}) {
+    RunResult err = run_cli(std::string("serve --scale tiny ") + bad +
+                            " 2>&1 1>/dev/null");
+    EXPECT_EQ(err.exit_code, 2) << bad;
+    EXPECT_NE(err.output.find("--connect"), std::string::npos)
+        << bad << ": " << err.output;
+  }
+}
+
+TEST(CliServe, ListenAndConnectAreMutuallyExclusive) {
+  RunResult err = run_cli(
+      "serve --scale tiny --listen 0 --connect h:9 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("mutually exclusive"), std::string::npos)
+      << err.output;
+}
+
+TEST(CliServe, InvalidRetentionExits2) {
+  for (const char* bad : {"--epoch -3", "--epoch x", "--retain -1",
+                          "--retain 1.5"}) {
+    RunResult err = run_cli(std::string("serve --scale tiny ") + bad +
+                            " 2>&1 1>/dev/null");
+    EXPECT_EQ(err.exit_code, 2) << bad;
+  }
+}
+
+TEST(CliServe, UncreatableWalDirExits2) {
+  RunResult err = run_cli(
+      "serve --scale tiny --wal-dir /proc/nope/wal 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("--wal-dir"), std::string::npos) << err.output;
+}
+
+TEST(CliServe, ConnectToDeadPortIsRuntimeErrorNotUsage) {
+  // A well-formed --connect that finds nobody listening exits 1, not 2 —
+  // the flag was fine, the world was not.
+  RunResult err = run_cli(
+      "serve --scale tiny --seed 3 --tests 50 --connect 127.0.0.1:1 "
+      "2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 1);
+}
+
+TEST(CliServe, ListenSelfFeedAndWalRunEndToEnd) {
+  // The full §12 surface in one invocation: ephemeral listener with the
+  // log fed through the socket, WAL persistence, and retention. A second
+  // run over the same --wal-dir then replays the recovered log.
+  std::string wal = ::testing::TempDir() + "netcong-cli-wal";
+  std::string flags =
+      "serve --scale tiny --seed 3 --tests 300 --snapshots 2 --listen 0 "
+      "--epoch 64 --retain 2 --wal-dir " + wal;
+  RunResult first = run_cli(flags + " 2>&1");
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_NE(first.output.find("listening on 127.0.0.1:"), std::string::npos)
+      << first.output;
+  EXPECT_NE(first.output.find("socket:"), std::string::npos);
+  EXPECT_NE(first.output.find("wal:"), std::string::npos);
+  EXPECT_NE(first.output.find("retention:"), std::string::npos);
+  EXPECT_EQ(first.output.find("[INCONSISTENT]"), std::string::npos)
+      << first.output;
+
+  RunResult second = run_cli(flags + " 2>&1");
+  EXPECT_EQ(second.exit_code, 0) << second.output;
+  EXPECT_NE(second.output.find("recovered"), std::string::npos)
+      << second.output;
+}
+
 // Parses subcommand names out of the help text: the indented block between
 // "subcommands:" and the following blank line, first token of each line.
 std::vector<std::string> registered_subcommands() {

@@ -16,7 +16,7 @@ namespace {
 
 TEST(FaultSites, NamedAndDescribed) {
   const auto& sites = all_fault_sites();
-  EXPECT_EQ(sites.size(), 9u);
+  EXPECT_EQ(sites.size(), 13u);
   std::set<std::string> names;
   for (FaultSite site : sites) {
     std::string name = fault_site_name(site);

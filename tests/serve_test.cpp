@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -19,8 +20,10 @@
 #include "route/bgp.h"
 #include "route/forwarding.h"
 #include "serve/event.h"
+#include "serve/net.h"
 #include "serve/queue.h"
 #include "serve/service.h"
+#include "sim/faults.h"
 #include "sim/throughput.h"
 
 namespace netcong::serve {
@@ -261,6 +264,121 @@ TEST(ServeSnapshotTest, SnapshotsAreIncremental) {
   for (const auto& ev : log) ASSERT_TRUE(fresh.submit(ev));
   EXPECT_EQ(fresh.snapshot().fingerprint, second.fingerprint);
   fresh.stop();
+}
+
+// Regression for the drop-policy accounting gap: events arriving over the
+// socket and dropped by a full kDrop queue must stay inside the conserved
+// invariants at every layer — the listener's frame accounting, the
+// service's submit accounting, and the campaign-level DataQuality report
+// they fold into. Before §12 the socket layer had no ledger, so a dropped
+// socket event simply vanished from the books.
+TEST(ServeSocketTest, DropPolicyAccountingSpansSocketAndService) {
+  Stack& s = stack();
+  ServeConfig cfg = base_config(2);
+  cfg.policy = OverflowPolicy::kDrop;
+  cfg.queue_capacity = 2;
+  cfg.consume_delay_us = 200;  // consumer far slower than loopback TCP
+  IngestService svc(s.ip2as, s.orgs, cfg);
+  svc.start();
+  FrameListener listener(svc, NetConfig{});
+  ASSERT_TRUE(listener.start(0).ok());
+
+  const auto& log = event_log();
+  std::size_t n = std::min<std::size_t>(log.size(), 400);
+  FrameClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", listener.port()).ok());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_TRUE(client.send(log[i]).ok());
+  client.close();
+
+  // Wait until the listener has classified every frame, then quiesce.
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (listener.counters().frames_ok < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  svc.flush();
+  NetCounters net = listener.counters();
+  listener.stop();
+
+  // Socket-layer conservation: every good frame's event was either
+  // submitted or classified dropped.
+  EXPECT_EQ(net.frames_ok, n);
+  EXPECT_EQ(net.frames_rejected(), 0u);
+  EXPECT_TRUE(net.consistent());
+  EXPECT_EQ(net.events_submitted + net.events_dropped, n);
+  EXPECT_GT(net.events_dropped, 0u);  // tiny queues + slow consumer
+
+  // Service-layer conservation, and the two ledgers agree edge for edge.
+  ServiceCounters c = svc.counters();
+  EXPECT_EQ(c.submitted, n);
+  EXPECT_EQ(c.submitted, c.enqueued + c.dropped);
+  EXPECT_EQ(c.enqueued, net.events_submitted);
+  EXPECT_EQ(c.dropped, net.events_dropped);
+  EXPECT_EQ(c.consumed, c.enqueued);
+
+  // And the campaign-level report stays consistent once the socket share
+  // is folded in.
+  sim::DataQuality quality;
+  net.fold_into(quality);
+  EXPECT_TRUE(quality.consistent());
+  EXPECT_EQ(quality.ingest_frames_ok, n);
+  EXPECT_EQ(quality.ingest_events_submitted + quality.ingest_events_dropped,
+            n);
+  svc.stop();
+}
+
+// The snapshot diff stream: each snapshot's churn field must equal the
+// diff recomputed from the two snapshots by diff_snapshots(), through both
+// growth (borders added as evidence accumulates) and decay (borders
+// removed when eviction ages their evidence out).
+TEST(ServeSnapshotTest, DiffStreamMatchesRecomputedDiff) {
+  Stack& s = stack();
+  const auto& log = event_log();
+  ASSERT_GT(log.size(), 16u);
+
+  ServeConfig cfg = base_config(2);
+  // Sized against the cached log (~2.7k events, whose single border's
+  // traceroute evidence arrives mid-log): two 1024-event epochs keep the
+  // border alive at the second snapshot and age it out by the third, so
+  // the diff stream shows both growth and decay churn.
+  cfg.epoch_events = 1024;
+  cfg.retain_epochs = 2;
+  IngestService svc(s.ip2as, s.orgs, cfg);
+  svc.set_relationships(&s.world.topo->relationships(), &s.aliases);
+  svc.start();
+
+  // First snapshot: tiny prefix, so later snapshots have borders to add.
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_TRUE(svc.submit(log[i]));
+  ServiceSnapshot snap1 = svc.snapshot();
+  EXPECT_FALSE(snap1.diff.changed());  // no previous snapshot to diff
+  EXPECT_EQ(snap1.diff.events_delta, 0);
+
+  // Second: the bulk of the log lands, growing the border map.
+  std::size_t mid = log.size() / 2;
+  for (std::size_t i = 4; i < mid; ++i) ASSERT_TRUE(svc.submit(log[i]));
+  ServiceSnapshot snap2 = svc.snapshot();
+  SnapshotDiff expect2 = diff_snapshots(snap1, snap2);
+  EXPECT_EQ(snap2.diff.borders_added, expect2.borders_added);
+  EXPECT_EQ(snap2.diff.borders_removed, expect2.borders_removed);
+  EXPECT_EQ(snap2.diff.events_delta, expect2.events_delta);
+  EXPECT_EQ(snap2.diff.events_delta,
+            static_cast<std::int64_t>(snap2.events_consumed) -
+                static_cast<std::int64_t>(snap1.events_consumed));
+  EXPECT_FALSE(snap2.diff.borders_added.empty());  // growth churn
+
+  // Third: the rest, with eviction aging the early epochs out.
+  for (std::size_t i = mid; i < log.size(); ++i) {
+    ASSERT_TRUE(svc.submit(log[i]));
+  }
+  ServiceSnapshot snap3 = svc.snapshot();
+  EXPECT_GT(snap3.events_evicted, 0u);
+  SnapshotDiff expect3 = diff_snapshots(snap2, snap3);
+  EXPECT_EQ(snap3.diff.borders_added, expect3.borders_added);
+  EXPECT_EQ(snap3.diff.borders_removed, expect3.borders_removed);
+  EXPECT_EQ(snap3.diff.events_delta, expect3.events_delta);
+  EXPECT_FALSE(snap3.diff.borders_removed.empty());  // decay churn
+  svc.stop();
 }
 
 TEST(ServeEventTest, ClassicAndColumnarLogsIdentical) {

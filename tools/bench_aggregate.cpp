@@ -71,6 +71,8 @@ const char* const kSummaryKeys[] = {
     "events_per_sec",
     "staleness_p50_ms",
     "staleness_p99_ms",
+    "wal_append_events_per_sec",
+    "recovery_events_per_sec",
 };
 
 }  // namespace

@@ -11,9 +11,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/coverage.h"
@@ -35,7 +37,9 @@
 #include "route/forwarding.h"
 #include "route/path_cache.h"
 #include "serve/event.h"
+#include "serve/net.h"
 #include "serve/service.h"
+#include "serve/wal.h"
 #include "sim/faults.h"
 #include "sim/throughput.h"
 #include "util/strings.h"
@@ -471,13 +475,94 @@ int cmd_scale(const Args& args) {
   return 0;
 }
 
+// Strict unsigned parse for flag values: the whole string must be digits
+// and fit under `max`. atoi-style silent truncation must not turn a typo
+// into a surprising port or retention window.
+bool parse_flag_uint(const std::string& text, unsigned long long max,
+                     unsigned long long* out) {
+  if (text.empty() || text.size() > 18) return false;
+  unsigned long long v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<unsigned long long>(c - '0');
+  }
+  if (v > max) return false;
+  *out = v;
+  return true;
+}
+
 int cmd_serve(const Args& args) {
-  // Validate flags with values from a closed set before any heavy work.
+  // Validate flags with values from a closed set before any heavy work;
+  // a bad value is a usage error (exit 2), not a runtime failure.
   std::string policy = args.get("policy", "block");
   if (policy != "block" && policy != "drop") {
     std::fprintf(stderr, "unknown --policy '%s' (block|drop)\n",
                  policy.c_str());
     return 2;
+  }
+  unsigned long long listen_port = 0;
+  bool listen = args.has("listen");
+  if (listen &&
+      !parse_flag_uint(args.get("listen", ""), 65535, &listen_port)) {
+    std::fprintf(stderr, "bad --listen '%s' (port 0-65535, 0 = ephemeral)\n",
+                 args.get("listen", "").c_str());
+    return 2;
+  }
+  std::string connect_host;
+  unsigned long long connect_port = 0;
+  bool connect = args.has("connect");
+  if (connect) {
+    std::string hp = args.get("connect", "");
+    std::size_t colon = hp.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        !parse_flag_uint(hp.substr(colon + 1), 65535, &connect_port) ||
+        connect_port == 0) {
+      std::fprintf(stderr, "bad --connect '%s' (expected HOST:PORT)\n",
+                   hp.c_str());
+      return 2;
+    }
+    connect_host = hp.substr(0, colon);
+  }
+  if (listen && connect) {
+    std::fprintf(stderr, "--listen and --connect are mutually exclusive\n");
+    return 2;
+  }
+  unsigned long long epoch_events = 8192;
+  if (args.has("epoch") &&
+      !parse_flag_uint(args.get("epoch", ""), 1ull << 40, &epoch_events)) {
+    std::fprintf(stderr, "bad --epoch '%s' (events per epoch, >= 0)\n",
+                 args.get("epoch", "").c_str());
+    return 2;
+  }
+  unsigned long long retain_epochs = 0;
+  if (args.has("retain") &&
+      !parse_flag_uint(args.get("retain", ""), 1ull << 40, &retain_epochs)) {
+    std::fprintf(stderr, "bad --retain '%s' (epochs to retain, 0 = keep all)\n",
+                 args.get("retain", "").c_str());
+    return 2;
+  }
+
+  // Durability: recover whatever a previous (possibly crashed) run left in
+  // the WAL directory, then open a writer for this run's events. An
+  // unusable directory is a usage error, caught before the world builds.
+  std::string wal_dir = args.get("wal-dir", "");
+  serve::WalRecovery recovered;
+  serve::WalWriter wal;
+  if (!wal_dir.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(wal_dir, ec)) {
+      util::Result<serve::WalRecovery> rec = serve::recover_wal(wal_dir);
+      if (!rec.ok()) {
+        std::fprintf(stderr, "bad --wal-dir: %s\n", rec.error().c_str());
+        return 2;
+      }
+      recovered = std::move(rec.value());
+    }
+    util::Status st = wal.open(wal_dir, serve::WalOptions{});
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad --wal-dir: %s\n", st.error().c_str());
+      return 2;
+    }
   }
 
   gen::World world = gen::generate_world(config_from(args));
@@ -503,34 +588,9 @@ int cmd_serve(const Args& args) {
   std::vector<serve::IngestEvent> log =
       serve::event_log_from(campaign.run(schedule, rng));
 
-  infer::Ip2As ip2as(*world.topo);
-  infer::OrgMap orgs(*world.topo);
-  infer::AliasResolver aliases(*world.topo, 0.9,
-                               static_cast<std::uint64_t>(args.get_int("seed", 42)));
-
-  serve::ServeConfig scfg;
-  scfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
-  scfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 1024));
-  if (policy == "drop") scfg.policy = serve::OverflowPolicy::kDrop;
-  if (!world.ark_vps.empty()) {
-    scfg.vp_as = world.topo->host(world.ark_vps[0]).asn;
-  }
-  serve::IngestService svc(ip2as, orgs, scfg);
-  svc.set_relationships(&world.topo->relationships(), &aliases);
-  svc.start();
-
-  // Replay at --rate events/sec (0 = unpaced), snapshotting --snapshots
-  // times at even intervals through the log.
   double rate = args.get_double("rate", 0.0);
-  std::size_t snapshots =
-      static_cast<std::size_t>(args.get_int("snapshots", 4));
-  if (snapshots == 0) snapshots = 1;
-  std::size_t stride = log.size() / snapshots + 1;
-  std::vector<double> snapshot_ms;
-  serve::ServiceSnapshot last;
-  auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < log.size(); ++i) {
-    svc.submit(log[i]);
+  auto pace = [&](std::size_t i,
+                  std::chrono::steady_clock::time_point start) {
     if (rate > 0.0 && (i & 0xff) == 0xff) {
       double due_s = static_cast<double>(i + 1) / rate;
       double wall_s = std::chrono::duration<double>(
@@ -541,18 +601,140 @@ int cmd_serve(const Args& args) {
             std::chrono::duration<double>(due_s - wall_s));
       }
     }
+  };
+
+  // Pure producer mode: stream the generated log to a daemon elsewhere
+  // and exit — no local service at all.
+  if (connect) {
+    serve::FrameClient client;
+    util::Status st = client.connect(
+        connect_host, static_cast<std::uint16_t>(connect_port));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.error().c_str());
+      return 1;
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      util::Status sent = client.send(log[i]);
+      if (!sent.ok()) {
+        std::fprintf(stderr, "%s\n", sent.error().c_str());
+        return 1;
+      }
+      pace(i, start);
+    }
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    std::printf("sent %llu events to %s:%llu in %.2f s (%.0f events/sec)\n",
+                static_cast<unsigned long long>(client.events_sent()),
+                connect_host.c_str(), connect_port, wall_s,
+                static_cast<double>(client.events_sent()) / wall_s);
+    return 0;
+  }
+
+  infer::Ip2As ip2as(*world.topo);
+  infer::OrgMap orgs(*world.topo);
+  infer::AliasResolver aliases(*world.topo, 0.9,
+                               static_cast<std::uint64_t>(args.get_int("seed", 42)));
+
+  serve::ServeConfig scfg;
+  scfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  scfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 1024));
+  if (policy == "drop") scfg.policy = serve::OverflowPolicy::kDrop;
+  scfg.epoch_events = epoch_events;
+  scfg.retain_epochs = retain_epochs;
+  if (!world.ark_vps.empty()) {
+    scfg.vp_as = world.topo->host(world.ark_vps[0]).asn;
+  }
+  serve::IngestService svc(ip2as, orgs, scfg);
+  svc.set_relationships(&world.topo->relationships(), &aliases);
+  if (wal.is_open()) svc.attach_wal(&wal);
+  svc.start();
+
+  // Crash recovery: replay the surviving WAL prefix before any new event,
+  // so the service resumes exactly where the dead process stopped. The
+  // replayed events re-enter the (truncated, reopened) WAL through the
+  // normal submit path, keeping the log self-contained.
+  for (const serve::IngestEvent& ev : recovered.events) svc.submit(ev);
+  if (!recovered.events.empty() || recovered.truncated_tail) {
+    std::printf("wal: recovered %zu events from %s (%llu segments, "
+                "%llu bytes%s%s)\n",
+                recovered.events.size(), wal_dir.c_str(),
+                static_cast<unsigned long long>(recovered.segments_scanned),
+                static_cast<unsigned long long>(recovered.bytes_scanned),
+                recovered.truncated_tail ? ", torn tail repaired: " : "",
+                recovered.truncated_tail ? recovered.tail_error.c_str() : "");
+  }
+
+  // Optional socket front-end: the fresh log is fed through a loopback
+  // client to our own listener, exercising the full framed path instead
+  // of in-process submits.
+  serve::FrameListener listener(svc, serve::NetConfig{});
+  serve::FrameClient self_feed;
+  if (listen) {
+    util::Status st =
+        listener.start(static_cast<std::uint16_t>(listen_port));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.error().c_str());
+      return 1;
+    }
+    util::Status conn = self_feed.connect("127.0.0.1", listener.port());
+    if (!conn.ok()) {
+      std::fprintf(stderr, "%s\n", conn.error().c_str());
+      return 1;
+    }
+    std::printf("listening on 127.0.0.1:%u\n", listener.port());
+  }
+
+  // Replay at --rate events/sec (0 = unpaced), snapshotting --snapshots
+  // times at even intervals through the log.
+  std::size_t snapshots =
+      static_cast<std::size_t>(args.get_int("snapshots", 4));
+  if (snapshots == 0) snapshots = 1;
+  std::size_t stride = log.size() / snapshots + 1;
+  std::vector<double> snapshot_ms;
+  serve::ServiceSnapshot last;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (listen) {
+      util::Status sent = self_feed.send(log[i]);
+      if (!sent.ok()) {
+        std::fprintf(stderr, "%s\n", sent.error().c_str());
+        return 1;
+      }
+    } else {
+      svc.submit(log[i]);
+    }
+    pace(i, start);
     if ((i + 1) % stride == 0) {
       last = svc.snapshot();
       snapshot_ms.push_back(last.snapshot_ms);
     }
   }
-  last = svc.snapshot();
+  if (listen) {
+    // All frames are in flight; wait until the listener has classified
+    // every one before the final drain.
+    self_feed.close();
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+      serve::NetCounters net = listener.counters();
+      if (net.events_submitted + net.events_dropped +
+              net.frames_rejected() >= log.size()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  // Graceful shutdown: drain everything in flight, final snapshot, stop,
+  // sync the WAL.
+  last = svc.drain_and_stop();
   snapshot_ms.push_back(last.snapshot_ms);
   double wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
   serve::ServiceCounters counters = svc.counters();
-  svc.stop();
+  if (listen) listener.stop();
 
   std::sort(snapshot_ms.begin(), snapshot_ms.end());
   auto pct = [&](double p) {
@@ -567,6 +749,32 @@ int cmd_serve(const Args& args) {
               static_cast<unsigned long long>(counters.submitted),
               static_cast<unsigned long long>(counters.consumed),
               static_cast<unsigned long long>(counters.dropped));
+  if (retain_epochs > 0) {
+    std::printf("retention: %llu-event epochs, keep %llu — evicted %llu "
+                "events, watermark %llu\n",
+                epoch_events, retain_epochs,
+                static_cast<unsigned long long>(counters.evicted),
+                static_cast<unsigned long long>(last.eviction_watermark));
+  }
+  if (wal.is_open()) {
+    serve::WalStats ws = wal.stats();
+    std::printf("wal: %llu records in %llu segments (%llu bytes, %llu "
+                "syncs) at %s\n",
+                static_cast<unsigned long long>(ws.appended),
+                static_cast<unsigned long long>(ws.segments_created),
+                static_cast<unsigned long long>(ws.bytes_written),
+                static_cast<unsigned long long>(ws.syncs), wal_dir.c_str());
+  }
+  if (listen) {
+    serve::NetCounters net = listener.counters();
+    std::printf("socket: %llu frames ok, %llu rejected, %llu events "
+                "submitted, %llu dropped%s\n",
+                static_cast<unsigned long long>(net.frames_ok),
+                static_cast<unsigned long long>(net.frames_rejected()),
+                static_cast<unsigned long long>(net.events_submitted),
+                static_cast<unsigned long long>(net.events_dropped),
+                net.consistent() ? "" : "  [INCONSISTENT]");
+  }
   std::printf("wall: %.2f s  events/sec: %.0f\n", wall_s,
               static_cast<double>(counters.consumed) / wall_s);
   std::printf("snapshots: %zu  staleness p50: %.2f ms  p99: %.2f ms\n",
@@ -605,7 +813,9 @@ constexpr Subcommand kSubcommands[] = {
     {"scale", "columnar-engine scaling probe: tests/sec and peak RSS",
      "--tests N --threads N --classic", &cmd_scale},
     {"serve", "replay a campaign through the always-on ingest service",
-     "--tests N --shards N --queue N --policy block|drop --rate X --snapshots N",
+     "--tests N --shards N --queue N --policy block|drop --rate X "
+     "--snapshots N --listen PORT --connect HOST:PORT --wal-dir DIR "
+     "--epoch N --retain N",
      &cmd_serve},
     {"stats", "run an instrumented campaign; print/export metrics and traces",
      "--days N --tests-per-client X --out DIR", &cmd_stats},

@@ -16,9 +16,11 @@ cmake --build "$BUILD" -j "$(nproc)"
 # asan-labeled tests plus the obs suite (ring-buffer indexing and slab
 # pooling are the kind of code ASan exists for), the property families
 # (randomized worlds through every layer), the serve suite (queued events
-# moved across threads and merged evidence stores), and the bench_scale
-# smoke (the arena/columnar corpus under memory checking) — all at reduced
-# budgets so the instrumented run stays fast.
+# moved across threads and merged evidence stores — wal_test/net_test ride
+# the same label, putting the frame codec, WAL segment I/O, and socket
+# listener under memory checking), and the bench_scale smoke (the
+# arena/columnar corpus) — all at reduced budgets so the instrumented run
+# stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
 NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
 NETCONG_INGEST_EVENTS="${NETCONG_INGEST_EVENTS:-500}" \

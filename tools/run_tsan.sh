@@ -16,9 +16,11 @@ cmake --build "$BUILD" -j "$(nproc)"
 # exactly the code a race checker should see), the property families, whose
 # differential-determinism harness runs the campaign across thread counts,
 # the serve suite (MPSC queues feeding sharded workers — the densest
-# cross-thread traffic in the codebase), and the bench_scale smoke (the
-# block-sharded columnar trace builder under race checking) — at reduced
-# budgets so the instrumented run stays fast.
+# cross-thread traffic in the codebase; wal_test/net_test ride the same
+# label, racing the socket listener/accept threads against producers),
+# and the bench_scale smoke (the block-sharded columnar trace builder
+# under race checking) — at reduced budgets so the instrumented run
+# stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
 NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
 NETCONG_INGEST_EVENTS="${NETCONG_INGEST_EVENTS:-500}" \
