@@ -1,0 +1,405 @@
+// Properties of the CC-aware packet simulator and the infer/pathmodel
+// classifier (DESIGN.md §13):
+//
+//   pathmodel.cc_determinism — a scenario is a pure function of its flow
+//     specs: re-running the same two-hop AccessInterdomain setup reproduces
+//     every flow's stats fingerprint and both queues' counters bit-for-bit,
+//     and rotating the insertion order of the background flows leaves the
+//     test flow's fingerprint (and the multiset of background fingerprints)
+//     unchanged. Background RTTs and start times are drawn from the
+//     continuum, so no two events ever tie on a double timestamp and the
+//     event order is determined by time alone — any divergence means hidden
+//     global state, uninitialized reads, or id-dependent behavior in a CC.
+//
+//   pathmodel.label_scale_invariance — the classifier's label depends on
+//     the *shape* of the path, not its absolute rate: scaling the
+//     bottleneck bandwidth, the buffer, and the flow demand (window caps,
+//     competing flows' entitlement) by the same factor k preserves BDP
+//     ratios and queueing-delay magnitudes, so the label must not change.
+//     This is the §6 argument in metamorphic form — a fixed throughput
+//     threshold fails exactly this transformation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/properties.h"
+#include "infer/pathmodel.h"
+#include "sim/packet/access_interdomain.h"
+#include "sim/packet/dumbbell.h"
+#include "util/strings.h"
+
+namespace netcong::check {
+namespace {
+
+namespace sp = netcong::sim::packet;
+
+using util::format;
+
+// ---- pathmodel.cc_determinism -------------------------------------------
+
+struct BgFlow {
+  double rtt_s = 0.04;
+  double start_s = 1.0;
+  bool on_access = false;  // kLocalAccess vs kCrossInterdomain
+};
+
+struct DetScenario {
+  sp::CcAlgo cc = sp::CcAlgo::kNewReno;
+  double access_mbps = 30.0;
+  int access_buffer = 200;
+  double test_rtt_s = 0.04;
+  std::vector<BgFlow> background;
+  int rotation = 0;  // background insertion-order rotation for the re-run
+};
+
+constexpr double kDetDurationS = 10.0;
+
+util::pbt::Domain<DetScenario> det_scenario_domain() {
+  util::pbt::Domain<DetScenario> d;
+  d.generate = [](util::Rng& rng) {
+    DetScenario s;
+    s.cc = rng.pick(std::vector<sp::CcAlgo>{
+        sp::CcAlgo::kNewReno, sp::CcAlgo::kCubic, sp::CcAlgo::kBbr});
+    // Continuum draws: 53-bit random doubles make exact event-time ties
+    // between distinct flows (the one thing insertion order may reorder)
+    // a measure-zero coincidence.
+    s.access_mbps = rng.uniform(15.0, 50.0);
+    s.access_buffer = static_cast<int>(rng.uniform_int(100, 400));
+    s.test_rtt_s = rng.uniform(0.02, 0.06);
+    int n = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < n; ++i) {
+      BgFlow bg;
+      bg.rtt_s = rng.uniform(0.02, 0.06);
+      bg.start_s = rng.uniform(0.5, 3.0);
+      bg.on_access = rng.chance(0.5);
+      s.background.push_back(bg);
+    }
+    s.rotation = n > 1 ? static_cast<int>(rng.uniform_int(1, n - 1)) : 0;
+    return s;
+  };
+  d.shrink = [](const DetScenario& s) {
+    std::vector<DetScenario> out;
+    for (std::size_t i = 0; i < s.background.size(); ++i) {
+      DetScenario smaller = s;
+      smaller.background.erase(smaller.background.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      smaller.rotation = smaller.background.size() > 1
+                             ? std::min<int>(smaller.rotation,
+                                             static_cast<int>(
+                                                 smaller.background.size()) -
+                                                 1)
+                             : 0;
+      out.push_back(std::move(smaller));
+    }
+    if (s.cc != sp::CcAlgo::kNewReno) {
+      DetScenario simpler = s;
+      simpler.cc = sp::CcAlgo::kNewReno;
+      out.push_back(std::move(simpler));
+    }
+    return out;
+  };
+  d.describe = [](const DetScenario& s) {
+    std::string out = format(
+        "{cc=%s access=%.3fMbps buf=%d rtt=%.4fs rot=%d bg=[",
+        sp::cc_algo_name(s.cc), s.access_mbps, s.access_buffer, s.test_rtt_s,
+        s.rotation);
+    for (std::size_t i = 0; i < s.background.size(); ++i) {
+      if (i) out += ", ";
+      out += format("{rtt=%.4f start=%.3f %s}", s.background[i].rtt_s,
+                    s.background[i].start_s,
+                    s.background[i].on_access ? "access" : "interdomain");
+    }
+    return out + "]}";
+  };
+  return d;
+}
+
+struct DetOutcome {
+  std::uint64_t test_fp = 0;
+  std::vector<std::uint64_t> background_fps;  // insertion order
+  std::int64_t interdomain_drops = 0;
+  std::int64_t access_drops = 0;
+  std::int64_t interdomain_delivered = 0;
+  std::int64_t access_delivered = 0;
+};
+
+// Runs the scenario with the background flows rotated by `rotation` before
+// the test flow is added last. Full (unbounded) traces so the fingerprints
+// cover every recorded sample.
+DetOutcome run_det_scenario(const DetScenario& s, int rotation) {
+  sp::AccessInterdomain::Params params;
+  params.access_mbps = s.access_mbps;
+  params.access_buffer_packets = s.access_buffer;
+  params.interdomain_mbps = 2.5 * s.access_mbps;
+  params.interdomain_buffer_packets = 800;
+  params.duration_s = kDetDurationS;
+  sp::AccessInterdomain net(params);
+
+  int n = static_cast<int>(s.background.size());
+  for (int i = 0; i < n; ++i) {
+    const BgFlow& bg = s.background[static_cast<std::size_t>(
+        (i + rotation) % n)];
+    sp::FlowSpec spec;
+    spec.start_time_s = bg.start_s;
+    spec.base_rtt_s = bg.rtt_s;
+    spec.cc = sp::CcAlgo::kNewReno;
+    spec.max_trace_samples = 0;
+    net.add_flow(spec, bg.on_access ? sp::FlowPath::kLocalAccess
+                                    : sp::FlowPath::kCrossInterdomain);
+  }
+  sp::FlowSpec test;
+  test.start_time_s = 0.1;
+  test.base_rtt_s = s.test_rtt_s;
+  test.cc = s.cc;
+  test.max_trace_samples = 0;
+  int test_idx = net.add_flow(test, sp::FlowPath::kServerToClient);
+
+  sp::AiResult result = net.run();
+  DetOutcome out;
+  for (int i = 0; i < static_cast<int>(result.flows.size()); ++i) {
+    std::uint64_t fp = sp::stats_fingerprint(result.flows[
+        static_cast<std::size_t>(i)].stats);
+    if (i == test_idx) {
+      out.test_fp = fp;
+    } else {
+      out.background_fps.push_back(fp);
+    }
+  }
+  out.interdomain_drops = result.interdomain_drops;
+  out.access_drops = result.access_drops;
+  out.interdomain_delivered = result.interdomain_delivered;
+  out.access_delivered = result.access_delivered;
+  return out;
+}
+
+std::string check_cc_determinism(const DetScenario& s) {
+  DetOutcome a = run_det_scenario(s, 0);
+  DetOutcome b = run_det_scenario(s, 0);
+
+  // Same insertion order → bit-identical everything.
+  if (a.test_fp != b.test_fp || a.background_fps != b.background_fps) {
+    return format("re-run diverged: test %016llx vs %016llx",
+                  static_cast<unsigned long long>(a.test_fp),
+                  static_cast<unsigned long long>(b.test_fp));
+  }
+  if (a.interdomain_drops != b.interdomain_drops ||
+      a.access_drops != b.access_drops ||
+      a.interdomain_delivered != b.interdomain_delivered ||
+      a.access_delivered != b.access_delivered) {
+    return "re-run diverged: queue counters differ";
+  }
+
+  // Rotated background insertion → the same set of flows, so the same
+  // trajectory: the test flow is bit-identical and the background
+  // fingerprints are the same multiset.
+  DetOutcome c = run_det_scenario(s, s.rotation);
+  if (a.test_fp != c.test_fp) {
+    return format(
+        "insertion order changed the test flow: %016llx vs %016llx (rot=%d)",
+        static_cast<unsigned long long>(a.test_fp),
+        static_cast<unsigned long long>(c.test_fp), s.rotation);
+  }
+  std::vector<std::uint64_t> lhs = a.background_fps;
+  std::vector<std::uint64_t> rhs = c.background_fps;
+  std::sort(lhs.begin(), lhs.end());
+  std::sort(rhs.begin(), rhs.end());
+  if (lhs != rhs) {
+    return format("insertion order changed a background flow (rot=%d)",
+                  s.rotation);
+  }
+  return "";
+}
+
+// ---- pathmodel.label_scale_invariance -----------------------------------
+
+enum class Regime { kSender, kBandwidth, kCongested };
+
+const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::kSender:
+      return "sender";
+    case Regime::kBandwidth:
+      return "bandwidth";
+    case Regime::kCongested:
+      return "congested";
+  }
+  return "?";
+}
+
+struct ScaleScenario {
+  sp::CcAlgo cc = sp::CcAlgo::kNewReno;
+  Regime regime = Regime::kBandwidth;
+  double access_mbps = 30.0;
+  double rtt_s = 0.03;
+  double cwnd_frac = 0.3;  // sender regime: window cap as a BDP fraction
+  int competitors = 2;     // congested regime
+  int scale = 2;
+};
+
+constexpr double kScaleDurationS = 15.0;
+
+util::pbt::Domain<ScaleScenario> scale_scenario_domain() {
+  util::pbt::Domain<ScaleScenario> d;
+  d.generate = [](util::Rng& rng) {
+    ScaleScenario s;
+    s.cc = rng.pick(std::vector<sp::CcAlgo>{
+        sp::CcAlgo::kNewReno, sp::CcAlgo::kCubic, sp::CcAlgo::kBbr});
+    s.regime = rng.pick(std::vector<Regime>{
+        Regime::kSender, Regime::kBandwidth, Regime::kCongested});
+    s.access_mbps = rng.uniform(20.0, 40.0);
+    s.rtt_s = rng.uniform(0.02, 0.05);
+    // Keep the window cap well clear of the sender_limited_bdp_fraction
+    // decision boundary — the property asserts invariance of clear-cut
+    // cases, not of coin flips at the threshold.
+    s.cwnd_frac = rng.uniform(0.25, 0.45);
+    s.competitors = static_cast<int>(rng.uniform_int(2, 3));
+    s.scale = static_cast<int>(rng.uniform_int(2, 3));
+    return s;
+  };
+  d.shrink = [](const ScaleScenario& s) {
+    std::vector<ScaleScenario> out;
+    if (s.scale > 2) {
+      ScaleScenario smaller = s;
+      smaller.scale = 2;
+      out.push_back(smaller);
+    }
+    if (s.regime == Regime::kCongested && s.competitors > 2) {
+      ScaleScenario smaller = s;
+      smaller.competitors = 2;
+      out.push_back(smaller);
+    }
+    if (s.cc != sp::CcAlgo::kNewReno) {
+      ScaleScenario simpler = s;
+      simpler.cc = sp::CcAlgo::kNewReno;
+      out.push_back(simpler);
+    }
+    return out;
+  };
+  d.describe = [](const ScaleScenario& s) {
+    return format(
+        "{cc=%s regime=%s access=%.3fMbps rtt=%.4fs cwnd_frac=%.3f "
+        "competitors=%d k=%d}",
+        sp::cc_algo_name(s.cc), regime_name(s.regime), s.access_mbps,
+        s.rtt_s, s.cwnd_frac, s.competitors, s.scale);
+  };
+  return d;
+}
+
+infer::FlowTrace trace_from(const sp::FlowResult& fr, double stop_s) {
+  infer::FlowTrace trace;
+  trace.start_s = 0.0;
+  trace.stop_s = stop_s;
+  trace.mss_bytes = 1500;
+  trace.rtt_samples_ms = fr.stats.rtt_samples_ms;
+  trace.rtt_sample_times_s = fr.stats.rtt_sample_times_s;
+  trace.ack_trace = fr.stats.ack_trace;
+  return trace;
+}
+
+// Runs the scenario with every rate-like quantity multiplied by k: the
+// bottleneck, its buffer, and the window caps. BDP scales by k, BDP
+// *ratios* and queueing-delay magnitudes do not.
+infer::PathModelResult run_scale_case(const ScaleScenario& s, int k) {
+  double mbps = s.access_mbps * k;
+  double bdp = mbps * 1e6 / 8.0 / 1500.0 * s.rtt_s;
+  sp::Dumbbell::Params params;
+  params.bottleneck_mbps = mbps;
+  params.duration_s = kScaleDurationS;
+  // Congested runs get a deep buffer (standing queue clearly above the
+  // inflation threshold); solo runs a sub-BDP one (a loss-based sawtooth
+  // drains it, keeping the healthy case's p10 RTT at the floor).
+  params.buffer_packets = static_cast<int>(
+      s.regime == Regime::kCongested ? 2.0 * bdp : 0.8 * bdp);
+  sp::Dumbbell net(params);
+
+  sp::FlowSpec test;
+  test.base_rtt_s = s.rtt_s;
+  test.cc = s.cc;
+  if (s.regime == Regime::kSender) test.max_cwnd = s.cwnd_frac * bdp;
+  int test_idx = net.add_flow(test);
+
+  if (s.regime == Regime::kCongested) {
+    for (int i = 0; i < s.competitors; ++i) {
+      sp::FlowSpec bg;
+      bg.base_rtt_s = s.rtt_s * (0.8 + 0.1 * i);
+      bg.cc = sp::CcAlgo::kNewReno;
+      net.add_flow(bg);
+    }
+  }
+
+  sp::DumbbellResult result = net.run();
+  return infer::classify_flow(
+      trace_from(result.flows[static_cast<std::size_t>(test_idx)],
+                 kScaleDurationS));
+}
+
+// The classifier's evidence (inflight/BDP ratio, steady RTT percentiles)
+// is scale-free only up to packet discreteness and CC convergence effects,
+// so a base case sitting right on a decision boundary may legitimately land
+// on the other side after scaling. The property asserts invariance for
+// clear-cut cases only: evidence within a guard band of any boundary makes
+// the iteration vacuous.
+bool near_decision_boundary(const infer::PathModelResult& r) {
+  infer::PathModelConfig cfg;
+  double inflated_ms =
+      r.rtprop_ms * (1.0 + cfg.rtt_inflation_alpha) + cfg.rtt_inflation_floor_ms;
+  auto rtt_clear = [&](double ms) {
+    return ms > 1.15 * inflated_ms || ms < 0.9 * inflated_ms;
+  };
+  double ratio = r.bdp_packets > 0.0 ? r.avg_inflight_packets / r.bdp_packets
+                                     : 0.0;
+  bool ratio_clear = ratio < cfg.sender_limited_bdp_fraction - 0.15 ||
+                     ratio > cfg.sender_limited_bdp_fraction + 0.15;
+  return !(rtt_clear(r.steady_p10_rtt_ms) && rtt_clear(r.steady_p50_rtt_ms) &&
+           ratio_clear);
+}
+
+std::string check_label_scale_invariance(const ScaleScenario& s) {
+  infer::PathModelResult base = run_scale_case(s, 1);
+  infer::PathModelResult scaled = run_scale_case(s, s.scale);
+  if (!base.valid || !scaled.valid) {
+    return format("classifier returned invalid (base=%d scaled=%d)",
+                  base.valid ? 1 : 0, scaled.valid ? 1 : 0);
+  }
+  if (near_decision_boundary(base)) return "";  // vacuous: boundary case
+  if (base.label != scaled.label) {
+    return format(
+        "label flipped under x%d scaling: %s (p10=%.2fms infl=%.1f/bdp "
+        "%.1f) vs %s (p10=%.2fms infl=%.1f/bdp %.1f)",
+        s.scale, infer::flow_label_name(base.label), base.steady_p10_rtt_ms,
+        base.avg_inflight_packets, base.bdp_packets,
+        infer::flow_label_name(scaled.label), scaled.steady_p10_rtt_ms,
+        scaled.avg_inflight_packets, scaled.bdp_packets);
+  }
+  return "";
+}
+
+}  // namespace
+
+void register_pathmodel_properties(std::vector<Property>& out) {
+  out.push_back(Property{
+      "pathmodel.cc_determinism", "pathmodel",
+      "same flow specs reproduce bit-identical stats fingerprints across "
+      "re-runs and background-flow insertion orders, for every CC",
+      10,
+      [](util::pbt::Config cfg) {
+        return util::pbt::check<DetScenario>(
+            "pathmodel.cc_determinism", det_scenario_domain(),
+            check_cc_determinism, cfg);
+      }});
+  out.push_back(Property{
+      "pathmodel.label_scale_invariance", "pathmodel",
+      "scaling bottleneck bandwidth, buffer, and flow demand together "
+      "leaves the path-model label unchanged",
+      8,
+      [](util::pbt::Config cfg) {
+        return util::pbt::check<ScaleScenario>(
+            "pathmodel.label_scale_invariance", scale_scenario_domain(),
+            check_label_scale_invariance, cfg);
+      }});
+}
+
+}  // namespace netcong::check

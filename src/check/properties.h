@@ -16,7 +16,10 @@
 //   ingest— serve-subsystem equivalence: incremental snapshots bit-identical
 //           to batch runs over the same event-log prefix for any producer
 //           interleaving and shard count, plus queue-accounting
-//           conservation under both overflow policies.
+//           conservation under both overflow policies;
+//   pathmodel — CC simulator determinism (re-runs and flow insertion orders
+//           reproduce bit-identical stats fingerprints) and classifier
+//           metamorphism (joint bandwidth/demand scaling preserves labels).
 //
 // Both `netcong_check` and the gtest wrappers in tests/properties/ drive
 // the same registry, so a seed printed by either reproduces in the other.
@@ -61,5 +64,6 @@ void register_meta_properties(std::vector<Property>& out);
 void register_diff_properties(std::vector<Property>& out);
 void register_util_properties(std::vector<Property>& out);
 void register_ingest_properties(std::vector<Property>& out);
+void register_pathmodel_properties(std::vector<Property>& out);
 
 }  // namespace netcong::check

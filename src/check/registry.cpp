@@ -10,6 +10,7 @@ const std::vector<Property>& all_properties() {
     register_diff_properties(out);
     register_util_properties(out);
     register_ingest_properties(out);
+    register_pathmodel_properties(out);
     return out;
   }();
   return props;

@@ -1,0 +1,240 @@
+#include "core/pathmodel_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/threshold.h"
+
+namespace netcong::core {
+
+namespace sp = sim::packet;
+
+const char* pathmodel_scenario_name(PathModelScenario s) {
+  switch (s) {
+    case PathModelScenario::kBandwidth:
+      return "bandwidth";
+    case PathModelScenario::kSender:
+      return "sender";
+    case PathModelScenario::kInterdomain:
+      return "interdomain";
+    case PathModelScenario::kAccess:
+      return "access";
+    case PathModelScenario::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+bool parse_pathmodel_scenario(const std::string& name,
+                              PathModelScenario* out) {
+  for (PathModelScenario s :
+       {PathModelScenario::kBandwidth, PathModelScenario::kSender,
+        PathModelScenario::kInterdomain, PathModelScenario::kAccess,
+        PathModelScenario::kAll}) {
+    if (name == pathmodel_scenario_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+constexpr double kTestStartS = 5.0;
+constexpr double kTestStopS = 20.0;
+constexpr double kDurationS = 25.0;
+
+double bdp_packets_of(double mbps, double rtt_s, int mss) {
+  return mbps * 1e6 / 8.0 / mss * rtt_s;
+}
+
+PathModelCase run_one(sp::CcAlgo cc, PathModelScenario scenario, int i,
+                      const infer::PathModelConfig& config) {
+  PathModelCase c;
+  c.scenario = scenario;
+  c.cc = cc;
+  // Per-instance jitter, fully determined by the index.
+  c.access_mbps = 20.0 + 10.0 * (i % 4);
+  c.rtt_ms = 20.0 + 10.0 * (i % 5);
+  double rtt_s = c.rtt_ms / 1000.0;
+  double bdp = bdp_packets_of(c.access_mbps, rtt_s, 1500);
+
+  sp::AccessInterdomain::Params p;
+  p.duration_s = kDurationS;
+  p.access_mbps = c.access_mbps;
+  p.interdomain_mbps = 10.0 * c.access_mbps;  // uncontended by default
+  p.interdomain_buffer_packets = 4000;
+  // Shallow enough that a solo loss-based sawtooth drains its own queue.
+  p.access_buffer_packets =
+      std::max(30, static_cast<int>(0.8 * bdp));
+
+  sp::FlowSpec test;
+  test.base_rtt_s = rtt_s;
+  test.cc = cc;
+  test.start_time_s = kTestStartS;
+  test.stop_time_s = kTestStopS;
+
+  sp::FlowPath test_path = sp::FlowPath::kServerToClient;
+  int competing = 0;
+
+  switch (scenario) {
+    case PathModelScenario::kBandwidth:
+      c.truth_label = infer::FlowLabel::kBandwidthLimited;
+      break;
+    case PathModelScenario::kSender:
+      c.truth_label = infer::FlowLabel::kSenderLimited;
+      test.max_cwnd = std::max(4.0, (0.25 + 0.05 * (i % 3)) * bdp);
+      break;
+    case PathModelScenario::kInterdomain: {
+      c.truth_label = infer::FlowLabel::kCongestionLimited;
+      c.truth_site = infer::BottleneckSite::kInterdomain;
+      // The constrained hop is interdomain; the access leg is provisioned
+      // comfortably above it.
+      double inter = 1.5 * c.access_mbps;
+      p.interdomain_mbps = inter;
+      p.interdomain_buffer_packets = std::max(
+          60, static_cast<int>(1.6 * bdp_packets_of(inter, rtt_s, 1500)));
+      p.access_mbps = 2.5 * c.access_mbps;
+      p.access_buffer_packets = 800;
+      competing = 3 + (i % 3);
+      break;
+    }
+    case PathModelScenario::kAccess:
+      c.truth_label = infer::FlowLabel::kCongestionLimited;
+      c.truth_site = infer::BottleneckSite::kAccess;
+      // Deep home-router buffer: the contended queue stands.
+      p.access_buffer_packets = std::max(60, static_cast<int>(2.2 * bdp));
+      competing = 2 + (i % 2);
+      break;
+    case PathModelScenario::kAll:
+      break;  // unreachable; kAll expands in run_pathmodel_suite
+  }
+  c.competing_flows = competing;
+
+  sp::AccessInterdomain sim(p);
+  if (scenario == PathModelScenario::kInterdomain) {
+    for (int k = 0; k < competing; ++k) {
+      sp::FlowSpec bg;
+      bg.base_rtt_s = 0.04 + 0.01 * (k % 3);
+      bg.cc = sp::CcAlgo::kNewReno;
+      sim.add_flow(bg, sp::FlowPath::kCrossInterdomain);
+    }
+  } else if (scenario == PathModelScenario::kAccess) {
+    for (int k = 0; k < competing; ++k) {
+      sp::FlowSpec bg;
+      bg.base_rtt_s = 0.02 + 0.01 * (k % 2);
+      bg.cc = sp::CcAlgo::kNewReno;
+      // Subscriber-induced: starts alongside the test, not before it.
+      bg.start_time_s = kTestStartS + 0.2 + 0.1 * k;
+      sim.add_flow(bg, sp::FlowPath::kLocalAccess);
+    }
+  }
+  int id = sim.add_flow(test, test_path);
+  sp::AiResult res = sim.run();
+
+  const sp::FlowResult& fr = res.flows[static_cast<std::size_t>(id)];
+  c.goodput_mbps = fr.goodput_mbps;
+  c.baseline_drop = std::max(0.0, 1.0 - fr.goodput_mbps / c.access_mbps);
+
+  infer::FlowTrace trace;
+  trace.start_s = kTestStartS;
+  trace.stop_s = kTestStopS;
+  trace.mss_bytes = 1500;
+  trace.rtt_samples_ms = fr.stats.rtt_samples_ms;
+  trace.rtt_sample_times_s = fr.stats.rtt_sample_times_s;
+  trace.ack_trace = fr.stats.ack_trace;
+  c.result = infer::classify_flow(trace, config);
+  return c;
+}
+
+}  // namespace
+
+std::vector<PathModelCase> run_pathmodel_suite(
+    sp::CcAlgo cc, PathModelScenario which, int per_class,
+    const infer::PathModelConfig& config) {
+  std::vector<PathModelScenario> classes;
+  if (which == PathModelScenario::kAll) {
+    classes = {PathModelScenario::kBandwidth, PathModelScenario::kSender,
+               PathModelScenario::kInterdomain, PathModelScenario::kAccess};
+  } else {
+    classes = {which};
+  }
+  std::vector<PathModelCase> cases;
+  for (PathModelScenario s : classes) {
+    for (int i = 0; i < per_class; ++i) {
+      cases.push_back(run_one(cc, s, i, config));
+    }
+  }
+  return cases;
+}
+
+PathModelScore score_pathmodel(const std::vector<PathModelCase>& cases) {
+  PathModelScore score;
+  int correct_labels = 0;
+  for (const PathModelCase& c : cases) {
+    bool truth = c.truth_label == infer::FlowLabel::kCongestionLimited;
+    bool pred = c.result.valid &&
+                c.result.label == infer::FlowLabel::kCongestionLimited;
+    if (truth && pred) ++score.congested.tp;
+    if (!truth && pred) ++score.congested.fp;
+    if (truth && !pred) ++score.congested.fn;
+    if (!truth && !pred) ++score.congested.tn;
+    if (c.result.valid && c.result.label == c.truth_label) ++correct_labels;
+    if (truth) {
+      ++score.localization_total;
+      if (pred && c.result.site == c.truth_site) {
+        ++score.localization_correct;
+      }
+    }
+  }
+  BinaryScore& b = score.congested;
+  b.precision = b.tp + b.fp == 0
+                    ? 0.0
+                    : static_cast<double>(b.tp) / (b.tp + b.fp);
+  b.recall =
+      b.tp + b.fn == 0 ? 0.0 : static_cast<double>(b.tp) / (b.tp + b.fn);
+  b.f1 = b.precision + b.recall == 0.0
+             ? 0.0
+             : 2.0 * b.precision * b.recall / (b.precision + b.recall);
+  if (!cases.empty()) {
+    score.label_accuracy =
+        static_cast<double>(correct_labels) / static_cast<double>(cases.size());
+  }
+  if (score.localization_total > 0) {
+    score.localization_accuracy =
+        static_cast<double>(score.localization_correct) /
+        score.localization_total;
+  }
+
+  // §6.2-style baseline: "congested iff relative drop > threshold", with
+  // the threshold chosen *after the fact* to maximize F1 — the strongest
+  // version of the argument the paper warns against.
+  std::vector<LabeledDrop> drops;
+  int positives = 0;
+  for (const PathModelCase& c : cases) {
+    LabeledDrop d;
+    d.relative_drop = c.baseline_drop;
+    d.truth_congested = c.truth_label == infer::FlowLabel::kCongestionLimited;
+    d.samples = 1;
+    if (d.truth_congested) ++positives;
+    drops.push_back(d);
+  }
+  int negatives = static_cast<int>(drops.size()) - positives;
+  for (const RocPoint& pt : roc_sweep(drops, 100)) {
+    double tp = pt.tpr * positives;
+    double fp = pt.fpr * negatives;
+    double fn = positives - tp;
+    double prec = tp + fp == 0.0 ? 0.0 : tp / (tp + fp);
+    double rec = positives == 0 ? 0.0 : tp / (tp + fn);
+    double f1 =
+        prec + rec == 0.0 ? 0.0 : 2.0 * prec * rec / (prec + rec);
+    if (f1 > score.baseline_best_f1) {
+      score.baseline_best_f1 = f1;
+      score.baseline_best_threshold = pt.threshold;
+    }
+  }
+  return score;
+}
+
+}  // namespace netcong::core

@@ -1,0 +1,95 @@
+#pragma once
+
+// Ground-truth evaluation harness for the infer/pathmodel classifier
+// (paper §6 / ROADMAP item 3): a deterministic suite of two-hop packet
+// simulations whose bottleneck placement and limiting factor are known by
+// construction, run under each congestion control, scored against the
+// classifier's labels, and compared with the §6.2 fixed-threshold baseline.
+//
+// Scenario classes (per test-CC, with per-instance jitter over access rate,
+// RTT, buffers, and competing-flow counts):
+//
+//   bandwidth   — solo test flow, shallow-buffered access bottleneck: the
+//                 healthy case; the flow fills the pipe it is entitled to.
+//   sender      — solo test flow with a small sender window (≈0.3×BDP):
+//                 low throughput with zero congestion, the paper's warning
+//                 case for naive thresholds.
+//   interdomain — constrained interdomain link with cross traffic running
+//                 since t=0; the test joins an already-standing queue.
+//   access      — constrained access link where competing local flows start
+//                 alongside the test (subscriber-induced congestion).
+//
+// Truth for the congested-vs-not comparison: interdomain and access are
+// congestion_limited; bandwidth and sender are not.
+
+#include <string>
+#include <vector>
+
+#include "infer/pathmodel.h"
+#include "sim/packet/access_interdomain.h"
+
+namespace netcong::core {
+
+enum class PathModelScenario {
+  kBandwidth,
+  kSender,
+  kInterdomain,
+  kAccess,
+  kAll,
+};
+
+const char* pathmodel_scenario_name(PathModelScenario s);
+bool parse_pathmodel_scenario(const std::string& name, PathModelScenario* out);
+
+struct PathModelCase {
+  PathModelScenario scenario = PathModelScenario::kBandwidth;
+  sim::packet::CcAlgo cc = sim::packet::CcAlgo::kNewReno;
+  infer::FlowLabel truth_label = infer::FlowLabel::kBandwidthLimited;
+  infer::BottleneckSite truth_site = infer::BottleneckSite::kNone;
+
+  // Scenario knobs (for reporting / the baseline's expected rate).
+  double access_mbps = 0.0;
+  double rtt_ms = 0.0;
+  int competing_flows = 0;
+
+  // Measured outcome.
+  double goodput_mbps = 0.0;
+  // The §6.2-style baseline statistic: relative shortfall against the
+  // advertised access rate, max(0, 1 - goodput/access).
+  double baseline_drop = 0.0;
+  infer::PathModelResult result;
+};
+
+// Runs `per_class` jittered instances of each requested scenario class
+// under `cc`. Deterministic: instance parameters derive from the index, the
+// simulator is seedless, and insertion order is fixed.
+std::vector<PathModelCase> run_pathmodel_suite(
+    sim::packet::CcAlgo cc, PathModelScenario which, int per_class,
+    const infer::PathModelConfig& config = {});
+
+struct BinaryScore {
+  int tp = 0, fp = 0, fn = 0, tn = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct PathModelScore {
+  // Pathmodel congested-vs-not (predicted congested ⇔ congestion_limited).
+  BinaryScore congested;
+  // Best fixed threshold on baseline_drop (oracle-picked per suite — the
+  // most generous version of the §6.2 baseline).
+  double baseline_best_threshold = 0.0;
+  double baseline_best_f1 = 0.0;
+  // Exact three-way label accuracy.
+  double label_accuracy = 0.0;
+  // Access-vs-interdomain accuracy over truth-congested cases (a missed
+  // congestion call counts as a localization miss).
+  int localization_total = 0;
+  int localization_correct = 0;
+  double localization_accuracy = 0.0;
+};
+
+PathModelScore score_pathmodel(const std::vector<PathModelCase>& cases);
+
+}  // namespace netcong::core

@@ -1,0 +1,194 @@
+#include "infer/pathmodel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "stats/descriptive.h"
+
+namespace netcong::infer {
+
+const char* flow_label_name(FlowLabel label) {
+  switch (label) {
+    case FlowLabel::kBandwidthLimited:
+      return "bandwidth_limited";
+    case FlowLabel::kCongestionLimited:
+      return "congestion_limited";
+    case FlowLabel::kSenderLimited:
+      return "sender_limited";
+  }
+  return "?";
+}
+
+const char* bottleneck_site_name(BottleneckSite site) {
+  switch (site) {
+    case BottleneckSite::kNone:
+      return "none";
+    case BottleneckSite::kAccess:
+      return "access";
+    case BottleneckSite::kInterdomain:
+      return "interdomain";
+  }
+  return "?";
+}
+
+bool parse_flow_label(const char* name, FlowLabel* out) {
+  if (std::strcmp(name, "bandwidth_limited") == 0) {
+    *out = FlowLabel::kBandwidthLimited;
+    return true;
+  }
+  if (std::strcmp(name, "congestion_limited") == 0) {
+    *out = FlowLabel::kCongestionLimited;
+    return true;
+  }
+  if (std::strcmp(name, "sender_limited") == 0) {
+    *out = FlowLabel::kSenderLimited;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Cumulative packets acked at time t (last trace point no later than t).
+std::int64_t acked_at(const FlowTrace& trace, double t) {
+  std::int64_t best = -1;
+  for (const auto& [time, seq] : trace.ack_trace) {
+    if (time > t) break;
+    best = seq;
+  }
+  return best;
+}
+
+double goodput_pps_over(const FlowTrace& trace, double from_s, double to_s) {
+  if (to_s <= from_s) return 0.0;
+  std::int64_t d = acked_at(trace, to_s) - acked_at(trace, from_s);
+  if (d <= 0) return 0.0;
+  return static_cast<double>(d) / (to_s - from_s);
+}
+
+// Windowed-max delivery rate over short spans of the ack trace. Seq deltas
+// (not point counts) keep this correct under downsampled traces.
+double btlbw_pps_estimate(const FlowTrace& trace, int window) {
+  const auto& tr = trace.ack_trace;
+  double best = 0.0;
+  std::size_t w = static_cast<std::size_t>(std::max(2, window));
+  for (std::size_t i = 0; i + w < tr.size(); ++i) {
+    double dt = tr[i + w].first - tr[i].first;
+    auto dseq = tr[i + w].second - tr[i].second;
+    if (dt <= 0.0 || dseq <= 0) continue;
+    best = std::max(best, static_cast<double>(dseq) / dt);
+  }
+  return best;
+}
+
+}  // namespace
+
+PathModelResult classify_flow(const FlowTrace& trace,
+                              const PathModelConfig& config) {
+  PathModelResult r;
+  if (trace.ack_trace.size() < 4 || trace.rtt_samples_ms.empty() ||
+      trace.rtt_samples_ms.size() != trace.rtt_sample_times_s.size() ||
+      trace.stop_s <= trace.start_s) {
+    return r;  // valid = false
+  }
+
+  // --- fit the path model ---------------------------------------------------
+  r.btlbw_pps = btlbw_pps_estimate(trace, config.rate_window_acks);
+  r.btlbw_mbps = r.btlbw_pps * trace.mss_bytes * 8.0 / 1e6;
+  r.rtprop_ms = stats::min(trace.rtt_samples_ms);
+  r.bdp_packets = r.btlbw_pps * (r.rtprop_ms / 1000.0);
+  if (r.btlbw_pps <= 0.0 || r.rtprop_ms <= 0.0) return r;
+
+  // --- steady-state evidence ------------------------------------------------
+  double duration = trace.stop_s - trace.start_s;
+  double steady_from =
+      trace.start_s + std::max(config.steady_skip_min_s,
+                               config.steady_skip_fraction * duration);
+  if (steady_from >= trace.stop_s) {
+    steady_from = trace.start_s + 0.5 * duration;
+  }
+
+  std::vector<double> steady_rtts;
+  for (std::size_t i = 0; i < trace.rtt_samples_ms.size(); ++i) {
+    if (trace.rtt_sample_times_s[i] >= steady_from) {
+      steady_rtts.push_back(trace.rtt_samples_ms[i]);
+    }
+  }
+  if (steady_rtts.empty()) return r;  // flow died before steady state
+  r.valid = true;
+
+  r.steady_p10_rtt_ms = stats::percentile(steady_rtts, 10.0);
+  r.steady_p50_rtt_ms = stats::percentile(steady_rtts, 50.0);
+
+  double goodput_pps = goodput_pps_over(trace, steady_from, trace.stop_s);
+  r.goodput_mbps = goodput_pps * trace.mss_bytes * 8.0 / 1e6;
+  double mean_rtt_s = stats::mean(steady_rtts) / 1000.0;
+  r.avg_inflight_packets = goodput_pps * mean_rtt_s;
+
+  // --- label ----------------------------------------------------------------
+  double inflated_ms = r.rtprop_ms * (1.0 + config.rtt_inflation_alpha) +
+                       config.rtt_inflation_floor_ms;
+  if (r.steady_p10_rtt_ms > inflated_ms) {
+    // Even the quietest steady-state RTTs carry queueing delay: a standing
+    // queue the flow cannot drain, i.e. competitors keep it full.
+    r.label = FlowLabel::kCongestionLimited;
+  } else if (r.avg_inflight_packets <
+             config.sender_limited_bdp_fraction * r.bdp_packets) {
+    // Below-BDP in-flight with a flat RTT is a sender that never offered
+    // enough data. Below-BDP *with* majority-inflated RTT is a flow that
+    // competitors would not let grow — congestion whose queue still drains
+    // at the low percentiles (loss-synchronized cross traffic).
+    r.label = r.steady_p50_rtt_ms > inflated_ms
+                  ? FlowLabel::kCongestionLimited
+                  : FlowLabel::kSenderLimited;
+  } else {
+    r.label = FlowLabel::kBandwidthLimited;
+  }
+
+  // --- localization (congestion-limited only) -------------------------------
+  if (r.label != FlowLabel::kCongestionLimited) return r;
+
+  // First RTT sample that is inflated *and* stays inflated: the median of
+  // samples in the following persistence window is above threshold too.
+  for (std::size_t i = 0; i < trace.rtt_samples_ms.size(); ++i) {
+    if (trace.rtt_samples_ms[i] <= inflated_ms) continue;
+    double t = trace.rtt_sample_times_s[i];
+    std::vector<double> window;
+    for (std::size_t j = i; j < trace.rtt_samples_ms.size() &&
+                            trace.rtt_sample_times_s[j] <=
+                                t + config.onset_persistence_s;
+         ++j) {
+      window.push_back(trace.rtt_samples_ms[j]);
+    }
+    if (!window.empty() && stats::median(window) > inflated_ms) {
+      r.inflation_onset_s = t;
+      break;
+    }
+  }
+
+  // When has the flow itself delivered one BDP? Before that point it cannot
+  // have built the standing queue it is observing.
+  std::int64_t base = trace.ack_trace.front().second;
+  auto bdp = static_cast<std::int64_t>(std::ceil(r.bdp_packets));
+  for (const auto& [time, seq] : trace.ack_trace) {
+    if (seq - base >= bdp) {
+      r.own_fill_s = time;
+      break;
+    }
+  }
+
+  if (r.inflation_onset_s >= 0.0) {
+    // Pre-existing queue only when inflation clearly precedes the fill
+    // point; near-ties mean the queue grew alongside the flow's own
+    // ramp-up, which points at locally-induced access congestion.
+    double slack_s = config.onset_fill_slack_rtprops * r.rtprop_ms / 1000.0;
+    bool pre_existing =
+        r.own_fill_s < 0.0 || r.inflation_onset_s < r.own_fill_s - slack_s;
+    r.site =
+        pre_existing ? BottleneckSite::kInterdomain : BottleneckSite::kAccess;
+  }
+  return r;
+}
+
+}  // namespace netcong::infer

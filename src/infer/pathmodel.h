@@ -1,0 +1,129 @@
+#pragma once
+
+// eva-style path-model bottleneck classification for throughput tests
+// (paper §6; guangqianpeng/eva in SNIPPETS.md; ROADMAP item 3).
+//
+// The paper's central §6 complaint is that no fixed throughput threshold
+// separates "congested" from "fine": the drop a congested link produces
+// depends on the congestion control, the RTT, and where the bottleneck
+// sits. Instead of a threshold, this module fits an explicit path model to
+// each test's own ack/RTT trace:
+//
+//   BtlBw   — bottleneck bandwidth: the windowed-max delivery rate over
+//             short (~8-ack) spans of the ack trace. Short windows catch
+//             line-rate ack bursts, so the estimate reveals the link rate
+//             even for flows that never fill the pipe themselves.
+//   RTprop  — propagation RTT: the minimum RTT sample over the test.
+//   BDP     — BtlBw × RTprop, in packets.
+//
+// and then labels the test by which constraint bound it:
+//
+//   congestion_limited — a standing queue the flow shares with competitors:
+//             even the *low* percentiles of steady-state RTT sit above
+//             RTprop. (A solo loss-based flow's sawtooth drains its own
+//             queue every cycle, so its p10 RTT touches the floor; a queue
+//             fed by competing flows never drains.)
+//   sender_limited — the flow never offered enough data: average in-flight
+//             (Little's law: steady goodput × steady mean RTT) sits well
+//             below the path's BDP.
+//   bandwidth_limited — the healthy case: the flow fills the pipe it is
+//             entitled to and the queue it builds is its own.
+//
+// Congestion-limited tests are additionally localized access-vs-interdomain
+// from *when* RTT inflation started relative to the flow's own queue
+// build-up: inflation that precedes the flow's first delivered BDP means
+// the queue predates the flow (ambient interdomain congestion, the
+// Genin & Splett confound); inflation that appears only after the flow
+// could have filled the pipe itself points at the access leg, where
+// congestion is typically induced by the subscriber's own concurrent
+// traffic starting alongside the test.
+//
+// Inputs are plain traces (no dependency on the simulator): ack-time series
+// and RTT samples, both available from real NDT/web100-style measurement as
+// well as from sim/packet flows.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace netcong::infer {
+
+// Per-test observables. rtt_samples_ms and rtt_sample_times_s are parallel
+// vectors; ack_trace is (time_s, cumulative packets acked), nondecreasing.
+struct FlowTrace {
+  double start_s = 0.0;
+  double stop_s = 0.0;
+  int mss_bytes = 1500;
+  std::vector<double> rtt_samples_ms;
+  std::vector<double> rtt_sample_times_s;
+  std::vector<std::pair<double, std::int64_t>> ack_trace;
+};
+
+enum class FlowLabel {
+  kBandwidthLimited,
+  kCongestionLimited,
+  kSenderLimited,
+};
+
+enum class BottleneckSite {
+  kNone,  // not congestion-limited (or no localization evidence)
+  kAccess,
+  kInterdomain,
+};
+
+const char* flow_label_name(FlowLabel label);
+const char* bottleneck_site_name(BottleneckSite site);
+bool parse_flow_label(const char* name, FlowLabel* out);
+
+struct PathModelConfig {
+  // Ack-trace span per delivery-rate window. Small windows catch line-rate
+  // bursts; large ones average toward the flow's share.
+  int rate_window_acks = 8;
+  // Steady-state starts after max(skip_min_s, skip_fraction × duration) —
+  // slow start and model convergence are excluded from labeling.
+  double steady_skip_fraction = 0.25;
+  double steady_skip_min_s = 2.0;
+  // RTT counts as inflated above rtprop × (1 + alpha) + floor.
+  double rtt_inflation_alpha = 0.15;
+  double rtt_inflation_floor_ms = 2.0;
+  // Sender-limited when avg in-flight < this fraction of BDP — unless the
+  // *median* steady RTT is inflated too: a flow kept small by competitors
+  // also rides below BDP, but a genuinely sender-limited flow sees a flat
+  // RTT at the propagation floor.
+  double sender_limited_bdp_fraction = 0.85;
+  // Inflation onset must persist (median of the following window inflated)
+  // to ignore one-off spikes.
+  double onset_persistence_s = 1.0;
+  // Localization slack: slow-start overshoot builds the flow's own queue
+  // ~1-2 RTTs before its delivered counter reaches one BDP, so inflation
+  // only counts as pre-existing when it precedes the fill point by more
+  // than this many RTprops.
+  double onset_fill_slack_rtprops = 2.0;
+};
+
+struct PathModelResult {
+  bool valid = false;  // false: trace too sparse to fit the model
+  FlowLabel label = FlowLabel::kBandwidthLimited;
+  BottleneckSite site = BottleneckSite::kNone;
+
+  // Fitted path model.
+  double btlbw_pps = 0.0;
+  double btlbw_mbps = 0.0;
+  double rtprop_ms = 0.0;
+  double bdp_packets = 0.0;
+
+  // Steady-state evidence behind the label.
+  double goodput_mbps = 0.0;
+  double avg_inflight_packets = 0.0;
+  double steady_p10_rtt_ms = 0.0;
+  double steady_p50_rtt_ms = 0.0;
+
+  // Localization evidence (congestion-limited only; -1 when absent).
+  double inflation_onset_s = -1.0;  // first persistent inflated RTT sample
+  double own_fill_s = -1.0;         // flow has delivered ~1 BDP by here
+};
+
+PathModelResult classify_flow(const FlowTrace& trace,
+                              const PathModelConfig& config = {});
+
+}  // namespace netcong::infer

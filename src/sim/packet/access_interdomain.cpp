@@ -1,0 +1,78 @@
+#include "sim/packet/access_interdomain.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace netcong::sim::packet {
+
+AccessInterdomain::AccessInterdomain(Params params) : params_(params) {
+  // Delivery off the access queue always terminates at the client.
+  access_ = std::make_unique<DropTailQueue>(
+      events_, params_.access_mbps, params_.access_buffer_packets,
+      [this](const Packet& p) {
+        flows_[static_cast<std::size_t>(p.flow)]->on_packet_delivered(p);
+      });
+  // Delivery off the interdomain queue either chains into the access queue
+  // (server-to-client flows) or exits toward some other access network
+  // (cross flows). A full access queue drops the packet silently, exactly
+  // like a single-hop droptail.
+  interdomain_ = std::make_unique<DropTailQueue>(
+      events_, params_.interdomain_mbps, params_.interdomain_buffer_packets,
+      [this](const Packet& p) {
+        auto idx = static_cast<std::size_t>(p.flow);
+        if (paths_[idx] == FlowPath::kServerToClient) {
+          access_->enqueue(p);
+        } else {
+          flows_[idx]->on_packet_delivered(p);
+        }
+      });
+}
+
+int AccessInterdomain::add_flow(const FlowSpec& spec, FlowPath path) {
+  int id = static_cast<int>(flows_.size());
+  TcpFlow::Params fp;
+  fp.mss_bytes = spec.mss_bytes;
+  fp.base_rtt_s = spec.base_rtt_s;
+  fp.cc = spec.cc;
+  fp.max_cwnd = spec.max_cwnd;
+  fp.max_trace_samples = spec.max_trace_samples;
+  DropTailQueue* entry =
+      path == FlowPath::kLocalAccess ? access_.get() : interdomain_.get();
+  flows_.push_back(std::make_unique<TcpFlow>(
+      id, events_, fp, [entry](const Packet& p) { return entry->enqueue(p); }));
+  specs_.push_back(spec);
+  paths_.push_back(path);
+  flows_.back()->start(spec.start_time_s);
+  if (spec.stop_time_s < params_.duration_s) {
+    TcpFlow* flow = flows_.back().get();
+    events_.schedule(spec.stop_time_s, [flow] { flow->stop(); });
+  }
+  return id;
+}
+
+AiResult AccessInterdomain::run() {
+  events_.run(params_.duration_s);
+  AiResult out;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    FlowResult fr;
+    fr.stats = flows_[i]->stats();
+    const FlowSpec& spec = specs_[i];
+    double start = spec.start_time_s;
+    double stop = std::min(spec.stop_time_s, params_.duration_s);
+    fr.goodput_mbps = goodput_over_mbps(fr.stats, spec.mss_bytes, start, stop);
+    if (!fr.stats.rtt_samples_ms.empty()) {
+      fr.mean_rtt_ms = stats::mean(fr.stats.rtt_samples_ms);
+      fr.min_rtt_ms = stats::min(fr.stats.rtt_samples_ms);
+      fr.max_rtt_ms = stats::max(fr.stats.rtt_samples_ms);
+    }
+    out.flows.push_back(std::move(fr));
+  }
+  out.interdomain_drops = interdomain_->drops();
+  out.interdomain_delivered = interdomain_->delivered();
+  out.access_drops = access_->drops();
+  out.access_delivered = access_->delivered();
+  return out;
+}
+
+}  // namespace netcong::sim::packet

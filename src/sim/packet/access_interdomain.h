@@ -1,0 +1,68 @@
+#pragma once
+
+// Two-hop scenario for congestion localization ground truth: a test flow
+// crosses an interdomain link (transit/peering) and then the client's access
+// link. Either hop can be provisioned as the constrained queue, and cross
+// traffic can be attached to exactly one hop:
+//
+//   server ──▶ [interdomain queue] ──▶ [access queue] ──▶ client
+//                     ▲                      ▲
+//         kCrossInterdomain flows      kLocalAccess flows
+//         (exit to other eyeballs)     (other devices in the home / ISP leg)
+//
+// This is the access-vs-interdomain confound of Genin & Splett that the
+// infer/pathmodel localizer has to resolve from the test flow's own RTT
+// series (paper §7's "where is the congestion" future work).
+
+#include <memory>
+#include <vector>
+
+#include "sim/packet/event_queue.h"
+#include "sim/packet/queue.h"
+#include "sim/packet/tcp.h"
+
+namespace netcong::sim::packet {
+
+enum class FlowPath {
+  kServerToClient,    // both queues (the measured test flow)
+  kCrossInterdomain,  // interdomain queue only
+  kLocalAccess,       // access queue only
+};
+
+struct AiResult {
+  std::vector<FlowResult> flows;
+  std::int64_t interdomain_drops = 0;
+  std::int64_t interdomain_delivered = 0;
+  std::int64_t access_drops = 0;
+  std::int64_t access_delivered = 0;
+};
+
+class AccessInterdomain {
+ public:
+  struct Params {
+    double interdomain_mbps = 1000.0;
+    int interdomain_buffer_packets = 2000;
+    double access_mbps = 100.0;
+    int access_buffer_packets = 400;
+    double duration_s = 30.0;
+  };
+
+  explicit AccessInterdomain(Params params);
+
+  // Adds a flow on the given path; returns its index.
+  int add_flow(const FlowSpec& spec,
+               FlowPath path = FlowPath::kServerToClient);
+
+  AiResult run();
+
+ private:
+  Params params_;
+  EventQueue events_;
+  std::unique_ptr<DropTailQueue> interdomain_;
+  std::unique_ptr<DropTailQueue> access_;
+  std::vector<std::unique_ptr<TcpFlow>> flows_;
+  std::vector<FlowSpec> specs_;
+  std::vector<FlowPath> paths_;
+};
+
+}  // namespace netcong::sim::packet

@@ -19,6 +19,9 @@ int Dumbbell::add_flow(const FlowSpec& spec) {
   TcpFlow::Params fp;
   fp.mss_bytes = spec.mss_bytes;
   fp.base_rtt_s = spec.base_rtt_s;
+  fp.cc = spec.cc;
+  fp.max_cwnd = spec.max_cwnd;
+  fp.max_trace_samples = spec.max_trace_samples;
   flows_.push_back(std::make_unique<TcpFlow>(
       id, events_, fp, [this](const Packet& p) { return queue_->enqueue(p); }));
   specs_.push_back(spec);
@@ -32,19 +35,7 @@ int Dumbbell::add_flow(const FlowSpec& spec) {
 
 double Dumbbell::goodput_over(const TcpStats& stats, int mss_bytes,
                               double from_s, double to_s) {
-  if (to_s <= from_s) return 0.0;
-  // ack_trace is (time, cumulative acked seq), nondecreasing in both.
-  auto acked_at = [&](double t) -> std::int64_t {
-    std::int64_t best = -1;
-    for (const auto& [time, seq] : stats.ack_trace) {
-      if (time > t) break;
-      best = seq;
-    }
-    return best;
-  };
-  std::int64_t d = acked_at(to_s) - acked_at(from_s);
-  if (d <= 0) return 0.0;
-  return static_cast<double>(d) * mss_bytes * 8.0 / (to_s - from_s) / 1e6;
+  return goodput_over_mbps(stats, mss_bytes, from_s, to_s);
 }
 
 DumbbellResult Dumbbell::run() {

@@ -15,21 +15,7 @@
 
 namespace netcong::sim::packet {
 
-struct FlowSpec {
-  double start_time_s = 0.0;
-  double stop_time_s = 1e9;
-  double base_rtt_s = 0.04;
-  int mss_bytes = 1500;
-};
-
-struct FlowResult {
-  TcpStats stats;
-  // Goodput measured between the flow's start (plus warmup) and stop.
-  double goodput_mbps = 0.0;
-  double mean_rtt_ms = 0.0;
-  double min_rtt_ms = 0.0;
-  double max_rtt_ms = 0.0;
-};
+// FlowSpec / FlowResult live in tcp.h (shared with AccessInterdomain).
 
 struct DumbbellResult {
   std::vector<FlowResult> flows;
@@ -52,7 +38,8 @@ class Dumbbell {
 
   DumbbellResult run();
 
-  // Goodput of flow `i` over [from_s, to_s] computed from its ACK trace.
+  // Goodput over [from_s, to_s] computed from an ACK trace. Thin wrapper
+  // over goodput_over_mbps (tcp.h), kept for existing callers.
   static double goodput_over(const TcpStats& stats, int mss_bytes,
                              double from_s, double to_s);
 

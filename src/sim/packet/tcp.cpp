@@ -2,8 +2,75 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace netcong::sim::packet {
+
+namespace {
+
+// Drop every other retained element (keep even indices). Combined with a
+// doubled recording stride this keeps the retained set exactly "original
+// index divisible by stride" — deterministic and insertion-order free.
+template <typename T>
+void halve_keep_even(std::vector<T>& v) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < v.size(); i += 2) v[out++] = v[i];
+  v.resize(out);
+}
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ ((v >> (8 * i)) & 0xffu)) * 1099511628211ull;
+    }
+  }
+  void mix(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+}  // namespace
+
+double goodput_over_mbps(const TcpStats& stats, int mss_bytes, double from_s,
+                         double to_s) {
+  if (to_s <= from_s) return 0.0;
+  // ack_trace is (time, cumulative acked seq), nondecreasing in both.
+  auto acked_at = [&](double t) -> std::int64_t {
+    std::int64_t best = -1;
+    for (const auto& [time, seq] : stats.ack_trace) {
+      if (time > t) break;
+      best = seq;
+    }
+    return best;
+  };
+  std::int64_t d = acked_at(to_s) - acked_at(from_s);
+  if (d <= 0) return 0.0;
+  return static_cast<double>(d) * mss_bytes * 8.0 / (to_s - from_s) / 1e6;
+}
+
+std::uint64_t stats_fingerprint(const TcpStats& stats) {
+  Fnv1a fp;
+  fp.mix(static_cast<std::uint64_t>(stats.packets_sent));
+  fp.mix(static_cast<std::uint64_t>(stats.packets_acked));
+  fp.mix(static_cast<std::uint64_t>(stats.retransmits));
+  fp.mix(static_cast<std::uint64_t>(stats.congestion_signals));
+  fp.mix(static_cast<std::uint64_t>(stats.timeouts));
+  fp.mix(static_cast<std::uint64_t>(stats.rtt_samples_ms.size()));
+  for (double v : stats.rtt_samples_ms) fp.mix(v);
+  fp.mix(static_cast<std::uint64_t>(stats.ack_trace.size()));
+  for (const auto& [t, seq] : stats.ack_trace) {
+    fp.mix(t);
+    fp.mix(static_cast<std::uint64_t>(seq));
+  }
+  return fp.value();
+}
 
 TcpFlow::TcpFlow(int id, EventQueue& events, Params params,
                  std::function<bool(const Packet&)> transmit)
@@ -11,7 +78,8 @@ TcpFlow::TcpFlow(int id, EventQueue& events, Params params,
       events_(&events),
       params_(params),
       transmit_(std::move(transmit)),
-      cwnd_(params.initial_cwnd) {}
+      cc_(make_congestion_control(params.cc, params.initial_cwnd,
+                                  params.max_cwnd)) {}
 
 void TcpFlow::start(double at_time) {
   events_->schedule(at_time, [this] {
@@ -24,10 +92,33 @@ void TcpFlow::start(double at_time) {
 void TcpFlow::try_send() {
   if (!running_) return;
   auto in_flight = [&] { return next_seq_ - (cum_acked_ + 1); };
-  while (static_cast<double>(in_flight()) < cwnd_ &&
-         cwnd_ <= params_.max_cwnd) {
+  double rate = cc_->pacing_rate_pps();
+  if (rate <= 0.0) {
+    // Unpaced: classic window-limited burst (byte-identical to the
+    // historical sender when the CC is NewReno).
+    while (static_cast<double>(in_flight()) < cc_->cwnd()) {
+      send_packet(next_seq_, /*retransmit=*/false);
+      ++next_seq_;
+    }
+    return;
+  }
+  // Paced: release at most one packet per 1/rate seconds, waking ourselves
+  // up when the window is open but the pacing clock is not.
+  double now = events_->now();
+  while (static_cast<double>(in_flight()) < cc_->cwnd()) {
+    if (next_send_time_s_ > now) {
+      if (!send_timer_pending_) {
+        send_timer_pending_ = true;
+        events_->schedule(next_send_time_s_, [this] {
+          send_timer_pending_ = false;
+          try_send();
+        });
+      }
+      return;
+    }
     send_packet(next_seq_, /*retransmit=*/false);
     ++next_seq_;
+    next_send_time_s_ = std::max(now, next_send_time_s_) + 1.0 / rate;
   }
 }
 
@@ -43,7 +134,7 @@ void TcpFlow::send_packet(std::int64_t seq, bool retransmit) {
     ++stats_.retransmits;
     sent_at_.erase(seq);  // Karn: never sample RTT off a retransmit
   } else {
-    sent_at_[seq] = p.sent_time;
+    sent_at_[seq] = SentRecord{p.sent_time, cum_acked_ + 1};
   }
   // A drop at the bottleneck is silent; loss is discovered via dupacks/RTO.
   transmit_(p);
@@ -73,18 +164,51 @@ void TcpFlow::update_rtt(double sample_s) {
   rto_s_ = std::clamp(srtt_s_ + 4.0 * rttvar_s_, 0.2, 60.0);
 }
 
+void TcpFlow::record_rtt_sample(double now_s, double sample_s) {
+  if (rtt_seen_ % rtt_stride_ == 0) {
+    stats_.rtt_samples_ms.push_back(sample_s * 1000.0);
+    stats_.rtt_sample_times_s.push_back(now_s);
+    if (params_.max_trace_samples > 0 &&
+        stats_.rtt_samples_ms.size() >= params_.max_trace_samples) {
+      halve_keep_even(stats_.rtt_samples_ms);
+      halve_keep_even(stats_.rtt_sample_times_s);
+      rtt_stride_ *= 2;
+    }
+  }
+  ++rtt_seen_;
+}
+
+void TcpFlow::record_ack_point(double now_s, std::int64_t cum_seq) {
+  if (ack_seen_ % ack_stride_ == 0) {
+    stats_.ack_trace.emplace_back(now_s, cum_seq);
+    if (params_.max_trace_samples > 0 &&
+        stats_.ack_trace.size() >= params_.max_trace_samples) {
+      halve_keep_even(stats_.ack_trace);
+      ack_stride_ *= 2;
+    }
+  }
+  ++ack_seen_;
+}
+
 void TcpFlow::on_ack(std::int64_t seq, double sent_time, bool was_retransmit) {
   if (!running_) return;
 
-  // RTT sample (Karn's rule).
+  // RTT + delivery-rate sample (Karn's rule: only off original transmits
+  // whose send record is intact).
+  double rtt_sample_s = -1.0;
+  std::int64_t delivered_at_send = -1;
+  double record_sent_time = 0.0;
   if (!was_retransmit) {
     auto it = sent_at_.find(seq);
-    if (it != sent_at_.end() && it->second == sent_time) {
+    if (it != sent_at_.end() && it->second.sent_time == sent_time) {
       double sample = events_->now() - sent_time;
       update_rtt(sample);
       if (params_.record_rtt) {
-        stats_.rtt_samples_ms.push_back(sample * 1000.0);
+        record_rtt_sample(events_->now(), sample);
       }
+      rtt_sample_s = sample;
+      delivered_at_send = it->second.delivered_at_send;
+      record_sent_time = it->second.sent_time;
       sent_at_.erase(it);
     }
   }
@@ -93,15 +217,19 @@ void TcpFlow::on_ack(std::int64_t seq, double sent_time, bool was_retransmit) {
     // In-order arrival advances the cumulative ack.
     cum_acked_ = seq;
     ++stats_.packets_acked;
-    stats_.ack_trace.emplace_back(events_->now(), cum_acked_);
+    record_ack_point(events_->now(), cum_acked_);
     dupacks_ = 0;
     if (in_recovery_ && cum_acked_ >= recovery_end_) in_recovery_ = false;
 
-    if (cwnd_ < ssthresh_) {
-      cwnd_ += 1.0;  // slow start
-    } else {
-      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
-    }
+    CcAck ack;
+    ack.now_s = events_->now();
+    ack.rtt_s = rtt_sample_s;
+    ack.delivered = cum_acked_ + 1;
+    ack.in_flight = static_cast<double>(next_seq_ - (cum_acked_ + 1));
+    ack.delivered_at_send = delivered_at_send;
+    ack.sent_time_s = record_sent_time;
+    cc_->on_ack(ack);
+
     rto_epoch_++;  // fresh data acked: restart the timer
     schedule_rto();
     try_send();
@@ -112,8 +240,7 @@ void TcpFlow::on_ack(std::int64_t seq, double sent_time, bool was_retransmit) {
       // Fast retransmit + (simplified) fast recovery.
       in_recovery_ = true;
       recovery_end_ = next_seq_ - 1;
-      ssthresh_ = std::max(2.0, cwnd_ / 2.0);
-      cwnd_ = ssthresh_;
+      cc_->on_dupack_loss(events_->now());
       ++stats_.congestion_signals;
       send_packet(cum_acked_ + 1, /*retransmit=*/true);
       rto_epoch_++;
@@ -139,8 +266,7 @@ void TcpFlow::on_rto(std::uint64_t epoch) {
   }
   ++stats_.timeouts;
   ++stats_.congestion_signals;
-  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
-  cwnd_ = 1.0;
+  cc_->on_timeout(events_->now());
   dupacks_ = 0;
   in_recovery_ = false;
   // Go-back-N from the hole.

@@ -1,16 +1,19 @@
 #pragma once
 
-// A compact TCP NewReno sender: slow start, congestion avoidance, fast
-// retransmit on three duplicate ACKs, and retransmission timeouts with
-// Jacobson/Karels RTO estimation. Sequence numbers are packet-granularity.
-// The receiver path is cumulative-ACK with in-order delivery guaranteed by
-// the FIFO bottleneck, so duplicate-ACK loss detection is exact.
+// A compact TCP sender with pluggable congestion control (see cc.h):
+// sequencing, fast retransmit on three duplicate ACKs, retransmission
+// timeouts with Jacobson/Karels RTO estimation, and optional pacing for
+// model-based strategies. Sequence numbers are packet-granularity. The
+// receiver path is cumulative-ACK with in-order delivery guaranteed by the
+// FIFO bottleneck, so duplicate-ACK loss detection is exact.
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/packet/cc.h"
 #include "sim/packet/event_queue.h"
 #include "sim/packet/queue.h"
 
@@ -20,11 +23,46 @@ struct TcpStats {
   std::int64_t packets_sent = 0;
   std::int64_t packets_acked = 0;
   std::int64_t retransmits = 0;
-  int congestion_signals = 0;  // multiplicative window reductions
+  int congestion_signals = 0;  // loss events (dupack cuts + timeouts)
   int timeouts = 0;
+  // RTT samples and their ack times (parallel vectors); both honor the
+  // Params::max_trace_samples downsampling policy.
   std::vector<double> rtt_samples_ms;
+  std::vector<double> rtt_sample_times_s;
   // (time, acked-sequence) pairs for goodput-over-time analysis.
   std::vector<std::pair<double, std::int64_t>> ack_trace;
+};
+
+// Goodput over [from_s, to_s] computed from the ACK trace, in Mbps.
+double goodput_over_mbps(const TcpStats& stats, int mss_bytes, double from_s,
+                         double to_s);
+
+// Order-sensitive FNV-1a fingerprint over the TcpStats counters, RTT samples,
+// and ack trace — one number stands in for "these two runs are bit-identical"
+// in the determinism properties and the CC regression tests.
+// (rtt_sample_times_s is excluded: the field postdates the pinned NewReno
+// fingerprints, which must keep matching the pre-refactor sender.)
+std::uint64_t stats_fingerprint(const TcpStats& stats);
+
+// Scenario-level description of one flow: TcpFlow knobs plus start/stop
+// times. Shared by Dumbbell and AccessInterdomain.
+struct FlowSpec {
+  double start_time_s = 0.0;
+  double stop_time_s = 1e9;
+  double base_rtt_s = 0.04;
+  int mss_bytes = 1500;
+  CcAlgo cc = CcAlgo::kNewReno;
+  double max_cwnd = 10000.0;
+  std::size_t max_trace_samples = 32768;  // 0 = unbounded traces
+};
+
+struct FlowResult {
+  TcpStats stats;
+  // Goodput measured between the flow's start and stop.
+  double goodput_mbps = 0.0;
+  double mean_rtt_ms = 0.0;
+  double min_rtt_ms = 0.0;
+  double max_rtt_ms = 0.0;
 };
 
 class TcpFlow {
@@ -33,8 +71,15 @@ class TcpFlow {
     int mss_bytes = 1500;
     double base_rtt_s = 0.04;  // two-way propagation excluding queueing
     double initial_cwnd = 10.0;
-    double max_cwnd = 10000.0;
+    double max_cwnd = 10000.0;  // sender/application window cap, packets
     bool record_rtt = true;
+    CcAlgo cc = CcAlgo::kNewReno;
+    // Bound on each recorded vector (rtt samples, ack trace). When a vector
+    // reaches the cap, every other retained element is dropped and the
+    // recording stride doubles — deterministic, monotone in time, and never
+    // more than max_trace_samples entries. 0 disables the cap (the
+    // pre-refactor unbounded behavior).
+    std::size_t max_trace_samples = 32768;
   };
 
   // `transmit` hands a packet to the network (typically the bottleneck
@@ -50,17 +95,25 @@ class TcpFlow {
   void on_packet_delivered(const Packet& p);
 
   const TcpStats& stats() const { return stats_; }
-  double cwnd() const { return cwnd_; }
+  double cwnd() const { return cc_->cwnd(); }
+  const CongestionControl& congestion_control() const { return *cc_; }
   std::int64_t highest_acked() const { return cum_acked_; }
   int id() const { return id_; }
 
  private:
+  struct SentRecord {
+    double sent_time = 0.0;
+    std::int64_t delivered_at_send = 0;
+  };
+
   void try_send();
   void send_packet(std::int64_t seq, bool retransmit);
   void on_ack(std::int64_t cum_seq, double sent_time, bool was_retransmit);
   void schedule_rto();
   void on_rto(std::uint64_t epoch);
   void update_rtt(double sample_s);
+  void record_rtt_sample(double now_s, double sample_s);
+  void record_ack_point(double now_s, std::int64_t cum_seq);
 
   int id_;
   EventQueue* events_;
@@ -68,13 +121,16 @@ class TcpFlow {
   std::function<bool(const Packet&)> transmit_;
 
   bool running_ = false;
-  double cwnd_;
-  double ssthresh_ = 1e9;
-  std::int64_t next_seq_ = 0;   // next new sequence to send
+  std::unique_ptr<CongestionControl> cc_;
+  std::int64_t next_seq_ = 0;    // next new sequence to send
   std::int64_t cum_acked_ = -1;  // highest cumulative ack received
   int dupacks_ = 0;
   bool in_recovery_ = false;
   std::int64_t recovery_end_ = -1;
+
+  // Pacing state (used only when the CC reports a positive pacing rate).
+  double next_send_time_s_ = 0.0;
+  bool send_timer_pending_ = false;
 
   // RTO state.
   double srtt_s_ = 0.0;
@@ -82,9 +138,14 @@ class TcpFlow {
   double rto_s_ = 1.0;
   std::uint64_t rto_epoch_ = 0;  // cancels stale timers
 
-  // Send times of in-flight packets for RTT sampling (Karn's rule: no
-  // samples from retransmitted sequences).
-  std::unordered_map<std::int64_t, double> sent_at_;
+  // Send times + delivered-counter snapshots of in-flight packets, for RTT
+  // sampling (Karn's rule: no samples from retransmitted sequences) and the
+  // BBR delivery-rate estimator.
+  std::unordered_map<std::int64_t, SentRecord> sent_at_;
+
+  // Downsampling strides (grow by doubling when a vector hits the cap).
+  std::uint64_t rtt_seen_ = 0, rtt_stride_ = 1;
+  std::uint64_t ack_seen_ = 0, ack_stride_ = 1;
 
   TcpStats stats_;
 };

@@ -167,6 +167,54 @@ TEST(CliServe, UncreatableWalDirExits2) {
   EXPECT_NE(err.output.find("--wal-dir"), std::string::npos) << err.output;
 }
 
+// pathmodel validates every flag against its closed set before any
+// simulation runs: a bad value is a usage error (exit 2, flag named).
+TEST(CliPathmodel, InvalidCcExits2) {
+  RunResult err = run_cli("pathmodel --cc vegas 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("--cc"), std::string::npos) << err.output;
+}
+
+TEST(CliPathmodel, InvalidScenarioExits2) {
+  RunResult err = run_cli("pathmodel --scenario moon 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("--scenario"), std::string::npos) << err.output;
+}
+
+TEST(CliPathmodel, InvalidTestsExits2) {
+  for (const char* bad : {"--tests 0", "--tests -2", "--tests x",
+                          "--tests 1001"}) {
+    RunResult err = run_cli(std::string("pathmodel ") + bad +
+                            " 2>&1 1>/dev/null");
+    EXPECT_EQ(err.exit_code, 2) << bad;
+    EXPECT_NE(err.output.find("--tests"), std::string::npos)
+        << bad << ": " << err.output;
+  }
+}
+
+TEST(CliPathmodel, UnwritableOutExits2) {
+  RunResult err =
+      run_cli("pathmodel --out /proc/nope/cases.csv 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("--out"), std::string::npos) << err.output;
+}
+
+TEST(CliPathmodel, CsvExportRunsEndToEnd) {
+  std::string csv = ::testing::TempDir() + "netcong-cli-pathmodel.csv";
+  RunResult run = run_cli("pathmodel --cc cubic --scenario sender "
+                          "--tests 1 --out " + csv + " 2>&1");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("sender_limited"), std::string::npos)
+      << run.output;
+  std::FILE* f = std::fopen(csv.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[256] = {0};
+  ASSERT_NE(std::fgets(header, sizeof(header), f), nullptr);
+  std::fclose(f);
+  EXPECT_NE(std::string(header).find("predicted_label"), std::string::npos);
+  std::remove(csv.c_str());
+}
+
 TEST(CliServe, ConnectToDeadPortIsRuntimeErrorNotUsage) {
   // A well-formed --connect that finds nobody listening exits 1, not 2 —
   // the flag was fine, the world was not.
@@ -233,6 +281,7 @@ TEST(CliSmoke, EveryRegisteredSubcommandRuns) {
       {"coverage", "--scale tiny --seed 3"},
       {"diurnal", "--scale tiny --seed 3 --days 2"},
       {"faults", "--list"},
+      {"pathmodel", "--cc reno --scenario sender --tests 1"},
       {"scale", "--scale tiny --seed 3 --tests 500 --threads 2"},
       {"serve", "--scale tiny --seed 3 --tests 500 --shards 2 --snapshots 2"},
       {"stats", "--scale tiny --seed 3 --days 1 --tests-per-client 1"},

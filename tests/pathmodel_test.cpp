@@ -1,0 +1,188 @@
+// infer/pathmodel classifier tests: synthetic traces with known structure
+// (so each labeling rule is exercised in isolation), plus the ground-truth
+// simulation suite from core/pathmodel_eval under each congestion control.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pathmodel_eval.h"
+#include "infer/pathmodel.h"
+
+namespace netcong {
+namespace {
+
+using infer::BottleneckSite;
+using infer::FlowLabel;
+using infer::FlowTrace;
+using infer::PathModelResult;
+
+// Hand-built trace: acks at `pps` from t=0 to `dur`, RTT samples every
+// 50 ms from the callback. Callers then distort pieces of it.
+FlowTrace steady_trace(double pps, double dur,
+                       double (*rtt_ms_at)(double t)) {
+  FlowTrace trace;
+  trace.start_s = 0.0;
+  trace.stop_s = dur;
+  std::int64_t seq = 0;
+  for (double t = 0.0; t < dur; t += 1.0 / pps) {
+    trace.ack_trace.emplace_back(t, seq++);
+  }
+  for (double t = 0.0; t < dur; t += 0.05) {
+    trace.rtt_samples_ms.push_back(rtt_ms_at(t));
+    trace.rtt_sample_times_s.push_back(t);
+  }
+  return trace;
+}
+
+TEST(PathModel, SparseTraceIsInvalid) {
+  FlowTrace empty;
+  EXPECT_FALSE(infer::classify_flow(empty).valid);
+
+  FlowTrace tiny;
+  tiny.stop_s = 1.0;
+  tiny.ack_trace = {{0.1, 0}, {0.2, 1}};
+  tiny.rtt_samples_ms = {20.0};
+  tiny.rtt_sample_times_s = {0.1};
+  EXPECT_FALSE(infer::classify_flow(tiny).valid);
+}
+
+TEST(PathModel, FlatRttAtFullPipeIsBandwidthLimited) {
+  // 1000 pps delivered, 20 ms flat RTT -> inflight = BDP = 20 packets.
+  FlowTrace trace = steady_trace(1000.0, 10.0, [](double) { return 20.0; });
+  PathModelResult r = infer::classify_flow(trace);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.label, FlowLabel::kBandwidthLimited);
+  EXPECT_EQ(r.site, BottleneckSite::kNone);
+  EXPECT_NEAR(r.btlbw_pps, 1000.0, 50.0);
+  EXPECT_NEAR(r.rtprop_ms, 20.0, 1e-9);
+  EXPECT_NEAR(r.avg_inflight_packets, 20.0, 2.0);
+}
+
+TEST(PathModel, BurstyUnderfilledTraceIsSenderLimited) {
+  // Bursts reveal a 1000 pps line rate, but the flow averages ~300 pps:
+  // 10 acks 1 ms apart, then a 26 ms pause. RTT stays at the floor.
+  FlowTrace trace;
+  trace.start_s = 0.0;
+  trace.stop_s = 10.0;
+  std::int64_t seq = 0;
+  for (double burst = 0.0; burst < 10.0; burst += 0.035) {
+    for (int i = 0; i < 10; ++i) {
+      trace.ack_trace.emplace_back(burst + 0.001 * i, seq++);
+    }
+  }
+  for (double t = 0.0; t < 10.0; t += 0.05) {
+    trace.rtt_samples_ms.push_back(20.0);
+    trace.rtt_sample_times_s.push_back(t);
+  }
+  PathModelResult r = infer::classify_flow(trace);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.label, FlowLabel::kSenderLimited);
+  EXPECT_NEAR(r.btlbw_pps, 1000.0, 150.0);  // burst rate, not average rate
+  EXPECT_LT(r.avg_inflight_packets, 0.85 * r.bdp_packets);
+}
+
+TEST(PathModel, PreExistingInflationLocalizesInterdomain) {
+  // RTT inflated from the very first sample (the queue predates the flow),
+  // while the flow itself ramps up slowly — it cannot have delivered a BDP
+  // by the time inflation started, so the congestion is ambient.
+  FlowTrace trace;
+  trace.start_s = 0.0;
+  trace.stop_s = 10.0;
+  std::int64_t seq = 0;
+  // Slow-start-like ramp: 50 pps for the first 2 s, then 500 pps. The
+  // 8-ack BtlBw windows over the fast portion still reveal the line rate.
+  for (double t = 0.0; t < 2.0; t += 0.02) trace.ack_trace.emplace_back(t, seq++);
+  for (double t = 2.0; t < 10.0; t += 0.002) {
+    trace.ack_trace.emplace_back(t, seq++);
+  }
+  // One early floor sample so rtprop is observable (e.g. the SYN), then
+  // persistently inflated RTTs from the start.
+  trace.rtt_samples_ms.push_back(20.0);
+  trace.rtt_sample_times_s.push_back(0.0);
+  for (double t = 0.01; t < 10.0; t += 0.05) {
+    trace.rtt_samples_ms.push_back(45.0);
+    trace.rtt_sample_times_s.push_back(t);
+  }
+  PathModelResult r = infer::classify_flow(trace);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.label, FlowLabel::kCongestionLimited);
+  EXPECT_EQ(r.site, BottleneckSite::kInterdomain);
+  EXPECT_GE(r.inflation_onset_s, 0.0);
+  EXPECT_LT(r.inflation_onset_s, r.own_fill_s);
+}
+
+TEST(PathModel, InflationAfterOwnFillLocalizesAccess) {
+  // RTT at the floor until t=3 (long after the flow delivered a BDP),
+  // inflated afterwards: congestion the flow's side induced.
+  FlowTrace trace = steady_trace(
+      500.0, 10.0, [](double t) { return t < 3.0 ? 20.0 : 45.0; });
+  PathModelResult r = infer::classify_flow(trace);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.label, FlowLabel::kCongestionLimited);
+  EXPECT_EQ(r.site, BottleneckSite::kAccess);
+  EXPECT_GT(r.inflation_onset_s, r.own_fill_s);
+}
+
+TEST(PathModel, LabelNamesRoundTrip) {
+  for (FlowLabel label :
+       {FlowLabel::kBandwidthLimited, FlowLabel::kCongestionLimited,
+        FlowLabel::kSenderLimited}) {
+    FlowLabel parsed;
+    ASSERT_TRUE(infer::parse_flow_label(infer::flow_label_name(label),
+                                        &parsed));
+    EXPECT_EQ(parsed, label);
+  }
+  FlowLabel parsed;
+  EXPECT_FALSE(infer::parse_flow_label("nope", &parsed));
+}
+
+// --- ground-truth suite ----------------------------------------------------
+
+TEST(PathModelSuite, ScenarioNamesRoundTrip) {
+  for (core::PathModelScenario s :
+       {core::PathModelScenario::kBandwidth, core::PathModelScenario::kSender,
+        core::PathModelScenario::kInterdomain,
+        core::PathModelScenario::kAccess, core::PathModelScenario::kAll}) {
+    core::PathModelScenario parsed;
+    ASSERT_TRUE(core::parse_pathmodel_scenario(
+        core::pathmodel_scenario_name(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  core::PathModelScenario parsed;
+  EXPECT_FALSE(core::parse_pathmodel_scenario("moon", &parsed));
+}
+
+TEST(PathModelSuite, SenderScenarioIsLabeledSenderLimited) {
+  for (sim::packet::CcAlgo cc :
+       {sim::packet::CcAlgo::kNewReno, sim::packet::CcAlgo::kCubic,
+        sim::packet::CcAlgo::kBbr}) {
+    auto cases = core::run_pathmodel_suite(
+        cc, core::PathModelScenario::kSender, 1);
+    ASSERT_EQ(cases.size(), 1u);
+    EXPECT_EQ(cases[0].truth_label, FlowLabel::kSenderLimited);
+    EXPECT_TRUE(cases[0].result.valid);
+    EXPECT_EQ(cases[0].result.label, FlowLabel::kSenderLimited)
+        << sim::packet::cc_algo_name(cc);
+  }
+}
+
+TEST(PathModelSuite, BeatsThresholdBaselineOnTinySuite) {
+  // One instance per class under Cubic: the classifier must match every
+  // truth label and beat the oracle-picked threshold baseline — the same
+  // acceptance gate bench_pathmodel enforces at full size. (Cubic, not
+  // NewReno: reno's one known borderline miss in the full suite is exactly
+  // the smallest interdomain instance this tiny suite would run; see
+  // EXPERIMENTS.md §6.3.)
+  auto cases = core::run_pathmodel_suite(
+      sim::packet::CcAlgo::kCubic, core::PathModelScenario::kAll, 1);
+  ASSERT_EQ(cases.size(), 4u);
+  core::PathModelScore score = core::score_pathmodel(cases);
+  EXPECT_GT(score.congested.f1, score.baseline_best_f1);
+  EXPECT_EQ(score.localization_total, 2);
+  EXPECT_EQ(score.localization_correct, 2);
+  EXPECT_DOUBLE_EQ(score.label_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace netcong

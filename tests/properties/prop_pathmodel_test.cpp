@@ -1,0 +1,49 @@
+// Gtest wrapper for the "pathmodel" property family: the multi-CC packet
+// simulator must be a pure function of its flow specs (re-runs and
+// background-flow insertion orders reproduce bit-identical stats
+// fingerprints), and the infer/pathmodel label must survive joint scaling
+// of bottleneck bandwidth and flow demand — the metamorphic form of the
+// paper's §6 argument against fixed throughput thresholds.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+
+namespace netcong::check {
+namespace {
+
+std::vector<const Property*> family_properties(const char* family) {
+  std::vector<const Property*> out;
+  for (const Property& p : all_properties()) {
+    if (p.family == family) out.push_back(&p);
+  }
+  return out;
+}
+
+class PathModelProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(PathModelProperty, Holds) {
+  util::pbt::Config cfg;
+  cfg.iterations = 0;  // the property's bounded default budget
+  util::pbt::CheckResult result = run_property(*GetParam(), cfg);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+std::string test_name(const ::testing::TestParamInfo<const Property*>& info) {
+  std::string name = info.param->name;
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, PathModelProperty,
+                         ::testing::ValuesIn(family_properties("pathmodel")),
+                         test_name);
+
+TEST(PathModelFamily, RegistryHasEnoughProperties) {
+  EXPECT_GE(family_properties("pathmodel").size(), 2u);
+}
+
+}  // namespace
+}  // namespace netcong::check

@@ -20,6 +20,7 @@
 
 #include "core/coverage.h"
 #include "core/diurnal.h"
+#include "core/pathmodel_eval.h"
 #include "measure/corpus.h"
 #include "gen/workload.h"
 #include "gen/world.h"
@@ -791,6 +792,109 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_pathmodel(const Args& args) {
+  // Closed-set flag validation first (exit 2), before any simulation runs.
+  namespace sp = sim::packet;
+  std::string cc_text = args.get("cc", "all");
+  std::vector<sp::CcAlgo> ccs;
+  if (cc_text == "all") {
+    ccs = {sp::CcAlgo::kNewReno, sp::CcAlgo::kCubic, sp::CcAlgo::kBbr};
+  } else {
+    sp::CcAlgo cc;
+    if (!sp::parse_cc_algo(cc_text, &cc)) {
+      std::fprintf(stderr, "unknown --cc '%s' (reno|cubic|bbr|all)\n",
+                   cc_text.c_str());
+      return 2;
+    }
+    ccs = {cc};
+  }
+  std::string scen_text = args.get("scenario", "all");
+  core::PathModelScenario which;
+  if (!core::parse_pathmodel_scenario(scen_text, &which)) {
+    std::fprintf(stderr,
+                 "unknown --scenario '%s' "
+                 "(bandwidth|sender|interdomain|access|all)\n",
+                 scen_text.c_str());
+    return 2;
+  }
+  unsigned long long per_class = 3;
+  if (args.has("tests") &&
+      (!parse_flag_uint(args.get("tests", ""), 1000, &per_class) ||
+       per_class == 0)) {
+    std::fprintf(stderr, "bad --tests '%s' (instances per class, 1-1000)\n",
+                 args.get("tests", "").c_str());
+    return 2;
+  }
+  std::FILE* out = nullptr;
+  if (args.has("out")) {
+    out = std::fopen(args.get("out", "").c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bad --out '%s': cannot open for writing\n",
+                   args.get("out", "").c_str());
+      return 2;
+    }
+    std::fprintf(out,
+                 "cc,scenario,access_mbps,rtt_ms,competing_flows,"
+                 "goodput_mbps,baseline_drop,truth_label,predicted_label,"
+                 "truth_site,predicted_site,btlbw_mbps,rtprop_ms,"
+                 "bdp_packets,avg_inflight,steady_p10_rtt_ms\n");
+  }
+
+  for (sp::CcAlgo cc : ccs) {
+    std::vector<core::PathModelCase> cases =
+        core::run_pathmodel_suite(cc, which, static_cast<int>(per_class));
+    util::TextTable table({"scenario", "access", "rtt", "goodput", "truth",
+                           "predicted", "site"});
+    for (const core::PathModelCase& c : cases) {
+      bool label_ok = c.result.label == c.truth_label;
+      bool site_ok = c.result.site == c.truth_site;
+      table.add_row(
+          {core::pathmodel_scenario_name(c.scenario),
+           util::format("%.0f Mbps", c.access_mbps),
+           util::format("%.0f ms", c.rtt_ms),
+           util::format("%.1f Mbps", c.goodput_mbps),
+           infer::flow_label_name(c.truth_label),
+           util::format("%s%s", infer::flow_label_name(c.result.label),
+                        label_ok ? "" : " *"),
+           util::format("%s%s", infer::bottleneck_site_name(c.result.site),
+                        site_ok ? "" : " *")});
+      if (out != nullptr) {
+        std::fprintf(
+            out, "%s,%s,%.3f,%.3f,%d,%.4f,%.4f,%s,%s,%s,%s,%.3f,%.3f,%.2f,"
+            "%.2f,%.3f\n",
+            sp::cc_algo_name(cc), core::pathmodel_scenario_name(c.scenario),
+            c.access_mbps, c.rtt_ms, c.competing_flows, c.goodput_mbps,
+            c.baseline_drop, infer::flow_label_name(c.truth_label),
+            infer::flow_label_name(c.result.label),
+            infer::bottleneck_site_name(c.truth_site),
+            infer::bottleneck_site_name(c.result.site), c.result.btlbw_mbps,
+            c.result.rtprop_ms, c.result.bdp_packets,
+            c.result.avg_inflight_packets, c.result.steady_p10_rtt_ms);
+      }
+    }
+    std::printf("cc: %s (%zu cases; * marks a miss)\n%s", sp::cc_algo_name(cc),
+                cases.size(), table.render().c_str());
+    if (which == core::PathModelScenario::kAll) {
+      core::PathModelScore score = core::score_pathmodel(cases);
+      std::printf(
+          "  congested-vs-not: precision %.3f  recall %.3f  F1 %.3f "
+          "(threshold baseline F1 %.3f at drop > %.2f)\n"
+          "  label accuracy: %.3f  localization: %d/%d\n\n",
+          score.congested.precision, score.congested.recall,
+          score.congested.f1, score.baseline_best_f1,
+          score.baseline_best_threshold, score.label_accuracy,
+          score.localization_correct, score.localization_total);
+    } else {
+      std::printf("\n");
+    }
+  }
+  if (out != nullptr) {
+    std::fclose(out);
+    std::printf("wrote per-case rows to %s\n", args.get("out", "").c_str());
+  }
+  return 0;
+}
+
 // The subcommand registry: the one place a subcommand is declared. Both
 // the usage text and main()'s dispatch are generated from this table.
 struct Subcommand {
@@ -810,6 +914,10 @@ constexpr Subcommand kSubcommands[] = {
      "--source NAME --isp NAME --days N", &cmd_diurnal},
     {"faults", "run clean vs faulted campaigns and report data quality",
      "--list | --severity X --days N --out DIR --no-truth", &cmd_faults},
+    {"pathmodel", "CC-aware bottleneck classification on ground-truth sims",
+     "--cc reno|cubic|bbr|all --scenario bandwidth|sender|interdomain|"
+     "access|all --tests N --out FILE",
+     &cmd_pathmodel},
     {"scale", "columnar-engine scaling probe: tests/sec and peak RSS",
      "--tests N --threads N --classic", &cmd_scale},
     {"serve", "replay a campaign through the always-on ingest service",

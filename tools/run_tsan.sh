@@ -18,10 +18,14 @@ cmake --build "$BUILD" -j "$(nproc)"
 # the serve suite (MPSC queues feeding sharded workers — the densest
 # cross-thread traffic in the codebase; wal_test/net_test ride the same
 # label, racing the socket listener/accept threads against producers),
-# and the bench_scale smoke (the block-sharded columnar trace builder
-# under race checking) — at reduced budgets so the instrumented run
-# stays fast.
+# the bench_scale smoke (the block-sharded columnar trace builder
+# under race checking), and the pathmodel suite (multi-CC packet sims +
+# classifier; single-threaded, but cheap insurance against UB the
+# instrumented build would also flag) — at reduced budgets so the
+# instrumented run stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
 NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
 NETCONG_INGEST_EVENTS="${NETCONG_INGEST_EVENTS:-500}" \
-  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt|bench|serve' --output-on-failure
+NETCONG_PATHMODEL_TESTS="${NETCONG_PATHMODEL_TESTS:-1}" \
+  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt|bench|serve|pathmodel' \
+  --output-on-failure

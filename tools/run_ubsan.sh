@@ -16,5 +16,9 @@ cd "$(dirname "$0")/.."
 BUILD=build-ubsan
 cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=undefined "$@"
 cmake --build "$BUILD" -j "$(nproc)"
+# The pathmodel label adds the CC simulator + classifier suite: cubic's
+# cube-root window math and BBR's gain cycling are precisely the kind of
+# floating/integer arithmetic UBSan should watch.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
-  ctest --test-dir "$BUILD" -L 'pbt|asan|obs' --output-on-failure
+NETCONG_PATHMODEL_TESTS="${NETCONG_PATHMODEL_TESTS:-1}" \
+  ctest --test-dir "$BUILD" -L 'pbt|asan|obs|pathmodel' --output-on-failure
