@@ -1,0 +1,229 @@
+#include <vector>
+
+#include "check/fixtures.h"
+#include "check/properties.h"
+#include "measure/adversary.h"
+#include "measure/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "route/path_cache.h"
+#include "sim/adversary.h"
+#include "util/strings.h"
+
+// Adversarial-scenario invariants (DESIGN.md §14): every scenario is a pure
+// function of (seed, config) — bit-identical campaign output across worker
+// counts, path-cache settings, and instrumentation; churn leaves the
+// pre-epoch prefix byte-for-byte equal to an un-churned run; and the
+// Misleading-Stars construction yields two distinct ground truths under one
+// observed corpus.
+
+namespace netcong::check {
+namespace {
+
+using gen::GeneratorConfig;
+using util::format;
+
+struct AdversaryCell {
+  const char* label;
+  int threads;
+  bool cache;
+  bool instrumented;
+};
+
+constexpr AdversaryCell kAdversaryMatrix[] = {
+    {"serial", 1, false, false},
+    {"2 threads", 2, false, false},
+    {"hardware threads", 0, false, false},
+    {"serial+cache", 1, true, false},
+    {"hardware+cache", 0, true, false},
+    {"hardware+obs", 0, false, true},
+};
+
+std::string run_adversary_matrix(const Stack& s,
+                                 const std::vector<gen::TestRequest>& schedule,
+                                 std::uint64_t rng_seed,
+                                 const sim::AdversaryScenario* adversary,
+                                 measure::CampaignResult* serial_out = nullptr) {
+  route::PathCache cache(s.fwd);
+  bool have_baseline = false;
+  std::uint64_t baseline = 0;
+  const char* baseline_label = "";
+  for (const AdversaryCell& cell : kAdversaryMatrix) {
+    measure::CampaignConfig ccfg;
+    ccfg.threads = cell.threads;
+    measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab, ccfg);
+    if (cell.cache) campaign.set_path_cache(&cache);
+    if (adversary) campaign.set_adversary(adversary);
+
+    bool metrics_were = obs::MetricsRegistry::global().enabled();
+    bool traces_were = obs::TraceRecorder::global().enabled();
+    if (cell.instrumented) {
+      obs::MetricsRegistry::global().set_enabled(true);
+      obs::TraceRecorder::global().set_enabled(true);
+    }
+    util::Rng rng(rng_seed);
+    measure::CampaignResult result = campaign.run(schedule, rng);
+    if (cell.instrumented) {
+      obs::MetricsRegistry::global().set_enabled(metrics_were);
+      obs::TraceRecorder::global().set_enabled(traces_were);
+    }
+
+    std::uint64_t fp = measure::fingerprint(result);
+    if (!have_baseline) {
+      have_baseline = true;
+      baseline = fp;
+      baseline_label = cell.label;
+      if (serial_out) *serial_out = std::move(result);
+    } else if (fp != baseline) {
+      return format("adversarial campaign differs: '%s' vs '%s' "
+                    "(fingerprints %016llx vs %016llx)",
+                    cell.label, baseline_label,
+                    static_cast<unsigned long long>(fp),
+                    static_cast<unsigned long long>(baseline));
+    }
+  }
+  return "";
+}
+
+sim::AdversaryConfig random_adversary(util::Rng& rng) {
+  sim::AdversaryConfig cfg;
+  cfg.enabled = true;
+  // dense_schedule places all tests in [10.0, 10.2); an epoch inside that
+  // window splits the campaign into a real pre/post pair.
+  cfg.epoch_hours = rng.uniform(10.02, 10.09);
+  cfg.churn_fraction = rng.uniform(0.2, 0.8);
+  cfg.withdraw_links = static_cast<int>(rng.uniform_int(0, 2));
+  cfg.asym_fraction = rng.uniform(0.0, 0.5);
+  cfg.star_fraction = rng.uniform(0.0, 0.4);
+  return cfg;
+}
+
+std::string check_scenario_determinism(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  util::Rng rng(cfg.seed ^ 0xadd511ull);
+  sim::AdversaryConfig acfg = random_adversary(rng);
+  std::uint64_t seed = cfg.seed ^ 0xad5ceull;
+
+  sim::AdversaryScenario a(*s.world.topo, s.bgp, acfg, seed);
+  sim::AdversaryScenario b(*s.world.topo, s.bgp, acfg, seed);
+  if (a.withdrawn_links() != b.withdrawn_links()) {
+    return "same (seed, config) picked different withdrawn links";
+  }
+  if (a.cloaked_router_count() != b.cloaked_router_count()) {
+    return "same (seed, config) cloaked different router counts";
+  }
+  for (const topo::Router& r : s.world.topo->routers()) {
+    if (a.router_cloaked(r.id) != b.router_cloaked(r.id)) {
+      return format("cloak mask differs at router %u", r.id.value);
+    }
+  }
+
+  auto schedule = dense_schedule(s.world, 2);
+  return run_adversary_matrix(s, schedule, cfg.seed, &a);
+}
+
+std::string check_churn_prefix_equivalence(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  auto schedule = dense_schedule(s.world, 2);
+  util::Rng rng(cfg.seed ^ 0xc4057ull);
+  double epoch = rng.uniform(10.02, 10.09);
+  sim::AdversaryConfig acfg =
+      sim::AdversaryConfig::churn(epoch, rng.uniform(0.3, 1.0));
+  sim::AdversaryScenario churned(*s.world.topo, s.bgp, acfg,
+                                 cfg.seed ^ 0xc40511ull);
+  sim::AdversaryScenario disabled(*s.world.topo, s.bgp, {},
+                                  cfg.seed ^ 0xc40511ull);
+
+  measure::CampaignResult base;
+  std::string err = run_adversary_matrix(s, schedule, cfg.seed, nullptr, &base);
+  if (!err.empty()) return err;
+  measure::CampaignResult adv;
+  err = run_adversary_matrix(s, schedule, cfg.seed, &churned, &adv);
+  if (!err.empty()) return err;
+
+  // A disabled scenario is the identity on the whole campaign.
+  measure::CampaignResult inert;
+  err = run_adversary_matrix(s, schedule, cfg.seed, &disabled, &inert);
+  if (!err.empty()) return err;
+  if (measure::fingerprint(inert) != measure::fingerprint(base)) {
+    return "a disabled scenario changed the campaign output";
+  }
+
+  // Everything strictly before the epoch is byte-identical.
+  std::uint64_t pre_base = measure::fingerprint_before(base, epoch);
+  std::uint64_t pre_adv = measure::fingerprint_before(adv, epoch);
+  if (pre_base != pre_adv) {
+    return format("pre-epoch prefix differs under churn at t=%.3f "
+                  "(%016llx vs %016llx)",
+                  epoch, static_cast<unsigned long long>(pre_adv),
+                  static_cast<unsigned long long>(pre_base));
+  }
+  return "";
+}
+
+std::string check_stars_indistinguishable(const GeneratorConfig& cfg) {
+  Stack s(cfg);
+  if (s.world.ark_vps.empty()) return "";
+  util::Rng rng(cfg.seed ^ 0x57a25ull);
+  sim::AdversaryConfig acfg =
+      sim::AdversaryConfig::misleading_stars(rng.uniform(0.3, 1.0));
+  sim::AdversaryScenario scenario(*s.world.topo, s.bgp, acfg,
+                                  cfg.seed ^ 0x57a2ull);
+  std::uint32_t vp = s.world.ark_vps[0];
+  measure::ArkCampaignOptions options;
+
+  util::Rng run_a(cfg.seed ^ 0xc0ull);
+  util::Rng run_b(cfg.seed ^ 0xc0ull);
+  measure::MisleadingStarsResult first = measure::misleading_stars_corpus(
+      s.world, s.fwd, scenario, vp, options, run_a);
+  measure::MisleadingStarsResult second = measure::misleading_stars_corpus(
+      s.world, s.fwd, scenario, vp, options, run_b);
+
+  if (first.observed_fp_a != second.observed_fp_a ||
+      first.truth_fp_b != second.truth_fp_b) {
+    return "misleading-stars corpus is not deterministic in (seed, config)";
+  }
+  if (!first.indistinguishable()) {
+    return format("stars pair distinguishable: observed %016llx vs %016llx, "
+                  "truth %016llx vs %016llx (%zu cloaked hops)",
+                  static_cast<unsigned long long>(first.observed_fp_a),
+                  static_cast<unsigned long long>(first.observed_fp_b),
+                  static_cast<unsigned long long>(first.truth_fp_a),
+                  static_cast<unsigned long long>(first.truth_fp_b),
+                  first.cloaked_hops);
+  }
+  return "";
+}
+
+Property adversary_property(const char* name, const char* summary, int iters,
+                            std::string (*fn)(const GeneratorConfig&)) {
+  Property p;
+  p.name = name;
+  p.family = "adversary";
+  p.summary = summary;
+  p.default_iterations = iters;
+  std::string pname = p.name;
+  p.run = [pname, fn](util::pbt::Config cfg) {
+    return util::pbt::check<GeneratorConfig>(pname, config_domain(), fn, cfg);
+  };
+  return p;
+}
+
+}  // namespace
+
+void register_adversary_properties(std::vector<Property>& out) {
+  out.push_back(adversary_property(
+      "adversary.scenario_determinism",
+      "adversarial campaign bit-identical across threads x cache x obs", 3,
+      check_scenario_determinism));
+  out.push_back(adversary_property(
+      "adversary.churn_prefix_equivalence",
+      "pre-churn prefix equals the un-churned run; disabled is identity", 3,
+      check_churn_prefix_equivalence));
+  out.push_back(adversary_property(
+      "adversary.stars_indistinguishable",
+      "misleading stars: one observed corpus, two distinct ground truths", 3,
+      check_stars_indistinguishable));
+}
+
+}  // namespace netcong::check

@@ -19,7 +19,12 @@
 //           conservation under both overflow policies;
 //   pathmodel — CC simulator determinism (re-runs and flow insertion orders
 //           reproduce bit-identical stats fingerprints) and classifier
-//           metamorphism (joint bandwidth/demand scaling preserves labels).
+//           metamorphism (joint bandwidth/demand scaling preserves labels);
+//   adversary — adversarial scenarios (sim/adversary) are pure functions of
+//           (seed, config): campaign output bit-identical across the
+//           threads x cache x obs matrix, churn leaves the pre-epoch prefix
+//           equal to an un-churned run, and Misleading Stars produces one
+//           observed corpus with two distinct ground truths.
 //
 // Both `netcong_check` and the gtest wrappers in tests/properties/ drive
 // the same registry, so a seed printed by either reproduces in the other.
@@ -65,5 +70,6 @@ void register_diff_properties(std::vector<Property>& out);
 void register_util_properties(std::vector<Property>& out);
 void register_ingest_properties(std::vector<Property>& out);
 void register_pathmodel_properties(std::vector<Property>& out);
+void register_adversary_properties(std::vector<Property>& out);
 
 }  // namespace netcong::check

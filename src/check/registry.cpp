@@ -11,6 +11,7 @@ const std::vector<Property>& all_properties() {
     register_util_properties(out);
     register_ingest_properties(out);
     register_pathmodel_properties(out);
+    register_adversary_properties(out);
     return out;
   }();
   return props;

@@ -1,0 +1,96 @@
+#include "core/anomaly_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netcong::core {
+namespace {
+
+double safe_div(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+AnomalyGroundTruth ground_truth_of(
+    const measure::AdversaryCampaignTruth& truth) {
+  AnomalyGroundTruth gt;
+  // Churn, withdrawal, and asymmetry-with-epoch all flip at epoch_hours; an
+  // epoch at 0 precedes every measurement and is not a detectable change.
+  bool changes_anything = (truth.churn_fraction > 0.0 &&
+                           truth.pairs_churned > 0) ||
+                          !truth.withdrawn_links.empty();
+  if (changes_anything && truth.epoch_hours > 0.0 &&
+      truth.tests_pre_epoch > 0) {
+    gt.epochs.push_back(truth.epoch_hours);
+  }
+  gt.withdrawn = truth.withdrawn_addrs;
+  return gt;
+}
+
+AnomalyScore score_anomalies(const infer::AnomalyReport& report,
+                             const AnomalyGroundTruth& truth,
+                             double tolerance_hours) {
+  AnomalyScore score;
+
+  // ---- epochs: greedy 1:1 matching in time order ----
+  std::vector<double> detected = report.epochs;
+  std::vector<double> actual = truth.epochs;
+  std::sort(detected.begin(), detected.end());
+  std::sort(actual.begin(), actual.end());
+  score.epochs_true = actual.size();
+  score.epochs_detected = detected.size();
+  std::vector<bool> used(detected.size(), false);
+  for (double t : actual) {
+    std::size_t best = detected.size();
+    double best_gap = tolerance_hours;
+    for (std::size_t i = 0; i < detected.size(); ++i) {
+      if (used[i]) continue;
+      double gap = std::fabs(detected[i] - t);
+      if (gap <= best_gap) {
+        best = i;
+        best_gap = gap;
+      }
+    }
+    if (best < detected.size()) {
+      used[best] = true;
+      ++score.epochs_matched;
+    }
+  }
+  score.epoch_precision = safe_div(score.epochs_matched, score.epochs_detected);
+  score.epoch_recall = safe_div(score.epochs_matched, score.epochs_true);
+  double pr = score.epoch_precision + score.epoch_recall;
+  score.epoch_f1 =
+      pr == 0.0 ? 0.0 : 2.0 * score.epoch_precision * score.epoch_recall / pr;
+
+  // ---- withdrawn links: shared-interface identity ----
+  // A traceroute that crossed the withdrawn link reports the link's
+  // far-side ingress interface as the far hop, but the near hop replies
+  // from the *upstream* link's interface — so only one address of the
+  // truth pair is ever observable in a corpus. A finding names a truth
+  // link when either of its crossing addresses is one of the link's two
+  // interface addresses.
+  score.withdrawn_true = truth.withdrawn.size();
+  score.withdrawn_detected = report.withdrawn.size();
+  std::vector<bool> claimed(report.withdrawn.size(), false);
+  for (const auto& [a, b] : truth.withdrawn) {
+    for (std::size_t i = 0; i < report.withdrawn.size(); ++i) {
+      if (claimed[i]) continue;
+      const infer::AnomalyFinding& f = report.withdrawn[i];
+      bool same = f.near_addr.value == a.value || f.far_addr.value == b.value ||
+                  f.near_addr.value == b.value || f.far_addr.value == a.value;
+      if (same) {
+        claimed[i] = true;
+        ++score.withdrawn_matched;
+        break;
+      }
+    }
+  }
+  score.withdrawn_precision =
+      safe_div(score.withdrawn_matched, score.withdrawn_detected);
+  score.withdrawn_recall = safe_div(score.withdrawn_matched, score.withdrawn_true);
+  return score;
+}
+
+}  // namespace netcong::core

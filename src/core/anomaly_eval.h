@@ -1,0 +1,52 @@
+#pragma once
+
+// Scores the anomaly detector (infer/anomaly.h) against adversary-scenario
+// ground truth (measure/adversary.h): epoch precision/recall with a time
+// tolerance, and withdrawn-link precision/recall by interface address.
+// Feeds bench_adversary and the adversary test matrix.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "infer/anomaly.h"
+#include "measure/adversary.h"
+
+namespace netcong::core {
+
+// What the detector should have found.
+struct AnomalyGroundTruth {
+  std::vector<double> epochs;  // true change epochs, hours
+  // Withdrawn links by their (side_a, side_b) interface addresses.
+  std::vector<std::pair<topo::IpAddr, topo::IpAddr>> withdrawn;
+};
+
+AnomalyGroundTruth ground_truth_of(
+    const measure::AdversaryCampaignTruth& truth);
+
+struct AnomalyScore {
+  // Epoch matching (greedy, within tolerance).
+  std::size_t epochs_true = 0;
+  std::size_t epochs_detected = 0;
+  std::size_t epochs_matched = 0;
+  double epoch_precision = 0.0;
+  double epoch_recall = 0.0;
+  double epoch_f1 = 0.0;
+  // Withdrawn-crossing matching (unordered address-pair identity).
+  std::size_t withdrawn_true = 0;
+  std::size_t withdrawn_detected = 0;
+  std::size_t withdrawn_matched = 0;
+  double withdrawn_precision = 0.0;
+  double withdrawn_recall = 0.0;
+};
+
+// Scores a report against ground truth. A detected epoch matches a true
+// epoch when |detected - true| <= tolerance_hours; each true epoch matches
+// at most one detection (greedy in time order). A withdrawn finding
+// matches a true link when its {near, far} addresses equal the link's
+// interface-address pair in either order.
+AnomalyScore score_anomalies(const infer::AnomalyReport& report,
+                             const AnomalyGroundTruth& truth,
+                             double tolerance_hours = 24.0);
+
+}  // namespace netcong::core

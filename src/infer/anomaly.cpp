@@ -1,0 +1,326 @@
+#include "infer/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace netcong::infer {
+namespace {
+
+constexpr double kNoValue = -1.0;
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return kNoValue;
+  std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+// Median absolute deviation, scaled to estimate sigma under normality.
+double mad_scale(const std::vector<double>& residuals) {
+  std::vector<double> abs;
+  abs.reserve(residuals.size());
+  for (double r : residuals) {
+    if (r != kNoValue) abs.push_back(std::fabs(r));
+  }
+  double mad = median_of(std::move(abs));
+  return std::max(mad * 1.4826, 1e-3);
+}
+
+struct CrossingKey {
+  std::uint32_t near_addr = 0;
+  std::uint32_t far_addr = 0;
+  bool operator<(const CrossingKey& o) const {
+    return near_addr != o.near_addr ? near_addr < o.near_addr
+                                    : far_addr < o.far_addr;
+  }
+};
+
+}  // namespace
+
+const char* anomaly_kind_name(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kRttShift:
+      return "rtt_shift";
+    case AnomalyKind::kCrossingShift:
+      return "crossing_shift";
+    case AnomalyKind::kNewCrossing:
+      return "new_crossing";
+    case AnomalyKind::kWithdrawnCrossing:
+      return "withdrawn_crossing";
+  }
+  return "unknown";
+}
+
+AnomalyReport detect_anomalies(const measure::CampaignResult& result,
+                               const Ip2As& ip2as,
+                               const AnomalyConfig& config) {
+  AnomalyReport report;
+  const double bin_hours = std::max(config.bin_hours, 1e-6);
+  auto bin_of = [bin_hours](double t) {
+    return static_cast<std::size_t>(std::max(0.0, std::floor(t / bin_hours)));
+  };
+
+  // ---- bin count from the full campaign span ----
+  std::size_t bins = 0;
+  for (const measure::NdtRecord& t : result.tests) {
+    bins = std::max(bins, bin_of(t.utc_time_hours) + 1);
+  }
+  for (const measure::TracerouteRecord& tr : result.traceroutes) {
+    bins = std::max(bins, bin_of(tr.utc_time_hours) + 1);
+  }
+  report.bins = bins;
+
+  // ---- series 1: per-bin flow RTT from completed tests ----
+  std::vector<std::vector<double>> rtt_bins(bins);
+  for (const measure::NdtRecord& t : result.tests) {
+    if (!t.completed() || !t.has_webstats) {
+      ++report.tests_skipped;
+      continue;
+    }
+    ++report.tests_used;
+    rtt_bins[bin_of(t.utc_time_hours)].push_back(t.flow_rtt_ms);
+  }
+
+  // ---- series 2: per-bin inter-AS crossing counts ----
+  // A crossing is a pair of consecutively-responding hops (adjacent TTLs,
+  // no star between them) whose origin ASNs differ and are both known.
+  std::map<CrossingKey, std::vector<std::size_t>> crossing_bins;
+  std::vector<std::size_t> crossing_total(bins, 0);
+  std::map<CrossingKey, std::pair<topo::Asn, topo::Asn>> crossing_asns;
+  for (const measure::TracerouteRecord& tr : result.traceroutes) {
+    std::size_t b = bin_of(tr.utc_time_hours);
+    const measure::TraceHop* prev = nullptr;
+    std::size_t found = 0;
+    for (const measure::TraceHop& h : tr.hops) {
+      if (!h.responded) {
+        prev = nullptr;
+        continue;
+      }
+      if (prev != nullptr && h.ttl == prev->ttl + 1) {
+        topo::Asn a = ip2as.origin(prev->addr);
+        topo::Asn c = ip2as.origin(h.addr);
+        if (a != 0 && c != 0 && a != c) {
+          CrossingKey key{prev->addr.value, h.addr.value};
+          auto [it, fresh] =
+              crossing_bins.try_emplace(key, std::vector<std::size_t>(bins, 0));
+          ++it->second[b];
+          ++crossing_total[b];
+          if (fresh) crossing_asns[key] = {a, c};
+          ++found;
+        }
+      }
+      prev = &h;
+    }
+    if (found > 0) {
+      ++report.traces_used;
+    } else {
+      ++report.traces_skipped;
+    }
+  }
+
+  if (bins < 2) {
+    report.insufficient = true;
+    return report;
+  }
+  const std::size_t warmup =
+      std::min(static_cast<std::size_t>(std::max(config.warmup_bins, 0)),
+               bins - 1);
+
+  // ---- RTT shift: diurnal-corrected median, MAD-scaled, two-sided CUSUM ---
+  {
+    std::vector<double> bin_median(bins, kNoValue);
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (rtt_bins[b].size() >= config.min_samples_per_bin) {
+        bin_median[b] = median_of(rtt_bins[b]);
+      }
+    }
+    // Hour-of-day phase baseline from the first two days only, so a
+    // persistent post-epoch shift cannot contaminate its own reference.
+    std::size_t bins_per_day = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(24.0 / bin_hours)));
+    std::size_t baseline_bins =
+        std::min(bins, std::max(2 * bins_per_day, warmup + 1));
+    std::vector<std::vector<double>> phase_vals(bins_per_day);
+    for (std::size_t b = 0; b < baseline_bins; ++b) {
+      if (bin_median[b] != kNoValue) {
+        phase_vals[b % bins_per_day].push_back(bin_median[b]);
+      }
+    }
+    std::vector<double> phase_median(bins_per_day, kNoValue);
+    for (std::size_t p = 0; p < bins_per_day; ++p) {
+      phase_median[p] = median_of(phase_vals[p]);
+    }
+    std::vector<double> residual(bins, kNoValue);
+    for (std::size_t b = 0; b < bins; ++b) {
+      double base = phase_median[b % bins_per_day];
+      if (bin_median[b] != kNoValue && base != kNoValue) {
+        residual[b] = bin_median[b] - base;
+      }
+    }
+    // Robust scale, also from the baseline window (fall back to the whole
+    // series when the window is too sparse).
+    std::vector<double> base_resid(residual.begin(),
+                                   residual.begin() + baseline_bins);
+    std::size_t base_vals = 0;
+    for (double r : base_resid) base_vals += r != kNoValue;
+    // Floor at a quarter millisecond: shifts below that are measurement
+    // noise, not reroutes.
+    double scale =
+        std::max(mad_scale(base_vals >= 3 ? base_resid : residual), 0.25);
+    double s_hi = 0.0;
+    double s_lo = 0.0;
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (residual[b] == kNoValue) continue;
+      double z = residual[b] / scale;
+      s_hi = std::max(0.0, s_hi + z - config.cusum_k);
+      s_lo = std::max(0.0, s_lo - z - config.cusum_k);
+      if (b >= warmup && std::max(s_hi, s_lo) > config.cusum_h) {
+        AnomalyFinding f;
+        f.kind = AnomalyKind::kRttShift;
+        f.onset_hours = static_cast<double>(b) * bin_hours;
+        f.score = std::max(s_hi, s_lo);
+        report.alarms.push_back(f);
+        break;  // first onset only; later shifts fold into the same epoch
+      }
+    }
+  }
+
+  // ---- crossing-level detection ----
+  for (const auto& [key, counts] : crossing_bins) {
+    auto [near_asn, far_asn] = crossing_asns[key];
+    auto share = [&](std::size_t b) {
+      return crossing_total[b] == 0
+                 ? 0.0
+                 : static_cast<double>(counts[b]) /
+                       static_cast<double>(crossing_total[b]);
+    };
+    // First and last bins with any mass.
+    std::size_t first = bins;
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (counts[b] > 0) {
+        if (first == bins) first = b;
+        last = b;
+      }
+    }
+    if (first == bins) continue;
+
+    // New crossing: first appearance after warmup with real share, while
+    // earlier bins carried enough traffic to have seen it.
+    if (first >= warmup && first > 0 && share(first) >= config.min_share) {
+      bool earlier_mass = false;
+      for (std::size_t b = 0; b < first; ++b) {
+        if (crossing_total[b] >= config.min_samples_per_bin) {
+          earlier_mass = true;
+          break;
+        }
+      }
+      if (earlier_mass) {
+        AnomalyFinding f;
+        f.kind = AnomalyKind::kNewCrossing;
+        f.onset_hours = static_cast<double>(first) * bin_hours;
+        f.score = share(first);
+        f.near_addr = topo::IpAddr(key.near_addr);
+        f.far_addr = topo::IpAddr(key.far_addr);
+        f.near_asn = near_asn;
+        f.far_asn = far_asn;
+        report.alarms.push_back(f);
+      }
+    }
+
+    // Withdrawn crossing: established presence, then zero mass for every
+    // remaining bin while total crossings kept flowing. Two ways in: a
+    // share peak (small corpora, where one crossing is a visible slice of
+    // the whole), or an expected-miss test that stays meaningful at scale —
+    // with a historical rate of r observations per active bin, a silent run
+    // of m bins has r*m expected observations, so r*m past the threshold
+    // makes the silence evidence of withdrawal rather than sampling.
+    if (last + 1 < bins) {
+      double peak = 0.0;
+      std::size_t total_count = 0;
+      for (std::size_t b = 0; b <= last; ++b) {
+        peak = std::max(peak, share(b));
+        total_count += counts[b];
+      }
+      double rate = static_cast<double>(total_count) /
+                    static_cast<double>(last - first + 1);
+      double silence = static_cast<double>(bins - 1 - last);
+      bool later_mass = false;
+      for (std::size_t b = last + 1; b < bins; ++b) {
+        if (crossing_total[b] >= config.min_samples_per_bin) {
+          later_mass = true;
+          break;
+        }
+      }
+      if ((peak >= config.min_share ||
+           rate * silence >= config.withdrawn_min_expected) &&
+          later_mass) {
+        AnomalyFinding f;
+        f.kind = AnomalyKind::kWithdrawnCrossing;
+        f.onset_hours = static_cast<double>(last + 1) * bin_hours;
+        f.score = peak;
+        f.near_addr = topo::IpAddr(key.near_addr);
+        f.far_addr = topo::IpAddr(key.far_addr);
+        f.near_asn = near_asn;
+        f.far_asn = far_asn;
+        report.withdrawn.push_back(f);
+        report.alarms.push_back(f);
+      }
+    }
+
+    // Share shift: CUSUM against the warmup-bin baseline, for crossings
+    // that persist across the campaign (skip those already flagged above).
+    if (first < warmup && last + 1 == bins) {
+      double base_sum = 0.0;
+      std::size_t base_n = 0;
+      for (std::size_t b = 0; b < warmup; ++b) {
+        if (crossing_total[b] >= config.min_samples_per_bin) {
+          base_sum += share(b);
+          ++base_n;
+        }
+      }
+      if (base_n == 0) continue;
+      double base = base_sum / static_cast<double>(base_n);
+      double scale = std::max(0.5 * base, 0.01);
+      double s_hi = 0.0;
+      double s_lo = 0.0;
+      for (std::size_t b = 0; b < bins; ++b) {
+        if (crossing_total[b] < config.min_samples_per_bin) continue;
+        double z = (share(b) - base) / scale;
+        s_hi = std::max(0.0, s_hi + z - config.cusum_k);
+        s_lo = std::max(0.0, s_lo - z - config.cusum_k);
+        if (b >= warmup && std::max(s_hi, s_lo) > config.cusum_h) {
+          AnomalyFinding f;
+          f.kind = AnomalyKind::kCrossingShift;
+          f.onset_hours = static_cast<double>(b) * bin_hours;
+          f.score = std::max(s_hi, s_lo);
+          f.near_addr = topo::IpAddr(key.near_addr);
+          f.far_addr = topo::IpAddr(key.far_addr);
+          f.near_asn = near_asn;
+          f.far_asn = far_asn;
+          report.alarms.push_back(f);
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- cluster alarm onsets into epoch candidates ----
+  std::vector<double> onsets;
+  onsets.reserve(report.alarms.size());
+  for (const AnomalyFinding& f : report.alarms) onsets.push_back(f.onset_hours);
+  std::sort(onsets.begin(), onsets.end());
+  for (double t : onsets) {
+    if (report.epochs.empty() ||
+        t - report.epochs.back() > config.epoch_cluster_hours) {
+      report.epochs.push_back(t);
+    }
+  }
+  return report;
+}
+
+}  // namespace netcong::infer

@@ -1,0 +1,91 @@
+#pragma once
+
+// Change detection over campaign output (paper Section 6 concerns: routing
+// is not stable over a measurement campaign, and naive aggregation across a
+// path change poisons every per-link statistic). The detector consumes only
+// observables — NDT records and traceroute corpora plus prefix2as — and
+// flags (a) epoch candidates where the path system shifted (RTT onset,
+// border-crossing share shift, crossings appearing or vanishing) and (b)
+// specific inter-AS crossings that were withdrawn mid-campaign.
+//
+// Signals are binned into fixed-width time bins, corrected for the diurnal
+// cycle by subtracting the per-hour-of-day median, robust-scaled by MAD,
+// and run through a one-sided CUSUM. Ground truth from sim/adversary never
+// enters here; core/anomaly_eval.h scores the output against it.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "infer/datasets.h"
+#include "measure/ndt.h"
+#include "measure/traceroute.h"
+#include "topo/entities.h"
+
+namespace netcong::infer {
+
+struct AnomalyConfig {
+  double bin_hours = 6.0;       // width of a detection bin
+  int warmup_bins = 2;          // bins used to seed baselines, never alarmed
+  double cusum_k = 0.5;         // CUSUM slack, in MAD-scaled units
+  double cusum_h = 4.0;         // CUSUM decision threshold
+  // A crossing must carry at least this share of a bin's crossings to
+  // count as established (for withdrawal) or as new (for appearance).
+  double min_share = 0.02;
+  std::size_t min_samples_per_bin = 3;
+  // Scale-invariant withdrawal evidence: historical observations/bin times
+  // the silent-bin run must reach this many "missing" observations before
+  // the silence reads as withdrawal rather than sampling noise (share is
+  // useless at scale, where no single link is 2% of a continental corpus).
+  double withdrawn_min_expected = 8.0;
+  // Alarm onsets within this window collapse into one epoch candidate.
+  double epoch_cluster_hours = 12.0;
+};
+
+enum class AnomalyKind {
+  kRttShift,           // CUSUM crossing on diurnal-corrected median RTT
+  kCrossingShift,      // CUSUM crossing on a border-crossing's share
+  kNewCrossing,        // inter-AS crossing first seen after warmup
+  kWithdrawnCrossing,  // established crossing that vanished for good
+};
+
+const char* anomaly_kind_name(AnomalyKind kind);
+
+// One detector alarm. `onset_hours` is the left edge of the first bin in
+// the anomalous regime (for withdrawals: the first bin with zero mass).
+struct AnomalyFinding {
+  AnomalyKind kind = AnomalyKind::kRttShift;
+  double onset_hours = 0.0;
+  double score = 0.0;  // CUSUM statistic or share at onset
+  // For crossing findings: the (near, far) interface addresses.
+  topo::IpAddr near_addr;
+  topo::IpAddr far_addr;
+  topo::Asn near_asn = 0;
+  topo::Asn far_asn = 0;
+};
+
+struct AnomalyReport {
+  // True when the campaign spans too few bins to detect anything; the
+  // report is empty but well-formed.
+  bool insufficient = false;
+  std::size_t bins = 0;
+  std::size_t tests_used = 0;
+  std::size_t tests_skipped = 0;   // failed / webstats-less records
+  std::size_t traces_used = 0;
+  std::size_t traces_skipped = 0;  // traces with < 2 responded hops
+  std::vector<AnomalyFinding> alarms;
+  // Withdrawn-crossing findings, one per vanished (near, far) pair.
+  std::vector<AnomalyFinding> withdrawn;
+  // Clustered alarm onsets: the detector's epoch candidates, ascending.
+  std::vector<double> epochs;
+};
+
+// Runs change detection over a campaign. `ip2as` maps hop addresses to
+// origin ASNs for border-crossing extraction.
+AnomalyReport detect_anomalies(const measure::CampaignResult& result,
+                               const Ip2As& ip2as,
+                               const AnomalyConfig& config = {});
+
+}  // namespace netcong::infer

@@ -1,0 +1,102 @@
+#include "measure/adversary.h"
+
+#include <algorithm>
+
+#include "measure/fingerprint.h"
+
+namespace netcong::measure {
+
+MisleadingStarsResult misleading_stars_corpus(
+    const gen::World& world, const route::Forwarder& fwd,
+    const sim::AdversaryScenario& scenario, std::uint32_t vp,
+    const ArkCampaignOptions& options, util::Rng& rng) {
+  MisleadingStarsResult out;
+  out.cloaked_routers = scenario.cloaked_router_count();
+
+  ArkCampaignOptions opts = options;
+  opts.traceroute.adversary = &scenario;
+  out.observed = ark_full_prefix_campaign(world, fwd, vp, opts, rng);
+
+  // The split reading: every traversal of a cloaked router becomes its own
+  // phantom router. Observed hops are untouched (the cloaked hop was a star
+  // to begin with), only the ground truth moves.
+  out.alternate = out.observed;
+  std::uint32_t next_phantom = kPhantomRouterBase;
+  for (TracerouteRecord& tr : out.alternate) {
+    for (route::RouterHop& hop : tr.truth.hops) {
+      if (scenario.router_cloaked(hop.router)) {
+        hop.router = topo::RouterId(next_phantom++);
+        ++out.cloaked_hops;
+      }
+    }
+  }
+
+  out.observed_fp_a = observed_fingerprint(out.observed);
+  out.observed_fp_b = observed_fingerprint(out.alternate);
+  out.truth_fp_a = truth_fingerprint(out.observed);
+  out.truth_fp_b = truth_fingerprint(out.alternate);
+  return out;
+}
+
+AdversaryCampaignTruth annotate_campaign(
+    const sim::AdversaryScenario& scenario, const topo::Topology& topo,
+    const CampaignResult& result) {
+  AdversaryCampaignTruth truth;
+  const sim::AdversaryConfig& cfg = scenario.config();
+  truth.epoch_hours = cfg.epoch_hours;
+  truth.churn_fraction = cfg.churn_fraction;
+  truth.asym_fraction = cfg.asym_fraction;
+  truth.withdrawn_links = scenario.withdrawn_links();
+  for (topo::LinkId id : truth.withdrawn_links) {
+    const topo::Link& l = topo.link(id);
+    truth.withdrawn_addrs.emplace_back(topo.iface(l.side_a).addr,
+                                       topo.iface(l.side_b).addr);
+  }
+
+  std::vector<std::uint64_t> pairs;
+  pairs.reserve(result.tests.size());
+  for (const NdtRecord& t : result.tests) {
+    if (t.utc_time_hours < cfg.epoch_hours) {
+      ++truth.tests_pre_epoch;
+    } else {
+      ++truth.tests_post_epoch;
+    }
+    pairs.push_back((static_cast<std::uint64_t>(t.server) << 32) |
+                    topo.host(t.client).addr.value);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  truth.pairs_total = pairs.size();
+  for (std::uint64_t p : pairs) {
+    if (scenario.pair_churned(static_cast<std::uint32_t>(p >> 32),
+                              topo::IpAddr(static_cast<std::uint32_t>(p)))) {
+      ++truth.pairs_churned;
+    }
+  }
+  return truth;
+}
+
+std::vector<std::pair<topo::IpAddr, topo::IpAddr>> detectable_withdrawn(
+    const CampaignResult& result, const AdversaryCampaignTruth& truth) {
+  std::vector<std::pair<topo::IpAddr, topo::IpAddr>> out;
+  if (truth.withdrawn_addrs.empty()) return out;
+  // Addresses seen by pre-epoch traceroutes.
+  std::vector<std::uint32_t> seen;
+  for (const TracerouteRecord& tr : result.traceroutes) {
+    if (tr.utc_time_hours >= truth.epoch_hours) continue;
+    for (const TraceHop& h : tr.hops) {
+      if (h.responded) seen.push_back(h.addr.value);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  auto observed = [&seen](topo::IpAddr a) {
+    return std::binary_search(seen.begin(), seen.end(), a.value);
+  };
+  for (const auto& [a, b] : truth.withdrawn_addrs) {
+    if (observed(a) || observed(b)) out.emplace_back(a, b);
+  }
+  return out;
+}
+
+}  // namespace netcong::measure

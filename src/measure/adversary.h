@@ -1,0 +1,95 @@
+#pragma once
+
+// Measurement-side materialization of sim/adversary scenarios: the
+// Misleading-Stars indistinguishable corpus pair, and per-campaign
+// ground-truth annotations that score the anomaly-detection pass.
+//
+// Lives in measure/ (not sim/) because it drives real campaigns: the
+// Pignolet et al. construction needs an actual traceroute corpus to show
+// that two distinct ground-truth topologies produce it identically.
+
+#include <utility>
+#include <vector>
+
+#include "gen/world.h"
+#include "measure/ark.h"
+#include "measure/ndt.h"
+#include "measure/traceroute.h"
+#include "sim/adversary.h"
+
+namespace netcong::measure {
+
+// The Misleading-Stars pair: one observed corpus, two ground truths.
+//
+// `observed` is a real vantage-point campaign run under the scenario's
+// router cloak — every cloaked router shows as a star. `alternate` carries
+// byte-identical observed hops but a different ground truth: each cloaked
+// router occurrence is relabeled to a fresh phantom router, the "maximally
+// split" reading of the stars (what looked like one shared router is many
+// distinct ones). Since a star carries no address, no probing strategy can
+// tell the two internets apart: observed fingerprints are equal while the
+// truth fingerprints differ whenever any cloaked router was traversed.
+struct MisleadingStarsResult {
+  std::vector<TracerouteRecord> observed;   // truth = the real topology
+  std::vector<TracerouteRecord> alternate;  // truth = the split topology
+  std::size_t cloaked_routers = 0;  // routers cloaked by the scenario
+  std::size_t cloaked_hops = 0;     // truth hops relabeled in `alternate`
+  std::uint64_t observed_fp_a = 0;
+  std::uint64_t observed_fp_b = 0;
+  std::uint64_t truth_fp_a = 0;
+  std::uint64_t truth_fp_b = 0;
+
+  bool indistinguishable() const {
+    return observed_fp_a == observed_fp_b &&
+           (cloaked_hops == 0 || truth_fp_a != truth_fp_b);
+  }
+};
+
+// First router id used for phantom relabels; far above any generated world.
+inline constexpr std::uint32_t kPhantomRouterBase = 0x40000000u;
+
+// Runs a full-prefix Ark campaign from the VP under the scenario's cloak
+// and builds the indistinguishable pair.
+MisleadingStarsResult misleading_stars_corpus(
+    const gen::World& world, const route::Forwarder& fwd,
+    const sim::AdversaryScenario& scenario, std::uint32_t vp,
+    const ArkCampaignOptions& options, util::Rng& rng);
+
+// Ground-truth annotations of an adversarial campaign, for scoring the
+// anomaly detector (core/anomaly_eval.h). Everything here is derived from
+// the scenario + topology + result — inference code never sees it.
+struct AdversaryCampaignTruth {
+  double epoch_hours = 0.0;
+  double churn_fraction = 0.0;
+  double asym_fraction = 0.0;
+  std::vector<topo::LinkId> withdrawn_links;
+  // Interface addresses of each withdrawn link (side_a, side_b) — the
+  // observable identities a detector can name.
+  std::vector<std::pair<topo::IpAddr, topo::IpAddr>> withdrawn_addrs;
+  // Distinct (server, client-addr) pairs in the campaign, and how many of
+  // them the scenario re-routes at the epoch.
+  std::size_t pairs_total = 0;
+  std::size_t pairs_churned = 0;
+  std::size_t tests_pre_epoch = 0;
+  std::size_t tests_post_epoch = 0;
+
+  // Accounting invariant: every test lands on one side of the epoch.
+  bool accounted(std::size_t tests_total) const {
+    return tests_pre_epoch + tests_post_epoch == tests_total &&
+           pairs_churned <= pairs_total;
+  }
+};
+
+AdversaryCampaignTruth annotate_campaign(
+    const sim::AdversaryScenario& scenario, const topo::Topology& topo,
+    const CampaignResult& result);
+
+// The subset of withdrawn links a detector could possibly find: those whose
+// interface addresses were observed by at least one pre-epoch traceroute.
+// A link no probe ever crossed before the epoch leaves no absence to
+// detect; scoring recall against it would measure visibility, not the
+// detector.
+std::vector<std::pair<topo::IpAddr, topo::IpAddr>> detectable_withdrawn(
+    const CampaignResult& result, const AdversaryCampaignTruth& truth);
+
+}  // namespace netcong::measure

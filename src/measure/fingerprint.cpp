@@ -80,6 +80,56 @@ std::uint64_t fingerprint(const std::vector<TracerouteRecord>& corpus) {
   return fp.value();
 }
 
+std::uint64_t observed_fingerprint(
+    const std::vector<TracerouteRecord>& corpus) {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(corpus.size()));
+  for (const auto& tr : corpus) {
+    fp.mix(static_cast<std::uint64_t>(tr.src_host));
+    fp.mix(static_cast<std::uint64_t>(tr.dst.value));
+    fp.mix(tr.utc_time_hours);
+    fp.mix(tr.reached_dst);
+    fp.mix(static_cast<std::uint64_t>(tr.hops.size()));
+    for (const TraceHop& h : tr.hops) {
+      fp.mix(static_cast<std::uint64_t>(h.ttl));
+      fp.mix(h.responded);
+      fp.mix(static_cast<std::uint64_t>(h.addr.value));
+      fp.mix(h.rtt_ms);
+      fp.mix(h.dns_name);
+    }
+  }
+  return fp.value();
+}
+
+std::uint64_t truth_fingerprint(const std::vector<TracerouteRecord>& corpus) {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(corpus.size()));
+  for (const auto& tr : corpus) mix_record(fp, tr.truth);
+  return fp.value();
+}
+
+std::uint64_t fingerprint_before(const CampaignResult& result,
+                                 double cutoff_hours) {
+  Fingerprint fp;
+  std::uint64_t tests = 0;
+  for (const auto& t : result.tests) {
+    if (t.utc_time_hours < cutoff_hours) ++tests;
+  }
+  fp.mix(tests);
+  for (const auto& t : result.tests) {
+    if (t.utc_time_hours < cutoff_hours) mix_record(fp, t);
+  }
+  std::uint64_t traces = 0;
+  for (const auto& tr : result.traceroutes) {
+    if (tr.utc_time_hours < cutoff_hours) ++traces;
+  }
+  fp.mix(traces);
+  for (const auto& tr : result.traceroutes) {
+    if (tr.utc_time_hours < cutoff_hours) mix_record(fp, tr);
+  }
+  return fp.value();
+}
+
 std::uint64_t fingerprint(const CampaignResult& result) {
   Fingerprint fp;
   fp.mix(static_cast<std::uint64_t>(result.tests.size()));

@@ -46,6 +46,24 @@ void mix_record(Fingerprint& fp, const route::RouterPath& p);
 std::uint64_t fingerprint(const std::vector<TracerouteRecord>& corpus);
 std::uint64_t fingerprint(const CampaignResult& result);
 
+// Observable-only fingerprint of a traceroute corpus: every field a real
+// measurer sees (endpoints, times, hops, RTTs, PTR names), skipping the
+// ground-truth paths. Two corpora with equal observed fingerprints are
+// indistinguishable to inference code — the Misleading-Stars property
+// asserts exactly this while truth_fingerprint differs.
+std::uint64_t observed_fingerprint(
+    const std::vector<TracerouteRecord>& corpus);
+
+// Ground-truth-only fingerprint (the truth paths, in corpus order).
+std::uint64_t truth_fingerprint(const std::vector<TracerouteRecord>& corpus);
+
+// Fingerprint of the campaign prefix strictly before cutoff_hours: tests
+// by test time, traceroutes by trace time, full records including truth.
+// An adversarial campaign whose churn epoch is the cutoff must match the
+// un-churned run here bit for bit (prefix equivalence).
+std::uint64_t fingerprint_before(const CampaignResult& result,
+                                 double cutoff_hours);
+
 // Streams the columnar result through the same byte sequence as the
 // CampaignResult overload — run() and run_columnar() on identical inputs
 // yield equal fingerprints, without materializing an AoS copy. Requires

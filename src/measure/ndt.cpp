@@ -304,10 +304,19 @@ NdtCampaign::SingleOutcome NdtCampaign::simulate_single(
       rng.uniform_int(0, std::max(config_.ecmp_buckets, 1) - 1));
   route::FlowKey key = route::PathCache::ecmp_key(
       topo.host(server).addr, topo.host(client).addr, kNdtServerPort, bucket);
+  // Adversarial scenarios act through the key and the route view: churn
+  // salts the key after the epoch, withdrawal swaps in the scenario's
+  // post-epoch view. The rewritten key is also the cache/pool identity, so
+  // pre- and post-epoch paths never alias under one key.
+  bool post_view = adversary_ != nullptr && adversary_->enabled() &&
+                   adversary_->rewrite_test_key(server, key.dst,
+                                                utc_time_hours, key);
   so.path_key = route::PathCache::make_key(server, key.dst, key);
-  so.path = cache_ ? cache_->path_shared(server, key.dst, key)
-                   : std::make_shared<const route::RouterPath>(
-                         fwd_->path(server, key.dst, key));
+  so.path = post_view
+                ? adversary_->post_cache().path_shared(server, key.dst, key)
+                : cache_ ? cache_->path_shared(server, key.dst, key)
+                         : std::make_shared<const route::RouterPath>(
+                               fwd_->path(server, key.dst, key));
   if (!so.path->valid) return so;
 
   sim::ThroughputEstimate est = model_->estimate(
@@ -459,6 +468,7 @@ CampaignResult NdtCampaign::run(const std::vector<gen::TestRequest>& schedule,
     util::Rng probe_rng = root.fork(kStreamProbe + p.id);
     double tr_start = p.when + config_.ndt_duration_s / 3600.0;
     TracerouteOptions opts = config_.traceroute;
+    if (adversary_ != nullptr) opts.adversary = adversary_;
     if (faulted && faults_->fires(sim::FaultSite::kProbeLoss, p.id,
                                   fc->probe_loss_prob)) {
       opts.star_prob =
@@ -612,6 +622,7 @@ ColumnarCampaignResult NdtCampaign::run_columnar(
       util::Rng probe_rng = root.fork(kStreamProbe + p.id);
       double tr_start = p.when + config_.ndt_duration_s / 3600.0;
       TracerouteOptions opts = config_.traceroute;
+      if (adversary_ != nullptr) opts.adversary = adversary_;
       if (faulted && faults_->fires(sim::FaultSite::kProbeLoss, p.id,
                                     fc->probe_loss_prob)) {
         opts.star_prob =
@@ -619,10 +630,20 @@ ColumnarCampaignResult NdtCampaign::run_columnar(
       }
       topo::IpAddr dst = topo.host(p.client).addr;
       route::FlowKey key = trace_flow_key(topo, p.server, dst, opts, probe_rng);
+      // Mirror of run_traceroute's adversary hook, kept draw-aligned so the
+      // columnar engine stays bit-identical to the classic one.
+      const sim::AdversaryScenario* adv =
+          opts.adversary != nullptr && opts.adversary->enabled()
+              ? opts.adversary
+              : nullptr;
+      bool post_view =
+          adv != nullptr &&
+          adv->rewrite_trace_key(p.server, dst, tr_start, key);
       std::shared_ptr<const route::RouterPath> path =
-          cache_ ? cache_->path_shared(p.server, dst, key)
-                 : std::make_shared<const route::RouterPath>(
-                       fwd_->path(p.server, dst, key));
+          post_view ? adv->post_cache().path_shared(p.server, dst, key)
+          : cache_ ? cache_->path_shared(p.server, dst, key)
+                   : std::make_shared<const route::RouterPath>(
+                         fwd_->path(p.server, dst, key));
       blk.path.push_back(path);
       blk.key.push_back(route::PathCache::make_key(p.server, dst, key));
       if (!path->valid) {

@@ -133,6 +133,18 @@ class NdtCampaign {
   // streams, so faulted output stays bit-identical across thread counts.
   void set_faults(const sim::FaultInjector* faults) { faults_ = faults; }
 
+  // Attaches an adversarial scenario (must outlive the campaign). Null or a
+  // disabled scenario leaves the campaign byte-identical to the honest run;
+  // an enabled one rewrites flow keys at its churn epoch (hot-potato
+  // shifts), resolves post-epoch lookups through its withdrawn-link route
+  // view, diverges probe paths from data paths (asymmetry), and cloaks
+  // routers from traceroutes — all pure functions of (scenario seed, pair,
+  // time), so adversarial output stays bit-identical across thread counts
+  // and cache settings. Composes freely with set_faults.
+  void set_adversary(const sim::AdversaryScenario* adversary) {
+    adversary_ = adversary;
+  }
+
   // Executes the schedule (must be time-sorted). Results are deterministic
   // given the schedule and rng seed, independent of config.threads.
   CampaignResult run(const std::vector<gen::TestRequest>& schedule,
@@ -177,6 +189,7 @@ class NdtCampaign {
   const Platform* platform_;
   const route::PathCache* cache_ = nullptr;
   const sim::FaultInjector* faults_ = nullptr;
+  const sim::AdversaryScenario* adversary_ = nullptr;
   CampaignConfig config_;
 };
 

@@ -91,7 +91,16 @@ TracerouteRecord run_traceroute(const topo::Topology& topo,
   rec.utc_time_hours = utc_time_hours;
 
   route::FlowKey key = trace_flow_key(topo, src_host, dst, options, rng);
-  if (cache) {
+  const sim::AdversaryScenario* adv =
+      options.adversary != nullptr && options.adversary->enabled()
+          ? options.adversary
+          : nullptr;
+  bool post_view =
+      adv != nullptr && adv->rewrite_trace_key(src_host, dst,
+                                               utc_time_hours, key);
+  if (post_view) {
+    rec.truth = *adv->post_cache().path_shared(src_host, dst, key);
+  } else if (cache) {
     rec.truth = *cache->path_shared(src_host, dst, key);
   } else {
     rec.truth = fwd.path(src_host, dst, key);

@@ -22,6 +22,7 @@
 
 #include "route/forwarding.h"
 #include "route/path_cache.h"
+#include "sim/adversary.h"
 #include "sim/traffic.h"
 #include "topo/topology.h"
 #include "util/rng.h"
@@ -54,6 +55,12 @@ struct TracerouteOptions {
   // links traversed (needed for latency-based congestion probing, e.g.
   // TSLP); when null, RTTs reflect propagation only.
   const sim::TrafficModel* traffic = nullptr;
+  // When set and enabled, the adversarial scenario perturbs this trace:
+  // the flow key is rewritten (churn/asymmetry), post-epoch lookups
+  // resolve through the scenario's route view, and cloaked routers never
+  // respond. Null or a disabled scenario leaves the trace byte-identical
+  // to the honest run (the per-hop star draw is consumed either way).
+  const sim::AdversaryScenario* adversary = nullptr;
 };
 
 // The probe flow key a traceroute from src_host toward dst uses. Non-Paris
@@ -108,7 +115,14 @@ bool simulate_trace(const topo::Topology& topo, const route::RouterPath& path,
       }
     }
     ++ttl;
-    if (!rng.chance(options.star_prob)) {
+    // The star draw is consumed unconditionally so a cloaked run stays
+    // draw-aligned with the honest one; the cloak only forces the outcome.
+    bool star = rng.chance(options.star_prob);
+    if (!star && options.adversary != nullptr &&
+        options.adversary->router_cloaked(hop.router)) {
+      star = true;
+    }
+    if (!star) {
       // Routers reply from the inbound interface; the first hop (no inbound
       // link) replies from its management address.
       topo::IpAddr addr;

@@ -57,11 +57,27 @@ RouterId Forwarder::backbone(Asn asn, CityId city) const {
   return it == backbone_.end() ? RouterId{} : it->second;
 }
 
+void Forwarder::set_withdrawn_links(std::vector<topo::LinkId> links) {
+  withdrawn_ = std::move(links);
+  std::sort(withdrawn_.begin(), withdrawn_.end());
+}
+
 bool Forwarder::traverse(RouterId from, RouterId to, const FlowKey& key,
                          std::uint64_t salt, RouterPath& out) const {
   const auto& links = topo_->links_between(from, to);
   if (links.empty()) return false;
-  LinkId chosen = links[flow_hash(key, salt) % links.size()];
+  LinkId chosen;
+  if (withdrawn_.empty()) {
+    chosen = links[flow_hash(key, salt) % links.size()];
+  } else {
+    std::vector<LinkId> alive;
+    alive.reserve(links.size());
+    for (LinkId id : links) {
+      if (!link_withdrawn(id)) alive.push_back(id);
+    }
+    if (alive.empty()) return false;
+    chosen = alive[flow_hash(key, salt) % alive.size()];
+  }
   out.links.push_back(chosen);
   out.hops.push_back(RouterHop{to, iface_on(*topo_, chosen, to), chosen});
   out.one_way_delay_ms += topo_->link(chosen).prop_delay_ms;
@@ -105,6 +121,13 @@ std::optional<LinkId> Forwarder::choose_interdomain(Asn cur_as, Asn next_as,
                                                     const FlowKey& key,
                                                     std::uint64_t salt) const {
   std::vector<LinkId> candidates = topo_->interdomain_links(cur_as, next_as);
+  if (!withdrawn_.empty()) {
+    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                    [this](LinkId id) {
+                                      return link_withdrawn(id);
+                                    }),
+                     candidates.end());
+  }
   if (candidates.empty()) return std::nullopt;
 
   const topo::City& here = topo_->city(topo_->router(cur_router).city);

@@ -11,7 +11,9 @@
 // The resulting diversity of router-level paths between a fixed AS pair is
 // exactly the phenomenon that breaks the paper's Assumption 3 (Section 4.3).
 
+#include <algorithm>
 #include <optional>
+#include <vector>
 
 #include "route/bgp.h"
 #include "route/path.h"
@@ -34,6 +36,19 @@ class Forwarder {
   // The backbone router of `asn` in `city`; invalid id if the AS has no
   // presence there.
   topo::RouterId backbone(topo::Asn asn, topo::CityId city) const;
+
+  // Marks links as withdrawn (peering de-provisioned): path construction
+  // skips them everywhere a link is chosen, so traffic re-routes over the
+  // surviving candidates — or the path comes back invalid when none
+  // remain. With an empty set (the default) behaviour is byte-for-byte
+  // identical to a forwarder without the feature; sim/adversary builds its
+  // post-epoch route view from this. Not thread-safe against concurrent
+  // path() calls: set before sharing the forwarder.
+  void set_withdrawn_links(std::vector<topo::LinkId> links);
+  bool link_withdrawn(topo::LinkId id) const {
+    return !withdrawn_.empty() &&
+           std::binary_search(withdrawn_.begin(), withdrawn_.end(), id);
+  }
 
  private:
   // Appends the intra-AS segment from `from` to `to` (same AS); returns
@@ -63,6 +78,8 @@ class Forwarder {
   const BgpRouting* bgp_;
   // (asn, city) -> backbone router.
   util::FlatMap<std::uint64_t, topo::RouterId> backbone_;
+  // Sorted withdrawn-link set; empty in the common (honest) case.
+  std::vector<topo::LinkId> withdrawn_;
 };
 
 }  // namespace netcong::route

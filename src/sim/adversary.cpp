@@ -1,0 +1,188 @@
+#include "sim/adversary.h"
+
+#include <algorithm>
+
+namespace netcong::sim {
+
+namespace {
+
+// Fork-stream family base for adversary sites: disjoint from the campaign
+// phase families (below 8 << 40, measure/ndt.cpp) and the fault-site family
+// (1 << 48, sim/faults.cpp).
+constexpr std::uint64_t kSiteFamily = 2ull << 48;
+
+// Key-salt layout (applied to FlowKey port fields): churn and asymmetry
+// salts stay below the view bit, and every post-epoch-view lookup sets the
+// view bit, so a rewritten key can never collide with a base-view key and
+// (key -> path) stays a pure function campaign-wide. All legitimate flow
+// keys (NDT server port 3001, ECMP bucket ports 32768+, traceroute ports
+// 33434..33534) have the view bit clear in src_port.
+constexpr std::uint16_t kSaltMax = 0x0fff;
+constexpr std::uint16_t kViewBit = 0x4000;
+
+std::uint64_t pair_id(std::uint32_t src_host, topo::IpAddr dst) {
+  return (static_cast<std::uint64_t>(src_host) << 32) | dst.value;
+}
+
+}  // namespace
+
+const char* adversary_site_name(AdversarySite site) {
+  switch (site) {
+    case AdversarySite::kChurnPair: return "churn-pair";
+    case AdversarySite::kChurnSalt: return "churn-salt";
+    case AdversarySite::kAsymPair: return "asym-pair";
+    case AdversarySite::kAsymSalt: return "asym-salt";
+    case AdversarySite::kWithdrawPick: return "withdraw-pick";
+    case AdversarySite::kStarCloak: return "star-cloak";
+  }
+  return "?";
+}
+
+AdversaryConfig AdversaryConfig::churn(double epoch_hours, double fraction) {
+  AdversaryConfig cfg;
+  cfg.enabled = true;
+  cfg.epoch_hours = epoch_hours;
+  cfg.churn_fraction = std::clamp(fraction, 0.0, 1.0);
+  return cfg;
+}
+
+AdversaryConfig AdversaryConfig::withdrawal(double epoch_hours, int links) {
+  AdversaryConfig cfg;
+  cfg.enabled = true;
+  cfg.epoch_hours = epoch_hours;
+  cfg.withdraw_links = std::max(links, 0);
+  return cfg;
+}
+
+AdversaryConfig AdversaryConfig::asymmetric(double fraction) {
+  AdversaryConfig cfg;
+  cfg.enabled = true;
+  cfg.asym_fraction = std::clamp(fraction, 0.0, 1.0);
+  return cfg;
+}
+
+AdversaryConfig AdversaryConfig::misleading_stars(double fraction) {
+  AdversaryConfig cfg;
+  cfg.enabled = true;
+  cfg.star_fraction = std::clamp(fraction, 0.0, 1.0);
+  return cfg;
+}
+
+AdversaryScenario::AdversaryScenario(const topo::Topology& topo,
+                                     const route::BgpRouting& bgp,
+                                     AdversaryConfig config,
+                                     std::uint64_t seed)
+    : config_(config), root_(seed) {
+  if (!config_.enabled) return;
+
+  if (config_.withdraw_links > 0) {
+    // Candidate set: every interdomain link, ordered by id so the pick is
+    // independent of topology container iteration order. Links whose AS
+    // pair keeps at least one other interdomain link are preferred — the
+    // withdrawal then re-routes traffic instead of blackholing it.
+    std::vector<topo::LinkId> preferred;
+    std::vector<topo::LinkId> rest;
+    for (const topo::Link& l : topo.links()) {
+      if (l.kind != topo::LinkKind::kInterdomain) continue;
+      if (topo.interdomain_links(l.as_a, l.as_b).size() >= 2) {
+        preferred.push_back(l.id);
+      } else {
+        rest.push_back(l.id);
+      }
+    }
+    util::Rng pick = stream(AdversarySite::kWithdrawPick, 0);
+    pick.shuffle(preferred);
+    pick.shuffle(rest);
+    preferred.insert(preferred.end(), rest.begin(), rest.end());
+    std::size_t n = std::min(preferred.size(),
+                             static_cast<std::size_t>(config_.withdraw_links));
+    withdrawn_.assign(preferred.begin(), preferred.begin() + n);
+    std::sort(withdrawn_.begin(), withdrawn_.end());
+    if (!withdrawn_.empty()) {
+      post_fwd_ = std::make_unique<route::Forwarder>(topo, bgp);
+      post_fwd_->set_withdrawn_links(withdrawn_);
+      post_cache_ = std::make_unique<route::PathCache>(*post_fwd_);
+    }
+  }
+
+  if (config_.star_fraction > 0.0) {
+    cloaked_.resize(topo.routers().size(), 0);
+    for (const topo::Router& r : topo.routers()) {
+      if (stream(AdversarySite::kStarCloak, r.id.value)
+              .chance(config_.star_fraction)) {
+        cloaked_[r.id.index()] = 1;
+        ++cloaked_count_;
+      }
+    }
+  }
+}
+
+util::Rng AdversaryScenario::stream(AdversarySite site,
+                                    std::uint64_t item) const {
+  return root_.fork(kSiteFamily + static_cast<std::uint64_t>(site))
+      .fork(item);
+}
+
+bool AdversaryScenario::pair_churned(std::uint32_t src_host,
+                                     topo::IpAddr dst) const {
+  if (!config_.enabled || config_.churn_fraction <= 0.0) return false;
+  return stream(AdversarySite::kChurnPair, pair_id(src_host, dst))
+      .chance(config_.churn_fraction);
+}
+
+bool AdversaryScenario::pair_asymmetric(std::uint32_t src_host,
+                                        topo::IpAddr dst) const {
+  if (!config_.enabled || config_.asym_fraction <= 0.0) return false;
+  return stream(AdversarySite::kAsymPair, pair_id(src_host, dst))
+      .chance(config_.asym_fraction);
+}
+
+bool AdversaryScenario::router_cloaked(topo::RouterId router) const {
+  if (cloaked_.empty() || !router.valid()) return false;
+  std::size_t i = router.index();
+  return i < cloaked_.size() && cloaked_[i] != 0;
+}
+
+bool AdversaryScenario::rewrite_key(std::uint32_t src_host, topo::IpAddr dst,
+                                    double utc_time_hours, bool is_trace,
+                                    route::FlowKey& key) const {
+  if (!config_.enabled) return false;
+  const std::uint64_t pair = pair_id(src_host, dst);
+  if (config_.churn_fraction > 0.0 &&
+      utc_time_hours >= config_.epoch_hours && pair_churned(src_host, dst)) {
+    // A hot-potato shift: the per-pair salt moves every flow-hash decision
+    // (ECMP tie-breaks, parallel-link picks, interconnection jitter) to an
+    // independent draw, so the pair's router path changes at the epoch
+    // while the topology stays fixed.
+    std::uint16_t salt = static_cast<std::uint16_t>(
+        stream(AdversarySite::kChurnSalt, pair).uniform_int(1, kSaltMax));
+    key.src_port ^= salt;
+  }
+  if (is_trace && config_.asym_fraction > 0.0 &&
+      pair_asymmetric(src_host, dst)) {
+    // The probe path diverges from the data path: same endpoints, different
+    // hash draws — what a traceroute "of" an asymmetric flow really sees.
+    std::uint16_t salt = static_cast<std::uint16_t>(
+        stream(AdversarySite::kAsymSalt, pair).uniform_int(1, kSaltMax));
+    key.dst_port ^= salt;
+  }
+  bool post = post_view_active(utc_time_hours);
+  if (post) key.src_port |= kViewBit;
+  return post;
+}
+
+bool AdversaryScenario::rewrite_test_key(std::uint32_t src_host,
+                                         topo::IpAddr dst,
+                                         double utc_time_hours,
+                                         route::FlowKey& key) const {
+  return rewrite_key(src_host, dst, utc_time_hours, false, key);
+}
+
+bool AdversaryScenario::rewrite_trace_key(std::uint32_t src_host,
+                                          topo::IpAddr dst,
+                                          double utc_time_hours,
+                                          route::FlowKey& key) const {
+  return rewrite_key(src_host, dst, utc_time_hours, true, key);
+}
+
+}  // namespace netcong::sim

@@ -1,0 +1,172 @@
+#pragma once
+
+// Deterministic adversarial routing scenarios for the measurement pipeline.
+//
+// Every scenario the honest generator produces keeps the control plane
+// frozen for the whole campaign, but the paper's core claim is that
+// throughput-based congestion inference breaks under exactly the dynamics
+// real campaigns face: BGP path churn mid-campaign, peering
+// de-provisioning, asymmetric forward/reverse routing, and adversarially
+// placed non-responding routers ("Misleading Stars", Pignolet et al.) that
+// make distinct topologies produce identical traceroute corpora.
+//
+// This library injects those dynamics the way sim/faults injects data
+// loss: every decision is a pure function of (master seed, scenario site,
+// item id) — a fresh Rng forked on the site then the item, never a shared
+// sequential stream — so an adversarial campaign is bit-identical across
+// thread counts, scheduling orders, and path-cache on/off, and composes
+// with the threads x cache x obs x faults differential matrix for free.
+//
+// Mechanically the scenarios act through the flow key and the route view:
+//  * churn: after the epoch, a seeded fraction of (src, dst) pairs get a
+//    per-pair salt XORed into the flow key's ephemeral-port bits, so the
+//    forwarder's ECMP/hot-potato hashes land elsewhere — the path moves
+//    while the honest topology stays fixed (a hot-potato shift);
+//  * withdrawal: at the epoch a seeded set of interdomain links disappears
+//    from a second, scenario-owned route view (Forwarder with a withdrawn
+//    mask + its own PathCache); post-epoch lookups resolve through it;
+//  * asymmetry: traceroute probes toward a seeded fraction of pairs carry
+//    a different key salt than the data flow, so the observed reverse-path
+//    topology diverges from the path the throughput test actually took;
+//  * misleading stars: a seeded fraction of routers never answers probes,
+//    which makes the observed corpus consistent with many distinct ground
+//    truths (measure/adversary.h materializes the indistinguishable pair).
+//
+// Because a rewritten key must keep (key -> path) a pure function for the
+// whole campaign (route::PathCache and measure::PathPool memoize on it),
+// every lookup that resolves through the post-epoch view also carries a
+// reserved view bit in the key, so pre- and post-epoch paths never collide
+// under one key.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "route/path_cache.h"
+#include "topo/topology.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace netcong::sim {
+
+// Named decision sites. Values are the fork-stream family of the site and
+// must stay stable: changing one reshuffles every adversarial campaign.
+enum class AdversarySite : std::uint64_t {
+  kChurnPair = 1,     // is this (src, dst) pair re-routed after the epoch?
+  kChurnSalt = 2,     // the churned pair's key salt
+  kAsymPair = 3,      // does this pair's probe path diverge from its flow?
+  kAsymSalt = 4,      // the divergent probe key salt
+  kWithdrawPick = 5,  // which interdomain links get withdrawn
+  kStarCloak = 6,     // which routers never answer probes
+};
+
+const char* adversary_site_name(AdversarySite site);
+
+struct AdversaryConfig {
+  // Master switch; when false the scenario is inert and near-free.
+  bool enabled = false;
+
+  // Campaign hour at which churn and withdrawal take effect. 0 means the
+  // adversary is active from the first test.
+  double epoch_hours = 0.0;
+
+  // -- BGP path churn / hot-potato shift (sites kChurnPair/kChurnSalt) --
+  // Fraction of (src, dst) pairs whose route changes at the epoch.
+  double churn_fraction = 0.0;
+
+  // -- IXP outage / peering de-provisioning (site kWithdrawPick) --
+  // Number of interdomain links withdrawn at the epoch. Links are drawn
+  // from AS pairs with parallel connectivity first, so traffic re-routes
+  // instead of blackholing (a blackholed pair still degrades gracefully:
+  // invalid path, zero-throughput completed record).
+  int withdraw_links = 0;
+
+  // -- asymmetric forward/reverse routing (sites kAsymPair/kAsymSalt) --
+  // Fraction of pairs whose traceroute observes a different router path
+  // than the data flow took (static, not epoched: real asymmetry is a
+  // standing property of the routing system).
+  double asym_fraction = 0.0;
+
+  // -- misleading stars (site kStarCloak) --
+  // Fraction of routers that never answer probes.
+  double star_fraction = 0.0;
+
+  // Scenario presets used by the CLI, bench, and tests.
+  static AdversaryConfig churn(double epoch_hours, double fraction);
+  static AdversaryConfig withdrawal(double epoch_hours, int links);
+  static AdversaryConfig asymmetric(double fraction);
+  static AdversaryConfig misleading_stars(double fraction);
+};
+
+// One scenario instance bound to a topology + BGP view. Construction is a
+// pure function of (topo, bgp, config, seed): the withdrawn-link set, the
+// cloaked-router set, and the post-epoch route view are all decided here,
+// deterministically. The referenced topology and bgp must outlive it.
+class AdversaryScenario {
+ public:
+  AdversaryScenario(const topo::Topology& topo, const route::BgpRouting& bgp,
+                    AdversaryConfig config, std::uint64_t seed);
+
+  const AdversaryConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+  double epoch_hours() const { return config_.epoch_hours; }
+
+  // The decision streams, (seed, site, item) pure like FaultInjector's.
+  [[nodiscard]] util::Rng stream(AdversarySite site, std::uint64_t item) const;
+
+  // Is the (src_host, dst) pair re-routed after the epoch / observed
+  // asymmetrically? Pure functions; callable concurrently.
+  bool pair_churned(std::uint32_t src_host, topo::IpAddr dst) const;
+  bool pair_asymmetric(std::uint32_t src_host, topo::IpAddr dst) const;
+
+  // Does this router answer probes? (Misleading-Stars cloak; precomputed,
+  // O(1) per hop.)
+  bool router_cloaked(topo::RouterId router) const;
+  std::size_t cloaked_router_count() const { return cloaked_count_; }
+
+  // Interdomain links withdrawn at the epoch (empty unless configured).
+  const std::vector<topo::LinkId>& withdrawn_links() const {
+    return withdrawn_;
+  }
+
+  // True when lookups at time t must resolve through the post-epoch route
+  // view (some link has been withdrawn and t >= epoch).
+  bool post_view_active(double utc_time_hours) const {
+    return !withdrawn_.empty() && utc_time_hours >= config_.epoch_hours;
+  }
+
+  // The post-epoch route view. Valid only when withdrawn_links() is
+  // non-empty; the cache memoizes the withdrawn-mask forwarder, so the
+  // view stays a pure function of the key like the base view.
+  const route::PathCache& post_cache() const { return *post_cache_; }
+
+  // Applies the scenario's key perturbations for a data flow / traceroute
+  // from src_host toward dst at time t. Returns true when the lookup must
+  // resolve through post_cache() instead of the campaign's base view. The
+  // rewritten key never collides with a base-view key: churn/asym salts
+  // stay below the view bit, and every post-view key carries the view bit.
+  bool rewrite_test_key(std::uint32_t src_host, topo::IpAddr dst,
+                        double utc_time_hours, route::FlowKey& key) const;
+  bool rewrite_trace_key(std::uint32_t src_host, topo::IpAddr dst,
+                         double utc_time_hours, route::FlowKey& key) const;
+
+ private:
+  bool rewrite_key(std::uint32_t src_host, topo::IpAddr dst,
+                   double utc_time_hours, bool is_trace,
+                   route::FlowKey& key) const;
+
+  AdversaryConfig config_;
+  util::Rng root_;
+  std::vector<topo::LinkId> withdrawn_;
+  // Cloak mask indexed by router id; empty when star_fraction == 0.
+  std::vector<std::uint8_t> cloaked_;
+  std::size_t cloaked_count_ = 0;
+  // Post-epoch route view, built only when links are withdrawn.
+  std::unique_ptr<route::Forwarder> post_fwd_;
+  std::unique_ptr<route::PathCache> post_cache_;
+};
+
+}  // namespace netcong::sim

@@ -1,0 +1,267 @@
+// The adversarial scenario library (sim/adversary): disabled scenarios are
+// the identity, churn respects its epoch (including the epoch-0 and
+// past-the-end edges), withdrawal reroutes around the withdrawn border
+// link, full star placement blanks every router hop, asymmetry perturbs
+// only traceroutes, and everything is a pure function of (seed, config).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/workload.h"
+#include "helpers.h"
+#include "measure/adversary.h"
+#include "measure/ark.h"
+#include "measure/fingerprint.h"
+#include "measure/ndt.h"
+#include "measure/platform.h"
+#include "route/bgp.h"
+#include "route/forwarding.h"
+#include "sim/adversary.h"
+#include "sim/throughput.h"
+
+namespace netcong::sim {
+namespace {
+
+using gen::World;
+
+struct Stack {
+  explicit Stack(const World& w)
+      : world(w),
+        bgp(*w.topo),
+        fwd(*w.topo, bgp),
+        model(*w.topo, *w.traffic),
+        mlab("mlab", *w.topo, w.mlab_servers) {}
+  const World& world;
+  route::BgpRouting bgp;
+  route::Forwarder fwd;
+  sim::ThroughputModel model;
+  measure::Platform mlab;
+};
+
+Stack& stack() {
+  static Stack s(test::tiny_world());
+  return s;
+}
+
+std::vector<gen::TestRequest> dense_schedule() {
+  Stack& s = stack();
+  std::vector<gen::TestRequest> schedule;
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t i = 0; i < s.world.clients.size(); ++i) {
+      schedule.push_back(
+          {s.world.clients[i],
+           10.0 + round * 0.05 + static_cast<double>(i) * 0.003});
+    }
+  }
+  return schedule;
+}
+
+// All schedule times live in [10.0, 10.2); this epoch splits them.
+constexpr double kMidEpoch = 10.1;
+
+measure::CampaignResult run_with(const AdversaryScenario* adversary) {
+  Stack& s = stack();
+  measure::NdtCampaign campaign(s.world, s.fwd, s.model, s.mlab, {});
+  if (adversary) campaign.set_adversary(adversary);
+  util::Rng rng(20150501);
+  return campaign.run(dense_schedule(), rng);
+}
+
+TEST(AdversaryScenario, DisabledScenarioIsIdentity) {
+  Stack& s = stack();
+  AdversaryScenario off(*s.world.topo, s.bgp, {}, 42);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(measure::fingerprint(run_with(&off)),
+            measure::fingerprint(run_with(nullptr)));
+}
+
+TEST(AdversaryScenario, ChurnAtEpochZeroAffectsWholeCampaign) {
+  Stack& s = stack();
+  AdversaryScenario churn(*s.world.topo, s.bgp,
+                          AdversaryConfig::churn(0.0, 1.0), 42);
+  measure::CampaignResult base = run_with(nullptr);
+  measure::CampaignResult adv = run_with(&churn);
+  // Same schedule, same accounting — only paths (and what depends on them)
+  // move.
+  ASSERT_EQ(base.tests.size(), adv.tests.size());
+  EXPECT_NE(measure::fingerprint(base), measure::fingerprint(adv));
+  // The prefix before t=0 is trivially empty and equal.
+  EXPECT_EQ(measure::fingerprint_before(base, 0.0),
+            measure::fingerprint_before(adv, 0.0));
+}
+
+TEST(AdversaryScenario, ChurnAfterLastTestIsIdentity) {
+  Stack& s = stack();
+  AdversaryScenario churn(*s.world.topo, s.bgp,
+                          AdversaryConfig::churn(1000.0, 1.0), 42);
+  EXPECT_EQ(measure::fingerprint(run_with(&churn)),
+            measure::fingerprint(run_with(nullptr)));
+}
+
+TEST(AdversaryScenario, ChurnPrefixMatchesUnchurnedRun) {
+  Stack& s = stack();
+  AdversaryScenario churn(*s.world.topo, s.bgp,
+                          AdversaryConfig::churn(kMidEpoch, 1.0), 42);
+  measure::CampaignResult base = run_with(nullptr);
+  measure::CampaignResult adv = run_with(&churn);
+  EXPECT_EQ(measure::fingerprint_before(base, kMidEpoch),
+            measure::fingerprint_before(adv, kMidEpoch));
+  EXPECT_NE(measure::fingerprint(base), measure::fingerprint(adv));
+}
+
+TEST(AdversaryScenario, WithdrawalReroutesAroundWithdrawnLink) {
+  Stack& s = stack();
+  AdversaryScenario withdraw(*s.world.topo, s.bgp,
+                             AdversaryConfig::withdrawal(kMidEpoch, 1), 42);
+  ASSERT_EQ(withdraw.withdrawn_links().size(), 1u);
+  topo::LinkId gone = withdraw.withdrawn_links()[0];
+  EXPECT_EQ(s.world.topo->link(gone).kind, topo::LinkKind::kInterdomain);
+
+  measure::CampaignResult base = run_with(nullptr);
+  measure::CampaignResult adv = run_with(&withdraw);
+  EXPECT_EQ(measure::fingerprint_before(base, kMidEpoch),
+            measure::fingerprint_before(adv, kMidEpoch));
+
+  auto uses_link = [gone](const route::RouterPath& p) {
+    return std::find(p.links.begin(), p.links.end(), gone) != p.links.end();
+  };
+  for (const measure::NdtRecord& t : adv.tests) {
+    if (t.utc_time_hours >= kMidEpoch) {
+      EXPECT_FALSE(uses_link(t.truth_path)) << "test " << t.test_id;
+    }
+  }
+  for (const measure::TracerouteRecord& tr : adv.traceroutes) {
+    if (tr.utc_time_hours >= kMidEpoch) {
+      EXPECT_FALSE(uses_link(tr.truth));
+    }
+  }
+}
+
+TEST(AdversaryScenario, AsymmetryPerturbsOnlyTraceroutes) {
+  Stack& s = stack();
+  AdversaryScenario asym(*s.world.topo, s.bgp,
+                         AdversaryConfig::asymmetric(1.0), 42);
+  measure::CampaignResult base = run_with(nullptr);
+  measure::CampaignResult adv = run_with(&asym);
+
+  measure::Fingerprint tests_base, tests_adv;
+  for (const measure::NdtRecord& t : base.tests) mix_record(tests_base, t);
+  for (const measure::NdtRecord& t : adv.tests) mix_record(tests_adv, t);
+  EXPECT_EQ(tests_base.value(), tests_adv.value());
+  EXPECT_NE(measure::truth_fingerprint(base.traceroutes),
+            measure::truth_fingerprint(adv.traceroutes));
+}
+
+TEST(AdversaryScenario, FullStarPlacementBlanksEveryRouterHop) {
+  Stack& s = stack();
+  AdversaryScenario stars(*s.world.topo, s.bgp,
+                          AdversaryConfig::misleading_stars(1.0), 42);
+  EXPECT_EQ(stars.cloaked_router_count(), s.world.topo->routers().size());
+
+  ASSERT_FALSE(s.world.ark_vps.empty());
+  measure::ArkCampaignOptions opts;
+  opts.traceroute.adversary = &stars;
+  util::Rng rng(7);
+  auto corpus = measure::ark_full_prefix_campaign(
+      s.world, s.fwd, s.world.ark_vps[0], opts, rng);
+  ASSERT_FALSE(corpus.empty());
+  for (const measure::TracerouteRecord& tr : corpus) {
+    for (const measure::TraceHop& h : tr.hops) {
+      // The only address that may respond is the destination host itself.
+      if (h.responded) {
+        EXPECT_EQ(h.addr.value, tr.dst.value);
+      }
+    }
+  }
+}
+
+TEST(AdversaryScenario, MisleadingStarsPairIsIndistinguishable) {
+  Stack& s = stack();
+  AdversaryScenario stars(*s.world.topo, s.bgp,
+                          AdversaryConfig::misleading_stars(0.5), 42);
+  ASSERT_FALSE(s.world.ark_vps.empty());
+  util::Rng rng(7);
+  measure::MisleadingStarsResult pair = measure::misleading_stars_corpus(
+      s.world, s.fwd, stars, s.world.ark_vps[0], {}, rng);
+  ASSERT_GT(pair.cloaked_hops, 0u);
+  EXPECT_EQ(pair.observed_fp_a, pair.observed_fp_b);
+  EXPECT_NE(pair.truth_fp_a, pair.truth_fp_b);
+  EXPECT_TRUE(pair.indistinguishable());
+  // Phantom routers never collide with real ones.
+  for (const measure::TracerouteRecord& tr : pair.alternate) {
+    for (const route::RouterHop& hop : tr.truth.hops) {
+      if (hop.router.value >= measure::kPhantomRouterBase) continue;
+      EXPECT_LT(hop.router.value, s.world.topo->routers().size());
+    }
+  }
+}
+
+TEST(AdversaryScenario, PureFunctionOfSeedAndConfig) {
+  Stack& s = stack();
+  AdversaryConfig cfg;
+  cfg.enabled = true;
+  cfg.epoch_hours = kMidEpoch;
+  cfg.churn_fraction = 0.5;
+  cfg.withdraw_links = 2;
+  cfg.star_fraction = 0.3;
+  AdversaryScenario a(*s.world.topo, s.bgp, cfg, 42);
+  AdversaryScenario b(*s.world.topo, s.bgp, cfg, 42);
+  EXPECT_EQ(a.withdrawn_links(), b.withdrawn_links());
+  EXPECT_EQ(a.cloaked_router_count(), b.cloaked_router_count());
+  for (const topo::Router& r : s.world.topo->routers()) {
+    EXPECT_EQ(a.router_cloaked(r.id), b.router_cloaked(r.id));
+  }
+  EXPECT_EQ(measure::fingerprint(run_with(&a)),
+            measure::fingerprint(run_with(&b)));
+
+  // A different seed relocates the scenario.
+  AdversaryScenario other(*s.world.topo, s.bgp, cfg, 43);
+  EXPECT_TRUE(other.withdrawn_links() != a.withdrawn_links() ||
+              [&] {
+                for (const topo::Router& r : s.world.topo->routers()) {
+                  if (a.router_cloaked(r.id) != other.router_cloaked(r.id)) {
+                    return true;
+                  }
+                }
+                return false;
+              }());
+}
+
+TEST(AdversaryAnnotate, AccountsEveryTestAndPair) {
+  Stack& s = stack();
+  AdversaryScenario churn(*s.world.topo, s.bgp,
+                          AdversaryConfig::churn(kMidEpoch, 0.5), 42);
+  measure::CampaignResult adv = run_with(&churn);
+  measure::AdversaryCampaignTruth truth =
+      measure::annotate_campaign(churn, *s.world.topo, adv);
+  EXPECT_TRUE(truth.accounted(adv.tests.size()));
+  EXPECT_GT(truth.tests_pre_epoch, 0u);
+  EXPECT_GT(truth.tests_post_epoch, 0u);
+  EXPECT_GT(truth.pairs_total, 0u);
+  EXPECT_GT(truth.pairs_churned, 0u);
+  EXPECT_LT(truth.pairs_churned, truth.pairs_total);  // fraction 0.5
+  EXPECT_TRUE(truth.withdrawn_addrs.empty());
+}
+
+TEST(AdversaryAnnotate, DetectableWithdrawnIsSubsetOfTruth) {
+  Stack& s = stack();
+  AdversaryScenario withdraw(*s.world.topo, s.bgp,
+                             AdversaryConfig::withdrawal(kMidEpoch, 2), 42);
+  measure::CampaignResult adv = run_with(&withdraw);
+  measure::AdversaryCampaignTruth truth =
+      measure::annotate_campaign(withdraw, *s.world.topo, adv);
+  EXPECT_EQ(truth.withdrawn_addrs.size(), truth.withdrawn_links.size());
+  auto detectable = measure::detectable_withdrawn(adv, truth);
+  EXPECT_LE(detectable.size(), truth.withdrawn_addrs.size());
+  for (const auto& [a, b] : detectable) {
+    bool in_truth = false;
+    for (const auto& [ta, tb] : truth.withdrawn_addrs) {
+      in_truth = in_truth || (a.value == ta.value && b.value == tb.value);
+    }
+    EXPECT_TRUE(in_truth);
+  }
+}
+
+}  // namespace
+}  // namespace netcong::sim

@@ -1,0 +1,206 @@
+// The anomaly detector (infer/anomaly): change detection over synthetic
+// campaigns with known shift structure — RTT onsets, appearing and
+// vanishing inter-AS crossings, the single-bin degenerate case — plus the
+// scoring pass in core/anomaly_eval.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/anomaly_eval.h"
+#include "infer/anomaly.h"
+#include "topo/ip.h"
+
+namespace netcong::infer {
+namespace {
+
+// Two /8 blocks owned by AS 100 and AS 200; crossings between them are
+// inter-AS by construction.
+Ip2As two_as_map() {
+  std::vector<std::pair<topo::Prefix, topo::Asn>> announced = {
+      {topo::Prefix(topo::IpAddr{10u << 24}, 8), 100},
+      {topo::Prefix(topo::IpAddr{20u << 24}, 8), 200},
+  };
+  return Ip2As(announced, {});
+}
+
+topo::IpAddr as100(std::uint32_t n) { return topo::IpAddr{(10u << 24) + n}; }
+topo::IpAddr as200(std::uint32_t n) { return topo::IpAddr{(20u << 24) + n}; }
+
+measure::NdtRecord test_at(double t, double rtt_ms) {
+  measure::NdtRecord r;
+  r.utc_time_hours = t;
+  r.flow_rtt_ms = rtt_ms;
+  r.download_mbps = 10.0;
+  return r;
+}
+
+// A trace crossing from near (AS 100) to far (AS 200) at adjacent TTLs.
+measure::TracerouteRecord trace_at(double t, topo::IpAddr near_hop,
+                                   topo::IpAddr far_hop) {
+  measure::TracerouteRecord tr;
+  tr.utc_time_hours = t;
+  tr.hops.push_back({1, true, as100(1), 1.0, ""});
+  tr.hops.push_back({2, true, near_hop, 2.0, ""});
+  tr.hops.push_back({3, true, far_hop, 3.0, ""});
+  return tr;
+}
+
+TEST(AnomalyDetector, SingleBinIsInsufficientNotFatal) {
+  measure::CampaignResult result;
+  for (int i = 0; i < 5; ++i) {
+    result.tests.push_back(test_at(1.0 + i * 0.1, 50.0));
+  }
+  Ip2As ip2as = two_as_map();
+  AnomalyReport report = detect_anomalies(result, ip2as);
+  EXPECT_TRUE(report.insufficient);
+  EXPECT_EQ(report.bins, 1u);
+  EXPECT_TRUE(report.alarms.empty());
+  EXPECT_TRUE(report.epochs.empty());
+  EXPECT_EQ(report.tests_used, 5u);
+}
+
+TEST(AnomalyDetector, EmptyCampaignIsInsufficient) {
+  measure::CampaignResult result;
+  Ip2As ip2as = two_as_map();
+  AnomalyReport report = detect_anomalies(result, ip2as);
+  EXPECT_TRUE(report.insufficient);
+  EXPECT_EQ(report.bins, 0u);
+}
+
+TEST(AnomalyDetector, DetectsRttShiftNearTrueEpoch) {
+  // Ten days of tests, 4 per 6h bin; RTT steps 50 -> 90 ms at hour 144.
+  const double epoch = 144.0;
+  measure::CampaignResult result;
+  for (int h = 0; h < 240; h += 2) {
+    double rtt = (h < epoch ? 50.0 : 90.0) + 0.1 * (h % 6);
+    result.tests.push_back(test_at(h + 0.5, rtt));
+  }
+  Ip2As ip2as = two_as_map();
+  AnomalyReport report = detect_anomalies(result, ip2as);
+  ASSERT_FALSE(report.insufficient);
+  bool rtt_alarm = false;
+  for (const AnomalyFinding& f : report.alarms) {
+    if (f.kind == AnomalyKind::kRttShift) {
+      rtt_alarm = true;
+      EXPECT_NEAR(f.onset_hours, epoch, 24.0);
+    }
+  }
+  EXPECT_TRUE(rtt_alarm);
+  ASSERT_FALSE(report.epochs.empty());
+
+  core::AnomalyGroundTruth truth;
+  truth.epochs.push_back(epoch);
+  core::AnomalyScore score = core::score_anomalies(report, truth);
+  EXPECT_EQ(score.epochs_matched, 1u);
+  EXPECT_GT(score.epoch_f1, 0.0);
+}
+
+TEST(AnomalyDetector, QuietCampaignRaisesNoEpochs) {
+  measure::CampaignResult result;
+  for (int h = 0; h < 240; h += 2) {
+    // Stable diurnal pattern, no shift.
+    double rtt = 50.0 + 5.0 * ((h % 24) / 24.0);
+    result.tests.push_back(test_at(h + 0.5, rtt));
+    result.traceroutes.push_back(trace_at(h + 0.5, as100(7), as200(7)));
+  }
+  Ip2As ip2as = two_as_map();
+  AnomalyReport report = detect_anomalies(result, ip2as);
+  ASSERT_FALSE(report.insufficient);
+  EXPECT_TRUE(report.epochs.empty()) << report.alarms.size() << " alarms";
+  EXPECT_TRUE(report.withdrawn.empty());
+}
+
+TEST(AnomalyDetector, FlagsWithdrawnAndNewCrossing) {
+  // The (as100(7), as200(7)) crossing carries all traffic until hour 144,
+  // then is replaced by (as100(8), as200(8)).
+  const double epoch = 144.0;
+  measure::CampaignResult result;
+  for (int h = 0; h < 240; h += 2) {
+    if (h < epoch) {
+      result.traceroutes.push_back(trace_at(h + 0.5, as100(7), as200(7)));
+    } else {
+      result.traceroutes.push_back(trace_at(h + 0.5, as100(8), as200(8)));
+    }
+  }
+  Ip2As ip2as = two_as_map();
+  AnomalyReport report = detect_anomalies(result, ip2as);
+  ASSERT_FALSE(report.insufficient);
+
+  bool withdrawn = false;
+  bool appeared = false;
+  for (const AnomalyFinding& f : report.alarms) {
+    if (f.kind == AnomalyKind::kWithdrawnCrossing &&
+        f.near_addr.value == as100(7).value &&
+        f.far_addr.value == as200(7).value) {
+      withdrawn = true;
+      EXPECT_NEAR(f.onset_hours, epoch, 6.0);
+      EXPECT_EQ(f.near_asn, 100u);
+      EXPECT_EQ(f.far_asn, 200u);
+    }
+    if (f.kind == AnomalyKind::kNewCrossing &&
+        f.near_addr.value == as100(8).value) {
+      appeared = true;
+      EXPECT_NEAR(f.onset_hours, epoch, 6.0);
+    }
+  }
+  EXPECT_TRUE(withdrawn);
+  EXPECT_TRUE(appeared);
+  ASSERT_EQ(report.withdrawn.size(), 1u);
+
+  core::AnomalyGroundTruth truth;
+  truth.epochs.push_back(epoch);
+  truth.withdrawn.push_back({as100(7), as200(7)});
+  core::AnomalyScore score = core::score_anomalies(report, truth);
+  EXPECT_EQ(score.epochs_matched, 1u);
+  EXPECT_EQ(score.withdrawn_matched, 1u);
+  EXPECT_EQ(score.withdrawn_recall, 1.0);
+}
+
+TEST(AnomalyDetector, AccountingCoversEveryRecord) {
+  measure::CampaignResult result;
+  for (int h = 0; h < 48; h += 2) {
+    result.tests.push_back(test_at(h + 0.5, 50.0));
+    result.traceroutes.push_back(trace_at(h + 0.5, as100(7), as200(7)));
+  }
+  // Records the detector must skip: a failed test, a webstats-less test,
+  // and a trace with no usable crossing.
+  measure::NdtRecord failed = test_at(1.0, 0.0);
+  failed.status = measure::NdtStatus::kAborted;
+  result.tests.push_back(failed);
+  measure::NdtRecord no_stats = test_at(1.0, 0.0);
+  no_stats.has_webstats = false;
+  result.tests.push_back(no_stats);
+  measure::TracerouteRecord lonely;
+  lonely.utc_time_hours = 1.0;
+  lonely.hops.push_back({1, true, as100(1), 1.0, ""});
+  result.traceroutes.push_back(lonely);
+
+  Ip2As ip2as = two_as_map();
+  AnomalyReport report = detect_anomalies(result, ip2as);
+  EXPECT_EQ(report.tests_used + report.tests_skipped, result.tests.size());
+  EXPECT_EQ(report.tests_skipped, 2u);
+  EXPECT_EQ(report.traces_used + report.traces_skipped,
+            result.traceroutes.size());
+  EXPECT_EQ(report.traces_skipped, 1u);
+}
+
+TEST(AnomalyScore, GreedyEpochMatchingWithinTolerance) {
+  AnomalyReport report;
+  report.epochs = {100.0, 200.0};
+  core::AnomalyGroundTruth truth;
+  truth.epochs = {110.0, 400.0};
+  core::AnomalyScore score = core::score_anomalies(report, truth, 24.0);
+  EXPECT_EQ(score.epochs_matched, 1u);
+  EXPECT_DOUBLE_EQ(score.epoch_precision, 0.5);
+  EXPECT_DOUBLE_EQ(score.epoch_recall, 0.5);
+
+  // The no-detection baseline scores zero everywhere.
+  AnomalyReport empty;
+  core::AnomalyScore none = core::score_anomalies(empty, truth, 24.0);
+  EXPECT_EQ(none.epochs_matched, 0u);
+  EXPECT_DOUBLE_EQ(none.epoch_f1, 0.0);
+}
+
+}  // namespace
+}  // namespace netcong::infer

@@ -84,6 +84,39 @@ TEST(CliErrors, StrayPositionalExits2WithUsageOnStderr) {
   EXPECT_NE(err.output.find("usage:"), std::string::npos);
 }
 
+TEST(CliAdversary, UnknownScenarioExits2) {
+  RunResult err = run_cli("adversary --scenario ddos 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("--scenario"), std::string::npos) << err.output;
+}
+
+TEST(CliAdversary, OutOfRangeFractionExits2) {
+  RunResult err = run_cli("adversary --fraction 1.5 2>&1 1>/dev/null");
+  EXPECT_EQ(err.exit_code, 2);
+  EXPECT_NE(err.output.find("--fraction"), std::string::npos) << err.output;
+}
+
+TEST(CliAdversary, BadLinksAndEpochExit2) {
+  RunResult links = run_cli(
+      "adversary --scenario withdraw --links 0 2>&1 1>/dev/null");
+  EXPECT_EQ(links.exit_code, 2);
+  EXPECT_NE(links.output.find("--links"), std::string::npos) << links.output;
+
+  RunResult epoch = run_cli(
+      "adversary --days 2 --epoch 500 2>&1 1>/dev/null");
+  EXPECT_EQ(epoch.exit_code, 2);
+  EXPECT_NE(epoch.output.find("--epoch"), std::string::npos) << epoch.output;
+}
+
+TEST(CliAdversary, StarsScenarioReportsIndistinguishablePair) {
+  RunResult out = run_cli(
+      "adversary --scale tiny --seed 3 --scenario stars --fraction 0.5 2>&1");
+  EXPECT_EQ(out.exit_code, 0) << out.output;
+  EXPECT_NE(out.output.find("indistinguishable ground-truth pair: yes"),
+            std::string::npos)
+      << out.output;
+}
+
 TEST(CliHelp, HelpExitsZeroOnStdout) {
   RunResult out = run_cli("--help 2>/dev/null");
   EXPECT_EQ(out.exit_code, 0);
@@ -229,6 +262,11 @@ TEST(CliServe, ListenSelfFeedAndWalRunEndToEnd) {
   // log fed through the socket, WAL persistence, and retention. A second
   // run over the same --wal-dir then replays the recovered log.
   std::string wal = ::testing::TempDir() + "netcong-cli-wal";
+  // Start from an empty WAL dir: the second run below replays the first
+  // run's log, so a dir surviving *across* test invocations would recover
+  // and re-append its whole history — the log roughly doubles per run and
+  // a few dozen CI runs turn recovery into a multi-GB replay.
+  std::system(("rm -rf " + wal).c_str());
   std::string flags =
       "serve --scale tiny --seed 3 --tests 300 --snapshots 2 --listen 0 "
       "--epoch 64 --retain 2 --wal-dir " + wal;
@@ -277,6 +315,9 @@ TEST(CliSmoke, EveryRegisteredSubcommandRuns) {
   // add a smoke invocation when you add a subcommand.
   const std::map<std::string, std::string> smoke_args = {
       {"topology", "--scale tiny --seed 3"},
+      {"adversary",
+       "--scale tiny --seed 3 --scenario churn --fraction 0.5 --days 2 "
+       "--tests-per-client 2"},
       {"campaign", "--scale tiny --seed 3 --days 1 --tests-per-client 1"},
       {"coverage", "--scale tiny --seed 3"},
       {"diurnal", "--scale tiny --seed 3 --days 2"},

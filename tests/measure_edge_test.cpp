@@ -10,6 +10,9 @@
 
 #include "core/diurnal.h"
 #include "helpers.h"
+#include "infer/bdrmap.h"
+#include "infer/datasets.h"
+#include "infer/mapit.h"
 #include "measure/degrade.h"
 #include "measure/matching.h"
 #include "sim/faults.h"
@@ -238,6 +241,41 @@ TEST(DiurnalEdge, EmptyWindowComparisonIsNanAndFlagged) {
   ASSERT_EQ(calls.size(), 1u);
   EXPECT_TRUE(calls[0].insufficient_samples);
   EXPECT_FALSE(calls[0].congested);
+}
+
+TEST(InferEdge, StarsOnlyCorpusIsUnusableNotFatal) {
+  // Every trace responds at hop 1 and then goes dark: no consecutive
+  // responded pair ever forms, so MAP-IT gets zero adjacency evidence and
+  // bdrmap zero borders — accounted, not crashed.
+  const gen::World& world = test::tiny_world();
+  infer::Ip2As ip2as(*world.topo);
+  infer::OrgMap orgs(*world.topo);
+  ASSERT_FALSE(world.ark_vps.empty());
+  std::uint32_t vp = world.ark_vps[0];
+  topo::Asn vp_as = world.topo->host(vp).asn;
+
+  std::vector<TracerouteRecord> corpus;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    TracerouteRecord tr = make_trace(vp, 0x14000001u + i, 10.0, 1);
+    for (int ttl = 2; ttl <= 6; ++ttl) {
+      TraceHop star;
+      star.ttl = ttl;
+      tr.hops.push_back(star);
+    }
+    corpus.push_back(tr);
+  }
+
+  auto mapit = infer::run_mapit(corpus, ip2as, orgs);
+  EXPECT_TRUE(mapit.crossings.empty());
+  EXPECT_TRUE(mapit.coverage.accounted());
+  EXPECT_EQ(mapit.coverage.traces_total, corpus.size());
+  EXPECT_EQ(mapit.coverage.traces_used, 0u);
+
+  infer::AliasResolver aliases(*world.topo, 1.0, 42);
+  auto bdr = infer::run_bdrmap(corpus, vp_as, ip2as, orgs,
+                               world.topo->relationships(), aliases);
+  EXPECT_EQ(bdr.counts().as_total, 0);
+  EXPECT_TRUE(bdr.mapit.crossings.empty());
 }
 
 }  // namespace

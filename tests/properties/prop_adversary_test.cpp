@@ -1,0 +1,49 @@
+// Gtest wrapper for the "adversary" property family: every adversarial
+// scenario (sim/adversary) is a pure function of (seed, config) — campaign
+// output bit-identical across the threads x cache x obs matrix, churn
+// leaves the pre-epoch prefix byte-for-byte equal to an un-churned run, and
+// the Misleading-Stars construction yields two distinct ground-truth
+// topologies under one observed traceroute corpus.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+
+namespace netcong::check {
+namespace {
+
+std::vector<const Property*> family_properties(const char* family) {
+  std::vector<const Property*> out;
+  for (const Property& p : all_properties()) {
+    if (p.family == family) out.push_back(&p);
+  }
+  return out;
+}
+
+class AdversaryProperty : public ::testing::TestWithParam<const Property*> {};
+
+TEST_P(AdversaryProperty, Holds) {
+  util::pbt::Config cfg;
+  cfg.iterations = 0;  // the property's bounded default budget
+  util::pbt::CheckResult result = run_property(*GetParam(), cfg);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+std::string test_name(const ::testing::TestParamInfo<const Property*>& info) {
+  std::string name = info.param->name;
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AdversaryProperty,
+                         ::testing::ValuesIn(family_properties("adversary")),
+                         test_name);
+
+TEST(AdversaryFamily, RegistryHasEnoughProperties) {
+  EXPECT_GE(family_properties("adversary").size(), 3u);
+}
+
+}  // namespace
+}  // namespace netcong::check

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/anomaly_eval.h"
 #include "core/coverage.h"
 #include "core/diurnal.h"
 #include "core/pathmodel_eval.h"
@@ -27,8 +28,10 @@
 #include "infer/alias.h"
 #include "infer/bdrmap.h"
 #include "io/export.h"
+#include "measure/adversary.h"
 #include "measure/alexa.h"
 #include "measure/ark.h"
+#include "measure/fingerprint.h"
 #include "measure/matching.h"
 #include "measure/ndt.h"
 #include "measure/platform.h"
@@ -895,6 +898,162 @@ int cmd_pathmodel(const Args& args) {
   return 0;
 }
 
+int cmd_adversary(const Args& args) {
+  // Closed-set flag validation first (exit 2), before any world generates.
+  std::string scen = args.get("scenario", "churn");
+  bool churn = scen == "churn";
+  bool withdraw = scen == "withdraw";
+  bool asym = scen == "asym";
+  bool stars = scen == "stars";
+  if (!churn && !withdraw && !asym && !stars) {
+    std::fprintf(stderr, "unknown --scenario '%s' (churn|withdraw|asym|stars)\n",
+                 scen.c_str());
+    return 2;
+  }
+  double fraction = args.get_double("fraction", 0.3);
+  if (fraction < 0.0 || fraction > 1.0) {
+    std::fprintf(stderr, "bad --fraction '%s' (0..1)\n",
+                 args.get("fraction", "").c_str());
+    return 2;
+  }
+  unsigned long long links = 1;
+  if (args.has("links") &&
+      (!parse_flag_uint(args.get("links", ""), 1000, &links) || links == 0)) {
+    std::fprintf(stderr, "bad --links '%s' (withdrawn border links, 1-1000)\n",
+                 args.get("links", "").c_str());
+    return 2;
+  }
+  unsigned long long days = 4;
+  if (args.has("days") &&
+      (!parse_flag_uint(args.get("days", ""), 365, &days) || days == 0)) {
+    std::fprintf(stderr, "bad --days '%s' (1-365)\n",
+                 args.get("days", "").c_str());
+    return 2;
+  }
+  double epoch = args.get_double("epoch", static_cast<double>(days) * 12.0);
+  if (epoch < 0.0 || epoch > static_cast<double>(days) * 24.0) {
+    std::fprintf(stderr, "bad --epoch '%s' (hours, 0..days*24)\n",
+                 args.get("epoch", "").c_str());
+    return 2;
+  }
+
+  std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  gen::World world = gen::generate_world(config_from(args));
+  route::BgpRouting bgp(*world.topo);
+  route::Forwarder fwd(*world.topo, bgp);
+
+  sim::AdversaryConfig acfg;
+  if (churn) {
+    acfg = sim::AdversaryConfig::churn(epoch, fraction);
+  } else if (withdraw) {
+    acfg = sim::AdversaryConfig::withdrawal(epoch, static_cast<int>(links));
+  } else if (asym) {
+    acfg = sim::AdversaryConfig::asymmetric(fraction);
+  } else {
+    acfg = sim::AdversaryConfig::misleading_stars(fraction);
+  }
+  sim::AdversaryScenario scenario(*world.topo, bgp, acfg, seed ^ 0xad5ull);
+
+  if (stars) {
+    if (world.ark_vps.empty()) {
+      std::fprintf(stderr, "world has no Ark VPs\n");
+      return 1;
+    }
+    util::Rng rng(seed + 3);
+    measure::MisleadingStarsResult pair = measure::misleading_stars_corpus(
+        world, fwd, scenario, world.ark_vps[0], {}, rng);
+    std::printf("misleading stars: %zu/%zu routers cloaked, %zu truth hops "
+                "relabeled across %zu traces\n",
+                pair.cloaked_routers, world.topo->routers().size(),
+                pair.cloaked_hops, pair.observed.size());
+    std::printf("observed fingerprints: %016llx vs %016llx (%s)\n",
+                static_cast<unsigned long long>(pair.observed_fp_a),
+                static_cast<unsigned long long>(pair.observed_fp_b),
+                pair.observed_fp_a == pair.observed_fp_b ? "equal" : "DIFFER");
+    std::printf("truth fingerprints:    %016llx vs %016llx (%s)\n",
+                static_cast<unsigned long long>(pair.truth_fp_a),
+                static_cast<unsigned long long>(pair.truth_fp_b),
+                pair.truth_fp_a != pair.truth_fp_b ? "distinct" : "equal");
+    std::printf("indistinguishable ground-truth pair: %s\n",
+                pair.indistinguishable() ? "yes" : "NO");
+    return pair.indistinguishable() ? 0 : 1;
+  }
+
+  sim::ThroughputModel model(*world.topo, *world.traffic);
+  measure::Platform mlab("M-Lab", *world.topo, world.mlab_servers);
+  gen::WorkloadConfig wl;
+  wl.days = static_cast<int>(days);
+  wl.mean_tests_per_client = args.get_double("tests-per-client", 8.0);
+  util::Rng sched_rng(seed + 1);
+  auto schedule = gen::crowdsourced_schedule(world, world.clients, wl,
+                                             sched_rng);
+  route::PathCache path_cache(fwd);
+  auto run_once = [&](const sim::AdversaryScenario* adv) {
+    measure::NdtCampaign campaign(world, fwd, model, mlab,
+                                  measure::CampaignConfig{});
+    campaign.set_path_cache(&path_cache);
+    if (adv != nullptr) campaign.set_adversary(adv);
+    util::Rng rng(seed + 2);
+    return campaign.run(schedule, rng);
+  };
+  measure::CampaignResult baseline = run_once(nullptr);
+  measure::CampaignResult perturbed = run_once(&scenario);
+
+  measure::AdversaryCampaignTruth truth =
+      measure::annotate_campaign(scenario, *world.topo, perturbed);
+  util::TextTable scenario_table({"scenario knob", "value"});
+  scenario_table.add_row({"scenario", scen});
+  scenario_table.add_row({"epoch (hours)", util::format("%.1f", epoch)});
+  scenario_table.add_row(
+      {"pairs churned", util::format("%zu/%zu", truth.pairs_churned,
+                                     truth.pairs_total)});
+  scenario_table.add_row(
+      {"withdrawn links", std::to_string(truth.withdrawn_links.size())});
+  scenario_table.add_row(
+      {"tests pre/post epoch",
+       util::format("%zu/%zu", truth.tests_pre_epoch,
+                    truth.tests_post_epoch)});
+  std::printf("%s", scenario_table.render().c_str());
+
+  bool prefix_equal =
+      measure::fingerprint_before(baseline, scenario.epoch_hours()) ==
+      measure::fingerprint_before(perturbed, scenario.epoch_hours());
+  std::printf("pre-epoch prefix vs clean run: %s\n",
+              prefix_equal ? "bit-identical" : "DIFFERS");
+
+  infer::Ip2As ip2as(*world.topo);
+  infer::AnomalyReport report = infer::detect_anomalies(perturbed, ip2as);
+  core::AnomalyGroundTruth gt = core::ground_truth_of(truth);
+  core::AnomalyScore score = core::score_anomalies(report, gt);
+
+  util::TextTable det({"detector output", "value"});
+  det.add_row({"bins", std::to_string(report.bins)});
+  det.add_row({"alarms", std::to_string(report.alarms.size())});
+  det.add_row({"withdrawn crossings flagged",
+               std::to_string(report.withdrawn.size())});
+  std::string epochs_text;
+  for (double e : report.epochs) {
+    epochs_text += util::format(epochs_text.empty() ? "%.0fh" : ", %.0fh", e);
+  }
+  det.add_row({"epoch candidates",
+               epochs_text.empty() ? "(none)" : epochs_text});
+  det.add_row({"epoch precision/recall",
+               util::format("%.2f / %.2f", score.epoch_precision,
+                            score.epoch_recall)});
+  det.add_row({"withdrawn precision/recall",
+               util::format("%.2f / %.2f", score.withdrawn_precision,
+                            score.withdrawn_recall)});
+  std::printf("%s", det.render().c_str());
+  if (!truth.accounted(perturbed.tests.size())) {
+    std::fprintf(stderr, "adversary ground-truth accounting inconsistent\n");
+    return 1;
+  }
+  if (!prefix_equal && scenario.epoch_hours() > 0.0 && !asym) {
+    return 1;
+  }
+  return 0;
+}
+
 // The subcommand registry: the one place a subcommand is declared. Both
 // the usage text and main()'s dispatch are generated from this table.
 struct Subcommand {
@@ -906,6 +1065,10 @@ struct Subcommand {
 
 constexpr Subcommand kSubcommands[] = {
     {"topology", "generate a world and summarize its topology", "", &cmd_topology},
+    {"adversary", "run an adversarial campaign and score the anomaly detector",
+     "--scenario churn|withdraw|asym|stars --fraction X --links N --epoch H "
+     "--days N --tests-per-client X",
+     &cmd_adversary},
     {"campaign", "run an NDT measurement campaign, optionally exporting datasets",
      "--days N --tests-per-client X --out DIR --no-truth", &cmd_campaign},
     {"coverage", "per-VP interdomain coverage analysis (bdrmap vs platforms)",

@@ -19,12 +19,15 @@ cmake --build "$BUILD" -j "$(nproc)"
 # moved across threads and merged evidence stores — wal_test/net_test ride
 # the same label, putting the frame codec, WAL segment I/O, and socket
 # listener under memory checking), the bench_scale smoke (the
-# arena/columnar corpus), and the pathmodel suite (multi-CC packet sims,
+# arena/columnar corpus), the pathmodel suite (multi-CC packet sims,
 # whose per-flow trace buffers and downsampling indices are worth bounds
-# checking) — all at reduced budgets so the instrumented run stays fast.
+# checking), and the adversary suite (phantom-router relabeling and
+# crossing-series bookkeeping over shifting corpora) — all at reduced
+# budgets so the instrumented run stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
 NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
 NETCONG_INGEST_EVENTS="${NETCONG_INGEST_EVENTS:-500}" \
 NETCONG_PATHMODEL_TESTS="${NETCONG_PATHMODEL_TESTS:-1}" \
-  ctest --test-dir "$BUILD" -L 'asan|obs|pbt|bench|serve|pathmodel' \
+NETCONG_ADVERSARY_DAYS="${NETCONG_ADVERSARY_DAYS:-2}" \
+  ctest --test-dir "$BUILD" -L 'asan|obs|pbt|bench|serve|pathmodel|adversary' \
   --output-on-failure

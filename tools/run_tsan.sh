@@ -19,13 +19,15 @@ cmake --build "$BUILD" -j "$(nproc)"
 # cross-thread traffic in the codebase; wal_test/net_test ride the same
 # label, racing the socket listener/accept threads against producers),
 # the bench_scale smoke (the block-sharded columnar trace builder
-# under race checking), and the pathmodel suite (multi-CC packet sims +
+# under race checking), the pathmodel suite (multi-CC packet sims +
 # classifier; single-threaded, but cheap insurance against UB the
-# instrumented build would also flag) — at reduced budgets so the
-# instrumented run stays fast.
+# instrumented build would also flag), and the adversary suite (scenario
+# key rewrites feeding the parallel campaign engine across worker counts)
+# — at reduced budgets so the instrumented run stays fast.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
 NETCONG_SCALE_TESTS="${NETCONG_SCALE_TESTS:-500}" \
 NETCONG_INGEST_EVENTS="${NETCONG_INGEST_EVENTS:-500}" \
 NETCONG_PATHMODEL_TESTS="${NETCONG_PATHMODEL_TESTS:-1}" \
-  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt|bench|serve|pathmodel' \
+NETCONG_ADVERSARY_DAYS="${NETCONG_ADVERSARY_DAYS:-2}" \
+  ctest --test-dir "$BUILD" -L 'tsan|obs|pbt|bench|serve|pathmodel|adversary' \
   --output-on-failure

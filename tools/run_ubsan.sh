@@ -18,7 +18,10 @@ cmake -B "$BUILD" -S . -DNETCONG_SANITIZE=undefined "$@"
 cmake --build "$BUILD" -j "$(nproc)"
 # The pathmodel label adds the CC simulator + classifier suite: cubic's
 # cube-root window math and BBR's gain cycling are precisely the kind of
-# floating/integer arithmetic UBSan should watch.
+# floating/integer arithmetic UBSan should watch. The adversary label adds
+# the CUSUM/MAD change-detection arithmetic and the key-salt bit twiddling.
 NETCONG_PBT_ITERS="${NETCONG_PBT_ITERS:-3}" \
 NETCONG_PATHMODEL_TESTS="${NETCONG_PATHMODEL_TESTS:-1}" \
-  ctest --test-dir "$BUILD" -L 'pbt|asan|obs|pathmodel' --output-on-failure
+NETCONG_ADVERSARY_DAYS="${NETCONG_ADVERSARY_DAYS:-2}" \
+  ctest --test-dir "$BUILD" -L 'pbt|asan|obs|pathmodel|adversary' \
+  --output-on-failure
